@@ -1,0 +1,331 @@
+//! A bcache-like write-back SSD cache (functional plane).
+//!
+//! Linux bcache indexes cached data with an in-memory B-tree that is only
+//! written to the SSD when a commit barrier arrives, and writes dirty data
+//! back to the backing device in *LBA order* (its writeback scans the
+//! keyspace), not in the order the client wrote it. Both properties are
+//! modelled here because they produce the paper's §4.4 results:
+//!
+//! - extra metadata writes at every barrier (the §4.2.2 sync-heavy gap);
+//! - after a cache loss, the backing device holds an arbitrary,
+//!   order-violating subset of writes — not a prefix — so a file system
+//!   on it may be unrecoverable (Table 4).
+//!
+//! This cache was designed for a machine-local SSD in front of a local
+//! disk, where cache and disk fail together; the paper's point is that
+//! layering it over a *remote* virtual disk breaks its failure model.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use blkdev::{BlkError, BlockDevice};
+
+/// Cache block size: bcache's default bucket granularity for our purposes.
+pub const BLOCK_BYTES: u64 = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    index: u64,
+    dirty: bool,
+}
+
+/// Write-back statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BcacheStats {
+    /// Client writes absorbed.
+    pub writes: u64,
+    /// Client reads served.
+    pub reads: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Blocks written back to the backing device.
+    pub writeback_blocks: u64,
+    /// Metadata (B-tree) writes to the cache device.
+    pub metadata_writes: u64,
+    /// Commit barriers.
+    pub flushes: u64,
+}
+
+/// A write-back cache over `backing`, staged on `cache`.
+pub struct Bcache<B> {
+    cache: Arc<dyn BlockDevice>,
+    backing: B,
+    /// block index -> cache slot.
+    map: BTreeMap<u64, Slot>,
+    /// Next slot for allocation (round robin).
+    next_slot: u64,
+    slots: u64,
+    /// Blocks reserved at the front for serialized metadata.
+    meta_blocks: u64,
+    stats: BcacheStats,
+}
+
+impl<B: BlockDevice> Bcache<B> {
+    /// Creates a cache; a metadata region sized for a full map is reserved
+    /// at the front of the device, the rest holds data blocks.
+    pub fn new(cache: Arc<dyn BlockDevice>, backing: B) -> Self {
+        let cap_blocks = cache.capacity() / BLOCK_BYTES;
+        // Each map entry serializes to 17 bytes plus an 8-byte count.
+        let meta_blocks = ((cap_blocks * 17 + 8).div_ceil(BLOCK_BYTES) + 1).max(4);
+        let slots = cap_blocks.saturating_sub(meta_blocks).max(4);
+        Bcache {
+            cache,
+            backing,
+            map: BTreeMap::new(),
+            next_slot: 0,
+            slots,
+            meta_blocks,
+            stats: BcacheStats::default(),
+        }
+    }
+
+    /// Backing-device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.backing.capacity()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BcacheStats {
+        self.stats
+    }
+
+    /// Number of dirty cached blocks.
+    pub fn dirty_blocks(&self) -> usize {
+        self.map.values().filter(|s| s.dirty).count()
+    }
+
+    fn slot_offset(&self, slot: u64) -> u64 {
+        (self.meta_blocks + slot) * BLOCK_BYTES
+    }
+
+    fn alloc_slot(&mut self) -> Result<u64, BlkError> {
+        // Round-robin allocation; evict whatever occupies the slot,
+        // writing it back first if dirty.
+        let slot = self.next_slot;
+        self.next_slot = (self.next_slot + 1) % self.slots;
+        let victim = self
+            .map
+            .iter()
+            .find(|(_, s)| s.index == slot)
+            .map(|(&b, &s)| (b, s));
+        if let Some((block, s)) = victim {
+            if s.dirty {
+                self.writeback_block(block, s)?;
+            }
+            self.map.remove(&block);
+        }
+        Ok(slot)
+    }
+
+    fn writeback_block(&mut self, block: u64, s: Slot) -> Result<(), BlkError> {
+        let mut buf = vec![0u8; BLOCK_BYTES as usize];
+        self.cache.read_at(self.slot_offset(s.index), &mut buf)?;
+        self.backing.write_at(block * BLOCK_BYTES, &buf)?;
+        self.stats.writeback_blocks += 1;
+        Ok(())
+    }
+
+    /// Writes `data` (block-aligned) at `offset`, absorbing it in the
+    /// cache.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), BlkError> {
+        assert!(
+            offset % BLOCK_BYTES == 0 && data.len() as u64 % BLOCK_BYTES == 0,
+            "bcache model is block-aligned"
+        );
+        for (i, chunk) in data.chunks(BLOCK_BYTES as usize).enumerate() {
+            let block = offset / BLOCK_BYTES + i as u64;
+            let slot = match self.map.get(&block) {
+                Some(s) => s.index,
+                None => {
+                    let s = self.alloc_slot()?;
+                    self.map.insert(block, Slot { index: s, dirty: true });
+                    s
+                }
+            };
+            self.cache.write_at(self.slot_offset(slot), chunk)?;
+            self.map.get_mut(&block).expect("just ensured").dirty = true;
+        }
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Reads at `offset` through the cache.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), BlkError> {
+        assert!(offset % BLOCK_BYTES == 0 && buf.len() as u64 % BLOCK_BYTES == 0);
+        for (i, chunk) in buf.chunks_mut(BLOCK_BYTES as usize).enumerate() {
+            let block = offset / BLOCK_BYTES + i as u64;
+            match self.map.get(&block) {
+                Some(s) => {
+                    self.cache.read_at(self.slot_offset(s.index), chunk)?;
+                    self.stats.read_hits += 1;
+                }
+                None => {
+                    self.backing.read_at(block * BLOCK_BYTES, chunk)?;
+                    // Cache clean.
+                    let slot = self.alloc_slot()?;
+                    self.cache.write_at(self.slot_offset(slot), chunk)?;
+                    self.map.insert(
+                        block,
+                        Slot {
+                            index: slot,
+                            dirty: false,
+                        },
+                    );
+                }
+            }
+        }
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    /// Commit barrier: persist the B-tree metadata to the cache device and
+    /// flush it. (The extra metadata writes are the §4.2.2 cost.)
+    pub fn flush(&mut self) -> Result<(), BlkError> {
+        // Serialize the map compactly into the metadata region.
+        let mut meta = Vec::with_capacity(self.map.len() * 17 + 8);
+        meta.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (&block, s) in &self.map {
+            meta.extend_from_slice(&block.to_le_bytes());
+            meta.extend_from_slice(&s.index.to_le_bytes());
+            meta.push(s.dirty as u8);
+        }
+        let cap = (self.meta_blocks * BLOCK_BYTES) as usize;
+        assert!(meta.len() <= cap, "metadata region sized for a full map");
+        meta.resize(cap, 0);
+        self.cache.write_at(0, &meta)?;
+        self.cache.flush()?;
+        self.stats.metadata_writes += 1;
+        self.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Writes back up to `n` dirty blocks **in LBA order** (bcache scans
+    /// its keyspace); returns how many were written.
+    pub fn writeback_some(&mut self, n: usize) -> Result<usize, BlkError> {
+        let targets: Vec<(u64, Slot)> = self
+            .map
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .take(n)
+            .map(|(&b, &s)| (b, s))
+            .collect();
+        let count = targets.len();
+        for (block, s) in targets {
+            self.writeback_block(block, s)?;
+            self.map.get_mut(&block).expect("exists").dirty = false;
+        }
+        Ok(count)
+    }
+
+    /// Drains all dirty data to the backing device.
+    pub fn writeback_all(&mut self) -> Result<(), BlkError> {
+        while self.writeback_some(64)? > 0 {}
+        self.backing.flush()?;
+        Ok(())
+    }
+
+    /// Simulates losing the cache device: whatever made it to the backing
+    /// device is all that survives.
+    pub fn crash_lose_cache(self) -> B {
+        self.backing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blkdev::RamDisk;
+
+    fn setup() -> Bcache<Arc<RamDisk>> {
+        let cache = Arc::new(RamDisk::new(1 << 20));
+        let backing = Arc::new(RamDisk::new(8 << 20));
+        Bcache::new(cache, backing)
+    }
+
+    #[test]
+    fn write_read_through_cache() {
+        let mut bc = setup();
+        bc.write_at(8192, &[5u8; 4096]).unwrap();
+        let mut buf = [0u8; 4096];
+        bc.read_at(8192, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 4096]);
+        assert_eq!(bc.stats().read_hits, 1);
+        assert_eq!(bc.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn writeback_drains_to_backing() {
+        let mut bc = setup();
+        for i in 0..16u64 {
+            bc.write_at(i * 4096, &[i as u8; 4096]).unwrap();
+        }
+        bc.writeback_all().unwrap();
+        assert_eq!(bc.dirty_blocks(), 0);
+        let backing = bc.crash_lose_cache();
+        let mut buf = [0u8; 4096];
+        backing.read_at(5 * 4096, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 4096]);
+    }
+
+    #[test]
+    fn cache_loss_without_writeback_loses_data() {
+        let mut bc = setup();
+        bc.write_at(0, &[1u8; 4096]).unwrap();
+        bc.flush().unwrap(); // committed... to the cache only!
+        let backing = bc.crash_lose_cache();
+        let mut buf = [0u8; 4096];
+        backing.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4096], "committed write gone with the cache");
+    }
+
+    #[test]
+    fn writeback_is_lba_ordered_not_write_ordered() {
+        let mut bc = setup();
+        // Write high LBA first, then low.
+        bc.write_at(100 * 4096, &[9u8; 4096]).unwrap();
+        bc.write_at(4096, &[1u8; 4096]).unwrap();
+        // One block written back: it's the LOW one, although it was
+        // written LAST — exactly the prefix violation.
+        bc.writeback_some(1).unwrap();
+        let backing = bc.crash_lose_cache();
+        let mut lo = [0u8; 4096];
+        let mut hi = [0u8; 4096];
+        backing.read_at(4096, &mut lo).unwrap();
+        backing.read_at(100 * 4096, &mut hi).unwrap();
+        assert_eq!(lo, [1u8; 4096], "later write survived");
+        assert_eq!(hi, [0u8; 4096], "earlier write lost");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_victims() {
+        let cache = Arc::new(RamDisk::new(32 * 4096)); // 16-slot data area
+        let backing = Arc::new(RamDisk::new(8 << 20));
+        let mut bc = Bcache::new(cache, backing);
+        for i in 0..40u64 {
+            bc.write_at(i * 4096, &[i as u8; 4096]).unwrap();
+        }
+        // Early blocks were evicted and must live in the backing device.
+        assert!(bc.stats().writeback_blocks > 0);
+        let mut buf = [0u8; 4096];
+        bc.read_at(4096, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 4096]);
+    }
+
+    #[test]
+    fn flush_counts_metadata_writes() {
+        let mut bc = setup();
+        bc.write_at(0, &[1u8; 4096]).unwrap();
+        bc.flush().unwrap();
+        bc.flush().unwrap();
+        assert_eq!(bc.stats().metadata_writes, 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_one_dirty_block() {
+        let mut bc = setup();
+        for _ in 0..10 {
+            bc.write_at(4096, &[3u8; 4096]).unwrap();
+        }
+        assert_eq!(bc.dirty_blocks(), 1);
+    }
+}

@@ -1,0 +1,685 @@
+//! Performance engines for the baselines: raw RBD and bcache+RBD.
+//!
+//! Both engines share the device, link and pool models with
+//! [`lsvd::engine::LsvdEngine`], so head-to-head comparisons run on
+//! identical simulated hardware. They also produce the same
+//! [`EngineReport`], which the bench binaries consume uniformly.
+//!
+//! **Raw RBD**: every client write travels to the pool and is
+//! acknowledged after the slowest replica's journal commit; every read is
+//! one replica read. No client-side state.
+//!
+//! **bcache+RBD**: writes are absorbed by a B-tree-indexed SSD cache:
+//! a data write plus amortized journal/B-tree metadata writes; commit
+//! barriers force metadata write-out (the §4.2.2 sync-heavy cost).
+//! Writeback to RBD follows bcache's observed behaviour (§4.4): paused
+//! while the client is busy, a serial LBA-order scan when idle, and an
+//! aggressive parallel mode only under allocation pressure when the cache
+//! fills (§4.3).
+
+use blkdev::{DiskModel, DiskProfile, IoKind};
+use lsvd::engine::EngineReport;
+use lsvd::extent_map::ExtentMap;
+use objstore::link::{Dir, LinkModel};
+use objstore::pool::{BackendPool, PoolConfig};
+use sim::server::Server;
+use sim::stats::{Summary, TimeSeries};
+use sim::{EventQueue, SimDuration, SimTime};
+use workloads::{IoOp, Workload};
+
+/// bcache front-end parameters.
+#[derive(Debug, Clone)]
+pub struct BcacheParams {
+    /// Cache SSD profile.
+    pub cache_profile: DiskProfile,
+    /// Cache capacity (data buckets) in bytes.
+    pub cache_bytes: u64,
+    /// A journal write is charged every this many client writes.
+    pub journal_every: u32,
+    /// A B-tree node write is charged every this many client writes.
+    pub btree_every: u32,
+    /// Metadata writes forced by each commit barrier.
+    pub flush_meta_writes: u32,
+    /// Device flush cost.
+    pub flush_base: SimDuration,
+    /// Client idle time before background writeback starts.
+    pub wb_idle: SimDuration,
+    /// Writeback concurrency when idle (bcache scans serially).
+    pub wb_concurrency_idle: usize,
+    /// Writeback concurrency under allocation pressure.
+    pub wb_concurrency_pressure: usize,
+    /// Maximum contiguous writeback chunk.
+    pub wb_chunk_bytes: u64,
+    /// Dirty fraction that counts as allocation pressure.
+    pub pressure_mark: f64,
+    /// Kernel block-layer workers for the cache absorb path (distinct
+    /// from the librbd CPU path: absorbing a write into the cache is a
+    /// short in-kernel operation).
+    pub cache_cpu_workers: usize,
+    /// Kernel CPU per cached write (B-tree insert, bucket allocation,
+    /// journal bookkeeping).
+    pub cache_cpu_per_op: SimDuration,
+    /// Kernel CPU per cache-hit read (lookup + dispatch only).
+    pub cache_cpu_read_per_op: SimDuration,
+}
+
+impl Default for BcacheParams {
+    fn default() -> Self {
+        BcacheParams {
+            cache_profile: DiskProfile::nvme_p3700(),
+            cache_bytes: 700 << 30,
+            journal_every: 4,
+            btree_every: 64,
+            flush_meta_writes: 3,
+            flush_base: SimDuration::from_micros(400),
+            wb_idle: SimDuration::from_millis(50),
+            wb_concurrency_idle: 16,
+            wb_concurrency_pressure: 32,
+            wb_chunk_bytes: 64 << 10,
+            pressure_mark: 0.85,
+            cache_cpu_workers: 8,
+            cache_cpu_per_op: SimDuration::from_micros(180),
+            cache_cpu_read_per_op: SimDuration::from_micros(30),
+        }
+    }
+}
+
+/// Baseline engine configuration.
+pub struct BaselineConfig {
+    /// Number of virtual disks.
+    pub volumes: usize,
+    /// Threads (queue depth) per volume.
+    pub qd: usize,
+    /// `Some` = bcache+RBD; `None` = raw RBD.
+    pub bcache: Option<BcacheParams>,
+    /// Backend pool.
+    pub pool: PoolConfig,
+    /// Client network path.
+    pub link: LinkModel,
+    /// Client CPU workers (librbd + messenger threads).
+    pub cpu_workers: usize,
+    /// Client CPU per I/O.
+    pub cpu_per_op: SimDuration,
+    /// Time-series sampling interval (0 = 1 s default).
+    pub sample_interval: SimDuration,
+    /// Pre-fill the cache with the whole volume (§4.2 read tests).
+    pub prewarm_reads: bool,
+    /// Virtual disk span (used for pre-warming), bytes.
+    pub volume_span_bytes: u64,
+}
+
+impl BaselineConfig {
+    /// Raw RBD with the paper's client (§4.1).
+    pub fn rbd(pool: PoolConfig) -> Self {
+        BaselineConfig {
+            volumes: 1,
+            qd: 32,
+            bcache: None,
+            pool,
+            link: LinkModel::ten_gbit(),
+            cpu_workers: 2,
+            cpu_per_op: SimDuration::from_micros(150),
+            sample_interval: SimDuration::ZERO,
+            prewarm_reads: false,
+            volume_span_bytes: 80 << 30,
+        }
+    }
+
+    /// bcache (700 GiB NVMe, write-back) over RBD.
+    pub fn bcache_rbd(pool: PoolConfig) -> Self {
+        BaselineConfig {
+            bcache: Some(BcacheParams::default()),
+            ..Self::rbd(pool)
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    OpDone { vol: u32, thread: u32 },
+    WbDone { bytes: u64 },
+    Tick,
+}
+
+/// The baseline discrete-event engine (RBD, optionally behind bcache).
+pub struct BaselineEngine {
+    cfg: BaselineConfig,
+    q: EventQueue<Ev>,
+    cache: Option<DiskModel>,
+    cache_head: u64,
+    pool: BackendPool,
+    link: LinkModel,
+    cpu: Server,
+    cache_cpu: Server,
+    workloads: Vec<Vec<Box<dyn Workload>>>,
+    issued_at: Vec<Vec<SimTime>>,
+    stalled: std::collections::VecDeque<(u32, u32, IoOp)>,
+    // bcache state.
+    dirty: ExtentMap<u64>,
+    dirty_bytes: u64,
+    cached: ExtentMap<u64>,
+    wb_inflight: usize,
+    wb_cursor: u64,
+    last_client_ack: SimTime,
+    writes_since_journal: u32,
+    writes_since_btree: u32,
+    writes_since_flush: u32,
+    journal: Server,
+    // Counters.
+    client_ops: u64,
+    client_writes: u64,
+    client_reads: u64,
+    client_write_bytes: u64,
+    client_read_bytes: u64,
+    flushes: u64,
+    latency: Summary,
+    ts_client_bytes: TimeSeries,
+    ts_backend_bytes: TimeSeries,
+    ts_dirty: TimeSeries,
+    deadline: SimTime,
+    drain: bool,
+    finished_at: SimTime,
+}
+
+impl BaselineEngine {
+    /// Builds the engine; `mk_workload(vol, thread)` supplies op streams.
+    pub fn new<F>(cfg: BaselineConfig, mut mk_workload: F) -> Self
+    where
+        F: FnMut(usize, usize) -> Box<dyn Workload>,
+    {
+        assert!(cfg.volumes > 0 && cfg.qd > 0);
+        let interval = if cfg.sample_interval == SimDuration::ZERO {
+            SimDuration::from_secs(1)
+        } else {
+            cfg.sample_interval
+        };
+        let workloads = (0..cfg.volumes)
+            .map(|v| {
+                (0..cfg.qd)
+                    .map(|t| mk_workload(v, t))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        BaselineEngine {
+            q: EventQueue::new(),
+            cache: cfg
+                .bcache
+                .as_ref()
+                .map(|p| DiskModel::new(p.cache_profile.clone())),
+            cache_head: 0,
+            pool: BackendPool::new(cfg.pool.clone()),
+            link: cfg.link.clone(),
+            cpu: Server::new(cfg.cpu_workers),
+            cache_cpu: Server::new(
+                cfg.bcache.as_ref().map_or(1, |p| p.cache_cpu_workers),
+            ),
+            workloads,
+            issued_at: vec![vec![SimTime::ZERO; cfg.qd]; cfg.volumes],
+            stalled: Default::default(),
+            dirty: ExtentMap::new(),
+            dirty_bytes: 0,
+            cached: {
+                let mut m = ExtentMap::new();
+                if cfg.prewarm_reads && cfg.bcache.is_some() {
+                    m.insert(0, cfg.volume_span_bytes / 512, 0);
+                }
+                m
+            },
+            wb_inflight: 0,
+            wb_cursor: 0,
+            last_client_ack: SimTime::ZERO,
+            writes_since_journal: 0,
+            writes_since_btree: 0,
+            writes_since_flush: 0,
+            journal: Server::new(1),
+            client_ops: 0,
+            client_writes: 0,
+            client_reads: 0,
+            client_write_bytes: 0,
+            client_read_bytes: 0,
+            flushes: 0,
+            latency: Summary::new(),
+            ts_client_bytes: TimeSeries::new(interval),
+            ts_backend_bytes: TimeSeries::new(interval),
+            ts_dirty: TimeSeries::new(interval),
+            deadline: SimTime::MAX,
+            drain: false,
+            finished_at: SimTime::ZERO,
+            cfg,
+        }
+    }
+
+    /// Runs the closed loop for `duration`; with `drain` the run continues
+    /// past the deadline until all dirty data has been written back (the
+    /// Figure 11 timeline).
+    pub fn run(mut self, duration: SimDuration, drain: bool) -> EngineReport {
+        self.deadline = SimTime::ZERO + duration;
+        self.drain = drain;
+        for vol in 0..self.cfg.volumes as u32 {
+            for thread in 0..self.cfg.qd as u32 {
+                self.issue_next(SimTime::ZERO, vol, thread);
+            }
+        }
+        self.q
+            .schedule(SimTime::ZERO + SimDuration::from_millis(20), Ev::Tick);
+        while let Some((now, ev)) = self.q.pop() {
+            match ev {
+                Ev::OpDone { vol, thread } => {
+                    self.client_ops += 1;
+                    self.last_client_ack = now;
+                    let lat = now.since(self.issued_at[vol as usize][thread as usize]);
+                    self.latency.record_duration(lat);
+                    self.finished_at = self.finished_at.max(now);
+                    if now < self.deadline {
+                        self.issue_next(now, vol, thread);
+                    }
+                }
+                Ev::WbDone { bytes } => {
+                    self.wb_inflight -= 1;
+                    self.dirty_bytes = self.dirty_bytes.saturating_sub(bytes);
+                    self.ts_backend_bytes.add(now, bytes as f64);
+                    self.finished_at = self.finished_at.max(now);
+                    self.unstall(now);
+                    self.kick_writeback(now);
+                }
+                Ev::Tick => {
+                    self.ts_dirty.set(now, self.dirty_bytes as f64);
+                    self.kick_writeback(now);
+                    let keep_going = now < self.deadline
+                        || (self.drain && (self.dirty_bytes > 0 || self.wb_inflight > 0));
+                    if keep_going {
+                        self.q.schedule(now + SimDuration::from_millis(20), Ev::Tick);
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn issue_next(&mut self, now: SimTime, vol: u32, thread: u32) {
+        let op = self.workloads[vol as usize][thread as usize].next_op();
+        self.issue_op(now, vol, thread, op);
+    }
+
+    fn issue_op(&mut self, now: SimTime, vol: u32, thread: u32, op: IoOp) {
+        self.issued_at[vol as usize][thread as usize] = now;
+        if !matches!(op, IoOp::Sleep { .. }) {
+            self.last_client_ack = now;
+        }
+        match self.cfg.bcache {
+            None => self.rbd_op(now, vol, thread, op),
+            Some(_) => self.bcache_op(now, vol, thread, op),
+        }
+    }
+
+    // ---------------- raw RBD path ----------------
+
+    fn rbd_op(&mut self, now: SimTime, vol: u32, thread: u32, op: IoOp) {
+        let done = match op {
+            IoOp::Write { lba, sectors } => {
+                let bytes = sectors as u64 * 512;
+                self.client_writes += 1;
+                self.client_write_bytes += bytes;
+                let t = self.cpu.process(now, self.cfg.cpu_per_op);
+                let t = self.link.transfer(t, Dir::Tx, bytes);
+                let obj = rbd_object(vol, lba);
+                let t = self.pool.replicated_write(t, obj, 0, bytes);
+                self.ts_client_bytes.add(t, bytes as f64);
+                t + self.link.latency()
+            }
+            IoOp::Read { lba, sectors } => {
+                let bytes = sectors as u64 * 512;
+                self.client_reads += 1;
+                self.client_read_bytes += bytes;
+                let t = self.cpu.process(now, self.cfg.cpu_per_op);
+                let t = self.pool.replicated_read(t + self.link.latency(), rbd_object(vol, lba), 0, bytes);
+                self.link.transfer(t, Dir::Rx, bytes)
+            }
+            IoOp::Flush => {
+                // All RBD writes are already durable on ack: a barrier is a
+                // round trip.
+                self.flushes += 1;
+                now + self.link.latency() * 2
+            }
+            IoOp::Sleep { us } => now + SimDuration::from_micros(us),
+        };
+        self.q.schedule(done, Ev::OpDone { vol, thread });
+    }
+
+    // ---------------- bcache+RBD path ----------------
+
+    fn bcache_op(&mut self, now: SimTime, vol: u32, thread: u32, op: IoOp) {
+        let p = self.cfg.bcache.clone().expect("bcache configured");
+        match op {
+            IoOp::Write { lba, sectors } => {
+                let bytes = sectors as u64 * 512;
+                // Allocation pressure: stall until writeback frees buckets.
+                let already_dirty = self.covered_dirty(lba, sectors as u64);
+                if !already_dirty && self.dirty_bytes + bytes > p.cache_bytes {
+                    self.stalled.push_back((vol, thread, op));
+                    self.kick_writeback(now);
+                    return;
+                }
+                self.client_writes += 1;
+                self.client_write_bytes += bytes;
+                let cache = self.cache.as_mut().expect("bcache has a cache");
+                let cpu_done = self.cache_cpu.process(now, p.cache_cpu_per_op);
+                // Data write: bcache copies into open buckets, but with
+                // many concurrent 4K writes, allocation hops and metadata
+                // interleave, the device sees a far less sequential stream
+                // than LSVD's single log head (§4.2.1).
+                let off = (lba.wrapping_mul(0x9E37_79B9) % (1 << 31)) * 512;
+                self.cache_head += bytes;
+                let mut ack = cache.submit(cpu_done, IoKind::Write, off, bytes);
+                // Amortized journal and B-tree node writes.
+                self.writes_since_journal += 1;
+                if self.writes_since_journal >= p.journal_every {
+                    self.writes_since_journal = 0;
+                    let joff = (1 << 42) + self.cache_head;
+                    ack = ack.max(cache.submit(cpu_done, IoKind::Write, joff, 4096));
+                }
+                self.writes_since_btree += 1;
+                if self.writes_since_btree >= p.btree_every {
+                    self.writes_since_btree = 0;
+                    let boff = (1 << 43) + (lba * 512) % (1 << 40);
+                    cache.submit(cpu_done, IoKind::Write, boff, 8192);
+                }
+                self.ts_client_bytes.add(ack, bytes as f64);
+                if !already_dirty {
+                    self.dirty_bytes += bytes;
+                }
+                self.dirty.insert(lba, sectors as u64, 0);
+                self.cached.insert(lba, sectors as u64, 0);
+                self.writes_since_flush += 1;
+                self.q.schedule(ack, Ev::OpDone { vol, thread });
+            }
+            IoOp::Read { lba, sectors } => {
+                let bytes = sectors as u64 * 512;
+                self.client_reads += 1;
+                self.client_read_bytes += bytes;
+                let hit_cpu = self.cache_cpu.process(now, p.cache_cpu_read_per_op);
+                let hit = self
+                    .cached
+                    .resolve(lba, sectors as u64)
+                    .iter()
+                    .all(|s| matches!(s, lsvd::extent_map::Segment::Mapped { .. }));
+                let done = if hit {
+                    let cache = self.cache.as_mut().expect("cache");
+                    cache.submit(hit_cpu, IoKind::Read, (lba * 512) % (1 << 40), bytes)
+                } else {
+                    let cpu_done = self.cpu.process(now, self.cfg.cpu_per_op);
+                    let t = self
+                        .pool
+                        .replicated_read(cpu_done + self.link.latency(), rbd_object(vol, lba), 0, bytes);
+                    let t = self.link.transfer(t, Dir::Rx, bytes);
+                    // Fill the cache.
+                    self.cached.insert(lba, sectors as u64, 0);
+                    let cache = self.cache.as_mut().expect("cache");
+                    cache.submit(t, IoKind::Write, (lba * 512) % (1 << 40), bytes)
+                };
+                self.q.schedule(done, Ev::OpDone { vol, thread });
+            }
+            IoOp::Sleep { us } => {
+                self.q.schedule(
+                    now + SimDuration::from_micros(us),
+                    Ev::OpDone { vol, thread },
+                );
+            }
+            IoOp::Flush => {
+                // bcache keeps its B-tree in memory and writes it out only
+                // at commit barriers (§4.2.2): every write since the last
+                // barrier dirtied a node, and the commit — journal entry,
+                // node write-out, device flush — serializes on the journal.
+                self.flushes += 1;
+                let nodes = (self.writes_since_flush / 4).clamp(p.flush_meta_writes, 32);
+                self.writes_since_flush = 0;
+                let cache = self.cache.as_mut().expect("cache");
+                let mut done = now;
+                for i in 0..nodes {
+                    let boff = (1 << 43) + ((now.as_nanos() + i as u64 * 7919) % (1 << 30)) * 512;
+                    done = done.max(cache.submit(now, IoKind::Write, boff, 8192));
+                }
+                done = done.max(cache.writes_drained_at());
+                // Serialized journal commit (jbd2-style group commit).
+                let done = self.journal.process(done, p.flush_base);
+                self.q.schedule(done, Ev::OpDone { vol, thread });
+            }
+        }
+    }
+
+    fn covered_dirty(&self, lba: u64, sectors: u64) -> bool {
+        self.dirty
+            .resolve(lba, sectors)
+            .iter()
+            .all(|s| matches!(s, lsvd::extent_map::Segment::Mapped { .. }))
+    }
+
+    fn unstall(&mut self, now: SimTime) {
+        while let Some(&(vol, thread, op)) = self.stalled.front() {
+            let p = self.cfg.bcache.as_ref().expect("stalls only with bcache");
+            let fits = match op {
+                IoOp::Write { sectors, .. } => {
+                    self.dirty_bytes + sectors as u64 * 512 <= p.cache_bytes
+                }
+                _ => true,
+            };
+            if !fits || now >= self.deadline {
+                break;
+            }
+            self.stalled.pop_front();
+            self.issue_op(now, vol, thread, op);
+        }
+    }
+
+    fn kick_writeback(&mut self, now: SimTime) {
+        let Some(p) = self.cfg.bcache.clone() else {
+            return;
+        };
+        if self.dirty_bytes == 0 {
+            return;
+        }
+        if now >= self.deadline && !self.drain {
+            // The measurement window is over; without drain mode the
+            // engine stops modelling background work.
+            return;
+        }
+        let pressure = self.dirty_bytes as f64 / p.cache_bytes as f64 >= p.pressure_mark
+            || !self.stalled.is_empty();
+        let idle = now.saturating_since(self.last_client_ack) >= p.wb_idle
+            || (self.drain && now >= self.deadline);
+        let allowed = if pressure {
+            p.wb_concurrency_pressure
+        } else if idle {
+            p.wb_concurrency_idle
+        } else {
+            0 // bcache pauses writeback under load (§4.4)
+        };
+        while self.wb_inflight < allowed {
+            let Some(chunk) = self.next_wb_chunk(p.wb_chunk_bytes) else {
+                break;
+            };
+            let (lba, sectors) = chunk;
+            let bytes = sectors * 512;
+            self.wb_inflight += 1;
+            let t = self.link.transfer(now, Dir::Tx, bytes);
+            let t = self.pool.replicated_write(t, rbd_object(0, lba), 0, bytes);
+            self.q.schedule(t + self.link.latency(), Ev::WbDone { bytes });
+        }
+    }
+
+    /// Picks the next dirty extent in LBA order from the scan cursor.
+    fn next_wb_chunk(&mut self, max_bytes: u64) -> Option<(u64, u64)> {
+        let max_sectors = max_bytes / 512;
+        let pick = self
+            .dirty
+            .next_extent_at_or_after(self.wb_cursor)
+            .or_else(|| self.dirty.next_extent_at_or_after(0));
+        let (start, len, _) = pick?;
+        let take = len.min(max_sectors);
+        self.dirty.remove(start, take);
+        self.wb_cursor = start + take;
+        Some((start, take))
+    }
+
+    fn finish(self) -> EngineReport {
+        let elapsed = self.deadline.since(SimTime::ZERO);
+        let issued = self.pool.issued();
+        EngineReport {
+            elapsed: if self.drain {
+                self.finished_at.max(self.deadline).since(SimTime::ZERO)
+            } else {
+                elapsed
+            },
+            client_ops: self.client_ops,
+            client_write_bytes: self.client_write_bytes,
+            client_read_bytes: self.client_read_bytes,
+            client_writes: self.client_writes,
+            client_reads: self.client_reads,
+            flushes: self.flushes,
+            puts: 0,
+            put_bytes: 0,
+            gc_put_bytes: 0,
+            gc_rounds: 0,
+            latency: self.latency,
+            backend_issued_write_ops: issued.write_ops,
+            backend_issued_write_bytes: issued.write_bytes,
+            backend_utilization: self.pool.mean_utilization(elapsed),
+            backend_write_sizes: self.pool.issued_write_sizes().clone(),
+            ts_client_bytes: self.ts_client_bytes,
+            ts_backend_bytes: self.ts_backend_bytes,
+            ts_live_bytes: TimeSeries::new(SimDuration::from_secs(1)),
+            ts_garbage_bytes: TimeSeries::new(SimDuration::from_secs(1)),
+            ts_dirty_bytes: self.ts_dirty,
+        }
+    }
+
+    /// Pool access for per-experiment reporting.
+    pub fn pool(&self) -> &BackendPool {
+        &self.pool
+    }
+}
+
+fn rbd_object(vol: u32, lba: u64) -> u64 {
+    ((vol as u64) << 40) | (lba * 512 / (4 << 20))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::fio::FioSpec;
+
+    fn run_rbd(bs: u64, secs: u64, pool: PoolConfig) -> EngineReport {
+        let cfg = BaselineConfig::rbd(pool);
+        let qd = cfg.qd;
+        let spec = FioSpec::randwrite(bs, 11);
+        BaselineEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
+            .run(SimDuration::from_secs(secs), false)
+    }
+
+    fn run_bcache(bs: u64, secs: u64, cache_bytes: u64) -> EngineReport {
+        let mut cfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+        cfg.bcache.as_mut().expect("bcache").cache_bytes = cache_bytes;
+        let qd = cfg.qd;
+        let spec = FioSpec::randwrite(bs, 12);
+        BaselineEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
+            .run(SimDuration::from_secs(secs), false)
+    }
+
+    #[test]
+    fn rbd_write_amplification_is_sixfold() {
+        let r = run_rbd(16 << 10, 5, PoolConfig::hdd_config2());
+        let io_amp = r.io_amplification();
+        assert!((5.9..6.1).contains(&io_amp), "I/O amplification {io_amp}");
+        let byte_amp = r.byte_amplification();
+        assert!((6.0..7.5).contains(&byte_amp), "byte amplification {byte_amp}");
+    }
+
+    #[test]
+    fn rbd_is_much_slower_than_cache_absorption() {
+        let rbd = run_rbd(4096, 5, PoolConfig::ssd_config1());
+        let bc = run_bcache(4096, 5, 700 << 30);
+        assert!(
+            bc.iops() > 3.0 * rbd.iops(),
+            "cache absorbs writes: bcache {} vs rbd {}",
+            bc.iops(),
+            rbd.iops()
+        );
+    }
+
+    #[test]
+    fn bcache_pauses_writeback_under_load() {
+        let r = run_bcache(16 << 10, 5, 700 << 30);
+        // Under continuous load with a huge cache, nothing (or nearly
+        // nothing) is written back.
+        assert!(
+            r.backend_issued_write_bytes < r.client_write_bytes / 10,
+            "writeback under load: {} of {}",
+            r.backend_issued_write_bytes,
+            r.client_write_bytes
+        );
+    }
+
+    #[test]
+    fn bcache_small_cache_throttles_to_rbd_speed() {
+        let big = run_bcache(16 << 10, 10, 700 << 30);
+        let small = run_bcache(16 << 10, 10, 1 << 30);
+        assert!(
+            small.write_bw() < big.write_bw() / 2.0,
+            "small cache {} vs large {}",
+            small.write_bw(),
+            big.write_bw()
+        );
+        assert!(small.backend_issued_write_bytes > 0, "writeback engaged");
+    }
+
+    #[test]
+    fn drain_mode_writes_everything_back() {
+        let mut cfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+        cfg.qd = 8;
+        let qd = cfg.qd;
+        let spec = FioSpec::randwrite(65536, 13);
+        let r = BaselineEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
+            .run(SimDuration::from_secs(2), true);
+        // Everything written eventually lands on the backend (3 replicas).
+        assert!(
+            r.backend_issued_write_bytes >= 3 * r.client_write_bytes,
+            "drained: backend {} client {}",
+            r.backend_issued_write_bytes,
+            r.client_write_bytes
+        );
+        assert!(r.elapsed > SimDuration::from_secs(2), "drain extends the run");
+    }
+
+    #[test]
+    fn flushes_cost_metadata_writes() {
+        struct SyncHeavy {
+            i: u64,
+        }
+        impl Workload for SyncHeavy {
+            fn next_op(&mut self) -> IoOp {
+                self.i += 1;
+                if self.i % 4 == 0 {
+                    IoOp::Flush
+                } else {
+                    IoOp::Write {
+                        lba: (self.i * 64) % (1 << 22),
+                        sectors: 32,
+                    }
+                }
+            }
+        }
+        let mk = |bcache: bool| {
+            let mut cfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+            if !bcache {
+                cfg.bcache = None;
+            }
+            cfg.qd = 16;
+            BaselineEngine::new(cfg, |_, _| Box::new(SyncHeavy { i: 0 }))
+                .run(SimDuration::from_secs(5), false)
+        };
+        let bc = mk(true);
+        assert!(bc.flushes > 100);
+        // Sync-heavy throughput exists but each barrier paid metadata I/O.
+        assert!(bc.iops() > 1000.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's comparison baselines.
+//!
+//! LSVD is evaluated against the most widely used open-source virtual disk
+//! stack: **Ceph RBD** (a remote block device over mutable, triple-
+//! replicated objects) optionally fronted by **Linux bcache** (a B-tree-
+//! indexed SSD write-back cache). This crate implements both:
+//!
+//! - [`rbd::RbdDisk`]: a functional RBD-like disk over any
+//!   [`objstore::ObjectStore`] — the image is striped over mutable 4 MiB
+//!   objects, small writes are read-modify-write;
+//! - [`bcache::Bcache`]: a functional bcache-like write-back cache over any
+//!   [`blkdev::BlockDevice`], with metadata persisted only at commit
+//!   barriers and writeback in LBA (not arrival) order — the properties
+//!   that make it unsafe under cache loss (§4.4, Table 4);
+//! - [`engine`]: discrete-event performance models of raw RBD and
+//!   bcache+RBD, sharing the device/pool/link substrates with
+//!   [`lsvd::engine`] so head-to-head figures use identical hardware
+//!   models.
+
+pub mod bcache;
+pub mod engine;
+pub mod rbd;
+
+pub use bcache::Bcache;
+pub use rbd::RbdDisk;

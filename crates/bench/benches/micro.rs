@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks for LSVD's hot data structures and paths.
+//!
+//! These complement the experiment binaries (which regenerate the paper's
+//! tables and figures) by pinning the costs the §6.1 "In-memory Map"
+//! discussion cares about: extent-map operations at realistic map sizes,
+//! CRC32C throughput, cache-log appends, batch sealing, and the
+//! functional volume's write path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use blkdev::RamDisk;
+use lsvd::batch::BatchBuilder;
+use lsvd::config::VolumeConfig;
+use lsvd::crc::crc32c;
+use lsvd::extent_map::ExtentMap;
+use lsvd::gcsim::{GcSim, GcSimConfig, GcSimMode};
+use lsvd::volume::Volume;
+use lsvd::wlog::WriteLog;
+use objstore::MemStore;
+
+fn bench_extent_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extent_map");
+    for &n in &[1_000u64, 100_000, 1_000_000] {
+        // Fragmented map: n extents with gaps so nothing coalesces.
+        let mut map: ExtentMap<u64> = ExtentMap::new();
+        for i in 0..n {
+            map.insert(i * 16, 8, i * 100);
+        }
+        let span = n * 16;
+        g.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, _| {
+            let mut x = 0x12345u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(map.lookup((x >> 33) % span))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("insert_overwrite", n), &n, |b, _| {
+            let mut m = map.clone();
+            let mut x = 0x777u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lba = (x >> 33) % span / 16 * 16;
+                m.insert(lba, 8, x);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("resolve_128k", n), &n, |b, _| {
+            let mut x = 0x999u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(map.resolve((x >> 33) % (span - 256), 256))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc32c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32c");
+    for &size in &[512usize, 4096, 65536, 1 << 20] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(crc32c(&data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_wlog_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wlog");
+    for &kb in &[4u64, 16, 64] {
+        let data = vec![0x3Cu8; (kb << 10) as usize];
+        g.throughput(Throughput::Bytes(kb << 10));
+        g.bench_with_input(BenchmarkId::new("append", format!("{kb}K")), &kb, |b, _| {
+            let dev: Arc<dyn blkdev::BlockDevice> = Arc::new(RamDisk::new(256 << 20));
+            let mut log = WriteLog::format(dev, 0, (256 << 20) / 512, 1).unwrap();
+            let mut lba = 0u64;
+            b.iter(|| {
+                let r = log.append(&[(lba, &data)]).unwrap();
+                lba += (kb << 10) / 512;
+                log.release_to(r.seq).unwrap();
+                r.seq
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_seal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch");
+    let data16k = vec![0x42u8; 16 << 10];
+    g.throughput(Throughput::Bytes(4 << 20));
+    g.bench_function("fill_and_seal_4MiB_of_16K", |b| {
+        let mut seq = 1u32;
+        b.iter(|| {
+            let mut batch = BatchBuilder::new();
+            for i in 0..256u64 {
+                batch.add(i * 1024, &data16k, i);
+            }
+            seq += 1;
+            std::hint::black_box(batch.seal(7, seq))
+        });
+    });
+    g.finish();
+}
+
+fn bench_volume_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volume");
+    for &kb in &[4u64, 64] {
+        let data = vec![0x55u8; (kb << 10) as usize];
+        g.throughput(Throughput::Bytes(kb << 10));
+        g.bench_with_input(BenchmarkId::new("write", format!("{kb}K")), &kb, |b, _| {
+            let store = Arc::new(MemStore::new());
+            let cache = Arc::new(RamDisk::new(64 << 20));
+            let mut vol = Volume::create(
+                store,
+                cache,
+                "bench",
+                1 << 30,
+                VolumeConfig {
+                    gc_enabled: false,
+                    ..VolumeConfig::default()
+                },
+            )
+            .unwrap();
+            let mut off = 0u64;
+            b.iter(|| {
+                vol.write(off % (1 << 30), &data).unwrap();
+                off += kb << 10;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gcsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gcsim");
+    g.bench_function("write_with_gc_churn", |b| {
+        let mut sim = GcSim::new(GcSimConfig {
+            batch_sectors: 4096,
+            mode: GcSimMode::Merge,
+            ..GcSimConfig::default()
+        });
+        let mut x = 7u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sim.write((x >> 33) % 100_000 / 8 * 8, 8);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extent_map,
+    bench_crc32c,
+    bench_wlog_append,
+    bench_batch_seal,
+    bench_volume_write,
+    bench_gcsim
+);
+criterion_main!(benches);

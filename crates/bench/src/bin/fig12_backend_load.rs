@@ -1,0 +1,76 @@
+//! Figure 12: write efficiency — IOPS vs backend disk utilization (§4.5).
+//!
+//! Random 16 KiB writes (QD 32) on 1–32 virtual disks in parallel over the
+//! 62-HDD pool (config 2). The paper: LSVD reaches ~50 K IOPS with the
+//! backend ~10 % busy (bounded by the single client machine and its SSD);
+//! RBD saturates near 13 K IOPS with disks ~70 % busy — a ~25× efficiency
+//! difference.
+
+use baseline::engine::BaselineEngine;
+use bench::{banner, lsvd_incache, rbd_client, Args, Table};
+use lsvd::engine::LsvdEngine;
+use objstore::pool::PoolConfig;
+use workloads::fio::FioSpec;
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Figure 12",
+        "IOPS vs backend disk utilization, 16 KiB random writes, QD 32",
+        "1-32 virtual disks on one client, 62-HDD pool (config 2)",
+    );
+    let dur = args.secs(120, 10);
+    let vol_counts: &[usize] = if args.quick {
+        &[1, 4, 16, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+
+    let mut t = Table::new([
+        "vdisks",
+        "lsvd IOPS",
+        "lsvd util%",
+        "rbd IOPS",
+        "rbd util%",
+        "efficiency*",
+    ]);
+    for &n in vol_counts {
+        let mut lcfg = lsvd_incache(PoolConfig::hdd_config2(), 32);
+        lcfg.volumes = n;
+        lcfg.batch_bytes = 4 << 20; // the paper's load-test object size
+        lcfg.track_objects = false;
+        lcfg.gc_watermarks = None;
+        let seed = args.seed;
+        let lsvd = LsvdEngine::new(lcfg, move |v, th| {
+            Box::new(FioSpec::randwrite(16 << 10, seed + v as u64).thread(th, 32))
+        })
+        .run(dur);
+
+        let mut rcfg = rbd_client(PoolConfig::hdd_config2(), 32);
+        rcfg.volumes = n;
+        let rbd = BaselineEngine::new(rcfg, move |v, th| {
+            Box::new(FioSpec::randwrite(16 << 10, seed + v as u64).thread(th, 32))
+        })
+        .run(dur, false);
+
+        // Efficiency: disk-busy time consumed per client write.
+        let l_eff = lsvd.backend_utilization * 62.0 / lsvd.iops().max(1.0);
+        let r_eff = rbd.backend_utilization * 62.0 / rbd.iops().max(1.0);
+        t.row([
+            n.to_string(),
+            format!("{:.0}", lsvd.iops()),
+            format!("{:.1}", lsvd.backend_utilization * 100.0),
+            format!("{:.0}", rbd.iops()),
+            format!("{:.1}", rbd.backend_utilization * 100.0),
+            format!("{:.1}x", r_eff / l_eff.max(1e-12)),
+        ]);
+    }
+    args.emit(&t);
+    println!();
+    println!("* backend disk-seconds per client write, RBD / LSVD");
+    println!();
+    println!(
+        "shape checks (paper): LSVD ~47-50K IOPS at 16-32 vdisks with ~10% \
+         disk busy; RBD ~13K IOPS at ~70%; efficiency advantage ~25x."
+    );
+}

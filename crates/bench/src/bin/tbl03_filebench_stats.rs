@@ -1,0 +1,50 @@
+//! Tables 2/3: Filebench workload parameters and block-level behaviour.
+//!
+//! Self-characterizes the Filebench generators: writes and bytes between
+//! commit barriers and the mean write size after merging consecutive
+//! sequential writes, next to the paper's measured values.
+
+use bench::{banner, Args, Table};
+use workloads::filebench::{FilebenchSpec, Personality, StreamStats};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Table 3",
+        "Filebench block-level behaviour on ext4",
+        "write counts/bytes between syncs and merged write sizes per personality",
+    );
+
+    let ops = if args.quick { 50_000 } else { 500_000 };
+    let mut t = Table::new([
+        "workload",
+        "writes/sync",
+        "KiB/sync",
+        "mean write KiB*",
+        "paper w/s",
+        "paper KiB/s",
+        "paper mean KiB",
+    ]);
+    let paper = [
+        (Personality::Fileserver, "12865", "592896", "94"),
+        (Personality::Oltp, "42.7", "199", "4.7"),
+        (Personality::Varmail, "7.6", "131", "27"),
+    ];
+    for (p, pw, pb, pm) in paper {
+        let spec = FilebenchSpec::paper(p, args.seed);
+        let mut g = spec.thread(0, p.paper_threads());
+        let s = StreamStats::measure(&mut g, ops);
+        t.row([
+            p.name().to_string(),
+            format!("{:.1}", s.writes_per_sync()),
+            format!("{:.0}", s.bytes_per_sync() / 1024.0),
+            format!("{:.1}", s.mean_merged_write() / 1024.0),
+            pw.to_string(),
+            pb.to_string(),
+            pm.to_string(),
+        ]);
+    }
+    args.emit(&t);
+    println!();
+    println!("* after merging consecutive sequential writes (paper's footnote)");
+}

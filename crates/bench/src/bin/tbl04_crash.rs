@@ -1,0 +1,168 @@
+//! Table 4: crash consistency of LSVD vs RBD+bcache (§4.4).
+//!
+//! The paper interrupts a 74 000-file recursive copy with a VM reset, then
+//! simulates client failure by deleting the cache, and checks whether the
+//! file system mounts. Here the experiment is run at block level against
+//! the *functional* implementations with real bytes: a recorded write
+//! history plays against each stack, the cache is destroyed mid-stream,
+//! recovery runs, and the recovered image is checked for *prefix
+//! consistency* — the property a journaling file system needs to mount
+//! cleanly. LSVD must pass every run; bcache's LBA-order writeback
+//! produces non-prefix states.
+
+use std::sync::Arc;
+
+use baseline::{Bcache, RbdDisk};
+use bench::{banner, Args, Table};
+use blkdev::{BlockDevice, RamDisk};
+use bytes::Bytes;
+use lsvd::config::VolumeConfig;
+use lsvd::verify::{History, Verdict, VBLOCK};
+use lsvd::volume::Volume;
+use objstore::{MemStore, ObjectStore};
+use rand::Rng;
+use sim::rng::rng_from_seed;
+
+/// One "recursive copy" style run: many small file writes with periodic
+/// fsync, interrupted at a random point.
+fn workload(seed: u64, writes: usize) -> Vec<(u64, u64, bool)> {
+    // (offset, len, flush_after)
+    let mut rng = rng_from_seed(seed);
+    let mut out = Vec::with_capacity(writes);
+    let span_blocks = 16 * 1024u64; // 64 MiB at 4 KiB blocks
+    for i in 0..writes {
+        let block = rng.gen_range(0..span_blocks);
+        let len_blocks = 1 + rng.gen_range(0..4u64);
+        let len_blocks = len_blocks.min(span_blocks - block);
+        out.push((block * VBLOCK, len_blocks * VBLOCK, i % 37 == 0));
+    }
+    out
+}
+
+fn lsvd_run(args: &Args, trial: u64, writes: usize) -> Verdict {
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(48 << 20));
+    let mut vol = Volume::create(
+        store.clone(),
+        cache.clone(),
+        "vol",
+        128 << 20,
+        VolumeConfig::small_for_tests(),
+    )
+    .expect("create");
+    let mut hist = History::new();
+    let cut = writes / 2 + (trial as usize * 977) % (writes / 2);
+    for (i, (off, len, flush)) in workload(args.seed + trial, writes).iter().enumerate() {
+        if i == cut {
+            break; // VM reset
+        }
+        let data = hist.record_write(*off, *len);
+        vol.write(*off, &data).expect("write");
+        if *flush {
+            vol.flush().expect("flush");
+            hist.mark_committed();
+        }
+    }
+    drop(vol); // crash
+    cache.obliterate(); // client failure: the cache is gone (§4.4)
+
+    let cache2 = Arc::new(RamDisk::new(48 << 20));
+    let mut vol = Volume::open(store, cache2, "vol", VolumeConfig::small_for_tests())
+        .expect("LSVD recovery must succeed");
+    hist.check_prefix_consistent(|block| {
+        let mut buf = vec![0u8; VBLOCK as usize];
+        vol.read(block * VBLOCK, &mut buf).expect("read");
+        buf
+    })
+}
+
+fn bcache_run(args: &Args, trial: u64, writes: usize) -> Verdict {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let backing = RbdDisk::new(store.clone(), "img", 128 << 20).with_object_bytes(1 << 20);
+    let cache = Arc::new(RamDisk::new(48 << 20));
+    let mut bc = Bcache::new(cache, backing);
+    let mut hist = History::new();
+    let cut = writes / 2 + (trial as usize * 977) % (writes / 2);
+    for (i, (off, len, flush)) in workload(args.seed + trial, writes).iter().enumerate() {
+        if i == cut {
+            break;
+        }
+        let data = hist.record_write(*off, *len);
+        bc.write_at(*off, &data).expect("write");
+        if *flush {
+            bc.flush().expect("flush");
+            hist.mark_committed();
+        }
+        // Background writeback dribbles along in LBA order.
+        if i % 5 == 0 {
+            bc.writeback_some(2).expect("writeback");
+        }
+    }
+    // Crash with total cache loss: the backing device is all that's left.
+    let backing = bc.crash_lose_cache();
+    hist.check_prefix_consistent(|block| {
+        let mut buf = vec![0u8; VBLOCK as usize];
+        backing.read_at(block * VBLOCK, &mut buf).expect("read");
+        buf
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Table 4",
+        "crash tests: interrupted copy + cache loss, then recovery",
+        "prefix-consistency check of the recovered image (mountable <=> prefix-consistent)",
+    );
+    let writes = if args.quick { 2_000 } else { 20_000 };
+    let trials = 3u64;
+
+    let mut t = Table::new(["system", "run", "prefix-consistent?", "detail"]);
+    let mut bcache_failures = 0;
+    for trial in 0..trials {
+        let v = bcache_run(&args, trial, writes);
+        if !v.is_consistent() {
+            bcache_failures += 1;
+        }
+        t.row([
+            "bcache+rbd".to_string(),
+            (trial + 1).to_string(),
+            if v.is_consistent() { "yes" } else { "NO" }.to_string(),
+            match v {
+                Verdict::ConsistentPrefix { cut, lost_committed } => {
+                    format!("cut at write {cut}, lost {lost_committed} committed")
+                }
+                Verdict::Inconsistent { block, reason } => {
+                    format!("block {block}: {reason}")
+                }
+            },
+        ]);
+    }
+    for trial in 0..trials {
+        let v = lsvd_run(&args, trial, writes);
+        assert!(
+            v.is_consistent(),
+            "LSVD must always recover a consistent prefix: {v:?}"
+        );
+        t.row([
+            "lsvd".to_string(),
+            (trial + 1).to_string(),
+            "yes".to_string(),
+            match v {
+                Verdict::ConsistentPrefix { cut, lost_committed } => {
+                    format!("cut at write {cut}, lost {lost_committed} committed")
+                }
+                Verdict::Inconsistent { .. } => unreachable!(),
+            },
+        ]);
+    }
+    args.emit(&t);
+    println!();
+    println!(
+        "paper: LSVD mounted cleanly 3/3; bcache needed fsck once and lost \
+         all copied files. here: LSVD prefix-consistent {trials}/{trials}; \
+         bcache violated prefix order in {bcache_failures}/{trials} runs \
+         (its LBA-order writeback persists later writes before earlier ones)."
+    );
+    let _ = Bytes::new();
+}

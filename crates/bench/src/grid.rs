@@ -1,0 +1,107 @@
+//! Shared runner for the §4.2.1/§4.3 fio-grid experiments
+//! (Figures 6, 7, 9 and 10): block sizes × queue depths, LSVD vs
+//! bcache+RBD, reporting average throughput per cell.
+
+use baseline::engine::{BaselineConfig, BaselineEngine};
+use lsvd::engine::LsvdEngine;
+use objstore::pool::PoolConfig;
+use sim::SimDuration;
+use workloads::fio::FioSpec;
+
+use crate::{Args, Table, BS_GRID, QD_GRID};
+
+/// Which cache regime a grid experiment runs in.
+#[derive(Clone, Copy, PartialEq)]
+pub enum CacheRegime {
+    /// §4.2: cache larger than the volume; reads pre-warmed.
+    Large,
+    /// §4.3: 5 GB cache; writes bound by writeback.
+    Small,
+}
+
+/// Runs the full grid for one fio spec template and prints the table.
+pub fn run_grid<F>(args: &Args, regime: CacheRegime, mk_spec: F, duration: SimDuration)
+where
+    F: Fn(u64) -> FioSpec,
+{
+    let mut t = Table::new(["qd", "bs", "lsvd MB/s", "bcache+rbd MB/s", "ratio"]);
+    for &qd in &QD_GRID {
+        for &bs in &BS_GRID {
+            let spec = mk_spec(bs);
+            let lsvd_bw = run_lsvd(args, regime, spec.clone(), qd, duration);
+            let bc_bw = run_bcache(args, regime, spec, qd, duration);
+            t.row([
+                qd.to_string(),
+                format!("{}K", bs >> 10),
+                format!("{:.0}", lsvd_bw / 1e6),
+                format!("{:.0}", bc_bw / 1e6),
+                format!("{:.2}x", lsvd_bw / bc_bw.max(1.0)),
+            ]);
+        }
+    }
+    args.emit(&t);
+}
+
+fn pool() -> PoolConfig {
+    PoolConfig::ssd_config1()
+}
+
+fn run_lsvd(
+    args: &Args,
+    regime: CacheRegime,
+    spec: FioSpec,
+    qd: usize,
+    duration: SimDuration,
+) -> f64 {
+    let mut cfg = match regime {
+        CacheRegime::Large => crate::lsvd_incache(pool(), qd),
+        CacheRegime::Small => crate::lsvd_smallcache(pool(), qd),
+    };
+    // The fio grids don't exercise GC-relevant map state; skip extent
+    // tracking for speed.
+    cfg.track_objects = false;
+    cfg.gc_watermarks = None;
+    if regime == CacheRegime::Large {
+        cfg.prewarm_reads = true;
+    }
+    let spec = FioSpec {
+        seed: args.seed,
+        ..spec
+    };
+    let is_read = spec.read_pct > 0;
+    let r = LsvdEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
+        .run(duration);
+    if is_read {
+        r.read_bw()
+    } else {
+        r.write_bw()
+    }
+}
+
+fn run_bcache(
+    args: &Args,
+    regime: CacheRegime,
+    spec: FioSpec,
+    qd: usize,
+    duration: SimDuration,
+) -> f64 {
+    let mut cfg: BaselineConfig = match regime {
+        CacheRegime::Large => crate::bcache_incache(pool(), qd),
+        CacheRegime::Small => crate::bcache_smallcache(pool(), qd),
+    };
+    if regime == CacheRegime::Large {
+        cfg.prewarm_reads = true;
+    }
+    let spec = FioSpec {
+        seed: args.seed,
+        ..spec
+    };
+    let is_read = spec.read_pct > 0;
+    let r = BaselineEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
+        .run(duration, false);
+    if is_read {
+        r.read_bw()
+    } else {
+        r.write_bw()
+    }
+}

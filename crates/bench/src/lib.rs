@@ -1,0 +1,171 @@
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Every table and figure in the paper's evaluation (§4) has a binary in
+//! `src/bin/` that regenerates it; this library holds the common pieces:
+//! paper-faithful engine configurations, a tiny flag parser, and reporting
+//! helpers that print measured values next to the paper's.
+
+pub mod grid;
+
+use baseline::engine::{BaselineConfig, BcacheParams};
+use lsvd::engine::EngineConfig;
+use objstore::pool::PoolConfig;
+use sim::SimDuration;
+
+pub use sim::report::Table;
+pub use sim::units::{fmt_bytes, fmt_iops, fmt_rate, GIB, KIB, MIB};
+
+/// Common command-line options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Shrink durations/scales for a fast smoke run.
+    pub quick: bool,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--quick`, `--csv` and `--seed N` from `std::env::args`.
+    pub fn parse() -> Args {
+        let mut args = Args {
+            quick: false,
+            csv: false,
+            seed: 42,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--csv" => args.csv = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs a number"));
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --quick --csv --seed N");
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown option {other}")),
+            }
+        }
+        args
+    }
+
+    /// Experiment duration: the paper's, or a short smoke value.
+    pub fn secs(&self, paper: u64, quick: u64) -> SimDuration {
+        SimDuration::from_secs(if self.quick { quick } else { paper })
+    }
+
+    /// Prints a table in the selected format.
+    pub fn emit(&self, table: &Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.render());
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str, setup: &str) {
+    println!("== {id}: {what}");
+    println!("   setup: {setup}");
+    println!();
+}
+
+/// Prints a `paper vs measured` comparison line.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("   {metric}: paper {paper} | measured {measured}");
+}
+
+/// LSVD engine configured as the paper's in-cache tests (§4.2): 80 GiB
+/// volume fully held by a 700 GiB cache (140 GiB of it write-back).
+pub fn lsvd_incache(pool: PoolConfig, qd: usize) -> EngineConfig {
+    EngineConfig {
+        qd,
+        ..EngineConfig::paper_default(pool)
+    }
+}
+
+/// LSVD engine with the §4.3 small (5 GB) cache.
+pub fn lsvd_smallcache(pool: PoolConfig, qd: usize) -> EngineConfig {
+    EngineConfig {
+        qd,
+        wcache_bytes: 5 << 30,
+        rcache_bytes: 5 << 30,
+        ..EngineConfig::paper_default(pool)
+    }
+}
+
+/// bcache+RBD configured as the paper's in-cache tests.
+pub fn bcache_incache(pool: PoolConfig, qd: usize) -> BaselineConfig {
+    BaselineConfig {
+        qd,
+        ..BaselineConfig::bcache_rbd(pool)
+    }
+}
+
+/// bcache+RBD with the §4.3 small (5 GB) cache.
+pub fn bcache_smallcache(pool: PoolConfig, qd: usize) -> BaselineConfig {
+    let mut cfg = BaselineConfig {
+        qd,
+        ..BaselineConfig::bcache_rbd(pool)
+    };
+    cfg.bcache = Some(BcacheParams {
+        cache_bytes: 5 << 30,
+        ..BcacheParams::default()
+    });
+    cfg
+}
+
+/// Raw RBD client.
+pub fn rbd_client(pool: PoolConfig, qd: usize) -> BaselineConfig {
+    BaselineConfig {
+        qd,
+        ..BaselineConfig::rbd(pool)
+    }
+}
+
+/// The block-size / queue-depth grid of §4.2.1.
+pub const BS_GRID: [u64; 3] = [4 << 10, 16 << 10, 64 << 10];
+/// Queue depths of §4.2.1.
+pub const QD_GRID: [usize; 3] = [4, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_build() {
+        let _ = lsvd_incache(PoolConfig::ssd_config1(), 16);
+        let _ = lsvd_smallcache(PoolConfig::ssd_config1(), 16);
+        let _ = bcache_incache(PoolConfig::hdd_config2(), 4);
+        let _ = bcache_smallcache(PoolConfig::ssd_config1(), 32);
+        let _ = rbd_client(PoolConfig::hdd_config2(), 32);
+    }
+
+    #[test]
+    fn args_defaults() {
+        // parse() reads process args; just validate helpers.
+        let a = Args {
+            quick: true,
+            csv: false,
+            seed: 1,
+        };
+        assert_eq!(a.secs(120, 5), SimDuration::from_secs(5));
+        let a = Args {
+            quick: false,
+            ..a
+        };
+        assert_eq!(a.secs(120, 5), SimDuration::from_secs(120));
+    }
+}

@@ -1,0 +1,106 @@
+//! A file-backed functional block device.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::{check_range, BlockDevice, Result};
+
+/// A block device backed by a host file, used by the runnable examples so a
+/// cache survives process restarts the way a real cache SSD partition does.
+pub struct FileDisk {
+    file: Mutex<File>,
+    capacity: u64,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed) `path` and sizes it to `capacity` bytes.
+    pub fn create<P: AsRef<Path>>(path: P, capacity: u64) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(capacity)?;
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            capacity,
+        })
+    }
+
+    /// Opens an existing device file, using its current length as capacity.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let capacity = file.metadata()?.len();
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            capacity,
+        })
+    }
+}
+
+impl BlockDevice for FileDisk {
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        check_range(offset, buf.len(), self.capacity)?;
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        check_range(offset, data.len(), self.capacity)?;
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmppath(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("blkdev-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_disk_round_trip() {
+        let path = tmppath("rt");
+        let d = FileDisk::create(&path, 8192).unwrap();
+        d.write_at(4000, b"persist me").unwrap();
+        d.flush().unwrap();
+        drop(d);
+
+        let d2 = FileDisk::open(&path).unwrap();
+        assert_eq!(d2.capacity(), 8192);
+        let mut buf = [0u8; 10];
+        d2.read_at(4000, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist me");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_disk_bounds_checked() {
+        let path = tmppath("bounds");
+        let d = FileDisk::create(&path, 100).unwrap();
+        assert!(d.write_at(90, &[0u8; 20]).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

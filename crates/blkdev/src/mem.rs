@@ -1,0 +1,122 @@
+//! A RAM-backed functional block device.
+
+use parking_lot::RwLock;
+
+use crate::{check_range, BlockDevice, Result};
+
+/// An in-memory block device, used as the cache SSD in functional tests.
+///
+/// # Examples
+///
+/// ```
+/// use blkdev::{BlockDevice, RamDisk};
+///
+/// let disk = RamDisk::new(1 << 20);
+/// disk.write_at(4096, b"hello").unwrap();
+/// let mut buf = [0u8; 5];
+/// disk.read_at(4096, &mut buf).unwrap();
+/// assert_eq!(&buf, b"hello");
+/// ```
+pub struct RamDisk {
+    data: RwLock<Vec<u8>>,
+}
+
+impl RamDisk {
+    /// Creates a zero-filled device of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        RamDisk {
+            data: RwLock::new(vec![0; capacity as usize]),
+        }
+    }
+
+    /// Discards all contents, simulating the total loss of the cache device
+    /// (the paper's "catastrophic failure" scenario, §4.4).
+    pub fn obliterate(&self) {
+        let mut d = self.data.write();
+        let len = d.len();
+        d.clear();
+        d.resize(len, 0);
+    }
+}
+
+impl BlockDevice for RamDisk {
+    fn capacity(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let data = self.data.read();
+        check_range(offset, buf.len(), data.len() as u64)?;
+        let off = offset as usize;
+        buf.copy_from_slice(&data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, src: &[u8]) -> Result<()> {
+        let mut data = self.data.write();
+        check_range(offset, src.len(), data.len() as u64)?;
+        let off = offset as usize;
+        data[off..off + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlkError;
+
+    #[test]
+    fn reads_back_writes() {
+        let d = RamDisk::new(8192);
+        d.write_at(100, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        d.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn fresh_device_reads_zero() {
+        let d = RamDisk::new(64);
+        let mut buf = [0xffu8; 64];
+        d.read_at(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let d = RamDisk::new(100);
+        let err = d.write_at(99, &[0, 0]).unwrap_err();
+        assert!(matches!(err, BlkError::OutOfRange { .. }));
+        let mut buf = [0u8; 1];
+        assert!(d.read_at(100, &mut buf).is_err());
+        // Offset overflow must not panic.
+        assert!(d.read_at(u64::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn boundary_access_is_allowed() {
+        let d = RamDisk::new(100);
+        d.write_at(98, &[7, 8]).unwrap();
+        let mut buf = [0u8; 2];
+        d.read_at(98, &mut buf).unwrap();
+        assert_eq!(buf, [7, 8]);
+        // Zero-length access at the end is fine.
+        d.write_at(100, &[]).unwrap();
+    }
+
+    #[test]
+    fn obliterate_zeroes_contents() {
+        let d = RamDisk::new(128);
+        d.write_at(0, &[9u8; 128]).unwrap();
+        d.obliterate();
+        let mut buf = [1u8; 128];
+        d.read_at(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(d.capacity(), 128);
+    }
+}

@@ -1,0 +1,373 @@
+//! `lsvdctl` — manage log-structured virtual disks from the command line.
+//!
+//! The "bucket" is a host directory (one file per backend object, via
+//! [`objstore::DirStore`]) and the cache SSD is a flat file, so every LSVD
+//! mechanism — log records, object stream, checkpoints, snapshots, clones,
+//! replication, recovery — runs against real persistent state you can
+//! inspect with `ls`.
+//!
+//! ```text
+//! lsvdctl create    <bucket> <image> <size>          # e.g. size 256M, 4G
+//! lsvdctl info      <bucket> <image>
+//! lsvdctl ls        <bucket>
+//! lsvdctl write     <bucket> <image> <offset>        # data from stdin
+//! lsvdctl read      <bucket> <image> <offset> <len>  # raw data to stdout
+//! lsvdctl fill      <bucket> <image> <offset> <len> <byte>
+//! lsvdctl snapshot  <bucket> <image> <name>
+//! lsvdctl snapshots <bucket> <image>
+//! lsvdctl clone     <bucket> <base> <new> [snapshot]
+//! lsvdctl gc        <bucket> <image>
+//! lsvdctl replicate <src-bucket> <dst-bucket> <image>
+//! lsvdctl gen-trace <kind> <out.trace> <ops>    # kind: randwrite|randread|varmail|oltp|fileserver
+//! lsvdctl replay    <bucket> <image> <trace>    # apply a trace to a volume
+//!
+//! # one cache SSD shared by many volumes (§3.1)
+//! lsvdctl host format <cache.img> <size>
+//! lsvdctl host ls     <bucket> <cache.img>
+//! lsvdctl host create <bucket> <cache.img> <image> <size> <cache-size>
+//! lsvdctl host attach <bucket> <cache.img> <image> <cache-size>
+//! lsvdctl host detach <bucket> <cache.img> <image>
+//!
+//! options: --cache <path>   cache file (default <image>.cache)
+//!          --cache-size <n> cache file size (default 256M)
+//! ```
+
+use std::io::{Read, Write};
+use std::process::exit;
+use std::sync::Arc;
+
+use blkdev::FileDisk;
+use lsvd::config::VolumeConfig;
+use lsvd::host::Host;
+use lsvd::replication::Replicator;
+use lsvd::volume::Volume;
+use objstore::{DirStore, ObjectStore};
+use workloads::filebench::{FilebenchSpec, Personality};
+use workloads::fio::FioSpec;
+use workloads::replay::{TraceRecord, TraceWorkload, TraceWriter};
+use workloads::{IoOp, Workload};
+
+fn die(msg: &str) -> ! {
+    eprintln!("lsvdctl: {msg}");
+    exit(1)
+}
+
+fn parse_size(s: &str) -> u64 {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>()
+        .unwrap_or_else(|_| die(&format!("bad size {s}")))
+        * mult
+}
+
+struct Opts {
+    args: Vec<String>,
+    cache: Option<String>,
+    cache_size: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut args = Vec::new();
+    let mut cache = None;
+    let mut cache_size = 256 << 20;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache" => cache = Some(it.next().unwrap_or_else(|| die("--cache needs a path"))),
+            "--cache-size" => {
+                cache_size =
+                    parse_size(&it.next().unwrap_or_else(|| die("--cache-size needs a size")))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "see `lsvdctl` module docs; commands: create info ls write read fill \
+                     snapshot snapshots clone gc replicate gen-trace replay host"
+                );
+                exit(0);
+            }
+            other => args.push(other.to_string()),
+        }
+    }
+    Opts {
+        args,
+        cache,
+        cache_size,
+    }
+}
+
+fn open_store(bucket: &str) -> Arc<dyn ObjectStore> {
+    Arc::new(DirStore::open(bucket).unwrap_or_else(|e| die(&format!("open bucket {bucket}: {e}"))))
+}
+
+fn open_cache(opts: &Opts, image: &str) -> Arc<FileDisk> {
+    let path = opts
+        .cache
+        .clone()
+        .unwrap_or_else(|| format!("{image}.cache"));
+    Arc::new(
+        FileDisk::create(&path, opts.cache_size)
+            .unwrap_or_else(|e| die(&format!("cache file {path}: {e}"))),
+    )
+}
+
+fn open_volume(opts: &Opts, bucket: &str, image: &str) -> Volume {
+    let store = open_store(bucket);
+    let cache = open_cache(opts, image);
+    Volume::open(store, cache, image, VolumeConfig::default())
+        .unwrap_or_else(|e| die(&format!("open {image}: {e}")))
+}
+
+fn open_host(bucket: &str, cache_path: &str) -> Host {
+    let store = open_store(bucket);
+    let dev = Arc::new(
+        FileDisk::open(cache_path).unwrap_or_else(|e| die(&format!("cache {cache_path}: {e}"))),
+    );
+    Host::open(dev, store).unwrap_or_else(|e| die(&format!("open host: {e}")))
+}
+
+fn main() {
+    let opts = parse_opts();
+    let a: Vec<&str> = opts.args.iter().map(|s| s.as_str()).collect();
+    match a.as_slice() {
+        ["create", bucket, image, size] => {
+            let store = open_store(bucket);
+            let cache = open_cache(&opts, image);
+            let vol = Volume::create(store, cache, image, parse_size(size), VolumeConfig::default())
+                .unwrap_or_else(|e| die(&format!("create: {e}")));
+            println!(
+                "created {image}: {} bytes, uuid {:#018x}",
+                vol.size(),
+                vol.uuid()
+            );
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["info", bucket, image] => {
+            let vol = open_volume(&opts, bucket, image);
+            let (live, total) = vol.backend_totals();
+            println!("image:        {}", vol.image());
+            println!("uuid:         {:#018x}", vol.uuid());
+            println!("size:         {} bytes", vol.size());
+            println!("last object:  {}", vol.last_object_seq());
+            println!("map extents:  {}", vol.map_extent_count());
+            println!(
+                "backend:      {} live / {} total sectors ({:.0}% utilization)",
+                live,
+                total,
+                if total > 0 { live as f64 / total as f64 * 100.0 } else { 100.0 }
+            );
+            println!("snapshots:    {:?}", vol.snapshots());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["ls", bucket] => {
+            let store = open_store(bucket);
+            for name in store.list("").unwrap_or_else(|e| die(&format!("list: {e}"))) {
+                let size = store.head(&name).unwrap_or(0);
+                println!("{size:>12}  {name}");
+            }
+        }
+        ["write", bucket, image, offset] => {
+            let mut vol = open_volume(&opts, bucket, image);
+            let mut data = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut data)
+                .unwrap_or_else(|e| die(&format!("stdin: {e}")));
+            // Pad to sector alignment (tools pipe arbitrary bytes).
+            let pad = (512 - data.len() % 512) % 512;
+            data.resize(data.len() + pad, 0);
+            vol.write(parse_size(offset), &data)
+                .unwrap_or_else(|e| die(&format!("write: {e}")));
+            vol.flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+            println!("wrote {} bytes (padded {pad})", data.len());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["read", bucket, image, offset, len] => {
+            let mut vol = open_volume(&opts, bucket, image);
+            let mut buf = vec![0u8; parse_size(len) as usize];
+            vol.read(parse_size(offset), &mut buf)
+                .unwrap_or_else(|e| die(&format!("read: {e}")));
+            std::io::stdout()
+                .write_all(&buf)
+                .unwrap_or_else(|e| die(&format!("stdout: {e}")));
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["fill", bucket, image, offset, len, byte] => {
+            let mut vol = open_volume(&opts, bucket, image);
+            let b: u8 = byte.parse().unwrap_or_else(|_| die("bad byte"));
+            vol.write(parse_size(offset), &vec![b; parse_size(len) as usize])
+                .unwrap_or_else(|e| die(&format!("write: {e}")));
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            println!("filled");
+        }
+        ["snapshot", bucket, image, name] => {
+            let mut vol = open_volume(&opts, bucket, image);
+            let seq = vol
+                .snapshot(name)
+                .unwrap_or_else(|e| die(&format!("snapshot: {e}")));
+            println!("snapshot {name} at object {seq}");
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["snapshots", bucket, image] => {
+            let vol = open_volume(&opts, bucket, image);
+            for (name, seq) in vol.snapshots() {
+                println!("{seq:>10}  {name}");
+            }
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["clone", bucket, base, new] => {
+            let store = open_store(bucket);
+            Volume::clone_image(&store, base, None, new)
+                .unwrap_or_else(|e| die(&format!("clone: {e}")));
+            println!("cloned {base} -> {new}");
+        }
+        ["clone", bucket, base, new, snapshot] => {
+            let store = open_store(bucket);
+            Volume::clone_image(&store, base, Some(snapshot), new)
+                .unwrap_or_else(|e| die(&format!("clone: {e}")));
+            println!("cloned {base}@{snapshot} -> {new}");
+        }
+        ["gc", bucket, image] => {
+            let mut vol = open_volume(&opts, bucket, image);
+            let collected = vol.run_gc().unwrap_or_else(|e| die(&format!("gc: {e}")));
+            let (live, total) = vol.backend_totals();
+            println!(
+                "collected {collected} objects; utilization now {:.0}%",
+                if total > 0 { live as f64 / total as f64 * 100.0 } else { 100.0 }
+            );
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["gen-trace", kind, out, ops] => {
+            let n: u64 = ops.parse().unwrap_or_else(|_| die("bad op count"));
+            let mut w: Box<dyn Workload> = match *kind {
+                "randwrite" => Box::new(FioSpec::randwrite(16 << 10, 42).thread(0, 1)),
+                "randread" => Box::new(FioSpec::randread(16 << 10, 42).thread(0, 1)),
+                "varmail" => {
+                    Box::new(FilebenchSpec::paper(Personality::Varmail, 42).thread(0, 1))
+                }
+                "oltp" => Box::new(FilebenchSpec::paper(Personality::Oltp, 42).thread(0, 1)),
+                "fileserver" => {
+                    Box::new(FilebenchSpec::paper(Personality::Fileserver, 42).thread(0, 1))
+                }
+                other => die(&format!("unknown workload kind {other}")),
+            };
+            let file = std::fs::File::create(out)
+                .unwrap_or_else(|e| die(&format!("create {out}: {e}")));
+            let mut tw = TraceWriter::new(std::io::BufWriter::new(file))
+                .unwrap_or_else(|e| die(&format!("trace: {e}")));
+            for _ in 0..n {
+                tw.push(TraceRecord {
+                    dt_us: 0,
+                    op: w.next_op(),
+                })
+                .unwrap_or_else(|e| die(&format!("trace push: {e}")));
+            }
+            let count = tw.finish().unwrap_or_else(|e| die(&format!("trace finish: {e}")));
+            println!("wrote {count} records to {out}");
+        }
+        ["replay", bucket, image, trace] => {
+            let mut vol = open_volume(&opts, bucket, image);
+            let file = std::fs::File::open(trace)
+                .unwrap_or_else(|e| die(&format!("open {trace}: {e}")));
+            let mut tw = TraceWorkload::load(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| die(&format!("load trace: {e}")));
+            let span = vol.size();
+            let (mut reads, mut writes, mut flushes) = (0u64, 0u64, 0u64);
+            for _ in 0..tw.len() {
+                match tw.next_op() {
+                    IoOp::Write { lba, sectors } => {
+                        let off = (lba * 512) % span;
+                        let len = (sectors as u64 * 512).min(span - off);
+                        vol.write(off, &vec![0xABu8; len as usize])
+                            .unwrap_or_else(|e| die(&format!("replay write: {e}")));
+                        writes += 1;
+                    }
+                    IoOp::Read { lba, sectors } => {
+                        let off = (lba * 512) % span;
+                        let len = (sectors as u64 * 512).min(span - off);
+                        let mut buf = vec![0u8; len as usize];
+                        vol.read(off, &mut buf)
+                            .unwrap_or_else(|e| die(&format!("replay read: {e}")));
+                        reads += 1;
+                    }
+                    IoOp::Flush => {
+                        vol.flush().unwrap_or_else(|e| die(&format!("replay flush: {e}")));
+                        flushes += 1;
+                    }
+                    IoOp::Sleep { .. } => {}
+                }
+            }
+            let s = vol.stats();
+            println!(
+                "replayed {writes} writes / {reads} reads / {flushes} flushes;                  WAF {:.2}, {} backend GETs",
+                s.write_amplification(),
+                s.backend_gets
+            );
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["host", "format", cache_path, size] => {
+            let dev = Arc::new(
+                FileDisk::create(cache_path, parse_size(size))
+                    .unwrap_or_else(|e| die(&format!("cache file {cache_path}: {e}"))),
+            );
+            // The store is only needed for volume operations; formatting a
+            // host cache just writes the empty partition table.
+            let store: Arc<dyn ObjectStore> = Arc::new(objstore::MemStore::new());
+            Host::format(dev, store).unwrap_or_else(|e| die(&format!("host format: {e}")));
+            println!("formatted {cache_path} as a host cache ({size})");
+        }
+        ["host", "ls", bucket, cache_path] => {
+            let host = open_host(bucket, cache_path);
+            println!("{:>12} {:>12}  image", "offset", "bytes");
+            for p in host.partitions() {
+                println!("{:>12} {:>12}  {}", p.offset_bytes, p.len_bytes, p.image);
+            }
+            println!("free: {} bytes", host.free_bytes());
+        }
+        ["host", "create", bucket, cache_path, image, size, cache_size] => {
+            let mut host = open_host(bucket, cache_path);
+            let vol = host
+                .create_volume(
+                    image,
+                    parse_size(size),
+                    parse_size(cache_size),
+                    VolumeConfig::default(),
+                )
+                .unwrap_or_else(|e| die(&format!("host create: {e}")));
+            println!("created {image} ({} bytes) on {cache_path}", vol.size());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["host", "attach", bucket, cache_path, image, cache_size] => {
+            let mut host = open_host(bucket, cache_path);
+            let vol = host
+                .attach_volume(image, parse_size(cache_size), VolumeConfig::default())
+                .unwrap_or_else(|e| die(&format!("host attach: {e}")));
+            println!("attached {image} ({} bytes) on {cache_path}", vol.size());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["host", "detach", bucket, cache_path, image] => {
+            let mut host = open_host(bucket, cache_path);
+            host.detach(image)
+                .unwrap_or_else(|e| die(&format!("host detach: {e}")));
+            println!("detached {image} (backend volume untouched)");
+        }
+        ["replicate", src, dst, image] => {
+            let primary = open_store(src);
+            let replica = open_store(dst);
+            let mut r = Replicator::new(primary, replica, image);
+            let copied = r
+                .step(u32::MAX)
+                .unwrap_or_else(|e| die(&format!("replicate: {e}")));
+            let s = r.stats();
+            println!(
+                "copied {copied} objects ({} bytes); {} skipped as GC'd",
+                s.bytes_copied, s.objects_skipped_deleted
+            );
+        }
+        _ => die(
+            "usage: lsvdctl <create|info|ls|write|read|fill|snapshot|snapshots|clone|gc|replicate|gen-trace|replay|host> ... (--help)",
+        ),
+    }
+}

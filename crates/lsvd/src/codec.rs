@@ -1,0 +1,249 @@
+//! Explicit little-endian serialization for on-media structures.
+//!
+//! LSVD's durability story rests on its log-record and object headers, so
+//! their encodings are written out field by field rather than derived: the
+//! byte layout is part of the system's on-media format and must not change
+//! silently with a struct reordering.
+
+use crate::types::{LsvdError, Result};
+
+/// An append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed (u16) UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds 65535 bytes; LSVD names are short.
+    pub fn str16(&mut self, s: &str) -> &mut Self {
+        assert!(s.len() <= u16::MAX as usize, "string too long");
+        self.u16(s.len() as u16);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Pads with zeros up to `len` bytes total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer already exceeds `len`.
+    pub fn pad_to(&mut self, len: usize) -> &mut Self {
+        assert!(self.buf.len() <= len, "writer overflows pad target");
+        self.buf.resize(len, 0);
+        self
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Overwrites 4 bytes at `pos` with a little-endian `u32` (used to
+    /// back-patch CRC fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos + 4` exceeds the current length.
+    pub fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A checked little-endian byte reader.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated(what: &str) -> LsvdError {
+    LsvdError::Corrupt(format!("truncated metadata while reading {what}"))
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let s = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let s = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let s = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n, "bytes")
+    }
+
+    /// Reads a length-prefixed (u16) UTF-8 string.
+    pub fn str16(&mut self) -> Result<String> {
+        let n = self.u16()? as usize;
+        let s = self.take(n, "str16")?;
+        String::from_utf8(s.to_vec())
+            .map_err(|_| LsvdError::Corrupt("non-UTF-8 string in metadata".into()))
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n, "skip")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB)
+            .u16(0x1234)
+            .u32(0xDEADBEEF)
+            .u64(0x0102030405060708)
+            .str16("hello")
+            .bytes(&[9, 9, 9]);
+        let v = w.into_vec();
+
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102030405060708);
+        assert_eq!(r.str16().unwrap(), "hello");
+        assert_eq!(r.bytes(3).unwrap(), &[9, 9, 9]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let v = vec![1u8, 2];
+        let mut r = ByteReader::new(&v);
+        assert!(r.u32().is_err());
+        // Failed read must not consume.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn pad_and_patch() {
+        let mut w = ByteWriter::new();
+        w.u32(0); // placeholder
+        w.bytes(b"xyz");
+        w.pad_to(16);
+        assert_eq!(w.len(), 16);
+        w.patch_u32(0, 77);
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.u32().unwrap(), 77);
+        assert_eq!(r.bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.bytes(9).unwrap(), &[0u8; 9]);
+    }
+
+    #[test]
+    fn str16_rejects_bad_utf8() {
+        let mut w = ByteWriter::new();
+        w.u16(2).bytes(&[0xff, 0xfe]);
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert!(r.str16().is_err());
+    }
+}

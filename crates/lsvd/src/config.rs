@@ -1,0 +1,123 @@
+//! Volume configuration.
+
+use crate::types::SECTOR;
+
+/// Tunable parameters of an LSVD volume.
+///
+/// Defaults follow the paper's prototype configuration (§4.1): 8 MiB write
+/// batches, a cache split of 20 % write-back / 80 % read, garbage
+/// collection triggered below 70 % utilization and stopping at 75 %.
+#[derive(Debug, Clone)]
+pub struct VolumeConfig {
+    /// Backend object batch size in bytes; the block store seals a batch
+    /// and PUTs it once accumulated writes reach this size (§3.2 suggests
+    /// 8 or 32 MiB).
+    pub batch_bytes: u64,
+    /// Fraction of the cache device dedicated to the write-back log; the
+    /// rest (minus metadata) is read cache.
+    pub write_cache_fraction: f64,
+    /// Read-ahead cap in bytes: a read miss fetches up to this much of the
+    /// containing extent (temporal-locality prefetch, §3.2).
+    pub prefetch_bytes: u64,
+    /// Whether the garbage collector runs.
+    pub gc_enabled: bool,
+    /// GC trigger: collect when live/total utilization drops below this.
+    pub gc_low_watermark: f64,
+    /// GC target: stop collecting once utilization is back above this.
+    pub gc_high_watermark: f64,
+    /// Write a map checkpoint to the backend every this many data objects.
+    pub checkpoint_interval: u32,
+    /// During GC, also copy unwritten "holes" up to this many bytes between
+    /// live pieces, trading a little write amplification for a smaller
+    /// extent map (the §4.6 defragmentation experiment; 0 disables).
+    pub defrag_hole_bytes: u64,
+    /// Maximum extents in one cache log record; writes with more fragments
+    /// are split across records.
+    pub max_record_extents: usize,
+}
+
+impl Default for VolumeConfig {
+    fn default() -> Self {
+        VolumeConfig {
+            batch_bytes: 8 << 20,
+            write_cache_fraction: 0.2,
+            prefetch_bytes: 256 << 10,
+            gc_enabled: true,
+            gc_low_watermark: 0.70,
+            gc_high_watermark: 0.75,
+            checkpoint_interval: 64,
+            defrag_hole_bytes: 0,
+            max_record_extents: 16,
+        }
+    }
+}
+
+impl VolumeConfig {
+    /// A configuration scaled down for unit tests: small batches and
+    /// frequent checkpoints so every code path triggers quickly.
+    pub fn small_for_tests() -> Self {
+        VolumeConfig {
+            batch_bytes: 64 << 10,
+            checkpoint_interval: 4,
+            prefetch_bytes: 32 << 10,
+            ..Default::default()
+        }
+    }
+
+    /// Batch size in sectors.
+    pub fn batch_sectors(&self) -> u64 {
+        self.batch_bytes / SECTOR
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical settings (zero batch, watermarks outside
+    /// `(0, 1]`, inverted watermarks); configurations are developer input,
+    /// not runtime data.
+    pub fn validate(&self) {
+        assert!(self.batch_bytes >= 4096, "batch too small");
+        assert!(self.batch_bytes % SECTOR == 0, "batch not sector-aligned");
+        assert!(
+            self.write_cache_fraction > 0.0 && self.write_cache_fraction < 1.0,
+            "bad cache split"
+        );
+        assert!(
+            self.gc_low_watermark > 0.0
+                && self.gc_low_watermark <= self.gc_high_watermark
+                && self.gc_high_watermark <= 1.0,
+            "bad GC watermarks"
+        );
+        assert!(self.checkpoint_interval >= 1, "bad checkpoint interval");
+        assert!(self.max_record_extents >= 1, "bad record extent limit");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        VolumeConfig::default().validate();
+        VolumeConfig::small_for_tests().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad GC watermarks")]
+    fn inverted_watermarks_rejected() {
+        VolumeConfig {
+            gc_low_watermark: 0.9,
+            gc_high_watermark: 0.7,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn batch_sectors_conversion() {
+        let cfg = VolumeConfig::default();
+        assert_eq!(cfg.batch_sectors(), (8 << 20) / 512);
+    }
+}

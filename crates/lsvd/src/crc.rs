@@ -1,0 +1,125 @@
+//! CRC32C (Castagnoli) checksums for log records and object headers.
+//!
+//! Both the on-SSD cache log (§3.1, Figure 2) and backend objects
+//! (Figure 4) carry a CRC covering header and data, so recovery can detect
+//! torn or partial writes. CRC32C is implemented in-tree (the `crc` crate
+//! is not on the workspace's allowed dependency list) using a standard
+//! 8-entry-per-byte slicing table.
+
+/// The CRC32C (Castagnoli) polynomial, reversed representation.
+const POLY: u32 = 0x82F6_3B78;
+
+fn make_table() -> [[u32; 256]; 8] {
+    let mut table = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = table[k - 1][i];
+            table[k][i] = (prev >> 8) ^ table[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    table
+}
+
+static TABLE: once_table::Lazy = once_table::Lazy::new();
+
+mod once_table {
+    use std::sync::OnceLock;
+
+    pub struct Lazy {
+        cell: OnceLock<[[u32; 256]; 8]>,
+    }
+
+    impl Lazy {
+        pub const fn new() -> Self {
+            Lazy {
+                cell: OnceLock::new(),
+            }
+        }
+
+        pub fn get(&self) -> &[[u32; 256]; 8] {
+            self.cell.get_or_init(super::make_table)
+        }
+    }
+}
+
+/// Computes the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continues a CRC32C computation: `crc32c_append(crc32c(a), b) ==
+/// crc32c(a ++ b)`.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let table = TABLE.get();
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = table[7][(lo & 0xff) as usize]
+            ^ table[6][((lo >> 8) & 0xff) as usize]
+            ^ table[5][((lo >> 16) & 0xff) as usize]
+            ^ table[4][(lo >> 24) as usize]
+            ^ table[3][(hi & 0xff) as usize]
+            ^ table[2][((hi >> 8) & 0xff) as usize]
+            ^ table[1][((hi >> 16) & 0xff) as usize]
+            ^ table[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ table[0][((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / standard CRC32C test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"a"), 0xC1D0_4330);
+        assert_eq!(crc32c(b"abc"), 0x364B_3FB7);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn append_equals_whole() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32c_append(crc32c(a), b), crc32c(data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"some log record payload 1234".to_vec();
+        let orig = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&data), orig, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

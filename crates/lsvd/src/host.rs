@@ -1,0 +1,440 @@
+//! Multi-volume cache management: many virtual disks, one cache SSD.
+//!
+//! §3.1 sizes LSVD's memory by noting that "no matter how many virtual
+//! disks are deployed on a host, the amount of cache SSD to be mapped is
+//! constant": a host runs many volumes that *partition* one local cache
+//! device. [`Host`] owns that device, carves per-volume partitions out of
+//! it (persisting the partition table on the device itself), and hands
+//! each volume a bounds-checked [`SubDevice`] view — so one VM's cache
+//! corruption cannot touch a neighbour's region.
+
+use std::sync::Arc;
+
+use blkdev::{BlkError, BlockDevice};
+use objstore::ObjectStore;
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::config::VolumeConfig;
+use crate::crc::crc32c;
+use crate::types::{LsvdError, Result, SECTOR};
+use crate::volume::Volume;
+
+const TABLE_MAGIC: u32 = 0x4C53_4854; // "LSHT"
+/// Sectors reserved at the front of the device for the partition table.
+const TABLE_SECTORS: u64 = 8;
+
+/// A window onto a slice of an underlying block device.
+///
+/// All accesses are offset by the partition base and bounds-checked
+/// against the partition length, giving each volume an isolated,
+/// zero-based device.
+pub struct SubDevice {
+    dev: Arc<dyn BlockDevice>,
+    base_bytes: u64,
+    len_bytes: u64,
+}
+
+impl SubDevice {
+    /// Creates a view of `[base_bytes, base_bytes+len_bytes)` of `dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past the underlying device.
+    pub fn new(dev: Arc<dyn BlockDevice>, base_bytes: u64, len_bytes: u64) -> Self {
+        assert!(base_bytes + len_bytes <= dev.capacity(), "window out of device");
+        SubDevice {
+            dev,
+            base_bytes,
+            len_bytes,
+        }
+    }
+
+    fn check(&self, offset: u64, len: usize) -> blkdev::Result<()> {
+        if offset + len as u64 > self.len_bytes {
+            return Err(BlkError::OutOfRange {
+                offset,
+                len: len as u64,
+                capacity: self.len_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for SubDevice {
+    fn capacity(&self) -> u64 {
+        self.len_bytes
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> blkdev::Result<()> {
+        self.check(offset, buf.len())?;
+        self.dev.read_at(self.base_bytes + offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> blkdev::Result<()> {
+        self.check(offset, data.len())?;
+        self.dev.write_at(self.base_bytes + offset, data)
+    }
+
+    fn flush(&self) -> blkdev::Result<()> {
+        self.dev.flush()
+    }
+}
+
+/// One cache partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The image this partition caches.
+    pub image: String,
+    /// First byte on the device.
+    pub offset_bytes: u64,
+    /// Length in bytes.
+    pub len_bytes: u64,
+}
+
+/// A host's cache device, shared by many volumes.
+pub struct Host {
+    dev: Arc<dyn BlockDevice>,
+    store: Arc<dyn ObjectStore>,
+    partitions: Vec<Partition>,
+}
+
+impl Host {
+    /// Formats `dev` as an empty host cache (destroying any table).
+    pub fn format(dev: Arc<dyn BlockDevice>, store: Arc<dyn ObjectStore>) -> Result<Host> {
+        let mut host = Host {
+            dev,
+            store,
+            partitions: Vec::new(),
+        };
+        host.persist_table()?;
+        Ok(host)
+    }
+
+    /// Opens an existing host cache, loading its partition table; a device
+    /// without a valid table is treated as empty.
+    pub fn open(dev: Arc<dyn BlockDevice>, store: Arc<dyn ObjectStore>) -> Result<Host> {
+        let mut buf = vec![0u8; (TABLE_SECTORS * SECTOR) as usize];
+        dev.read_at(0, &mut buf)?;
+        let partitions = Self::parse_table(&buf).unwrap_or_default();
+        Ok(Host {
+            dev,
+            store,
+            partitions,
+        })
+    }
+
+    fn parse_table(buf: &[u8]) -> Option<Vec<Partition>> {
+        let mut r = ByteReader::new(buf);
+        if r.u32().ok()? != TABLE_MAGIC {
+            return None;
+        }
+        let crc = r.u32().ok()?;
+        let mut tmp = buf.to_vec();
+        tmp[4..8].fill(0);
+        if crc32c(&tmp) != crc {
+            return None;
+        }
+        let n = r.u32().ok()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let image = r.str16().ok()?;
+            let offset_bytes = r.u64().ok()?;
+            let len_bytes = r.u64().ok()?;
+            out.push(Partition {
+                image,
+                offset_bytes,
+                len_bytes,
+            });
+        }
+        Some(out)
+    }
+
+    fn persist_table(&mut self) -> Result<()> {
+        let mut w = ByteWriter::with_capacity((TABLE_SECTORS * SECTOR) as usize);
+        w.u32(TABLE_MAGIC);
+        w.u32(0);
+        w.u32(self.partitions.len() as u32);
+        for p in &self.partitions {
+            w.str16(&p.image);
+            w.u64(p.offset_bytes);
+            w.u64(p.len_bytes);
+        }
+        if w.len() > (TABLE_SECTORS * SECTOR) as usize {
+            return Err(LsvdError::BadVolume(
+                "partition table overflow: too many volumes on this cache".into(),
+            ));
+        }
+        w.pad_to((TABLE_SECTORS * SECTOR) as usize);
+        let mut buf = w.into_vec();
+        let mut tmp = buf.clone();
+        tmp[4..8].fill(0);
+        let crc = crc32c(&tmp);
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.dev.write_at(0, &buf)?;
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    /// The current partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Total free cache bytes (sum of gaps).
+    pub fn free_bytes(&self) -> u64 {
+        let mut used = TABLE_SECTORS * SECTOR;
+        for p in &self.partitions {
+            used += p.len_bytes;
+        }
+        self.dev.capacity().saturating_sub(used)
+    }
+
+    /// First-fit allocation of `len_bytes` on the device.
+    fn allocate(&self, len_bytes: u64) -> Result<u64> {
+        let mut parts = self.partitions.clone();
+        parts.sort_by_key(|p| p.offset_bytes);
+        let mut cursor = TABLE_SECTORS * SECTOR;
+        for p in &parts {
+            if p.offset_bytes.saturating_sub(cursor) >= len_bytes {
+                return Ok(cursor);
+            }
+            cursor = p.offset_bytes + p.len_bytes;
+        }
+        if self.dev.capacity().saturating_sub(cursor) >= len_bytes {
+            return Ok(cursor);
+        }
+        Err(LsvdError::CacheFull)
+    }
+
+    fn attach(&mut self, image: &str, cache_bytes: u64) -> Result<SubDevice> {
+        if self.partitions.iter().any(|p| p.image == image) {
+            return Err(LsvdError::BadVolume(format!(
+                "{image}: already has a cache partition"
+            )));
+        }
+        let offset = self.allocate(cache_bytes)?;
+        self.partitions.push(Partition {
+            image: image.to_string(),
+            offset_bytes: offset,
+            len_bytes: cache_bytes,
+        });
+        self.persist_table()?;
+        Ok(SubDevice::new(self.dev.clone(), offset, cache_bytes))
+    }
+
+    fn partition_device(&self, image: &str) -> Result<SubDevice> {
+        let p = self
+            .partitions
+            .iter()
+            .find(|p| p.image == image)
+            .ok_or_else(|| LsvdError::BadVolume(format!("{image}: no cache partition")))?;
+        Ok(SubDevice::new(
+            self.dev.clone(),
+            p.offset_bytes,
+            p.len_bytes,
+        ))
+    }
+
+    /// Creates a new volume with a freshly allocated `cache_bytes`
+    /// partition of this host's cache device.
+    pub fn create_volume(
+        &mut self,
+        image: &str,
+        size_bytes: u64,
+        cache_bytes: u64,
+        cfg: VolumeConfig,
+    ) -> Result<Volume> {
+        let sub = self.attach(image, cache_bytes)?;
+        match Volume::create(self.store.clone(), Arc::new(sub), image, size_bytes, cfg) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // Roll the allocation back so the partition isn't leaked.
+                self.partitions.retain(|p| p.image != image);
+                self.persist_table()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens an existing volume on its partition (recovery included).
+    pub fn open_volume(&self, image: &str, cfg: VolumeConfig) -> Result<Volume> {
+        let sub = self.partition_device(image)?;
+        Volume::open(self.store.clone(), Arc::new(sub), image, cfg)
+    }
+
+    /// Attaches an image that already exists in the backend (e.g. a fresh
+    /// clone, or a volume migrating in from another host), allocating a
+    /// new `cache_bytes` partition for it. The blank partition is handled
+    /// by prefix-consistent cache-loss recovery.
+    pub fn attach_volume(
+        &mut self,
+        image: &str,
+        cache_bytes: u64,
+        cfg: VolumeConfig,
+    ) -> Result<Volume> {
+        let sub = self.attach(image, cache_bytes)?;
+        match Volume::open(self.store.clone(), Arc::new(sub), image, cfg) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.partitions.retain(|p| p.image != image);
+                self.persist_table()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Releases `image`'s cache partition (the backend volume is
+    /// untouched; reopening it later allocates a fresh partition and
+    /// relies on prefix-consistent backend recovery).
+    pub fn detach(&mut self, image: &str) -> Result<()> {
+        let before = self.partitions.len();
+        self.partitions.retain(|p| p.image != image);
+        if self.partitions.len() == before {
+            return Err(LsvdError::BadVolume(format!("{image}: no cache partition")));
+        }
+        self.persist_table()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blkdev::RamDisk;
+    use objstore::MemStore;
+
+    fn setup() -> (Arc<RamDisk>, Arc<MemStore>, Host) {
+        let dev = Arc::new(RamDisk::new(64 << 20));
+        let store = Arc::new(MemStore::new());
+        let host = Host::format(dev.clone(), store.clone()).expect("format");
+        (dev, store, host)
+    }
+
+    #[test]
+    fn subdevice_translates_and_bounds() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(1 << 20));
+        let sub = SubDevice::new(dev.clone(), 4096, 8192);
+        assert_eq!(sub.capacity(), 8192);
+        sub.write_at(0, &[7u8; 512]).unwrap();
+        let mut raw = [0u8; 512];
+        dev.read_at(4096, &mut raw).unwrap();
+        assert_eq!(raw, [7u8; 512]);
+        assert!(sub.write_at(8192 - 100, &[0u8; 200]).is_err());
+        let mut buf = [0u8; 512];
+        assert!(sub.read_at(8192, &mut buf).is_err());
+    }
+
+    #[test]
+    fn multiple_volumes_share_one_device() {
+        let (_, _, mut host) = setup();
+        let cfg = VolumeConfig::small_for_tests();
+        let mut vols: Vec<Volume> = (0..3)
+            .map(|i| {
+                host.create_volume(&format!("vm{i}"), 16 << 20, 8 << 20, cfg.clone())
+                    .expect("create")
+            })
+            .collect();
+        // Independent data planes.
+        for (i, v) in vols.iter_mut().enumerate() {
+            v.write(0, &vec![i as u8 + 1; 4096]).expect("write");
+        }
+        for (i, v) in vols.iter_mut().enumerate() {
+            let mut buf = vec![0u8; 4096];
+            v.read(0, &mut buf).expect("read");
+            assert!(buf.iter().all(|&b| b == i as u8 + 1), "vm{i} isolated");
+        }
+        assert_eq!(host.partitions().len(), 3);
+    }
+
+    #[test]
+    fn partition_table_survives_restart() {
+        let (dev, store, mut host) = setup();
+        let cfg = VolumeConfig::small_for_tests();
+        let mut v = host
+            .create_volume("vm0", 16 << 20, 8 << 20, cfg.clone())
+            .expect("create");
+        v.write(4096, &[9u8; 4096]).expect("write");
+        v.shutdown().expect("shutdown");
+        drop(host);
+
+        let host = Host::open(dev, store).expect("reopen host");
+        assert_eq!(host.partitions().len(), 1);
+        let mut v = host.open_volume("vm0", cfg).expect("open volume");
+        let mut buf = [0u8; 4096];
+        v.read(4096, &mut buf).expect("read");
+        assert_eq!(buf, [9u8; 4096]);
+    }
+
+    #[test]
+    fn allocation_reuses_detached_space() {
+        let (_, _, mut host) = setup();
+        let cfg = VolumeConfig::small_for_tests();
+        let v0 = host
+            .create_volume("a", 16 << 20, 24 << 20, cfg.clone())
+            .expect("a");
+        let v1 = host
+            .create_volume("b", 16 << 20, 24 << 20, cfg.clone())
+            .expect("b");
+        drop((v0, v1));
+        // Device is 64 MiB: a third 24 MiB volume does not fit...
+        assert!(matches!(
+            host.create_volume("c", 16 << 20, 24 << 20, cfg.clone()),
+            Err(LsvdError::CacheFull)
+        ));
+        // ...until a partition is detached (first-fit reuses the hole).
+        host.detach("a").expect("detach");
+        let _ = host
+            .create_volume("c", 16 << 20, 24 << 20, cfg.clone())
+            .expect("c fits in a's old slot");
+        let offsets: Vec<u64> = host.partitions().iter().map(|p| p.offset_bytes).collect();
+        assert!(offsets.contains(&(TABLE_SECTORS * SECTOR)));
+    }
+
+    #[test]
+    fn attach_adopts_an_existing_image() {
+        let (_, store, mut host) = setup();
+        let cfg = VolumeConfig::small_for_tests();
+        // The image is born elsewhere (another host / a clone operation).
+        let dev2 = Arc::new(RamDisk::new(8 << 20));
+        let mut v = Volume::create(store.clone(), dev2, "roaming", 16 << 20, cfg.clone())
+            .expect("create elsewhere");
+        v.write(0, &[5u8; 4096]).expect("write");
+        v.shutdown().expect("shutdown");
+
+        // Attaching on this host gets a fresh partition and recovers from
+        // the backend alone.
+        let mut v = host
+            .attach_volume("roaming", 8 << 20, cfg.clone())
+            .expect("attach");
+        let mut buf = [0u8; 4096];
+        v.read(0, &mut buf).expect("read");
+        assert_eq!(buf, [5u8; 4096]);
+        assert_eq!(host.partitions().len(), 1);
+
+        // Attaching an image with no backend presence rolls back.
+        assert!(host.attach_volume("ghost", 8 << 20, cfg).is_err());
+        assert_eq!(host.partitions().len(), 1, "ghost allocation rolled back");
+    }
+
+    #[test]
+    fn duplicate_partition_rejected_and_rolled_back() {
+        let (_, store, mut host) = setup();
+        let cfg = VolumeConfig::small_for_tests();
+        let _v = host
+            .create_volume("vm0", 16 << 20, 8 << 20, cfg.clone())
+            .expect("create");
+        assert!(host
+            .create_volume("vm0", 16 << 20, 8 << 20, cfg.clone())
+            .is_err());
+        // A failed backend create must roll the allocation back: make the
+        // backend image already exist.
+        let pre = host.partitions().len();
+        let dev2 = Arc::new(RamDisk::new(8 << 20));
+        let v = Volume::create(store, dev2, "occupied", 8 << 20, cfg.clone()).expect("occupy");
+        v.shutdown().expect("shutdown");
+        assert!(host
+            .create_volume("occupied", 8 << 20, 8 << 20, cfg)
+            .is_err());
+        assert_eq!(host.partitions().len(), pre, "allocation rolled back");
+    }
+}

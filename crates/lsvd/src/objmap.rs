@@ -1,0 +1,391 @@
+//! The block-store object map and per-object liveness table (§3.1, §3.5).
+//!
+//! The object map translates virtual LBAs to `(object sequence, offset)`
+//! locations in the immutable backend stream. Alongside it, an in-memory
+//! object table tracks each object's total and remaining live data, "
+//! allowing efficient selection of cleaning candidates" for the garbage
+//! collector; both are persisted in map checkpoints and rebuilt from
+//! object headers on recovery.
+
+use std::collections::BTreeMap;
+
+use crate::extent_map::{ExtentMap, ExtentValue, Segment};
+use crate::types::{Lba, ObjSeq};
+
+/// A location in the backend object stream: sector `off` of the data area
+/// of object `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjLoc {
+    /// Object sequence number.
+    pub seq: ObjSeq,
+    /// Sector offset within the object's data area.
+    pub off: u32,
+}
+
+impl ExtentValue for ObjLoc {
+    fn advance(self, delta: u64) -> Self {
+        ObjLoc {
+            seq: self.seq,
+            off: self.off + delta as u32,
+        }
+    }
+}
+
+/// Liveness statistics for one backend object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjStat {
+    /// Total object size in sectors (header + data).
+    pub total_sectors: u32,
+    /// Data-area sectors.
+    pub data_sectors: u32,
+    /// Data sectors still referenced by the map.
+    pub live_sectors: u32,
+    /// Whether this object was written by the garbage collector.
+    pub gc: bool,
+}
+
+impl ObjStat {
+    /// Live fraction of the data area.
+    pub fn live_ratio(&self) -> f64 {
+        if self.data_sectors == 0 {
+            0.0
+        } else {
+            self.live_sectors as f64 / self.data_sectors as f64
+        }
+    }
+}
+
+/// The object map plus the object table.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectMap {
+    map: ExtentMap<ObjLoc>,
+    table: BTreeMap<ObjSeq, ObjStat>,
+}
+
+impl ObjectMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a new data object's extents, in order: overwritten older
+    /// pieces lose liveness, and the new object enters the table fully
+    /// live.
+    ///
+    /// `hdr_sectors` is the object's header size (counted in total size so
+    /// utilization matches the paper's "ratio of live data to total object
+    /// size").
+    pub fn apply_object(&mut self, seq: ObjSeq, hdr_sectors: u32, extents: &[(Lba, u32)]) {
+        let mut off = 0u32;
+        let mut data_sectors = 0u32;
+        for &(lba, len) in extents {
+            self.decay(lba, len as u64);
+            self.map.insert(lba, len as u64, ObjLoc { seq, off });
+            off += len;
+            data_sectors += len;
+        }
+        self.table.insert(
+            seq,
+            ObjStat {
+                total_sectors: hdr_sectors + data_sectors,
+                data_sectors,
+                live_sectors: data_sectors,
+                gc: false,
+            },
+        );
+    }
+
+    /// Applies a GC object: `pieces` are `(vLBA, sectors, expected_old)` —
+    /// each map range is redirected to the new object *only if* it still
+    /// points at the old location, so data overwritten while the collector
+    /// ran is never resurrected.
+    ///
+    /// Returns the number of sectors actually redirected.
+    pub fn apply_gc_object(
+        &mut self,
+        seq: ObjSeq,
+        hdr_sectors: u32,
+        pieces: &[(Lba, u32, ObjLoc)],
+    ) -> u32 {
+        let mut off = 0u32;
+        let mut moved = 0u32;
+        let mut data_sectors = 0u32;
+        for &(lba, len, expect) in pieces {
+            // Only redirect sub-ranges that still match the expected source.
+            for (plo, plen, pval) in self.map.overlaps(lba, len as u64) {
+                if pval.seq == expect.seq
+                    && pval.off == expect.off + (plo - lba) as u32
+                {
+                    self.decay(plo, plen);
+                    self.map.insert(
+                        plo,
+                        plen,
+                        ObjLoc {
+                            seq,
+                            off: off + (plo - lba) as u32,
+                        },
+                    );
+                    moved += plen as u32;
+                    self.bump(seq, plen as u32);
+                }
+            }
+            off += len;
+            data_sectors += len;
+        }
+        // Enter/replace the table entry with the true live count (bump()
+        // above accumulated into a default entry).
+        let live = self.table.get(&seq).map_or(moved, |s| s.live_sectors);
+        self.table.insert(
+            seq,
+            ObjStat {
+                total_sectors: hdr_sectors + data_sectors,
+                data_sectors,
+                live_sectors: live,
+                gc: true,
+            },
+        );
+        moved
+    }
+
+    fn bump(&mut self, seq: ObjSeq, sectors: u32) {
+        let stat = self.table.entry(seq).or_insert(ObjStat {
+            total_sectors: 0,
+            data_sectors: 0,
+            live_sectors: 0,
+            gc: true,
+        });
+        stat.live_sectors += sectors;
+    }
+
+    /// Reduces liveness of whatever currently maps `[lba, lba+sectors)`.
+    fn decay(&mut self, lba: Lba, sectors: u64) {
+        for (_, plen, pval) in self.map.overlaps(lba, sectors) {
+            if let Some(stat) = self.table.get_mut(&pval.seq) {
+                stat.live_sectors = stat.live_sectors.saturating_sub(plen as u32);
+            }
+        }
+    }
+
+    /// Punches a hole (e.g. TRIM): drops mappings and liveness.
+    pub fn discard(&mut self, lba: Lba, sectors: u64) {
+        self.decay(lba, sectors);
+        self.map.remove(lba, sectors);
+    }
+
+    /// Resolves a read range into object locations and holes.
+    pub fn resolve(&self, lba: Lba, sectors: u64) -> Vec<Segment<ObjLoc>> {
+        self.map.resolve(lba, sectors)
+    }
+
+    /// The extent containing `lba`, if mapped.
+    pub fn lookup(&self, lba: Lba) -> Option<(Lba, u64, ObjLoc)> {
+        self.map.lookup(lba)
+    }
+
+    /// Mapped pieces overlapping `[lba, lba+sectors)`, clipped.
+    pub fn overlaps(&self, lba: Lba, sectors: u64) -> Vec<(Lba, u64, ObjLoc)> {
+        self.map.overlaps(lba, sectors)
+    }
+
+    /// Live pieces of object `seq` within the given candidate extents
+    /// (typically the extent list from the object's header), as
+    /// `(vLBA, sectors, current location)` with locations inside `seq`.
+    pub fn live_pieces_of(
+        &self,
+        seq: ObjSeq,
+        extents: &[(Lba, u32)],
+    ) -> Vec<(Lba, u32, ObjLoc)> {
+        let mut out = Vec::new();
+        for &(lba, len) in extents {
+            for (plo, plen, pval) in self.map.overlaps(lba, len as u64) {
+                if pval.seq == seq {
+                    out.push((plo, plen as u32, pval));
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes object `seq` from the table (after deletion from the store).
+    pub fn remove_object(&mut self, seq: ObjSeq) {
+        self.table.remove(&seq);
+    }
+
+    /// Per-object statistics.
+    pub fn object_stat(&self, seq: ObjSeq) -> Option<ObjStat> {
+        self.table.get(&seq).copied()
+    }
+
+    /// Iterates `(seq, stat)` over all tracked objects.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjSeq, ObjStat)> + '_ {
+        self.table.iter().map(|(&s, &st)| (s, st))
+    }
+
+    /// Overall utilization: live data / total object size, across objects
+    /// with sequence `<= upto` (the GC works below the last checkpoint).
+    pub fn utilization(&self, upto: ObjSeq) -> f64 {
+        let mut live = 0u64;
+        let mut total = 0u64;
+        for (&s, st) in &self.table {
+            if s <= upto {
+                live += st.live_sectors as u64;
+                total += st.total_sectors as u64;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            live as f64 / total as f64
+        }
+    }
+
+    /// Sums `(live_sectors, total_sectors)` over all objects.
+    pub fn totals(&self) -> (u64, u64) {
+        let mut live = 0u64;
+        let mut total = 0u64;
+        for st in self.table.values() {
+            live += st.live_sectors as u64;
+            total += st.total_sectors as u64;
+        }
+        (live, total)
+    }
+
+    /// Number of map extents (the Table 5 memory metric).
+    pub fn extent_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of tracked objects.
+    pub fn object_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Iterates all map extents (for checkpoint serialization).
+    pub fn map_extents(&self) -> impl Iterator<Item = (Lba, u64, ObjLoc)> + '_ {
+        self.map.iter()
+    }
+
+    /// Rebuilds from checkpoint data: raw extents and table entries.
+    pub fn from_parts(
+        extents: impl IntoIterator<Item = (Lba, u64, ObjLoc)>,
+        table: impl IntoIterator<Item = (ObjSeq, ObjStat)>,
+    ) -> Self {
+        let mut m = ObjectMap::new();
+        for (lba, len, loc) in extents {
+            m.map.insert(lba, len, loc);
+        }
+        m.table = table.into_iter().collect();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_object_maps_extents_in_order() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(100, 8), (500, 4)]);
+        assert_eq!(m.lookup(100), Some((100, 8, ObjLoc { seq: 1, off: 0 })));
+        assert_eq!(m.lookup(500), Some((500, 4, ObjLoc { seq: 1, off: 8 })));
+        assert_eq!(m.lookup(200), None);
+        let st = m.object_stat(1).unwrap();
+        assert_eq!(st.data_sectors, 12);
+        assert_eq!(st.live_sectors, 12);
+        assert_eq!(st.total_sectors, 13);
+        assert_eq!(st.live_ratio(), 1.0);
+    }
+
+    #[test]
+    fn overwrite_decays_old_object() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(0, 16)]);
+        m.apply_object(2, 1, &[(4, 8)]);
+        assert_eq!(m.object_stat(1).unwrap().live_sectors, 8);
+        assert_eq!(m.object_stat(2).unwrap().live_sectors, 8);
+        // The split pieces of object 1 remain addressable.
+        assert_eq!(m.lookup(0), Some((0, 4, ObjLoc { seq: 1, off: 0 })));
+        assert_eq!(m.lookup(4), Some((4, 8, ObjLoc { seq: 2, off: 0 })));
+        assert_eq!(m.lookup(12), Some((12, 4, ObjLoc { seq: 1, off: 12 })));
+    }
+
+    #[test]
+    fn utilization_tracks_overwrites() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 0, &[(0, 100)]);
+        assert_eq!(m.utilization(10), 1.0);
+        m.apply_object(2, 0, &[(0, 100)]); // full overwrite
+        assert!((m.utilization(10) - 0.5).abs() < 1e-9);
+        let (live, total) = m.totals();
+        assert_eq!((live, total), (100, 200));
+    }
+
+    #[test]
+    fn live_pieces_found_via_header_extents() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(0, 16), (100, 8)]);
+        m.apply_object(2, 1, &[(4, 4)]); // kills 4 sectors of object 1
+        let pieces = m.live_pieces_of(1, &[(0, 16), (100, 8)]);
+        let total: u32 = pieces.iter().map(|&(_, l, _)| l).sum();
+        assert_eq!(total, 20);
+        assert!(pieces.iter().all(|&(_, _, loc)| loc.seq == 1));
+        // Offsets must reflect position within object 1's data area.
+        assert!(pieces.contains(&(8, 8, ObjLoc { seq: 1, off: 8 })));
+        assert!(pieces.contains(&(100, 8, ObjLoc { seq: 1, off: 16 })));
+    }
+
+    #[test]
+    fn gc_object_redirects_only_still_live_pieces() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(0, 16)]);
+        m.apply_object(2, 1, &[(0, 4)]); // first 4 sectors overwritten
+        let pieces = m.live_pieces_of(1, &[(0, 16)]);
+        // GC writes object 3 containing those pieces.
+        let moved = m.apply_gc_object(3, 1, &pieces);
+        assert_eq!(moved, 12);
+        assert_eq!(m.object_stat(1).unwrap().live_sectors, 0);
+        assert_eq!(m.object_stat(3).unwrap().live_sectors, 12);
+        assert!(m.object_stat(3).unwrap().gc);
+        assert_eq!(m.lookup(0), Some((0, 4, ObjLoc { seq: 2, off: 0 })));
+        assert_eq!(m.lookup(4).unwrap().2.seq, 3);
+    }
+
+    #[test]
+    fn gc_does_not_resurrect_concurrent_overwrites() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(0, 16)]);
+        let pieces = m.live_pieces_of(1, &[(0, 16)]);
+        // A write lands *after* the collector picked its pieces...
+        m.apply_object(2, 1, &[(0, 8)]);
+        // ...then the GC object arrives.
+        let moved = m.apply_gc_object(3, 1, &pieces);
+        assert_eq!(moved, 8, "only the untouched half moves");
+        assert_eq!(m.lookup(0).unwrap().2.seq, 2, "newer write wins");
+        assert_eq!(m.lookup(8).unwrap().2.seq, 3);
+    }
+
+    #[test]
+    fn discard_drops_mapping_and_liveness() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 0, &[(0, 16)]);
+        m.discard(0, 8);
+        assert_eq!(m.lookup(0), None);
+        assert_eq!(m.object_stat(1).unwrap().live_sectors, 8);
+    }
+
+    #[test]
+    fn checkpoint_parts_round_trip() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(0, 16), (64, 8)]);
+        m.apply_object(2, 1, &[(4, 4)]);
+        let rebuilt = ObjectMap::from_parts(
+            m.map_extents().collect::<Vec<_>>(),
+            m.objects().collect::<Vec<_>>(),
+        );
+        assert_eq!(rebuilt.extent_count(), m.extent_count());
+        assert_eq!(rebuilt.lookup(4), m.lookup(4));
+        assert_eq!(rebuilt.object_stat(1), m.object_stat(1));
+        assert_eq!(rebuilt.totals(), m.totals());
+    }
+}

@@ -1,0 +1,200 @@
+//! Fine-grained data-path stage accounting (§4.7, Table 6).
+//!
+//! The paper instruments its kernel/userspace prototype and reports
+//! per-stage latencies for an isolated read miss and an isolated write.
+//! This module reproduces the accounting structure: each stage carries a
+//! cost (the paper's measured microseconds by default), and the totals,
+//! the kernel/user split, and the share attributable to the prototype's
+//! SSD-passthrough design can be recomputed — including with in-tree
+//! *measured* costs for the stages that exist in this implementation
+//! (map lookup/update), which are measured live rather than assumed.
+
+use sim::SimDuration;
+
+use crate::extent_map::ExtentMap;
+
+/// Execution domain of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Kernel device-mapper component.
+    Kernel,
+    /// Userspace daemon.
+    User,
+}
+
+/// One pipeline stage with its cost.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage label, matching Table 6 rows.
+    pub name: &'static str,
+    /// Kernel or userspace.
+    pub domain: Domain,
+    /// Stage latency.
+    pub cost: SimDuration,
+    /// Whether the stage exists only because data passes through the SSD
+    /// between kernel and userspace (§3.7 / §6.2).
+    pub passthrough_artifact: bool,
+}
+
+/// The read-miss path of Table 6 (paper-measured costs in µs).
+pub fn read_miss_path() -> Vec<Stage> {
+    use Domain::{Kernel, User};
+    vec![
+        stage("map lookup", Kernel, 3, false),
+        stage("context switch", Kernel, 50, false),
+        stage("return to user space", Kernel, 22, false),
+        stage("daemon overhead", User, 34, false),
+        stage("S3 range request", User, 5920, false),
+        stage("write to NVMe (stage into read cache)", User, 136, true),
+        stage("return to kernel", Kernel, 27, false),
+        stage("read from NVMe (serve from read cache)", Kernel, 110, true),
+    ]
+}
+
+/// The write path of Table 6 (paper-measured costs in µs).
+pub fn write_path() -> Vec<Stage> {
+    use Domain::{Kernel, User};
+    vec![
+        stage("write to NVMe (log append)", Kernel, 64, false),
+        stage("map update", Kernel, 3, false),
+        stage("context switch", Kernel, 50, false),
+        stage("return to userspace", Kernel, 20, false),
+        stage("daemon overhead", User, 63, false),
+        stage("read from NVMe (fetch outgoing data)", User, 110, true),
+        stage("return to kernel", Kernel, 27, false),
+    ]
+}
+
+fn stage(name: &'static str, domain: Domain, us: u64, passthrough: bool) -> Stage {
+    Stage {
+        name,
+        domain,
+        cost: SimDuration::from_micros(us),
+        passthrough_artifact: passthrough,
+    }
+}
+
+/// Summary over a stage list.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSummary {
+    /// End-to-end latency.
+    pub total: SimDuration,
+    /// Time spent in kernel stages.
+    pub kernel: SimDuration,
+    /// Time spent in userspace stages.
+    pub user: SimDuration,
+    /// Time attributable to the SSD-passthrough design.
+    pub passthrough: SimDuration,
+}
+
+/// Totals a path.
+pub fn summarize(stages: &[Stage]) -> PathSummary {
+    let mut s = PathSummary {
+        total: SimDuration::ZERO,
+        kernel: SimDuration::ZERO,
+        user: SimDuration::ZERO,
+        passthrough: SimDuration::ZERO,
+    };
+    for st in stages {
+        s.total += st.cost;
+        match st.domain {
+            Domain::Kernel => s.kernel += st.cost,
+            Domain::User => s.user += st.cost,
+        }
+        if st.passthrough_artifact {
+            s.passthrough += st.cost;
+        }
+    }
+    s
+}
+
+/// Measures this implementation's actual extent-map lookup and update
+/// costs over a map of `n` extents (the Table 6 "map lookup" / "map
+/// update" rows, measured rather than assumed). Returns
+/// `(lookup, update)` as mean durations over `iters` operations.
+pub fn measure_map_costs(n: u64, iters: u64) -> (SimDuration, SimDuration) {
+    let mut map: ExtentMap<u64> = ExtentMap::new();
+    // Populate with alternating gaps so extents cannot coalesce.
+    for i in 0..n {
+        map.insert(i * 16, 8, i * 1000);
+    }
+    let span = n * 16;
+
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut nonsense = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if let Some((s, _, _)) = map.lookup((x >> 33) % span) {
+            nonsense ^= s;
+        }
+    }
+    let lookup = t0.elapsed().as_nanos() as u64 / iters.max(1);
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let lba = (x >> 33) % span / 16 * 16;
+        map.insert(lba, 8, x);
+    }
+    let update = t0.elapsed().as_nanos() as u64 / iters.max(1);
+    // Keep the optimizer honest.
+    if nonsense == u64::MAX {
+        eprintln!("improbable");
+    }
+    (
+        SimDuration::from_nanos(lookup),
+        SimDuration::from_nanos(update),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_miss_total_matches_table6() {
+        let s = summarize(&read_miss_path());
+        // Paper sum: 3+50+22+34+5920+136+27+110 = 6302 µs, S3-dominated.
+        assert_eq!(s.total, SimDuration::from_micros(6302));
+        assert!(s.user > s.kernel, "read miss dominated by the S3 GET");
+    }
+
+    #[test]
+    fn write_total_matches_table6() {
+        let s = summarize(&write_path());
+        // Paper sum: 64+3+50+20+63+110+27 = 337 µs.
+        assert_eq!(s.total, SimDuration::from_micros(337));
+        // The ack happens after the 64 µs NVMe write; background stages
+        // dominate the rest.
+        assert!(s.passthrough >= SimDuration::from_micros(110));
+    }
+
+    #[test]
+    fn passthrough_share_is_visible() {
+        let r = summarize(&read_miss_path());
+        let w = summarize(&write_path());
+        // The §6.2 argument: the kernel/user split via the SSD costs two
+        // extra NVMe operations per I/O round trip.
+        assert_eq!(
+            r.passthrough + w.passthrough,
+            SimDuration::from_micros(136 + 110 + 110)
+        );
+    }
+
+    #[test]
+    fn measured_map_costs_are_microseconds_not_milliseconds() {
+        let (lookup, update) = measure_map_costs(10_000, 20_000);
+        // The paper reports 3 µs for its red-black-tree map; a B-tree map
+        // at this scale must land well under 50 µs per op even in debug
+        // builds.
+        assert!(
+            lookup < SimDuration::from_micros(50),
+            "lookup {lookup} too slow"
+        );
+        assert!(
+            update < SimDuration::from_micros(100),
+            "update {update} too slow"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Core types and errors shared across the LSVD crate.
+
+use std::fmt;
+
+/// Sector size in bytes; LSVD, like the block devices it emulates,
+/// addresses data in 512-byte sectors.
+pub const SECTOR: u64 = 512;
+
+/// A logical block address in the virtual disk, in sectors.
+pub type Lba = u64;
+
+/// A physical block address on the cache SSD, in sectors.
+pub type Plba = u64;
+
+/// A backend object sequence number; object `N` of volume `vol` is stored
+/// under the name `vol.{N:08}`.
+pub type ObjSeq = u32;
+
+/// Converts a byte count to sectors.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not sector-aligned; callers validate user input
+/// before converting.
+pub fn bytes_to_sectors(bytes: u64) -> u64 {
+    debug_assert_eq!(bytes % SECTOR, 0, "unaligned byte count {bytes}");
+    bytes / SECTOR
+}
+
+/// Converts sectors to bytes.
+pub fn sectors_to_bytes(sectors: u64) -> u64 {
+    sectors * SECTOR
+}
+
+/// Errors returned by LSVD operations.
+#[derive(Debug)]
+pub enum LsvdError {
+    /// An access was not sector-aligned or extended past the virtual disk.
+    InvalidAccess {
+        /// Byte offset requested.
+        offset: u64,
+        /// Length requested.
+        len: u64,
+        /// Reason the access is invalid.
+        reason: &'static str,
+    },
+    /// The local cache device failed.
+    Cache(blkdev::BlkError),
+    /// The backend object store failed.
+    Backend(objstore::ObjError),
+    /// On-media metadata failed validation (bad magic, CRC, or sequence).
+    Corrupt(String),
+    /// The volume already exists (on create) or does not exist (on open).
+    BadVolume(String),
+    /// A snapshot/clone operation referenced an unknown name.
+    NoSuchSnapshot(String),
+    /// The write-back cache is full and writeback cannot make progress.
+    CacheFull,
+}
+
+impl fmt::Display for LsvdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsvdError::InvalidAccess {
+                offset,
+                len,
+                reason,
+            } => write!(f, "invalid access [{offset}, {offset}+{len}): {reason}"),
+            LsvdError::Cache(e) => write!(f, "cache device: {e}"),
+            LsvdError::Backend(e) => write!(f, "backend store: {e}"),
+            LsvdError::Corrupt(what) => write!(f, "corrupt metadata: {what}"),
+            LsvdError::BadVolume(what) => write!(f, "bad volume: {what}"),
+            LsvdError::NoSuchSnapshot(name) => write!(f, "no such snapshot: {name}"),
+            LsvdError::CacheFull => write!(f, "write-back cache full"),
+        }
+    }
+}
+
+impl std::error::Error for LsvdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LsvdError::Cache(e) => Some(e),
+            LsvdError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<blkdev::BlkError> for LsvdError {
+    fn from(e: blkdev::BlkError) -> Self {
+        LsvdError::Cache(e)
+    }
+}
+
+impl From<objstore::ObjError> for LsvdError {
+    fn from(e: objstore::ObjError) -> Self {
+        LsvdError::Backend(e)
+    }
+}
+
+/// Result alias for LSVD operations.
+pub type Result<T> = std::result::Result<T, LsvdError>;
+
+/// Formats a data object name: `"{image}.{seq:08}"`.
+///
+/// Zero-padded decimal sequence numbers make lexicographic order equal to
+/// numeric order, so a prefix LIST returns the log in order (§3.1).
+pub fn object_name(image: &str, seq: ObjSeq) -> String {
+    format!("{image}.{seq:08}")
+}
+
+/// Formats a checkpoint object name: `"{image}.ckpt.{seq:08}"`.
+pub fn checkpoint_name(image: &str, seq: ObjSeq) -> String {
+    format!("{image}.ckpt.{seq:08}")
+}
+
+/// The volume superblock object name: `"{image}.super"`.
+pub fn superblock_name(image: &str) -> String {
+    format!("{image}.super")
+}
+
+/// Parses the sequence number out of a data object name with the given
+/// image prefix; returns `None` for superblocks, checkpoints, and foreign
+/// names.
+pub fn parse_object_seq(image: &str, name: &str) -> Option<ObjSeq> {
+    let rest = name.strip_prefix(image)?.strip_prefix('.')?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_names_sort_numerically() {
+        let a = object_name("vol", 9);
+        let b = object_name("vol", 10);
+        let c = object_name("vol", 12345678);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn parse_seq_round_trips() {
+        assert_eq!(parse_object_seq("vol", &object_name("vol", 42)), Some(42));
+        assert_eq!(parse_object_seq("vol", &object_name("vol", 0)), Some(0));
+    }
+
+    #[test]
+    fn parse_seq_rejects_non_data_objects() {
+        assert_eq!(parse_object_seq("vol", &superblock_name("vol")), None);
+        assert_eq!(parse_object_seq("vol", &checkpoint_name("vol", 7)), None);
+        assert_eq!(parse_object_seq("vol", "other.00000001"), None);
+        assert_eq!(parse_object_seq("vol", "vol.123"), None);
+        assert_eq!(parse_object_seq("vol", "vol"), None);
+    }
+
+    #[test]
+    fn sector_conversions() {
+        assert_eq!(bytes_to_sectors(4096), 8);
+        assert_eq!(sectors_to_bytes(8), 4096);
+    }
+
+    #[test]
+    fn prefix_collision_between_images_is_avoided_by_dot() {
+        // "vol" and "vol2" share a string prefix but not an object prefix.
+        assert_eq!(parse_object_seq("vol", &object_name("vol2", 1)), None);
+    }
+}

@@ -1,0 +1,326 @@
+//! A shared object-range cache (§6.3 "Cache Sharing").
+//!
+//! The paper's future-work list: "a single host may run many virtual
+//! machines, each with disks cloned from the same image, using the same
+//! objects on backend storage. We are looking at mechanisms to cache and
+//! share this data across multiple virtual disks." Because clones share
+//! their base image's *objects by name*, a cache keyed by
+//! `(object, offset)` — rather than each volume's private vLBA space —
+//! deduplicates those fetches for free.
+//!
+//! [`CachingStore`] wraps any [`ObjectStore`] with an LRU cache of
+//! fixed-size chunks. Wrap one store in `Arc` and hand it to every cloned
+//! volume on the host: the first volume to read a base-image range pays
+//! the GET; the rest hit RAM. LSVD objects are immutable, so the only
+//! invalidation is whole-object on PUT/DELETE (re-used checkpoint names,
+//! GC deletions).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{ObjError, ObjectStore, Result};
+
+/// Cache chunk size: ranged GETs are rounded to these units.
+pub const CHUNK_BYTES: u64 = 64 * 1024;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Chunk lookups served from the cache.
+    pub chunk_hits: u64,
+    /// Chunk lookups that went to the inner store.
+    pub chunk_misses: u64,
+    /// Chunks evicted.
+    pub evictions: u64,
+    /// Chunks invalidated by PUT/DELETE.
+    pub invalidations: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// (object name, chunk index) -> (data, last-use stamp).
+    chunks: HashMap<(String, u64), (Bytes, u64)>,
+    /// LRU index: stamp -> key (stamps are unique).
+    lru: std::collections::BTreeMap<u64, (String, u64)>,
+    /// Per-object chunk index for O(chunks-of-object) invalidation.
+    by_name: HashMap<String, HashSet<u64>>,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+/// An [`ObjectStore`] wrapper adding a shared chunk cache for reads.
+pub struct CachingStore<S> {
+    inner: S,
+    state: Mutex<CacheInner>,
+    capacity_bytes: u64,
+    clock: AtomicU64,
+}
+
+impl<S: ObjectStore> CachingStore<S> {
+    /// Wraps `inner` with a cache of `capacity_bytes`.
+    pub fn new(inner: S, capacity_bytes: u64) -> Self {
+        CachingStore {
+            inner,
+            state: Mutex::new(CacheInner::default()),
+            capacity_bytes,
+            clock: AtomicU64::new(1),
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Access to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn lookup(&self, name: &str, chunk: u64) -> Option<Bytes> {
+        let stamp = self.tick();
+        let mut st = self.state.lock();
+        let key = (name.to_string(), chunk);
+        if let Some((data, old)) = st.chunks.get_mut(&key) {
+            let data = data.clone();
+            let old = std::mem::replace(old, stamp);
+            st.lru.remove(&old);
+            st.lru.insert(stamp, key);
+            st.stats.chunk_hits += 1;
+            Some(data)
+        } else {
+            st.stats.chunk_misses += 1;
+            None
+        }
+    }
+
+    fn admit(&self, name: &str, chunk: u64, data: Bytes) {
+        if data.len() as u64 > self.capacity_bytes {
+            return;
+        }
+        let stamp = self.tick();
+        let mut st = self.state.lock();
+        let key = (name.to_string(), chunk);
+        if st.chunks.contains_key(&key) {
+            return; // racing admit: keep the existing copy
+        }
+        while st.used_bytes + data.len() as u64 > self.capacity_bytes {
+            let Some((&old_stamp, _)) = st.lru.iter().next() else {
+                break;
+            };
+            let victim = st.lru.remove(&old_stamp).expect("lru entry");
+            if let Some((d, _)) = st.chunks.remove(&victim) {
+                st.used_bytes -= d.len() as u64;
+            }
+            if let Some(set) = st.by_name.get_mut(&victim.0) {
+                set.remove(&victim.1);
+            }
+            st.stats.evictions += 1;
+        }
+        st.used_bytes += data.len() as u64;
+        st.lru.insert(stamp, key.clone());
+        st.by_name
+            .entry(key.0.clone())
+            .or_default()
+            .insert(chunk);
+        st.chunks.insert(key, (data, stamp));
+    }
+
+    fn invalidate_object(&self, name: &str) {
+        let mut st = self.state.lock();
+        let Some(chunks) = st.by_name.remove(name) else {
+            return;
+        };
+        for c in chunks {
+            let key = (name.to_string(), c);
+            if let Some((d, stamp)) = st.chunks.remove(&key) {
+                st.used_bytes -= d.len() as u64;
+                st.lru.remove(&stamp);
+                st.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Fetches one chunk (through the cache), clipped to the object size.
+    fn chunk(&self, name: &str, index: u64, obj_size: u64) -> Result<Bytes> {
+        if let Some(d) = self.lookup(name, index) {
+            return Ok(d);
+        }
+        let start = index * CHUNK_BYTES;
+        let len = CHUNK_BYTES.min(obj_size.saturating_sub(start));
+        let data = self.inner.get_range(name, start, len)?;
+        self.admit(name, index, data.clone());
+        Ok(data)
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for CachingStore<S> {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        // Objects are immutable in LSVD, but checkpoints reuse names:
+        // drop any cached chunks before the replace.
+        self.invalidate_object(name);
+        self.inner.put(name, data)
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        let size = self.inner.head(name)?;
+        self.get_range(name, 0, size)
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+        if len == 0 {
+            // Bounds-check without data movement.
+            let size = self.inner.head(name)?;
+            if offset > size {
+                return Err(ObjError::BadRange {
+                    name: name.to_string(),
+                    offset,
+                    len,
+                    size,
+                });
+            }
+            return Ok(Bytes::new());
+        }
+        let size = self.inner.head(name)?;
+        if offset + len > size {
+            return Err(ObjError::BadRange {
+                name: name.to_string(),
+                offset,
+                len,
+                size,
+            });
+        }
+        let first = offset / CHUNK_BYTES;
+        let last = (offset + len - 1) / CHUNK_BYTES;
+        if first == last {
+            let chunk = self.chunk(name, first, size)?;
+            let s = (offset - first * CHUNK_BYTES) as usize;
+            return Ok(chunk.slice(s..s + len as usize));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for idx in first..=last {
+            let chunk = self.chunk(name, idx, size)?;
+            let c_start = idx * CHUNK_BYTES;
+            let s = offset.max(c_start) - c_start;
+            let e = (offset + len).min(c_start + chunk.len() as u64) - c_start;
+            out.extend_from_slice(&chunk[s as usize..e as usize]);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn head(&self, name: &str) -> Result<u64> {
+        self.inner.head(name)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.invalidate_object(name);
+        self.inner.delete(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    fn store_with(name: &str, len: usize) -> CachingStore<MemStore> {
+        let inner = MemStore::new();
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        inner.put(name, Bytes::from(data)).unwrap();
+        CachingStore::new(inner, 1 << 20)
+    }
+
+    #[test]
+    fn reads_match_inner_store() {
+        let s = store_with("obj", 300_000);
+        let direct = s.inner().get_range("obj", 12_345, 100_000).unwrap();
+        let cached = s.get_range("obj", 12_345, 100_000).unwrap();
+        assert_eq!(direct, cached);
+        // Second read: all chunks hit.
+        let before = s.stats();
+        let again = s.get_range("obj", 12_345, 100_000).unwrap();
+        assert_eq!(again, direct);
+        let after = s.stats();
+        assert_eq!(after.chunk_misses, before.chunk_misses, "no new misses");
+        assert!(after.chunk_hits > before.chunk_hits);
+    }
+
+    #[test]
+    fn whole_get_and_edges() {
+        let s = store_with("obj", (CHUNK_BYTES + 1000) as usize);
+        let whole = s.get("obj").unwrap();
+        assert_eq!(whole.len() as u64, CHUNK_BYTES + 1000);
+        assert_eq!(
+            s.get_range("obj", CHUNK_BYTES - 1, 2).unwrap(),
+            whole.slice((CHUNK_BYTES - 1) as usize..(CHUNK_BYTES + 1) as usize)
+        );
+        assert!(s.get_range("obj", CHUNK_BYTES, 1000).is_ok());
+        assert!(matches!(
+            s.get_range("obj", CHUNK_BYTES + 1000, 1),
+            Err(ObjError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn put_and_delete_invalidate() {
+        let s = store_with("obj", 10_000);
+        let old = s.get_range("obj", 0, 10_000).unwrap();
+        assert_eq!(old[0], 0);
+        // Replace the object (checkpoint-style name reuse).
+        s.put("obj", Bytes::from(vec![9u8; 10_000])).unwrap();
+        let new = s.get_range("obj", 0, 10_000).unwrap();
+        assert!(new.iter().all(|&b| b == 9), "no stale chunks after PUT");
+        s.delete("obj").unwrap();
+        assert!(matches!(s.get("obj"), Err(ObjError::NotFound(_))));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_memory() {
+        let inner = MemStore::new();
+        for i in 0..8 {
+            inner
+                .put(&format!("o{i}"), Bytes::from(vec![i as u8; CHUNK_BYTES as usize]))
+                .unwrap();
+        }
+        // Capacity for only 3 chunks.
+        let s = CachingStore::new(inner, 3 * CHUNK_BYTES);
+        for i in 0..8 {
+            s.get(&format!("o{i}")).unwrap();
+        }
+        let st = s.stats();
+        assert!(st.evictions >= 5, "evictions {}", st.evictions);
+        // Most-recent object still cached.
+        let before = s.stats().chunk_hits;
+        s.get("o7").unwrap();
+        assert!(s.stats().chunk_hits > before);
+    }
+
+    #[test]
+    fn clones_share_base_object_fetches() {
+        use crate::ObjectStore as _;
+        // Two "volumes" reading the same base object through one shared
+        // cache: the second pays nothing.
+        let s = std::sync::Arc::new(store_with("base.00000001", 256 * 1024));
+        let v1 = s.clone();
+        let v2 = s.clone();
+        v1.get_range("base.00000001", 0, 256 * 1024).unwrap();
+        let misses_after_v1 = s.stats().chunk_misses;
+        v2.get_range("base.00000001", 0, 256 * 1024).unwrap();
+        assert_eq!(
+            s.stats().chunk_misses,
+            misses_after_v1,
+            "the clone's reads are all hits"
+        );
+    }
+}

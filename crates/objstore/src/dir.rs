@@ -1,0 +1,131 @@
+//! A directory-backed functional object store (one file per object).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+
+use crate::{slice_range, ObjError, ObjectStore, Result};
+
+/// An object store that persists each object as a file in a host directory,
+/// so example programs survive process restarts like a real S3 bucket.
+///
+/// Object names are used directly as file names; LSVD object names contain
+/// only `[A-Za-z0-9._-]`, which is filesystem-safe. PUT writes to a
+/// temporary file and renames, so a crash mid-PUT never leaves a partial
+/// object visible — matching S3's atomic-PUT semantics.
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Self> {
+        fs::create_dir_all(&root)?;
+        Ok(DirStore {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl ObjectStore for DirStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        let tmp = self.root.join(format!(".tmp.{name}"));
+        fs::write(&tmp, &data)?;
+        fs::rename(&tmp, self.path(name))?;
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        match fs::read(self.path(name)) {
+            Ok(v) => Ok(Bytes::from(v)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(ObjError::NotFound(name.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+        // Whole-object read then slice: fine for the example-scale data the
+        // functional plane handles.
+        let data = self.get(name)?;
+        slice_range(name, &data, offset, len)
+    }
+
+    fn head(&self, name: &str) -> Result<u64> {
+        match fs::metadata(self.path(name)) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(ObjError::NotFound(name.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.starts_with(prefix) && !name.starts_with(".tmp.") {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("objstore-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn dir_store_round_trip_and_persistence() {
+        let root = tmpdir("rt");
+        {
+            let s = DirStore::open(&root).unwrap();
+            s.put("vol.001", Bytes::from_static(b"data1")).unwrap();
+            s.put("vol.002", Bytes::from_static(b"data22")).unwrap();
+        }
+        let s = DirStore::open(&root).unwrap();
+        assert_eq!(s.get("vol.001").unwrap().as_ref(), b"data1");
+        assert_eq!(s.head("vol.002").unwrap(), 6);
+        assert_eq!(s.list("vol.").unwrap(), vec!["vol.001", "vol.002"]);
+        assert_eq!(s.get_range("vol.002", 4, 2).unwrap().as_ref(), b"22");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_store_missing_and_delete() {
+        let root = tmpdir("md");
+        let s = DirStore::open(&root).unwrap();
+        assert!(matches!(s.get("x"), Err(ObjError::NotFound(_))));
+        s.delete("x").unwrap(); // idempotent
+        s.put("x", Bytes::from_static(b"1")).unwrap();
+        s.delete("x").unwrap();
+        assert!(!s.exists("x").unwrap());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,169 @@
+//! A fault-injecting object store wrapper.
+//!
+//! The crash-recovery experiments (§3.3, Table 4) need backend states that
+//! only arise from failures: *stranded* objects (sequence 99, 100 and 102
+//! present but 101 lost in flight), failed PUTs, and flaky reads.
+//! [`FaultyStore`] wraps any [`ObjectStore`] and injects those states
+//! deterministically.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{ObjError, ObjectStore, Result};
+
+/// A wrapper that can drop or fail operations against the inner store.
+pub struct FaultyStore<S> {
+    inner: S,
+    /// PUTs of these names vanish: the call returns success but nothing is
+    /// stored. This simulates an in-flight upload lost with the client
+    /// (the client that "observed" success crashed before recording it).
+    black_holes: Mutex<HashSet<String>>,
+    /// Fail the next N PUTs with [`ObjError::Injected`].
+    fail_puts: AtomicU64,
+    /// Fail the next N GET/GET-range calls.
+    fail_gets: AtomicU64,
+    puts_attempted: AtomicU64,
+    puts_dropped: AtomicU64,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: S) -> Self {
+        FaultyStore {
+            inner,
+            black_holes: Mutex::new(HashSet::new()),
+            fail_puts: AtomicU64::new(0),
+            fail_gets: AtomicU64::new(0),
+            puts_attempted: AtomicU64::new(0),
+            puts_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Makes future PUTs of `name` silently vanish.
+    pub fn black_hole(&self, name: &str) {
+        self.black_holes.lock().insert(name.to_string());
+    }
+
+    /// Arms failure of the next `n` PUT calls.
+    pub fn fail_next_puts(&self, n: u64) {
+        self.fail_puts.store(n, Ordering::SeqCst);
+    }
+
+    /// Arms failure of the next `n` GET calls.
+    pub fn fail_next_gets(&self, n: u64) {
+        self.fail_gets.store(n, Ordering::SeqCst);
+    }
+
+    /// Number of PUTs attempted through this wrapper.
+    pub fn puts_attempted(&self) -> u64 {
+        self.puts_attempted.load(Ordering::SeqCst)
+    }
+
+    /// Number of PUTs swallowed by black holes.
+    pub fn puts_dropped(&self) -> u64 {
+        self.puts_dropped.load(Ordering::SeqCst)
+    }
+
+    /// Access to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn take_one(counter: &AtomicU64) -> bool {
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        self.puts_attempted.fetch_add(1, Ordering::SeqCst);
+        if Self::take_one(&self.fail_puts) {
+            return Err(ObjError::Injected("put failure"));
+        }
+        if self.black_holes.lock().contains(name) {
+            self.puts_dropped.fetch_add(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        self.inner.put(name, data)
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        if Self::take_one(&self.fail_gets) {
+            return Err(ObjError::Injected("get failure"));
+        }
+        self.inner.get(name)
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+        if Self::take_one(&self.fail_gets) {
+            return Err(ObjError::Injected("get failure"));
+        }
+        self.inner.get_range(name, offset, len)
+    }
+
+    fn head(&self, name: &str) -> Result<u64> {
+        self.inner.head(name)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.inner.delete(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn black_hole_swallows_put() {
+        let s = FaultyStore::new(MemStore::new());
+        s.black_hole("vol.101");
+        s.put("vol.100", Bytes::from_static(b"a")).unwrap();
+        s.put("vol.101", Bytes::from_static(b"b")).unwrap();
+        s.put("vol.102", Bytes::from_static(b"c")).unwrap();
+        assert!(s.exists("vol.100").unwrap());
+        assert!(!s.exists("vol.101").unwrap(), "black-holed PUT must vanish");
+        assert!(s.exists("vol.102").unwrap());
+        assert_eq!(s.puts_attempted(), 3);
+        assert_eq!(s.puts_dropped(), 1);
+    }
+
+    #[test]
+    fn fail_next_puts_counts_down() {
+        let s = FaultyStore::new(MemStore::new());
+        s.fail_next_puts(2);
+        assert!(s.put("a", Bytes::new()).is_err());
+        assert!(s.put("b", Bytes::new()).is_err());
+        assert!(s.put("c", Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn fail_next_gets_counts_down() {
+        let s = FaultyStore::new(MemStore::new());
+        s.put("a", Bytes::from_static(b"xy")).unwrap();
+        s.fail_next_gets(1);
+        assert!(s.get("a").is_err());
+        assert_eq!(s.get("a").unwrap().as_ref(), b"xy");
+        assert_eq!(s.get_range("a", 1, 1).unwrap().as_ref(), b"y");
+    }
+
+    #[test]
+    fn passthrough_ops_unaffected() {
+        let s = FaultyStore::new(MemStore::new());
+        s.put("p.1", Bytes::from_static(b"z")).unwrap();
+        assert_eq!(s.head("p.1").unwrap(), 1);
+        assert_eq!(s.list("p.").unwrap(), vec!["p.1"]);
+        s.delete("p.1").unwrap();
+        assert!(!s.exists("p.1").unwrap());
+    }
+}

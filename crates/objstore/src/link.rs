@@ -1,0 +1,131 @@
+//! A simulated network link (bandwidth pipe).
+//!
+//! The paper's client talks to its storage cluster over 10 Gbit ethernet
+//! (§4.1); several experiments are shaped by that pipe. [`LinkModel`]
+//! serializes transfers at a fixed bandwidth per direction with a small
+//! per-message latency, full-duplex.
+
+use sim::{SimDuration, SimTime};
+
+/// Transfer direction through the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Client to storage cluster.
+    Tx,
+    /// Storage cluster to client.
+    Rx,
+}
+
+/// A full-duplex bandwidth pipe with per-message propagation latency.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    bw: f64,
+    latency: SimDuration,
+    tx_free: SimTime,
+    rx_free: SimTime,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+impl LinkModel {
+    /// Creates a link with `bw` bytes/second each way and `latency`
+    /// one-way propagation delay.
+    pub fn new(bw: f64, latency: SimDuration) -> Self {
+        assert!(bw > 0.0);
+        LinkModel {
+            bw,
+            latency,
+            tx_free: SimTime::ZERO,
+            rx_free: SimTime::ZERO,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    /// A 10 Gbit ethernet link with 100 µs one-way latency, as in the
+    /// paper's testbed.
+    pub fn ten_gbit() -> Self {
+        LinkModel::new(1.25e9, SimDuration::from_micros(100))
+    }
+
+    /// AWS intra-datacenter path between an EC2 instance and S3: the same
+    /// 10 Gbit NIC but with a higher per-request latency.
+    pub fn aws_s3() -> Self {
+        LinkModel::new(1.25e9, SimDuration::from_micros(600))
+    }
+
+    /// Transfers `len` bytes in direction `dir` starting no earlier than
+    /// `now`; returns the delivery completion time.
+    pub fn transfer(&mut self, now: SimTime, dir: Dir, len: u64) -> SimTime {
+        let free = match dir {
+            Dir::Tx => &mut self.tx_free,
+            Dir::Rx => &mut self.rx_free,
+        };
+        let start = now.max(*free);
+        let xfer = SimDuration::from_secs_f64(len as f64 / self.bw);
+        let wire_done = start + xfer;
+        *free = wire_done;
+        match dir {
+            Dir::Tx => self.tx_bytes += len,
+            Dir::Rx => self.rx_bytes += len,
+        }
+        wire_done + self.latency
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Total bytes sent client-to-cluster.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Total bytes sent cluster-to-client.
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let mut l = LinkModel::new(1e9, SimDuration::ZERO);
+        let done = l.transfer(SimTime::ZERO, Dir::Tx, 1_000_000_000);
+        assert_eq!(done, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn transfers_serialize_per_direction() {
+        let mut l = LinkModel::new(1e9, SimDuration::ZERO);
+        let a = l.transfer(SimTime::ZERO, Dir::Tx, 500_000_000);
+        let b = l.transfer(SimTime::ZERO, Dir::Tx, 500_000_000);
+        assert_eq!(a.as_secs_f64(), 0.5);
+        assert_eq!(b.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = LinkModel::new(1e9, SimDuration::ZERO);
+        let tx = l.transfer(SimTime::ZERO, Dir::Tx, 1_000_000_000);
+        let rx = l.transfer(SimTime::ZERO, Dir::Rx, 1_000_000_000);
+        assert_eq!(tx, rx, "full duplex: directions don't contend");
+        assert_eq!(l.tx_bytes(), 1_000_000_000);
+        assert_eq!(l.rx_bytes(), 1_000_000_000);
+    }
+
+    #[test]
+    fn latency_added_after_wire_time() {
+        let mut l = LinkModel::new(1e9, SimDuration::from_micros(100));
+        let done = l.transfer(SimTime::ZERO, Dir::Tx, 1000);
+        assert_eq!(done.as_nanos(), 1_000 + 100_000);
+        // Next transfer can start when the wire frees, not when the previous
+        // message lands.
+        let done2 = l.transfer(SimTime::ZERO, Dir::Tx, 1000);
+        assert_eq!(done2.as_nanos(), 2_000 + 100_000);
+    }
+}

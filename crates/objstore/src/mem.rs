@@ -1,0 +1,158 @@
+//! A RAM-backed functional object store.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::{slice_range, ObjError, ObjectStore, Result};
+
+/// An in-memory object store, the default backend for tests and fast
+/// functional experiments.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use objstore::{MemStore, ObjectStore};
+///
+/// let store = MemStore::new();
+/// store.put("vol.00000001", Bytes::from_static(b"hello world")).unwrap();
+/// assert_eq!(store.get_range("vol.00000001", 6, 5).unwrap().as_ref(), b"world");
+/// assert_eq!(store.list("vol.").unwrap(), vec!["vol.00000001"]);
+/// ```
+#[derive(Default)]
+pub struct MemStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes stored across all objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Number of objects stored.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        self.objects.write().insert(name.to_string(), data);
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ObjError::NotFound(name.to_string()))
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let guard = self.objects.read();
+        let data = guard
+            .get(name)
+            .ok_or_else(|| ObjError::NotFound(name.to_string()))?;
+        slice_range(name, data, offset, len)
+    }
+
+    fn head(&self, name: &str) -> Result<u64> {
+        self.objects
+            .read()
+            .get(name)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| ObjError::NotFound(name.to_string()))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.objects.write().remove(name);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = MemStore::new();
+        s.put("a", Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.get("a").unwrap().as_ref(), b"abc");
+        assert_eq!(s.head("a").unwrap(), 3);
+        assert!(s.exists("a").unwrap());
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let s = MemStore::new();
+        assert!(matches!(s.get("nope"), Err(ObjError::NotFound(_))));
+        assert!(!s.exists("nope").unwrap());
+    }
+
+    #[test]
+    fn range_reads_and_bounds() {
+        let s = MemStore::new();
+        s.put("a", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range("a", 2, 3).unwrap().as_ref(), b"234");
+        assert_eq!(s.get_range("a", 0, 10).unwrap().as_ref(), b"0123456789");
+        assert_eq!(s.get_range("a", 10, 0).unwrap().as_ref(), b"");
+        assert!(matches!(
+            s.get_range("a", 8, 3),
+            Err(ObjError::BadRange { .. })
+        ));
+        assert!(matches!(
+            s.get_range("a", u64::MAX, 1),
+            Err(ObjError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let s = MemStore::new();
+        s.put("a", Bytes::from_static(b"x")).unwrap();
+        s.delete("a").unwrap();
+        s.delete("a").unwrap();
+        assert!(!s.exists("a").unwrap());
+    }
+
+    #[test]
+    fn list_filters_by_prefix_in_order() {
+        let s = MemStore::new();
+        for name in ["vol.003", "vol.001", "other.001", "vol.002"] {
+            s.put(name, Bytes::new()).unwrap();
+        }
+        assert_eq!(s.list("vol.").unwrap(), vec!["vol.001", "vol.002", "vol.003"]);
+        assert_eq!(s.list("").unwrap().len(), 4);
+        assert!(s.list("zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn put_replaces_existing() {
+        let s = MemStore::new();
+        s.put("a", Bytes::from_static(b"old")).unwrap();
+        s.put("a", Bytes::from_static(b"newer")).unwrap();
+        assert_eq!(s.get("a").unwrap().as_ref(), b"newer");
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.total_bytes(), 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic discrete-event simulation core for the LSVD workspace.
+//!
+//! This crate provides the building blocks shared by every simulated
+//! component in the repository:
+//!
+//! - [`time`]: a virtual clock ([`SimTime`], [`SimDuration`]) measured in
+//!   integer nanoseconds, so experiments are reproducible bit-for-bit and a
+//!   25-minute writeback run finishes in milliseconds of wall time.
+//! - [`events`]: a generic [`EventQueue`] (a time-ordered priority queue with
+//!   deterministic FIFO tie-breaking) that the per-system engines drive.
+//! - [`rng`]: seeded random-number helpers, including the Zipf distribution
+//!   used by the synthetic trace generators.
+//! - [`stats`]: streaming statistics — log-bucketed histograms, percentile
+//!   summaries, rate meters and time series used to regenerate the paper's
+//!   figures.
+//! - [`units`]: byte-size constants and human-readable formatting.
+//! - [`report`]: small text-table and CSV emitters used by the bench
+//!   binaries.
+//!
+//! Nothing in this crate knows about disks or object stores; it is pure
+//! mechanism.
+
+pub mod events;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use events::EventQueue;
+pub use time::{SimDuration, SimTime};
+
+pub mod server;

@@ -1,0 +1,390 @@
+//! Streaming statistics used to regenerate the paper's tables and figures.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A power-of-two-bucketed histogram of sizes (bytes), as used by the
+/// paper's Figure 14 ("bytes written vs I/O size").
+///
+/// Bucket `i` covers sizes in `[2^i, 2^(i+1))`; each bucket accumulates both
+/// an operation count and a byte total so the figure's "GiB per size bin"
+/// view can be reproduced.
+#[derive(Debug, Clone, Default)]
+pub struct SizeHistogram {
+    counts: Vec<u64>,
+    bytes: Vec<u64>,
+}
+
+impl SizeHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(size: u64) -> usize {
+        debug_assert!(size > 0);
+        63 - size.leading_zeros() as usize
+    }
+
+    /// Records one operation of `size` bytes; zero-size ops are ignored.
+    pub fn record(&mut self, size: u64) {
+        if size == 0 {
+            return;
+        }
+        let b = Self::bucket(size);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+            self.bytes.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.bytes[b] += size;
+    }
+
+    /// Total operations recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Iterates `(bucket_lower_bound_bytes, ops, bytes)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .zip(self.bytes.iter())
+            .enumerate()
+            .filter(|(_, (&c, _))| c > 0)
+            .map(|(i, (&c, &b))| (1u64 << i, c, b))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &SizeHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+            self.bytes.resize(other.bytes.len(), 0);
+        }
+        for (i, (&c, &b)) in other.counts.iter().zip(other.bytes.iter()).enumerate() {
+            self.counts[i] += c;
+            self.bytes[i] += b;
+        }
+    }
+}
+
+/// Streaming summary of a scalar sample stream: count, mean, min, max and
+/// approximate percentiles via a fixed log-spaced bucket sketch.
+///
+/// Percentiles are accurate to ~2% relative error, which is ample for
+/// latency reporting.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    // Log-spaced buckets covering [1, 2^64) with 32 sub-buckets per octave.
+    buckets: Vec<u64>,
+}
+
+const SUBBUCKETS: usize = 32;
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        let v = v.max(1.0);
+        let octave = v.log2().floor();
+        let frac = v / 2f64.powf(octave) - 1.0; // in [0, 1)
+        (octave as usize) * SUBBUCKETS + ((frac * SUBBUCKETS as f64) as usize).min(SUBBUCKETS - 1)
+    }
+
+    fn bucket_value(i: usize) -> f64 {
+        let octave = i / SUBBUCKETS;
+        let sub = i % SUBBUCKETS;
+        2f64.powi(octave as i32) * (1.0 + (sub as f64 + 0.5) / SUBBUCKETS as f64)
+    }
+
+    /// Records a sample (values below 1.0 are clamped into the first bucket).
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let i = Self::bucket_index(v);
+        if self.buckets.len() <= i {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += 1;
+    }
+
+    /// Records a duration, in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample (0.0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `p`-th percentile, `p` in `[0, 100]` (0.0 if empty).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={:.1} p99={:.1} max={:.1}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// A fixed-interval time series accumulator for timeline figures
+/// (Figures 11, 15 and 16): values are summed into `interval`-wide bins.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    interval: SimDuration,
+    bins: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(interval > SimDuration::ZERO);
+        TimeSeries {
+            interval,
+            bins: Vec::new(),
+        }
+    }
+
+    fn bin(&self, t: SimTime) -> usize {
+        (t.as_nanos() / self.interval.as_nanos()) as usize
+    }
+
+    /// Adds `value` into the bin containing time `t`.
+    pub fn add(&mut self, t: SimTime, value: f64) {
+        let b = self.bin(t);
+        if self.bins.len() <= b {
+            self.bins.resize(b + 1, 0.0);
+        }
+        self.bins[b] += value;
+    }
+
+    /// Sets the bin containing `t` to `value` (last-writer-wins gauge).
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        let b = self.bin(t);
+        if self.bins.len() <= b {
+            self.bins.resize(b + 1, 0.0);
+        }
+        self.bins[b] = value;
+    }
+
+    /// The bin width.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Iterates `(bin_start_time, value)` over all bins (including zeros).
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let step = self.interval.as_nanos();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_nanos(i as u64 * step), v))
+    }
+
+    /// Sum over all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether no bins exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+}
+
+/// Simple monotonically accumulating operation/byte counters with busy-time
+/// tracking, used per simulated device to report utilization the way
+/// `/proc/diskstats` does.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IoCounters {
+    /// Completed read operations.
+    pub read_ops: u64,
+    /// Completed write operations.
+    pub write_ops: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Total time the device had at least one request in flight.
+    pub busy: SimDuration,
+}
+
+impl IoCounters {
+    /// Total operations.
+    pub fn total_ops(&self) -> u64 {
+        self.read_ops + self.write_ops
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Fraction of `elapsed` the device was busy, in `[0, 1]`.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            0.0
+        } else {
+            (self.busy.as_nanos() as f64 / elapsed.as_nanos() as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_histogram_buckets_powers_of_two() {
+        let mut h = SizeHistogram::new();
+        h.record(4096);
+        h.record(4096);
+        h.record(5000);
+        h.record(16384);
+        let rows: Vec<_> = h.iter().collect();
+        assert_eq!(rows, vec![(4096, 3, 4096 * 2 + 5000), (16384, 1, 16384)]);
+        assert_eq!(h.total_ops(), 4);
+    }
+
+    #[test]
+    fn size_histogram_merge() {
+        let mut a = SizeHistogram::new();
+        a.record(1024);
+        let mut b = SizeHistogram::new();
+        b.record(1024);
+        b.record(1 << 20);
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 3);
+        assert_eq!(a.total_bytes(), 2 * 1024 + (1 << 20));
+    }
+
+    #[test]
+    fn summary_percentiles_roughly_correct() {
+        let mut s = Summary::new();
+        for i in 1..=10_000 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.count(), 10_000);
+        assert!((s.mean() - 5000.5).abs() < 1.0);
+        let p50 = s.percentile(50.0);
+        assert!((4800.0..5300.0).contains(&p50), "p50 {p50}");
+        let p99 = s.percentile(99.0);
+        assert!((9600.0..10000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10_000.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn timeseries_bins_and_totals() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.add(SimTime::from_nanos(100), 1.0);
+        ts.add(SimTime::from_nanos(999_999_999), 2.0);
+        ts.add(SimTime::from_secs(3), 5.0);
+        let v: Vec<_> = ts.iter().map(|(_, x)| x).collect();
+        assert_eq!(v, vec![3.0, 0.0, 0.0, 5.0]);
+        assert_eq!(ts.total(), 8.0);
+    }
+
+    #[test]
+    fn io_counters_utilization() {
+        let c = IoCounters {
+            busy: SimDuration::from_millis(250),
+            ..Default::default()
+        };
+        let u = c.utilization(SimDuration::from_secs(1));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(c.utilization(SimDuration::ZERO), 0.0);
+    }
+}

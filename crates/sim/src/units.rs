@@ -1,0 +1,72 @@
+//! Byte-size constants and human-readable formatting.
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+/// One tebibyte.
+pub const TIB: u64 = 1024 * GIB;
+
+/// Formats a byte count with a binary-unit suffix, e.g. `"16.0 KiB"`.
+pub fn fmt_bytes(n: u64) -> String {
+    let nf = n as f64;
+    if n >= TIB {
+        format!("{:.2} TiB", nf / TIB as f64)
+    } else if n >= GIB {
+        format!("{:.2} GiB", nf / GIB as f64)
+    } else if n >= MIB {
+        format!("{:.1} MiB", nf / MIB as f64)
+    } else if n >= KIB {
+        format!("{:.1} KiB", nf / KIB as f64)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Formats a bytes-per-second rate, e.g. `"173.0 MB/s"`, using decimal
+/// megabytes as the paper's figures do.
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= 1e9 {
+        format!("{:.2} GB/s", bytes_per_sec / 1e9)
+    } else if bytes_per_sec >= 1e6 {
+        format!("{:.1} MB/s", bytes_per_sec / 1e6)
+    } else if bytes_per_sec >= 1e3 {
+        format!("{:.1} KB/s", bytes_per_sec / 1e3)
+    } else {
+        format!("{bytes_per_sec:.0} B/s")
+    }
+}
+
+/// Formats an operations-per-second rate, e.g. `"50.0K IOPS"`.
+pub fn fmt_iops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.2}M IOPS", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}K IOPS", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0} IOPS")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(16 * KIB), "16.0 KiB");
+        assert_eq!(fmt_bytes(4 * MIB), "4.0 MiB");
+        assert_eq!(fmt_bytes(80 * GIB), "80.00 GiB");
+        assert_eq!(fmt_bytes(2 * TIB), "2.00 TiB");
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(173e6), "173.0 MB/s");
+        assert_eq!(fmt_rate(2.8e9), "2.80 GB/s");
+        assert_eq!(fmt_iops(50_000.0), "50.0K IOPS");
+    }
+}

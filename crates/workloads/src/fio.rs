@@ -1,0 +1,183 @@
+//! fio-style micro-benchmark generators (§4.2.1, §4.3).
+//!
+//! Reproduces the parameter grid of the paper's micro-benchmarks: random
+//! or sequential access, read/write/mixed, block sizes of 4/16/64 KiB,
+//! over an 80 GiB volume. Each engine thread (queue-depth slot) owns one
+//! generator; sequential generators stride disjoint regions per thread as
+//! fio does with `offset_increment`.
+
+use rand::Rng;
+use sim::rng::rng_from_seed;
+
+use crate::{IoOp, Workload};
+
+/// Access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniformly random block-aligned offsets.
+    Random,
+    /// Ascending offsets, wrapping at the end of the thread's region.
+    Sequential,
+}
+
+/// fio job parameters.
+#[derive(Debug, Clone)]
+pub struct FioSpec {
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Percentage of reads (0 = pure write, 100 = pure read).
+    pub read_pct: u8,
+    /// Block size in bytes (must be sector aligned).
+    pub block_bytes: u64,
+    /// Addressable span in bytes (the virtual disk size).
+    pub span_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FioSpec {
+    /// `randwrite` with the paper's defaults: 80 GiB span.
+    pub fn randwrite(block_bytes: u64, seed: u64) -> Self {
+        FioSpec {
+            pattern: Pattern::Random,
+            read_pct: 0,
+            block_bytes,
+            span_bytes: 80 << 30,
+            seed,
+        }
+    }
+
+    /// `randread` with the paper's defaults.
+    pub fn randread(block_bytes: u64, seed: u64) -> Self {
+        FioSpec {
+            read_pct: 100,
+            ..Self::randwrite(block_bytes, seed)
+        }
+    }
+
+    /// `write` (sequential) with the paper's defaults.
+    pub fn seqwrite(block_bytes: u64, seed: u64) -> Self {
+        FioSpec {
+            pattern: Pattern::Sequential,
+            ..Self::randwrite(block_bytes, seed)
+        }
+    }
+
+    /// Builds the generator for one thread of `nthreads`.
+    pub fn thread(&self, thread: usize, nthreads: usize) -> FioGen {
+        assert!(self.block_bytes % 512 == 0 && self.block_bytes > 0);
+        assert!(nthreads > 0 && thread < nthreads);
+        let blocks = self.span_bytes / self.block_bytes;
+        let per_thread = (blocks / nthreads as u64).max(1);
+        FioGen {
+            spec: self.clone(),
+            rng: rng_from_seed(sim::rng::derive_seed(self.seed, thread as u64)),
+            blocks,
+            seq_base: per_thread * thread as u64,
+            seq_len: per_thread,
+            seq_next: 0,
+        }
+    }
+}
+
+/// One thread's fio stream.
+pub struct FioGen {
+    spec: FioSpec,
+    rng: rand::rngs::SmallRng,
+    blocks: u64,
+    seq_base: u64,
+    seq_len: u64,
+    seq_next: u64,
+}
+
+impl Workload for FioGen {
+    fn next_op(&mut self) -> IoOp {
+        let sectors = (self.spec.block_bytes / 512) as u32;
+        let block = match self.spec.pattern {
+            Pattern::Random => self.rng.gen_range(0..self.blocks),
+            Pattern::Sequential => {
+                let b = (self.seq_base + self.seq_next) % self.blocks;
+                self.seq_next = (self.seq_next + 1) % self.seq_len;
+                b
+            }
+        };
+        let lba = block * (self.spec.block_bytes / 512);
+        let is_read = self.rng.gen_range(0..100u8) < self.spec.read_pct;
+        if is_read {
+            IoOp::Read { lba, sectors }
+        } else {
+            IoOp::Write { lba, sectors }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randwrite_is_all_writes_in_span() {
+        let mut g = FioSpec::randwrite(16 << 10, 1).thread(0, 4);
+        for _ in 0..1000 {
+            let op = g.next_op();
+            assert!(op.is_write());
+            let IoOp::Write { lba, sectors } = op else { unreachable!() };
+            assert_eq!(sectors, 32);
+            assert_eq!(lba % 32, 0, "block aligned");
+            assert!((lba + sectors as u64) * 512 <= 80 << 30);
+        }
+    }
+
+    #[test]
+    fn randread_is_all_reads() {
+        let mut g = FioSpec::randread(4096, 2).thread(0, 1);
+        assert!((0..100).all(|_| matches!(g.next_op(), IoOp::Read { .. })));
+    }
+
+    #[test]
+    fn sequential_threads_use_disjoint_regions() {
+        let spec = FioSpec {
+            span_bytes: 1 << 20,
+            ..FioSpec::seqwrite(4096, 3)
+        };
+        let mut a = spec.thread(0, 2);
+        let mut b = spec.thread(1, 2);
+        let la: Vec<u64> = (0..4).map(|_| match a.next_op() {
+            IoOp::Write { lba, .. } => lba,
+            _ => unreachable!(),
+        }).collect();
+        let lb: Vec<u64> = (0..4).map(|_| match b.next_op() {
+            IoOp::Write { lba, .. } => lba,
+            _ => unreachable!(),
+        }).collect();
+        assert_eq!(la, vec![0, 8, 16, 24], "ascending");
+        assert_eq!(lb[0], 1024, "second half of the span");
+        assert!(la.iter().all(|l| !lb.contains(l)));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = FioSpec::randwrite(4096, 7).thread(2, 8);
+        let mut b = FioSpec::randwrite(4096, 7).thread(2, 8);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        // Different threads differ.
+        let mut c = FioSpec::randwrite(4096, 7).thread(3, 8);
+        let same = (0..100).filter(|_| a.next_op() == c.next_op()).count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn mixed_ratio_roughly_holds() {
+        let spec = FioSpec {
+            read_pct: 70,
+            ..FioSpec::randwrite(4096, 9)
+        };
+        let mut g = spec.thread(0, 1);
+        let reads = (0..10_000)
+            .filter(|_| matches!(g.next_op(), IoOp::Read { .. }))
+            .count();
+        assert!((6500..7500).contains(&reads), "reads {reads}");
+    }
+}

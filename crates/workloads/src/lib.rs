@@ -1,0 +1,84 @@
+//! Workload generators for the LSVD experiments.
+//!
+//! Three families, matching the paper's evaluation:
+//!
+//! - [`fio`]: closed-loop random/sequential read/write micro-benchmarks
+//!   with configurable block size, as used in §4.2.1 and §4.3;
+//! - [`filebench`]: block-level models of the Filebench *fileserver*,
+//!   *oltp* and *varmail* personalities, generating the write-size /
+//!   commit-barrier patterns the paper measured at block level (Table 3);
+//! - [`traces`]: synthetic week-long virtual-disk traces spanning the
+//!   behavioural regimes of the CloudPhysics corpus used for the Table 5
+//!   garbage-collection simulations (the original traces are proprietary).
+//!
+//! All generators implement [`Workload`]: an infinite, deterministic,
+//! seeded stream of block-level operations. Engines run one generator
+//! instance per client thread (queue-depth slot).
+
+pub mod filebench;
+pub mod fio;
+pub mod replay;
+pub mod traces;
+
+/// One block-level operation, in 512-byte sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Read `sectors` at `lba`.
+    Read {
+        /// Starting sector.
+        lba: u64,
+        /// Length in sectors.
+        sectors: u32,
+    },
+    /// Write `sectors` at `lba`.
+    Write {
+        /// Starting sector.
+        lba: u64,
+        /// Length in sectors.
+        sectors: u32,
+    },
+    /// Commit barrier (fsync / FLUSH CACHE).
+    Flush,
+    /// Client thread idle for the given time (used by bounded workloads
+    /// that finish before the measurement horizon).
+    Sleep {
+        /// Idle time in microseconds.
+        us: u64,
+    },
+}
+
+impl IoOp {
+    /// Length in bytes (0 for flushes).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            IoOp::Read { sectors, .. } | IoOp::Write { sectors, .. } => sectors as u64 * 512,
+            IoOp::Flush | IoOp::Sleep { .. } => 0,
+        }
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, IoOp::Write { .. })
+    }
+}
+
+/// An infinite, deterministic stream of block operations for one client
+/// thread.
+pub trait Workload: Send {
+    /// Produces the next operation.
+    fn next_op(&mut self) -> IoOp;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ioop_bytes() {
+        assert_eq!(IoOp::Write { lba: 0, sectors: 8 }.bytes(), 4096);
+        assert_eq!(IoOp::Read { lba: 0, sectors: 32 }.bytes(), 16384);
+        assert_eq!(IoOp::Flush.bytes(), 0);
+        assert!(IoOp::Write { lba: 0, sectors: 1 }.is_write());
+        assert!(!IoOp::Flush.is_write());
+    }
+}

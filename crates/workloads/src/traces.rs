@@ -1,0 +1,341 @@
+//! Synthetic CloudPhysics-style virtual-disk traces (§4.6, Table 5).
+//!
+//! The paper simulates LSVD batching and garbage collection on week-long
+//! block traces from the CloudPhysics corpus — 106 production virtual
+//! machines. That corpus is proprietary, so this module synthesizes traces
+//! spanning the same behavioural regimes, parameterized by the four knobs
+//! that drive the Table 5 metrics:
+//!
+//! - **footprint vs. total bytes written**: how much data is overwritten
+//!   over the week, which drives GC activity and hence WAF;
+//! - **burst overwrites**: the probability a write re-hits a very recently
+//!   written extent, which drives the intra-batch *merge ratio*;
+//! - **sequentiality and popularity skew**: run lengths and Zipf-skewed
+//!   slot choice, which drive the final *extent count*;
+//! - **fragmentation gaps**: writes that leave sub-8 KiB holes, which is
+//!   what the paper's hole-plugging *defrag* variant repairs (traces w01
+//!   and w41).
+//!
+//! Each named preset is fitted so its (WAF, extent count, merge ratio)
+//! land in the same regime as the corresponding Table 5 row.
+
+use rand::Rng;
+use sim::rng::{rng_from_seed, Zipf};
+
+/// Parameters of one synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Trace name (matching the paper's row labels).
+    pub name: &'static str,
+    /// Addressable footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Total bytes written over the trace.
+    pub total_write_bytes: u64,
+    /// Modal write size in bytes.
+    pub write_bytes: u64,
+    /// Zipf skew of slot popularity (0 = uniform).
+    pub zipf_theta: f64,
+    /// Fraction of writes that continue a sequential run.
+    pub seq_fraction: f64,
+    /// Probability a write overwrites one of the last few writes
+    /// (drives the merge ratio).
+    pub burst_overwrite: f64,
+    /// If nonzero, writes shrink by this many sectors, leaving small holes
+    /// between neighbouring extents (defrag-sensitive traces).
+    pub gap_sectors: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The nine presets reported in Table 5, in the paper's row order.
+///
+/// `scale` divides footprint and volume written (1 = full week; 8 or 16
+/// keep run times short while preserving the steady-state regime).
+pub fn table5_traces(scale: u64) -> Vec<TraceSpec> {
+    let s = scale.max(1);
+    let gib = 1u64 << 30;
+    vec![
+        // w10: lots of unique data, almost no merging, mid-size map.
+        TraceSpec {
+            name: "w10",
+            footprint_bytes: 420 * gib / s,
+            total_write_bytes: 484 * gib / s,
+            write_bytes: 128 << 10,
+            zipf_theta: 0.2,
+            seq_fraction: 0.55,
+            burst_overwrite: 0.01,
+            gap_sectors: 0,
+            seed: 0x10,
+        },
+        // w04: heavy rewrite of a moderate footprint: WAF ~1.4, merge .21.
+        TraceSpec {
+            name: "w04",
+            footprint_bytes: 300 * gib / s,
+            total_write_bytes: 1786 * gib / s,
+            write_bytes: 256 << 10,
+            zipf_theta: 0.6,
+            seq_fraction: 0.45,
+            burst_overwrite: 0.21,
+            gap_sectors: 0,
+            seed: 0x04,
+        },
+        // w66: tiny trace, majority of bytes overwritten while batching.
+        TraceSpec {
+            name: "w66",
+            footprint_bytes: 6 * gib / s,
+            total_write_bytes: 49 * gib / s,
+            write_bytes: 64 << 10,
+            zipf_theta: 0.9,
+            seq_fraction: 0.2,
+            burst_overwrite: 0.55,
+            gap_sectors: 0,
+            seed: 0x66,
+        },
+        // w01: small random writes leaving holes: huge map, defrag halves it.
+        TraceSpec {
+            name: "w01",
+            footprint_bytes: 180 * gib / s,
+            total_write_bytes: 272 * gib / s,
+            write_bytes: 16 << 10,
+            zipf_theta: 0.3,
+            seq_fraction: 0.25,
+            burst_overwrite: 0.10,
+            gap_sectors: 8, // 4 KiB holes
+            seed: 0x01,
+        },
+        // w07: small skewed working set, high churn: WAF ~1.8.
+        TraceSpec {
+            name: "w07",
+            footprint_bytes: 20 * gib / s,
+            total_write_bytes: 85 * gib / s,
+            write_bytes: 64 << 10,
+            zipf_theta: 0.4,
+            seq_fraction: 0.2,
+            burst_overwrite: 0.06,
+            gap_sectors: 0,
+            seed: 0x07,
+        },
+        // w31: almost purely sequential: WAF ~1, small map.
+        TraceSpec {
+            name: "w31",
+            footprint_bytes: 290 * gib / s,
+            total_write_bytes: 321 * gib / s,
+            write_bytes: 512 << 10,
+            zipf_theta: 0.1,
+            seq_fraction: 0.93,
+            burst_overwrite: 0.02,
+            gap_sectors: 0,
+            seed: 0x31,
+        },
+        // w59: small, churny, some merging.
+        TraceSpec {
+            name: "w59",
+            footprint_bytes: 16 * gib / s,
+            total_write_bytes: 60 * gib / s,
+            write_bytes: 64 << 10,
+            zipf_theta: 0.5,
+            seq_fraction: 0.25,
+            burst_overwrite: 0.14,
+            gap_sectors: 0,
+            seed: 0x59,
+        },
+        // w41: extreme burst overwrites + holes: merge .71, defrag 10x map.
+        TraceSpec {
+            name: "w41",
+            footprint_bytes: 40 * gib / s,
+            total_write_bytes: 127 * gib / s,
+            write_bytes: 32 << 10,
+            zipf_theta: 0.8,
+            seq_fraction: 0.15,
+            burst_overwrite: 0.71,
+            gap_sectors: 8,
+            seed: 0x41,
+        },
+        // w05: big, write-once-ish, no merging, large map.
+        TraceSpec {
+            name: "w05",
+            footprint_bytes: 350 * gib / s,
+            total_write_bytes: 389 * gib / s,
+            write_bytes: 64 << 10,
+            zipf_theta: 0.2,
+            seq_fraction: 0.4,
+            burst_overwrite: 0.0,
+            gap_sectors: 0,
+            seed: 0x05,
+        },
+    ]
+}
+
+/// Iterator of `(lba, sectors)` writes for one trace.
+pub struct TraceGen {
+    spec: TraceSpec,
+    rng: rand::rngs::SmallRng,
+    zipf: Zipf,
+    slots: u64,
+    slot_sectors: u64,
+    /// Sequential run state.
+    run_slot: u64,
+    run_left: u32,
+    /// Recent writes for burst overwrites.
+    recent: Vec<(u64, u32)>,
+    emitted_bytes: u64,
+}
+
+impl TraceGen {
+    /// Creates the generator for `spec`.
+    pub fn new(spec: TraceSpec) -> Self {
+        let slot_sectors = (spec.write_bytes / 512).max(1);
+        let slots = (spec.footprint_bytes / spec.write_bytes).max(4);
+        TraceGen {
+            rng: rng_from_seed(spec.seed),
+            zipf: Zipf::new(slots, spec.zipf_theta),
+            slots,
+            slot_sectors,
+            run_slot: 0,
+            run_left: 0,
+            recent: Vec::with_capacity(64),
+            emitted_bytes: 0,
+            spec,
+        }
+    }
+
+    /// The trace's spec.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    fn pick_size(&mut self) -> u32 {
+        // Mixture around the modal size: half/modal/double.
+        let base = self.slot_sectors as u32;
+        match self.rng.gen_range(0..10u8) {
+            0..=1 => (base / 2).max(8),
+            2..=8 => base,
+            _ => base * 2,
+        }
+    }
+
+    fn remember(&mut self, lba: u64, sectors: u32) {
+        if self.recent.len() >= 64 {
+            let i = self.rng.gen_range(0..self.recent.len());
+            self.recent.swap_remove(i);
+        }
+        self.recent.push((lba, sectors));
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = (u64, u32);
+
+    fn next(&mut self) -> Option<(u64, u32)> {
+        if self.emitted_bytes >= self.spec.total_write_bytes {
+            return None;
+        }
+        let (lba, sectors) = if !self.recent.is_empty()
+            && self.rng.gen::<f64>() < self.spec.burst_overwrite
+        {
+            // Overwrite a very recent write (coalesces within the batch).
+            let i = self.rng.gen_range(0..self.recent.len());
+            self.recent[i]
+        } else if self.run_left > 0 {
+            // Continue the sequential run.
+            self.run_left -= 1;
+            self.run_slot = (self.run_slot + 1) % self.slots;
+            (self.run_slot * self.slot_sectors, self.slot_sectors as u32)
+        } else {
+            let slot = self.zipf.sample(&mut self.rng);
+            if self.rng.gen::<f64>() < self.spec.seq_fraction {
+                // Start a sequential run here.
+                self.run_slot = slot;
+                self.run_left = 8 + self.rng.gen_range(0..56);
+                (slot * self.slot_sectors, self.slot_sectors as u32)
+            } else {
+                let size = self.pick_size();
+                let lba = slot * self.slot_sectors;
+                let size = size.min((self.slots * self.slot_sectors - lba) as u32);
+                (lba, size)
+            }
+        };
+        let sectors = sectors.saturating_sub(self.spec.gap_sectors as u32).max(8);
+        self.remember(lba, sectors);
+        self.emitted_bytes += sectors as u64 * 512;
+        Some((lba, sectors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_emit_roughly_requested_volume() {
+        for spec in table5_traces(512) {
+            let name = spec.name;
+            let target = spec.total_write_bytes;
+            let total: u64 = TraceGen::new(spec).map(|(_, s)| s as u64 * 512).sum();
+            let ratio = total as f64 / target as f64;
+            assert!(
+                (0.95..1.2).contains(&ratio),
+                "{name}: emitted {total} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn writes_stay_in_footprint() {
+        for spec in table5_traces(512) {
+            let name = spec.name;
+            let fp_sectors = spec.footprint_bytes / 512 + spec.write_bytes * 2 / 512;
+            for (lba, sectors) in TraceGen::new(spec).take(20_000) {
+                assert!(
+                    lba + sectors as u64 <= fp_sectors,
+                    "{name}: {lba}+{sectors} beyond footprint"
+                );
+                assert!(sectors >= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_traces_rehit_recent_writes() {
+        let specs = table5_traces(512);
+        let w41 = specs.iter().find(|s| s.name == "w41").unwrap().clone();
+        let w05 = specs.iter().find(|s| s.name == "w05").unwrap().clone();
+        let rehits = |spec: TraceSpec| {
+            let mut seen = std::collections::HashSet::new();
+            let mut hits = 0usize;
+            for (lba, _) in TraceGen::new(spec).take(10_000) {
+                if !seen.insert(lba) {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        assert!(rehits(w41) > 2 * rehits(w05), "w41 must re-hit far more");
+    }
+
+    #[test]
+    fn sequential_trace_has_long_runs() {
+        let specs = table5_traces(512);
+        let w31 = specs.iter().find(|s| s.name == "w31").unwrap().clone();
+        let mut consecutive = 0usize;
+        let mut total = 0usize;
+        let mut last_end = None;
+        for (lba, sectors) in TraceGen::new(w31).take(10_000) {
+            if last_end == Some(lba) {
+                consecutive += 1;
+            }
+            last_end = Some(lba + sectors as u64);
+            total += 1;
+        }
+        let frac = consecutive as f64 / total as f64;
+        assert!(frac > 0.7, "sequential continuation fraction {frac} ({consecutive}/{total})");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let spec = table5_traces(512).remove(0);
+        let a: Vec<_> = TraceGen::new(spec.clone()).take(1000).collect();
+        let b: Vec<_> = TraceGen::new(spec).take(1000).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,66 @@
+//! Asynchronous replication (§4.8): lazily copy a volume's immutable
+//! object stream to a second store, lose the primary, and mount the
+//! replica.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example async_replication
+//! ```
+
+use std::sync::Arc;
+
+use blkdev::RamDisk;
+use lsvd::config::VolumeConfig;
+use lsvd::replication::Replicator;
+use lsvd::volume::Volume;
+use objstore::{MemStore, ObjectStore};
+
+fn main() {
+    let primary: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let replica: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cfg = VolumeConfig {
+        batch_bytes: 256 << 10,
+        ..VolumeConfig::default()
+    };
+
+    let cache = Arc::new(RamDisk::new(32 << 20));
+    let mut vol = Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg.clone())
+        .expect("create");
+    let mut repl = Replicator::new(primary.clone(), replica.clone(), "geo");
+
+    // Interleave writes with replication steps, as a background daemon
+    // would. The replicator only copies objects "old enough" — here we use
+    // a sequence-number lag of 4 objects as the age threshold.
+    for round in 0u64..16 {
+        for i in 0..16u64 {
+            let data = vec![(round + 1) as u8; 64 << 10];
+            vol.write(i * (1 << 20), &data).expect("write");
+        }
+        let frontier = vol.last_object_seq().saturating_sub(4);
+        let copied = repl.step(frontier).expect("replicate");
+        if copied > 0 {
+            println!(
+                "round {round:2}: replicated {copied} objects (lagging the primary by design)"
+            );
+        }
+    }
+
+    // Final sync, then the primary "burns down".
+    vol.shutdown().expect("shutdown");
+    repl.step(u32::MAX).expect("final catch-up");
+    let stats = repl.stats();
+    println!(
+        "replicated {} objects, {} bytes total; {} skipped (GC'd before copy)",
+        stats.objects_copied, stats.bytes_copied, stats.objects_skipped_deleted
+    );
+    drop(primary);
+
+    // The replica mounts with the standard recovery path — same prefix
+    // rule, no special cases.
+    let cache = Arc::new(RamDisk::new(32 << 20));
+    let mut vol = Volume::open(replica, cache, "geo", cfg).expect("mount replica");
+    let mut buf = vec![0u8; 64 << 10];
+    vol.read(5 << 20, &mut buf).expect("read");
+    assert!(buf.iter().all(|&b| b == 16), "replica holds the final data");
+    println!("replica mounted after losing the primary: data verified");
+}

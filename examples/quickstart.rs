@@ -1,0 +1,80 @@
+//! Quickstart: create an LSVD volume over a directory-backed object store,
+//! write and read it, shut it down cleanly, and reopen it.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The "bucket" lives in a temp directory (one file per backend object) and
+//! the "cache SSD" in a flat file, so you can inspect LSVD's on-media
+//! formats after the run.
+
+use std::sync::Arc;
+
+use blkdev::FileDisk;
+use lsvd::config::VolumeConfig;
+use lsvd::volume::Volume;
+use objstore::{DirStore, ObjectStore};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("lsvd-quickstart-{}", std::process::id()));
+    let bucket = dir.join("bucket");
+    let cache_path = dir.join("cache.img");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    println!("bucket:    {}", bucket.display());
+    println!("cache SSD: {}", cache_path.display());
+
+    let store: Arc<dyn ObjectStore> = Arc::new(DirStore::open(&bucket).expect("bucket"));
+    let cache = Arc::new(FileDisk::create(&cache_path, 64 << 20).expect("cache file"));
+
+    // Create a 256 MiB virtual disk with small batches so backend objects
+    // appear quickly.
+    let cfg = VolumeConfig {
+        batch_bytes: 1 << 20,
+        ..VolumeConfig::default()
+    };
+    let mut vol = Volume::create(store.clone(), cache.clone(), "demo", 256 << 20, cfg.clone())
+        .expect("create volume");
+
+    // Write a few regions, then a commit barrier (one cache flush).
+    for i in 0u64..64 {
+        let data = vec![i as u8 + 1; 16 << 10];
+        vol.write(i * (1 << 20), &data).expect("write");
+    }
+    vol.flush().expect("commit barrier");
+    println!(
+        "wrote 1.0 MiB x 64 regions; dirty (not yet in backend): {} bytes",
+        vol.dirty_bytes()
+    );
+
+    // Reads are served from the write-back cache right now.
+    let mut buf = vec![0u8; 16 << 10];
+    vol.read(5 << 20, &mut buf).expect("read");
+    assert!(buf.iter().all(|&b| b == 6));
+
+    // A clean shutdown drains the log to the backend and checkpoints.
+    let stats = vol.stats();
+    vol.shutdown().expect("shutdown");
+    println!(
+        "shutdown: {} backend objects PUT so far ({} bytes)",
+        stats.backend_puts, stats.backend_put_bytes
+    );
+    println!(
+        "first objects in bucket: {:?}",
+        store
+            .list("demo.")
+            .expect("list")
+            .iter()
+            .take(4)
+            .collect::<Vec<_>>()
+    );
+
+    // Reopen: recovery loads the checkpoint and rolls the log forward.
+    let mut vol = Volume::open(store, cache, "demo", cfg).expect("reopen");
+    vol.read(5 << 20, &mut buf).expect("read after reopen");
+    assert!(buf.iter().all(|&b| b == 6));
+    println!("reopened and verified: data intact");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

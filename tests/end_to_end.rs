@@ -1,0 +1,180 @@
+//! Integration: end-to-end data integrity under a long mixed workload.
+//!
+//! A randomized read/write/flush workload runs against a functional
+//! [`lsvd::Volume`] while a shadow copy of the disk is maintained in RAM;
+//! every read is checked against the shadow, across batch flushes, garbage
+//! collection, checkpoints, crashes and reopens. This is the "would you
+//! put a filesystem on it" test.
+
+use std::sync::Arc;
+
+use blkdev::RamDisk;
+use lsvd::config::VolumeConfig;
+use lsvd::volume::Volume;
+use objstore::MemStore;
+use rand::Rng;
+use sim::rng::rng_from_seed;
+
+const VOL_BYTES: u64 = 48 << 20;
+const SECTOR: u64 = 512;
+
+struct Shadow {
+    data: Vec<u8>,
+}
+
+impl Shadow {
+    fn new() -> Self {
+        Shadow {
+            data: vec![0; VOL_BYTES as usize],
+        }
+    }
+    fn write(&mut self, off: u64, d: &[u8]) {
+        self.data[off as usize..off as usize + d.len()].copy_from_slice(d);
+    }
+    fn check(&self, off: u64, d: &[u8]) {
+        assert_eq!(
+            &self.data[off as usize..off as usize + d.len()],
+            d,
+            "mismatch at offset {off} len {}",
+            d.len()
+        );
+    }
+}
+
+fn random_op(rng: &mut rand::rngs::SmallRng) -> (u64, usize) {
+    // Sector-aligned offset and length, biased toward small ops with an
+    // occasional large one.
+    let max_sectors = VOL_BYTES / SECTOR;
+    let len_sectors = match rng.gen_range(0..10u8) {
+        0..=6 => 1 + rng.gen_range(0..16u64),
+        7..=8 => 64 + rng.gen_range(0..64u64),
+        _ => 512 + rng.gen_range(0..1024u64),
+    };
+    let start = rng.gen_range(0..max_sectors - len_sectors);
+    (start * SECTOR, (len_sectors * SECTOR) as usize)
+}
+
+#[test]
+fn long_mixed_workload_with_gc_and_crashes() {
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(16 << 20));
+    let cfg = VolumeConfig {
+        batch_bytes: 128 << 10,
+        checkpoint_interval: 8,
+        gc_enabled: std::env::var_os("E2E_NO_GC").is_none(),
+        ..VolumeConfig::small_for_tests()
+    };
+    let mut vol =
+        Volume::create(store.clone(), cache.clone(), "e2e", VOL_BYTES, cfg.clone()).expect("create");
+    let mut shadow = Shadow::new();
+    let mut rng = rng_from_seed(0xE2E);
+    let mut gc_activity = 0u64; // accumulated across volume handles
+
+    for i in 0..4000u32 {
+        match rng.gen_range(0..10u8) {
+            // Write (60%).
+            0..=5 => {
+                let (off, len) = random_op(&mut rng);
+                let tag = (i % 251) as u8 + 1;
+                let data = vec![tag; len];
+                vol.write(off, &data).expect("write");
+                shadow.write(off, &data);
+            }
+            // Read-verify (30%).
+            6..=8 => {
+                let (off, len) = random_op(&mut rng);
+                let mut buf = vec![0u8; len];
+                vol.read(off, &mut buf).expect("read");
+                shadow.check(off, &buf);
+            }
+            // Flush (10%).
+            _ => vol.flush().expect("flush"),
+        }
+        // Periodic clean restart.
+        if i % 1500 == 1499 {
+            let s = vol.stats();
+            gc_activity += s.gc_deletes + s.gc_puts;
+            vol.shutdown().expect("shutdown");
+            vol = Volume::open(store.clone(), cache.clone(), "e2e", cfg.clone())
+                .expect("reopen");
+        }
+        // Periodic crash (cache intact): acknowledged writes must survive.
+        if i % 1000 == 999 {
+            let s = vol.stats();
+            gc_activity += s.gc_deletes + s.gc_puts;
+            drop(vol);
+            vol = Volume::open(store.clone(), cache.clone(), "e2e", cfg.clone())
+                .expect("crash recovery");
+        }
+    }
+
+    // Full-volume verification in 1 MiB strides.
+    let mut buf = vec![0u8; 1 << 20];
+    for off in (0..VOL_BYTES).step_by(1 << 20) {
+        vol.read(off, &mut buf).expect("read");
+        shadow.check(off, &buf);
+    }
+
+    // GC must have run (the workload overwrites heavily) and data survived.
+    let s = vol.stats();
+    gc_activity += s.gc_deletes + s.gc_puts;
+    assert!(gc_activity > 0, "GC never engaged across the run");
+    let (live, total) = vol.backend_totals();
+    assert!(
+        live as f64 / total as f64 >= 0.65,
+        "backend utilization kept near the watermark: {live}/{total}"
+    );
+}
+
+#[test]
+fn sequential_then_random_overwrite_preserves_every_byte() {
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(16 << 20));
+    let cfg = VolumeConfig::small_for_tests();
+    let mut vol =
+        Volume::create(store, cache, "e2e2", VOL_BYTES, cfg).expect("create");
+    let mut shadow = Shadow::new();
+
+    // Precondition the whole volume sequentially (like the paper's runs).
+    let stripe = vec![0x11u8; 1 << 20];
+    for off in (0..VOL_BYTES).step_by(1 << 20) {
+        vol.write(off, &stripe).expect("write");
+        shadow.write(off, &stripe);
+    }
+    // Random overwrites.
+    let mut rng = rng_from_seed(99);
+    for i in 0..1000u32 {
+        let (off, len) = random_op(&mut rng);
+        let data = vec![(i % 250) as u8 + 2; len];
+        vol.write(off, &data).expect("write");
+        shadow.write(off, &data);
+    }
+    vol.drain().expect("drain");
+
+    let mut buf = vec![0u8; 1 << 20];
+    for off in (0..VOL_BYTES).step_by(1 << 20) {
+        vol.read(off, &mut buf).expect("read");
+        shadow.check(off, &buf);
+    }
+}
+
+#[test]
+fn cache_pressure_forces_writeback_not_errors() {
+    // A cache much smaller than the data written: writes must stall on
+    // writeback internally, never fail.
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(2 << 20)); // tiny
+    let cfg = VolumeConfig {
+        batch_bytes: 64 << 10,
+        ..VolumeConfig::small_for_tests()
+    };
+    let mut vol = Volume::create(store, cache, "small", VOL_BYTES, cfg).expect("create");
+    let data = vec![0xCDu8; 64 << 10];
+    for i in 0..256u64 {
+        vol.write(i * (64 << 10), &data).expect("write under pressure");
+    }
+    let mut buf = vec![0u8; 64 << 10];
+    vol.read(100 * (64 << 10), &mut buf).expect("read");
+    assert_eq!(buf, data);
+    assert!(vol.stats().backend_puts > 10, "writeback had to run");
+}

@@ -1,0 +1,203 @@
+//! Integration: the paper's headline performance shapes, asserted.
+//!
+//! These are fast (seconds of virtual time) versions of the evaluation's
+//! central comparisons. They pin the *relationships* — who wins and by
+//! roughly what factor — so a model regression that flips a conclusion
+//! fails CI, while absolute numbers remain free to drift with calibration.
+
+use baseline::engine::{BaselineConfig, BaselineEngine};
+use lsvd::engine::{EngineConfig, LsvdEngine};
+use objstore::pool::PoolConfig;
+use sim::SimDuration;
+use workloads::filebench::{FilebenchSpec, Personality};
+use workloads::fio::FioSpec;
+use workloads::Workload;
+
+fn lsvd_cfg(pool: PoolConfig, qd: usize) -> EngineConfig {
+    EngineConfig {
+        qd,
+        track_objects: false,
+        gc_watermarks: None,
+        ..EngineConfig::paper_default(pool)
+    }
+}
+
+#[test]
+fn headline_backend_efficiency_is_roughly_24x() {
+    // §4.5 / Figure 13: RBD issues 6 backend writes per 16 KiB client
+    // write; LSVD (4 MiB objects) issues 0.25.
+    let dur = SimDuration::from_secs(5);
+    let seed = 1u64;
+
+    let mut lcfg = lsvd_cfg(PoolConfig::hdd_config2(), 32);
+    lcfg.batch_bytes = 4 << 20;
+    let lsvd = LsvdEngine::new(lcfg, move |_, t| {
+        Box::new(FioSpec::randwrite(16 << 10, seed).thread(t, 32))
+    })
+    .run(dur);
+
+    let rbd = BaselineEngine::new(BaselineConfig::rbd(PoolConfig::hdd_config2()), move |_, t| {
+        Box::new(FioSpec::randwrite(16 << 10, seed).thread(t, 32))
+    })
+    .run(dur, false);
+
+    assert!((5.9..6.1).contains(&rbd.io_amplification()), "{}", rbd.io_amplification());
+    let l = lsvd.io_amplification();
+    assert!((0.2..0.35).contains(&l), "LSVD ops amplification {l}");
+    let ratio = rbd.io_amplification() / l;
+    assert!((17.0..31.0).contains(&ratio), "efficiency ratio {ratio}");
+}
+
+#[test]
+fn lsvd_leaves_backend_disks_mostly_idle() {
+    // Figure 12: LSVD tens of K IOPS at ~10% disk busy; RBD ~13K at ~70%.
+    let dur = SimDuration::from_secs(5);
+    let seed = 2u64;
+    let mut lcfg = lsvd_cfg(PoolConfig::hdd_config2(), 32);
+    lcfg.volumes = 8;
+    let lsvd = LsvdEngine::new(lcfg, move |v, t| {
+        Box::new(FioSpec::randwrite(16 << 10, seed + v as u64).thread(t, 32))
+    })
+    .run(dur);
+    let mut rcfg = BaselineConfig::rbd(PoolConfig::hdd_config2());
+    rcfg.volumes = 8;
+    let rbd = BaselineEngine::new(rcfg, move |v, t| {
+        Box::new(FioSpec::randwrite(16 << 10, seed + v as u64).thread(t, 32))
+    })
+    .run(dur, false);
+
+    assert!(lsvd.iops() > 3.0 * rbd.iops(), "lsvd {} rbd {}", lsvd.iops(), rbd.iops());
+    assert!(
+        lsvd.backend_utilization < 0.2,
+        "lsvd disks nearly idle: {}",
+        lsvd.backend_utilization
+    );
+    assert!(
+        rbd.backend_utilization > 0.5,
+        "rbd disks heavily loaded: {}",
+        rbd.backend_utilization
+    );
+}
+
+#[test]
+fn lsvd_wins_small_random_writes_in_cache() {
+    // Figure 6: 20-30% faster at 4-16 KiB in-cache.
+    let dur = SimDuration::from_secs(3);
+    let seed = 3u64;
+    let mut lcfg = lsvd_cfg(PoolConfig::ssd_config1(), 16);
+    lcfg.prewarm_reads = true;
+    let lsvd = LsvdEngine::new(lcfg, move |_, t| {
+        Box::new(FioSpec::randwrite(16 << 10, seed).thread(t, 16))
+    })
+    .run(dur);
+    let mut bcfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+    bcfg.qd = 16;
+    let bc = BaselineEngine::new(bcfg, move |_, t| {
+        Box::new(FioSpec::randwrite(16 << 10, seed).thread(t, 16))
+    })
+    .run(dur, false);
+    let ratio = lsvd.write_bw() / bc.write_bw();
+    assert!((1.1..2.5).contains(&ratio), "in-cache 16K write ratio {ratio}");
+}
+
+#[test]
+fn sync_heavy_filebench_strongly_favors_lsvd() {
+    // Figure 8: varmail ~4x (the log-structured cache's barrier advantage).
+    let dur = SimDuration::from_secs(5);
+    let threads = Personality::Varmail.paper_threads();
+    let seed = 4u64;
+
+    let mut lcfg = lsvd_cfg(PoolConfig::ssd_config1(), threads);
+    lcfg.prewarm_reads = true;
+    let mk = move |_: usize, th: usize| -> Box<dyn Workload> {
+        Box::new(FilebenchSpec::paper(Personality::Varmail, seed).thread(th, threads))
+    };
+    let lsvd = LsvdEngine::new(lcfg, mk).run(dur);
+    let mut bcfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+    bcfg.qd = threads;
+    bcfg.prewarm_reads = true;
+    let bc = BaselineEngine::new(bcfg, mk).run(dur, false);
+
+    let ratio = lsvd.iops() / bc.iops();
+    assert!(ratio > 2.0, "varmail ratio {ratio} (paper: 4x)");
+    // And LSVD's flushes are cheap in absolute terms.
+    assert!(lsvd.flushes > 10_000, "sync-heavy indeed: {}", lsvd.flushes);
+}
+
+#[test]
+fn in_cache_reads_near_parity_with_lsvd_slightly_behind() {
+    // Figure 7: LSVD's unoptimized read path trails bcache by up to ~30 %
+    // at high queue depth but is never far ahead (both serve from the same
+    // cache device).
+    let dur = SimDuration::from_secs(3);
+    let seed = 9u64;
+    let mut lcfg = lsvd_cfg(PoolConfig::ssd_config1(), 32);
+    lcfg.prewarm_reads = true;
+    let lsvd = LsvdEngine::new(lcfg, move |_, t| {
+        Box::new(FioSpec::randread(4096, seed).thread(t, 32))
+    })
+    .run(dur);
+    let mut bcfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+    bcfg.qd = 32;
+    bcfg.prewarm_reads = true;
+    let bc = BaselineEngine::new(bcfg, move |_, t| {
+        Box::new(FioSpec::randread(4096, seed).thread(t, 32))
+    })
+    .run(dur, false);
+    let ratio = lsvd.read_bw() / bc.read_bw();
+    assert!((0.6..1.05).contains(&ratio), "4K QD32 read ratio {ratio}");
+}
+
+#[test]
+fn bcache_pauses_writeback_under_load_lsvd_does_not() {
+    // §4.4 / Figure 11's mechanism.
+    let dur = SimDuration::from_secs(5);
+    let seed = 5u64;
+    let lsvd = LsvdEngine::new(lsvd_cfg(PoolConfig::hdd_config2(), 32), move |_, t| {
+        Box::new(FioSpec::randwrite(4096, seed).thread(t, 32))
+    })
+    .run(dur);
+    let bc = BaselineEngine::new(
+        BaselineConfig::bcache_rbd(PoolConfig::hdd_config2()),
+        move |_, t| Box::new(FioSpec::randwrite(4096, seed).thread(t, 32)),
+    )
+    .run(dur, false);
+
+    // LSVD ships batches continuously while the client runs...
+    assert!(
+        lsvd.put_bytes as f64 > 0.5 * lsvd.client_write_bytes as f64,
+        "lsvd wrote back {} of {} client bytes during the run",
+        lsvd.put_bytes,
+        lsvd.client_write_bytes
+    );
+    // ...bcache defers nearly everything.
+    assert!(
+        bc.backend_issued_write_bytes < bc.client_write_bytes / 10,
+        "bcache writeback under load: {} of {}",
+        bc.backend_issued_write_bytes,
+        bc.client_write_bytes
+    );
+}
+
+#[test]
+fn small_cache_sustained_writes_favor_lsvd() {
+    // Figures 9/10: writeback-bound regime.
+    let dur = SimDuration::from_secs(20);
+    let seed = 6u64;
+    let mut lcfg = lsvd_cfg(PoolConfig::ssd_config1(), 32);
+    lcfg.wcache_bytes = 1 << 30;
+    let lsvd = LsvdEngine::new(lcfg, move |_, t| {
+        Box::new(FioSpec::randwrite(64 << 10, seed).thread(t, 32))
+    })
+    .run(dur);
+    let mut bcfg = BaselineConfig::bcache_rbd(PoolConfig::ssd_config1());
+    if let Some(p) = bcfg.bcache.as_mut() {
+        p.cache_bytes = 1 << 30;
+    }
+    let bc = BaselineEngine::new(bcfg, move |_, t| {
+        Box::new(FioSpec::randwrite(64 << 10, seed).thread(t, 32))
+    })
+    .run(dur, false);
+    let ratio = lsvd.write_bw() / bc.write_bw();
+    assert!(ratio > 1.3, "sustained 64K ratio {ratio} (paper: 2-8x)");
+}
