@@ -129,7 +129,7 @@ impl<B: BlockDevice> Bcache<B> {
     /// cache.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), BlkError> {
         assert!(
-            offset % BLOCK_BYTES == 0 && data.len() as u64 % BLOCK_BYTES == 0,
+            offset.is_multiple_of(BLOCK_BYTES) && (data.len() as u64).is_multiple_of(BLOCK_BYTES),
             "bcache model is block-aligned"
         );
         for (i, chunk) in data.chunks(BLOCK_BYTES as usize).enumerate() {
@@ -138,7 +138,13 @@ impl<B: BlockDevice> Bcache<B> {
                 Some(s) => s.index,
                 None => {
                     let s = self.alloc_slot()?;
-                    self.map.insert(block, Slot { index: s, dirty: true });
+                    self.map.insert(
+                        block,
+                        Slot {
+                            index: s,
+                            dirty: true,
+                        },
+                    );
                     s
                 }
             };
@@ -151,7 +157,9 @@ impl<B: BlockDevice> Bcache<B> {
 
     /// Reads at `offset` through the cache.
     pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), BlkError> {
-        assert!(offset % BLOCK_BYTES == 0 && buf.len() as u64 % BLOCK_BYTES == 0);
+        assert!(
+            offset.is_multiple_of(BLOCK_BYTES) && (buf.len() as u64).is_multiple_of(BLOCK_BYTES)
+        );
         for (i, chunk) in buf.chunks_mut(BLOCK_BYTES as usize).enumerate() {
             let block = offset / BLOCK_BYTES + i as u64;
             match self.map.get(&block) {

@@ -194,11 +194,7 @@ impl BaselineEngine {
             cfg.sample_interval
         };
         let workloads = (0..cfg.volumes)
-            .map(|v| {
-                (0..cfg.qd)
-                    .map(|t| mk_workload(v, t))
-                    .collect::<Vec<_>>()
-            })
+            .map(|v| (0..cfg.qd).map(|t| mk_workload(v, t)).collect::<Vec<_>>())
             .collect();
         BaselineEngine {
             q: EventQueue::new(),
@@ -210,9 +206,7 @@ impl BaselineEngine {
             pool: BackendPool::new(cfg.pool.clone()),
             link: cfg.link.clone(),
             cpu: Server::new(cfg.cpu_workers),
-            cache_cpu: Server::new(
-                cfg.bcache.as_ref().map_or(1, |p| p.cache_cpu_workers),
-            ),
+            cache_cpu: Server::new(cfg.bcache.as_ref().map_or(1, |p| p.cache_cpu_workers)),
             workloads,
             issued_at: vec![vec![SimTime::ZERO; cfg.qd]; cfg.volumes],
             stalled: Default::default(),
@@ -288,7 +282,8 @@ impl BaselineEngine {
                     let keep_going = now < self.deadline
                         || (self.drain && (self.dirty_bytes > 0 || self.wb_inflight > 0));
                     if keep_going {
-                        self.q.schedule(now + SimDuration::from_millis(20), Ev::Tick);
+                        self.q
+                            .schedule(now + SimDuration::from_millis(20), Ev::Tick);
                     }
                 }
             }
@@ -332,7 +327,12 @@ impl BaselineEngine {
                 self.client_reads += 1;
                 self.client_read_bytes += bytes;
                 let t = self.cpu.process(now, self.cfg.cpu_per_op);
-                let t = self.pool.replicated_read(t + self.link.latency(), rbd_object(vol, lba), 0, bytes);
+                let t = self.pool.replicated_read(
+                    t + self.link.latency(),
+                    rbd_object(vol, lba),
+                    0,
+                    bytes,
+                );
                 self.link.transfer(t, Dir::Rx, bytes)
             }
             IoOp::Flush => {
@@ -408,9 +408,12 @@ impl BaselineEngine {
                     cache.submit(hit_cpu, IoKind::Read, (lba * 512) % (1 << 40), bytes)
                 } else {
                     let cpu_done = self.cpu.process(now, self.cfg.cpu_per_op);
-                    let t = self
-                        .pool
-                        .replicated_read(cpu_done + self.link.latency(), rbd_object(vol, lba), 0, bytes);
+                    let t = self.pool.replicated_read(
+                        cpu_done + self.link.latency(),
+                        rbd_object(vol, lba),
+                        0,
+                        bytes,
+                    );
                     let t = self.link.transfer(t, Dir::Rx, bytes);
                     // Fill the cache.
                     self.cached.insert(lba, sectors as u64, 0);
@@ -503,7 +506,8 @@ impl BaselineEngine {
             self.wb_inflight += 1;
             let t = self.link.transfer(now, Dir::Tx, bytes);
             let t = self.pool.replicated_write(t, rbd_object(0, lba), 0, bytes);
-            self.q.schedule(t + self.link.latency(), Ev::WbDone { bytes });
+            self.q
+                .schedule(t + self.link.latency(), Ev::WbDone { bytes });
         }
     }
 
@@ -591,7 +595,10 @@ mod tests {
         let io_amp = r.io_amplification();
         assert!((5.9..6.1).contains(&io_amp), "I/O amplification {io_amp}");
         let byte_amp = r.byte_amplification();
-        assert!((6.0..7.5).contains(&byte_amp), "byte amplification {byte_amp}");
+        assert!(
+            (6.0..7.5).contains(&byte_amp),
+            "byte amplification {byte_amp}"
+        );
     }
 
     #[test]
@@ -647,7 +654,10 @@ mod tests {
             r.backend_issued_write_bytes,
             r.client_write_bytes
         );
-        assert!(r.elapsed > SimDuration::from_secs(2), "drain extends the run");
+        assert!(
+            r.elapsed > SimDuration::from_secs(2),
+            "drain extends the run"
+        );
     }
 
     #[test]
@@ -658,7 +668,7 @@ mod tests {
         impl Workload for SyncHeavy {
             fn next_op(&mut self) -> IoOp {
                 self.i += 1;
-                if self.i % 4 == 0 {
+                if self.i.is_multiple_of(4) {
                     IoOp::Flush
                 } else {
                     IoOp::Write {

@@ -49,7 +49,7 @@ pub struct RbdStats {
 impl RbdDisk {
     /// Creates (or opens) an image of `size` bytes.
     pub fn new(store: Arc<dyn ObjectStore>, image: &str, size: u64) -> Self {
-        assert!(size > 0 && size % 512 == 0);
+        assert!(size > 0 && size.is_multiple_of(512));
         RbdDisk {
             store,
             image: image.to_string(),
@@ -61,7 +61,7 @@ impl RbdDisk {
 
     /// Overrides the object size (tests use small objects).
     pub fn with_object_bytes(mut self, object_bytes: u64) -> Self {
-        assert!(object_bytes % 512 == 0 && object_bytes > 0);
+        assert!(object_bytes.is_multiple_of(512) && object_bytes > 0);
         self.object_bytes = object_bytes;
         self
     }
@@ -136,8 +136,7 @@ impl BlockDevice for RbdDisk {
                 // A short object: sparse tail reads as zeros.
                 Err(ObjError::BadRange { .. }) => {
                     let whole = self.load_object(idx).map_err(to_blk)?;
-                    buf[pos..pos + take]
-                        .copy_from_slice(&whole[off as usize..off as usize + take]);
+                    buf[pos..pos + take].copy_from_slice(&whole[off as usize..off as usize + take]);
                 }
                 Err(e) => return Err(to_blk(e)),
             }

@@ -48,7 +48,10 @@ fn main() {
             "lsvd".to_string(),
             if replicate { "3x repl" } else { "EC 4+2" }.to_string(),
             format!("{:.0}", r.write_bw() / 1e6),
-            format!("{:.1}", r.backend_issued_write_bytes as f64 / (1u64 << 30) as f64),
+            format!(
+                "{:.1}",
+                r.backend_issued_write_bytes as f64 / (1u64 << 30) as f64
+            ),
             format!("{:.2}", r.byte_amplification()),
             format!("{:.1}", r.backend_utilization * 100.0),
         ]);

@@ -50,7 +50,11 @@ fn main() {
                 .ts_dirty_bytes
                 .iter()
                 .fold((0u64, 0.0), |(n, s), (_, v)| (n + 1, s + v));
-            if n == 0 { 0.0 } else { sum / n as f64 / 1e6 }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64 / 1e6
+            }
         };
 
         // GC-simulator view on a rewrite-heavy trace.

@@ -22,8 +22,20 @@ fn main() {
         .find(|s| s.name == "w07")
         .expect("w07 preset");
 
-    let mut t = Table::new(["low/high", "WAF", "GC copies GiB", "final util", "objects deleted"]);
-    for &(low, high) in &[(0.50, 0.55), (0.60, 0.65), (0.70, 0.75), (0.80, 0.85), (0.90, 0.92)] {
+    let mut t = Table::new([
+        "low/high",
+        "WAF",
+        "GC copies GiB",
+        "final util",
+        "objects deleted",
+    ]);
+    for &(low, high) in &[
+        (0.50, 0.55),
+        (0.60, 0.65),
+        (0.70, 0.75),
+        (0.80, 0.85),
+        (0.90, 0.92),
+    ] {
         let mut sim = GcSim::new(GcSimConfig {
             gc_low: low,
             gc_high: high,

@@ -55,7 +55,12 @@ fn main() {
         vol.shutdown().expect("shutdown");
     }
 
-    let mut t = Table::new(["prefetch", "backend GETs", "GET GiB", "GETs per object re-read"]);
+    let mut t = Table::new([
+        "prefetch",
+        "backend GETs",
+        "GET GiB",
+        "GETs per object re-read",
+    ]);
     for &window in &[0u64, 64 << 10, 256 << 10, 1 << 20] {
         let cache = Arc::new(RamDisk::new(32 << 20));
         let cfg = VolumeConfig {
@@ -82,7 +87,11 @@ fn main() {
         }
         let s = vol.stats();
         t.row([
-            if window == 0 { "off".to_string() } else { format!("{}K", window >> 10) },
+            if window == 0 {
+                "off".to_string()
+            } else {
+                format!("{}K", window >> 10)
+            },
             s.backend_gets.to_string(),
             format!("{:.2}", s.backend_get_bytes as f64 / (1u64 << 30) as f64),
             format!("{:.1}", s.backend_gets as f64 / names.len() as f64),

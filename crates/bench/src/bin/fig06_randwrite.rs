@@ -17,7 +17,12 @@ fn main() {
         "LSVD vs bcache+RBD on the P3700 cache device; backend idle (config 1)",
     );
     let dur = args.secs(120, 3);
-    run_grid(&args, CacheRegime::Large, |bs| FioSpec::randwrite(bs, 0), dur);
+    run_grid(
+        &args,
+        CacheRegime::Large,
+        |bs| FioSpec::randwrite(bs, 0),
+        dur,
+    );
     println!();
     println!(
         "shape checks (paper): LSVD ~20-30% faster at 4K/16K; ~60K IOPS at \

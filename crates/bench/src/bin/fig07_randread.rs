@@ -17,7 +17,12 @@ fn main() {
         "LSVD vs bcache+RBD, cache pre-loaded before measuring",
     );
     let dur = args.secs(120, 3);
-    run_grid(&args, CacheRegime::Large, |bs| FioSpec::randread(bs, 0), dur);
+    run_grid(
+        &args,
+        CacheRegime::Large,
+        |bs| FioSpec::randread(bs, 0),
+        dur,
+    );
     println!();
     println!(
         "shape checks (paper): parity at QD 4; LSVD up to ~30% behind at \

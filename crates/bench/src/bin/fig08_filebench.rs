@@ -47,8 +47,7 @@ fn main() {
         let mut lcfg = lsvd_incache(PoolConfig::ssd_config1(), threads);
         lcfg.prewarm_reads = true; // §4.2: caches pre-loaded before the test
         let spec = FilebenchSpec::paper(p, seed);
-        let lsvd = LsvdEngine::new(lcfg, move |_, th| Box::new(spec.thread(th, threads)))
-            .run(dur);
+        let lsvd = LsvdEngine::new(lcfg, move |_, th| Box::new(spec.thread(th, threads))).run(dur);
 
         let mut bcfg = bcache_incache(PoolConfig::ssd_config1(), threads);
         bcfg.prewarm_reads = true;
@@ -56,8 +55,8 @@ fn main() {
         let bc = BaselineEngine::new(bcfg, move |_, th| Box::new(spec.thread(th, threads)))
             .run(dur, false);
 
-        let waf = (lsvd.put_bytes + lsvd.gc_put_bytes) as f64
-            / lsvd.client_write_bytes.max(1) as f64;
+        let waf =
+            (lsvd.put_bytes + lsvd.gc_put_bytes) as f64 / lsvd.client_write_bytes.max(1) as f64;
         t.row([
             p.name().to_string(),
             format!("{:.0}", lsvd.iops()),

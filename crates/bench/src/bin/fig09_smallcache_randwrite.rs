@@ -17,7 +17,12 @@ fn main() {
         "LSVD vs bcache+RBD over the 32-SSD pool (config 1), 120 s",
     );
     let dur = args.secs(120, 30);
-    run_grid(&args, CacheRegime::Small, |bs| FioSpec::randwrite(bs, 0), dur);
+    run_grid(
+        &args,
+        CacheRegime::Small,
+        |bs| FioSpec::randwrite(bs, 0),
+        dur,
+    );
     println!();
     println!(
         "shape checks (paper): LSVD sustains up to ~600 MB/s (nearly a \

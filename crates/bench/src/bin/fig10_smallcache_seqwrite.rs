@@ -16,7 +16,12 @@ fn main() {
         "LSVD vs bcache+RBD over the 32-SSD pool (config 1), 120 s",
     );
     let dur = args.secs(120, 30);
-    run_grid(&args, CacheRegime::Small, |bs| FioSpec::seqwrite(bs, 0), dur);
+    run_grid(
+        &args,
+        CacheRegime::Small,
+        |bs| FioSpec::seqwrite(bs, 0),
+        dur,
+    );
     println!();
     println!(
         "shape checks (paper): LSVD roughly matches its Figure 9 rates \

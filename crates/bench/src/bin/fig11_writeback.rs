@@ -78,9 +78,8 @@ fn main() {
         "bcache client MB",
         "bcache backend MB",
     ]);
-    let bins = |ts: &sim::stats::TimeSeries| -> Vec<f64> {
-        ts.iter().map(|(_, v)| v / 1e6).collect()
-    };
+    let bins =
+        |ts: &sim::stats::TimeSeries| -> Vec<f64> { ts.iter().map(|(_, v)| v / 1e6).collect() };
     let lc = bins(&lsvd.ts_client_bytes);
     let lb = bins(&lsvd.ts_backend_bytes);
     let bcl = bins(&bc.ts_client_bytes);

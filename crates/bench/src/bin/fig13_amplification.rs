@@ -67,7 +67,11 @@ fn main() {
     }
     args.emit(&t);
     println!();
-    compare("RBD ops amplification", "6x", &format!("{:.2}x", rbd.io_amplification()));
+    compare(
+        "RBD ops amplification",
+        "6x",
+        &format!("{:.2}x", rbd.io_amplification()),
+    );
     compare(
         "LSVD ops amplification",
         "0.25x",

@@ -44,9 +44,8 @@ fn main() {
         "live GB (gc off)",
         "stale GB (gc off)",
     ]);
-    let series = |ts: &sim::stats::TimeSeries| -> Vec<f64> {
-        ts.iter().map(|(_, v)| v / 1e9).collect()
-    };
+    let series =
+        |ts: &sim::stats::TimeSeries| -> Vec<f64> { ts.iter().map(|(_, v)| v / 1e9).collect() };
     let (lon, gon) = (series(&on.ts_live_bytes), series(&on.ts_garbage_bytes));
     let (loff, goff) = (series(&off.ts_live_bytes), series(&off.ts_garbage_bytes));
     let n = lon.len().max(loff.len());

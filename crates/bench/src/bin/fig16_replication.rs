@@ -39,17 +39,12 @@ fn main() {
 
     let primary = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(256 << 20));
-    let mut cfg = VolumeConfig::default();
-    cfg.batch_bytes = 4 << 20;
-    cfg.checkpoint_interval = 16;
-    let mut vol = Volume::create(
-        primary.clone(),
-        cache,
-        "vol",
-        8 << 30,
-        cfg,
-    )
-    .expect("create");
+    let cfg = VolumeConfig {
+        batch_bytes: 4 << 20,
+        checkpoint_interval: 16,
+        ..VolumeConfig::default()
+    };
+    let mut vol = Volume::create(primary.clone(), cache, "vol", 8 << 30, cfg).expect("create");
 
     // Hot, medium and cold fileserver instances: smaller spans are hotter
     // (each receives a third of the writes).
@@ -137,7 +132,10 @@ fn main() {
                 (sec + 1).to_string(),
                 format!("{:.1}", write_rate as f64 / 1e6),
                 format!("{:.1}", (vput - prev_put_bytes) as f64 / 50.0 / 1e6),
-                format!("{:.1}", (s.bytes_copied - prev_repl_bytes) as f64 / 50.0 / 1e6),
+                format!(
+                    "{:.1}",
+                    (s.bytes_copied - prev_repl_bytes) as f64 / 50.0 / 1e6
+                ),
             ]);
             prev_put_bytes = vput;
             prev_repl_bytes = s.bytes_copied;

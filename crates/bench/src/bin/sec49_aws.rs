@@ -63,8 +63,8 @@ fn main() {
                 }
             };
             let qd = 32;
-            let r = LsvdEngine::new(engine(qd), move |_, th| Box::new(spec.thread(th, qd)))
-                .run(dur);
+            let r =
+                LsvdEngine::new(engine(qd), move |_, th| Box::new(spec.thread(th, qd))).run(dur);
             let iops = r.iops();
             if read && bs == 4 << 10 {
                 read_iops = iops;
@@ -101,6 +101,9 @@ fn main() {
     compare(
         "LSVD backing cost",
         "a few dollars a month",
-        &format!("~${:.0}/month (S3 storage + requests)", s3_storage + s3_requests),
+        &format!(
+            "~${:.0}/month (S3 storage + requests)",
+            s3_storage + s3_requests
+        ),
     );
 }

@@ -129,7 +129,10 @@ fn main() {
             (trial + 1).to_string(),
             if v.is_consistent() { "yes" } else { "NO" }.to_string(),
             match v {
-                Verdict::ConsistentPrefix { cut, lost_committed } => {
+                Verdict::ConsistentPrefix {
+                    cut,
+                    lost_committed,
+                } => {
                     format!("cut at write {cut}, lost {lost_committed} committed")
                 }
                 Verdict::Inconsistent { block, reason } => {
@@ -149,7 +152,10 @@ fn main() {
             (trial + 1).to_string(),
             "yes".to_string(),
             match v {
-                Verdict::ConsistentPrefix { cut, lost_committed } => {
+                Verdict::ConsistentPrefix {
+                    cut,
+                    lost_committed,
+                } => {
                     format!("cut at write {cut}, lost {lost_committed} committed")
                 }
                 Verdict::Inconsistent { .. } => unreachable!(),

@@ -11,9 +11,12 @@ use bench::{banner, Args, Table};
 use lsvd::gcsim::{GcSim, GcSimConfig, GcSimMode};
 use workloads::traces::{table5_traces, TraceGen, TraceSpec};
 
-/// Paper values for side-by-side reporting: (GB written, extent count (M)
-/// no-merge/merge/defrag, WAF no-merge/merge/defrag, merge ratio).
-const PAPER: [(&str, u64, [f64; 3], [f64; 3], f64); 9] = [
+/// One paper row: (GB written, extent count (M) no-merge/merge/defrag,
+/// WAF no-merge/merge/defrag, merge ratio).
+type PaperRow = (&'static str, u64, [f64; 3], [f64; 3], f64);
+
+/// Paper values for side-by-side reporting.
+const PAPER: [PaperRow; 9] = [
     ("w10", 484, [3.88, 3.51, 3.51], [1.11, 1.10, 1.10], 0.01),
     ("w04", 1786, [1.93, 1.91, 1.91], [1.52, 1.44, 1.44], 0.21),
     ("w66", 49, [0.02, 0.02, 0.02], [1.97, 1.35, 1.36], 0.55),
@@ -46,12 +49,26 @@ fn main() {
     );
 
     let mut t = Table::new([
-        "trace", "writesGB", "extents(K)nm", "extents(K)m", "extents(K)d", "WAFnm", "WAFm",
-        "WAFd", "merge",
+        "trace",
+        "writesGB",
+        "extents(K)nm",
+        "extents(K)m",
+        "extents(K)d",
+        "WAFnm",
+        "WAFm",
+        "WAFd",
+        "merge",
     ]);
     let mut paper_t = Table::new([
-        "trace", "writesGB", "extents(M)nm", "extents(M)m", "extents(M)d", "WAFnm", "WAFm",
-        "WAFd", "merge",
+        "trace",
+        "writesGB",
+        "extents(M)nm",
+        "extents(M)m",
+        "extents(M)d",
+        "WAFnm",
+        "WAFm",
+        "WAFd",
+        "merge",
     ]);
 
     for spec in table5_traces(scale) {

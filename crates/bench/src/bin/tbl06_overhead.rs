@@ -45,7 +45,11 @@ fn main() {
     emit_path(&args, "Read miss path", &read_miss_path());
     emit_path(&args, "Write path", &write_path());
 
-    let (n, iters) = if args.quick { (10_000, 50_000) } else { (1_000_000, 200_000) };
+    let (n, iters) = if args.quick {
+        (10_000, 50_000)
+    } else {
+        (1_000_000, 200_000)
+    };
     let (lookup, update) = measure_map_costs(n, iters);
     println!("In-tree extent map ({n} extents, {iters} ops):");
     compare(

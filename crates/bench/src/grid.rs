@@ -69,8 +69,7 @@ fn run_lsvd(
         ..spec
     };
     let is_read = spec.read_pct > 0;
-    let r = LsvdEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
-        .run(duration);
+    let r = LsvdEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd))).run(duration);
     if is_read {
         r.read_bw()
     } else {
@@ -97,8 +96,7 @@ fn run_bcache(
         ..spec
     };
     let is_read = spec.read_pct > 0;
-    let r = BaselineEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd)))
-        .run(duration, false);
+    let r = BaselineEngine::new(cfg, move |_, t| Box::new(spec.thread(t, qd))).run(duration, false);
     if is_read {
         r.read_bw()
     } else {

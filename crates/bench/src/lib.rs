@@ -162,10 +162,7 @@ mod tests {
             seed: 1,
         };
         assert_eq!(a.secs(120, 5), SimDuration::from_secs(5));
-        let a = Args {
-            quick: false,
-            ..a
-        };
+        let a = Args { quick: false, ..a };
         assert_eq!(a.secs(120, 5), SimDuration::from_secs(120));
     }
 }

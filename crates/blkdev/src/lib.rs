@@ -109,7 +109,7 @@ impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
 
 pub(crate) fn check_range(offset: u64, len: usize, capacity: u64) -> Result<()> {
     let len = len as u64;
-    if offset.checked_add(len).map_or(true, |end| end > capacity) {
+    if offset.checked_add(len).is_none_or(|end| end > capacity) {
         return Err(BlkError::OutOfRange {
             offset,
             len,

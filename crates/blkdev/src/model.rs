@@ -325,7 +325,11 @@ impl DiskModel {
 
     /// The time at which the device last becomes idle given current queue.
     pub fn drained_at(&self) -> SimTime {
-        self.chan_free.iter().copied().max().unwrap_or(SimTime::ZERO)
+        self.chan_free
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The time at which all *writes* submitted so far complete: what a
@@ -418,7 +422,10 @@ mod tests {
     fn hdd_random_write_iops_near_rating() {
         let mut m = DiskModel::new(DiskProfile::sas_hdd_10k());
         let iops = run_closed_loop(&mut m, IoKind::Write, 16 << 10, 4, 2_000, true);
-        assert!((250.0..450.0).contains(&iops), "HDD random write IOPS {iops}");
+        assert!(
+            (250.0..450.0).contains(&iops),
+            "HDD random write IOPS {iops}"
+        );
     }
 
     #[test]

@@ -79,8 +79,10 @@ fn parse_opts() -> Opts {
         match a.as_str() {
             "--cache" => cache = Some(it.next().unwrap_or_else(|| die("--cache needs a path"))),
             "--cache-size" => {
-                cache_size =
-                    parse_size(&it.next().unwrap_or_else(|| die("--cache-size needs a size")))
+                cache_size = parse_size(
+                    &it.next()
+                        .unwrap_or_else(|| die("--cache-size needs a size")),
+                )
             }
             "--help" | "-h" => {
                 eprintln!(

@@ -68,7 +68,7 @@ impl BatchBuilder {
     /// Adds one write. `cache_seq` is the write's cache-log sequence
     /// number; the sealed object advertises the highest one it contains.
     pub fn add(&mut self, lba: Lba, data: &[u8], cache_seq: u64) {
-        debug_assert!(!data.is_empty() && data.len() % SECTOR as usize == 0);
+        debug_assert!(!data.is_empty() && data.len().is_multiple_of(SECTOR as usize));
         let sectors = bytes_to_sectors(data.len() as u64);
         // Coalesce: any previously batched bytes for this range die now.
         for (_, plen, _) in self.map.overlaps(lba, sectors) {

@@ -34,6 +34,16 @@ pub struct VolumeConfig {
     /// Maximum extents in one cache log record; writes with more fragments
     /// are split across records.
     pub max_record_extents: usize,
+    /// Degraded-mode dirty watermark: how many sealed batches may queue
+    /// locally while the backend fails transiently. Past this limit,
+    /// writes that would seal another batch fail with
+    /// [`LsvdError::Backpressure`](crate::LsvdError::Backpressure) until
+    /// the backend heals and the queue drains (in strict sequence order).
+    pub max_pending_batches: usize,
+    /// Attempts per backend operation in GC and maintenance paths before
+    /// a transient failure aborts the pass (the client data path does not
+    /// retry here — layer a `RetryStore` under the volume for that).
+    pub gc_retry_attempts: u32,
 }
 
 impl Default for VolumeConfig {
@@ -48,6 +58,8 @@ impl Default for VolumeConfig {
             checkpoint_interval: 64,
             defrag_hole_bytes: 0,
             max_record_extents: 16,
+            max_pending_batches: 8,
+            gc_retry_attempts: 3,
         }
     }
 }
@@ -78,7 +90,10 @@ impl VolumeConfig {
     /// not runtime data.
     pub fn validate(&self) {
         assert!(self.batch_bytes >= 4096, "batch too small");
-        assert!(self.batch_bytes % SECTOR == 0, "batch not sector-aligned");
+        assert!(
+            self.batch_bytes.is_multiple_of(SECTOR),
+            "batch not sector-aligned"
+        );
         assert!(
             self.write_cache_fraction > 0.0 && self.write_cache_fraction < 1.0,
             "bad cache split"
@@ -91,6 +106,8 @@ impl VolumeConfig {
         );
         assert!(self.checkpoint_interval >= 1, "bad checkpoint interval");
         assert!(self.max_record_extents >= 1, "bad record extent limit");
+        assert!(self.max_pending_batches >= 1, "bad pending batch limit");
+        assert!(self.gc_retry_attempts >= 1, "bad GC retry attempts");
     }
 }
 

@@ -455,7 +455,8 @@ impl LsvdEngine {
             }
         }
         if self.cfg.sample_interval > SimDuration::ZERO {
-            self.q.schedule(SimTime::ZERO + self.cfg.sample_interval, Ev::Sample);
+            self.q
+                .schedule(SimTime::ZERO + self.cfg.sample_interval, Ev::Sample);
         }
         while let Some((now, ev)) = self.q.pop() {
             match ev {
@@ -535,8 +536,10 @@ impl LsvdEngine {
                     v.ready_batches.push(put);
                     self.try_start_puts(now, vol);
                 }
-                self.q
-                    .schedule(now + SimDuration::from_micros(us), Ev::OpDone { vol, thread });
+                self.q.schedule(
+                    now + SimDuration::from_micros(us),
+                    Ev::OpDone { vol, thread },
+                );
             }
         }
     }
@@ -546,9 +549,7 @@ impl LsvdEngine {
         // Client CPU stage: the full per-op cost occupies a worker, but the
         // ack path only needs the kernel prefix — the log write is
         // submitted as soon as the map is updated (Table 6).
-        let (cpu_start, _cpu_done) = self
-            .cpu
-            .process_with_start(now, self.cfg.cpu_per_op);
+        let (cpu_start, _cpu_done) = self.cpu.process_with_start(now, self.cfg.cpu_per_op);
         let submit_at = cpu_start + self.cfg.cpu_ack;
         let rec_bytes = bytes + 512;
         let off = self.cache_head % self.cfg.wcache_bytes.max(rec_bytes);
@@ -698,8 +699,7 @@ impl LsvdEngine {
         // Model the cleaning work: read live pieces (cache-hit pieces are
         // free; others are ranged GETs), then write relocation objects
         // through the normal PUT path.
-        let cand_set: std::collections::HashSet<u32> =
-            cands.iter().map(|&(s, _)| s).collect();
+        let cand_set: std::collections::HashSet<u32> = cands.iter().map(|&(s, _)| s).collect();
         let pieces: Vec<(u64, u64, u32)> = self.vols[vol as usize]
             .objmap
             .map_extents()
@@ -769,7 +769,7 @@ impl LsvdEngine {
             let off = (lba * 512) % self.cfg.rcache_bytes.max(bytes);
             self.cache.submit(cpu_done, IoKind::Read, off, bytes)
         } else {
-                // Miss: ranged GET with prefetch, then insert into read cache.
+            // Miss: ranged GET with prefetch, then insert into read cache.
             let fetch = bytes.max(self.cfg.prefetch_bytes.min(self.cfg.batch_bytes));
             let t = self.pool.ec_get_range(cpu_done, lba / 8192, 0, fetch);
             let t = self.link.transfer(t, Dir::Rx, fetch);
@@ -1010,7 +1010,7 @@ mod tests {
         impl Workload for SyncHeavy {
             fn next_op(&mut self) -> IoOp {
                 self.i += 1;
-                if self.i % 4 == 0 {
+                if self.i.is_multiple_of(4) {
                     IoOp::Flush
                 } else {
                     IoOp::Write {

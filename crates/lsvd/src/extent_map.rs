@@ -254,7 +254,10 @@ impl<V: ExtentValue> ExtentMap<V> {
     /// Returns the first extent starting at or after `pos`, if any.
     /// O(log n): used by scan-cursor style consumers (writeback sweeps).
     pub fn next_extent_at_or_after(&self, pos: u64) -> Option<(u64, u64, V)> {
-        self.map.range(pos..).next().map(|(&s, e)| (s, e.len, e.val))
+        self.map
+            .range(pos..)
+            .next()
+            .map(|(&s, e)| (s, e.len, e.val))
     }
 
     /// Iterates all extents as `(start, len, value)` in address order.

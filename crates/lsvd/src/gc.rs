@@ -14,12 +14,7 @@ use crate::types::ObjSeq;
 /// Decides whether collection should start (§3.5: utilization below the
 /// threshold), considering only objects eligible for collection
 /// (`first..=upto`: own-stream objects at or below the last checkpoint).
-pub fn should_collect(
-    objmap: &ObjectMap,
-    first: ObjSeq,
-    upto: ObjSeq,
-    low_watermark: f64,
-) -> bool {
+pub fn should_collect(objmap: &ObjectMap, first: ObjSeq, upto: ObjSeq, low_watermark: f64) -> bool {
     let (live, total) = eligible_totals(objmap, first, upto);
     total > 0 && (live as f64 / total as f64) < low_watermark
 }
@@ -121,7 +116,11 @@ mod tests {
             lba += data as u64;
         }
         if !kills.is_empty() {
-            m.apply_object(1000, 0, &kills.iter().map(|&(l, d)| (l, d)).collect::<Vec<_>>());
+            m.apply_object(
+                1000,
+                0,
+                &kills.iter().map(|&(l, d)| (l, d)).collect::<Vec<_>>(),
+            );
         }
         m
     }
@@ -146,9 +145,13 @@ mod tests {
         let picked = select_candidates(&m, 1, 999, 0.75);
         assert!(!picked.is_empty());
         assert_eq!(picked[0].0, 1, "10%-live object first");
-        // Never picks a fully-live object.
-        assert!(picked.iter().all(|&(s, _)| s != 2 || true));
         let seqs: Vec<ObjSeq> = picked.iter().map(|&(s, _)| s).collect();
+        // Greedy order: the mostly-live object 2 is never taken before
+        // the half-dead object 3.
+        if let Some(p2) = seqs.iter().position(|&s| s == 2) {
+            let p3 = seqs.iter().position(|&s| s == 3).expect("3 before 2");
+            assert!(p3 < p2, "greedy order violated: {seqs:?}");
+        }
         assert!(!seqs.contains(&1000));
     }
 

@@ -190,7 +190,8 @@ impl GcSim {
                     self.report.merged_sectors += plen;
                 }
                 // Offsets are fictitious; only coalescing behaviour matters.
-                self.batch_map.insert(lba, sectors as u64, self.batch_accepted);
+                self.batch_map
+                    .insert(lba, sectors as u64, self.batch_accepted);
             }
         }
         self.batch_accepted += sectors as u64;
@@ -521,7 +522,10 @@ mod tests {
             sim.write(lba, 8);
         }
         let r = sim.finish();
-        assert!(r.gc_copied_sectors > 0, "partially-live objects were copied");
+        assert!(
+            r.gc_copied_sectors > 0,
+            "partially-live objects were copied"
+        );
         assert_eq!(
             r.backend_sectors,
             r.client_sectors - r.merged_sectors + r.gc_copied_sectors,

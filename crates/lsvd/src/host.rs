@@ -41,7 +41,10 @@ impl SubDevice {
     ///
     /// Panics if the window extends past the underlying device.
     pub fn new(dev: Arc<dyn BlockDevice>, base_bytes: u64, len_bytes: u64) -> Self {
-        assert!(base_bytes + len_bytes <= dev.capacity(), "window out of device");
+        assert!(
+            base_bytes + len_bytes <= dev.capacity(),
+            "window out of device"
+        );
         SubDevice {
             dev,
             base_bytes,

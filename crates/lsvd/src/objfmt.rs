@@ -128,7 +128,7 @@ fn open_envelope<'a>(hdr: &'a [u8], what: &str) -> Result<Envelope<'a>> {
 }
 
 fn verify_crc(hdr: &[u8], what: &str) -> Result<()> {
-    if hdr.len() < 8 || hdr.len() % SECTOR as usize != 0 {
+    if hdr.len() < 8 || !hdr.len().is_multiple_of(SECTOR as usize) {
         return Err(LsvdError::Corrupt(format!("{what}: bad header length")));
     }
     let stored = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));

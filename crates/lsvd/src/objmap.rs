@@ -113,9 +113,7 @@ impl ObjectMap {
         for &(lba, len, expect) in pieces {
             // Only redirect sub-ranges that still match the expected source.
             for (plo, plen, pval) in self.map.overlaps(lba, len as u64) {
-                if pval.seq == expect.seq
-                    && pval.off == expect.off + (plo - lba) as u32
-                {
+                if pval.seq == expect.seq && pval.off == expect.off + (plo - lba) as u32 {
                     self.decay(plo, plen);
                     self.map.insert(
                         plo,
@@ -190,11 +188,7 @@ impl ObjectMap {
     /// Live pieces of object `seq` within the given candidate extents
     /// (typically the extent list from the object's header), as
     /// `(vLBA, sectors, current location)` with locations inside `seq`.
-    pub fn live_pieces_of(
-        &self,
-        seq: ObjSeq,
-        extents: &[(Lba, u32)],
-    ) -> Vec<(Lba, u32, ObjLoc)> {
+    pub fn live_pieces_of(&self, seq: ObjSeq, extents: &[(Lba, u32)]) -> Vec<(Lba, u32, ObjLoc)> {
         let mut out = Vec::new();
         for &(lba, len) in extents {
             for (plo, plen, pval) in self.map.overlaps(lba, len as u64) {

@@ -188,9 +188,7 @@ impl ReadCache {
         }
         // One-shot: a crash after this point must not reload the snapshot.
         let zero = vec![0u8; SECTOR as usize];
-        if rc.dev.write_at(region_start * SECTOR, &zero).is_err()
-            || rc.dev.flush().is_err()
-        {
+        if rc.dev.write_at(region_start * SECTOR, &zero).is_err() || rc.dev.flush().is_err() {
             // If we cannot erase it, do not trust it either.
             return Self::new(rc.dev.clone(), region_start, region_sectors);
         }
@@ -296,7 +294,6 @@ impl ReadCache {
     pub fn note_miss(&mut self, sectors: u64) {
         self.stats.miss_sectors += sectors;
     }
-
 }
 
 #[cfg(test)]
@@ -350,11 +347,15 @@ mod tests {
     fn fifo_eviction_under_pressure() {
         let mut rc = mk(16);
         for i in 0..10u64 {
-            rc.insert(i * 100, &vec![i as u8; 4 * SECTOR as usize]).unwrap();
+            rc.insert(i * 100, &vec![i as u8; 4 * SECTOR as usize])
+                .unwrap();
         }
         // Capacity 16 sectors, 4 per entry: only the last 4 entries fit.
         assert!(get(&mut rc, 0, 4).is_none(), "oldest evicted");
-        assert_eq!(get(&mut rc, 900, 4).unwrap(), vec![9u8; 4 * SECTOR as usize]);
+        assert_eq!(
+            get(&mut rc, 900, 4).unwrap(),
+            vec![9u8; 4 * SECTOR as usize]
+        );
         assert!(rc.stats().evicted_sectors >= 6 * 4);
         assert!(rc.cached_extents() <= 4);
     }
@@ -399,7 +400,8 @@ mod tests {
     fn wrap_around_stays_within_region() {
         let mut rc = mk(10);
         for i in 0..20u64 {
-            rc.insert(i * 10, &vec![i as u8; 3 * SECTOR as usize]).unwrap();
+            rc.insert(i * 10, &vec![i as u8; 3 * SECTOR as usize])
+                .unwrap();
             let v = get(&mut rc, i * 10, 3).expect("just-inserted entry readable");
             assert_eq!(v, vec![i as u8; 3 * SECTOR as usize]);
         }
@@ -427,7 +429,10 @@ mod tests {
         // Ring state restored: a new insert lands after the old head and
         // does not clobber live data.
         rc.insert(900, &vec![3u8; 4 * SECTOR as usize]).unwrap();
-        assert_eq!(get(&mut rc, 500, 4).unwrap(), vec![9u8; 4 * SECTOR as usize]);
+        assert_eq!(
+            get(&mut rc, 500, 4).unwrap(),
+            vec![9u8; 4 * SECTOR as usize]
+        );
     }
 
     #[test]

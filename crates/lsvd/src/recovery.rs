@@ -125,12 +125,10 @@ pub fn recover_backend(
     image: &str,
     upto: Option<ObjSeq>,
 ) -> Result<RecoveredBackend> {
-    let sb_obj = store
-        .get(&superblock_name(image))
-        .map_err(|e| match e {
-            ObjError::NotFound(_) => LsvdError::BadVolume(format!("{image}: no superblock")),
-            other => other.into(),
-        })?;
+    let sb_obj = store.get(&superblock_name(image)).map_err(|e| match e {
+        ObjError::NotFound(_) => LsvdError::BadVolume(format!("{image}: no superblock")),
+        other => other.into(),
+    })?;
     let superblock = Superblock::parse(&sb_obj)?;
 
     let ckpt = newest_checkpoint(store, image, superblock.uuid, upto)?;
@@ -310,7 +308,10 @@ mod tests {
         let mut m1 = ObjectMap::new();
         m1.apply_object(1, 1, &[(100, 8)]);
         store
-            .put(&checkpoint_name("vol", 1), CheckpointData::capture(&m1, 1, 1, &[], &[]).build(UUID))
+            .put(
+                &checkpoint_name("vol", 1),
+                CheckpointData::capture(&m1, 1, 1, &[], &[]).build(UUID),
+            )
             .unwrap();
         store
             .put(&checkpoint_name("vol", 2), Bytes::from_static(b"garbage"))

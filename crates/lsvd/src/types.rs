@@ -56,6 +56,17 @@ pub enum LsvdError {
     NoSuchSnapshot(String),
     /// The write-back cache is full and writeback cannot make progress.
     CacheFull,
+    /// The backend is unavailable and the pending writeback queue has hit
+    /// its configured limit; the client should back off and retry. The
+    /// volume is in degraded mode — previously acknowledged writes are
+    /// safe in the cache log and queued batches will land, in order, once
+    /// the backend heals.
+    Backpressure {
+        /// Sealed batches queued awaiting a healthy backend.
+        pending: usize,
+        /// Configured queue limit (`VolumeConfig::max_pending_batches`).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for LsvdError {
@@ -72,6 +83,10 @@ impl fmt::Display for LsvdError {
             LsvdError::BadVolume(what) => write!(f, "bad volume: {what}"),
             LsvdError::NoSuchSnapshot(name) => write!(f, "no such snapshot: {name}"),
             LsvdError::CacheFull => write!(f, "write-back cache full"),
+            LsvdError::Backpressure { pending, limit } => write!(
+                f,
+                "backend unavailable: {pending}/{limit} batches queued, write rejected"
+            ),
         }
     }
 }

@@ -92,7 +92,7 @@ impl History {
     /// Panics if the write is not block-aligned.
     pub fn record_write(&mut self, offset: u64, len: u64) -> Vec<u8> {
         assert!(
-            offset % VBLOCK == 0 && len % VBLOCK == 0 && len > 0,
+            offset.is_multiple_of(VBLOCK) && len.is_multiple_of(VBLOCK) && len > 0,
             "verified writes must be {VBLOCK}-aligned"
         );
         self.next_index += 1;
@@ -157,7 +157,12 @@ impl History {
         // Pass 2: at cut point `cut`, each block must hold its newest write
         // with index <= cut (or zeros if it had none).
         for (&block, writes) in &self.per_block {
-            let expect = writes.iter().copied().filter(|&w| w <= cut).max().unwrap_or(0);
+            let expect = writes
+                .iter()
+                .copied()
+                .filter(|&w| w <= cut)
+                .max()
+                .unwrap_or(0);
             let got = versions[&block];
             if got != expect {
                 return Verdict::Inconsistent {
@@ -273,7 +278,10 @@ mod tests {
             apply(&mut img, *off, d);
         }
         match h.check_image(&img) {
-            Verdict::ConsistentPrefix { cut, lost_committed } => {
+            Verdict::ConsistentPrefix {
+                cut,
+                lost_committed,
+            } => {
                 assert_eq!(cut, 5);
                 assert_eq!(lost_committed, 3);
             }

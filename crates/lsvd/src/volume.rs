@@ -20,10 +20,11 @@
 //! prototype pipelines these stages across kernel and userspace, which the
 //! simulation plane ([`crate::engine`]) models for performance experiments.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use blkdev::BlockDevice;
-use objstore::ObjectStore;
+use objstore::{ObjError, ObjectStore, RetryCounters, RetryHandle};
 
 use crate::batch::BatchBuilder;
 use crate::checkpoint::CheckpointData;
@@ -37,8 +38,8 @@ use crate::objmap::{ObjLoc, ObjectMap};
 use crate::rcache::ReadCache;
 use crate::recovery::{self, fetch_header};
 use crate::types::{
-    bytes_to_sectors, checkpoint_name, object_name, superblock_name, Lba, LsvdError, ObjSeq,
-    Plba, Result, SECTOR,
+    bytes_to_sectors, checkpoint_name, object_name, superblock_name, Lba, LsvdError, ObjSeq, Plba,
+    Result, SECTOR,
 };
 use crate::wlog::{RecordInfo, WriteLog};
 
@@ -48,6 +49,15 @@ const CACHE_SB_MAGIC: u32 = 0x4C53_4353; // "LSCS"
 
 /// Largest single log record payload; bigger writes are split.
 const MAX_WRITE_SECTORS: u64 = 2048; // 1 MiB
+
+/// Result of attempting to drain the pending-batch queue.
+enum FlushOutcome {
+    /// The queue is empty; cache and backend are synchronized.
+    Drained,
+    /// A transient backend failure stopped the drain; the queue (and the
+    /// error that stalled it) are preserved.
+    Stalled(ObjError),
+}
 
 /// Running counters for a volume.
 #[derive(Debug, Clone, Copy, Default)]
@@ -82,6 +92,24 @@ pub struct VolumeStats {
     pub merged_bytes: u64,
     /// Checkpoints written.
     pub checkpoints: u64,
+    /// Whether sealed batches are queued awaiting a healthy backend.
+    pub degraded: bool,
+    /// Sealed batches currently queued for PUT.
+    pub pending_batches: u64,
+    /// Object bytes in queued sealed batches.
+    pub pending_bytes: u64,
+    /// Transient PUT failures absorbed by the writeback queue.
+    pub put_transient_failures: u64,
+    /// Writes rejected with [`LsvdError::Backpressure`].
+    pub backpressure_rejections: u64,
+    /// Checkpoints skipped because the backend failed transiently.
+    pub checkpoint_failures: u64,
+    /// GC passes aborted on a transient backend failure.
+    pub gc_aborts: u64,
+    /// Retry-layer counters, populated when a
+    /// [`RetryStore`](objstore::RetryStore) handle is attached via
+    /// [`Volume::attach_retry_counters`].
+    pub retry: RetryCounters,
 }
 
 impl VolumeStats {
@@ -113,8 +141,15 @@ pub struct Volume {
     /// and GC liveness probes), keyed by sequence.
     hdr_cache: std::collections::HashMap<ObjSeq, std::sync::Arc<Vec<(Lba, u32)>>>,
     batch: BatchBuilder,
-    /// A sealed batch whose PUT failed, kept for retry.
-    failed_put: Option<(ObjSeq, crate::batch::SealedBatch)>,
+    /// Sealed batches awaiting PUT, oldest first. Normally the queue is
+    /// empty (a batch is PUT as soon as it seals); it grows only while the
+    /// backend fails transiently — degraded mode. Batches are shipped
+    /// strictly in sequence order; the queue is bounded by
+    /// `VolumeConfig::max_pending_batches`, past which writes that would
+    /// seal another batch fail with [`LsvdError::Backpressure`].
+    pending_puts: VecDeque<(ObjSeq, crate::batch::SealedBatch)>,
+    /// Live counters of a `RetryStore` beneath us, surfaced in stats.
+    retry_handle: Option<RetryHandle>,
 
     next_obj_seq: ObjSeq,
     last_seq: ObjSeq,
@@ -190,7 +225,12 @@ fn cache_layout(dev: &Arc<dyn BlockDevice>, cfg: &VolumeConfig) -> (u64, u64, u6
     let usable = total - CACHE_SB_SECTORS;
     let wc_sectors = ((usable as f64 * cfg.write_cache_fraction) as u64).max(32);
     let rc_sectors = usable - wc_sectors;
-    (CACHE_SB_SECTORS, wc_sectors, CACHE_SB_SECTORS + wc_sectors, rc_sectors)
+    (
+        CACHE_SB_SECTORS,
+        wc_sectors,
+        CACHE_SB_SECTORS + wc_sectors,
+        rc_sectors,
+    )
 }
 
 impl Volume {
@@ -210,7 +250,7 @@ impl Volume {
         cfg: VolumeConfig,
     ) -> Result<Volume> {
         cfg.validate();
-        if size_bytes == 0 || size_bytes % SECTOR != 0 {
+        if size_bytes == 0 || !size_bytes.is_multiple_of(SECTOR) {
             return Err(LsvdError::InvalidAccess {
                 offset: 0,
                 len: size_bytes,
@@ -230,7 +270,18 @@ impl Volume {
         store.put(&superblock_name(image), sb.build())?;
         let ck = CheckpointData::capture(&ObjectMap::new(), 0, 0, &[], &[]);
         store.put(&checkpoint_name(image, 0), ck.build(uuid))?;
-        Self::attach_fresh_cache(store, dev, sb, cfg, ObjectMap::new(), 0, 0, vec![], vec![], 0)
+        Self::attach_fresh_cache(
+            store,
+            dev,
+            sb,
+            cfg,
+            ObjectMap::new(),
+            0,
+            0,
+            vec![],
+            vec![],
+            0,
+        )
     }
 
     /// Clones `base_image` (optionally at one of its snapshots) into a new
@@ -290,8 +341,8 @@ impl Volume {
         // Try to adopt the existing cache.
         let mut sb_buf = vec![0u8; (CACHE_SB_SECTORS * SECTOR) as usize];
         dev.read_at(0, &mut sb_buf)?;
-        let cache_sb = CacheSb::parse(&sb_buf)
-            .filter(|c| c.uuid == rb.superblock.uuid && c.image == image);
+        let cache_sb =
+            CacheSb::parse(&sb_buf).filter(|c| c.uuid == rb.superblock.uuid && c.image == image);
 
         match cache_sb {
             Some(c) => {
@@ -312,7 +363,8 @@ impl Volume {
                     objmap: rb.objmap,
                     hdr_cache: std::collections::HashMap::new(),
                     batch: BatchBuilder::new(),
-                    failed_put: None,
+                    pending_puts: VecDeque::new(),
+                    retry_handle: None,
                     next_obj_seq: rb.last_seq + 1,
                     last_seq: rb.last_seq,
                     last_ckpt_seq: rb.ckpt_seq,
@@ -420,7 +472,8 @@ impl Volume {
             objmap,
             hdr_cache: std::collections::HashMap::new(),
             batch: BatchBuilder::new(),
-            failed_put: None,
+            pending_puts: VecDeque::new(),
+            retry_handle: None,
             next_obj_seq: last_seq + 1,
             last_seq,
             last_ckpt_seq,
@@ -468,7 +521,7 @@ impl Volume {
 
     fn check_access(&self, offset: u64, len: usize) -> Result<(Lba, u64)> {
         let len = len as u64;
-        if offset % SECTOR != 0 || len % SECTOR != 0 {
+        if !offset.is_multiple_of(SECTOR) || !len.is_multiple_of(SECTOR) {
             return Err(LsvdError::InvalidAccess {
                 offset,
                 len,
@@ -511,11 +564,34 @@ impl Volume {
 
     fn write_chunk(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
         let sectors = bytes_to_sectors(data.len() as u64);
+        // Past the dirty watermark (pending queue full) a write that would
+        // seal yet another batch is refused *before* touching the cache
+        // log, so a rejected write leaves no partial state behind.
+        if self.pending_puts.len() >= self.cfg.max_pending_batches
+            && self.batch.live_bytes() + data.len() as u64 >= self.cfg.batch_bytes
+        {
+            if let FlushOutcome::Stalled(_) = self.flush_pending()? {
+                self.stats.backpressure_rejections += 1;
+                return Err(LsvdError::Backpressure {
+                    pending: self.pending_puts.len(),
+                    limit: self.cfg.max_pending_batches,
+                });
+            }
+        }
         // Make room: push the current batch out and release log records.
         while !self.wlog.has_room(data.len() as u64) {
             let before = self.wlog.free_sectors();
             self.writeback_now()?;
             if self.wlog.free_sectors() == before {
+                // No progress. Distinguish "backend down, queue jammed"
+                // from a genuinely undersized cache.
+                if !self.pending_puts.is_empty() {
+                    self.stats.backpressure_rejections += 1;
+                    return Err(LsvdError::Backpressure {
+                        pending: self.pending_puts.len(),
+                        limit: self.cfg.max_pending_batches,
+                    });
+                }
                 return Err(LsvdError::CacheFull);
             }
         }
@@ -525,7 +601,9 @@ impl Volume {
         }
         self.rcache.invalidate(lba, sectors);
         self.batch.add(lba, data, appended.seq);
-        if self.batch.live_bytes() >= self.cfg.batch_bytes {
+        if self.batch.live_bytes() >= self.cfg.batch_bytes
+            && self.pending_puts.len() < self.cfg.max_pending_batches
+        {
             self.put_batch()?;
         }
         Ok(())
@@ -566,13 +644,7 @@ impl Volume {
         Ok(())
     }
 
-    fn read_below_wcache(
-        &mut self,
-        base: Lba,
-        start: Lba,
-        len: u64,
-        buf: &mut [u8],
-    ) -> Result<()> {
+    fn read_below_wcache(&mut self, base: Lba, start: Lba, len: u64, buf: &mut [u8]) -> Result<()> {
         // One segment at a time, re-resolving after each: filling an
         // earlier hole inserts into the read cache, which can evict — and
         // physically reuse — the very entries a stale resolution of a later
@@ -587,7 +659,11 @@ impl Volume {
                 .next()
                 .expect("resolve of a non-empty range yields a segment");
             match seg {
-                Segment::Mapped { start: s, len: l, val } => {
+                Segment::Mapped {
+                    start: s,
+                    len: l,
+                    val,
+                } => {
                     let b = ((s - base) * SECTOR) as usize;
                     let e = b + (l * SECTOR) as usize;
                     self.rcache.read_cached(val, l, &mut buf[b..e])?;
@@ -611,7 +687,11 @@ impl Volume {
                     let e = b + (l * SECTOR) as usize;
                     buf[b..e].fill(0);
                 }
-                Segment::Mapped { start: s, len: l, val } => {
+                Segment::Mapped {
+                    start: s,
+                    len: l,
+                    val,
+                } => {
                     self.rcache.note_miss(l);
                     let data = self.fetch_extent(s, l, val)?;
                     let b = ((s - base) * SECTOR) as usize;
@@ -632,16 +712,20 @@ impl Volume {
     fn fetch_extent(&mut self, _start: Lba, len: u64, loc: ObjLoc) -> Result<Vec<u8>> {
         let name = self.resolve_name(loc.seq);
         let (hdr_sectors, data_sectors) = match self.objmap.object_stat(loc.seq) {
-            Some(st) => ((st.total_sectors - st.data_sectors) as u64, st.data_sectors as u64),
+            Some(st) => (
+                (st.total_sectors - st.data_sectors) as u64,
+                st.data_sectors as u64,
+            ),
             None => {
-                let h = fetch_header(self.store.as_ref(), &name)?.ok_or_else(|| {
-                    LsvdError::Corrupt(format!("{name}: mapped object missing"))
-                })?;
+                let h = fetch_header(self.store.as_ref(), &name)?
+                    .ok_or_else(|| LsvdError::Corrupt(format!("{name}: mapped object missing")))?;
                 (h.data_offset as u64 / SECTOR, h.data_sectors())
             }
         };
         let window = (self.cfg.prefetch_bytes / SECTOR).max(len);
-        let fetch = window.min(data_sectors.saturating_sub(loc.off as u64)).max(len);
+        let fetch = window
+            .min(data_sectors.saturating_sub(loc.off as u64))
+            .max(len);
         let byte_off = (hdr_sectors + loc.off as u64) * SECTOR;
         let data = self.store.get_range(&name, byte_off, fetch * SECTOR)?;
         self.stats.backend_gets += 1;
@@ -722,41 +806,68 @@ impl Volume {
 
     /// Forces the current batch to the backend even if not full.
     fn writeback_now(&mut self) -> Result<()> {
-        if self.batch.is_empty() && self.failed_put.is_none() {
+        if self.batch.is_empty() && self.pending_puts.is_empty() {
             return Ok(());
         }
         self.put_batch()
     }
 
-    fn put_batch(&mut self) -> Result<()> {
-        // Retry a previously failed PUT first: ordering must hold.
-        if let Some((seq, sealed)) = self.failed_put.take() {
-            match self.store.put(&self.resolve_name(seq), sealed.object.clone()) {
-                Ok(()) => self.finish_put(seq, sealed)?,
-                Err(e) => {
-                    self.failed_put = Some((seq, sealed));
-                    return Err(e.into());
-                }
-            }
-        }
-        if self.batch.is_empty() {
-            return Ok(());
-        }
+    /// Seals the current batch into the pending queue, allocating its
+    /// sequence number. Sequences are assigned at seal time, so queued
+    /// batches carry strictly increasing sequences and FIFO shipping
+    /// preserves the backend's prefix rule.
+    fn seal_into_queue(&mut self) {
         let seq = self.next_obj_seq;
+        self.next_obj_seq = seq + 1;
         let sealed = self.batch.seal(self.sb.uuid, seq);
-        match self.store.put(&self.resolve_name(seq), sealed.object.clone()) {
-            Ok(()) => self.finish_put(seq, sealed),
-            Err(e) => {
-                // Keep the sealed batch; the data also remains in the cache
-                // log (unreleased), so nothing is lost.
-                self.failed_put = Some((seq, sealed));
-                Err(e.into())
+        self.pending_puts.push_back((seq, sealed));
+    }
+
+    /// Ships queued batches oldest-first. A transient backend failure
+    /// stalls the queue (degraded mode) — the data stays in the cache log
+    /// and the queue, nothing is lost or reordered. Permanent failures
+    /// propagate.
+    fn flush_pending(&mut self) -> Result<FlushOutcome> {
+        loop {
+            let Some((seq, obj)) = self
+                .pending_puts
+                .front()
+                .map(|(s, b)| (*s, b.object.clone()))
+            else {
+                return Ok(FlushOutcome::Drained);
+            };
+            match self.store.put(&self.resolve_name(seq), obj) {
+                Ok(()) => {
+                    let (seq, sealed) = self.pending_puts.pop_front().expect("checked nonempty");
+                    self.finish_put(seq, sealed)?;
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.put_transient_failures += 1;
+                    return Ok(FlushOutcome::Stalled(e));
+                }
+                Err(e) => return Err(e.into()),
             }
         }
     }
 
+    fn put_batch(&mut self) -> Result<()> {
+        if let FlushOutcome::Stalled(_) = self.flush_pending()? {
+            // Backend down. Seal the current batch into the queue (if it
+            // fits) so its cache records keep their place in line, and
+            // absorb the failure: the data is durable in the cache log.
+            if !self.batch.is_empty() && self.pending_puts.len() < self.cfg.max_pending_batches {
+                self.seal_into_queue();
+            }
+            return Ok(());
+        }
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        self.seal_into_queue();
+        self.flush_pending().map(|_| ())
+    }
+
     fn finish_put(&mut self, seq: ObjSeq, sealed: crate::batch::SealedBatch) -> Result<()> {
-        self.next_obj_seq = seq + 1;
         self.last_seq = seq;
         self.stats.backend_puts += 1;
         self.stats.backend_put_bytes += sealed.object.len() as u64;
@@ -779,10 +890,32 @@ impl Volume {
             }
         }
         self.objects_since_ckpt += 1;
-        if self.objects_since_ckpt >= self.cfg.checkpoint_interval {
-            self.write_checkpoint()?;
-            if self.cfg.gc_enabled {
-                self.run_gc()?;
+        // Checkpoints and GC run only with an empty queue: a checkpoint
+        // must not reference sequences that are not yet durable, and a GC
+        // object PUT ahead of queued data batches would break the
+        // backend's consecutive-sequence prefix rule.
+        if self.objects_since_ckpt >= self.cfg.checkpoint_interval && self.pending_puts.is_empty() {
+            match self.write_checkpoint() {
+                Ok(()) => {
+                    if self.cfg.gc_enabled {
+                        match self.run_gc() {
+                            Ok(_) => {}
+                            Err(LsvdError::Backend(e)) if e.is_transient() => {
+                                // Aborted cleanly; retried after the next
+                                // checkpoint.
+                                self.stats.gc_aborts += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Err(LsvdError::Backend(e)) if e.is_transient() => {
+                    // Skipped; `objects_since_ckpt` stays high, so the next
+                    // finished PUT tries again. Recovery rolls forward from
+                    // the previous checkpoint either way.
+                    self.stats.checkpoint_failures += 1;
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -790,13 +923,41 @@ impl Volume {
 
     /// Seals and ships everything buffered, so cache and backend are
     /// synchronized (used before migration, snapshots and shutdown).
+    ///
+    /// Unlike the write path, `drain` does not absorb transient backend
+    /// failures: if the queue cannot empty, the error surfaces so the
+    /// caller knows the backend and cache are *not* synchronized. Queued
+    /// batches are kept — a later drain (or healed backend) ships them in
+    /// order.
     pub fn drain(&mut self) -> Result<()> {
-        self.writeback_now()?;
+        loop {
+            if let FlushOutcome::Stalled(e) = self.flush_pending()? {
+                return Err(LsvdError::Backend(e));
+            }
+            if self.batch.is_empty() {
+                break;
+            }
+            self.seal_into_queue();
+        }
         debug_assert_eq!(self.wlog.live_records(), 0);
         Ok(())
     }
 
+    /// Whether sealed batches are queued awaiting a healthy backend.
+    pub fn is_degraded(&self) -> bool {
+        !self.pending_puts.is_empty()
+    }
+
+    /// Surfaces the live counters of a [`RetryStore`](objstore::RetryStore)
+    /// layered beneath this volume in [`Volume::stats`].
+    pub fn attach_retry_counters(&mut self, handle: RetryHandle) {
+        self.retry_handle = Some(handle);
+    }
+
     fn write_checkpoint(&mut self) -> Result<()> {
+        // Retry deletes that previously failed and are no longer blocked,
+        // so the checkpoint captures the smallest deferred set.
+        self.sweep_deferred_deletes();
         let ck = CheckpointData::capture(
             &self.objmap,
             self.last_seq,
@@ -811,8 +972,28 @@ impl Volume {
         self.last_ckpt_seq = self.last_seq;
         self.objects_since_ckpt = 0;
         self.stats.checkpoints += 1;
-        recovery::prune_checkpoints(self.store.as_ref(), &self.sb.image, &self.snapshots, 3)?;
+        // Pruning old checkpoints is cleanup; a flaky backend must not
+        // fail the checkpoint that already landed.
+        match recovery::prune_checkpoints(self.store.as_ref(), &self.sb.image, &self.snapshots, 3) {
+            Ok(()) => {}
+            Err(LsvdError::Backend(e)) if e.is_transient() => {}
+            Err(e) => return Err(e),
+        }
         Ok(())
+    }
+
+    /// Executes deferred deletes no longer blocked by snapshots. Deletes
+    /// that fail are re-deferred — never dropped — so a flaky backend
+    /// delays space reclamation without leaking objects.
+    fn sweep_deferred_deletes(&mut self) {
+        let attempts = self.cfg.gc_retry_attempts;
+        for (n0, ngc) in gc::drain_deletable(&mut self.deferred_deletes, &self.snapshots) {
+            let name = self.resolve_name(n0);
+            match retry_transient(attempts, || self.store.delete(&name)) {
+                Ok(()) => self.stats.gc_deletes += 1,
+                Err(_) => self.deferred_deletes.push((n0, ngc)),
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -827,8 +1008,7 @@ impl Volume {
         if !gc::should_collect(&self.objmap, first, upto, self.cfg.gc_low_watermark) {
             return Ok(0);
         }
-        let cands =
-            gc::select_candidates(&self.objmap, first, upto, self.cfg.gc_high_watermark);
+        let cands = gc::select_candidates(&self.objmap, first, upto, self.cfg.gc_high_watermark);
         if cands.is_empty() {
             return Ok(0);
         }
@@ -840,7 +1020,10 @@ impl Volume {
         let mut gc_batch_bytes = 0u64;
         for &(seq, _) in &cands {
             let name = self.resolve_name(seq);
-            let Some(hdr) = fetch_header(self.store.as_ref(), &name)? else {
+            let Some(hdr) = retry_transient_lsvd(self.cfg.gc_retry_attempts, || {
+                fetch_header(self.store.as_ref(), &name)
+            })?
+            else {
                 // Already gone (e.g. deferred delete executed elsewhere).
                 self.objmap.remove_object(seq);
                 continue;
@@ -869,8 +1052,14 @@ impl Volume {
             }
             self.objmap.remove_object(seq);
             if gc::may_delete_now(seq, ngc, &self.snapshots) {
-                self.store.delete(&self.resolve_name(seq))?;
-                self.stats.gc_deletes += 1;
+                let name = self.resolve_name(seq);
+                match retry_transient(self.cfg.gc_retry_attempts, || self.store.delete(&name)) {
+                    Ok(()) => self.stats.gc_deletes += 1,
+                    // Defer rather than lose the delete: the object's data
+                    // has been relocated, only its space is still held.
+                    Err(e) if e.is_transient() => self.deferred_deletes.push((seq, ngc)),
+                    Err(e) => return Err(e.into()),
+                }
             } else {
                 self.deferred_deletes.push((seq, ngc));
             }
@@ -891,8 +1080,7 @@ impl Volume {
                 let gap_start = plba + plen as u64;
                 if piece.0 > gap_start && piece.0 - gap_start <= thr {
                     // Pull in whatever currently maps the gap.
-                    for (glo, glen, gloc) in self.objmap.overlaps(gap_start, piece.0 - gap_start)
-                    {
+                    for (glo, glen, gloc) in self.objmap.overlaps(gap_start, piece.0 - gap_start) {
                         out.push((glo, glen as u32, gloc));
                     }
                 }
@@ -915,9 +1103,13 @@ impl Volume {
         }
         let name = self.resolve_name(loc.seq);
         let hdr_sectors = self.hdr_sectors_of(loc.seq)?;
-        let data = self
-            .store
-            .get_range(&name, (hdr_sectors + loc.off as u64) * SECTOR, sectors * SECTOR)?;
+        let data = retry_transient(self.cfg.gc_retry_attempts, || {
+            self.store.get_range(
+                &name,
+                (hdr_sectors + loc.off as u64) * SECTOR,
+                sectors * SECTOR,
+            )
+        })?;
         self.stats.backend_gets += 1;
         self.stats.backend_get_bytes += data.len() as u64;
         Ok(data.to_vec())
@@ -945,7 +1137,10 @@ impl Volume {
             &data,
         );
         let hdr_sectors = (obj.len() - data.len()) as u64 / SECTOR;
-        self.store.put(&self.resolve_name(seq), obj.clone())?;
+        let name = self.resolve_name(seq);
+        retry_transient(self.cfg.gc_retry_attempts, || {
+            self.store.put(&name, obj.clone())
+        })?;
         self.next_obj_seq = seq + 1;
         self.last_seq = seq;
         self.stats.gc_puts += 1;
@@ -993,10 +1188,7 @@ impl Volume {
         if self.snapshots.len() == before {
             return Err(LsvdError::NoSuchSnapshot(name.to_string()));
         }
-        for (n0, _) in gc::drain_deletable(&mut self.deferred_deletes, &self.snapshots) {
-            self.store.delete(&self.resolve_name(n0))?;
-            self.stats.gc_deletes += 1;
-        }
+        self.sweep_deferred_deletes();
         self.write_checkpoint()?;
         Ok(())
     }
@@ -1030,9 +1222,21 @@ impl Volume {
         self.read_only
     }
 
-    /// Running statistics.
+    /// Running statistics, including the degraded-mode view of the
+    /// pending writeback queue and (if attached) retry-layer counters.
     pub fn stats(&self) -> VolumeStats {
-        self.stats
+        let mut s = self.stats;
+        s.degraded = !self.pending_puts.is_empty();
+        s.pending_batches = self.pending_puts.len() as u64;
+        s.pending_bytes = self
+            .pending_puts
+            .iter()
+            .map(|(_, b)| b.object.len() as u64)
+            .sum();
+        if let Some(h) = &self.retry_handle {
+            s.retry = h.snapshot();
+        }
+        s
     }
 
     /// Read-cache statistics.
@@ -1040,9 +1244,15 @@ impl Volume {
         self.rcache.stats()
     }
 
-    /// Bytes acknowledged but not yet durable in the backend ("dirty").
+    /// Bytes acknowledged but not yet durable in the backend ("dirty"):
+    /// the open batch plus any sealed batches queued in degraded mode.
     pub fn dirty_bytes(&self) -> u64 {
         self.batch.live_bytes()
+            + self
+                .pending_puts
+                .iter()
+                .map(|(_, b)| b.object.len() as u64)
+                .sum::<u64>()
     }
 
     /// `(live, total)` sectors across backend objects.
@@ -1063,6 +1273,34 @@ impl Volume {
     /// The volume configuration.
     pub fn config(&self) -> &VolumeConfig {
         &self.cfg
+    }
+}
+
+/// Bounded immediate retry for maintenance-path store calls (GC,
+/// deferred deletes). Only transient errors are retried; there is no
+/// backoff here — latency-shaped retry belongs in an
+/// [`objstore::RetryStore`] layered under the volume.
+fn retry_transient<T>(
+    attempts: u32,
+    mut f: impl FnMut() -> objstore::Result<T>,
+) -> objstore::Result<T> {
+    let mut tries = 1;
+    loop {
+        match f() {
+            Err(e) if e.is_transient() && tries < attempts => tries += 1,
+            other => return other,
+        }
+    }
+}
+
+/// [`retry_transient`] for calls that already return [`LsvdError`].
+fn retry_transient_lsvd<T>(attempts: u32, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut tries = 1;
+    loop {
+        match f() {
+            Err(LsvdError::Backend(e)) if e.is_transient() && tries < attempts => tries += 1,
+            other => return other,
+        }
     }
 }
 
@@ -1179,8 +1417,7 @@ mod tests {
             wr(&mut vol, i * 4096, i as u8 + 1, 4096);
         }
         vol.shutdown().unwrap();
-        let mut vol =
-            Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
+        let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
         for i in 0..16u64 {
             assert_eq!(rd(&mut vol, i * 4096, 4096), vec![i as u8 + 1; 4096]);
         }
@@ -1200,7 +1437,10 @@ mod tests {
 
         let mut vol =
             Volume::open(store.clone(), dev, "vol", VolumeConfig::small_for_tests()).unwrap();
-        assert!(store.object_count() > puts_before, "tail replayed to backend");
+        assert!(
+            store.object_count() > puts_before,
+            "tail replayed to backend"
+        );
         assert_eq!(rd(&mut vol, 0, 4096), vec![1u8; 4096]);
         assert_eq!(rd(&mut vol, 4096, 4096), vec![2u8; 4096]);
         assert_eq!(rd(&mut vol, 8192, 4096), vec![3u8; 4096]);
@@ -1281,8 +1521,7 @@ mod tests {
         assert!(snap.write(0, &[0u8; 512]).is_err());
 
         // The live volume still sees the new data.
-        let mut vol =
-            Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
+        let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
         assert_eq!(rd(&mut vol, 0, 65536), vec![2u8; 65536]);
     }
 
@@ -1335,8 +1574,7 @@ mod tests {
         let _ = rd(&mut vol, 0, 256 << 10);
         vol.shutdown().unwrap();
 
-        let mut vol =
-            Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
+        let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
         assert_eq!(rd(&mut vol, 0, 256 << 10), vec![7u8; 256 << 10]);
         assert_eq!(
             vol.stats().backend_gets,
@@ -1356,14 +1594,8 @@ mod tests {
         // Small cache device => read cache of only ~1.6 MiB: a multi-MiB
         // read is guaranteed to churn it end to end.
         let dev = Arc::new(RamDisk::new(2 << 20));
-        let mut vol = Volume::create(
-            store,
-            dev,
-            "vol",
-            16 << 20,
-            VolumeConfig::small_for_tests(),
-        )
-        .expect("create");
+        let mut vol = Volume::create(store, dev, "vol", 16 << 20, VolumeConfig::small_for_tests())
+            .expect("create");
         // Distinct tag per 64 KiB stripe.
         for i in 0..256u64 {
             wr(&mut vol, i * (64 << 10), (i % 250) as u8 + 1, 64 << 10);
@@ -1395,6 +1627,6 @@ mod tests {
         assert_eq!(s.write_bytes, 32 * 4096);
         assert!(s.backend_put_bytes >= s.write_bytes);
         let waf = s.write_amplification();
-        assert!(waf >= 1.0 && waf < 1.5, "WAF {waf}");
+        assert!((1.0..1.5).contains(&waf), "WAF {waf}");
     }
 }

@@ -162,7 +162,10 @@ impl WriteLog {
         region_sectors: u64,
         first_seq: u64,
     ) -> Result<Self> {
-        assert!(region_sectors > CKPT_SLOTS + 8, "write cache region too small");
+        assert!(
+            region_sectors > CKPT_SLOTS + 8,
+            "write cache region too small"
+        );
         assert!(first_seq >= 1, "sequence numbers start at 1");
         let mut log = WriteLog {
             dev,
@@ -178,10 +181,8 @@ impl WriteLog {
             ckpt_gen: 0,
         };
         // Invalidate any stale first record from a previous life.
-        log.dev.write_at(
-            log.log_start * SECTOR,
-            &vec![0u8; SECTOR as usize],
-        )?;
+        log.dev
+            .write_at(log.log_start * SECTOR, &vec![0u8; SECTOR as usize])?;
         log.write_ckpt()?;
         log.write_ckpt()?; // both slots valid
         Ok(log)
@@ -351,7 +352,10 @@ impl WriteLog {
         Ok(())
     }
 
-    fn read_ckpt(dev: &Arc<dyn BlockDevice>, region_start: u64) -> Result<Option<(u64, Plba, u64)>> {
+    fn read_ckpt(
+        dev: &Arc<dyn BlockDevice>,
+        region_start: u64,
+    ) -> Result<Option<(u64, Plba, u64)>> {
         let mut best: Option<(u64, Plba, u64)> = None;
         for slot in 0..CKPT_SLOTS {
             let mut sector = vec![0u8; SECTOR as usize];
@@ -368,7 +372,7 @@ impl WriteLog {
             let (Ok(gen), Ok(tail), Ok(tail_seq)) = (r.u64(), r.u64(), r.u64()) else {
                 continue;
             };
-            if best.map_or(true, |(g, _, _)| gen > g) {
+            if best.is_none_or(|(g, _, _)| gen > g) {
                 best = Some((gen, tail, tail_seq));
             }
         }
@@ -565,7 +569,8 @@ mod tests {
             plba3 = log.records[2].data_plba;
         }
         // Corrupt one data sector of record 3.
-        dev.write_at(plba3 * SECTOR, &[0xEE; SECTOR as usize]).unwrap();
+        dev.write_at(plba3 * SECTOR, &[0xEE; SECTOR as usize])
+            .unwrap();
         let (_, pending) = WriteLog::recover(dev, 0, 1024, 0).unwrap();
         // Prefix rule: records 1 and 2 only.
         let seqs: Vec<u64> = pending.iter().map(|r| r.seq).collect();

@@ -126,10 +126,7 @@ impl<S: ObjectStore> CachingStore<S> {
         }
         st.used_bytes += data.len() as u64;
         st.lru.insert(stamp, key.clone());
-        st.by_name
-            .entry(key.0.clone())
-            .or_default()
-            .insert(chunk);
+        st.by_name.entry(key.0.clone()).or_default().insert(chunk);
         st.chunks.insert(key, (data, stamp));
     }
 
@@ -290,7 +287,10 @@ mod tests {
         let inner = MemStore::new();
         for i in 0..8 {
             inner
-                .put(&format!("o{i}"), Bytes::from(vec![i as u8; CHUNK_BYTES as usize]))
+                .put(
+                    &format!("o{i}"),
+                    Bytes::from(vec![i as u8; CHUNK_BYTES as usize]),
+                )
                 .unwrap();
         }
         // Capacity for only 3 chunks.

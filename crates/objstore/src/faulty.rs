@@ -3,119 +3,107 @@
 //! The crash-recovery experiments (§3.3, Table 4) need backend states that
 //! only arise from failures: *stranded* objects (sequence 99, 100 and 102
 //! present but 101 lost in flight), failed PUTs, and flaky reads.
-//! [`FaultyStore`] wraps any [`ObjectStore`] and injects those states
-//! deterministically.
-
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+//! [`FaultyStore`] keeps that small, deterministic surface — it is a thin
+//! facade over [`ChaosStore`](crate::ChaosStore), which generalises it
+//! with seeded probabilistic schedules, outage windows and payload
+//! corruption. Unlike the original wrapper, every operation (including
+//! HEAD, DELETE and LIST) now routes through the fault machinery, so
+//! recovery's LIST/HEAD passes can be failure-tested too.
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 
-use crate::{ObjError, ObjectStore, Result};
+use crate::chaos::ChaosStore;
+use crate::{ObjectStore, Result};
 
 /// A wrapper that can drop or fail operations against the inner store.
 pub struct FaultyStore<S> {
-    inner: S,
-    /// PUTs of these names vanish: the call returns success but nothing is
-    /// stored. This simulates an in-flight upload lost with the client
-    /// (the client that "observed" success crashed before recording it).
-    black_holes: Mutex<HashSet<String>>,
-    /// Fail the next N PUTs with [`ObjError::Injected`].
-    fail_puts: AtomicU64,
-    /// Fail the next N GET/GET-range calls.
-    fail_gets: AtomicU64,
-    puts_attempted: AtomicU64,
-    puts_dropped: AtomicU64,
+    chaos: ChaosStore<S>,
 }
 
 impl<S: ObjectStore> FaultyStore<S> {
     /// Wraps `inner` with no faults armed.
     pub fn new(inner: S) -> Self {
         FaultyStore {
-            inner,
-            black_holes: Mutex::new(HashSet::new()),
-            fail_puts: AtomicU64::new(0),
-            fail_gets: AtomicU64::new(0),
-            puts_attempted: AtomicU64::new(0),
-            puts_dropped: AtomicU64::new(0),
+            chaos: ChaosStore::new(inner),
         }
     }
 
-    /// Makes future PUTs of `name` silently vanish.
+    /// Makes future PUTs of `name` silently vanish: the call returns
+    /// success but nothing is stored, simulating an in-flight upload lost
+    /// with the client that "observed" success and crashed.
     pub fn black_hole(&self, name: &str) {
-        self.black_holes.lock().insert(name.to_string());
+        self.chaos.black_hole(name);
     }
 
-    /// Arms failure of the next `n` PUT calls.
+    /// Arms transient failure of the next `n` PUT calls.
     pub fn fail_next_puts(&self, n: u64) {
-        self.fail_puts.store(n, Ordering::SeqCst);
+        self.chaos.fail_next_puts(n);
     }
 
-    /// Arms failure of the next `n` GET calls.
+    /// Arms transient failure of the next `n` GET calls.
     pub fn fail_next_gets(&self, n: u64) {
-        self.fail_gets.store(n, Ordering::SeqCst);
+        self.chaos.fail_next_gets(n);
+    }
+
+    /// Arms transient failure of the next `n` HEAD calls.
+    pub fn fail_next_heads(&self, n: u64) {
+        self.chaos.fail_next_heads(n);
+    }
+
+    /// Arms transient failure of the next `n` DELETE calls.
+    pub fn fail_next_deletes(&self, n: u64) {
+        self.chaos.fail_next_deletes(n);
+    }
+
+    /// Arms transient failure of the next `n` LIST calls.
+    pub fn fail_next_lists(&self, n: u64) {
+        self.chaos.fail_next_lists(n);
     }
 
     /// Number of PUTs attempted through this wrapper.
     pub fn puts_attempted(&self) -> u64 {
-        self.puts_attempted.load(Ordering::SeqCst)
+        self.chaos.puts_attempted()
     }
 
     /// Number of PUTs swallowed by black holes.
     pub fn puts_dropped(&self) -> u64 {
-        self.puts_dropped.load(Ordering::SeqCst)
+        self.chaos.puts_dropped()
+    }
+
+    /// Total faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.chaos.faults_injected()
     }
 
     /// Access to the wrapped store.
     pub fn inner(&self) -> &S {
-        &self.inner
-    }
-
-    fn take_one(counter: &AtomicU64) -> bool {
-        counter
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok()
+        self.chaos.inner()
     }
 }
 
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, name: &str, data: Bytes) -> Result<()> {
-        self.puts_attempted.fetch_add(1, Ordering::SeqCst);
-        if Self::take_one(&self.fail_puts) {
-            return Err(ObjError::Injected("put failure"));
-        }
-        if self.black_holes.lock().contains(name) {
-            self.puts_dropped.fetch_add(1, Ordering::SeqCst);
-            return Ok(());
-        }
-        self.inner.put(name, data)
+        self.chaos.put(name, data)
     }
 
     fn get(&self, name: &str) -> Result<Bytes> {
-        if Self::take_one(&self.fail_gets) {
-            return Err(ObjError::Injected("get failure"));
-        }
-        self.inner.get(name)
+        self.chaos.get(name)
     }
 
     fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
-        if Self::take_one(&self.fail_gets) {
-            return Err(ObjError::Injected("get failure"));
-        }
-        self.inner.get_range(name, offset, len)
+        self.chaos.get_range(name, offset, len)
     }
 
     fn head(&self, name: &str) -> Result<u64> {
-        self.inner.head(name)
+        self.chaos.head(name)
     }
 
     fn delete(&self, name: &str) -> Result<()> {
-        self.inner.delete(name)
+        self.chaos.delete(name)
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        self.inner.list(prefix)
+        self.chaos.list(prefix)
     }
 }
 
@@ -155,6 +143,31 @@ mod tests {
         assert!(s.get("a").is_err());
         assert_eq!(s.get("a").unwrap().as_ref(), b"xy");
         assert_eq!(s.get_range("a", 1, 1).unwrap().as_ref(), b"y");
+    }
+
+    #[test]
+    fn injected_faults_are_classified_transient() {
+        let s = FaultyStore::new(MemStore::new());
+        s.fail_next_puts(1);
+        let err = s.put("a", Bytes::new()).unwrap_err();
+        assert!(err.is_transient(), "armed faults model retryable failures");
+    }
+
+    #[test]
+    fn metadata_ops_route_through_fault_injection() {
+        let s = FaultyStore::new(MemStore::new());
+        s.put("p.1", Bytes::from_static(b"z")).unwrap();
+        s.fail_next_heads(1);
+        assert!(s.head("p.1").is_err());
+        assert_eq!(s.head("p.1").unwrap(), 1);
+        s.fail_next_lists(1);
+        assert!(s.list("p.").is_err());
+        assert_eq!(s.list("p.").unwrap(), vec!["p.1"]);
+        s.fail_next_deletes(1);
+        assert!(s.delete("p.1").is_err());
+        assert!(s.exists("p.1").unwrap(), "failed delete must not delete");
+        s.delete("p.1").unwrap();
+        assert!(!s.exists("p.1").unwrap());
     }
 
     #[test]

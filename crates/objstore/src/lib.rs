@@ -15,21 +15,39 @@
 //!   12–14.
 
 pub mod cache;
+pub mod chaos;
 pub mod dir;
 pub mod faulty;
 pub mod link;
 pub mod mem;
 pub mod pool;
+pub mod retry;
 
 pub use cache::CachingStore;
+pub use chaos::{ChaosSchedule, ChaosStore, OutageWindow};
 pub use dir::DirStore;
 pub use faulty::FaultyStore;
 pub use mem::MemStore;
+pub use retry::{RetryCounters, RetryHandle, RetryPolicy, RetryStore};
 
 use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+
+/// Whether a failure is worth retrying.
+///
+/// The taxonomy drives every retry decision in the stack: [`RetryStore`]
+/// only re-issues operations whose error [`is_transient`](ObjError::is_transient),
+/// and the volume's degraded-mode writeback queues batches only behind
+/// transient PUT failures — a permanent failure aborts immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The operation may succeed if retried (timeout, throttle, flaky link).
+    Transient,
+    /// Retrying cannot help (missing object, corrupt payload, bad request).
+    Permanent,
+}
 
 /// Errors returned by object stores.
 #[derive(Debug)]
@@ -49,8 +67,66 @@ pub enum ObjError {
     },
     /// An underlying I/O error (directory-backed stores only).
     Io(std::io::Error),
-    /// A fault injected by [`FaultyStore`].
-    Injected(&'static str),
+    /// The operation did not complete in time (transient).
+    Timeout(String),
+    /// The backend rejected the operation under load (transient).
+    Throttled(String),
+    /// The connection dropped mid-operation (transient).
+    ConnReset(String),
+    /// The returned payload failed an integrity check (permanent: the
+    /// stored bytes themselves are damaged, retrying reads them again).
+    PayloadCorrupt {
+        /// Object name.
+        name: String,
+        /// What check failed.
+        detail: String,
+    },
+    /// A fault injected by [`FaultyStore`] or [`ChaosStore`], carrying the
+    /// class the injector intended.
+    Injected {
+        /// Whether the injected fault models a retryable failure.
+        class: FaultClass,
+        /// Which fault was injected.
+        what: &'static str,
+    },
+}
+
+impl ObjError {
+    /// Whether a retry of the failed operation could plausibly succeed.
+    ///
+    /// Timeouts, throttling and connection resets are transient; missing
+    /// objects, bad ranges and detected payload corruption are permanent.
+    /// Raw I/O errors are classified by [`std::io::ErrorKind`]. Injected
+    /// faults carry their class explicitly.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            ObjError::Timeout(_) | ObjError::Throttled(_) | ObjError::ConnReset(_) => true,
+            ObjError::NotFound(_) | ObjError::BadRange { .. } | ObjError::PayloadCorrupt { .. } => {
+                false
+            }
+            ObjError::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::TimedOut
+                    | ErrorKind::Interrupted
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe
+                    | ErrorKind::UnexpectedEof
+            ),
+            ObjError::Injected { class, .. } => *class == FaultClass::Transient,
+        }
+    }
+
+    /// The error's [`FaultClass`].
+    pub fn class(&self) -> FaultClass {
+        if self.is_transient() {
+            FaultClass::Transient
+        } else {
+            FaultClass::Permanent
+        }
+    }
 }
 
 impl fmt::Display for ObjError {
@@ -67,7 +143,15 @@ impl fmt::Display for ObjError {
                 "range [{offset}, {offset}+{len}) out of bounds for {name} (size {size})"
             ),
             ObjError::Io(e) => write!(f, "I/O error: {e}"),
-            ObjError::Injected(what) => write!(f, "injected fault: {what}"),
+            ObjError::Timeout(what) => write!(f, "timed out: {what}"),
+            ObjError::Throttled(what) => write!(f, "throttled: {what}"),
+            ObjError::ConnReset(what) => write!(f, "connection reset: {what}"),
+            ObjError::PayloadCorrupt { name, detail } => {
+                write!(f, "corrupt payload for {name}: {detail}")
+            }
+            ObjError::Injected { class, what } => {
+                write!(f, "injected {class:?} fault: {what}")
+            }
         }
     }
 }
@@ -151,7 +235,7 @@ impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
 
 pub(crate) fn slice_range(name: &str, data: &Bytes, offset: u64, len: u64) -> Result<Bytes> {
     let size = data.len() as u64;
-    if offset.checked_add(len).map_or(true, |end| end > size) {
+    if offset.checked_add(len).is_none_or(|end| end > size) {
         return Err(ObjError::BadRange {
             name: name.to_string(),
             offset,

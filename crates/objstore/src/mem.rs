@@ -141,7 +141,10 @@ mod tests {
         for name in ["vol.003", "vol.001", "other.001", "vol.002"] {
             s.put(name, Bytes::new()).unwrap();
         }
-        assert_eq!(s.list("vol.").unwrap(), vec!["vol.001", "vol.002", "vol.003"]);
+        assert_eq!(
+            s.list("vol.").unwrap(),
+            vec!["vol.001", "vol.002", "vol.003"]
+        );
         assert_eq!(s.list("").unwrap().len(), 4);
         assert!(s.list("zzz").unwrap().is_empty());
     }

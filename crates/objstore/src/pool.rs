@@ -457,9 +457,14 @@ mod tests {
         let pool = BackendPool::new(PoolConfig::hdd_config2());
         for obj in 0..50 {
             let set: Vec<usize> = (0..3).map(|i| pool.disk_for(obj, i)).collect();
-            assert_eq!(set, (0..3).map(|i| pool.disk_for(obj, i)).collect::<Vec<_>>());
-            assert!(set[0] != set[1] && set[1] != set[2] && set[0] != set[2],
-                "replicas must land on distinct disks: {set:?}");
+            assert_eq!(
+                set,
+                (0..3).map(|i| pool.disk_for(obj, i)).collect::<Vec<_>>()
+            );
+            assert!(
+                set[0] != set[1] && set[1] != set[2] && set[0] != set[2],
+                "replicas must land on distinct disks: {set:?}"
+            );
         }
     }
 
@@ -470,7 +475,10 @@ mod tests {
         assert_eq!(pool.issued().read_ops, 1);
         let mut pool2 = BackendPool::new(PoolConfig::hdd_config2());
         pool2.ec_get_range(SimTime::ZERO, 3, 0, 4 << 20);
-        assert!(pool2.issued().read_ops >= 4, "full-object read spans chunks");
+        assert!(
+            pool2.issued().read_ops >= 4,
+            "full-object read spans chunks"
+        );
     }
 
     #[test]

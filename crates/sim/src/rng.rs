@@ -62,7 +62,13 @@ impl Zipf {
         let hx0 = h(0.5) - 1.0f64.min((0.5f64 + 1.0).powf(-theta));
         let hxm = h(n as f64 - 0.5);
         let s = 1.0 - Self::h_inv_at(theta, h(1.5) - 2.0f64.powf(-theta));
-        Zipf { n, theta, hx0, hxm, s }
+        Zipf {
+            n,
+            theta,
+            hx0,
+            hxm,
+            s,
+        }
     }
 
     fn h_inv_at(theta: f64, x: f64) -> f64 {

@@ -70,8 +70,7 @@ impl Server {
         if elapsed == SimDuration::ZERO {
             return 0.0;
         }
-        (self.busy.as_nanos() as f64
-            / (elapsed.as_nanos() as f64 * self.free.len() as f64))
+        (self.busy.as_nanos() as f64 / (elapsed.as_nanos() as f64 * self.free.len() as f64))
             .min(1.0)
     }
 }

@@ -172,10 +172,7 @@ impl FilebenchGen {
         let lba = self.slot_lba(slot);
         // Whole-file write; with the 16 KiB tail append merging in, the
         // block-level mean merged write lands near the paper's 94 KiB.
-        let size = *[32u64 << 10, 64 << 10, 96 << 10, 128 << 10]
-            .iter()
-            .nth(self.rng.gen_range(0..4))
-            .expect("in range");
+        let size = [32u64 << 10, 64 << 10, 96 << 10, 128 << 10][self.rng.gen_range(0..4)];
         self.push_write(lba, size);
         // 16 KiB append at the file tail.
         self.push_write(lba + size / SECTOR, 16 << 10);
@@ -384,7 +381,10 @@ mod tests {
             s.writes_per_sync()
         );
         let mean = s.mean_merged_write() / 1024.0;
-        assert!((64.0..160.0).contains(&mean), "mean merged write KiB {mean}");
+        assert!(
+            (64.0..160.0).contains(&mean),
+            "mean merged write KiB {mean}"
+        );
     }
 
     #[test]

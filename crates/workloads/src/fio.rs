@@ -65,7 +65,7 @@ impl FioSpec {
 
     /// Builds the generator for one thread of `nthreads`.
     pub fn thread(&self, thread: usize, nthreads: usize) -> FioGen {
-        assert!(self.block_bytes % 512 == 0 && self.block_bytes > 0);
+        assert!(self.block_bytes.is_multiple_of(512) && self.block_bytes > 0);
         assert!(nthreads > 0 && thread < nthreads);
         let blocks = self.span_bytes / self.block_bytes;
         let per_thread = (blocks / nthreads as u64).max(1);
@@ -121,7 +121,9 @@ mod tests {
         for _ in 0..1000 {
             let op = g.next_op();
             assert!(op.is_write());
-            let IoOp::Write { lba, sectors } = op else { unreachable!() };
+            let IoOp::Write { lba, sectors } = op else {
+                unreachable!()
+            };
             assert_eq!(sectors, 32);
             assert_eq!(lba % 32, 0, "block aligned");
             assert!((lba + sectors as u64) * 512 <= 80 << 30);
@@ -142,14 +144,18 @@ mod tests {
         };
         let mut a = spec.thread(0, 2);
         let mut b = spec.thread(1, 2);
-        let la: Vec<u64> = (0..4).map(|_| match a.next_op() {
-            IoOp::Write { lba, .. } => lba,
-            _ => unreachable!(),
-        }).collect();
-        let lb: Vec<u64> = (0..4).map(|_| match b.next_op() {
-            IoOp::Write { lba, .. } => lba,
-            _ => unreachable!(),
-        }).collect();
+        let la: Vec<u64> = (0..4)
+            .map(|_| match a.next_op() {
+                IoOp::Write { lba, .. } => lba,
+                _ => unreachable!(),
+            })
+            .collect();
+        let lb: Vec<u64> = (0..4)
+            .map(|_| match b.next_op() {
+                IoOp::Write { lba, .. } => lba,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(la, vec![0, 8, 16, 24], "ascending");
         assert_eq!(lb[0], 1024, "second half of the span");
         assert!(la.iter().all(|l| !lb.contains(l)));

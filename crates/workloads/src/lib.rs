@@ -76,7 +76,14 @@ mod tests {
     #[test]
     fn ioop_bytes() {
         assert_eq!(IoOp::Write { lba: 0, sectors: 8 }.bytes(), 4096);
-        assert_eq!(IoOp::Read { lba: 0, sectors: 32 }.bytes(), 16384);
+        assert_eq!(
+            IoOp::Read {
+                lba: 0,
+                sectors: 32
+            }
+            .bytes(),
+            16384
+        );
         assert_eq!(IoOp::Flush.bytes(), 0);
         assert!(IoOp::Write { lba: 0, sectors: 1 }.is_write());
         assert!(!IoOp::Flush.is_write());

@@ -86,7 +86,10 @@ impl<R: Read> TraceReader<R> {
         let magic = u32::from_le_bytes(hdr[0..4].try_into().expect("4"));
         let version = u16::from_le_bytes(hdr[4..6].try_into().expect("2"));
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a trace file",
+            ));
         }
         if version != VERSION {
             return Err(io::Error::new(
@@ -159,8 +162,9 @@ pub struct TraceWorkload {
 impl TraceWorkload {
     /// Loads all records from a trace into memory.
     pub fn load<R: Read>(src: R) -> io::Result<Self> {
-        let ops: io::Result<Vec<IoOp>> =
-            TraceReader::new(src)?.map(|r| r.map(|rec| rec.op)).collect();
+        let ops: io::Result<Vec<IoOp>> = TraceReader::new(src)?
+            .map(|r| r.map(|rec| rec.op))
+            .collect();
         let ops = ops?;
         if ops.is_empty() {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
@@ -197,11 +201,17 @@ mod tests {
         let recs = vec![
             TraceRecord {
                 dt_us: 0,
-                op: IoOp::Write { lba: 100, sectors: 8 },
+                op: IoOp::Write {
+                    lba: 100,
+                    sectors: 8,
+                },
             },
             TraceRecord {
                 dt_us: 150,
-                op: IoOp::Read { lba: 4096, sectors: 32 },
+                op: IoOp::Read {
+                    lba: 4096,
+                    sectors: 32,
+                },
             },
             TraceRecord {
                 dt_us: 7,

@@ -230,31 +230,30 @@ impl Iterator for TraceGen {
         if self.emitted_bytes >= self.spec.total_write_bytes {
             return None;
         }
-        let (lba, sectors) = if !self.recent.is_empty()
-            && self.rng.gen::<f64>() < self.spec.burst_overwrite
-        {
-            // Overwrite a very recent write (coalesces within the batch).
-            let i = self.rng.gen_range(0..self.recent.len());
-            self.recent[i]
-        } else if self.run_left > 0 {
-            // Continue the sequential run.
-            self.run_left -= 1;
-            self.run_slot = (self.run_slot + 1) % self.slots;
-            (self.run_slot * self.slot_sectors, self.slot_sectors as u32)
-        } else {
-            let slot = self.zipf.sample(&mut self.rng);
-            if self.rng.gen::<f64>() < self.spec.seq_fraction {
-                // Start a sequential run here.
-                self.run_slot = slot;
-                self.run_left = 8 + self.rng.gen_range(0..56);
-                (slot * self.slot_sectors, self.slot_sectors as u32)
+        let (lba, sectors) =
+            if !self.recent.is_empty() && self.rng.gen::<f64>() < self.spec.burst_overwrite {
+                // Overwrite a very recent write (coalesces within the batch).
+                let i = self.rng.gen_range(0..self.recent.len());
+                self.recent[i]
+            } else if self.run_left > 0 {
+                // Continue the sequential run.
+                self.run_left -= 1;
+                self.run_slot = (self.run_slot + 1) % self.slots;
+                (self.run_slot * self.slot_sectors, self.slot_sectors as u32)
             } else {
-                let size = self.pick_size();
-                let lba = slot * self.slot_sectors;
-                let size = size.min((self.slots * self.slot_sectors - lba) as u32);
-                (lba, size)
-            }
-        };
+                let slot = self.zipf.sample(&mut self.rng);
+                if self.rng.gen::<f64>() < self.spec.seq_fraction {
+                    // Start a sequential run here.
+                    self.run_slot = slot;
+                    self.run_left = 8 + self.rng.gen_range(0..56);
+                    (slot * self.slot_sectors, self.slot_sectors as u32)
+                } else {
+                    let size = self.pick_size();
+                    let lba = slot * self.slot_sectors;
+                    let size = size.min((self.slots * self.slot_sectors - lba) as u32);
+                    (lba, size)
+                }
+            };
         let sectors = sectors.saturating_sub(self.spec.gap_sectors as u32).max(8);
         self.remember(lba, sectors);
         self.emitted_bytes += sectors as u64 * 512;
@@ -328,7 +327,10 @@ mod tests {
             total += 1;
         }
         let frac = consecutive as f64 / total as f64;
-        assert!(frac > 0.7, "sequential continuation fraction {frac} ({consecutive}/{total})");
+        assert!(
+            frac > 0.7,
+            "sequential continuation fraction {frac} ({consecutive}/{total})"
+        );
     }
 
     #[test]

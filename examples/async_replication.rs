@@ -24,8 +24,8 @@ fn main() {
     };
 
     let cache = Arc::new(RamDisk::new(32 << 20));
-    let mut vol = Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg.clone())
-        .expect("create");
+    let mut vol =
+        Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg.clone()).expect("create");
     let mut repl = Replicator::new(primary.clone(), replica.clone(), "geo");
 
     // Interleave writes with replication steps, as a background daemon

@@ -38,8 +38,8 @@ fn main() {
     println!("1) process crash, cache intact:");
     let store = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(32 << 20));
-    let mut vol = Volume::create(store.clone(), cache.clone(), "v1", 64 << 20, cfg.clone())
-        .expect("create");
+    let mut vol =
+        Volume::create(store.clone(), cache.clone(), "v1", 64 << 20, cfg.clone()).expect("create");
     let mut hist = History::new();
     for i in 0u64..500 {
         let data = hist.record_write((i % 128) * VBLOCK, VBLOCK);
@@ -50,14 +50,17 @@ fn main() {
     drop(vol); // crash: no shutdown, batches unsent
     let mut vol = Volume::open(store, cache, "v1", cfg.clone()).expect("recover");
     check(&mut vol, &hist);
-    println!("   all {} committed writes recovered from the cache log", hist.committed_index());
+    println!(
+        "   all {} committed writes recovered from the cache log",
+        hist.committed_index()
+    );
 
     // ---- Scenario 2: crash with total cache loss ---------------------
     println!("2) catastrophic failure, cache lost:");
     let store = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(32 << 20));
-    let mut vol = Volume::create(store.clone(), cache.clone(), "v2", 64 << 20, cfg.clone())
-        .expect("create");
+    let mut vol =
+        Volume::create(store.clone(), cache.clone(), "v2", 64 << 20, cfg.clone()).expect("create");
     let mut hist = History::new();
     for i in 0u64..500 {
         let data = hist.record_write((i % 128) * VBLOCK, VBLOCK);
@@ -85,8 +88,8 @@ fn main() {
         checkpoint_interval: 100_000,
         ..cfg.clone()
     };
-    let mut vol = Volume::create(store.clone(), cache.clone(), "v3", 64 << 20, cfg3.clone())
-        .expect("create");
+    let mut vol =
+        Volume::create(store.clone(), cache.clone(), "v3", 64 << 20, cfg3.clone()).expect("create");
     let mut hist = History::new();
     for i in 0u64..2000 {
         let data = hist.record_write((i % 512) * VBLOCK, VBLOCK);

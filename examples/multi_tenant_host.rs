@@ -118,6 +118,9 @@ fn main() {
     let mut vm2 = host.open_volume("vm2", cfg).expect("reopen vm2");
     let mut b = vec![0u8; 4 << 10];
     vm2.read(0, &mut b).expect("read after reboot");
-    assert!(b.iter().all(|&x| x == 3), "vm2's divergence survived reboot");
+    assert!(
+        b.iter().all(|&x| x == 3),
+        "vm2's divergence survived reboot"
+    );
     println!("vm2 verified after host reboot: data intact");
 }

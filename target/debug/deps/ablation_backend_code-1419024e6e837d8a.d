@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_backend_code-1419024e6e837d8a.d: crates/bench/src/bin/ablation_backend_code.rs
+
+/root/repo/target/debug/deps/ablation_backend_code-1419024e6e837d8a: crates/bench/src/bin/ablation_backend_code.rs
+
+crates/bench/src/bin/ablation_backend_code.rs:

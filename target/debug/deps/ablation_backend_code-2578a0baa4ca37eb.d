@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_backend_code-2578a0baa4ca37eb.d: crates/bench/src/bin/ablation_backend_code.rs
+
+/root/repo/target/debug/deps/ablation_backend_code-2578a0baa4ca37eb: crates/bench/src/bin/ablation_backend_code.rs
+
+crates/bench/src/bin/ablation_backend_code.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_backend_code-54573164934a7e42.d: crates/bench/src/bin/ablation_backend_code.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_backend_code-54573164934a7e42.rmeta: crates/bench/src/bin/ablation_backend_code.rs Cargo.toml
+
+crates/bench/src/bin/ablation_backend_code.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

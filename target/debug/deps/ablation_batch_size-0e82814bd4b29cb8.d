@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_batch_size-0e82814bd4b29cb8.d: crates/bench/src/bin/ablation_batch_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_batch_size-0e82814bd4b29cb8.rmeta: crates/bench/src/bin/ablation_batch_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_batch_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch_size-121d820a291281bd.d: crates/bench/src/bin/ablation_batch_size.rs
+
+/root/repo/target/debug/deps/ablation_batch_size-121d820a291281bd: crates/bench/src/bin/ablation_batch_size.rs
+
+crates/bench/src/bin/ablation_batch_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch_size-b0bc71ba128befa1.d: crates/bench/src/bin/ablation_batch_size.rs
+
+/root/repo/target/debug/deps/ablation_batch_size-b0bc71ba128befa1: crates/bench/src/bin/ablation_batch_size.rs
+
+crates/bench/src/bin/ablation_batch_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gc_watermarks-72c10e8db2ae9baf.d: crates/bench/src/bin/ablation_gc_watermarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gc_watermarks-72c10e8db2ae9baf.rmeta: crates/bench/src/bin/ablation_gc_watermarks.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gc_watermarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

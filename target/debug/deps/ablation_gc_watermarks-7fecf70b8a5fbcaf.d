@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gc_watermarks-7fecf70b8a5fbcaf.d: crates/bench/src/bin/ablation_gc_watermarks.rs
+
+/root/repo/target/debug/deps/ablation_gc_watermarks-7fecf70b8a5fbcaf: crates/bench/src/bin/ablation_gc_watermarks.rs
+
+crates/bench/src/bin/ablation_gc_watermarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gc_watermarks-c1f9974aa35d77a0.d: crates/bench/src/bin/ablation_gc_watermarks.rs
+
+/root/repo/target/debug/deps/ablation_gc_watermarks-c1f9974aa35d77a0: crates/bench/src/bin/ablation_gc_watermarks.rs
+
+crates/bench/src/bin/ablation_gc_watermarks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gc_watermarks-f1a363d96425fb36.d: crates/bench/src/bin/ablation_gc_watermarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gc_watermarks-f1a363d96425fb36.rmeta: crates/bench/src/bin/ablation_gc_watermarks.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gc_watermarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

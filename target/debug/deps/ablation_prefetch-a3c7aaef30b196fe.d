@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_prefetch-a3c7aaef30b196fe.d: crates/bench/src/bin/ablation_prefetch.rs
+
+/root/repo/target/debug/deps/ablation_prefetch-a3c7aaef30b196fe: crates/bench/src/bin/ablation_prefetch.rs
+
+crates/bench/src/bin/ablation_prefetch.rs:

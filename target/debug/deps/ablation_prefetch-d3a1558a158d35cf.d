@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_prefetch-d3a1558a158d35cf.d: crates/bench/src/bin/ablation_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_prefetch-d3a1558a158d35cf.rmeta: crates/bench/src/bin/ablation_prefetch.rs Cargo.toml
+
+crates/bench/src/bin/ablation_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

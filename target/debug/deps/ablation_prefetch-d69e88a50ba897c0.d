@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_prefetch-d69e88a50ba897c0.d: crates/bench/src/bin/ablation_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_prefetch-d69e88a50ba897c0.rmeta: crates/bench/src/bin/ablation_prefetch.rs Cargo.toml
+
+crates/bench/src/bin/ablation_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_prefetch-edc033312cd694a4.d: crates/bench/src/bin/ablation_prefetch.rs
+
+/root/repo/target/debug/deps/ablation_prefetch-edc033312cd694a4: crates/bench/src/bin/ablation_prefetch.rs
+
+crates/bench/src/bin/ablation_prefetch.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baseline-03cffe96eae39ead.d: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline-03cffe96eae39ead.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bcache.rs:
+crates/baseline/src/engine.rs:
+crates/baseline/src/rbd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baseline-2bccf5a2ce8be7ed.d: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+/root/repo/target/debug/deps/baseline-2bccf5a2ce8be7ed: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bcache.rs:
+crates/baseline/src/engine.rs:
+crates/baseline/src/rbd.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baseline-470d0c0350bf0732.d: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+/root/repo/target/debug/deps/libbaseline-470d0c0350bf0732.rlib: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+/root/repo/target/debug/deps/libbaseline-470d0c0350bf0732.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bcache.rs:
+crates/baseline/src/engine.rs:
+crates/baseline/src/rbd.rs:

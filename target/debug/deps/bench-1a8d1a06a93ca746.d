@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-1a8d1a06a93ca746.d: crates/bench/src/lib.rs crates/bench/src/grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-1a8d1a06a93ca746.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-302af531013cc2db.d: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+/root/repo/target/debug/deps/libbench-302af531013cc2db.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+/root/repo/target/debug/deps/libbench-302af531013cc2db.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:

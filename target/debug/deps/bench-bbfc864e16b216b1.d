@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-bbfc864e16b216b1.d: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+/root/repo/target/debug/deps/bench-bbfc864e16b216b1: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-bffc81f416026c80.d: crates/bench/src/lib.rs crates/bench/src/grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-bffc81f416026c80.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

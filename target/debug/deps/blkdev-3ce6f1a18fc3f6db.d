@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/blkdev-3ce6f1a18fc3f6db.d: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblkdev-3ce6f1a18fc3f6db.rmeta: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs Cargo.toml
+
+crates/blkdev/src/lib.rs:
+crates/blkdev/src/file.rs:
+crates/blkdev/src/mem.rs:
+crates/blkdev/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blkdev-520b8592640b4c2c.d: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/debug/deps/libblkdev-520b8592640b4c2c.rlib: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/debug/deps/libblkdev-520b8592640b4c2c.rmeta: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+crates/blkdev/src/lib.rs:
+crates/blkdev/src/file.rs:
+crates/blkdev/src/mem.rs:
+crates/blkdev/src/model.rs:

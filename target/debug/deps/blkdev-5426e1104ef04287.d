@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blkdev-5426e1104ef04287.d: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/debug/deps/libblkdev-5426e1104ef04287.rlib: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/debug/deps/libblkdev-5426e1104ef04287.rmeta: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+crates/blkdev/src/lib.rs:
+crates/blkdev/src/file.rs:
+crates/blkdev/src/mem.rs:
+crates/blkdev/src/model.rs:

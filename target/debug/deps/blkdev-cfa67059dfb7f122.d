@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/blkdev-cfa67059dfb7f122.d: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblkdev-cfa67059dfb7f122.rmeta: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs Cargo.toml
+
+crates/blkdev/src/lib.rs:
+crates/blkdev/src/file.rs:
+crates/blkdev/src/mem.rs:
+crates/blkdev/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

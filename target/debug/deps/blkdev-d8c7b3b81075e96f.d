@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/blkdev-d8c7b3b81075e96f.d: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/debug/deps/blkdev-d8c7b3b81075e96f: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+crates/blkdev/src/lib.rs:
+crates/blkdev/src/file.rs:
+crates/blkdev/src/mem.rs:
+crates/blkdev/src/model.rs:

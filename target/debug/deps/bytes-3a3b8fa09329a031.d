@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-3a3b8fa09329a031.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-3a3b8fa09329a031: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

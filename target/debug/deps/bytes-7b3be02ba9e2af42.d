@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-7b3be02ba9e2af42.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7b3be02ba9e2af42.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7b3be02ba9e2af42.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_consistency-35df1cbf5961e203.d: crates/bench/../../tests/crash_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_consistency-35df1cbf5961e203.rmeta: crates/bench/../../tests/crash_consistency.rs Cargo.toml
+
+crates/bench/../../tests/crash_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

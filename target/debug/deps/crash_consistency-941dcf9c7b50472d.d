@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-941dcf9c7b50472d.d: crates/bench/../../tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-941dcf9c7b50472d: crates/bench/../../tests/crash_consistency.rs
+
+crates/bench/../../tests/crash_consistency.rs:

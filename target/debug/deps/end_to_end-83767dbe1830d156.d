@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-83767dbe1830d156.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-83767dbe1830d156: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

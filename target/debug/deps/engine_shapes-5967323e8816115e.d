@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_shapes-5967323e8816115e.d: crates/bench/../../tests/engine_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_shapes-5967323e8816115e.rmeta: crates/bench/../../tests/engine_shapes.rs Cargo.toml
+
+crates/bench/../../tests/engine_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

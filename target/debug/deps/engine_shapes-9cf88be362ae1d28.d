@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_shapes-9cf88be362ae1d28.d: crates/bench/../../tests/engine_shapes.rs
+
+/root/repo/target/debug/deps/engine_shapes-9cf88be362ae1d28: crates/bench/../../tests/engine_shapes.rs
+
+crates/bench/../../tests/engine_shapes.rs:

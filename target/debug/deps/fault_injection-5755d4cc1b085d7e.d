@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-5755d4cc1b085d7e.d: crates/bench/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-5755d4cc1b085d7e: crates/bench/../../tests/fault_injection.rs
+
+crates/bench/../../tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-77a44264bf8a285a.d: crates/bench/../../tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-77a44264bf8a285a.rmeta: crates/bench/../../tests/fault_injection.rs Cargo.toml
+
+crates/bench/../../tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-6599aa01e738095b.d: crates/bench/../../tests/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-6599aa01e738095b: crates/bench/../../tests/fault_sweep.rs
+
+crates/bench/../../tests/fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-e506aa3ce2c8c9cd.d: crates/bench/../../tests/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-e506aa3ce2c8c9cd.rmeta: crates/bench/../../tests/fault_sweep.rs Cargo.toml
+
+crates/bench/../../tests/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_randwrite-19106e79a097658a.d: crates/bench/src/bin/fig06_randwrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_randwrite-19106e79a097658a.rmeta: crates/bench/src/bin/fig06_randwrite.rs Cargo.toml
+
+crates/bench/src/bin/fig06_randwrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

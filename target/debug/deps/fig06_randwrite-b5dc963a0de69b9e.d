@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_randwrite-b5dc963a0de69b9e.d: crates/bench/src/bin/fig06_randwrite.rs
+
+/root/repo/target/debug/deps/fig06_randwrite-b5dc963a0de69b9e: crates/bench/src/bin/fig06_randwrite.rs
+
+crates/bench/src/bin/fig06_randwrite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_randwrite-e1221fc0f58e4b42.d: crates/bench/src/bin/fig06_randwrite.rs
+
+/root/repo/target/debug/deps/fig06_randwrite-e1221fc0f58e4b42: crates/bench/src/bin/fig06_randwrite.rs
+
+crates/bench/src/bin/fig06_randwrite.rs:

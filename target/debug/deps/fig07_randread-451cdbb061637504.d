@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_randread-451cdbb061637504.d: crates/bench/src/bin/fig07_randread.rs
+
+/root/repo/target/debug/deps/fig07_randread-451cdbb061637504: crates/bench/src/bin/fig07_randread.rs
+
+crates/bench/src/bin/fig07_randread.rs:

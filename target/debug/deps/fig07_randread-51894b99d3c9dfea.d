@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_randread-51894b99d3c9dfea.d: crates/bench/src/bin/fig07_randread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_randread-51894b99d3c9dfea.rmeta: crates/bench/src/bin/fig07_randread.rs Cargo.toml
+
+crates/bench/src/bin/fig07_randread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

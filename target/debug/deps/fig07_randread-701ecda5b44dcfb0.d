@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_randread-701ecda5b44dcfb0.d: crates/bench/src/bin/fig07_randread.rs
+
+/root/repo/target/debug/deps/fig07_randread-701ecda5b44dcfb0: crates/bench/src/bin/fig07_randread.rs
+
+crates/bench/src/bin/fig07_randread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_randread-f20347aa37eb0da7.d: crates/bench/src/bin/fig07_randread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_randread-f20347aa37eb0da7.rmeta: crates/bench/src/bin/fig07_randread.rs Cargo.toml
+
+crates/bench/src/bin/fig07_randread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

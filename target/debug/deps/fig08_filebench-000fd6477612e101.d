@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_filebench-000fd6477612e101.d: crates/bench/src/bin/fig08_filebench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_filebench-000fd6477612e101.rmeta: crates/bench/src/bin/fig08_filebench.rs Cargo.toml
+
+crates/bench/src/bin/fig08_filebench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_filebench-2088dbf160a42f8b.d: crates/bench/src/bin/fig08_filebench.rs
+
+/root/repo/target/debug/deps/fig08_filebench-2088dbf160a42f8b: crates/bench/src/bin/fig08_filebench.rs
+
+crates/bench/src/bin/fig08_filebench.rs:

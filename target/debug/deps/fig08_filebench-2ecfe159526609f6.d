@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_filebench-2ecfe159526609f6.d: crates/bench/src/bin/fig08_filebench.rs
+
+/root/repo/target/debug/deps/fig08_filebench-2ecfe159526609f6: crates/bench/src/bin/fig08_filebench.rs
+
+crates/bench/src/bin/fig08_filebench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_smallcache_randwrite-32bfe4dfc5ae8026.d: crates/bench/src/bin/fig09_smallcache_randwrite.rs
+
+/root/repo/target/debug/deps/fig09_smallcache_randwrite-32bfe4dfc5ae8026: crates/bench/src/bin/fig09_smallcache_randwrite.rs
+
+crates/bench/src/bin/fig09_smallcache_randwrite.rs:

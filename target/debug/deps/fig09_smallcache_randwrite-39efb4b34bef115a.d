@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_smallcache_randwrite-39efb4b34bef115a.d: crates/bench/src/bin/fig09_smallcache_randwrite.rs
+
+/root/repo/target/debug/deps/fig09_smallcache_randwrite-39efb4b34bef115a: crates/bench/src/bin/fig09_smallcache_randwrite.rs
+
+crates/bench/src/bin/fig09_smallcache_randwrite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_smallcache_randwrite-d53bc5a156cc7570.d: crates/bench/src/bin/fig09_smallcache_randwrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_smallcache_randwrite-d53bc5a156cc7570.rmeta: crates/bench/src/bin/fig09_smallcache_randwrite.rs Cargo.toml
+
+crates/bench/src/bin/fig09_smallcache_randwrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_smallcache_seqwrite-54e10df123d539e0.d: crates/bench/src/bin/fig10_smallcache_seqwrite.rs
+
+/root/repo/target/debug/deps/fig10_smallcache_seqwrite-54e10df123d539e0: crates/bench/src/bin/fig10_smallcache_seqwrite.rs
+
+crates/bench/src/bin/fig10_smallcache_seqwrite.rs:

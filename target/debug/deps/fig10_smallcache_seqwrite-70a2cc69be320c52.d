@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_smallcache_seqwrite-70a2cc69be320c52.d: crates/bench/src/bin/fig10_smallcache_seqwrite.rs
+
+/root/repo/target/debug/deps/fig10_smallcache_seqwrite-70a2cc69be320c52: crates/bench/src/bin/fig10_smallcache_seqwrite.rs
+
+crates/bench/src/bin/fig10_smallcache_seqwrite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_smallcache_seqwrite-96cb1cae3a0bb90d.d: crates/bench/src/bin/fig10_smallcache_seqwrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_smallcache_seqwrite-96cb1cae3a0bb90d.rmeta: crates/bench/src/bin/fig10_smallcache_seqwrite.rs Cargo.toml
+
+crates/bench/src/bin/fig10_smallcache_seqwrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

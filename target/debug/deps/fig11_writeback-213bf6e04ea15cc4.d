@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_writeback-213bf6e04ea15cc4.d: crates/bench/src/bin/fig11_writeback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_writeback-213bf6e04ea15cc4.rmeta: crates/bench/src/bin/fig11_writeback.rs Cargo.toml
+
+crates/bench/src/bin/fig11_writeback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

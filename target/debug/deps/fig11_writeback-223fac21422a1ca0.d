@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_writeback-223fac21422a1ca0.d: crates/bench/src/bin/fig11_writeback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_writeback-223fac21422a1ca0.rmeta: crates/bench/src/bin/fig11_writeback.rs Cargo.toml
+
+crates/bench/src/bin/fig11_writeback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_writeback-2544a76398172f25.d: crates/bench/src/bin/fig11_writeback.rs
+
+/root/repo/target/debug/deps/fig11_writeback-2544a76398172f25: crates/bench/src/bin/fig11_writeback.rs
+
+crates/bench/src/bin/fig11_writeback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_writeback-eaa2e98a6438a798.d: crates/bench/src/bin/fig11_writeback.rs
+
+/root/repo/target/debug/deps/fig11_writeback-eaa2e98a6438a798: crates/bench/src/bin/fig11_writeback.rs
+
+crates/bench/src/bin/fig11_writeback.rs:

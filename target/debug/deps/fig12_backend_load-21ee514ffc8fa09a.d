@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_backend_load-21ee514ffc8fa09a.d: crates/bench/src/bin/fig12_backend_load.rs
+
+/root/repo/target/debug/deps/fig12_backend_load-21ee514ffc8fa09a: crates/bench/src/bin/fig12_backend_load.rs
+
+crates/bench/src/bin/fig12_backend_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_backend_load-4dc47bb09749f322.d: crates/bench/src/bin/fig12_backend_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_backend_load-4dc47bb09749f322.rmeta: crates/bench/src/bin/fig12_backend_load.rs Cargo.toml
+
+crates/bench/src/bin/fig12_backend_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_backend_load-703e0bcb43b09df5.d: crates/bench/src/bin/fig12_backend_load.rs
+
+/root/repo/target/debug/deps/fig12_backend_load-703e0bcb43b09df5: crates/bench/src/bin/fig12_backend_load.rs
+
+crates/bench/src/bin/fig12_backend_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_amplification-145eee111cada09c.d: crates/bench/src/bin/fig13_amplification.rs
+
+/root/repo/target/debug/deps/fig13_amplification-145eee111cada09c: crates/bench/src/bin/fig13_amplification.rs
+
+crates/bench/src/bin/fig13_amplification.rs:

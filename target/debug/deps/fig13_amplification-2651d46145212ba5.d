@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_amplification-2651d46145212ba5.d: crates/bench/src/bin/fig13_amplification.rs
+
+/root/repo/target/debug/deps/fig13_amplification-2651d46145212ba5: crates/bench/src/bin/fig13_amplification.rs
+
+crates/bench/src/bin/fig13_amplification.rs:

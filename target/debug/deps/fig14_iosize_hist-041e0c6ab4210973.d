@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_iosize_hist-041e0c6ab4210973.d: crates/bench/src/bin/fig14_iosize_hist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_iosize_hist-041e0c6ab4210973.rmeta: crates/bench/src/bin/fig14_iosize_hist.rs Cargo.toml
+
+crates/bench/src/bin/fig14_iosize_hist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

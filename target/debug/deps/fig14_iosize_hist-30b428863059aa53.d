@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_iosize_hist-30b428863059aa53.d: crates/bench/src/bin/fig14_iosize_hist.rs
+
+/root/repo/target/debug/deps/fig14_iosize_hist-30b428863059aa53: crates/bench/src/bin/fig14_iosize_hist.rs
+
+crates/bench/src/bin/fig14_iosize_hist.rs:

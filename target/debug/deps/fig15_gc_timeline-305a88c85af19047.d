@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_gc_timeline-305a88c85af19047.d: crates/bench/src/bin/fig15_gc_timeline.rs
+
+/root/repo/target/debug/deps/fig15_gc_timeline-305a88c85af19047: crates/bench/src/bin/fig15_gc_timeline.rs
+
+crates/bench/src/bin/fig15_gc_timeline.rs:

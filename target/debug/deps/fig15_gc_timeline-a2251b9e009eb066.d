@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_gc_timeline-a2251b9e009eb066.d: crates/bench/src/bin/fig15_gc_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_gc_timeline-a2251b9e009eb066.rmeta: crates/bench/src/bin/fig15_gc_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig15_gc_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

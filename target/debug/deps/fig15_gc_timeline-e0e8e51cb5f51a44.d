@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_gc_timeline-e0e8e51cb5f51a44.d: crates/bench/src/bin/fig15_gc_timeline.rs
+
+/root/repo/target/debug/deps/fig15_gc_timeline-e0e8e51cb5f51a44: crates/bench/src/bin/fig15_gc_timeline.rs
+
+crates/bench/src/bin/fig15_gc_timeline.rs:

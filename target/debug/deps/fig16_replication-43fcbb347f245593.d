@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_replication-43fcbb347f245593.d: crates/bench/src/bin/fig16_replication.rs
+
+/root/repo/target/debug/deps/fig16_replication-43fcbb347f245593: crates/bench/src/bin/fig16_replication.rs
+
+crates/bench/src/bin/fig16_replication.rs:

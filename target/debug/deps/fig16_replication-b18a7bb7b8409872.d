@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_replication-b18a7bb7b8409872.d: crates/bench/src/bin/fig16_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_replication-b18a7bb7b8409872.rmeta: crates/bench/src/bin/fig16_replication.rs Cargo.toml
+
+crates/bench/src/bin/fig16_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

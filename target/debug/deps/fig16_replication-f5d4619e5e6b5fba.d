@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_replication-f5d4619e5e6b5fba.d: crates/bench/src/bin/fig16_replication.rs
+
+/root/repo/target/debug/deps/fig16_replication-f5d4619e5e6b5fba: crates/bench/src/bin/fig16_replication.rs
+
+crates/bench/src/bin/fig16_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsvdctl-af3acd40c02274ff.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/lsvdctl-af3acd40c02274ff: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/objstore-1f0afb3f43c3ba08.d: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/debug/deps/objstore-1f0afb3f43c3ba08: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+crates/objstore/src/lib.rs:
+crates/objstore/src/cache.rs:
+crates/objstore/src/chaos.rs:
+crates/objstore/src/dir.rs:
+crates/objstore/src/faulty.rs:
+crates/objstore/src/link.rs:
+crates/objstore/src/mem.rs:
+crates/objstore/src/pool.rs:
+crates/objstore/src/retry.rs:

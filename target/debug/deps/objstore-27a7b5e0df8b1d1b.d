@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/objstore-27a7b5e0df8b1d1b.d: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/debug/deps/libobjstore-27a7b5e0df8b1d1b.rlib: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/debug/deps/libobjstore-27a7b5e0df8b1d1b.rmeta: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+crates/objstore/src/lib.rs:
+crates/objstore/src/cache.rs:
+crates/objstore/src/chaos.rs:
+crates/objstore/src/dir.rs:
+crates/objstore/src/faulty.rs:
+crates/objstore/src/link.rs:
+crates/objstore/src/mem.rs:
+crates/objstore/src/pool.rs:
+crates/objstore/src/retry.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/objstore-536a7b91fc1c2110.d: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/debug/deps/libobjstore-536a7b91fc1c2110.rlib: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/debug/deps/libobjstore-536a7b91fc1c2110.rmeta: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+crates/objstore/src/lib.rs:
+crates/objstore/src/cache.rs:
+crates/objstore/src/chaos.rs:
+crates/objstore/src/dir.rs:
+crates/objstore/src/faulty.rs:
+crates/objstore/src/link.rs:
+crates/objstore/src/mem.rs:
+crates/objstore/src/pool.rs:
+crates/objstore/src/retry.rs:

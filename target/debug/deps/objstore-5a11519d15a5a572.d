@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/objstore-5a11519d15a5a572.d: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobjstore-5a11519d15a5a572.rmeta: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs Cargo.toml
+
+crates/objstore/src/lib.rs:
+crates/objstore/src/cache.rs:
+crates/objstore/src/chaos.rs:
+crates/objstore/src/dir.rs:
+crates/objstore/src/faulty.rs:
+crates/objstore/src/link.rs:
+crates/objstore/src/mem.rs:
+crates/objstore/src/pool.rs:
+crates/objstore/src/retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9ea0d325c0fe3731.d: crates/bench/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9ea0d325c0fe3731: crates/bench/../../tests/properties.rs
+
+crates/bench/../../tests/properties.rs:

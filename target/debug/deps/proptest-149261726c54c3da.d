@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-149261726c54c3da.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-149261726c54c3da.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-149261726c54c3da.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

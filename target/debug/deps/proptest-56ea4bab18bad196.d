@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-56ea4bab18bad196.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-56ea4bab18bad196: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-199ce111ea835dc3.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-199ce111ea835dc3: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

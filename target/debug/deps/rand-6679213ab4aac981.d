@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6679213ab4aac981.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6679213ab4aac981.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6679213ab4aac981.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c1b92ba8becfdd91.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c1b92ba8becfdd91.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c1b92ba8becfdd91.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication-307fd61f78e14f27.d: crates/bench/../../tests/replication.rs
+
+/root/repo/target/debug/deps/replication-307fd61f78e14f27: crates/bench/../../tests/replication.rs
+
+crates/bench/../../tests/replication.rs:

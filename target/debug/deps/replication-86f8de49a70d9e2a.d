@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication-86f8de49a70d9e2a.d: crates/bench/../../tests/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication-86f8de49a70d9e2a.rmeta: crates/bench/../../tests/replication.rs Cargo.toml
+
+crates/bench/../../tests/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

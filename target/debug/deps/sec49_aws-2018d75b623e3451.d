@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec49_aws-2018d75b623e3451.d: crates/bench/src/bin/sec49_aws.rs
+
+/root/repo/target/debug/deps/sec49_aws-2018d75b623e3451: crates/bench/src/bin/sec49_aws.rs
+
+crates/bench/src/bin/sec49_aws.rs:

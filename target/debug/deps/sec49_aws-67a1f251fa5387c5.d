@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec49_aws-67a1f251fa5387c5.d: crates/bench/src/bin/sec49_aws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec49_aws-67a1f251fa5387c5.rmeta: crates/bench/src/bin/sec49_aws.rs Cargo.toml
+
+crates/bench/src/bin/sec49_aws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec49_aws-8cc33153863337dd.d: crates/bench/src/bin/sec49_aws.rs
+
+/root/repo/target/debug/deps/sec49_aws-8cc33153863337dd: crates/bench/src/bin/sec49_aws.rs
+
+crates/bench/src/bin/sec49_aws.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec49_aws-e3bcd78e3256afc8.d: crates/bench/src/bin/sec49_aws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec49_aws-e3bcd78e3256afc8.rmeta: crates/bench/src/bin/sec49_aws.rs Cargo.toml
+
+crates/bench/src/bin/sec49_aws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

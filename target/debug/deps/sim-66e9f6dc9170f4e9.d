@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sim-66e9f6dc9170f4e9.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+/root/repo/target/debug/deps/libsim-66e9f6dc9170f4e9.rlib: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+/root/repo/target/debug/deps/libsim-66e9f6dc9170f4e9.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/units.rs:
+crates/sim/src/server.rs:

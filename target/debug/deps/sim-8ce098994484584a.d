@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sim-8ce098994484584a.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+/root/repo/target/debug/deps/sim-8ce098994484584a: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/units.rs:
+crates/sim/src/server.rs:

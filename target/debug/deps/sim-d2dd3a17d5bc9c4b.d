@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sim-d2dd3a17d5bc9c4b.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-d2dd3a17d5bc9c4b.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/units.rs:
+crates/sim/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshots_clones-690417d04c243fe0.d: crates/bench/../../tests/snapshots_clones.rs
+
+/root/repo/target/debug/deps/snapshots_clones-690417d04c243fe0: crates/bench/../../tests/snapshots_clones.rs
+
+crates/bench/../../tests/snapshots_clones.rs:

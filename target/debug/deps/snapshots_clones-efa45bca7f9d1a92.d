@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshots_clones-efa45bca7f9d1a92.d: crates/bench/../../tests/snapshots_clones.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshots_clones-efa45bca7f9d1a92.rmeta: crates/bench/../../tests/snapshots_clones.rs Cargo.toml
+
+crates/bench/../../tests/snapshots_clones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

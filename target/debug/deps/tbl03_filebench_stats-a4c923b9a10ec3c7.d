@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl03_filebench_stats-a4c923b9a10ec3c7.d: crates/bench/src/bin/tbl03_filebench_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl03_filebench_stats-a4c923b9a10ec3c7.rmeta: crates/bench/src/bin/tbl03_filebench_stats.rs Cargo.toml
+
+crates/bench/src/bin/tbl03_filebench_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl03_filebench_stats-f887bc7a7a04c530.d: crates/bench/src/bin/tbl03_filebench_stats.rs
+
+/root/repo/target/debug/deps/tbl03_filebench_stats-f887bc7a7a04c530: crates/bench/src/bin/tbl03_filebench_stats.rs
+
+crates/bench/src/bin/tbl03_filebench_stats.rs:

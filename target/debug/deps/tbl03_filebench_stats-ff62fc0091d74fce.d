@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl03_filebench_stats-ff62fc0091d74fce.d: crates/bench/src/bin/tbl03_filebench_stats.rs
+
+/root/repo/target/debug/deps/tbl03_filebench_stats-ff62fc0091d74fce: crates/bench/src/bin/tbl03_filebench_stats.rs
+
+crates/bench/src/bin/tbl03_filebench_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl04_crash-8922b4d5ab1db55b.d: crates/bench/src/bin/tbl04_crash.rs
+
+/root/repo/target/debug/deps/tbl04_crash-8922b4d5ab1db55b: crates/bench/src/bin/tbl04_crash.rs
+
+crates/bench/src/bin/tbl04_crash.rs:

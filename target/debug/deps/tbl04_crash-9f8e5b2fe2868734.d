@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl04_crash-9f8e5b2fe2868734.d: crates/bench/src/bin/tbl04_crash.rs
+
+/root/repo/target/debug/deps/tbl04_crash-9f8e5b2fe2868734: crates/bench/src/bin/tbl04_crash.rs
+
+crates/bench/src/bin/tbl04_crash.rs:

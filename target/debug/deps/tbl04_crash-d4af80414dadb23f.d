@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl04_crash-d4af80414dadb23f.d: crates/bench/src/bin/tbl04_crash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl04_crash-d4af80414dadb23f.rmeta: crates/bench/src/bin/tbl04_crash.rs Cargo.toml
+
+crates/bench/src/bin/tbl04_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl04_crash-ec4e9b25f5f3bc5e.d: crates/bench/src/bin/tbl04_crash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl04_crash-ec4e9b25f5f3bc5e.rmeta: crates/bench/src/bin/tbl04_crash.rs Cargo.toml
+
+crates/bench/src/bin/tbl04_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl05_gc_traces-12e5752aa41a142c.d: crates/bench/src/bin/tbl05_gc_traces.rs
+
+/root/repo/target/debug/deps/tbl05_gc_traces-12e5752aa41a142c: crates/bench/src/bin/tbl05_gc_traces.rs
+
+crates/bench/src/bin/tbl05_gc_traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl05_gc_traces-44d7a990bba5071e.d: crates/bench/src/bin/tbl05_gc_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl05_gc_traces-44d7a990bba5071e.rmeta: crates/bench/src/bin/tbl05_gc_traces.rs Cargo.toml
+
+crates/bench/src/bin/tbl05_gc_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl05_gc_traces-c97c574d5b5ecf1d.d: crates/bench/src/bin/tbl05_gc_traces.rs
+
+/root/repo/target/debug/deps/tbl05_gc_traces-c97c574d5b5ecf1d: crates/bench/src/bin/tbl05_gc_traces.rs
+
+crates/bench/src/bin/tbl05_gc_traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl06_overhead-0067e31f0ef28c71.d: crates/bench/src/bin/tbl06_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl06_overhead-0067e31f0ef28c71.rmeta: crates/bench/src/bin/tbl06_overhead.rs Cargo.toml
+
+crates/bench/src/bin/tbl06_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

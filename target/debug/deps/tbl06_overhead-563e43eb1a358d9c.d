@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl06_overhead-563e43eb1a358d9c.d: crates/bench/src/bin/tbl06_overhead.rs
+
+/root/repo/target/debug/deps/tbl06_overhead-563e43eb1a358d9c: crates/bench/src/bin/tbl06_overhead.rs
+
+crates/bench/src/bin/tbl06_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl06_overhead-eb4ea97c173a537d.d: crates/bench/src/bin/tbl06_overhead.rs
+
+/root/repo/target/debug/deps/tbl06_overhead-eb4ea97c173a537d: crates/bench/src/bin/tbl06_overhead.rs
+
+crates/bench/src/bin/tbl06_overhead.rs:

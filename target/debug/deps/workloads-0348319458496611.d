@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-0348319458496611.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libworkloads-0348319458496611.rlib: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libworkloads-0348319458496611.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-79b56dfa3b5f8d5d.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-79b56dfa3b5f8d5d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

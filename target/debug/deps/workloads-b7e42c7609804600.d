@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-b7e42c7609804600.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libworkloads-b7e42c7609804600.rlib: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libworkloads-b7e42c7609804600.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-ba7c2f4e4ca50b10.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/workloads-ba7c2f4e4ca50b10: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/traces.rs:

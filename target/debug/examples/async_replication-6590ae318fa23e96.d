@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_replication-6590ae318fa23e96.d: crates/bench/../../examples/async_replication.rs
+
+/root/repo/target/debug/examples/async_replication-6590ae318fa23e96: crates/bench/../../examples/async_replication.rs
+
+crates/bench/../../examples/async_replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_replication-aad1503b6f728068.d: crates/bench/../../examples/async_replication.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_replication-aad1503b6f728068.rmeta: crates/bench/../../examples/async_replication.rs Cargo.toml
+
+crates/bench/../../examples/async_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_and_recovery-3eb7edd5866fcb27.d: crates/bench/../../examples/crash_and_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_and_recovery-3eb7edd5866fcb27.rmeta: crates/bench/../../examples/crash_and_recovery.rs Cargo.toml
+
+crates/bench/../../examples/crash_and_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_and_recovery-7d72f0e580a6bacd.d: crates/bench/../../examples/crash_and_recovery.rs
+
+/root/repo/target/debug/examples/crash_and_recovery-7d72f0e580a6bacd: crates/bench/../../examples/crash_and_recovery.rs
+
+crates/bench/../../examples/crash_and_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_host-4b153ee87bcad6c9.d: crates/bench/../../examples/multi_tenant_host.rs
+
+/root/repo/target/debug/examples/multi_tenant_host-4b153ee87bcad6c9: crates/bench/../../examples/multi_tenant_host.rs
+
+crates/bench/../../examples/multi_tenant_host.rs:

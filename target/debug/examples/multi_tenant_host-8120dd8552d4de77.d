@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant_host-8120dd8552d4de77.d: crates/bench/../../examples/multi_tenant_host.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant_host-8120dd8552d4de77.rmeta: crates/bench/../../examples/multi_tenant_host.rs Cargo.toml
+
+crates/bench/../../examples/multi_tenant_host.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6185a32bbe59dfff.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6185a32bbe59dfff: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

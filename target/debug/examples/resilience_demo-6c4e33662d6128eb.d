@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilience_demo-6c4e33662d6128eb.d: crates/bench/examples/resilience_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilience_demo-6c4e33662d6128eb.rmeta: crates/bench/examples/resilience_demo.rs Cargo.toml
+
+crates/bench/examples/resilience_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

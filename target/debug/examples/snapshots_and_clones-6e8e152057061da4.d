@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/snapshots_and_clones-6e8e152057061da4.d: crates/bench/../../examples/snapshots_and_clones.rs
+
+/root/repo/target/debug/examples/snapshots_and_clones-6e8e152057061da4: crates/bench/../../examples/snapshots_and_clones.rs
+
+crates/bench/../../examples/snapshots_and_clones.rs:

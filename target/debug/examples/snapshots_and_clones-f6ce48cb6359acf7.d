@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/snapshots_and_clones-f6ce48cb6359acf7.d: crates/bench/../../examples/snapshots_and_clones.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsnapshots_and_clones-f6ce48cb6359acf7.rmeta: crates/bench/../../examples/snapshots_and_clones.rs Cargo.toml
+
+crates/bench/../../examples/snapshots_and_clones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_backend_code-7b95396910aa9478.d: crates/bench/src/bin/ablation_backend_code.rs
+
+/root/repo/target/release/deps/ablation_backend_code-7b95396910aa9478: crates/bench/src/bin/ablation_backend_code.rs
+
+crates/bench/src/bin/ablation_backend_code.rs:

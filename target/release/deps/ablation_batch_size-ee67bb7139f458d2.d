@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_batch_size-ee67bb7139f458d2.d: crates/bench/src/bin/ablation_batch_size.rs
+
+/root/repo/target/release/deps/ablation_batch_size-ee67bb7139f458d2: crates/bench/src/bin/ablation_batch_size.rs
+
+crates/bench/src/bin/ablation_batch_size.rs:

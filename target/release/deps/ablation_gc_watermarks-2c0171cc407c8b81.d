@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gc_watermarks-2c0171cc407c8b81.d: crates/bench/src/bin/ablation_gc_watermarks.rs
+
+/root/repo/target/release/deps/ablation_gc_watermarks-2c0171cc407c8b81: crates/bench/src/bin/ablation_gc_watermarks.rs
+
+crates/bench/src/bin/ablation_gc_watermarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_prefetch-1a057e7f847774be.d: crates/bench/src/bin/ablation_prefetch.rs
+
+/root/repo/target/release/deps/ablation_prefetch-1a057e7f847774be: crates/bench/src/bin/ablation_prefetch.rs
+
+crates/bench/src/bin/ablation_prefetch.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baseline-5d5ec87d2a4c8b8c.d: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+/root/repo/target/release/deps/libbaseline-5d5ec87d2a4c8b8c.rlib: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+/root/repo/target/release/deps/libbaseline-5d5ec87d2a4c8b8c.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bcache.rs crates/baseline/src/engine.rs crates/baseline/src/rbd.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bcache.rs:
+crates/baseline/src/engine.rs:
+crates/baseline/src/rbd.rs:

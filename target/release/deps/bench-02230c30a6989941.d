@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-02230c30a6989941.d: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+/root/repo/target/release/deps/libbench-02230c30a6989941.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+/root/repo/target/release/deps/libbench-02230c30a6989941.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:

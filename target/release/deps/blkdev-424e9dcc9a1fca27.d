@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/blkdev-424e9dcc9a1fca27.d: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/release/deps/libblkdev-424e9dcc9a1fca27.rlib: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+/root/repo/target/release/deps/libblkdev-424e9dcc9a1fca27.rmeta: crates/blkdev/src/lib.rs crates/blkdev/src/file.rs crates/blkdev/src/mem.rs crates/blkdev/src/model.rs
+
+crates/blkdev/src/lib.rs:
+crates/blkdev/src/file.rs:
+crates/blkdev/src/mem.rs:
+crates/blkdev/src/model.rs:

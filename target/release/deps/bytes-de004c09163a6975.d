@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-de004c09163a6975.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-de004c09163a6975.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-de004c09163a6975.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

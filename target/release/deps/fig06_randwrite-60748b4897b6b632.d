@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_randwrite-60748b4897b6b632.d: crates/bench/src/bin/fig06_randwrite.rs
+
+/root/repo/target/release/deps/fig06_randwrite-60748b4897b6b632: crates/bench/src/bin/fig06_randwrite.rs
+
+crates/bench/src/bin/fig06_randwrite.rs:

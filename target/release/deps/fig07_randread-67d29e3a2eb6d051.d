@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_randread-67d29e3a2eb6d051.d: crates/bench/src/bin/fig07_randread.rs
+
+/root/repo/target/release/deps/fig07_randread-67d29e3a2eb6d051: crates/bench/src/bin/fig07_randread.rs
+
+crates/bench/src/bin/fig07_randread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_filebench-4a91020f17241910.d: crates/bench/src/bin/fig08_filebench.rs
+
+/root/repo/target/release/deps/fig08_filebench-4a91020f17241910: crates/bench/src/bin/fig08_filebench.rs
+
+crates/bench/src/bin/fig08_filebench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_smallcache_randwrite-a494f3de449172a7.d: crates/bench/src/bin/fig09_smallcache_randwrite.rs
+
+/root/repo/target/release/deps/fig09_smallcache_randwrite-a494f3de449172a7: crates/bench/src/bin/fig09_smallcache_randwrite.rs
+
+crates/bench/src/bin/fig09_smallcache_randwrite.rs:

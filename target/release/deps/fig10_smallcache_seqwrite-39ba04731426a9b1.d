@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_smallcache_seqwrite-39ba04731426a9b1.d: crates/bench/src/bin/fig10_smallcache_seqwrite.rs
+
+/root/repo/target/release/deps/fig10_smallcache_seqwrite-39ba04731426a9b1: crates/bench/src/bin/fig10_smallcache_seqwrite.rs
+
+crates/bench/src/bin/fig10_smallcache_seqwrite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_writeback-a2b514373fdb49b0.d: crates/bench/src/bin/fig11_writeback.rs
+
+/root/repo/target/release/deps/fig11_writeback-a2b514373fdb49b0: crates/bench/src/bin/fig11_writeback.rs
+
+crates/bench/src/bin/fig11_writeback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_backend_load-b0d9ce714e22e9dc.d: crates/bench/src/bin/fig12_backend_load.rs
+
+/root/repo/target/release/deps/fig12_backend_load-b0d9ce714e22e9dc: crates/bench/src/bin/fig12_backend_load.rs
+
+crates/bench/src/bin/fig12_backend_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_amplification-7b390c3f2575f3a5.d: crates/bench/src/bin/fig13_amplification.rs
+
+/root/repo/target/release/deps/fig13_amplification-7b390c3f2575f3a5: crates/bench/src/bin/fig13_amplification.rs
+
+crates/bench/src/bin/fig13_amplification.rs:

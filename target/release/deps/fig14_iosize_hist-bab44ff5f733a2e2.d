@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_iosize_hist-bab44ff5f733a2e2.d: crates/bench/src/bin/fig14_iosize_hist.rs
+
+/root/repo/target/release/deps/fig14_iosize_hist-bab44ff5f733a2e2: crates/bench/src/bin/fig14_iosize_hist.rs
+
+crates/bench/src/bin/fig14_iosize_hist.rs:

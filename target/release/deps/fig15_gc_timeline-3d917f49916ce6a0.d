@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_gc_timeline-3d917f49916ce6a0.d: crates/bench/src/bin/fig15_gc_timeline.rs
+
+/root/repo/target/release/deps/fig15_gc_timeline-3d917f49916ce6a0: crates/bench/src/bin/fig15_gc_timeline.rs
+
+crates/bench/src/bin/fig15_gc_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_replication-8b4a28eee23f65e9.d: crates/bench/src/bin/fig16_replication.rs
+
+/root/repo/target/release/deps/fig16_replication-8b4a28eee23f65e9: crates/bench/src/bin/fig16_replication.rs
+
+crates/bench/src/bin/fig16_replication.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/lsvd-5dfbddf8e506a2de.d: crates/lsvd/src/lib.rs crates/lsvd/src/batch.rs crates/lsvd/src/checkpoint.rs crates/lsvd/src/codec.rs crates/lsvd/src/config.rs crates/lsvd/src/crc.rs crates/lsvd/src/engine.rs crates/lsvd/src/extent_map.rs crates/lsvd/src/gc.rs crates/lsvd/src/gcsim.rs crates/lsvd/src/host.rs crates/lsvd/src/objfmt.rs crates/lsvd/src/objmap.rs crates/lsvd/src/overhead.rs crates/lsvd/src/rcache.rs crates/lsvd/src/recovery.rs crates/lsvd/src/replication.rs crates/lsvd/src/types.rs crates/lsvd/src/verify.rs crates/lsvd/src/volume.rs crates/lsvd/src/wlog.rs
+
+/root/repo/target/release/deps/liblsvd-5dfbddf8e506a2de.rlib: crates/lsvd/src/lib.rs crates/lsvd/src/batch.rs crates/lsvd/src/checkpoint.rs crates/lsvd/src/codec.rs crates/lsvd/src/config.rs crates/lsvd/src/crc.rs crates/lsvd/src/engine.rs crates/lsvd/src/extent_map.rs crates/lsvd/src/gc.rs crates/lsvd/src/gcsim.rs crates/lsvd/src/host.rs crates/lsvd/src/objfmt.rs crates/lsvd/src/objmap.rs crates/lsvd/src/overhead.rs crates/lsvd/src/rcache.rs crates/lsvd/src/recovery.rs crates/lsvd/src/replication.rs crates/lsvd/src/types.rs crates/lsvd/src/verify.rs crates/lsvd/src/volume.rs crates/lsvd/src/wlog.rs
+
+/root/repo/target/release/deps/liblsvd-5dfbddf8e506a2de.rmeta: crates/lsvd/src/lib.rs crates/lsvd/src/batch.rs crates/lsvd/src/checkpoint.rs crates/lsvd/src/codec.rs crates/lsvd/src/config.rs crates/lsvd/src/crc.rs crates/lsvd/src/engine.rs crates/lsvd/src/extent_map.rs crates/lsvd/src/gc.rs crates/lsvd/src/gcsim.rs crates/lsvd/src/host.rs crates/lsvd/src/objfmt.rs crates/lsvd/src/objmap.rs crates/lsvd/src/overhead.rs crates/lsvd/src/rcache.rs crates/lsvd/src/recovery.rs crates/lsvd/src/replication.rs crates/lsvd/src/types.rs crates/lsvd/src/verify.rs crates/lsvd/src/volume.rs crates/lsvd/src/wlog.rs
+
+crates/lsvd/src/lib.rs:
+crates/lsvd/src/batch.rs:
+crates/lsvd/src/checkpoint.rs:
+crates/lsvd/src/codec.rs:
+crates/lsvd/src/config.rs:
+crates/lsvd/src/crc.rs:
+crates/lsvd/src/engine.rs:
+crates/lsvd/src/extent_map.rs:
+crates/lsvd/src/gc.rs:
+crates/lsvd/src/gcsim.rs:
+crates/lsvd/src/host.rs:
+crates/lsvd/src/objfmt.rs:
+crates/lsvd/src/objmap.rs:
+crates/lsvd/src/overhead.rs:
+crates/lsvd/src/rcache.rs:
+crates/lsvd/src/recovery.rs:
+crates/lsvd/src/replication.rs:
+crates/lsvd/src/types.rs:
+crates/lsvd/src/verify.rs:
+crates/lsvd/src/volume.rs:
+crates/lsvd/src/wlog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsvdctl-a2002fe6e03fceba.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/lsvdctl-a2002fe6e03fceba: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/objstore-77e5006b71d9b745.d: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/release/deps/libobjstore-77e5006b71d9b745.rlib: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+/root/repo/target/release/deps/libobjstore-77e5006b71d9b745.rmeta: crates/objstore/src/lib.rs crates/objstore/src/cache.rs crates/objstore/src/chaos.rs crates/objstore/src/dir.rs crates/objstore/src/faulty.rs crates/objstore/src/link.rs crates/objstore/src/mem.rs crates/objstore/src/pool.rs crates/objstore/src/retry.rs
+
+crates/objstore/src/lib.rs:
+crates/objstore/src/cache.rs:
+crates/objstore/src/chaos.rs:
+crates/objstore/src/dir.rs:
+crates/objstore/src/faulty.rs:
+crates/objstore/src/link.rs:
+crates/objstore/src/mem.rs:
+crates/objstore/src/pool.rs:
+crates/objstore/src/retry.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-71ed4266cbfe41f3.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-71ed4266cbfe41f3.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-71ed4266cbfe41f3.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-76abb9dd633696eb.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-76abb9dd633696eb.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-76abb9dd633696eb.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-0de5fe643a8d9a19.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0de5fe643a8d9a19.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0de5fe643a8d9a19.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec49_aws-59f16a7d44398ed3.d: crates/bench/src/bin/sec49_aws.rs
+
+/root/repo/target/release/deps/sec49_aws-59f16a7d44398ed3: crates/bench/src/bin/sec49_aws.rs
+
+crates/bench/src/bin/sec49_aws.rs:

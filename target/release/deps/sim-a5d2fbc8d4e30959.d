@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sim-a5d2fbc8d4e30959.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+/root/repo/target/release/deps/libsim-a5d2fbc8d4e30959.rlib: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+/root/repo/target/release/deps/libsim-a5d2fbc8d4e30959.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/units.rs crates/sim/src/server.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/units.rs:
+crates/sim/src/server.rs:

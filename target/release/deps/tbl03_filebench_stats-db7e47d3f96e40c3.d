@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl03_filebench_stats-db7e47d3f96e40c3.d: crates/bench/src/bin/tbl03_filebench_stats.rs
+
+/root/repo/target/release/deps/tbl03_filebench_stats-db7e47d3f96e40c3: crates/bench/src/bin/tbl03_filebench_stats.rs
+
+crates/bench/src/bin/tbl03_filebench_stats.rs:

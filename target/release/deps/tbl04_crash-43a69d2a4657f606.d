@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl04_crash-43a69d2a4657f606.d: crates/bench/src/bin/tbl04_crash.rs
+
+/root/repo/target/release/deps/tbl04_crash-43a69d2a4657f606: crates/bench/src/bin/tbl04_crash.rs
+
+crates/bench/src/bin/tbl04_crash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl05_gc_traces-8e3888121ab7aafa.d: crates/bench/src/bin/tbl05_gc_traces.rs
+
+/root/repo/target/release/deps/tbl05_gc_traces-8e3888121ab7aafa: crates/bench/src/bin/tbl05_gc_traces.rs
+
+crates/bench/src/bin/tbl05_gc_traces.rs:

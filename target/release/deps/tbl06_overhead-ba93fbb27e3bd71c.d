@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl06_overhead-ba93fbb27e3bd71c.d: crates/bench/src/bin/tbl06_overhead.rs
+
+/root/repo/target/release/deps/tbl06_overhead-ba93fbb27e3bd71c: crates/bench/src/bin/tbl06_overhead.rs
+
+crates/bench/src/bin/tbl06_overhead.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workloads-81176a9dc64e923a.d: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libworkloads-81176a9dc64e923a.rlib: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libworkloads-81176a9dc64e923a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/filebench.rs crates/workloads/src/fio.rs crates/workloads/src/replay.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/traces.rs:

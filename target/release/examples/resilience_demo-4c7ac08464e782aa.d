@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilience_demo-4c7ac08464e782aa.d: crates/bench/examples/resilience_demo.rs
+
+/root/repo/target/release/examples/resilience_demo-4c7ac08464e782aa: crates/bench/examples/resilience_demo.rs
+
+crates/bench/examples/resilience_demo.rs:

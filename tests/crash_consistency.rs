@@ -48,8 +48,8 @@ fn run_lsvd_crash(seed: u64, lose_cache: bool, writes: usize) -> (Verdict, u64) 
     if lose_cache {
         cache.obliterate();
     }
-    let mut vol = Volume::open(store, cache, "vol", VolumeConfig::small_for_tests())
-        .expect("recovery");
+    let mut vol =
+        Volume::open(store, cache, "vol", VolumeConfig::small_for_tests()).expect("recovery");
     let v = hist.check_prefix_consistent(|block| {
         let mut buf = vec![0u8; VBLOCK as usize];
         vol.read(block * VBLOCK, &mut buf).expect("read");
@@ -63,10 +63,16 @@ fn lsvd_recovers_all_acknowledged_writes_with_cache_intact() {
     for seed in 0..5 {
         let (v, committed) = run_lsvd_crash(seed, false, 800);
         match v {
-            Verdict::ConsistentPrefix { cut, lost_committed } => {
+            Verdict::ConsistentPrefix {
+                cut,
+                lost_committed,
+            } => {
                 assert_eq!(lost_committed, 0, "seed {seed}: committed writes lost");
-                assert_eq!(cut, committed, "seed {seed}: even uncommitted writes \
-                     present in the cache log are recovered");
+                assert_eq!(
+                    cut, committed,
+                    "seed {seed}: even uncommitted writes \
+                     present in the cache log are recovered"
+                );
             }
             Verdict::Inconsistent { .. } => panic!("seed {seed}: {v:?}"),
         }
@@ -110,8 +116,13 @@ fn lsvd_survives_repeated_crashes() {
         if lossy {
             cache.obliterate();
         }
-        vol = Volume::open(store.clone(), cache.clone(), "vol", VolumeConfig::small_for_tests())
-            .expect("recovery");
+        vol = Volume::open(
+            store.clone(),
+            cache.clone(),
+            "vol",
+            VolumeConfig::small_for_tests(),
+        )
+        .expect("recovery");
         let v = hist.check_prefix_consistent(|block| {
             let mut buf = vec![0u8; VBLOCK as usize];
             vol.read(block * VBLOCK, &mut buf).expect("read");

@@ -64,8 +64,8 @@ fn long_mixed_workload_with_gc_and_crashes() {
         gc_enabled: std::env::var_os("E2E_NO_GC").is_none(),
         ..VolumeConfig::small_for_tests()
     };
-    let mut vol =
-        Volume::create(store.clone(), cache.clone(), "e2e", VOL_BYTES, cfg.clone()).expect("create");
+    let mut vol = Volume::create(store.clone(), cache.clone(), "e2e", VOL_BYTES, cfg.clone())
+        .expect("create");
     let mut shadow = Shadow::new();
     let mut rng = rng_from_seed(0xE2E);
     let mut gc_activity = 0u64; // accumulated across volume handles
@@ -95,8 +95,7 @@ fn long_mixed_workload_with_gc_and_crashes() {
             let s = vol.stats();
             gc_activity += s.gc_deletes + s.gc_puts;
             vol.shutdown().expect("shutdown");
-            vol = Volume::open(store.clone(), cache.clone(), "e2e", cfg.clone())
-                .expect("reopen");
+            vol = Volume::open(store.clone(), cache.clone(), "e2e", cfg.clone()).expect("reopen");
         }
         // Periodic crash (cache intact): acknowledged writes must survive.
         if i % 1000 == 999 {
@@ -131,8 +130,7 @@ fn sequential_then_random_overwrite_preserves_every_byte() {
     let store = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(16 << 20));
     let cfg = VolumeConfig::small_for_tests();
-    let mut vol =
-        Volume::create(store, cache, "e2e2", VOL_BYTES, cfg).expect("create");
+    let mut vol = Volume::create(store, cache, "e2e2", VOL_BYTES, cfg).expect("create");
     let mut shadow = Shadow::new();
 
     // Precondition the whole volume sequentially (like the paper's runs).
@@ -171,7 +169,8 @@ fn cache_pressure_forces_writeback_not_errors() {
     let mut vol = Volume::create(store, cache, "small", VOL_BYTES, cfg).expect("create");
     let data = vec![0xCDu8; 64 << 10];
     for i in 0..256u64 {
-        vol.write(i * (64 << 10), &data).expect("write under pressure");
+        vol.write(i * (64 << 10), &data)
+            .expect("write under pressure");
     }
     let mut buf = vec![0u8; 64 << 10];
     vol.read(100 * (64 << 10), &mut buf).expect("read");

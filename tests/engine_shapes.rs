@@ -36,12 +36,17 @@ fn headline_backend_efficiency_is_roughly_24x() {
     })
     .run(dur);
 
-    let rbd = BaselineEngine::new(BaselineConfig::rbd(PoolConfig::hdd_config2()), move |_, t| {
-        Box::new(FioSpec::randwrite(16 << 10, seed).thread(t, 32))
-    })
+    let rbd = BaselineEngine::new(
+        BaselineConfig::rbd(PoolConfig::hdd_config2()),
+        move |_, t| Box::new(FioSpec::randwrite(16 << 10, seed).thread(t, 32)),
+    )
     .run(dur, false);
 
-    assert!((5.9..6.1).contains(&rbd.io_amplification()), "{}", rbd.io_amplification());
+    assert!(
+        (5.9..6.1).contains(&rbd.io_amplification()),
+        "{}",
+        rbd.io_amplification()
+    );
     let l = lsvd.io_amplification();
     assert!((0.2..0.35).contains(&l), "LSVD ops amplification {l}");
     let ratio = rbd.io_amplification() / l;
@@ -66,7 +71,12 @@ fn lsvd_leaves_backend_disks_mostly_idle() {
     })
     .run(dur, false);
 
-    assert!(lsvd.iops() > 3.0 * rbd.iops(), "lsvd {} rbd {}", lsvd.iops(), rbd.iops());
+    assert!(
+        lsvd.iops() > 3.0 * rbd.iops(),
+        "lsvd {} rbd {}",
+        lsvd.iops(),
+        rbd.iops()
+    );
     assert!(
         lsvd.backend_utilization < 0.2,
         "lsvd disks nearly idle: {}",
@@ -97,7 +107,10 @@ fn lsvd_wins_small_random_writes_in_cache() {
     })
     .run(dur, false);
     let ratio = lsvd.write_bw() / bc.write_bw();
-    assert!((1.1..2.5).contains(&ratio), "in-cache 16K write ratio {ratio}");
+    assert!(
+        (1.1..2.5).contains(&ratio),
+        "in-cache 16K write ratio {ratio}"
+    );
 }
 
 #[test]

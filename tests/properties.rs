@@ -152,8 +152,8 @@ proptest! {
         let idx = corrupt_at.min(writes.len() - 1);
         // Header locations: walk records from the log start (ckpt slots = 2).
         let mut plba = 2u64;
-        for i in 0..idx {
-            plba += 1 + writes[i].1 as u64;
+        for w in &writes[..idx] {
+            plba += 1 + w.1 as u64;
         }
         let mut sector = vec![0u8; 512];
         dev.read_at(plba * 512, &mut sector).unwrap();
@@ -379,7 +379,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut max_completion = SimTime::ZERO;
         for &(off, sectors, is_read, gap_us) in &ops {
-            now = now + SimDuration::from_micros(gap_us);
+            now += SimDuration::from_micros(gap_us);
             let kind = if is_read { IoKind::Read } else { IoKind::Write };
             let done = m.submit(now, kind, off * 512, sectors * 512);
             // Completion is after submission and monotone per channel.
@@ -504,6 +504,90 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Degraded-mode writeback: whatever sequence of PUT-failure points the
+// backend produces, a crash that loses the cache recovers to a gap-free
+// prefix of the object stream — and a prefix-consistent image.
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case builds a whole volume: keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn put_failure_points_never_leave_sequence_gaps(
+        fail_before in prop::collection::vec(any::<bool>(), 4..20),
+    ) {
+        use lsvd::config::VolumeConfig;
+        use lsvd::verify::{History, Verdict, VBLOCK};
+        use lsvd::volume::Volume;
+        use objstore::{FaultyStore, MemStore, ObjectStore};
+
+        let store = Arc::new(FaultyStore::new(MemStore::new()));
+        let cache = Arc::new(RamDisk::new(8 << 20));
+        let cfg = VolumeConfig::small_for_tests(); // 64 KiB batches
+        let vol_bytes = (fail_before.len() as u64 + 1) * (64 << 10);
+        let mut vol = Volume::create(store.clone(), cache, "p", vol_bytes, cfg.clone())
+            .expect("create");
+        let mut hist = History::new();
+
+        // One full batch per step; arm a transient PUT failure at the
+        // chosen points. The write is always acknowledged — failures are
+        // absorbed into the pending queue and retried by later steps.
+        for (i, &fail) in fail_before.iter().enumerate() {
+            if fail {
+                store.fail_next_puts(1);
+            }
+            let off = i as u64 * (64 << 10);
+            let data = hist.record_write(off, 64 << 10);
+            let mut spins = 0;
+            loop {
+                match vol.write(off, &data) {
+                    Ok(()) => break,
+                    // Queue at the watermark: the retry drains it (the
+                    // armed fault was consumed) and the write goes in.
+                    Err(lsvd::LsvdError::Backpressure { .. }) => spins += 1,
+                    Err(e) => prop_assert!(false, "write {} surfaced {}", i, e),
+                }
+                prop_assert!(spins < 100, "write {} stuck in backpressure", i);
+            }
+        }
+        drop(vol); // crash; cache LOST
+        store.fail_next_puts(0);
+
+        // The backend stream has no sequence gaps: whatever prefix of
+        // batches landed, it landed consecutively from object 1.
+        let mut seqs: Vec<u32> = store
+            .list("p.")
+            .expect("list")
+            .iter()
+            .filter_map(|n| lsvd::types::parse_object_seq("p", n))
+            .collect();
+        seqs.sort_unstable();
+        for (i, &s) in seqs.iter().enumerate() {
+            prop_assert_eq!(s, i as u32 + 1, "gap-free consecutive stream");
+        }
+
+        // And recovery from that stream alone is a consistent prefix.
+        let mut vol = Volume::open(
+            store,
+            Arc::new(RamDisk::new(8 << 20)),
+            "p",
+            cfg,
+        )
+        .expect("recover");
+        let mut img = vec![0u8; vol_bytes as usize];
+        vol.read(0, &mut img).expect("read image");
+        match hist.check_image(&img) {
+            Verdict::ConsistentPrefix { cut, .. } => {
+                prop_assert!(cut <= hist.last_index());
+            }
+            v => prop_assert!(false, "inconsistent recovery: {:?}", v),
+        }
+        let _ = VBLOCK;
+    }
+}
+
+// ---------------------------------------------------------------------
 // Event queue: strict time order with FIFO tie-breaking, whatever the
 // schedule.
 // ---------------------------------------------------------------------
@@ -617,7 +701,7 @@ fn host_ops() -> impl Strategy<Value = Vec<HostOp>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn host_partitions_stay_disjoint_and_persistent(ops in host_ops()) {
@@ -707,7 +791,7 @@ fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn caching_store_is_transparent(ops in cache_ops()) {

@@ -21,8 +21,7 @@ fn replica_mounts_and_matches_after_full_sync() {
     let primary: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let replica: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(24 << 20));
-    let mut vol =
-        Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg()).expect("create");
+    let mut vol = Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg()).expect("create");
     for i in 0..128u64 {
         vol.write(i * (64 << 10), &vec![(i % 200) as u8 + 1; 64 << 10])
             .expect("write");
@@ -46,13 +45,13 @@ fn lagging_replica_is_a_consistent_stale_image() {
     let primary: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let replica: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(24 << 20));
-    let mut vol =
-        Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg()).expect("create");
+    let mut vol = Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg()).expect("create");
     let mut r = Replicator::new(primary.clone(), replica.clone(), "geo");
 
     // Two epochs of data; replicate only up to a mid-stream boundary.
     for i in 0..64u64 {
-        vol.write(i * (64 << 10), &vec![1u8; 64 << 10]).expect("write");
+        vol.write(i * (64 << 10), &vec![1u8; 64 << 10])
+            .expect("write");
     }
     vol.drain().expect("drain");
     let mid = vol.last_object_seq();
@@ -61,7 +60,8 @@ fn lagging_replica_is_a_consistent_stale_image() {
     // the primary has GC'd past the boundary would find nothing).
     r.step(mid).expect("partial sync");
     for i in 0..64u64 {
-        vol.write(i * (64 << 10), &vec![2u8; 64 << 10]).expect("write");
+        vol.write(i * (64 << 10), &vec![2u8; 64 << 10])
+            .expect("write");
     }
     vol.shutdown().expect("shutdown");
 
@@ -78,7 +78,11 @@ fn lagging_replica_is_a_consistent_stale_image() {
     let mut buf = vec![0u8; 4096];
     rvol.read(1 << 20, &mut buf).expect("read");
     // Stale but consistent: epoch-1 data, never torn.
-    assert!(buf.iter().all(|&b| b == 1), "stale epoch-1 view: {:?}", &buf[..4]);
+    assert!(
+        buf.iter().all(|&b| b == 1),
+        "stale epoch-1 view: {:?}",
+        &buf[..4]
+    );
 }
 
 #[test]
@@ -86,8 +90,7 @@ fn gc_racing_replication_is_handled() {
     let primary: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let replica: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let cache = Arc::new(RamDisk::new(24 << 20));
-    let mut vol =
-        Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg()).expect("create");
+    let mut vol = Volume::create(primary.clone(), cache, "geo", 64 << 20, cfg()).expect("create");
     let mut r = Replicator::new(primary.clone(), replica.clone(), "geo");
 
     // Heavy overwriting with interleaved replication: GC deletes objects
@@ -98,7 +101,8 @@ fn gc_racing_replication_is_handled() {
                 .expect("write");
         }
         vol.drain().expect("drain");
-        r.step(vol.last_object_seq().saturating_sub(2)).expect("step");
+        r.step(vol.last_object_seq().saturating_sub(2))
+            .expect("step");
         r.prune().expect("prune");
     }
     vol.shutdown().expect("shutdown");
@@ -109,5 +113,9 @@ fn gc_racing_replication_is_handled() {
         .expect("mount replica after GC races");
     let mut buf = vec![0u8; 64 << 10];
     rvol.read(0, &mut buf).expect("read");
-    assert!(buf.iter().all(|&b| b == 8), "final epoch visible: {:?}", &buf[..4]);
+    assert!(
+        buf.iter().all(|&b| b == 8),
+        "final epoch visible: {:?}",
+        &buf[..4]
+    );
 }

@@ -50,10 +50,10 @@ fn snapshot_views_are_stable_while_volume_moves_on() {
     fill(&mut vol, 3, 8);
     vol.shutdown().expect("shutdown");
 
-    let mut s1 = Volume::open_snapshot(store.clone(), new_cache(), "vol", "s1", cfg())
-        .expect("mount s1");
-    let mut s2 = Volume::open_snapshot(store.clone(), new_cache(), "vol", "s2", cfg())
-        .expect("mount s2");
+    let mut s1 =
+        Volume::open_snapshot(store.clone(), new_cache(), "vol", "s1", cfg()).expect("mount s1");
+    let mut s2 =
+        Volume::open_snapshot(store.clone(), new_cache(), "vol", "s2", cfg()).expect("mount s2");
     let mut live = Volume::open(store, new_cache(), "vol", cfg()).expect("open live");
 
     assert_eq!(read_tag(&mut s1, 1 << 20), 1);
@@ -115,7 +115,11 @@ fn chained_clones_resolve_ancestry() {
     Volume::clone_image(&store, "mid", None, "leaf").expect("clone leaf");
     let mut leaf = Volume::open(store.clone(), new_cache(), "leaf", cfg()).expect("open leaf");
     assert_eq!(read_tag(&mut leaf, 1 << 20), 1, "leaf sees base data");
-    assert_eq!(read_tag(&mut leaf, 32 << 20), 7, "leaf sees mid's divergence");
+    assert_eq!(
+        read_tag(&mut leaf, 32 << 20),
+        7,
+        "leaf sees mid's divergence"
+    );
 
     // Leaf diverges further without touching ancestors.
     let d2 = vec![9u8; 64 << 10];
