@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience_demo-7b6d09075fbb3bbb.d: crates/bench/examples/resilience_demo.rs
+
+/root/repo/target/debug/examples/resilience_demo-7b6d09075fbb3bbb: crates/bench/examples/resilience_demo.rs
+
+crates/bench/examples/resilience_demo.rs:
