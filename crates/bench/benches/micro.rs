@@ -52,6 +52,22 @@ fn bench_extent_map(c: &mut Criterion) {
                 std::hint::black_box(map.resolve((x >> 33) % (span - 256), 256))
             });
         });
+        g.bench_with_input(BenchmarkId::new("overlaps_128k", n), &n, |b, _| {
+            let mut x = 0xBEEFu64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(map.overlaps((x >> 33) % (span - 256), 256))
+            });
+        });
+        // Sequential-scan locality: repeated hits inside one extent are
+        // served by the map's last-hit cursor without a tree descent.
+        g.bench_with_input(BenchmarkId::new("lookup_seq_cursor", n), &n, |b, _| {
+            let mut pos = 0u64;
+            b.iter(|| {
+                pos = (pos + 1) % span;
+                std::hint::black_box(map.lookup(pos))
+            });
+        });
     }
     g.finish();
 }
@@ -103,6 +119,20 @@ fn bench_batch_seal(c: &mut Criterion) {
             std::hint::black_box(batch.seal(7, seq))
         });
     });
+    // Coalescing path: every write overwrites the same 16 hot extents, so
+    // the builder must fold 256 adds down to 16 live extents before
+    // sealing (the §3.2 write-combining win for skewed workloads).
+    g.bench_function("coalesce_hot_overwrites_4MiB", |b| {
+        let mut seq = 1u32;
+        b.iter(|| {
+            let mut batch = BatchBuilder::new();
+            for i in 0..256u64 {
+                batch.add((i % 16) * 32, &data16k, i);
+            }
+            seq += 1;
+            std::hint::black_box(batch.seal(7, seq))
+        });
+    });
     g.finish();
 }
 
@@ -135,6 +165,79 @@ fn bench_volume_write(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end write+read round trip against a MemStore-backed volume:
+/// the write lands in the cache log, the read resolves through the
+/// write-cache map — the full §3.2 hot path, no simulated time.
+fn bench_volume_write_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volume");
+    for &kb in &[4u64, 64] {
+        let data = vec![0x66u8; (kb << 10) as usize];
+        g.throughput(Throughput::Bytes(2 * (kb << 10)));
+        g.bench_with_input(
+            BenchmarkId::new("write_read", format!("{kb}K")),
+            &kb,
+            |b, _| {
+                let store = Arc::new(MemStore::new());
+                let cache = Arc::new(RamDisk::new(64 << 20));
+                let mut vol = Volume::create(
+                    store,
+                    cache,
+                    "bench",
+                    1 << 30,
+                    VolumeConfig {
+                        gc_enabled: false,
+                        ..VolumeConfig::default()
+                    },
+                )
+                .unwrap();
+                let mut buf = vec![0u8; (kb << 10) as usize];
+                let window = 64u64 << 20;
+                let mut off = 0u64;
+                b.iter(|| {
+                    vol.write(off % window, &data).unwrap();
+                    vol.read(off % window, &mut buf).unwrap();
+                    off += kb << 10;
+                });
+            },
+        );
+    }
+    // The same streaming write, serial vs pipelined writeback: with a
+    // zero-latency MemStore the pipeline only has to not slow things
+    // down; its win shows up against real PUT latency (tests/pipeline.rs
+    // proves the >=2x there).
+    for (label, threads) in [
+        ("write_stream_serial", 0usize),
+        ("write_stream_pipelined", 4),
+    ] {
+        let data = vec![0x77u8; 64 << 10];
+        g.throughput(Throughput::Bytes(64 << 10));
+        g.bench_function(label, |b| {
+            let store = Arc::new(MemStore::new());
+            let cache = Arc::new(RamDisk::new(64 << 20));
+            let mut vol = Volume::create(
+                store,
+                cache,
+                "bench",
+                1 << 30,
+                VolumeConfig {
+                    gc_enabled: false,
+                    batch_bytes: 1 << 20,
+                    writeback_threads: threads,
+                    max_inflight_puts: 4,
+                    ..VolumeConfig::default()
+                },
+            )
+            .unwrap();
+            let mut off = 0u64;
+            b.iter(|| {
+                vol.write(off % (256 << 20), &data).unwrap();
+                off += 64 << 10;
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_gcsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gcsim");
     g.bench_function("write_with_gc_churn", |b| {
@@ -159,6 +262,7 @@ criterion_group!(
     bench_wlog_append,
     bench_batch_seal,
     bench_volume_write,
+    bench_volume_write_read,
     bench_gcsim
 );
 criterion_main!(benches);

@@ -44,6 +44,19 @@ pub struct VolumeConfig {
     /// a transient failure aborts the pass (the client data path does not
     /// retry here — layer a `RetryStore` under the volume for that).
     pub gc_retry_attempts: u32,
+    /// Writeback worker threads shipping sealed batches to the backend.
+    /// `0` keeps the fully serial path: every PUT happens inline on the
+    /// caller's thread (deterministic; used by most unit tests). With
+    /// `n > 0` threads, sealed batches are handed to a worker pool and the
+    /// foreground keeps accepting writes while PUTs are in flight (§3.1's
+    /// pipelined write path).
+    pub writeback_threads: usize,
+    /// Bound on concurrently in-flight batch PUTs when pipelined
+    /// (`writeback_threads > 0`). Completions may arrive out of order; the
+    /// volume still applies them to the object map in strict sequence
+    /// order (the durable-frontier rule), so this only controls overlap,
+    /// never visibility. Must not exceed `max_pending_batches`.
+    pub max_inflight_puts: usize,
 }
 
 impl Default for VolumeConfig {
@@ -60,6 +73,11 @@ impl Default for VolumeConfig {
             max_record_extents: 16,
             max_pending_batches: 8,
             gc_retry_attempts: 3,
+            // Serial by default: PUT failures surface synchronously on the
+            // writing thread, which the degraded-mode API contract (and
+            // its tests) relies on. Pipelining is opt-in.
+            writeback_threads: 0,
+            max_inflight_puts: 4,
         }
     }
 }
@@ -72,6 +90,20 @@ impl VolumeConfig {
             batch_bytes: 64 << 10,
             checkpoint_interval: 4,
             prefetch_bytes: 32 << 10,
+            // Serial writeback: unit tests rely on deterministic inline
+            // PUT ordering. Pipelined tests opt in explicitly.
+            writeback_threads: 0,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's pipelined write path: `threads` writeback workers and
+    /// up to `window` concurrently in-flight batch PUTs, layered on the
+    /// default configuration.
+    pub fn pipelined(threads: usize, window: usize) -> Self {
+        VolumeConfig {
+            writeback_threads: threads,
+            max_inflight_puts: window,
             ..Default::default()
         }
     }
@@ -108,6 +140,12 @@ impl VolumeConfig {
         assert!(self.max_record_extents >= 1, "bad record extent limit");
         assert!(self.max_pending_batches >= 1, "bad pending batch limit");
         assert!(self.gc_retry_attempts >= 1, "bad GC retry attempts");
+        if self.writeback_threads > 0 {
+            assert!(
+                self.max_inflight_puts >= 1 && self.max_inflight_puts <= self.max_pending_batches,
+                "bad in-flight PUT window"
+            );
+        }
     }
 }
 
@@ -127,6 +165,17 @@ mod tests {
         VolumeConfig {
             gc_low_watermark: 0.9,
             gc_high_watermark: 0.7,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad in-flight PUT window")]
+    fn oversized_inflight_window_rejected() {
+        VolumeConfig {
+            writeback_threads: 2,
+            max_inflight_puts: 99,
             ..Default::default()
         }
         .validate();

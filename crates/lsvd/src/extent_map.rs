@@ -17,7 +17,9 @@
 //!    overlapped pieces of older extents, splitting them as needed —
 //!    exactly the behaviour of a block-device translation layer.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A value that can be carried by an extent and split along with it.
 ///
@@ -81,25 +83,57 @@ pub enum Segment<V> {
 /// map.insert(40, 20, 5040);
 /// assert_eq!(map.len(), 1);
 /// ```
-#[derive(Debug, Clone)]
+///
+/// Point lookups keep a one-entry last-hit cursor: sequential access
+/// patterns (streaming reads, writeback sweeps) revisit the same extent
+/// many times, and the cursor answers those repeats without rescanning
+/// the tree. The cursor is interior-mutable (`Cell`), which makes the map
+/// `!Sync`; all consumers drive it from a single thread through `&mut`
+/// paths anyway.
 pub struct ExtentMap<V> {
     map: BTreeMap<u64, Ext<V>>,
+    /// Last successful point-lookup, `(start, len, value_at_start)`.
+    /// Invalidated by every mutation.
+    cursor: Cell<Option<(u64, u64, V)>>,
+    /// How many lookups the cursor short-circuited (observability).
+    cursor_hits: Cell<u64>,
 }
 
 impl<V> Default for ExtentMap<V> {
     fn default() -> Self {
         ExtentMap {
             map: BTreeMap::new(),
+            cursor: Cell::new(None),
+            cursor_hits: Cell::new(0),
         }
+    }
+}
+
+impl<V: ExtentValue> Clone for ExtentMap<V> {
+    fn clone(&self) -> Self {
+        ExtentMap {
+            map: self.map.clone(),
+            cursor: Cell::new(None),
+            cursor_hits: Cell::new(0),
+        }
+    }
+}
+
+impl<V: ExtentValue> fmt::Debug for ExtentMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExtentMap").field("map", &self.map).finish()
     }
 }
 
 impl<V: ExtentValue> ExtentMap<V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        ExtentMap {
-            map: BTreeMap::new(),
-        }
+        ExtentMap::default()
+    }
+
+    /// How many point lookups were served by the last-hit cursor.
+    pub fn cursor_hits(&self) -> u64 {
+        self.cursor_hits.get()
     }
 
     /// Number of extents (the paper's Table 5 "extent count" metric).
@@ -114,6 +148,7 @@ impl<V: ExtentValue> ExtentMap<V> {
 
     /// Removes all extents.
     pub fn clear(&mut self) {
+        self.cursor.set(None);
         self.map.clear();
     }
 
@@ -128,6 +163,7 @@ impl<V: ExtentValue> ExtentMap<V> {
         if len == 0 {
             return;
         }
+        self.cursor.set(None);
         let end = start + len;
 
         // Left neighbour straddling `start`.
@@ -174,6 +210,7 @@ impl<V: ExtentValue> ExtentMap<V> {
         if len == 0 {
             return;
         }
+        self.cursor.set(None);
         self.remove(start, len);
 
         let mut start = start;
@@ -201,8 +238,18 @@ impl<V: ExtentValue> ExtentMap<V> {
 
     /// Returns the extent containing `pos`, as `(start, len, value_at_start)`.
     pub fn lookup(&self, pos: u64) -> Option<(u64, u64, V)> {
+        if let Some((s, l, v)) = self.cursor.get() {
+            if pos >= s && pos < s + l {
+                self.cursor_hits.set(self.cursor_hits.get() + 1);
+                return Some((s, l, v));
+            }
+        }
         let (&s, &e) = self.map.range(..=pos).next_back()?;
-        (s + e.len > pos).then_some((s, e.len, e.val))
+        let hit = (s + e.len > pos).then_some((s, e.len, e.val));
+        if hit.is_some() {
+            self.cursor.set(hit);
+        }
+        hit
     }
 
     /// Resolves `[start, start+len)` into an ordered list of mapped
@@ -443,6 +490,49 @@ mod tests {
         assert_eq!(m.mapped_len(), 15);
         m.remove(0, 3);
         assert_eq!(m.mapped_len(), 12);
+    }
+
+    #[test]
+    fn cursor_serves_repeated_lookups() {
+        let mut m = ExtentMap::new();
+        m.insert(0, 100, 1000u64);
+        m.insert(200, 50, 2000);
+        assert_eq!(m.cursor_hits(), 0);
+        assert_eq!(m.lookup(10), Some((0, 100, 1000))); // miss, seeds cursor
+        assert_eq!(m.lookup(20), Some((0, 100, 1000))); // hit
+        assert_eq!(m.lookup(99), Some((0, 100, 1000))); // hit
+        assert_eq!(m.cursor_hits(), 2);
+        // A lookup outside the cursored extent falls back to the tree and
+        // re-seeds the cursor; holes neither hit nor seed it.
+        assert_eq!(m.lookup(210), Some((200, 50, 2000)));
+        assert_eq!(m.lookup(150), None);
+        assert_eq!(m.lookup(249), Some((200, 50, 2000)));
+        assert_eq!(m.cursor_hits(), 3);
+    }
+
+    #[test]
+    fn cursor_invalidated_on_insert() {
+        let mut m = ExtentMap::new();
+        m.insert(0, 100, 1000u64);
+        assert_eq!(m.lookup(50), Some((0, 100, 1000))); // seed cursor
+        m.insert(40, 20, 9000); // overwrite must not leave a stale cursor
+        assert_eq!(m.lookup(50), Some((40, 20, 9000)));
+        assert_eq!(m.lookup(30), Some((0, 40, 1000)));
+        assert_eq!(m.lookup(70), Some((60, 40, 1060)));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn cursor_invalidated_on_remove_and_clear() {
+        let mut m = ExtentMap::new();
+        m.insert(0, 100, 1000u64);
+        assert_eq!(m.lookup(50), Some((0, 100, 1000)));
+        m.remove(0, 100);
+        assert_eq!(m.lookup(50), None, "stale cursor after remove");
+        m.insert(0, 10, 7u64);
+        assert_eq!(m.lookup(5), Some((0, 10, 7)));
+        m.clear();
+        assert_eq!(m.lookup(5), None, "stale cursor after clear");
     }
 
     #[test]

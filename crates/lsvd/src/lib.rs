@@ -76,5 +76,6 @@ pub mod types;
 pub mod verify;
 pub mod volume;
 pub mod wlog;
+pub mod writeback;
 
 pub use types::{LsvdError, Result};

@@ -20,10 +20,11 @@
 //! prototype pipelines these stages across kernel and userspace, which the
 //! simulation plane ([`crate::engine`]) models for performance experiments.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use blkdev::BlockDevice;
+use bytes::Bytes;
 use objstore::{ObjError, ObjectStore, RetryCounters, RetryHandle};
 
 use crate::batch::BatchBuilder;
@@ -42,6 +43,7 @@ use crate::types::{
     Result, SECTOR,
 };
 use crate::wlog::{RecordInfo, WriteLog};
+use crate::writeback::{DurableFrontier, WritebackPool};
 
 /// Cache-device superblock location and size (sectors).
 const CACHE_SB_SECTORS: u64 = 8;
@@ -100,6 +102,10 @@ pub struct VolumeStats {
     pub pending_bytes: u64,
     /// Transient PUT failures absorbed by the writeback queue.
     pub put_transient_failures: u64,
+    /// Batch PUTs currently in flight on the writeback pool.
+    pub inflight_puts: u64,
+    /// Prefetch windows fetched as parallel scatter-gather GETs.
+    pub scatter_gets: u64,
     /// Writes rejected with [`LsvdError::Backpressure`].
     pub backpressure_rejections: u64,
     /// Checkpoints skipped because the backend failed transiently.
@@ -140,6 +146,9 @@ pub struct Volume {
     /// Cache of backend object extent lists (for object-window prefetch
     /// and GC liveness probes), keyed by sequence.
     hdr_cache: std::collections::HashMap<ObjSeq, std::sync::Arc<Vec<(Lba, u32)>>>,
+    /// Insertion order of `hdr_cache` entries, oldest first (FIFO
+    /// eviction; a full cache evicts one entry, never the whole map).
+    hdr_order: VecDeque<ObjSeq>,
     batch: BatchBuilder,
     /// Sealed batches awaiting PUT, oldest first. Normally the queue is
     /// empty (a batch is PUT as soon as it seals); it grows only while the
@@ -148,6 +157,19 @@ pub struct Volume {
     /// `VolumeConfig::max_pending_batches`, past which writes that would
     /// seal another batch fail with [`LsvdError::Backpressure`].
     pending_puts: VecDeque<(ObjSeq, crate::batch::SealedBatch)>,
+    /// Writeback worker pool; `None` runs the fully serial path
+    /// (`writeback_threads == 0`), where every PUT happens inline.
+    pool: Option<WritebackPool>,
+    /// Batches handed to the pool and not yet completed, by sequence.
+    inflight: BTreeMap<ObjSeq, crate::batch::SealedBatch>,
+    /// Batches whose PUT completed *out of order*: durable in the backend
+    /// but stranded behind a gap, so not yet applied to the object map.
+    landed: BTreeMap<ObjSeq, crate::batch::SealedBatch>,
+    /// Gate that releases landed batches in contiguous sequence order.
+    durable: DurableFrontier,
+    /// A transient PUT failure has been observed and its batch requeued;
+    /// cleared when a PUT completes successfully or the backlog empties.
+    put_stalled: bool,
     /// Live counters of a `RetryStore` beneath us, surfaced in stats.
     retry_handle: Option<RetryHandle>,
 
@@ -351,6 +373,7 @@ impl Volume {
                 // Restore the persisted read-cache map if present (§3.2);
                 // a cold cache is always safe.
                 let rcache = ReadCache::load(dev.clone(), c.rc_start, c.rc_sectors);
+                let pool = WritebackPool::spawn(store.clone(), cfg.writeback_threads);
                 let mut vol = Volume {
                     store,
                     dev,
@@ -362,8 +385,14 @@ impl Volume {
                     rcache,
                     objmap: rb.objmap,
                     hdr_cache: std::collections::HashMap::new(),
+                    hdr_order: VecDeque::new(),
                     batch: BatchBuilder::new(),
                     pending_puts: VecDeque::new(),
+                    pool,
+                    inflight: BTreeMap::new(),
+                    landed: BTreeMap::new(),
+                    durable: DurableFrontier::new(rb.last_seq),
+                    put_stalled: false,
                     retry_handle: None,
                     next_obj_seq: rb.last_seq + 1,
                     last_seq: rb.last_seq,
@@ -460,6 +489,7 @@ impl Volume {
         let wlog = WriteLog::format(dev.clone(), wc_start, wc_sectors, frontier + 1)?;
         let rcache = ReadCache::new(dev.clone(), rc_start, rc_sectors);
         dev.flush()?;
+        let pool = WritebackPool::spawn(store.clone(), cfg.writeback_threads);
         Ok(Volume {
             store,
             dev,
@@ -471,8 +501,14 @@ impl Volume {
             rcache,
             objmap,
             hdr_cache: std::collections::HashMap::new(),
+            hdr_order: VecDeque::new(),
             batch: BatchBuilder::new(),
             pending_puts: VecDeque::new(),
+            pool,
+            inflight: BTreeMap::new(),
+            landed: BTreeMap::new(),
+            durable: DurableFrontier::new(last_seq),
+            put_stalled: false,
             retry_handle: None,
             next_obj_seq: last_seq + 1,
             last_seq,
@@ -500,6 +536,15 @@ impl Volume {
         }
         if !self.batch.is_empty() {
             self.put_batch()?;
+        }
+        // Pipelined mode: settle the replayed tail before returning, so an
+        // open with a healthy backend ships it synchronously (matching the
+        // serial path). A stalling backend leaves it queued — degraded
+        // mode, same as serial.
+        while self.pool.is_some() && !self.writeback_idle() {
+            if let FlushOutcome::Stalled(_) = self.pump_pipeline(true)? {
+                break;
+            }
         }
         Ok(())
     }
@@ -564,16 +609,43 @@ impl Volume {
 
     fn write_chunk(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
         let sectors = bytes_to_sectors(data.len() as u64);
-        // Past the dirty watermark (pending queue full) a write that would
-        // seal yet another batch is refused *before* touching the cache
-        // log, so a rejected write leaves no partial state behind.
-        if self.pending_puts.len() >= self.cfg.max_pending_batches
+        if self.pool.is_some() {
+            // Harvest any finished PUTs first so the backlog accounting
+            // below sees fresh state.
+            self.pump_pipeline(false)?;
+        }
+        // Past the dirty watermark (queued + in-flight batches at the
+        // limit) a write that would seal yet another batch is refused
+        // *before* touching the cache log, so a rejected write leaves no
+        // partial state behind.
+        if self.writeback_backlog() >= self.cfg.max_pending_batches
             && self.batch.live_bytes() + data.len() as u64 >= self.cfg.batch_bytes
         {
-            if let FlushOutcome::Stalled(_) = self.flush_pending()? {
+            let cleared = if self.pool.is_some() {
+                // A full window over a healthy backend is throttling, not
+                // failure: block until the durable prefix advances enough
+                // to admit another batch. Harvesting an out-of-order
+                // completion parks it in `landed` without shrinking the
+                // backlog, so one blocking pump is not always enough —
+                // keep pumping while the pipe is healthy and moving.
+                loop {
+                    if self.writeback_backlog() < self.cfg.max_pending_batches {
+                        break true;
+                    }
+                    if self.inflight.is_empty() {
+                        break false; // jammed: nothing left to wait for
+                    }
+                    if let FlushOutcome::Stalled(_) = self.pump_pipeline(true)? {
+                        break self.writeback_backlog() < self.cfg.max_pending_batches;
+                    }
+                }
+            } else {
+                matches!(self.flush_pending()?, FlushOutcome::Drained)
+            };
+            if !cleared {
                 self.stats.backpressure_rejections += 1;
                 return Err(LsvdError::Backpressure {
-                    pending: self.pending_puts.len(),
+                    pending: self.writeback_backlog(),
                     limit: self.cfg.max_pending_batches,
                 });
             }
@@ -585,10 +657,10 @@ impl Volume {
             if self.wlog.free_sectors() == before {
                 // No progress. Distinguish "backend down, queue jammed"
                 // from a genuinely undersized cache.
-                if !self.pending_puts.is_empty() {
+                if !self.writeback_idle() {
                     self.stats.backpressure_rejections += 1;
                     return Err(LsvdError::Backpressure {
-                        pending: self.pending_puts.len(),
+                        pending: self.writeback_backlog(),
                         limit: self.cfg.max_pending_batches,
                     });
                 }
@@ -602,7 +674,7 @@ impl Volume {
         self.rcache.invalidate(lba, sectors);
         self.batch.add(lba, data, appended.seq);
         if self.batch.live_bytes() >= self.cfg.batch_bytes
-            && self.pending_puts.len() < self.cfg.max_pending_batches
+            && self.writeback_backlog() < self.cfg.max_pending_batches
         {
             self.put_batch()?;
         }
@@ -709,7 +781,7 @@ impl Volume {
     /// into the read cache under the virtual addresses the object header
     /// records — prefetching data written at the same time as the
     /// triggering read, whether or not it lives at nearby addresses.
-    fn fetch_extent(&mut self, _start: Lba, len: u64, loc: ObjLoc) -> Result<Vec<u8>> {
+    fn fetch_extent(&mut self, _start: Lba, len: u64, loc: ObjLoc) -> Result<Bytes> {
         let name = self.resolve_name(loc.seq);
         let (hdr_sectors, data_sectors) = match self.objmap.object_stat(loc.seq) {
             Some(st) => (
@@ -727,7 +799,7 @@ impl Volume {
             .min(data_sectors.saturating_sub(loc.off as u64))
             .max(len);
         let byte_off = (hdr_sectors + loc.off as u64) * SECTOR;
-        let data = self.store.get_range(&name, byte_off, fetch * SECTOR)?;
+        let data = self.fetch_window(&name, byte_off, fetch * SECTOR)?;
         self.stats.backend_gets += 1;
         self.stats.backend_get_bytes += data.len() as u64;
 
@@ -763,24 +835,65 @@ impl Volume {
                 }
             }
         }
-        Ok(data[..(len * SECTOR) as usize].to_vec())
+        // A zero-copy slice of the fetched window — the caller copies into
+        // its destination buffer exactly once.
+        Ok(data.slice(..(len * SECTOR) as usize))
     }
 
-    /// The object's header extent list, cached.
+    /// One logical prefetch-window fetch: a single ranged GET in serial
+    /// mode, a scatter-gather fan-out over the writeback pool when the
+    /// window is large enough to split usefully.
+    fn fetch_window(&mut self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+        /// Minimum bytes per scattered GET; below 2× this, one GET wins.
+        const SCATTER_CHUNK: u64 = 128 << 10;
+        let threads = self.pool.as_ref().map_or(0, |p| p.threads()) as u64;
+        if threads < 2 || len < 2 * SCATTER_CHUNK {
+            return Ok(self.store.get_range(name, offset, len)?);
+        }
+        let chunks = len.div_ceil(SCATTER_CHUNK).min(threads);
+        let per = len.div_ceil(chunks);
+        let mut ranges = Vec::with_capacity(chunks as usize);
+        let mut off = 0;
+        while off < len {
+            let l = per.min(len - off);
+            ranges.push((offset + off, l));
+            off += l;
+        }
+        let parts = self
+            .pool
+            .as_ref()
+            .expect("pipelined")
+            .get_scatter(name, &ranges);
+        self.stats.scatter_gets += 1;
+        let mut buf = Vec::with_capacity(len as usize);
+        for p in parts {
+            buf.extend_from_slice(&p?);
+        }
+        Ok(Bytes::from(buf))
+    }
+
+    /// The object's header extent list, cached with FIFO eviction.
     fn header_extents(
         &mut self,
         seq: ObjSeq,
         name: &str,
     ) -> Result<std::sync::Arc<Vec<(Lba, u32)>>> {
+        /// Bound on cached header extent lists.
+        const HDR_CACHE_CAP: usize = 512;
         if let Some(e) = self.hdr_cache.get(&seq) {
             return Ok(e.clone());
         }
         let h = fetch_header(self.store.as_ref(), name)?
             .ok_or_else(|| LsvdError::Corrupt(format!("{name}: mapped object missing")))?;
         let e = std::sync::Arc::new(h.extents);
-        if self.hdr_cache.len() >= 512 {
-            self.hdr_cache.clear();
+        if self.hdr_cache.len() >= HDR_CACHE_CAP {
+            // Evict the single oldest entry; dumping the whole cache made
+            // every later miss refetch headers it had already paid for.
+            if let Some(old) = self.hdr_order.pop_front() {
+                self.hdr_cache.remove(&old);
+            }
         }
+        self.hdr_order.push_back(seq);
         self.hdr_cache.insert(seq, e.clone());
         Ok(e)
     }
@@ -806,10 +919,107 @@ impl Volume {
 
     /// Forces the current batch to the backend even if not full.
     fn writeback_now(&mut self) -> Result<()> {
+        if self.pool.is_some() {
+            self.pump_pipeline(false)?;
+            if !self.batch.is_empty() && self.writeback_backlog() < self.cfg.max_pending_batches {
+                self.seal_into_queue();
+                self.submit_ready();
+            }
+            if !self.inflight.is_empty() {
+                // Block for at least one completion so the caller (the
+                // cache-full loop) can observe released log records.
+                self.pump_pipeline(true)?;
+            }
+            return Ok(());
+        }
         if self.batch.is_empty() && self.pending_puts.is_empty() {
             return Ok(());
         }
         self.put_batch()
+    }
+
+    /// Sealed batches not yet applied to the object map: queued, in
+    /// flight on the pool, and landed out of order. This is the unit
+    /// backpressure counts.
+    fn writeback_backlog(&self) -> usize {
+        self.pending_puts.len() + self.inflight.len() + self.landed.len()
+    }
+
+    /// Whether every sealed batch has been shipped *and* applied.
+    fn writeback_idle(&self) -> bool {
+        self.pending_puts.is_empty() && self.inflight.is_empty() && self.landed.is_empty()
+    }
+
+    /// Pipelined-mode pump: harvest PUT completions (blocking for at
+    /// least one when `block`), apply the newly contiguous durable prefix
+    /// in sequence order, requeue transient failures, and refill the
+    /// in-flight window. Serial mode is a no-op.
+    ///
+    /// Returns `Stalled` when this pump observed a transient failure;
+    /// the failed batch is back in the queue, nothing lost or reordered.
+    fn pump_pipeline(&mut self, block: bool) -> Result<FlushOutcome> {
+        let completions = match &self.pool {
+            None => return Ok(FlushOutcome::Drained),
+            Some(pool) => {
+                if block {
+                    pool.wait_puts()
+                } else {
+                    pool.poll_puts()
+                }
+            }
+        };
+        let mut stall = None;
+        for (seq, result) in completions {
+            let sealed = self
+                .inflight
+                .remove(&seq)
+                .expect("completion for an unknown sequence");
+            match result {
+                Ok(()) => {
+                    self.put_stalled = false;
+                    self.landed.insert(seq, sealed);
+                    // Only the gap-free prefix may touch metadata: apply
+                    // exactly the sequences the frontier releases, in
+                    // order. Anything beyond a gap stays in `landed`.
+                    for ready in self.durable.complete(seq) {
+                        let sealed = self.landed.remove(&ready).expect("ready batch landed");
+                        self.finish_put(ready, sealed)?;
+                    }
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.put_transient_failures += 1;
+                    self.put_stalled = true;
+                    // Requeue at its sequence position. FIFO visibility is
+                    // safe: nothing at or beyond this sequence can apply
+                    // until its PUT eventually lands.
+                    let pos = self.pending_puts.partition_point(|&(s, _)| s < seq);
+                    self.pending_puts.insert(pos, (seq, sealed));
+                    stall = Some(e);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.submit_ready();
+        Ok(match stall {
+            Some(e) => FlushOutcome::Stalled(e),
+            None => FlushOutcome::Drained,
+        })
+    }
+
+    /// Moves queued batches onto the pool up to the in-flight window.
+    fn submit_ready(&mut self) {
+        if self.pool.is_none() {
+            return;
+        }
+        while self.inflight.len() < self.cfg.max_inflight_puts && !self.pending_puts.is_empty() {
+            let (seq, sealed) = self.pending_puts.pop_front().expect("checked nonempty");
+            let name = self.resolve_name(seq);
+            self.pool
+                .as_ref()
+                .expect("pipelined")
+                .submit_put(seq, name, sealed.object.clone());
+            self.inflight.insert(seq, sealed);
+        }
     }
 
     /// Seals the current batch into the pending queue, allocating its
@@ -851,6 +1061,18 @@ impl Volume {
     }
 
     fn put_batch(&mut self) -> Result<()> {
+        if self.pool.is_some() {
+            // Pipelined: harvest opportunistically, seal into the queue if
+            // the backlog allows, and keep the window full. Transient
+            // failures are absorbed here exactly like the serial path —
+            // the data is durable in the cache log.
+            self.pump_pipeline(false)?;
+            if !self.batch.is_empty() && self.writeback_backlog() < self.cfg.max_pending_batches {
+                self.seal_into_queue();
+                self.submit_ready();
+            }
+            return Ok(());
+        }
         if let FlushOutcome::Stalled(_) = self.flush_pending()? {
             // Backend down. Seal the current batch into the queue (if it
             // fits) so its cache records keep their place in line, and
@@ -868,7 +1090,13 @@ impl Volume {
     }
 
     fn finish_put(&mut self, seq: ObjSeq, sealed: crate::batch::SealedBatch) -> Result<()> {
+        debug_assert_eq!(seq, self.last_seq + 1, "applied out of prefix order");
         self.last_seq = seq;
+        if self.pool.is_none() {
+            // Serial PUTs complete in order; keep the frontier tracker in
+            // step so `durable_frontier()` is meaningful in both modes.
+            self.durable.advance_past(seq);
+        }
         self.stats.backend_puts += 1;
         self.stats.backend_put_bytes += sealed.object.len() as u64;
         self.stats.merged_bytes += sealed.merged_bytes;
@@ -890,11 +1118,13 @@ impl Volume {
             }
         }
         self.objects_since_ckpt += 1;
-        // Checkpoints and GC run only with an empty queue: a checkpoint
-        // must not reference sequences that are not yet durable, and a GC
-        // object PUT ahead of queued data batches would break the
-        // backend's consecutive-sequence prefix rule.
-        if self.objects_since_ckpt >= self.cfg.checkpoint_interval && self.pending_puts.is_empty() {
+        // Checkpoints and GC run only with a fully idle writeback path
+        // (nothing queued, in flight, or landed-but-unapplied): a
+        // checkpoint must not reference sequences that are not yet part of
+        // the durable prefix, and a GC object PUT ahead of outstanding
+        // data batches would break the backend's consecutive-sequence
+        // prefix rule.
+        if self.objects_since_ckpt >= self.cfg.checkpoint_interval && self.writeback_idle() {
             match self.write_checkpoint() {
                 Ok(()) => {
                     if self.cfg.gc_enabled {
@@ -930,6 +1160,38 @@ impl Volume {
     /// batches are kept — a later drain (or healed backend) ships them in
     /// order.
     pub fn drain(&mut self) -> Result<()> {
+        if self.pool.is_some() {
+            // Seal everything up front (the queue bound applies to the
+            // write path, not to an explicit drain), then pump until the
+            // durable prefix covers every batch. Failures that were
+            // already in the pipe when drain started (e.g. PUTs issued
+            // against a backend that has since healed) are retried; the
+            // error only surfaces once a full window of stalled pumps
+            // makes no frontier progress — the backend really is down.
+            if !self.batch.is_empty() {
+                self.seal_into_queue();
+            }
+            self.submit_ready();
+            let mut fruitless_stalls = 0;
+            while !self.writeback_idle() {
+                let before = self.durable.frontier();
+                match self.pump_pipeline(true)? {
+                    FlushOutcome::Stalled(e) => {
+                        if self.durable.frontier() == before {
+                            fruitless_stalls += 1;
+                            if fruitless_stalls > self.cfg.max_inflight_puts {
+                                return Err(LsvdError::Backend(e));
+                            }
+                        } else {
+                            fruitless_stalls = 0;
+                        }
+                    }
+                    FlushOutcome::Drained => {}
+                }
+            }
+            debug_assert_eq!(self.wlog.live_records(), 0);
+            return Ok(());
+        }
         loop {
             if let FlushOutcome::Stalled(e) = self.flush_pending()? {
                 return Err(LsvdError::Backend(e));
@@ -943,9 +1205,24 @@ impl Volume {
         Ok(())
     }
 
-    /// Whether sealed batches are queued awaiting a healthy backend.
+    /// Whether sealed batches are stuck awaiting a healthy backend.
+    ///
+    /// Serial mode: any queued batch means the last PUT attempt failed.
+    /// Pipelined mode: a non-empty backlog is normal (PUTs in flight), so
+    /// degraded additionally requires an unresolved transient failure.
     pub fn is_degraded(&self) -> bool {
-        !self.pending_puts.is_empty()
+        if self.pool.is_some() {
+            self.put_stalled && !self.writeback_idle()
+        } else {
+            !self.pending_puts.is_empty()
+        }
+    }
+
+    /// The last object sequence inside the contiguous durable prefix —
+    /// everything up to and including it is applied to the object map and
+    /// coverable by a checkpoint.
+    pub fn durable_frontier(&self) -> ObjSeq {
+        self.durable.frontier()
     }
 
     /// Surfaces the live counters of a [`RetryStore`](objstore::RetryStore)
@@ -1003,6 +1280,12 @@ impl Volume {
     /// Runs one garbage-collection pass if utilization is below the low
     /// watermark (§3.5). Returns the number of objects collected.
     pub fn run_gc(&mut self) -> Result<usize> {
+        if self.pool.is_some() && !self.writeback_idle() {
+            // GC PUTs its relocation objects inline; interleaving them
+            // with outstanding pipelined data PUTs would punch a hole in
+            // the consecutive-sequence prefix. Wait for an idle window.
+            return Ok(0);
+        }
         let first = self.sb.own_first_seq();
         let upto = self.last_ckpt_seq;
         if !gc::should_collect(&self.objmap, first, upto, self.cfg.gc_low_watermark) {
@@ -1143,6 +1426,9 @@ impl Volume {
         })?;
         self.next_obj_seq = seq + 1;
         self.last_seq = seq;
+        // GC only runs with an idle writeback path, so jumping the
+        // frontier over its inline PUT is safe in both modes.
+        self.durable.advance_past(seq);
         self.stats.gc_puts += 1;
         self.stats.gc_put_bytes += obj.len() as u64;
         let loc_pieces: Vec<(Lba, u32, ObjLoc)> = pieces
@@ -1226,13 +1512,16 @@ impl Volume {
     /// pending writeback queue and (if attached) retry-layer counters.
     pub fn stats(&self) -> VolumeStats {
         let mut s = self.stats;
-        s.degraded = !self.pending_puts.is_empty();
-        s.pending_batches = self.pending_puts.len() as u64;
+        s.degraded = self.is_degraded();
+        s.pending_batches = self.writeback_backlog() as u64;
         s.pending_bytes = self
             .pending_puts
             .iter()
             .map(|(_, b)| b.object.len() as u64)
+            .chain(self.inflight.values().map(|b| b.object.len() as u64))
+            .chain(self.landed.values().map(|b| b.object.len() as u64))
             .sum();
+        s.inflight_puts = self.inflight.len() as u64;
         if let Some(h) = &self.retry_handle {
             s.retry = h.snapshot();
         }
@@ -1244,14 +1533,17 @@ impl Volume {
         self.rcache.stats()
     }
 
-    /// Bytes acknowledged but not yet durable in the backend ("dirty"):
-    /// the open batch plus any sealed batches queued in degraded mode.
+    /// Bytes acknowledged but not yet applied to the backend map
+    /// ("dirty"): the open batch plus every sealed batch still queued, in
+    /// flight, or landed out of order.
     pub fn dirty_bytes(&self) -> u64 {
         self.batch.live_bytes()
             + self
                 .pending_puts
                 .iter()
                 .map(|(_, b)| b.object.len() as u64)
+                .chain(self.inflight.values().map(|b| b.object.len() as u64))
+                .chain(self.landed.values().map(|b| b.object.len() as u64))
                 .sum::<u64>()
     }
 

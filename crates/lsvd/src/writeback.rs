@@ -1,0 +1,459 @@
+//! Pipelined backend writeback: a worker pool and a durable-frontier
+//! tracker.
+//!
+//! The paper's prototype overlaps batch PUTs with foreground I/O (§3.1,
+//! Fig. 1): writes are acknowledged from the SSD log while sealed batches
+//! ship to the object store in the background. This module provides the
+//! two pieces the [`Volume`](crate::volume::Volume) needs to do the same:
+//!
+//! - [`WritebackPool`] — a small fixed pool of worker threads that
+//!   executes batch PUTs (and scatter-gather prefetch GETs) against the
+//!   shared [`ObjectStore`]. The pool is pure transport: it never touches
+//!   volume metadata, so all map/checkpoint mutation stays on the
+//!   foreground thread.
+//! - [`DurableFrontier`] — tracks which object sequences have completed
+//!   their PUT and yields them back *in contiguous order*. PUTs issued
+//!   concurrently complete out of order, but the object map, the cache-log
+//!   release point and checkpoints may only advance over a gap-free prefix
+//!   of the object stream (§3.3's prefix rule); the frontier is the gate
+//!   that enforces this.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use objstore::ObjectStore;
+use parking_lot::{Condvar, Mutex};
+
+use crate::types::ObjSeq;
+
+/// A unit of work for the pool.
+enum Job {
+    Put {
+        seq: ObjSeq,
+        name: String,
+        data: Bytes,
+    },
+    Get {
+        token: u64,
+        name: String,
+        offset: u64,
+        len: u64,
+    },
+}
+
+/// A finished unit of work.
+enum Done {
+    Put {
+        seq: ObjSeq,
+        result: objstore::Result<()>,
+    },
+    Get {
+        token: u64,
+        result: objstore::Result<Bytes>,
+    },
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    done: Vec<Done>,
+    active_puts: usize,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn puts_outstanding(&self) -> bool {
+        self.active_puts > 0 || self.queue.iter().any(|j| matches!(j, Job::Put { .. }))
+    }
+}
+
+struct Shared {
+    store: Arc<dyn ObjectStore>,
+    state: Mutex<PoolState>,
+    /// Signalled when work is queued (or on shutdown).
+    work_cv: Condvar,
+    /// Signalled when a job completes.
+    done_cv: Condvar,
+}
+
+/// A fixed pool of writeback workers over one shared object store.
+///
+/// Submission and harvesting are both non-blocking by default
+/// ([`WritebackPool::submit_put`] / [`WritebackPool::poll_puts`]);
+/// [`WritebackPool::wait_puts`] parks until at least one PUT completes.
+/// Dropping the pool discards queued-but-unstarted jobs, lets running
+/// jobs finish, and joins every worker — so an in-flight PUT either lands
+/// whole or not at all, exactly the crash model recovery's prefix rule
+/// is built for.
+pub struct WritebackPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    next_token: AtomicU64,
+}
+
+impl WritebackPool {
+    /// Spawns `threads` workers over `store`. Returns `None` when
+    /// `threads == 0` (serial mode: the caller PUTs inline).
+    pub fn spawn(store: Arc<dyn ObjectStore>, threads: usize) -> Option<WritebackPool> {
+        if threads == 0 {
+            return None;
+        }
+        let shared = Arc::new(Shared {
+            store,
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                done: Vec::new(),
+                active_puts: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let threads = (0..threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lsvd-wb-{i}"))
+                    .spawn(move || worker(shared))
+                    .expect("spawn writeback worker")
+            })
+            .collect();
+        Some(WritebackPool {
+            shared,
+            threads,
+            next_token: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Queues one batch PUT. `data` is the sealed object's shared buffer
+    /// ([`Bytes`]), so no copy happens between sealing and the wire.
+    pub fn submit_put(&self, seq: ObjSeq, name: String, data: Bytes) {
+        {
+            let mut st = self.shared.state.lock();
+            st.queue.push_back(Job::Put { seq, name, data });
+        }
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Harvests every PUT completion available right now, never blocking.
+    /// Completions arrive in *finish* order, which may differ from
+    /// submission order.
+    pub fn poll_puts(&self) -> Vec<(ObjSeq, objstore::Result<()>)> {
+        let mut st = self.shared.state.lock();
+        take_puts(&mut st)
+    }
+
+    /// Blocks until at least one PUT completes, then harvests all
+    /// available completions. Returns an empty vec immediately if no PUT
+    /// is queued or running (nothing to wait for).
+    pub fn wait_puts(&self) -> Vec<(ObjSeq, objstore::Result<()>)> {
+        let mut st = self.shared.state.lock();
+        loop {
+            let puts = take_puts(&mut st);
+            if !puts.is_empty() {
+                return puts;
+            }
+            if !st.puts_outstanding() {
+                return Vec::new();
+            }
+            self.shared.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Fetches several ranges of one object concurrently, blocking until
+    /// all return. Results are in `ranges` order. PUT completions that
+    /// arrive while waiting are left for the next `poll_puts`.
+    pub fn get_scatter(&self, name: &str, ranges: &[(u64, u64)]) -> Vec<objstore::Result<Bytes>> {
+        let n = ranges.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let base = self.next_token.fetch_add(n as u64, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock();
+            for (i, &(offset, len)) in ranges.iter().enumerate() {
+                st.queue.push_back(Job::Get {
+                    token: base + i as u64,
+                    name: name.to_string(),
+                    offset,
+                    len,
+                });
+            }
+        }
+        self.shared.work_cv.notify_all();
+
+        let mut results: Vec<Option<objstore::Result<Bytes>>> = (0..n).map(|_| None).collect();
+        let mut got = 0;
+        let mut st = self.shared.state.lock();
+        while got < n {
+            let done = std::mem::take(&mut st.done);
+            for d in done {
+                match d {
+                    Done::Get { token, result } if token >= base && token < base + n as u64 => {
+                        results[(token - base) as usize] = Some(result);
+                        got += 1;
+                    }
+                    other => st.done.push(other),
+                }
+            }
+            if got < n {
+                self.shared.done_cv.wait(&mut st);
+            }
+        }
+        drop(st);
+        results
+            .into_iter()
+            .map(|r| r.expect("every scatter token collected"))
+            .collect()
+    }
+}
+
+impl Drop for WritebackPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            // Unstarted jobs are discarded: on a crash their data is still
+            // in the cache log (PUTs) or simply re-fetched (GETs).
+            st.queue.clear();
+        }
+        self.shared.work_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn take_puts(st: &mut PoolState) -> Vec<(ObjSeq, objstore::Result<()>)> {
+    let mut out = Vec::new();
+    for d in std::mem::take(&mut st.done) {
+        match d {
+            Done::Put { seq, result } => out.push((seq, result)),
+            get => st.done.push(get),
+        }
+    }
+    out
+}
+
+fn worker(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(j) = st.queue.pop_front() {
+                    if matches!(j, Job::Put { .. }) {
+                        st.active_puts += 1;
+                    }
+                    break j;
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        // Run the store call without any lock held.
+        let (done, was_put) = match job {
+            Job::Put { seq, name, data } => (
+                Done::Put {
+                    seq,
+                    result: shared.store.put(&name, data),
+                },
+                true,
+            ),
+            Job::Get {
+                token,
+                name,
+                offset,
+                len,
+            } => (
+                Done::Get {
+                    token,
+                    result: shared.store.get_range(&name, offset, len),
+                },
+                false,
+            ),
+        };
+        {
+            let mut st = shared.state.lock();
+            if was_put {
+                st.active_puts -= 1;
+            }
+            st.done.push(done);
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Tracks the contiguous durable prefix of the object stream.
+///
+/// PUTs complete out of order; [`DurableFrontier::complete`] records each
+/// durable sequence and returns the (possibly empty) run of sequences
+/// that just became part of the gap-free prefix, in order. Only those may
+/// be applied to the object map, release cache-log records, or be covered
+/// by a checkpoint — the §3.3 prefix rule, mechanized.
+#[derive(Debug)]
+pub struct DurableFrontier {
+    /// The next sequence the prefix is waiting on.
+    next: ObjSeq,
+    /// Durable sequences beyond `next` (the out-of-order stash).
+    done: BTreeSet<ObjSeq>,
+}
+
+impl DurableFrontier {
+    /// A frontier whose prefix currently ends at `last_applied`.
+    pub fn new(last_applied: ObjSeq) -> Self {
+        DurableFrontier {
+            next: last_applied + 1,
+            done: BTreeSet::new(),
+        }
+    }
+
+    /// The last sequence inside the contiguous durable prefix.
+    pub fn frontier(&self) -> ObjSeq {
+        self.next - 1
+    }
+
+    /// Durable sequences stranded beyond the first gap.
+    pub fn gap_count(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Records `seq` as durable; returns every sequence that just became
+    /// contiguous with the prefix, oldest first (empty while a gap
+    /// remains).
+    pub fn complete(&mut self, seq: ObjSeq) -> Vec<ObjSeq> {
+        debug_assert!(seq >= self.next, "sequence {seq} already applied");
+        debug_assert!(!self.done.contains(&seq), "sequence {seq} completed twice");
+        self.done.insert(seq);
+        let mut ready = Vec::new();
+        while self.done.remove(&self.next) {
+            ready.push(self.next);
+            self.next += 1;
+        }
+        ready
+    }
+
+    /// Jumps the prefix forward past `seq` — used when the foreground
+    /// thread itself PUTs objects inline (GC relocation objects), which is
+    /// only legal while no pipelined PUT is outstanding.
+    pub fn advance_past(&mut self, seq: ObjSeq) {
+        debug_assert!(
+            self.done.is_empty(),
+            "cannot jump the frontier over stashed completions"
+        );
+        self.next = self.next.max(seq + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objstore::MemStore;
+
+    #[test]
+    fn frontier_holds_until_gap_fills() {
+        let mut f = DurableFrontier::new(0);
+        assert_eq!(f.frontier(), 0);
+        assert_eq!(f.complete(3), vec![]);
+        assert_eq!(f.complete(2), vec![]);
+        assert_eq!(f.gap_count(), 2);
+        assert_eq!(f.complete(1), vec![1, 2, 3]);
+        assert_eq!(f.frontier(), 3);
+        assert_eq!(f.gap_count(), 0);
+        assert_eq!(f.complete(4), vec![4]);
+        f.advance_past(9);
+        assert_eq!(f.complete(10), vec![10]);
+    }
+
+    #[test]
+    fn frontier_is_ordered_under_threaded_completion() {
+        // Barrier-driven ordering test: many threads race to complete a
+        // shuffled set of sequences; the ready-runs observed under the
+        // lock must concatenate to exactly 1..=N in order.
+        use std::sync::Barrier;
+
+        const N: u32 = 96;
+        const THREADS: u32 = 8;
+        let shared = Arc::new((
+            Mutex::new((DurableFrontier::new(0), Vec::<ObjSeq>::new())),
+            Barrier::new(THREADS as usize),
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    let (lock, barrier) = &*shared;
+                    barrier.wait();
+                    // Thread t completes seqs t+1, t+1+THREADS, ... —
+                    // maximally interleaved with its peers.
+                    let mut seq = t + 1;
+                    while seq <= N {
+                        let mut g = lock.lock();
+                        let (frontier, applied) = &mut *g;
+                        let ready = frontier.complete(seq);
+                        applied.extend(ready);
+                        drop(g);
+                        seq += THREADS;
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = shared.0.lock();
+        let expect: Vec<ObjSeq> = (1..=N).collect();
+        assert_eq!(g.1, expect, "applied order must be the exact prefix order");
+        assert_eq!(g.0.frontier(), N);
+        assert_eq!(g.0.gap_count(), 0);
+    }
+
+    #[test]
+    fn pool_puts_complete_and_poll_harvests() {
+        let store = Arc::new(MemStore::new());
+        let pool = WritebackPool::spawn(store.clone(), 3).unwrap();
+        for seq in 1..=8u32 {
+            pool.submit_put(seq, format!("o.{seq}"), Bytes::from(vec![seq as u8; 64]));
+        }
+        let mut seen = Vec::new();
+        while seen.len() < 8 {
+            for (seq, r) in pool.wait_puts() {
+                r.unwrap();
+                seen.push(seq);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=8).collect::<Vec<_>>());
+        assert_eq!(store.object_count(), 8);
+        // Nothing left to wait for: returns immediately, empty.
+        assert!(pool.wait_puts().is_empty());
+    }
+
+    #[test]
+    fn scatter_get_reassembles_in_range_order() {
+        let store = Arc::new(MemStore::new());
+        let body: Vec<u8> = (0..=255u8).cycle().take(1 << 16).collect();
+        store.put("obj", Bytes::from(body.clone())).unwrap();
+        let pool = WritebackPool::spawn(store, 4).unwrap();
+        let ranges: Vec<(u64, u64)> = (0..4).map(|i| (i * 16384, 16384)).collect();
+        let parts = pool.get_scatter("obj", &ranges);
+        let mut joined = Vec::new();
+        for p in parts {
+            joined.extend_from_slice(&p.unwrap());
+        }
+        assert_eq!(joined, body);
+        // A bad range reports its error in-slot.
+        let parts = pool.get_scatter("obj", &[(0, 16), (1 << 20, 16)]);
+        assert!(parts[0].is_ok());
+        assert!(parts[1].is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! A store wrapper that injects *real* wall-clock latency.
+//!
+//! [`ChaosStore`](crate::ChaosStore) accounts latency on a virtual clock
+//! for deterministic tests; this wrapper actually sleeps, which is what
+//! wall-clock experiments need — e.g. demonstrating that pipelined
+//! writeback hides backend PUT latency behind foreground I/O, the way a
+//! real object store's ~10 ms PUTs would be hidden.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::{ObjectStore, Result};
+
+/// Delegates every operation to `inner` after sleeping for a configured
+/// per-class delay. Thread-safe: concurrent callers sleep concurrently,
+/// so `n` overlapped PUTs cost one delay, not `n` — exactly the overlap a
+/// pipelined client exploits.
+pub struct LatencyStore<S> {
+    inner: S,
+    put_delay: Duration,
+    get_delay: Duration,
+    meta_delay: Duration,
+    puts: AtomicU64,
+    gets: AtomicU64,
+}
+
+impl<S: ObjectStore> LatencyStore<S> {
+    /// Wraps `inner` with the given PUT and GET delays (metadata
+    /// operations — head/list/delete — are free unless configured via
+    /// [`LatencyStore::with_meta_delay`]).
+    pub fn new(inner: S, put_delay: Duration, get_delay: Duration) -> Self {
+        LatencyStore {
+            inner,
+            put_delay,
+            get_delay,
+            meta_delay: Duration::ZERO,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+        }
+    }
+
+    /// Also delays head/list/delete/exists by `d`.
+    pub fn with_meta_delay(mut self, d: Duration) -> Self {
+        self.meta_delay = d;
+        self
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// PUTs observed.
+    pub fn put_count(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// GETs (whole and ranged) observed.
+    pub fn get_count(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    fn pause(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for LatencyStore<S> {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.pause(self.put_delay);
+        self.inner.put(name, data)
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.pause(self.get_delay);
+        self.inner.get(name)
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.pause(self.get_delay);
+        self.inner.get_range(name, offset, len)
+    }
+
+    fn head(&self, name: &str) -> Result<u64> {
+        self.pause(self.meta_delay);
+        self.inner.head(name)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.pause(self.meta_delay);
+        self.inner.delete(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.pause(self.meta_delay);
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use std::time::Instant;
+
+    #[test]
+    fn sleeps_on_put_and_counts() {
+        let s = LatencyStore::new(MemStore::new(), Duration::from_millis(5), Duration::ZERO);
+        let t = Instant::now();
+        s.put("a", Bytes::from(vec![1u8; 16])).unwrap();
+        s.put("b", Bytes::from(vec![2u8; 16])).unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(10));
+        assert_eq!(s.put_count(), 2);
+        assert_eq!(s.get("a").unwrap().len(), 16);
+        assert_eq!(s.get_count(), 1);
+    }
+}

@@ -18,6 +18,7 @@ pub mod cache;
 pub mod chaos;
 pub mod dir;
 pub mod faulty;
+pub mod latency;
 pub mod link;
 pub mod mem;
 pub mod pool;
@@ -27,6 +28,7 @@ pub use cache::CachingStore;
 pub use chaos::{ChaosSchedule, ChaosStore, OutageWindow};
 pub use dir::DirStore;
 pub use faulty::FaultyStore;
+pub use latency::LatencyStore;
 pub use mem::MemStore;
 pub use retry::{RetryCounters, RetryHandle, RetryPolicy, RetryStore};
 

@@ -48,6 +48,17 @@ fn schedule(seed: u64) -> ChaosSchedule {
 }
 
 fn run_seed(seed: u64, lose_cache: bool) {
+    run_seed_with(
+        seed,
+        lose_cache,
+        VolumeConfig {
+            max_pending_batches: 4,
+            ..VolumeConfig::small_for_tests()
+        },
+    );
+}
+
+fn run_seed_with(seed: u64, lose_cache: bool, cfg: VolumeConfig) {
     let label = if lose_cache {
         "cache lost"
     } else {
@@ -56,10 +67,6 @@ fn run_seed(seed: u64, lose_cache: bool) {
     let chaos = ChaosStore::with_schedule(MemStore::new(), schedule(seed));
     let store = Arc::new(RetryStore::with_policy(chaos, RetryPolicy::seeded(seed)));
     let cache = Arc::new(RamDisk::new(4 << 20));
-    let cfg = VolumeConfig {
-        max_pending_batches: 4,
-        ..VolumeConfig::small_for_tests()
-    };
     let mut vol = Volume::create(store.clone(), cache.clone(), "t", VOL_BYTES, cfg.clone())
         .unwrap_or_else(|e| panic!("seed {seed}: create: {e}"));
     vol.attach_retry_counters(store.counter_handle());
@@ -181,6 +188,33 @@ fn sweep_crash_with_cache_intact() {
 fn sweep_crash_with_cache_lost() {
     for seed in 0..50 {
         run_seed(seed, true);
+    }
+}
+
+/// The sweep config with the pipelined writeback path on: three workers
+/// racing PUTs through the same chaos schedule. Completion interleaving
+/// is no longer deterministic — which is the point: the consistency
+/// verdicts must hold for *every* interleaving the pool produces.
+fn pipelined_sweep_cfg() -> VolumeConfig {
+    VolumeConfig {
+        max_pending_batches: 4,
+        writeback_threads: 3,
+        max_inflight_puts: 3,
+        ..VolumeConfig::small_for_tests()
+    }
+}
+
+#[test]
+fn sweep_pipelined_crash_with_cache_intact() {
+    for seed in 0..20 {
+        run_seed_with(seed, false, pipelined_sweep_cfg());
+    }
+}
+
+#[test]
+fn sweep_pipelined_crash_with_cache_lost() {
+    for seed in 0..20 {
+        run_seed_with(seed, true, pipelined_sweep_cfg());
     }
 }
 

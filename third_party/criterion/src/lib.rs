@@ -5,12 +5,98 @@
 //! briefly, then measured for a fixed wall-clock budget, and the mean
 //! time per iteration (plus derived throughput, when declared) is
 //! printed to stdout. No statistics, plotting, or baselines.
+//!
+//! Two environment variables extend the stub for CI and experiment
+//! tracking:
+//!
+//! - `LSVD_BENCH_QUICK=1` — shrink the warmup/measure budgets to a few
+//!   milliseconds per benchmark (a smoke run: numbers are noisy but the
+//!   code paths execute).
+//! - `LSVD_BENCH_JSON=<path>` — after all groups run, write every result
+//!   as machine-readable JSON to `<path>` (see [`finalize`]).
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 const WARMUP: Duration = Duration::from_millis(200);
 const MEASURE: Duration = Duration::from_millis(800);
+
+/// Warmup/measure budgets, honouring `LSVD_BENCH_QUICK`.
+fn budgets() -> (Duration, Duration) {
+    if quick_mode() {
+        (Duration::from_millis(5), Duration::from_millis(25))
+    } else {
+        (WARMUP, MEASURE)
+    }
+}
+
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var_os("LSVD_BENCH_QUICK").is_some_and(|v| v != *"0"))
+}
+
+/// One finished measurement, retained for [`finalize`].
+struct Sample {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+static RESULTS: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every recorded result as JSON to `$LSVD_BENCH_JSON`, if set.
+/// Called automatically by the `criterion_main!`-generated `main`.
+pub fn finalize() {
+    let Some(path) = std::env::var_os("LSVD_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n  \"suite\": \"lsvd-microbench\",\n");
+    out.push_str(&format!(
+        "  \"quick\": {},\n  \"results\": [\n",
+        quick_mode()
+    ));
+    for (i, s) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let mut extra = String::new();
+        match s.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib_s = bytes as f64 / s.ns_per_iter * 1e9 / (1u64 << 30) as f64;
+                extra = format!(", \"bytes_per_iter\": {bytes}, \"gib_per_s\": {gib_s:.4}");
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = n as f64 / s.ns_per_iter * 1e9;
+                extra = format!(", \"elements_per_iter\": {n}, \"elements_per_s\": {elem_s:.1}");
+            }
+            None => {}
+        }
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}{extra}}}{sep}\n",
+            json_escape(&s.name),
+            s.ns_per_iter,
+            s.iters,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion stub: cannot write {path:?}: {e}");
+    } else {
+        println!("bench results written to {}", path.to_string_lossy());
+    }
+}
 
 /// Declared work per iteration, used to derive throughput.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +150,7 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, discarding its output.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (warmup, measure) = budgets();
         // Warm up and find an iteration count that fills the budget.
         let mut n: u64 = 1;
         let warm_start = Instant::now();
@@ -71,14 +158,14 @@ impl Bencher {
             for _ in 0..n {
                 std::hint::black_box(routine());
             }
-            if warm_start.elapsed() >= WARMUP {
+            if warm_start.elapsed() >= warmup {
                 break;
             }
             n = n.saturating_mul(2);
         }
         let mut total_iters = 0u64;
         let start = Instant::now();
-        while start.elapsed() < MEASURE {
+        while start.elapsed() < measure {
             for _ in 0..n {
                 std::hint::black_box(routine());
             }
@@ -144,6 +231,15 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Sample {
+                name: format!("{}/{id}", self.name),
+                ns_per_iter: per_iter,
+                iters: b.iters,
+                throughput: self.throughput,
+            });
         let rate = match self.throughput {
             Some(Throughput::Bytes(bytes)) => {
                 let gib_s = bytes as f64 / per_iter * 1e9 / (1u64 << 30) as f64;
@@ -207,6 +303,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }

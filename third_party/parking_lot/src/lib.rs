@@ -67,6 +67,45 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with parking_lot's `&mut MutexGuard` wait API.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiter. Returns whether std reported a wakeup (always
+    /// `true` here; std's condvar does not expose the count).
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases the guarded mutex and parks until notified,
+    /// re-acquiring the lock before returning.
+    ///
+    /// std's `Condvar::wait` consumes the guard and returns a new one;
+    /// this adapts it to parking_lot's in-place `&mut` signature by
+    /// moving the guard out and back with raw reads/writes. The moved-out
+    /// guard is always written back (poisoning is swallowed like
+    /// everywhere else in this stub), so `*guard` stays valid.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let reacquired = self.0.wait(taken).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +122,29 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        // Give the waiter a moment to park, then flip and notify.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        assert!(t.join().unwrap());
     }
 }
