@@ -23,7 +23,7 @@ use lsvd::extent_map::ExtentMap;
 use objstore::link::{Dir, LinkModel};
 use objstore::pool::{BackendPool, PoolConfig};
 use sim::server::Server;
-use sim::stats::{Summary, TimeSeries};
+use sim::stats::{RecordSimDuration, Summary, TimeSeries};
 use sim::{EventQueue, SimDuration, SimTime};
 use workloads::{IoOp, Workload};
 

@@ -138,4 +138,7 @@ fn main() {
         vol.stats().scatter_gets,
         latency.get_count() - gets_before
     );
+
+    println!("== end-of-run telemetry snapshot");
+    print!("{}", vol.telemetry().report());
 }

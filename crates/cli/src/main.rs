@@ -17,6 +17,7 @@
 //! lsvdctl snapshots <bucket> <image>
 //! lsvdctl clone     <bucket> <base> <new> [snapshot]
 //! lsvdctl gc        <bucket> <image>
+//! lsvdctl stats     <bucket> <image> [json|prom]     # live telemetry snapshot
 //! lsvdctl replicate <src-bucket> <dst-bucket> <image>
 //! lsvdctl gen-trace <kind> <out.trace> <ops>    # kind: randwrite|randread|varmail|oltp|fileserver
 //! lsvdctl replay    <bucket> <image> <trace>    # apply a trace to a volume
@@ -87,7 +88,7 @@ fn parse_opts() -> Opts {
             "--help" | "-h" => {
                 eprintln!(
                     "see `lsvdctl` module docs; commands: create info ls write read fill \
-                     snapshot snapshots clone gc replicate gen-trace replay host"
+                     snapshot snapshots clone gc stats replicate gen-trace replay host"
                 );
                 exit(0);
             }
@@ -241,6 +242,21 @@ fn main() {
             );
             vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
         }
+        ["stats", bucket, image] | ["stats", bucket, image, "report"] => {
+            let vol = open_volume(&opts, bucket, image);
+            print!("{}", vol.telemetry().report());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["stats", bucket, image, "json"] => {
+            let vol = open_volume(&opts, bucket, image);
+            println!("{}", vol.telemetry().to_json().render());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
+        ["stats", bucket, image, "prom"] => {
+            let vol = open_volume(&opts, bucket, image);
+            print!("{}", vol.telemetry().to_prometheus());
+            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        }
         ["gen-trace", kind, out, ops] => {
             let n: u64 = ops.parse().unwrap_or_else(|_| die("bad op count"));
             let mut w: Box<dyn Workload> = match *kind {
@@ -307,6 +323,7 @@ fn main() {
                 s.write_amplification(),
                 s.backend_gets
             );
+            print!("{}", vol.telemetry().report());
             vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
         }
         ["host", "format", cache_path, size] => {
@@ -369,7 +386,7 @@ fn main() {
             );
         }
         _ => die(
-            "usage: lsvdctl <create|info|ls|write|read|fill|snapshot|snapshots|clone|gc|replicate|gen-trace|replay|host> ... (--help)",
+            "usage: lsvdctl <create|info|ls|write|read|fill|snapshot|snapshots|clone|gc|stats|replicate|gen-trace|replay|host> ... (--help)",
         ),
     }
 }

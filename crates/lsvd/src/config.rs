@@ -1,5 +1,7 @@
 //! Volume configuration.
 
+use objstore::RetryPolicy;
+
 use crate::types::SECTOR;
 
 /// Tunable parameters of an LSVD volume.
@@ -57,6 +59,14 @@ pub struct VolumeConfig {
     /// order (the durable-frontier rule), so this only controls overlap,
     /// never visibility. Must not exceed `max_pending_batches`.
     pub max_inflight_puts: usize,
+    /// When set, the volume wraps the provided store in a
+    /// [`RetryStore`](objstore::RetryStore) with this policy and
+    /// auto-attaches its counters, so `stats().retry` reports real numbers
+    /// without the caller plumbing a `RetryHandle` by hand.
+    pub retry_policy: Option<RetryPolicy>,
+    /// Capacity (entries) of the backend object-header cache consulted by
+    /// read misses before issuing a header GET.
+    pub hdr_cache_entries: usize,
 }
 
 impl Default for VolumeConfig {
@@ -78,6 +88,8 @@ impl Default for VolumeConfig {
             // its tests) relies on. Pipelining is opt-in.
             writeback_threads: 0,
             max_inflight_puts: 4,
+            retry_policy: None,
+            hdr_cache_entries: 512,
         }
     }
 }
@@ -140,6 +152,7 @@ impl VolumeConfig {
         assert!(self.max_record_extents >= 1, "bad record extent limit");
         assert!(self.max_pending_batches >= 1, "bad pending batch limit");
         assert!(self.gc_retry_attempts >= 1, "bad GC retry attempts");
+        assert!(self.hdr_cache_entries >= 1, "bad header cache capacity");
         if self.writeback_threads > 0 {
             assert!(
                 self.max_inflight_puts >= 1 && self.max_inflight_puts <= self.max_pending_batches,

@@ -32,7 +32,7 @@ use blkdev::{DiskModel, DiskProfile, IoKind};
 use objstore::link::{Dir, LinkModel};
 use objstore::pool::{BackendPool, PoolConfig};
 use sim::server::Server;
-use sim::stats::{SizeHistogram, Summary, TimeSeries};
+use sim::stats::{RecordSimDuration, SizeHistogram, Summary, TimeSeries};
 use sim::{EventQueue, SimDuration, SimTime};
 use workloads::{IoOp, Workload};
 

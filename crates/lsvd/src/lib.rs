@@ -79,3 +79,8 @@ pub mod wlog;
 pub mod writeback;
 
 pub use types::{LsvdError, Result};
+
+// Telemetry vocabulary re-exported so volume users can consume
+// `Volume::telemetry()` and `Volume::drain_trace()` without naming the
+// `telemetry` crate themselves.
+pub use telemetry::{TelemetrySnapshot, TraceEvent, TraceRecord};

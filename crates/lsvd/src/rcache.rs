@@ -44,6 +44,18 @@ pub struct ReadCacheStats {
     pub evicted_sectors: u64,
 }
 
+impl ReadCacheStats {
+    /// Hit fraction in `[0, 1]` (0.0 before any lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hit_sectors + self.miss_sectors;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_sectors as f64 / total as f64
+        }
+    }
+}
+
 /// A FIFO log-structured read cache over a region of the cache SSD.
 pub struct ReadCache {
     dev: Arc<dyn BlockDevice>,

@@ -20,12 +20,19 @@
 //! prototype pipelines these stages across kernel and userspace, which the
 //! simulation plane ([`crate::engine`]) models for performance experiments.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use blkdev::BlockDevice;
 use bytes::Bytes;
-use objstore::{ObjError, ObjectStore, RetryCounters, RetryHandle};
+use objstore::{
+    MetricsHandle, MetricsStore, ObjError, ObjectStore, RetryCounters, RetryHandle, RetryStore,
+};
+use telemetry::{
+    CacheTelemetry, ClientOps, DerivedTelemetry, LatencyRecorder, RetryTelemetry,
+    TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing, TraceTelemetry, WritebackTelemetry,
+};
 
 use crate::batch::BatchBuilder;
 use crate::checkpoint::CheckpointData;
@@ -51,6 +58,11 @@ const CACHE_SB_MAGIC: u32 = 0x4C53_4353; // "LSCS"
 
 /// Largest single log record payload; bigger writes are split.
 const MAX_WRITE_SECTORS: u64 = 2048; // 1 MiB
+
+/// Capacity of the volume's structured I/O trace ring. Sized so a full
+/// chaos sweep's seal/PUT/frontier history fits without drops while the
+/// steady-state memory cost stays trivial (~40 B/event).
+const TRACE_RING_EVENTS: usize = 4096;
 
 /// Result of attempting to drain the pending-batch queue.
 enum FlushOutcome {
@@ -104,6 +116,11 @@ pub struct VolumeStats {
     pub put_transient_failures: u64,
     /// Batch PUTs currently in flight on the writeback pool.
     pub inflight_puts: u64,
+    /// Sealed batches waiting locally, not yet handed to the pool.
+    pub queued_batches: u64,
+    /// Batches whose PUT landed out of order, awaiting the durable
+    /// frontier (the "gapped" portion of the backlog).
+    pub landed_gapped: u64,
     /// Prefetch windows fetched as parallel scatter-gather GETs.
     pub scatter_gets: u64,
     /// Writes rejected with [`LsvdError::Backpressure`].
@@ -171,7 +188,13 @@ pub struct Volume {
     /// cleared when a PUT completes successfully or the backlog empties.
     put_stalled: bool,
     /// Live counters of a `RetryStore` beneath us, surfaced in stats.
+    /// Auto-attached when the stack is built from
+    /// `VolumeConfig::retry_policy`.
     retry_handle: Option<RetryHandle>,
+    /// Handle of the `MetricsStore` at the bottom of the store stack.
+    metrics: MetricsHandle,
+    /// Foreground-side telemetry: op recorders, PUT timing, trace ring.
+    tel: VolTelemetry,
 
     next_obj_seq: ObjSeq,
     last_seq: ObjSeq,
@@ -185,6 +208,80 @@ pub struct Volume {
 
     read_only: bool,
     stats: VolumeStats,
+}
+
+/// Foreground-side telemetry state. Everything here is touched only from
+/// the volume's single thread (the recorders are internally shared with
+/// nobody in this struct — worker-side timing arrives via
+/// [`PutCompletion`](crate::writeback::PutCompletion)).
+struct VolTelemetry {
+    started: Instant,
+    read_lat: LatencyRecorder,
+    write_lat: LatencyRecorder,
+    flush_lat: LatencyRecorder,
+    /// Backend service time of each batch PUT attempt.
+    put_service: LatencyRecorder,
+    /// Seal-to-durable wait minus the final attempt's service time.
+    put_queue_wait: LatencyRecorder,
+    trace: TraceRing,
+    /// Seal time per queued/in-flight sequence, for the queue-wait split.
+    enqueued_at: HashMap<ObjSeq, Instant>,
+    /// Last degraded-mode state observed, for edge events.
+    was_degraded: bool,
+    hdr_hits: u64,
+    hdr_misses: u64,
+    hdr_evictions: u64,
+}
+
+impl VolTelemetry {
+    fn new() -> Self {
+        VolTelemetry {
+            started: Instant::now(),
+            read_lat: LatencyRecorder::new(),
+            write_lat: LatencyRecorder::new(),
+            flush_lat: LatencyRecorder::new(),
+            put_service: LatencyRecorder::new(),
+            put_queue_wait: LatencyRecorder::new(),
+            trace: TraceRing::new(TRACE_RING_EVENTS),
+            enqueued_at: HashMap::new(),
+            was_degraded: false,
+            hdr_hits: 0,
+            hdr_misses: 0,
+            hdr_evictions: 0,
+        }
+    }
+}
+
+/// The store middleware stack every volume constructor builds: an
+/// always-on [`MetricsStore`] at the bottom (so each physical attempt is
+/// measured), optionally wrapped by a [`RetryStore`] when
+/// [`VolumeConfig::retry_policy`] is set — whose counters are
+/// auto-attached so `stats().retry` never silently reports zeros.
+struct StoreStack {
+    store: Arc<dyn ObjectStore>,
+    metrics: MetricsHandle,
+    retry: Option<RetryHandle>,
+}
+
+fn build_store_stack(store: Arc<dyn ObjectStore>, cfg: &VolumeConfig) -> StoreStack {
+    let metered = MetricsStore::new(store);
+    let metrics = metered.handle();
+    match cfg.retry_policy {
+        Some(policy) => {
+            let retrying = RetryStore::with_policy(metered, policy);
+            let retry = retrying.counter_handle();
+            StoreStack {
+                store: Arc::new(retrying),
+                metrics,
+                retry: Some(retry),
+            }
+        }
+        None => StoreStack {
+            store: Arc::new(metered),
+            metrics,
+            retry: None,
+        },
+    }
 }
 
 struct CacheSb {
@@ -279,7 +376,8 @@ impl Volume {
                 reason: "volume size must be a positive multiple of 512",
             });
         }
-        if store.exists(&superblock_name(image))? {
+        let stack = build_store_stack(store, &cfg);
+        if stack.store.exists(&superblock_name(image))? {
             return Err(LsvdError::BadVolume(format!("{image}: already exists")));
         }
         let uuid = fresh_uuid(image, size_bytes);
@@ -289,11 +387,13 @@ impl Volume {
             image: image.to_string(),
             ancestry: vec![],
         };
-        store.put(&superblock_name(image), sb.build())?;
+        stack.store.put(&superblock_name(image), sb.build())?;
         let ck = CheckpointData::capture(&ObjectMap::new(), 0, 0, &[], &[]);
-        store.put(&checkpoint_name(image, 0), ck.build(uuid))?;
+        stack
+            .store
+            .put(&checkpoint_name(image, 0), ck.build(uuid))?;
         Self::attach_fresh_cache(
-            store,
+            stack,
             dev,
             sb,
             cfg,
@@ -358,7 +458,8 @@ impl Volume {
         cfg: VolumeConfig,
     ) -> Result<Volume> {
         cfg.validate();
-        let rb = recovery::recover_backend(store.as_ref(), image, None)?;
+        let stack = build_store_stack(store, &cfg);
+        let rb = recovery::recover_backend(stack.store.as_ref(), image, None)?;
 
         // Try to adopt the existing cache.
         let mut sb_buf = vec![0u8; (CACHE_SB_SECTORS * SECTOR) as usize];
@@ -373,9 +474,9 @@ impl Volume {
                 // Restore the persisted read-cache map if present (§3.2);
                 // a cold cache is always safe.
                 let rcache = ReadCache::load(dev.clone(), c.rc_start, c.rc_sectors);
-                let pool = WritebackPool::spawn(store.clone(), cfg.writeback_threads);
+                let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads);
                 let mut vol = Volume {
-                    store,
+                    store: stack.store,
                     dev,
                     size_sectors: rb.superblock.size_bytes / SECTOR,
                     sb: rb.superblock,
@@ -393,7 +494,9 @@ impl Volume {
                     landed: BTreeMap::new(),
                     durable: DurableFrontier::new(rb.last_seq),
                     put_stalled: false,
-                    retry_handle: None,
+                    retry_handle: stack.retry,
+                    metrics: stack.metrics,
+                    tel: VolTelemetry::new(),
                     next_obj_seq: rb.last_seq + 1,
                     last_seq: rb.last_seq,
                     last_ckpt_seq: rb.ckpt_seq,
@@ -411,7 +514,7 @@ impl Volume {
                 // Cache lost (or foreign): prefix-consistent recovery from
                 // the backend alone.
                 Self::attach_fresh_cache(
-                    vol_store(store),
+                    stack,
                     dev,
                     rb.superblock,
                     cfg,
@@ -437,16 +540,17 @@ impl Volume {
         snapshot: &str,
         cfg: VolumeConfig,
     ) -> Result<Volume> {
-        let probe = recovery::recover_backend(store.as_ref(), image, None)?;
+        let stack = build_store_stack(store, &cfg);
+        let probe = recovery::recover_backend(stack.store.as_ref(), image, None)?;
         let seq = probe
             .snapshots
             .iter()
             .find(|(n, _)| n == snapshot)
             .map(|&(_, s)| s)
             .ok_or_else(|| LsvdError::NoSuchSnapshot(snapshot.to_string()))?;
-        let rb = recovery::recover_backend(store.as_ref(), image, Some(seq))?;
+        let rb = recovery::recover_backend(stack.store.as_ref(), image, Some(seq))?;
         let mut vol = Self::attach_fresh_cache(
-            store,
+            stack,
             dev,
             rb.superblock,
             cfg,
@@ -463,7 +567,7 @@ impl Volume {
 
     #[allow(clippy::too_many_arguments)]
     fn attach_fresh_cache(
-        store: Arc<dyn ObjectStore>,
+        stack: StoreStack,
         dev: Arc<dyn BlockDevice>,
         sb: Superblock,
         cfg: VolumeConfig,
@@ -489,9 +593,9 @@ impl Volume {
         let wlog = WriteLog::format(dev.clone(), wc_start, wc_sectors, frontier + 1)?;
         let rcache = ReadCache::new(dev.clone(), rc_start, rc_sectors);
         dev.flush()?;
-        let pool = WritebackPool::spawn(store.clone(), cfg.writeback_threads);
+        let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads);
         Ok(Volume {
-            store,
+            store: stack.store,
             dev,
             size_sectors: sb.size_bytes / SECTOR,
             sb,
@@ -509,7 +613,9 @@ impl Volume {
             landed: BTreeMap::new(),
             durable: DurableFrontier::new(last_seq),
             put_stalled: false,
-            retry_handle: None,
+            retry_handle: stack.retry,
+            metrics: stack.metrics,
+            tel: VolTelemetry::new(),
             next_obj_seq: last_seq + 1,
             last_seq,
             last_ckpt_seq,
@@ -598,10 +704,12 @@ impl Volume {
         if data.is_empty() {
             return Ok(());
         }
+        let t0 = Instant::now();
         for chunk in data.chunks((MAX_WRITE_SECTORS * SECTOR) as usize) {
             self.write_chunk(lba, chunk)?;
             lba += bytes_to_sectors(chunk.len() as u64);
         }
+        self.tel.write_lat.observe(t0.elapsed());
         self.stats.writes += 1;
         self.stats.write_bytes += data.len() as u64;
         Ok(())
@@ -685,7 +793,9 @@ impl Volume {
     /// the cache device when this returns — one flush, no metadata writes
     /// (§3.2).
     pub fn flush(&mut self) -> Result<()> {
+        let t0 = Instant::now();
         self.wlog.flush()?;
+        self.tel.flush_lat.observe(t0.elapsed());
         self.stats.flushes += 1;
         Ok(())
     }
@@ -700,6 +810,7 @@ impl Volume {
         }
         self.stats.reads += 1;
         self.stats.read_bytes += buf.len() as u64;
+        let t0 = Instant::now();
         let segs = self.wcache_map.resolve(lba, sectors);
         for seg in segs {
             match seg {
@@ -713,6 +824,7 @@ impl Volume {
                 }
             }
         }
+        self.tel.read_lat.observe(t0.elapsed());
         Ok(())
     }
 
@@ -878,19 +990,20 @@ impl Volume {
         seq: ObjSeq,
         name: &str,
     ) -> Result<std::sync::Arc<Vec<(Lba, u32)>>> {
-        /// Bound on cached header extent lists.
-        const HDR_CACHE_CAP: usize = 512;
         if let Some(e) = self.hdr_cache.get(&seq) {
+            self.tel.hdr_hits += 1;
             return Ok(e.clone());
         }
+        self.tel.hdr_misses += 1;
         let h = fetch_header(self.store.as_ref(), name)?
             .ok_or_else(|| LsvdError::Corrupt(format!("{name}: mapped object missing")))?;
         let e = std::sync::Arc::new(h.extents);
-        if self.hdr_cache.len() >= HDR_CACHE_CAP {
+        if self.hdr_cache.len() >= self.cfg.hdr_cache_entries {
             // Evict the single oldest entry; dumping the whole cache made
             // every later miss refetch headers it had already paid for.
             if let Some(old) = self.hdr_order.pop_front() {
                 self.hdr_cache.remove(&old);
+                self.tel.hdr_evictions += 1;
             }
         }
         self.hdr_order.push_back(seq);
@@ -950,6 +1063,39 @@ impl Volume {
         self.pending_puts.is_empty() && self.inflight.is_empty() && self.landed.is_empty()
     }
 
+    /// Appends `event` to the trace ring, stamped with the client-op count
+    /// as the virtual timestamp.
+    fn trace(&mut self, event: TraceEvent) {
+        let virt = self.stats.writes + self.stats.reads + self.stats.flushes;
+        self.tel.trace.push(virt, event);
+    }
+
+    /// Emits a degraded-mode enter/exit event when the state flipped since
+    /// the last check.
+    fn note_degraded_edge(&mut self) {
+        let now = self.is_degraded();
+        if now != self.tel.was_degraded {
+            self.tel.was_degraded = now;
+            self.trace(if now {
+                TraceEvent::DegradedEnter
+            } else {
+                TraceEvent::DegradedExit
+            });
+        }
+    }
+
+    /// Records one finished PUT's service time and the queue-wait split
+    /// (time from seal to completion, minus the final attempt's service).
+    fn record_put_timing(&mut self, seq: ObjSeq, service: std::time::Duration) {
+        self.tel.put_service.observe(service);
+        if let Some(sealed_at) = self.tel.enqueued_at.remove(&seq) {
+            let total = sealed_at.elapsed();
+            self.tel
+                .put_queue_wait
+                .observe(total.saturating_sub(service));
+        }
+    }
+
     /// Pipelined-mode pump: harvest PUT completions (blocking for at
     /// least one when `block`), apply the newly contiguous durable prefix
     /// in sequence order, requeue transient failures, and refill the
@@ -969,14 +1115,17 @@ impl Volume {
             }
         };
         let mut stall = None;
-        for (seq, result) in completions {
+        for c in completions {
+            let seq = c.seq;
             let sealed = self
                 .inflight
                 .remove(&seq)
                 .expect("completion for an unknown sequence");
-            match result {
+            match c.result {
                 Ok(()) => {
                     self.put_stalled = false;
+                    self.trace(TraceEvent::PutDone { seq: seq.into() });
+                    self.record_put_timing(seq, c.service);
                     self.landed.insert(seq, sealed);
                     // Only the gap-free prefix may touch metadata: apply
                     // exactly the sequences the frontier releases, in
@@ -989,6 +1138,7 @@ impl Volume {
                 Err(e) if e.is_transient() => {
                     self.stats.put_transient_failures += 1;
                     self.put_stalled = true;
+                    self.trace(TraceEvent::PutRetry { seq: seq.into() });
                     // Requeue at its sequence position. FIFO visibility is
                     // safe: nothing at or beyond this sequence can apply
                     // until its PUT eventually lands.
@@ -996,10 +1146,14 @@ impl Volume {
                     self.pending_puts.insert(pos, (seq, sealed));
                     stall = Some(e);
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    self.trace(TraceEvent::PutAbort { seq: seq.into() });
+                    return Err(e.into());
+                }
             }
         }
         self.submit_ready();
+        self.note_degraded_edge();
         Ok(match stall {
             Some(e) => FlushOutcome::Stalled(e),
             None => FlushOutcome::Drained,
@@ -1014,6 +1168,7 @@ impl Volume {
         while self.inflight.len() < self.cfg.max_inflight_puts && !self.pending_puts.is_empty() {
             let (seq, sealed) = self.pending_puts.pop_front().expect("checked nonempty");
             let name = self.resolve_name(seq);
+            self.trace(TraceEvent::PutStart { seq: seq.into() });
             self.pool
                 .as_ref()
                 .expect("pipelined")
@@ -1030,7 +1185,13 @@ impl Volume {
         let seq = self.next_obj_seq;
         self.next_obj_seq = seq + 1;
         let sealed = self.batch.seal(self.sb.uuid, seq);
+        let bytes = sealed.object.len() as u64;
         self.pending_puts.push_back((seq, sealed));
+        self.tel.enqueued_at.insert(seq, Instant::now());
+        self.trace(TraceEvent::BatchSeal {
+            seq: seq.into(),
+            bytes,
+        });
     }
 
     /// Ships queued batches oldest-first. A transient backend failure
@@ -1044,18 +1205,28 @@ impl Volume {
                 .front()
                 .map(|(s, b)| (*s, b.object.clone()))
             else {
+                self.note_degraded_edge();
                 return Ok(FlushOutcome::Drained);
             };
+            self.trace(TraceEvent::PutStart { seq: seq.into() });
+            let t0 = Instant::now();
             match self.store.put(&self.resolve_name(seq), obj) {
                 Ok(()) => {
+                    self.trace(TraceEvent::PutDone { seq: seq.into() });
+                    self.record_put_timing(seq, t0.elapsed());
                     let (seq, sealed) = self.pending_puts.pop_front().expect("checked nonempty");
                     self.finish_put(seq, sealed)?;
                 }
                 Err(e) if e.is_transient() => {
                     self.stats.put_transient_failures += 1;
+                    self.trace(TraceEvent::PutRetry { seq: seq.into() });
+                    self.note_degraded_edge();
                     return Ok(FlushOutcome::Stalled(e));
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    self.trace(TraceEvent::PutAbort { seq: seq.into() });
+                    return Err(e.into());
+                }
             }
         }
     }
@@ -1097,6 +1268,7 @@ impl Volume {
             // step so `durable_frontier()` is meaningful in both modes.
             self.durable.advance_past(seq);
         }
+        self.trace(TraceEvent::FrontierAdvance { seq: seq.into() });
         self.stats.backend_puts += 1;
         self.stats.backend_put_bytes += sealed.object.len() as u64;
         self.stats.merged_bytes += sealed.merged_bytes;
@@ -1249,6 +1421,8 @@ impl Volume {
         self.last_ckpt_seq = self.last_seq;
         self.objects_since_ckpt = 0;
         self.stats.checkpoints += 1;
+        let at = self.last_seq;
+        self.trace(TraceEvent::Checkpoint { seq: at.into() });
         // Pruning old checkpoints is cleanup; a flaky backend must not
         // fail the checkpoint that already landed.
         match recovery::prune_checkpoints(self.store.as_ref(), &self.sb.image, &self.snapshots, 3) {
@@ -1347,6 +1521,11 @@ impl Volume {
                 self.deferred_deletes.push((seq, ngc));
             }
             collected += 1;
+        }
+        if collected > 0 {
+            self.trace(TraceEvent::GcPass {
+                collected: collected as u64,
+            });
         }
         Ok(collected)
     }
@@ -1522,10 +1701,108 @@ impl Volume {
             .chain(self.landed.values().map(|b| b.object.len() as u64))
             .sum();
         s.inflight_puts = self.inflight.len() as u64;
+        s.queued_batches = self.pending_puts.len() as u64;
+        s.landed_gapped = self.landed.len() as u64;
         if let Some(h) = &self.retry_handle {
             s.retry = h.snapshot();
         }
         s
+    }
+
+    /// Assembles the full [`TelemetrySnapshot`]: client-op and backend-op
+    /// latency sketches, writeback-pipeline gauges, cache counters, retry
+    /// counters, and the derived paper-figure observables.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let stats = self.stats();
+        let rc = self.rcache.stats();
+        let elapsed = self.tel.started.elapsed().as_secs_f64();
+        let window = if self.pool.is_some() {
+            self.cfg.max_inflight_puts as u64
+        } else {
+            0
+        };
+        let occupancy = if window > 0 {
+            self.inflight.len() as f64 / window as f64
+        } else {
+            0.0
+        };
+        let sealed_seq: u64 = self.next_obj_seq.saturating_sub(1).into();
+        let frontier: u64 = self.durable.frontier().into();
+        let backend_objects = stats.backend_puts + stats.gc_puts;
+        let (live, total) = self.objmap.totals();
+        TelemetrySnapshot {
+            elapsed_secs: elapsed,
+            ops: ClientOps {
+                read: self.tel.read_lat.snapshot(),
+                write: self.tel.write_lat.snapshot(),
+                flush: self.tel.flush_lat.snapshot(),
+            },
+            backend: self.metrics.snapshot(),
+            writeback: WritebackTelemetry {
+                put_service: self.tel.put_service.snapshot(),
+                put_queue_wait: self.tel.put_queue_wait.snapshot(),
+                queued: stats.queued_batches,
+                inflight: stats.inflight_puts,
+                landed_gapped: stats.landed_gapped,
+                window,
+                occupancy,
+                sealed_seq,
+                durable_frontier: frontier,
+                frontier_lag: sealed_seq.saturating_sub(frontier),
+                degraded: stats.degraded,
+                put_transient_failures: stats.put_transient_failures,
+                backpressure_rejections: stats.backpressure_rejections,
+            },
+            cache: CacheTelemetry {
+                hdr_hits: self.tel.hdr_hits,
+                hdr_misses: self.tel.hdr_misses,
+                hdr_evictions: self.tel.hdr_evictions,
+                rcache_hit_sectors: rc.hit_sectors,
+                rcache_miss_sectors: rc.miss_sectors,
+                rcache_inserted_sectors: rc.inserted_sectors,
+                rcache_evicted_sectors: rc.evicted_sectors,
+                wlog_used_sectors: self.wlog.used_sectors(),
+                wlog_capacity_sectors: self.wlog.capacity_sectors(),
+            },
+            retry: RetryTelemetry {
+                attempts: stats.retry.attempts,
+                retries: stats.retry.retries,
+                give_ups: stats.retry.give_ups,
+                backoff_ns: stats.retry.backoff_ns,
+            },
+            derived: DerivedTelemetry {
+                write_amplification: stats.write_amplification(),
+                backend_objects,
+                backend_objects_per_sec: if elapsed > 0.0 {
+                    backend_objects as f64 / elapsed
+                } else {
+                    0.0
+                },
+                gc_dead_space_ratio: if total > 0 {
+                    1.0 - live as f64 / total as f64
+                } else {
+                    0.0
+                },
+                checkpoints: stats.checkpoints,
+            },
+            trace: TraceTelemetry {
+                events: self.tel.trace.total(),
+                dropped: self.tel.trace.dropped(),
+                capacity: self.tel.trace.capacity() as u64,
+            },
+        }
+    }
+
+    /// Drains and returns the structured I/O trace ring (oldest first).
+    /// The ring keeps filling afterwards; ids stay monotonic across
+    /// drains.
+    pub fn drain_trace(&mut self) -> Vec<TraceRecord> {
+        self.tel.trace.drain()
+    }
+
+    /// Renders the current trace-ring contents without draining.
+    pub fn dump_trace(&self) -> String {
+        self.tel.trace.dump()
     }
 
     /// Read-cache statistics.
@@ -1594,10 +1871,6 @@ fn retry_transient_lsvd<T>(attempts: u32, mut f: impl FnMut() -> Result<T>) -> R
             other => return other,
         }
     }
-}
-
-fn vol_store(store: Arc<dyn ObjectStore>) -> Arc<dyn ObjectStore> {
-    store
 }
 
 fn fresh_uuid(image: &str, size: u64) -> u64 {

@@ -193,7 +193,8 @@ impl WriteLog {
         self.log_end - self.log_start
     }
 
-    fn used_sectors(&self) -> u64 {
+    /// Sectors currently occupied by unreleased records (plus wrap slack).
+    pub fn used_sectors(&self) -> u64 {
         // `head == tail` always means empty: appends keep one sector of
         // slack so a full log never aliases an empty one.
         if self.head >= self.tail {

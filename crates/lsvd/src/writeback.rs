@@ -22,6 +22,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use objstore::ObjectStore;
@@ -46,14 +47,23 @@ enum Job {
 
 /// A finished unit of work.
 enum Done {
-    Put {
-        seq: ObjSeq,
-        result: objstore::Result<()>,
-    },
+    Put(PutCompletion),
     Get {
         token: u64,
         result: objstore::Result<Bytes>,
     },
+}
+
+/// One harvested batch-PUT completion, including how long the backend
+/// call itself took (the worker-side *service time*; the volume computes
+/// queue wait as total-time-since-seal minus this).
+pub struct PutCompletion {
+    /// Object sequence number of the batch.
+    pub seq: ObjSeq,
+    /// Outcome of the PUT.
+    pub result: objstore::Result<()>,
+    /// Wall-clock duration of the backend `put` call.
+    pub service: Duration,
 }
 
 struct PoolState {
@@ -145,7 +155,7 @@ impl WritebackPool {
     /// Harvests every PUT completion available right now, never blocking.
     /// Completions arrive in *finish* order, which may differ from
     /// submission order.
-    pub fn poll_puts(&self) -> Vec<(ObjSeq, objstore::Result<()>)> {
+    pub fn poll_puts(&self) -> Vec<PutCompletion> {
         let mut st = self.shared.state.lock();
         take_puts(&mut st)
     }
@@ -153,7 +163,7 @@ impl WritebackPool {
     /// Blocks until at least one PUT completes, then harvests all
     /// available completions. Returns an empty vec immediately if no PUT
     /// is queued or running (nothing to wait for).
-    pub fn wait_puts(&self) -> Vec<(ObjSeq, objstore::Result<()>)> {
+    pub fn wait_puts(&self) -> Vec<PutCompletion> {
         let mut st = self.shared.state.lock();
         loop {
             let puts = take_puts(&mut st);
@@ -231,11 +241,11 @@ impl Drop for WritebackPool {
     }
 }
 
-fn take_puts(st: &mut PoolState) -> Vec<(ObjSeq, objstore::Result<()>)> {
+fn take_puts(st: &mut PoolState) -> Vec<PutCompletion> {
     let mut out = Vec::new();
     for d in std::mem::take(&mut st.done) {
         match d {
-            Done::Put { seq, result } => out.push((seq, result)),
+            Done::Put(c) => out.push(c),
             get => st.done.push(get),
         }
     }
@@ -261,13 +271,18 @@ fn worker(shared: Arc<Shared>) {
         };
         // Run the store call without any lock held.
         let (done, was_put) = match job {
-            Job::Put { seq, name, data } => (
-                Done::Put {
-                    seq,
-                    result: shared.store.put(&name, data),
-                },
-                true,
-            ),
+            Job::Put { seq, name, data } => {
+                let start = Instant::now();
+                let result = shared.store.put(&name, data);
+                (
+                    Done::Put(PutCompletion {
+                        seq,
+                        result,
+                        service: start.elapsed(),
+                    }),
+                    true,
+                )
+            }
             Job::Get {
                 token,
                 name,
@@ -426,9 +441,9 @@ mod tests {
         }
         let mut seen = Vec::new();
         while seen.len() < 8 {
-            for (seq, r) in pool.wait_puts() {
-                r.unwrap();
-                seen.push(seq);
+            for c in pool.wait_puts() {
+                c.result.unwrap();
+                seen.push(c.seq);
             }
         }
         seen.sort_unstable();

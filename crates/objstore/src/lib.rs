@@ -21,6 +21,7 @@ pub mod faulty;
 pub mod latency;
 pub mod link;
 pub mod mem;
+pub mod metrics;
 pub mod pool;
 pub mod retry;
 
@@ -30,6 +31,7 @@ pub use dir::DirStore;
 pub use faulty::FaultyStore;
 pub use latency::LatencyStore;
 pub use mem::MemStore;
+pub use metrics::{MetricsHandle, MetricsStore};
 pub use retry::{RetryCounters, RetryHandle, RetryPolicy, RetryStore};
 
 use std::fmt;

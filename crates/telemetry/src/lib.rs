@@ -1,0 +1,42 @@
+//! Zero-dependency telemetry substrate shared by every layer of the LSVD
+//! stack.
+//!
+//! The paper's evaluation (§4, Figures 6–16) is built entirely on
+//! observables — per-op latency distributions, backend object-write load,
+//! write amplification, GC backlog — and a log-structured write path can
+//! only be tuned if those are visible *while it runs*. This crate provides
+//! the three pillars the rest of the workspace wires through its hot
+//! paths:
+//!
+//! - [`Summary`] / [`LatencyRecorder`] — the log-bucket percentile sketch
+//!   (promoted from the simulation plane) and its shared, lock-cheap
+//!   recorder form, used for client ops, object-store ops and writeback
+//!   PUT queue-wait/service splits;
+//! - [`TraceRing`] — a fixed-capacity ring of typed I/O events
+//!   ([`TraceEvent`]) with monotonic event ids and per-event virtual/real
+//!   timestamps, drainable by tests and dumpable on error;
+//! - [`TelemetrySnapshot`] — the aggregate exporter: every recorder plus
+//!   derived paper-figure observables (write amplification, backend
+//!   objects/s, pipeline occupancy, frontier lag, GC dead-space ratio),
+//!   serialized to JSON ([`TelemetrySnapshot::to_json`]) and
+//!   Prometheus-style text ([`TelemetrySnapshot::to_prometheus`]) with no
+//!   external dependencies.
+//!
+//! The crate deliberately depends on nothing (not even the workspace's
+//! vendored stubs) so that any layer — `objstore` middleware, the volume,
+//! the sim plane, benches, the CLI — can use it without dependency cycles.
+
+pub mod json;
+pub mod recorder;
+pub mod sketch;
+pub mod snapshot;
+pub mod trace;
+
+pub use json::Json;
+pub use recorder::{LatencyRecorder, LatencySnapshot};
+pub use sketch::Summary;
+pub use snapshot::{
+    BackendOps, CacheTelemetry, ClientOps, DerivedTelemetry, RetryTelemetry, TelemetrySnapshot,
+    TraceTelemetry, WritebackTelemetry, SCHEMA,
+};
+pub use trace::{TraceEvent, TraceRecord, TraceRing};

@@ -1,0 +1,130 @@
+//! Shared, lock-cheap latency recording.
+//!
+//! [`LatencyRecorder`] wraps a [`Summary`] sketch in an `Arc<Mutex<..>>`
+//! so the same recorder can be cloned into store middleware, worker
+//! threads and the foreground volume. Recording takes one uncontended
+//! mutex acquisition plus a bucket increment — tens of nanoseconds, cheap
+//! enough for per-I/O use on every hot path.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::sketch::Summary;
+
+/// A cloneable, thread-safe latency recorder over a nanosecond-unit
+/// [`Summary`] sketch.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    inner: Arc<Mutex<Summary>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a latency of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.lock().record(ns as f64);
+    }
+
+    /// Records an observed [`Duration`].
+    pub fn observe(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Snapshots count/mean/p50/p99/max.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let s = self.lock();
+        LatencySnapshot {
+            count: s.count(),
+            mean_ns: s.mean(),
+            p50_ns: s.percentile(50.0),
+            p99_ns: s.percentile(99.0),
+            max_ns: s.max(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Summary> {
+        // A panic while holding the lock cannot corrupt a bucket sketch;
+        // keep recording rather than poisoning every later observation.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A point-in-time view of a [`LatencyRecorder`], in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Median latency (~2% relative error).
+    pub p50_ns: f64,
+    /// 99th-percentile latency (~2% relative error).
+    pub p99_ns: f64,
+    /// Largest observed latency.
+    pub max_ns: f64,
+}
+
+impl std::fmt::Display for LatencySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}us p50={:.1}us p99={:.1}us max={:.1}us",
+            self.count,
+            self.mean_ns / 1e3,
+            self.p50_ns / 1e3,
+            self.p99_ns / 1e3,
+            self.max_ns / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let r = LatencyRecorder::new();
+        for ns in [1_000u64, 2_000, 3_000, 100_000] {
+            r.record_ns(ns);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.count, 4);
+        assert!(s.p50_ns >= 1_000.0 && s.p50_ns <= 3_100.0, "{s:?}");
+        assert!(s.p99_ns >= 90_000.0, "{s:?}");
+        assert_eq!(s.max_ns, 100_000.0);
+    }
+
+    #[test]
+    fn clones_share_the_sketch() {
+        let a = LatencyRecorder::new();
+        let b = a.clone();
+        a.observe(Duration::from_micros(5));
+        b.observe(Duration::from_micros(7));
+        assert_eq!(a.snapshot().count, 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let r = LatencyRecorder::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        r.record_ns(i + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().count, 4_000);
+    }
+}

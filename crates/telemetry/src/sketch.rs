@@ -1,0 +1,170 @@
+//! The log-bucket percentile sketch.
+//!
+//! Originally part of the simulation plane's statistics module; promoted
+//! here so the functional plane (volume, object-store middleware, bench
+//! harness) can record latency with the same sketch the paper figures are
+//! built from. `sim::stats` re-exports it, so existing users are
+//! unaffected.
+
+use std::fmt;
+
+/// Streaming summary of a scalar sample stream: count, mean, min, max and
+/// approximate percentiles via a fixed log-spaced bucket sketch.
+///
+/// Percentiles are accurate to ~2% relative error, which is ample for
+/// latency reporting.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    // Log-spaced buckets covering [1, 2^64) with 32 sub-buckets per octave.
+    buckets: Vec<u64>,
+}
+
+const SUBBUCKETS: usize = 32;
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        let v = v.max(1.0);
+        let octave = v.log2().floor();
+        let frac = v / 2f64.powf(octave) - 1.0; // in [0, 1)
+        (octave as usize) * SUBBUCKETS + ((frac * SUBBUCKETS as f64) as usize).min(SUBBUCKETS - 1)
+    }
+
+    fn bucket_value(i: usize) -> f64 {
+        let octave = i / SUBBUCKETS;
+        let sub = i % SUBBUCKETS;
+        2f64.powi(octave as i32) * (1.0 + (sub as f64 + 0.5) / SUBBUCKETS as f64)
+    }
+
+    /// Records a sample (values below 1.0 are clamped into the first bucket).
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let i = Self::bucket_index(v);
+        if self.buckets.len() <= i {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample (0.0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `p`-th percentile, `p` in `[0, 100]` (0.0 if empty).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={:.1} p99={:.1} max={:.1}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles_roughly_correct() {
+        let mut s = Summary::new();
+        for i in 1..=10_000 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.count(), 10_000);
+        assert!((s.mean() - 5000.5).abs() < 1.0);
+        let p50 = s.percentile(50.0);
+        assert!((4800.0..5300.0).contains(&p50), "p50 {p50}");
+        let p99 = s.percentile(99.0);
+        assert!((9600.0..10000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10_000.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn display_formats_headline_numbers() {
+        let mut s = Summary::new();
+        s.record(10.0);
+        let line = s.to_string();
+        assert!(line.starts_with("n=1 "), "{line}");
+        assert!(line.contains("p99="), "{line}");
+    }
+}

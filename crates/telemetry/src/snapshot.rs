@@ -1,0 +1,748 @@
+//! The aggregate telemetry snapshot and its exporters.
+//!
+//! [`TelemetrySnapshot`] is the single struct a volume (or bench harness)
+//! hands out: every latency recorder's headline numbers, the writeback
+//! pipeline gauges, cache/retry counters, and the derived paper-figure
+//! observables (write amplification as in Figure 13, backend objects/s as
+//! in Figure 10, GC dead-space ratio as in Figure 14). It serializes to
+//! JSON ([`TelemetrySnapshot::to_json`] / [`TelemetrySnapshot::from_json`])
+//! and Prometheus-style text ([`TelemetrySnapshot::to_prometheus`]) with
+//! no external dependencies.
+
+use crate::json::Json;
+use crate::recorder::LatencySnapshot;
+
+/// Schema identifier stamped into every JSON snapshot; bump on breaking
+/// layout changes. CI validates emitted snapshots against this.
+pub const SCHEMA: &str = "lsvd-telemetry-v1";
+
+/// Client-facing op latencies (what the guest "sees").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientOps {
+    /// Volume::read latency.
+    pub read: LatencySnapshot,
+    /// Volume::write latency.
+    pub write: LatencySnapshot,
+    /// Volume::flush latency (includes durability waits).
+    pub flush: LatencySnapshot,
+}
+
+/// Object-store op latencies and byte counters, as measured by the
+/// `MetricsStore` middleware at the bottom of the store stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackendOps {
+    /// PUT latency.
+    pub put: LatencySnapshot,
+    /// GET / GET-range latency.
+    pub get: LatencySnapshot,
+    /// HEAD latency.
+    pub head: LatencySnapshot,
+    /// LIST latency.
+    pub list: LatencySnapshot,
+    /// DELETE latency.
+    pub delete: LatencySnapshot,
+    /// Bytes uploaded by PUTs.
+    pub put_bytes: u64,
+    /// Bytes downloaded by GETs.
+    pub get_bytes: u64,
+    /// Ops that returned an error (any kind).
+    pub errors: u64,
+    /// Subset of `errors` classified transient (retryable).
+    pub transient_errors: u64,
+}
+
+/// Writeback-pipeline visibility: PUT timing split plus the continuously
+/// exported queue gauges (satellite: backpressure must be observable as a
+/// gauge, not only as an error).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WritebackTelemetry {
+    /// Backend service time of each batch PUT (worker-side).
+    pub put_service: LatencySnapshot,
+    /// Time a sealed batch waited before its PUT completed, minus service.
+    pub put_queue_wait: LatencySnapshot,
+    /// Sealed batches waiting to enter the in-flight window.
+    pub queued: u64,
+    /// PUTs currently in flight.
+    pub inflight: u64,
+    /// Batches landed out of order, awaiting the durable frontier.
+    pub landed_gapped: u64,
+    /// Configured in-flight window (0 = serial writeback).
+    pub window: u64,
+    /// `inflight / window` at snapshot time (0 when serial).
+    pub occupancy: f64,
+    /// Highest object sequence sealed so far (0 if none).
+    pub sealed_seq: u64,
+    /// Durable frontier: all objects `<=` this are durable (0 if none).
+    pub durable_frontier: u64,
+    /// `sealed_seq - durable_frontier`: batches not yet durable.
+    pub frontier_lag: u64,
+    /// True while the volume is in degraded (backpressure) mode.
+    pub degraded: bool,
+    /// Transient PUT failures requeued by the pipeline.
+    pub put_transient_failures: u64,
+    /// Writes rejected with `Backpressure` while degraded.
+    pub backpressure_rejections: u64,
+}
+
+/// Cache-layer counters: backend header cache, read cache, write log.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheTelemetry {
+    /// Backend object-header cache hits (fetch_extent fast path).
+    pub hdr_hits: u64,
+    /// Header cache misses (header GET issued).
+    pub hdr_misses: u64,
+    /// Header cache evictions (LRU capacity reached).
+    pub hdr_evictions: u64,
+    /// Read-cache sector hits.
+    pub rcache_hit_sectors: u64,
+    /// Read-cache sector misses.
+    pub rcache_miss_sectors: u64,
+    /// Sectors inserted into the read cache.
+    pub rcache_inserted_sectors: u64,
+    /// Sectors evicted from the read cache.
+    pub rcache_evicted_sectors: u64,
+    /// Write-log sectors currently occupied.
+    pub wlog_used_sectors: u64,
+    /// Write-log capacity in sectors.
+    pub wlog_capacity_sectors: u64,
+}
+
+/// Retry-layer counters (mirrors `objstore::RetryCounters`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryTelemetry {
+    /// Total attempts (first tries + retries).
+    pub attempts: u64,
+    /// Retries after a transient failure.
+    pub retries: u64,
+    /// Ops abandoned after exhausting the retry budget.
+    pub give_ups: u64,
+    /// Total virtual backoff applied, in nanoseconds.
+    pub backoff_ns: u64,
+}
+
+/// Derived paper-figure observables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DerivedTelemetry {
+    /// Backend bytes written / client bytes written (Figure 13 analogue).
+    pub write_amplification: f64,
+    /// Backend objects written (batches + GC rewrites).
+    pub backend_objects: u64,
+    /// Backend objects per wall-clock second (Figure 10 analogue).
+    pub backend_objects_per_sec: f64,
+    /// Dead bytes / total bytes across live backend objects (Figure 14).
+    pub gc_dead_space_ratio: f64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+/// Trace-ring occupancy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceTelemetry {
+    /// Events ever pushed.
+    pub events: u64,
+    /// Events evicted to make room.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
+/// The aggregate snapshot: everything observable about a running volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Wall-clock seconds since the volume's telemetry started.
+    pub elapsed_secs: f64,
+    /// Client-facing op latencies.
+    pub ops: ClientOps,
+    /// Object-store op latencies and byte counters.
+    pub backend: BackendOps,
+    /// Writeback-pipeline gauges and PUT timing split.
+    pub writeback: WritebackTelemetry,
+    /// Cache-layer counters.
+    pub cache: CacheTelemetry,
+    /// Retry-layer counters.
+    pub retry: RetryTelemetry,
+    /// Derived paper-figure observables.
+    pub derived: DerivedTelemetry,
+    /// Trace-ring occupancy.
+    pub trace: TraceTelemetry,
+}
+
+fn lat_json(l: &LatencySnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(l.count as f64)),
+        ("mean_ns".into(), Json::Num(l.mean_ns)),
+        ("p50_ns".into(), Json::Num(l.p50_ns)),
+        ("p99_ns".into(), Json::Num(l.p99_ns)),
+        ("max_ns".into(), Json::Num(l.max_ns)),
+    ])
+}
+
+fn lat_from(j: Option<&Json>) -> LatencySnapshot {
+    let Some(j) = j else {
+        return LatencySnapshot::default();
+    };
+    LatencySnapshot {
+        count: num_u64(j, "count"),
+        mean_ns: num_f64(j, "mean_ns"),
+        p50_ns: num_f64(j, "p50_ns"),
+        p99_ns: num_f64(j, "p99_ns"),
+        max_ns: num_f64(j, "max_ns"),
+    }
+}
+
+fn num_f64(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn num_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn flag(j: &Json, key: &str) -> bool {
+    j.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+impl TelemetrySnapshot {
+    /// Builds the JSON tree (schema key first).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("elapsed_secs".into(), Json::Num(self.elapsed_secs)),
+            (
+                "ops".into(),
+                Json::Obj(vec![
+                    ("read".into(), lat_json(&self.ops.read)),
+                    ("write".into(), lat_json(&self.ops.write)),
+                    ("flush".into(), lat_json(&self.ops.flush)),
+                ]),
+            ),
+            (
+                "backend".into(),
+                Json::Obj(vec![
+                    ("put".into(), lat_json(&self.backend.put)),
+                    ("get".into(), lat_json(&self.backend.get)),
+                    ("head".into(), lat_json(&self.backend.head)),
+                    ("list".into(), lat_json(&self.backend.list)),
+                    ("delete".into(), lat_json(&self.backend.delete)),
+                    ("put_bytes".into(), Json::Num(self.backend.put_bytes as f64)),
+                    ("get_bytes".into(), Json::Num(self.backend.get_bytes as f64)),
+                    ("errors".into(), Json::Num(self.backend.errors as f64)),
+                    (
+                        "transient_errors".into(),
+                        Json::Num(self.backend.transient_errors as f64),
+                    ),
+                ]),
+            ),
+            (
+                "writeback".into(),
+                Json::Obj(vec![
+                    ("put_service".into(), lat_json(&self.writeback.put_service)),
+                    (
+                        "put_queue_wait".into(),
+                        lat_json(&self.writeback.put_queue_wait),
+                    ),
+                    ("queued".into(), Json::Num(self.writeback.queued as f64)),
+                    ("inflight".into(), Json::Num(self.writeback.inflight as f64)),
+                    (
+                        "landed_gapped".into(),
+                        Json::Num(self.writeback.landed_gapped as f64),
+                    ),
+                    ("window".into(), Json::Num(self.writeback.window as f64)),
+                    ("occupancy".into(), Json::Num(self.writeback.occupancy)),
+                    (
+                        "sealed_seq".into(),
+                        Json::Num(self.writeback.sealed_seq as f64),
+                    ),
+                    (
+                        "durable_frontier".into(),
+                        Json::Num(self.writeback.durable_frontier as f64),
+                    ),
+                    (
+                        "frontier_lag".into(),
+                        Json::Num(self.writeback.frontier_lag as f64),
+                    ),
+                    ("degraded".into(), Json::Bool(self.writeback.degraded)),
+                    (
+                        "put_transient_failures".into(),
+                        Json::Num(self.writeback.put_transient_failures as f64),
+                    ),
+                    (
+                        "backpressure_rejections".into(),
+                        Json::Num(self.writeback.backpressure_rejections as f64),
+                    ),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hdr_hits".into(), Json::Num(self.cache.hdr_hits as f64)),
+                    ("hdr_misses".into(), Json::Num(self.cache.hdr_misses as f64)),
+                    (
+                        "hdr_evictions".into(),
+                        Json::Num(self.cache.hdr_evictions as f64),
+                    ),
+                    (
+                        "rcache_hit_sectors".into(),
+                        Json::Num(self.cache.rcache_hit_sectors as f64),
+                    ),
+                    (
+                        "rcache_miss_sectors".into(),
+                        Json::Num(self.cache.rcache_miss_sectors as f64),
+                    ),
+                    (
+                        "rcache_inserted_sectors".into(),
+                        Json::Num(self.cache.rcache_inserted_sectors as f64),
+                    ),
+                    (
+                        "rcache_evicted_sectors".into(),
+                        Json::Num(self.cache.rcache_evicted_sectors as f64),
+                    ),
+                    (
+                        "wlog_used_sectors".into(),
+                        Json::Num(self.cache.wlog_used_sectors as f64),
+                    ),
+                    (
+                        "wlog_capacity_sectors".into(),
+                        Json::Num(self.cache.wlog_capacity_sectors as f64),
+                    ),
+                ]),
+            ),
+            (
+                "retry".into(),
+                Json::Obj(vec![
+                    ("attempts".into(), Json::Num(self.retry.attempts as f64)),
+                    ("retries".into(), Json::Num(self.retry.retries as f64)),
+                    ("give_ups".into(), Json::Num(self.retry.give_ups as f64)),
+                    ("backoff_ns".into(), Json::Num(self.retry.backoff_ns as f64)),
+                ]),
+            ),
+            (
+                "derived".into(),
+                Json::Obj(vec![
+                    (
+                        "write_amplification".into(),
+                        Json::Num(self.derived.write_amplification),
+                    ),
+                    (
+                        "backend_objects".into(),
+                        Json::Num(self.derived.backend_objects as f64),
+                    ),
+                    (
+                        "backend_objects_per_sec".into(),
+                        Json::Num(self.derived.backend_objects_per_sec),
+                    ),
+                    (
+                        "gc_dead_space_ratio".into(),
+                        Json::Num(self.derived.gc_dead_space_ratio),
+                    ),
+                    (
+                        "checkpoints".into(),
+                        Json::Num(self.derived.checkpoints as f64),
+                    ),
+                ]),
+            ),
+            (
+                "trace".into(),
+                Json::Obj(vec![
+                    ("events".into(), Json::Num(self.trace.events as f64)),
+                    ("dropped".into(), Json::Num(self.trace.dropped as f64)),
+                    ("capacity".into(), Json::Num(self.trace.capacity as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot from JSON text; rejects unknown schemas.
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        let j = Json::parse(text)?;
+        match j.get("schema").and_then(Json::as_str) {
+            Some(s) if s == SCHEMA => {}
+            other => return Err(format!("unknown snapshot schema {other:?}")),
+        }
+        let ops = j.get("ops");
+        let be = j.get("backend");
+        let wb = j.get("writeback");
+        let cache = j.get("cache");
+        let retry = j.get("retry");
+        let derived = j.get("derived");
+        let trace = j.get("trace");
+        fn sub<'a>(parent: Option<&'a Json>, key: &str) -> Option<&'a Json> {
+            parent.and_then(|p| p.get(key))
+        }
+        Ok(TelemetrySnapshot {
+            elapsed_secs: num_f64(&j, "elapsed_secs"),
+            ops: ClientOps {
+                read: lat_from(sub(ops, "read")),
+                write: lat_from(sub(ops, "write")),
+                flush: lat_from(sub(ops, "flush")),
+            },
+            backend: BackendOps {
+                put: lat_from(sub(be, "put")),
+                get: lat_from(sub(be, "get")),
+                head: lat_from(sub(be, "head")),
+                list: lat_from(sub(be, "list")),
+                delete: lat_from(sub(be, "delete")),
+                put_bytes: be.map_or(0, |b| num_u64(b, "put_bytes")),
+                get_bytes: be.map_or(0, |b| num_u64(b, "get_bytes")),
+                errors: be.map_or(0, |b| num_u64(b, "errors")),
+                transient_errors: be.map_or(0, |b| num_u64(b, "transient_errors")),
+            },
+            writeback: WritebackTelemetry {
+                put_service: lat_from(sub(wb, "put_service")),
+                put_queue_wait: lat_from(sub(wb, "put_queue_wait")),
+                queued: wb.map_or(0, |w| num_u64(w, "queued")),
+                inflight: wb.map_or(0, |w| num_u64(w, "inflight")),
+                landed_gapped: wb.map_or(0, |w| num_u64(w, "landed_gapped")),
+                window: wb.map_or(0, |w| num_u64(w, "window")),
+                occupancy: wb.map_or(0.0, |w| num_f64(w, "occupancy")),
+                sealed_seq: wb.map_or(0, |w| num_u64(w, "sealed_seq")),
+                durable_frontier: wb.map_or(0, |w| num_u64(w, "durable_frontier")),
+                frontier_lag: wb.map_or(0, |w| num_u64(w, "frontier_lag")),
+                degraded: wb.is_some_and(|w| flag(w, "degraded")),
+                put_transient_failures: wb.map_or(0, |w| num_u64(w, "put_transient_failures")),
+                backpressure_rejections: wb.map_or(0, |w| num_u64(w, "backpressure_rejections")),
+            },
+            cache: CacheTelemetry {
+                hdr_hits: cache.map_or(0, |c| num_u64(c, "hdr_hits")),
+                hdr_misses: cache.map_or(0, |c| num_u64(c, "hdr_misses")),
+                hdr_evictions: cache.map_or(0, |c| num_u64(c, "hdr_evictions")),
+                rcache_hit_sectors: cache.map_or(0, |c| num_u64(c, "rcache_hit_sectors")),
+                rcache_miss_sectors: cache.map_or(0, |c| num_u64(c, "rcache_miss_sectors")),
+                rcache_inserted_sectors: cache.map_or(0, |c| num_u64(c, "rcache_inserted_sectors")),
+                rcache_evicted_sectors: cache.map_or(0, |c| num_u64(c, "rcache_evicted_sectors")),
+                wlog_used_sectors: cache.map_or(0, |c| num_u64(c, "wlog_used_sectors")),
+                wlog_capacity_sectors: cache.map_or(0, |c| num_u64(c, "wlog_capacity_sectors")),
+            },
+            retry: RetryTelemetry {
+                attempts: retry.map_or(0, |r| num_u64(r, "attempts")),
+                retries: retry.map_or(0, |r| num_u64(r, "retries")),
+                give_ups: retry.map_or(0, |r| num_u64(r, "give_ups")),
+                backoff_ns: retry.map_or(0, |r| num_u64(r, "backoff_ns")),
+            },
+            derived: DerivedTelemetry {
+                write_amplification: derived.map_or(0.0, |d| num_f64(d, "write_amplification")),
+                backend_objects: derived.map_or(0, |d| num_u64(d, "backend_objects")),
+                backend_objects_per_sec: derived
+                    .map_or(0.0, |d| num_f64(d, "backend_objects_per_sec")),
+                gc_dead_space_ratio: derived.map_or(0.0, |d| num_f64(d, "gc_dead_space_ratio")),
+                checkpoints: derived.map_or(0, |d| num_u64(d, "checkpoints")),
+            },
+            trace: TraceTelemetry {
+                events: trace.map_or(0, |t| num_u64(t, "events")),
+                dropped: trace.map_or(0, |t| num_u64(t, "dropped")),
+                capacity: trace.map_or(0, |t| num_u64(t, "capacity")),
+            },
+        })
+    }
+
+    /// Renders Prometheus-style exposition text (`lsvd_*` gauges).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut gauge = |name: &str, v: f64| {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+                let _ = writeln!(out, "{name} {}", v as i64);
+            } else {
+                let _ = writeln!(out, "{name} {v}");
+            }
+        };
+        let lat = |gauge: &mut dyn FnMut(&str, f64), prefix: &str, l: &LatencySnapshot| {
+            gauge(&format!("{prefix}_count"), l.count as f64);
+            gauge(&format!("{prefix}_mean_ns"), l.mean_ns);
+            gauge(&format!("{prefix}_p50_ns"), l.p50_ns);
+            gauge(&format!("{prefix}_p99_ns"), l.p99_ns);
+            gauge(&format!("{prefix}_max_ns"), l.max_ns);
+        };
+        gauge("lsvd_elapsed_secs", self.elapsed_secs);
+        lat(&mut gauge, "lsvd_op_read", &self.ops.read);
+        lat(&mut gauge, "lsvd_op_write", &self.ops.write);
+        lat(&mut gauge, "lsvd_op_flush", &self.ops.flush);
+        lat(&mut gauge, "lsvd_backend_put", &self.backend.put);
+        lat(&mut gauge, "lsvd_backend_get", &self.backend.get);
+        lat(&mut gauge, "lsvd_backend_head", &self.backend.head);
+        lat(&mut gauge, "lsvd_backend_list", &self.backend.list);
+        lat(&mut gauge, "lsvd_backend_delete", &self.backend.delete);
+        gauge("lsvd_backend_put_bytes", self.backend.put_bytes as f64);
+        gauge("lsvd_backend_get_bytes", self.backend.get_bytes as f64);
+        gauge("lsvd_backend_errors", self.backend.errors as f64);
+        gauge(
+            "lsvd_backend_transient_errors",
+            self.backend.transient_errors as f64,
+        );
+        lat(
+            &mut gauge,
+            "lsvd_wb_put_service",
+            &self.writeback.put_service,
+        );
+        lat(
+            &mut gauge,
+            "lsvd_wb_put_queue_wait",
+            &self.writeback.put_queue_wait,
+        );
+        gauge("lsvd_wb_queued", self.writeback.queued as f64);
+        gauge("lsvd_wb_inflight", self.writeback.inflight as f64);
+        gauge("lsvd_wb_landed_gapped", self.writeback.landed_gapped as f64);
+        gauge("lsvd_wb_window", self.writeback.window as f64);
+        gauge("lsvd_wb_occupancy", self.writeback.occupancy);
+        gauge("lsvd_wb_sealed_seq", self.writeback.sealed_seq as f64);
+        gauge(
+            "lsvd_wb_durable_frontier",
+            self.writeback.durable_frontier as f64,
+        );
+        gauge("lsvd_wb_frontier_lag", self.writeback.frontier_lag as f64);
+        gauge(
+            "lsvd_wb_degraded",
+            if self.writeback.degraded { 1.0 } else { 0.0 },
+        );
+        gauge(
+            "lsvd_wb_put_transient_failures",
+            self.writeback.put_transient_failures as f64,
+        );
+        gauge(
+            "lsvd_wb_backpressure_rejections",
+            self.writeback.backpressure_rejections as f64,
+        );
+        gauge("lsvd_cache_hdr_hits", self.cache.hdr_hits as f64);
+        gauge("lsvd_cache_hdr_misses", self.cache.hdr_misses as f64);
+        gauge("lsvd_cache_hdr_evictions", self.cache.hdr_evictions as f64);
+        gauge(
+            "lsvd_rcache_hit_sectors",
+            self.cache.rcache_hit_sectors as f64,
+        );
+        gauge(
+            "lsvd_rcache_miss_sectors",
+            self.cache.rcache_miss_sectors as f64,
+        );
+        gauge(
+            "lsvd_rcache_inserted_sectors",
+            self.cache.rcache_inserted_sectors as f64,
+        );
+        gauge(
+            "lsvd_rcache_evicted_sectors",
+            self.cache.rcache_evicted_sectors as f64,
+        );
+        gauge(
+            "lsvd_wlog_used_sectors",
+            self.cache.wlog_used_sectors as f64,
+        );
+        gauge(
+            "lsvd_wlog_capacity_sectors",
+            self.cache.wlog_capacity_sectors as f64,
+        );
+        gauge("lsvd_retry_attempts", self.retry.attempts as f64);
+        gauge("lsvd_retry_retries", self.retry.retries as f64);
+        gauge("lsvd_retry_give_ups", self.retry.give_ups as f64);
+        gauge("lsvd_retry_backoff_ns", self.retry.backoff_ns as f64);
+        gauge("lsvd_write_amplification", self.derived.write_amplification);
+        gauge("lsvd_backend_objects", self.derived.backend_objects as f64);
+        gauge(
+            "lsvd_backend_objects_per_sec",
+            self.derived.backend_objects_per_sec,
+        );
+        gauge("lsvd_gc_dead_space_ratio", self.derived.gc_dead_space_ratio);
+        gauge("lsvd_checkpoints", self.derived.checkpoints as f64);
+        gauge("lsvd_trace_events", self.trace.events as f64);
+        gauge("lsvd_trace_dropped", self.trace.dropped as f64);
+        gauge("lsvd_trace_capacity", self.trace.capacity as f64);
+        out
+    }
+
+    /// Renders a short human-readable report (CLI / bench end-of-run).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry ({}s elapsed)", fmt1(self.elapsed_secs));
+        let _ = writeln!(out, "  ops.read    {}", self.ops.read);
+        let _ = writeln!(out, "  ops.write   {}", self.ops.write);
+        let _ = writeln!(out, "  ops.flush   {}", self.ops.flush);
+        let _ = writeln!(out, "  backend.put {}", self.backend.put);
+        let _ = writeln!(out, "  backend.get {}", self.backend.get);
+        let _ = writeln!(
+            out,
+            "  writeback   service {} | queue-wait {}",
+            self.writeback.put_service, self.writeback.put_queue_wait
+        );
+        let _ = writeln!(
+            out,
+            "  pipeline    queued={} inflight={} gapped={} window={} occupancy={} frontier={} lag={} degraded={}",
+            self.writeback.queued,
+            self.writeback.inflight,
+            self.writeback.landed_gapped,
+            self.writeback.window,
+            fmt1(self.writeback.occupancy),
+            self.writeback.durable_frontier,
+            self.writeback.frontier_lag,
+            self.writeback.degraded
+        );
+        let _ = writeln!(
+            out,
+            "  cache       hdr {}h/{}m/{}e | rcache {}h/{}m sectors | wlog {}/{} sectors",
+            self.cache.hdr_hits,
+            self.cache.hdr_misses,
+            self.cache.hdr_evictions,
+            self.cache.rcache_hit_sectors,
+            self.cache.rcache_miss_sectors,
+            self.cache.wlog_used_sectors,
+            self.cache.wlog_capacity_sectors
+        );
+        let _ = writeln!(
+            out,
+            "  retry       attempts={} retries={} give_ups={}",
+            self.retry.attempts, self.retry.retries, self.retry.give_ups
+        );
+        let _ = writeln!(
+            out,
+            "  derived     WA={} objects={} obj/s={} dead-space={} checkpoints={}",
+            fmt2(self.derived.write_amplification),
+            self.derived.backend_objects,
+            fmt1(self.derived.backend_objects_per_sec),
+            fmt2(self.derived.gc_dead_space_ratio),
+            self.derived.checkpoints
+        );
+        let _ = writeln!(
+            out,
+            "  trace       events={} dropped={} capacity={}",
+            self.trace.events, self.trace.dropped, self.trace.capacity
+        );
+        out
+    }
+}
+
+fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let lat = LatencySnapshot {
+            count: 100,
+            mean_ns: 1_500.5,
+            p50_ns: 1_200.0,
+            p99_ns: 9_001.25,
+            max_ns: 12_000.0,
+        };
+        TelemetrySnapshot {
+            elapsed_secs: 1.25,
+            ops: ClientOps {
+                read: lat,
+                write: lat,
+                flush: lat,
+            },
+            backend: BackendOps {
+                put: lat,
+                get: lat,
+                head: lat,
+                list: lat,
+                delete: lat,
+                put_bytes: 1 << 30,
+                get_bytes: 12345,
+                errors: 7,
+                transient_errors: 5,
+            },
+            writeback: WritebackTelemetry {
+                put_service: lat,
+                put_queue_wait: lat,
+                queued: 2,
+                inflight: 3,
+                landed_gapped: 1,
+                window: 4,
+                occupancy: 0.75,
+                sealed_seq: 42,
+                durable_frontier: 40,
+                frontier_lag: 2,
+                degraded: true,
+                put_transient_failures: 5,
+                backpressure_rejections: 9,
+            },
+            cache: CacheTelemetry {
+                hdr_hits: 10,
+                hdr_misses: 4,
+                hdr_evictions: 2,
+                rcache_hit_sectors: 100,
+                rcache_miss_sectors: 50,
+                rcache_inserted_sectors: 120,
+                rcache_evicted_sectors: 20,
+                wlog_used_sectors: 64,
+                wlog_capacity_sectors: 256,
+            },
+            retry: RetryTelemetry {
+                attempts: 20,
+                retries: 6,
+                give_ups: 1,
+                backoff_ns: 5_000_000,
+            },
+            derived: DerivedTelemetry {
+                write_amplification: 1.37,
+                backend_objects: 55,
+                backend_objects_per_sec: 44.0,
+                gc_dead_space_ratio: 0.21,
+                checkpoints: 3,
+            },
+            trace: TraceTelemetry {
+                events: 500,
+                dropped: 12,
+                capacity: 256,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample();
+        let text = snap.to_json().render();
+        let back = TelemetrySnapshot::from_json(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn schema_key_is_first_and_validated() {
+        let text = sample().to_json().render();
+        assert!(
+            text.starts_with("{\"schema\":\"lsvd-telemetry-v1\""),
+            "{text}"
+        );
+        let tampered = text.replace(SCHEMA, "lsvd-telemetry-v0");
+        assert!(TelemetrySnapshot::from_json(&tampered).is_err());
+    }
+
+    #[test]
+    fn default_round_trips_too() {
+        let snap = TelemetrySnapshot::default();
+        let text = snap.to_json().render();
+        assert_eq!(TelemetrySnapshot::from_json(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines_and_values() {
+        let prom = sample().to_prometheus();
+        assert!(
+            prom.contains("# TYPE lsvd_backend_put_p99_ns gauge"),
+            "{prom}"
+        );
+        assert!(prom.contains("lsvd_wb_occupancy 0.75"), "{prom}");
+        assert!(prom.contains("lsvd_wb_degraded 1"), "{prom}");
+        assert!(prom.contains("lsvd_write_amplification 1.37"), "{prom}");
+        for line in prom.lines() {
+            assert!(
+                line.starts_with("# TYPE lsvd_") || line.starts_with("lsvd_"),
+                "unexpected line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_mentions_headline_sections() {
+        let rep = sample().report();
+        for needle in ["ops.write", "pipeline", "derived", "WA=1.37", "trace"] {
+            assert!(rep.contains(needle), "missing {needle}: {rep}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Structured I/O trace ring.
+//!
+//! A fixed-capacity ring of typed events emitted by the volume's hot
+//! paths: batch seals, PUT lifecycle (start/done/retry/abort), durable
+//! frontier advances, checkpoints, GC passes and degraded-mode edges.
+//! Every record carries a monotonic event id, a real-time timestamp
+//! (microseconds since the ring was created) and a caller-supplied
+//! virtual timestamp (the volume uses its client-op count), so tests can
+//! replay causal order and error paths can dump a human-readable tail.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+/// A typed I/O event. Object sequence numbers are widened to `u64` so the
+/// crate stays independent of the workspace's `ObjSeq` alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A write-log batch was sealed into an immutable backend object image.
+    BatchSeal {
+        /// Backend object sequence number the batch will be written as.
+        seq: u64,
+        /// Serialized object size in bytes.
+        bytes: u64,
+    },
+    /// A PUT for object `seq` was handed to the backend (pool or serial).
+    PutStart {
+        /// Backend object sequence number.
+        seq: u64,
+    },
+    /// The PUT for object `seq` completed successfully.
+    PutDone {
+        /// Backend object sequence number.
+        seq: u64,
+    },
+    /// The PUT for object `seq` failed transiently and was requeued.
+    PutRetry {
+        /// Backend object sequence number.
+        seq: u64,
+    },
+    /// The PUT for object `seq` failed permanently; the volume errors out.
+    PutAbort {
+        /// Backend object sequence number.
+        seq: u64,
+    },
+    /// The durable frontier advanced through object `seq` (prefix
+    /// consistency: all objects `<= seq` are durable).
+    FrontierAdvance {
+        /// Highest contiguous durable object sequence number.
+        seq: u64,
+    },
+    /// A checkpoint covering objects up to `seq` was written.
+    Checkpoint {
+        /// Last object sequence covered by the checkpoint.
+        seq: u64,
+    },
+    /// A garbage-collection pass completed.
+    GcPass {
+        /// Number of backend objects collected.
+        collected: u64,
+    },
+    /// The volume entered degraded (backpressure) mode.
+    DegradedEnter,
+    /// The volume left degraded mode.
+    DegradedExit,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::BatchSeal { seq, bytes } => write!(f, "seal seq={seq} bytes={bytes}"),
+            TraceEvent::PutStart { seq } => write!(f, "put-start seq={seq}"),
+            TraceEvent::PutDone { seq } => write!(f, "put-done seq={seq}"),
+            TraceEvent::PutRetry { seq } => write!(f, "put-retry seq={seq}"),
+            TraceEvent::PutAbort { seq } => write!(f, "put-abort seq={seq}"),
+            TraceEvent::FrontierAdvance { seq } => write!(f, "frontier-advance seq={seq}"),
+            TraceEvent::Checkpoint { seq } => write!(f, "checkpoint seq={seq}"),
+            TraceEvent::GcPass { collected } => write!(f, "gc-pass collected={collected}"),
+            TraceEvent::DegradedEnter => write!(f, "degraded-enter"),
+            TraceEvent::DegradedExit => write!(f, "degraded-exit"),
+        }
+    }
+}
+
+/// One ring entry: a [`TraceEvent`] plus its id and timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic event id, starting at 0 for the first event pushed.
+    pub id: u64,
+    /// Microseconds of wall-clock time since the ring was created.
+    pub real_us: u64,
+    /// Caller-supplied virtual timestamp (e.g. client-op count).
+    pub virt: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:06} t={:>10}us v={:>8} {}",
+            self.id, self.real_us, self.virt, self.event
+        )
+    }
+}
+
+/// Fixed-capacity ring of [`TraceRecord`]s. When full, the oldest record
+/// is dropped (and counted) to admit the newest.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    start: Instant,
+    next_id: u64,
+    dropped: u64,
+    buf: VecDeque<TraceRecord>,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `cap` records (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            start: Instant::now(),
+            next_id: 0,
+            dropped: 0,
+            buf: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Appends an event with virtual timestamp `virt`; returns its id.
+    pub fn push(&mut self, virt: u64, event: TraceEvent) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        let real_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buf.push_back(TraceRecord {
+            id,
+            real_us,
+            virt,
+            event,
+        });
+        id
+    }
+
+    /// Removes and returns all buffered records, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Returns the buffered records without consuming them.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Renders the buffered tail as human-readable lines (for error dumps).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier events dropped ...", self.dropped);
+        }
+        for r in &self.buf {
+            let _ = writeln!(out, "{r}");
+        }
+        out
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever pushed (buffered + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic_and_order_preserved() {
+        let mut ring = TraceRing::new(8);
+        for seq in 0..5u64 {
+            ring.push(seq, TraceEvent::PutStart { seq });
+        }
+        let recs = ring.drain();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.virt, i as u64);
+            assert_eq!(r.event, TraceEvent::PutStart { seq: i as u64 });
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 5);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let mut ring = TraceRing::new(3);
+        for seq in 0..10u64 {
+            ring.push(seq, TraceEvent::PutDone { seq });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.total(), 10);
+        let recs = ring.drain();
+        assert_eq!(recs[0].event, TraceEvent::PutDone { seq: 7 });
+        assert_eq!(recs[2].event, TraceEvent::PutDone { seq: 9 });
+    }
+
+    #[test]
+    fn dump_is_human_readable() {
+        let mut ring = TraceRing::new(2);
+        ring.push(0, TraceEvent::BatchSeal { seq: 1, bytes: 64 });
+        ring.push(1, TraceEvent::DegradedEnter);
+        ring.push(2, TraceEvent::DegradedExit);
+        let dump = ring.dump();
+        assert!(dump.contains("earlier events dropped"), "{dump}");
+        assert!(dump.contains("degraded-enter"), "{dump}");
+        assert!(dump.contains("degraded-exit"), "{dump}");
+    }
+}

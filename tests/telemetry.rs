@@ -1,0 +1,390 @@
+//! End-to-end telemetry: the trace ring, latency recorders, pipeline
+//! gauges and snapshot exporters observed through the public
+//! `Volume::telemetry()` / `Volume::drain_trace()` API.
+//!
+//! The centrepiece is a 3-thread pipelined chaos sweep: random transient
+//! backend faults (absorbed by a config-built `RetryStore`) plus an
+//! outage window, with the trace ring drained continuously. Afterwards
+//! every PUT retry must pair with a terminal done/abort, the durable
+//! frontier must advance monotonically, and each durable batch must show
+//! the causal seal → PUT start → PUT done → frontier-advance chain.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blkdev::RamDisk;
+use lsvd::config::VolumeConfig;
+use lsvd::volume::Volume;
+use lsvd::{LsvdError, TraceEvent, TraceRecord};
+use objstore::{
+    ChaosSchedule, ChaosStore, LatencyStore, MemStore, ObjectStore, OutageWindow, RetryPolicy,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const VOL_BYTES: u64 = 8 << 20;
+const BATCH: u64 = 64 << 10;
+
+fn pipelined_cfg() -> VolumeConfig {
+    VolumeConfig {
+        max_pending_batches: 4,
+        writeback_threads: 3,
+        max_inflight_puts: 3,
+        ..VolumeConfig::small_for_tests()
+    }
+}
+
+/// Per-seq event ids extracted from a trace: first seal, first PUT
+/// start, last PUT done, frontier advance.
+#[derive(Default, Clone, Copy)]
+struct SeqTrace {
+    seal: Option<u64>,
+    first_start: Option<u64>,
+    last_done: Option<u64>,
+    advance: Option<u64>,
+    retries: u64,
+    aborted: bool,
+}
+
+fn index_by_seq(records: &[TraceRecord]) -> std::collections::BTreeMap<u64, SeqTrace> {
+    let mut map: std::collections::BTreeMap<u64, SeqTrace> = Default::default();
+    for r in records {
+        match r.event {
+            TraceEvent::BatchSeal { seq, .. } => {
+                map.entry(seq).or_default().seal.get_or_insert(r.id);
+            }
+            TraceEvent::PutStart { seq } => {
+                map.entry(seq).or_default().first_start.get_or_insert(r.id);
+            }
+            TraceEvent::PutDone { seq } => {
+                map.entry(seq).or_default().last_done = Some(r.id);
+            }
+            TraceEvent::PutRetry { seq } => {
+                map.entry(seq).or_default().retries += 1;
+            }
+            TraceEvent::PutAbort { seq } => {
+                map.entry(seq).or_default().aborted = true;
+            }
+            TraceEvent::FrontierAdvance { seq } => {
+                map.entry(seq).or_default().advance = Some(r.id);
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+#[test]
+fn pipelined_chaos_sweep_trace_is_causal() {
+    for seed in 0..8u64 {
+        let start = 40 + seed % 30;
+        let chaos = Arc::new(ChaosStore::with_schedule(
+            MemStore::new(),
+            ChaosSchedule {
+                put_fail_p: 0.08,
+                get_fail_p: 0.02,
+                outages: vec![OutageWindow {
+                    start_op: start,
+                    end_op: start + 10,
+                }],
+                ..ChaosSchedule::seeded(seed)
+            },
+        ));
+        let cfg = VolumeConfig {
+            // The volume builds its own RetryStore stack from the config;
+            // no manual attach_retry_counters anywhere in this test.
+            retry_policy: Some(RetryPolicy::seeded(seed)),
+            ..pipelined_cfg()
+        };
+        let cache = Arc::new(RamDisk::new(4 << 20));
+        let mut vol = Volume::create(chaos.clone(), cache, "t", VOL_BYTES, cfg).expect("create");
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut trace: Vec<TraceRecord> = Vec::new();
+        let blocks = VOL_BYTES / BATCH;
+        for step in 0..70u32 {
+            let b = rng.gen_range(0..blocks);
+            let data = vec![step as u8 + 1; BATCH as usize];
+            let mut spins = 0u32;
+            loop {
+                match vol.write(b * BATCH, &data) {
+                    Ok(()) => break,
+                    Err(LsvdError::Backpressure { .. }) => {
+                        spins += 1;
+                        assert!(spins < 10_000, "seed {seed} step {step}: stuck");
+                    }
+                    Err(e) => panic!("seed {seed} step {step}: write: {e}"),
+                }
+            }
+            trace.append(&mut vol.drain_trace());
+        }
+        chaos.heal();
+        vol.drain().expect("drain after heal");
+        trace.append(&mut vol.drain_trace());
+
+        // Ids are monotonic and nothing was dropped (we drained every step).
+        assert!(trace.windows(2).all(|w| w[0].id < w[1].id), "seed {seed}");
+        let snap = vol.telemetry();
+        assert_eq!(snap.trace.dropped, 0, "seed {seed}: ring overflowed");
+
+        // The frontier advances monotonically, one sequence at a time.
+        let advances: Vec<u64> = trace
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::FrontierAdvance { seq } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert!(!advances.is_empty(), "seed {seed}: nothing became durable");
+        for w in advances.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "seed {seed}: frontier skipped a batch");
+        }
+
+        // Causal chain per durable batch, and retry/terminal pairing.
+        let by_seq = index_by_seq(&trace);
+        for (&seq, t) in &by_seq {
+            assert!(!t.aborted, "seed {seed} seq {seq}: aborted under chaos");
+            if t.retries > 0 {
+                assert!(
+                    t.last_done.is_some(),
+                    "seed {seed} seq {seq}: retry without a terminal PUT done"
+                );
+            }
+            if let Some(adv) = t.advance {
+                let seal = t
+                    .seal
+                    .unwrap_or_else(|| panic!("seed {seed} seq {seq}: no seal"));
+                let started = t
+                    .first_start
+                    .unwrap_or_else(|| panic!("seed {seed} seq {seq}: no PUT start"));
+                let done = t
+                    .last_done
+                    .unwrap_or_else(|| panic!("seed {seed} seq {seq}: no PUT done"));
+                assert!(
+                    seal < started && started < done && done < adv,
+                    "seed {seed} seq {seq}: out of causal order \
+                     (seal {seal}, start {started}, done {done}, advance {adv})"
+                );
+            }
+        }
+
+        // The config-built retry stack reports real numbers without any
+        // manual counter attach, and the gauges are populated.
+        assert!(snap.retry.attempts > 0, "seed {seed}: retry stack silent");
+        assert_eq!(vol.stats().retry.attempts, snap.retry.attempts);
+        assert_eq!(snap.writeback.window, 3, "seed {seed}");
+        assert!(snap.backend.put.count > 0, "seed {seed}");
+        assert_eq!(
+            snap.writeback.durable_frontier, snap.writeback.sealed_seq,
+            "seed {seed}: drained volume must have no frontier lag"
+        );
+        assert!(snap.derived.write_amplification > 0.0, "seed {seed}");
+    }
+}
+
+#[test]
+fn backend_latency_shows_in_histograms() {
+    const DELAY: Duration = Duration::from_millis(5);
+    let store: Arc<dyn ObjectStore> =
+        Arc::new(LatencyStore::new(MemStore::new(), DELAY, Duration::ZERO));
+    let cache = Arc::new(RamDisk::new(4 << 20));
+    let cfg = VolumeConfig {
+        batch_bytes: BATCH,
+        ..pipelined_cfg()
+    };
+    let mut vol = Volume::create(store, cache, "t", VOL_BYTES, cfg).expect("create");
+    let data = vec![0x42u8; BATCH as usize];
+    for i in 0..8u64 {
+        vol.write(i * BATCH, &data).expect("write");
+    }
+    vol.drain().expect("drain");
+
+    let snap = vol.telemetry();
+    let p50 = snap.backend.put.p50_ns;
+    assert!(
+        p50 >= DELAY.as_nanos() as f64 && p50 < 50.0 * DELAY.as_nanos() as f64,
+        "backend PUT p50 {p50} ns inconsistent with a {DELAY:?} store delay"
+    );
+    assert!(
+        snap.writeback.put_service.p50_ns >= DELAY.as_nanos() as f64,
+        "service time must include the store delay"
+    );
+    assert!(
+        snap.writeback.put_queue_wait.count > 0,
+        "queue-wait split never recorded"
+    );
+    assert!(snap.ops.write.count >= 8 && snap.ops.write.p50_ns > 0.0);
+}
+
+#[test]
+fn header_cache_eviction_is_counted() {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cfg = VolumeConfig {
+        batch_bytes: BATCH,
+        prefetch_bytes: 4 << 10,
+        hdr_cache_entries: 2,
+        ..VolumeConfig::small_for_tests()
+    };
+    let mut vol = Volume::create(
+        store.clone(),
+        Arc::new(RamDisk::new(4 << 20)),
+        "t",
+        VOL_BYTES,
+        cfg.clone(),
+    )
+    .expect("create");
+    let data = vec![0x7Eu8; BATCH as usize];
+    for i in 0..4u64 {
+        vol.write(i * BATCH, &data).expect("write");
+    }
+    vol.shutdown().expect("shutdown");
+
+    // Reopen with a fresh (empty) cache device: every read must fetch
+    // from the backend, cycling object headers through a 2-entry cache.
+    let mut vol = Volume::open(store, Arc::new(RamDisk::new(4 << 20)), "t", cfg).expect("open");
+    let mut buf = vec![0u8; 4096];
+    for pass in 0..2 {
+        for i in 0..4u64 {
+            vol.read(i * BATCH, &mut buf)
+                .unwrap_or_else(|e| panic!("pass {pass} read {i}: {e}"));
+        }
+    }
+    let snap = vol.telemetry();
+    assert!(snap.cache.hdr_misses > 0, "no header fetches recorded");
+    assert!(
+        snap.cache.hdr_evictions > 0,
+        "4 objects round-robined through a 2-entry header cache must evict \
+         (misses {}, hits {})",
+        snap.cache.hdr_misses,
+        snap.cache.hdr_hits
+    );
+}
+
+#[test]
+fn snapshot_json_round_trips_with_required_keys() {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(4 << 20));
+    let mut vol = Volume::create(
+        store,
+        cache,
+        "t",
+        VOL_BYTES,
+        VolumeConfig::small_for_tests(),
+    )
+    .expect("create");
+    let data = vec![9u8; BATCH as usize];
+    for i in 0..4u64 {
+        vol.write(i * BATCH, &data).expect("write");
+    }
+    vol.flush().expect("flush");
+
+    let snap = vol.telemetry();
+    let text = snap.to_json().render();
+    for key in [
+        "\"schema\"",
+        "\"ops\"",
+        "\"backend\"",
+        "\"writeback\"",
+        "\"cache\"",
+        "\"retry\"",
+        "\"derived\"",
+        "\"trace\"",
+        "\"p50_ns\"",
+        "\"p99_ns\"",
+        "\"write_amplification\"",
+        "\"occupancy\"",
+    ] {
+        assert!(text.contains(key), "snapshot JSON lacks {key}: {text}");
+    }
+    let back = lsvd::TelemetrySnapshot::from_json(&text).expect("parse");
+    assert_eq!(back, snap, "snapshot must round-trip losslessly");
+    assert!(!snap.to_prometheus().is_empty());
+    assert!(snap.report().contains("derived"));
+}
+
+#[test]
+fn pipeline_gauges_track_the_backlog_continuously() {
+    let store: Arc<dyn ObjectStore> = Arc::new(LatencyStore::new(
+        MemStore::new(),
+        Duration::from_millis(20),
+        Duration::ZERO,
+    ));
+    let cache = Arc::new(RamDisk::new(4 << 20));
+    let cfg = VolumeConfig {
+        batch_bytes: BATCH,
+        ..pipelined_cfg()
+    };
+    let window = cfg.max_inflight_puts as u64;
+    let mut vol = Volume::create(store, cache, "t", VOL_BYTES, cfg).expect("create");
+    let data = vec![3u8; BATCH as usize];
+    let mut saw_inflight = false;
+    for i in 0..8u64 {
+        vol.write(i * BATCH, &data).expect("write");
+        let snap = vol.telemetry();
+        let s = vol.stats();
+        assert_eq!(
+            snap.writeback.queued + snap.writeback.inflight + snap.writeback.landed_gapped,
+            s.pending_batches,
+            "gauges must decompose the backlog exactly"
+        );
+        assert!(snap.writeback.inflight <= window);
+        assert!(snap.writeback.occupancy <= 1.0);
+        assert_eq!(
+            snap.writeback.frontier_lag,
+            snap.writeback.sealed_seq - snap.writeback.durable_frontier
+        );
+        saw_inflight |= snap.writeback.inflight > 0;
+    }
+    assert!(
+        saw_inflight,
+        "a 20 ms PUT delay must leave PUTs observably in flight"
+    );
+    vol.drain().expect("drain");
+    let snap = vol.telemetry();
+    assert_eq!(snap.writeback.queued, 0);
+    assert_eq!(snap.writeback.inflight, 0);
+    assert_eq!(snap.writeback.landed_gapped, 0);
+}
+
+#[test]
+fn serial_mode_trace_is_causal_too() {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(4 << 20));
+    let mut vol = Volume::create(
+        store,
+        cache,
+        "t",
+        VOL_BYTES,
+        VolumeConfig {
+            batch_bytes: BATCH,
+            ..VolumeConfig::small_for_tests()
+        },
+    )
+    .expect("create");
+    let data = vec![1u8; BATCH as usize];
+    for i in 0..6u64 {
+        vol.write(i * BATCH, &data).expect("write");
+    }
+    vol.drain().expect("drain");
+
+    let trace = vol.drain_trace();
+    let by_seq = index_by_seq(&trace);
+    assert!(!by_seq.is_empty());
+    for (&seq, t) in &by_seq {
+        let (Some(seal), Some(start), Some(done), Some(adv)) =
+            (t.seal, t.first_start, t.last_done, t.advance)
+        else {
+            panic!("seq {seq}: incomplete serial trace");
+        };
+        assert!(
+            seal < start && start < done && done < adv,
+            "seq {seq}: serial events out of order"
+        );
+        assert_eq!(t.retries, 0);
+    }
+    // Draining consumed the ring; ids keep counting monotonically after.
+    assert!(vol.drain_trace().is_empty());
+    let before = vol.telemetry().trace.events;
+    vol.write(0, &data).expect("write");
+    assert!(vol.telemetry().trace.events >= before);
+}

@@ -41,6 +41,8 @@ struct Sample {
     name: String,
     ns_per_iter: f64,
     iters: u64,
+    p50_ns: f64,
+    p99_ns: f64,
     throughput: Option<Throughput>,
 }
 
@@ -84,10 +86,13 @@ pub fn finalize() {
             None => {}
         }
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}{extra}}}{sep}\n",
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}, \
+             \"p50_ns\": {:.2}, \"p99_ns\": {:.2}{extra}}}{sep}\n",
             json_escape(&s.name),
             s.ns_per_iter,
             s.iters,
+            s.p50_ns,
+            s.p99_ns,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -145,7 +150,12 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    p50_ns: f64,
+    p99_ns: f64,
 }
+
+/// At most this many individually-timed iterations in the percentile pass.
+const PERCENTILE_SAMPLES: usize = 512;
 
 impl Bencher {
     /// Times `routine`, discarding its output.
@@ -173,6 +183,21 @@ impl Bencher {
         }
         self.iters = total_iters;
         self.elapsed = start.elapsed();
+        // Percentile pass: the batched loop above only yields a mean, so
+        // time a bounded number of individual iterations (within a
+        // quarter of the measure budget) for exact p50/p99.
+        let mut lat: Vec<u64> = Vec::with_capacity(PERCENTILE_SAMPLES);
+        let pstart = Instant::now();
+        while lat.len() < PERCENTILE_SAMPLES && pstart.elapsed() < measure / 4 {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            lat.push(t.elapsed().as_nanos() as u64);
+        }
+        lat.sort_unstable();
+        if !lat.is_empty() {
+            self.p50_ns = lat[lat.len() / 2] as f64;
+            self.p99_ns = lat[lat.len() * 99 / 100] as f64;
+        }
     }
 }
 
@@ -199,6 +224,8 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
+            p50_ns: 0.0,
+            p99_ns: 0.0,
         };
         f(&mut b);
         self.report(&id.id, &b);
@@ -216,6 +243,8 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
+            p50_ns: 0.0,
+            p99_ns: 0.0,
         };
         f(&mut b, input);
         self.report(&id.id, &b);
@@ -238,6 +267,8 @@ impl BenchmarkGroup<'_> {
                 name: format!("{}/{id}", self.name),
                 ns_per_iter: per_iter,
                 iters: b.iters,
+                p50_ns: b.p50_ns,
+                p99_ns: b.p99_ns,
                 throughput: self.throughput,
             });
         let rate = match self.throughput {
@@ -251,7 +282,10 @@ impl BenchmarkGroup<'_> {
             }
             None => String::new(),
         };
-        println!("{}/{id}: {per_iter:.1} ns/iter{rate}", self.name);
+        println!(
+            "{}/{id}: {per_iter:.1} ns/iter (p50 {:.0} ns, p99 {:.0} ns){rate}",
+            self.name, b.p50_ns, b.p99_ns
+        );
     }
 }
 
