@@ -11,9 +11,23 @@
 
 use bytes::Bytes;
 
+use crate::crc::{crc32c, crc32c_combine};
 use crate::extent_map::ExtentMap;
 use crate::objfmt;
 use crate::types::{bytes_to_sectors, Lba, ObjSeq, SECTOR};
+
+/// One appended write's position in `buf`, with its payload CRC. Chunks are
+/// appended in order, so the list is sorted by `off` and covers `buf`
+/// exactly.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    /// Sector offset in `buf`.
+    off: u64,
+    /// Length in sectors.
+    sectors: u64,
+    /// CRC32C of the chunk's payload.
+    crc: u32,
+}
 
 /// Accumulates writes destined for one backend object.
 ///
@@ -39,6 +53,8 @@ pub struct BatchBuilder {
     buf: Vec<u8>,
     /// vLBA -> sector offset in `buf` for the *live* bytes.
     map: ExtentMap<u64>,
+    /// Per-append payload CRCs, sorted by buffer offset, covering `buf`.
+    chunks: Vec<Chunk>,
     /// Bytes accepted into the batch.
     accepted_bytes: u64,
     /// Bytes eliminated by intra-batch coalescing.
@@ -59,6 +75,7 @@ impl BatchBuilder {
         BatchBuilder {
             buf: Vec::new(),
             map: ExtentMap::new(),
+            chunks: Vec::new(),
             accepted_bytes: 0,
             merged_bytes: 0,
             last_cache_seq: 0,
@@ -68,7 +85,15 @@ impl BatchBuilder {
     /// Adds one write. `cache_seq` is the write's cache-log sequence
     /// number; the sealed object advertises the highest one it contains.
     pub fn add(&mut self, lba: Lba, data: &[u8], cache_seq: u64) {
+        self.add_with_crc(lba, data, cache_seq, crc32c(data));
+    }
+
+    /// Adds one write whose payload CRC32C the caller already computed —
+    /// the hot path: the write log checksums each payload once at append
+    /// and hands the CRC here, so the batch never re-reads the data.
+    pub fn add_with_crc(&mut self, lba: Lba, data: &[u8], cache_seq: u64, crc: u32) {
         debug_assert!(!data.is_empty() && data.len().is_multiple_of(SECTOR as usize));
+        debug_assert_eq!(crc, crc32c(data), "caller-supplied CRC must match");
         let sectors = bytes_to_sectors(data.len() as u64);
         // Coalesce: any previously batched bytes for this range die now.
         for (_, plen, _) in self.map.overlaps(lba, sectors) {
@@ -77,6 +102,11 @@ impl BatchBuilder {
         let off_sectors = bytes_to_sectors(self.buf.len() as u64);
         self.buf.extend_from_slice(data);
         self.map.insert(lba, sectors, off_sectors);
+        self.chunks.push(Chunk {
+            off: off_sectors,
+            sectors,
+            crc,
+        });
         self.accepted_bytes += data.len() as u64;
         self.last_cache_seq = self.last_cache_seq.max(cache_seq);
     }
@@ -111,33 +141,96 @@ impl BatchBuilder {
         self.map.len()
     }
 
+    /// CRC32C of the live range `[off, off + sectors)` of `buf`, resolved
+    /// from per-append chunk CRCs: whole chunks reuse their stored CRC,
+    /// partial chunks (overwrite flanks) recompute just the surviving
+    /// slice, and pieces are folded with [`crc32c_combine`]. Updates the
+    /// recompute/combine accounting in place.
+    fn range_crc(&self, off: u64, sectors: u64, recomputed: &mut u64, combines: &mut u64) -> u32 {
+        let end = off + sectors;
+        let mut cur = off;
+        let mut idx = self.chunks.partition_point(|c| c.off + c.sectors <= cur);
+        let mut acc: Option<u32> = None;
+        while cur < end {
+            let c = self.chunks[idx];
+            let piece_end = end.min(c.off + c.sectors);
+            let crc = if cur == c.off && piece_end == c.off + c.sectors {
+                c.crc
+            } else {
+                let b = (cur * SECTOR) as usize;
+                let e = (piece_end * SECTOR) as usize;
+                *recomputed += (e - b) as u64;
+                crc32c(&self.buf[b..e])
+            };
+            acc = Some(match acc {
+                None => crc,
+                Some(a) => {
+                    *combines += 1;
+                    crc32c_combine(a, crc, (piece_end - cur) * SECTOR)
+                }
+            });
+            cur = piece_end;
+            idx += 1;
+        }
+        acc.unwrap_or(0)
+    }
+
     /// Seals the batch into a data object for sequence `seq`, returning the
     /// object bytes and its extent list. The builder is left empty.
     ///
     /// Extents are laid out in vLBA order: within an atomic batch, ordering
     /// is free to restore spatial locality (§3.1), which both shrinks the
     /// extent list (adjacent writes merge) and helps later sequential reads.
+    /// Payload bytes move exactly once here — from the batch buffer into
+    /// the object allocation — and their CRCs are carried over from append
+    /// time, not recomputed (overwrite flanks excepted; see the sealed
+    /// batch's accounting fields).
     pub fn seal(&mut self, uuid: u64, seq: ObjSeq) -> SealedBatch {
         let mut extents: Vec<(Lba, u32)> = Vec::with_capacity(self.map.len());
-        let mut data = Vec::with_capacity(self.live_bytes() as usize);
+        let mut extent_crcs: Vec<u32> = Vec::with_capacity(self.map.len());
+        let mut recomputed = 0u64;
+        let mut combines = 0u64;
         for (lba, len, off) in self.map.iter() {
             extents.push((lba, len as u32));
+            extent_crcs.push(self.range_crc(off, len, &mut recomputed, &mut combines));
+        }
+        let data_bytes = self.live_bytes();
+        let mut obj = objfmt::build_data_header(
+            uuid,
+            seq,
+            self.last_cache_seq,
+            None,
+            &extents,
+            &extent_crcs,
+            data_bytes as usize,
+        );
+        let hdr_sectors = (obj.len() as u64 / SECTOR) as u32;
+        for (_, len, off) in self.map.iter() {
             let b = (off * SECTOR) as usize;
             let e = b + (len * SECTOR) as usize;
-            data.extend_from_slice(&self.buf[b..e]);
+            obj.extend_from_slice(&self.buf[b..e]);
         }
-        let object =
-            objfmt::build_data_object(uuid, seq, self.last_cache_seq, None, &extents, &data);
-        let hdr_sectors = (object.len() - data.len()) as u64 / SECTOR;
         let out = SealedBatch {
-            object,
+            object: Bytes::from(obj),
             extents,
-            hdr_sectors: hdr_sectors as u32,
+            extent_crcs,
+            hdr_sectors,
             last_cache_seq: self.last_cache_seq,
             merged_bytes: self.merged_bytes,
             accepted_bytes: self.accepted_bytes,
+            data_bytes,
+            crc_recomputed_bytes: recomputed,
+            crc_combine_ops: combines,
         };
-        *self = BatchBuilder::new();
+        // Reset in place, keeping `buf`'s (and the bookkeeping vectors')
+        // capacity: the next batch fills already-faulted pages instead of
+        // re-growing an 8 MiB allocation through doubling reallocs.
+        self.buf.clear();
+        self.map.clear();
+        self.chunks.clear();
+        self.accepted_bytes = 0;
+        self.merged_bytes = 0;
+        self.last_cache_seq = 0;
         out
     }
 }
@@ -149,6 +242,8 @@ pub struct SealedBatch {
     pub object: Bytes,
     /// The object's extent list, vLBA-ordered.
     pub extents: Vec<(Lba, u32)>,
+    /// CRC32C of each extent's payload, parallel to `extents`.
+    pub extent_crcs: Vec<u32>,
     /// Header size in sectors.
     pub hdr_sectors: u32,
     /// Highest cache sequence contained.
@@ -157,6 +252,14 @@ pub struct SealedBatch {
     pub merged_bytes: u64,
     /// Bytes accepted into this batch before coalescing.
     pub accepted_bytes: u64,
+    /// Live payload bytes copied into the object.
+    pub data_bytes: u64,
+    /// Payload bytes whose CRC had to be recomputed at seal (overwrite
+    /// flanks — partial survivors of a coalesced chunk). Zero when no
+    /// intra-batch partial overwrite occurred.
+    pub crc_recomputed_bytes: u64,
+    /// CRC combine operations performed while assembling extent CRCs.
+    pub crc_combine_ops: u64,
 }
 
 #[cfg(test)]
@@ -239,6 +342,51 @@ mod tests {
         let h = parse_data_header(&sealed.object).unwrap();
         let d = &sealed.object[h.data_offset as usize..];
         assert!(d[..4 * 512].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn seal_carries_append_time_crcs() {
+        let mut b = BatchBuilder::new();
+        let d1 = sdata(1, 8);
+        let d2 = sdata(2, 8);
+        b.add_with_crc(0, &d1, 1, crc32c(&d1));
+        b.add_with_crc(8, &d2, 2, crc32c(&d2));
+        let sealed = b.seal(1, 1);
+        assert_eq!(sealed.extents, vec![(0, 16)]);
+        let mut whole = d1.clone();
+        whole.extend_from_slice(&d2);
+        assert_eq!(sealed.extent_crcs, vec![crc32c(&whole)]);
+        assert_eq!(
+            sealed.crc_recomputed_bytes, 0,
+            "whole chunks reuse append-time CRCs"
+        );
+        assert_eq!(sealed.crc_combine_ops, 1, "two chunks fold into one extent");
+        assert_eq!(sealed.data_bytes, 16 * 512);
+        let h = parse_data_header(&sealed.object).unwrap();
+        assert_eq!(h.extent_crcs, sealed.extent_crcs);
+    }
+
+    #[test]
+    fn flank_recompute_is_bounded_and_correct() {
+        let mut b = BatchBuilder::new();
+        b.add(0, &sdata(1, 8), 1);
+        b.add(2, &sdata(9, 4), 2); // punches the middle of the first chunk
+        let sealed = b.seal(1, 1);
+        // Only the two surviving flank slices ([0,2) and [6,8), 4 sectors)
+        // needed a fresh CRC; the overwrite chunk reused its append CRC.
+        assert_eq!(sealed.crc_recomputed_bytes, 4 * 512);
+        let h = parse_data_header(&sealed.object).unwrap();
+        let d = &sealed.object[h.data_offset as usize..];
+        let mut off = 0usize;
+        for (i, &(_, len)) in h.extents.iter().enumerate() {
+            let n = len as usize * 512;
+            assert_eq!(
+                h.extent_crcs[i],
+                crc32c(&d[off..off + n]),
+                "extent {i} CRC matches its payload"
+            );
+            off += n;
+        }
     }
 
     #[test]

@@ -98,6 +98,18 @@ impl ByteWriter {
         self.buf[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
     }
 
+    /// Clears the contents, keeping the allocation — hot paths (the
+    /// write-log header encoder) reuse one writer across appends instead
+    /// of allocating per record.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Consumes the writer, returning the bytes.
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
@@ -236,6 +248,17 @@ mod tests {
         assert_eq!(r.u32().unwrap(), 77);
         assert_eq!(r.bytes(3).unwrap(), b"xyz");
         assert_eq!(r.bytes(9).unwrap(), &[0u8; 9]);
+    }
+
+    #[test]
+    fn clear_resets_content_for_reuse() {
+        let mut w = ByteWriter::with_capacity(64);
+        w.u64(1).pad_to(64);
+        w.clear();
+        assert!(w.is_empty());
+        w.u32(5);
+        assert_eq!(w.len(), 4);
+        assert_eq!(ByteReader::new(w.as_slice()).u32().unwrap(), 5);
     }
 
     #[test]

@@ -67,6 +67,14 @@ pub struct VolumeConfig {
     /// Capacity (entries) of the backend object-header cache consulted by
     /// read misses before issuing a header GET.
     pub hdr_cache_entries: usize,
+    /// Verify backend GET payloads against the per-extent CRCs recorded in
+    /// object headers. Fetch windows are snapped to extent boundaries and
+    /// the expected checksum is folded from the stored extent CRCs with
+    /// `crc32c_combine` — no second pass over the object at PUT time, and
+    /// scatter-gather workers checksum their parts off the foreground
+    /// thread. A mismatch fails the read with
+    /// [`LsvdError::Corrupt`](crate::LsvdError::Corrupt).
+    pub verify_get_crc: bool,
 }
 
 impl Default for VolumeConfig {
@@ -90,6 +98,7 @@ impl Default for VolumeConfig {
             max_inflight_puts: 4,
             retry_policy: None,
             hdr_cache_entries: 512,
+            verify_get_crc: false,
         }
     }
 }

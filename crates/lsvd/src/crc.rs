@@ -3,65 +3,40 @@
 //! Both the on-SSD cache log (§3.1, Figure 2) and backend objects
 //! (Figure 4) carry a CRC covering header and data, so recovery can detect
 //! torn or partial writes. CRC32C is implemented in-tree (the `crc` crate
-//! is not on the workspace's allowed dependency list) using a standard
-//! 8-entry-per-byte slicing table.
+//! is not on the workspace's allowed dependency list) with three engines
+//! sharing one wire format:
+//!
+//! - an x86_64 SSE4.2 `crc32` instruction path, runtime-detected and
+//!   3-lane pipelined for large buffers (the instruction is ~3-cycle
+//!   latency / 1-cycle throughput, so three independent streams keep the
+//!   unit saturated);
+//! - a slicing-by-16 table fallback for everything else;
+//! - a GF(2)-matrix [`crc32c_combine`] that merges the finalized CRCs of
+//!   adjacent chunks without touching the payload again, so per-chunk
+//!   CRCs computed at write-log append time can be stitched into record
+//!   and object checksums for free.
+//!
+//! All engines produce identical values; property tests compare them
+//! against a bitwise reference.
+
+use std::sync::OnceLock;
 
 /// The CRC32C (Castagnoli) polynomial, reversed representation.
 const POLY: u32 = 0x82F6_3B78;
 
-fn make_table() -> [[u32; 256]; 8] {
-    let mut table = [[0u32; 256]; 8];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut j = 0;
-        while j < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-            j += 1;
-        }
-        table[0][i] = crc;
-        i += 1;
-    }
-    let mut k = 1;
-    while k < 8 {
-        let mut i = 0;
-        while i < 256 {
-            let prev = table[k - 1][i];
-            table[k][i] = (prev >> 8) ^ table[0][(prev & 0xff) as usize];
-            i += 1;
-        }
-        k += 1;
-    }
-    table
-}
-
-static TABLE: once_table::Lazy = once_table::Lazy::new();
-
-mod once_table {
-    use std::sync::OnceLock;
-
-    pub struct Lazy {
-        cell: OnceLock<[[u32; 256]; 8]>,
-    }
-
-    impl Lazy {
-        pub const fn new() -> Self {
-            Lazy {
-                cell: OnceLock::new(),
-            }
-        }
-
-        pub fn get(&self) -> &[[u32; 256]; 8] {
-            self.cell.get_or_init(super::make_table)
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Public API: one wire format, engine chosen at runtime.
+// ---------------------------------------------------------------------
 
 /// Computes the CRC32C of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use lsvd::crc::crc32c;
+///
+/// assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+/// ```
 pub fn crc32c(data: &[u8]) -> u32 {
     crc32c_append(0, data)
 }
@@ -69,30 +44,318 @@ pub fn crc32c(data: &[u8]) -> u32 {
 /// Continues a CRC32C computation: `crc32c_append(crc32c(a), b) ==
 /// crc32c(a ++ b)`.
 pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
-    let table = TABLE.get();
+    #[cfg(target_arch = "x86_64")]
+    if crc32c_is_hw() {
+        return hw::crc32c_append_hw(crc, data);
+    }
+    crc32c_append_sw(crc, data)
+}
+
+/// Whether the hardware (SSE4.2) kernel is in use on this machine.
+pub fn crc32c_is_hw() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static HW: OnceLock<bool> = OnceLock::new();
+        *HW.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// The software (slicing-by-16) engine, bypassing dispatch. Exposed so
+/// benches and property tests can measure and cross-check the fallback on
+/// machines where the hardware path would normally win.
+pub fn crc32c_sw(data: &[u8]) -> u32 {
+    crc32c_append_sw(0, data)
+}
+
+/// Software engine continuation; see [`crc32c_sw`].
+pub fn crc32c_append_sw(crc: u32, data: &[u8]) -> u32 {
+    // A single slicing stream is latency-bound: each 16-byte step's table
+    // addresses depend on the previous step's result (~11 cycles per 16
+    // bytes). Large buffers run three independent streams — the same
+    // trick as the hardware path — and stitch them with the GF(2)
+    // combine.
+    const SW_TRI_MIN: usize = 1024;
+    if data.len() >= SW_TRI_MIN {
+        let lane = (data.len() / 3) & !15;
+        let (a, rest) = data.split_at(lane);
+        let (b, rest) = rest.split_at(lane);
+        let (c, tail) = rest.split_at(lane);
+        let (ra, rb, rc) = sw_tri(crc, a, b, c);
+        let merged = crc32c_combine(crc32c_combine(ra, rb, lane as u64), rc, lane as u64);
+        return sw_one(merged, tail);
+    }
+    sw_one(crc, data)
+}
+
+/// One finalized slicing-by-16 stream.
+fn sw_one(crc: u32, data: &[u8]) -> u32 {
+    let t = sw_tables();
     let mut crc = !crc;
-    let mut chunks = data.chunks_exact(8);
-    for chunk in &mut chunks {
-        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
-        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
-        crc = table[7][(lo & 0xff) as usize]
-            ^ table[6][((lo >> 8) & 0xff) as usize]
-            ^ table[5][((lo >> 16) & 0xff) as usize]
-            ^ table[4][(lo >> 24) as usize]
-            ^ table[3][(hi & 0xff) as usize]
-            ^ table[2][((hi >> 8) & 0xff) as usize]
-            ^ table[1][((hi >> 16) & 0xff) as usize]
-            ^ table[0][(hi >> 24) as usize];
+    let mut chunks = data.chunks_exact(16);
+    for ch in &mut chunks {
+        crc = sw_step(t, crc, ch.try_into().unwrap());
     }
     for &b in chunks.remainder() {
-        crc = (crc >> 8) ^ table[0][((crc ^ b as u32) & 0xff) as usize];
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xff) as usize];
     }
     !crc
+}
+
+/// Three finalized slicing-by-16 streams over equal-length (multiple of
+/// 16) slices, interleaved in one loop so their independent dependency
+/// chains overlap.
+fn sw_tri(crc: u32, a: &[u8], b: &[u8], c: &[u8]) -> (u32, u32, u32) {
+    debug_assert!(a.len() == b.len() && b.len() == c.len());
+    debug_assert_eq!(a.len() % 16, 0);
+    let t = sw_tables();
+    let (mut ra, mut rb, mut rc) = (!crc, !0u32, !0u32);
+    let mut ia = a.chunks_exact(16);
+    let mut ib = b.chunks_exact(16);
+    let mut ic = c.chunks_exact(16);
+    while let (Some(xa), Some(xb), Some(xc)) = (ia.next(), ib.next(), ic.next()) {
+        ra = sw_step(t, ra, xa.try_into().unwrap());
+        rb = sw_step(t, rb, xb.try_into().unwrap());
+        rc = sw_step(t, rc, xc.try_into().unwrap());
+    }
+    (!ra, !rb, !rc)
+}
+
+/// Advances one slicing-by-16 stream (inverted register) by 16 bytes.
+#[inline(always)]
+fn sw_step(t: &[[u32; 256]; 16], crc: u32, ch: &[u8; 16]) -> u32 {
+    let lo = u64::from_le_bytes(ch[..8].try_into().unwrap()) ^ crc as u64;
+    let hi = u64::from_le_bytes(ch[8..].try_into().unwrap());
+    t[15][(lo & 0xff) as usize]
+        ^ t[14][((lo >> 8) & 0xff) as usize]
+        ^ t[13][((lo >> 16) & 0xff) as usize]
+        ^ t[12][((lo >> 24) & 0xff) as usize]
+        ^ t[11][((lo >> 32) & 0xff) as usize]
+        ^ t[10][((lo >> 40) & 0xff) as usize]
+        ^ t[9][((lo >> 48) & 0xff) as usize]
+        ^ t[8][(lo >> 56) as usize]
+        ^ t[7][(hi & 0xff) as usize]
+        ^ t[6][((hi >> 8) & 0xff) as usize]
+        ^ t[5][((hi >> 16) & 0xff) as usize]
+        ^ t[4][((hi >> 24) & 0xff) as usize]
+        ^ t[3][((hi >> 32) & 0xff) as usize]
+        ^ t[2][((hi >> 40) & 0xff) as usize]
+        ^ t[1][((hi >> 48) & 0xff) as usize]
+        ^ t[0][(hi >> 56) as usize]
+}
+
+/// Merges two finalized CRCs: `crc32c_combine(crc32c(a), crc32c(b),
+/// b.len())` equals `crc32c(a ++ b)` — without re-reading either payload.
+///
+/// The cost is one 32×32 GF(2) matrix application per set bit of `len_b`
+/// (the per-power-of-two shift operators are precomputed once), so
+/// merging power-of-two chunks costs a few tens of nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use lsvd::crc::{crc32c, crc32c_combine};
+///
+/// let (a, b) = (b"hello ".as_slice(), b"world".as_slice());
+/// let whole = crc32c(b"hello world");
+/// assert_eq!(crc32c_combine(crc32c(a), crc32c(b), b.len() as u64), whole);
+/// ```
+pub fn crc32c_combine(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    let mats = shift_matrices();
+    let mut crc = crc_a;
+    let mut len = len_b;
+    let mut k = 0usize;
+    while len != 0 {
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&mats[k], crc);
+        }
+        len >>= 1;
+        k += 1;
+    }
+    crc ^ crc_b
+}
+
+/// CRC of `buf` computed as if the 4-byte little-endian CRC field at
+/// `field_off` were zero — the shared pattern for every self-checksummed
+/// structure (log records, checkpoints, object headers, cache
+/// superblocks) without cloning the buffer to blank the field.
+pub fn crc32c_field_zeroed(buf: &[u8], field_off: usize) -> u32 {
+    debug_assert!(field_off + 4 <= buf.len());
+    let crc = crc32c(&buf[..field_off]);
+    let crc = crc32c_append(crc, &[0u8; 4]);
+    crc32c_append(crc, &buf[field_off + 4..])
+}
+
+// ---------------------------------------------------------------------
+// Hardware engine (x86_64 SSE4.2).
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod hw {
+    use super::crc32c_combine;
+
+    /// Below this the 3-lane split isn't worth its two combine calls
+    /// (measured: at 4 KiB the split is a slight loss, at 8 KiB a clear
+    /// win).
+    const TRI_MIN: usize = 8192;
+
+    pub fn crc32c_append_hw(crc: u32, data: &[u8]) -> u32 {
+        if data.len() >= TRI_MIN {
+            // Split into three equal 8-byte-aligned lanes plus a tail;
+            // the lanes stream through the crc32 unit concurrently and
+            // their finalized values are merged by combine.
+            let lane = (data.len() / 3) & !7;
+            let (a, rest) = data.split_at(lane);
+            let (b, rest) = rest.split_at(lane);
+            let (c, tail) = rest.split_at(lane);
+            // SAFETY: dispatch already verified sse4.2 support.
+            let (ra, rb, rc) = unsafe { raw_tri(!crc, a, b, c) };
+            let merged = crc32c_combine(crc32c_combine(!ra, !rb, lane as u64), !rc, lane as u64);
+            if tail.is_empty() {
+                merged
+            } else {
+                // SAFETY: as above.
+                !(unsafe { raw_one(!merged, tail) })
+            }
+        } else {
+            // SAFETY: as above.
+            !(unsafe { raw_one(!crc, data) })
+        }
+    }
+
+    /// Single-lane raw update (operates on the inverted register value).
+    #[target_feature(enable = "sse4.2")]
+    unsafe fn raw_one(crc: u32, data: &[u8]) -> u32 {
+        use core::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+        let mut c = crc as u64;
+        let mut chunks = data.chunks_exact(8);
+        for ch in &mut chunks {
+            c = _mm_crc32_u64(c, u64::from_le_bytes(ch.try_into().unwrap()));
+        }
+        let mut c = c as u32;
+        for &b in chunks.remainder() {
+            c = _mm_crc32_u8(c, b);
+        }
+        c
+    }
+
+    /// Three independent raw updates over equal-length (multiple of 8)
+    /// slices, interleaved so the instructions pipeline.
+    #[target_feature(enable = "sse4.2")]
+    unsafe fn raw_tri(crc_a: u32, a: &[u8], b: &[u8], c: &[u8]) -> (u32, u32, u32) {
+        use core::arch::x86_64::_mm_crc32_u64;
+        debug_assert!(a.len() == b.len() && b.len() == c.len());
+        debug_assert_eq!(a.len() % 8, 0);
+        let (mut ra, mut rb, mut rc) = (crc_a as u64, !0u32 as u64, !0u32 as u64);
+        let mut ia = a.chunks_exact(8);
+        let mut ib = b.chunks_exact(8);
+        let mut ic = c.chunks_exact(8);
+        while let (Some(xa), Some(xb), Some(xc)) = (ia.next(), ib.next(), ic.next()) {
+            ra = _mm_crc32_u64(ra, u64::from_le_bytes(xa.try_into().unwrap()));
+            rb = _mm_crc32_u64(rb, u64::from_le_bytes(xb.try_into().unwrap()));
+            rc = _mm_crc32_u64(rc, u64::from_le_bytes(xc.try_into().unwrap()));
+        }
+        (ra as u32, rb as u32, rc as u32)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Software engine tables (slicing-by-16).
+// ---------------------------------------------------------------------
+
+fn sw_tables() -> &'static [[u32; 256]; 16] {
+    static TABLES: OnceLock<Box<[[u32; 256]; 16]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 16]);
+        for i in 0..256 {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            t[0][i] = crc;
+        }
+        for k in 1..16 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            }
+        }
+        t
+    })
+}
+
+// ---------------------------------------------------------------------
+// GF(2) combine machinery (zlib's crc32_combine, Castagnoli polynomial).
+// ---------------------------------------------------------------------
+
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0usize;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_matrix_square(sq: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        sq[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// `shift_matrices()[k]` is the operator advancing a CRC register past
+/// `2^k` zero bytes. 64 × 32 × 4 bytes = 8 KiB, built once.
+fn shift_matrices() -> &'static [[u32; 32]; 64] {
+    static MATS: OnceLock<Box<[[u32; 32]; 64]>> = OnceLock::new();
+    MATS.get_or_init(|| {
+        // Operator for one zero *bit*.
+        let mut odd = [0u32; 32];
+        odd[0] = POLY;
+        for (n, slot) in odd.iter_mut().enumerate().skip(1) {
+            *slot = 1 << (n - 1);
+        }
+        // Square up to one byte: 1 → 2 → 4 → 8 bits.
+        let mut even = [0u32; 32];
+        gf2_matrix_square(&mut even, &odd); // 2 bits
+        gf2_matrix_square(&mut odd, &even); // 4 bits
+        let mut mats = Box::new([[0u32; 32]; 64]);
+        gf2_matrix_square(&mut mats[0], &odd); // 8 bits = 1 byte
+        for k in 1..64 {
+            let (done, rest) = mats.split_at_mut(k);
+            gf2_matrix_square(&mut rest[0], &done[k - 1]);
+        }
+        mats
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Bit-at-a-time reference implementation.
+    fn crc32c_ref(data: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
 
     #[test]
     fn known_vectors() {
@@ -124,6 +387,94 @@ mod tests {
                 assert_ne!(crc32c(&data), orig, "flip at {byte}:{bit} undetected");
                 data[byte] ^= 1 << bit;
             }
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_reference() {
+        // Varied lengths and offsets cover the u64 body, byte tails, and
+        // (at 64 KiB+) the 3-lane hardware split.
+        let buf: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        for &(off, len) in &[
+            (0usize, 0usize),
+            (0, 1),
+            (3, 5),
+            (1, 7),
+            (0, 8),
+            (5, 16),
+            (2, 255),
+            (0, 4096),
+            (1, 4097),
+            (7, 9000),
+            (0, 65536),
+            (3, 99_000),
+        ] {
+            let slice = &buf[off..off + len];
+            let want = crc32c_ref(slice);
+            assert_eq!(crc32c(slice), want, "dispatch off={off} len={len}");
+            assert_eq!(crc32c_sw(slice), want, "sw off={off} len={len}");
+        }
+    }
+
+    #[test]
+    fn sw_append_matches_dispatch_append() {
+        let buf: Vec<u8> = (0..5000u32).map(|i| (i % 241) as u8).collect();
+        for split in [0, 1, 13, 100, 4999, 5000] {
+            let (a, b) = buf.split_at(split);
+            assert_eq!(
+                crc32c_append_sw(crc32c_sw(a), b),
+                crc32c(&buf),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_identity_holds() {
+        let buf: Vec<u8> = (0..70_000u32).map(|i| (i * 7 % 253) as u8).collect();
+        for split in [0usize, 1, 3, 512, 4096, 12345, 65536, 69_999, 70_000] {
+            let (a, b) = buf.split_at(split);
+            assert_eq!(
+                crc32c_combine(crc32c(a), crc32c(b), b.len() as u64),
+                crc32c(&buf),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_with_empty_sides() {
+        let c = crc32c(b"payload");
+        assert_eq!(crc32c_combine(c, crc32c(b""), 0), c);
+        assert_eq!(crc32c_combine(crc32c(b""), c, 7), c);
+    }
+
+    #[test]
+    fn combine_folds_many_chunks() {
+        let buf: Vec<u8> = (0..40_960u32).map(|i| (i % 199) as u8).collect();
+        let mut crc = 0u32;
+        let mut first = true;
+        for chunk in buf.chunks(4096) {
+            let c = crc32c(chunk);
+            crc = if first {
+                c
+            } else {
+                crc32c_combine(crc, c, chunk.len() as u64)
+            };
+            first = false;
+        }
+        assert_eq!(crc, crc32c(&buf));
+    }
+
+    #[test]
+    fn field_zeroed_matches_clone_and_blank() {
+        let mut buf: Vec<u8> = (0..300u32).map(|i| (i % 250) as u8).collect();
+        for off in [0usize, 4, 77, 296] {
+            let fast = crc32c_field_zeroed(&buf, off);
+            let saved: [u8; 4] = buf[off..off + 4].try_into().unwrap();
+            buf[off..off + 4].fill(0);
+            assert_eq!(fast, crc32c(&buf), "field at {off}");
+            buf[off..off + 4].copy_from_slice(&saved);
         }
     }
 }

@@ -236,6 +236,50 @@ impl<V: ExtentValue> ExtentMap<V> {
         self.map.insert(start, Ext { len, val });
     }
 
+    /// Builds a map from `(start, len, value)` triples in one pass.
+    ///
+    /// The fast path expects what checkpoint serialization and recovery
+    /// replay produce — address-ordered, non-overlapping extents — and
+    /// appends straight into the tree with only tail coalescing, skipping
+    /// the overlap search, split and re-merge work [`ExtentMap::insert`]
+    /// does per extent (which dominates large map restores). Input that
+    /// violates the precondition is detected and re-loaded through
+    /// `insert`, so the result always equals inserting the items in order.
+    pub fn bulk_load(items: impl IntoIterator<Item = (u64, u64, V)>) -> Self {
+        let items: Vec<(u64, u64, V)> = items.into_iter().collect();
+        let sorted = items
+            .windows(2)
+            .all(|w| w[0].0 + w[0].1 <= w[1].0 || w[0].1 == 0);
+        if !sorted {
+            let mut m = ExtentMap::new();
+            for (s, l, v) in items {
+                m.insert(s, l, v);
+            }
+            return m;
+        }
+        let mut m = ExtentMap::new();
+        let mut tail: Option<(u64, u64, V)> = None;
+        for (start, len, val) in items {
+            if len == 0 {
+                continue;
+            }
+            match &mut tail {
+                Some((ts, tl, tv)) if start == *ts + *tl && tv.advance(*tl) == val => {
+                    *tl += len; // continuous with the tail: keep extents maximal
+                }
+                Some((ts, tl, tv)) => {
+                    m.map.insert(*ts, Ext { len: *tl, val: *tv });
+                    (*ts, *tl, *tv) = (start, len, val);
+                }
+                None => tail = Some((start, len, val)),
+            }
+        }
+        if let Some((ts, tl, tv)) = tail {
+            m.map.insert(ts, Ext { len: tl, val: tv });
+        }
+        m
+    }
+
     /// Returns the extent containing `pos`, as `(start, len, value_at_start)`.
     pub fn lookup(&self, pos: u64) -> Option<(u64, u64, V)> {
         if let Some((s, l, v)) = self.cursor.get() {
@@ -533,6 +577,49 @@ mod tests {
         assert_eq!(m.lookup(5), Some((0, 10, 7)));
         m.clear();
         assert_eq!(m.lookup(5), None, "stale cursor after clear");
+    }
+
+    #[test]
+    fn bulk_load_matches_per_insert_on_sorted_input() {
+        // Sorted, non-overlapping, with a continuous run that must
+        // coalesce ([0,4)+[4,4) -> one extent) and a gap after it.
+        let items: Vec<(u64, u64, u64)> = vec![
+            (0, 4, 100),
+            (4, 4, 104),
+            (12, 6, 500),
+            (18, 2, 506),
+            (30, 0, 9), // zero-length noop
+            (40, 8, 700),
+        ];
+        let bulk = ExtentMap::bulk_load(items.iter().copied());
+        let mut per_insert = ExtentMap::new();
+        for &(s, l, v) in &items {
+            per_insert.insert(s, l, v);
+        }
+        bulk.check_invariants();
+        assert_eq!(
+            bulk.iter().collect::<Vec<_>>(),
+            per_insert.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(bulk.len(), 3); // [0,8), [12,8), [40,8)
+    }
+
+    #[test]
+    fn bulk_load_falls_back_on_unsorted_or_overlapping_input() {
+        // Out of order and overlapping: overwrite semantics must match
+        // inserting the items sequentially (later items win).
+        let items: Vec<(u64, u64, u64)> = vec![(20, 10, 100), (0, 10, 0), (5, 10, 900)];
+        let bulk = ExtentMap::bulk_load(items.iter().copied());
+        let mut per_insert = ExtentMap::new();
+        for &(s, l, v) in &items {
+            per_insert.insert(s, l, v);
+        }
+        bulk.check_invariants();
+        assert_eq!(
+            bulk.iter().collect::<Vec<_>>(),
+            per_insert.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(bulk.lookup(5), Some((5, 10, 900)));
     }
 
     #[test]

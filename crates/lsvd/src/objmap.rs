@@ -260,14 +260,16 @@ impl ObjectMap {
     }
 
     /// Rebuilds from checkpoint data: raw extents and table entries.
+    ///
+    /// Checkpoints serialize [`ObjectMap::map_extents`] in address order,
+    /// so the restore goes through [`ExtentMap::bulk_load`]'s sorted fast
+    /// path instead of paying full overwrite-insert per extent.
     pub fn from_parts(
         extents: impl IntoIterator<Item = (Lba, u64, ObjLoc)>,
         table: impl IntoIterator<Item = (ObjSeq, ObjStat)>,
     ) -> Self {
         let mut m = ObjectMap::new();
-        for (lba, len, loc) in extents {
-            m.map.insert(lba, len, loc);
-        }
+        m.map = ExtentMap::bulk_load(extents);
         m.table = table.into_iter().collect();
         m
     }

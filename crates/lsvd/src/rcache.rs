@@ -15,7 +15,7 @@ use std::sync::Arc;
 use blkdev::BlockDevice;
 
 use crate::codec::{ByteReader, ByteWriter};
-use crate::crc::crc32c;
+use crate::crc::crc32c_field_zeroed;
 use crate::extent_map::{ExtentMap, Segment};
 use crate::types::{bytes_to_sectors, Lba, Plba, Result, SECTOR};
 
@@ -127,11 +127,9 @@ impl ReadCache {
             return Ok(());
         }
         w.pad_to((META_SECTORS * SECTOR) as usize);
-        let mut buf = w.into_vec();
-        let mut tmp = buf.clone();
-        tmp[4..8].fill(0);
-        let crc = crc32c(&tmp);
-        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32c_field_zeroed(w.as_slice(), 4);
+        w.patch_u32(4, crc);
+        let buf = w.into_vec();
         self.dev
             .write_at((self.region_start - META_SECTORS) * SECTOR, &buf)?;
         Ok(())
@@ -152,27 +150,29 @@ impl ReadCache {
         if rc.dev.read_at(region_start * SECTOR, &mut buf).is_err() {
             return rc;
         }
-        let mut tmp = buf.clone();
-        tmp[4..8].fill(0);
         let mut r = ByteReader::new(&buf);
         let ok = (|| -> Result<bool> {
             if r.u32()? != META_MAGIC {
                 return Ok(false);
             }
             let stored = r.u32()?;
-            if crc32c(&tmp) != stored {
+            if crc32c_field_zeroed(&buf, 4) != stored {
                 return Ok(false);
             }
             let head = r.u64()?;
             let n_map = r.u32()? as usize;
             let n_entries = r.u32()? as usize;
-            let mut map = ExtentMap::new();
+            // The snapshot was written by iterating the map, so the triples
+            // are address-ordered, disjoint and maximal: bulk_load's O(n)
+            // fast path applies.
+            let mut triples = Vec::with_capacity(n_map);
             for _ in 0..n_map {
                 let lba = r.u64()?;
                 let sectors = r.u64()?;
                 let plba = r.u64()?;
-                map.insert(lba, sectors, plba);
+                triples.push((lba, sectors, plba));
             }
+            let map = ExtentMap::bulk_load(triples);
             let mut entries = VecDeque::with_capacity(n_entries);
             let mut used = 0;
             for _ in 0..n_entries {

@@ -30,15 +30,16 @@ use objstore::{
     MetricsHandle, MetricsStore, ObjError, ObjectStore, RetryCounters, RetryHandle, RetryStore,
 };
 use telemetry::{
-    CacheTelemetry, ClientOps, DerivedTelemetry, LatencyRecorder, RetryTelemetry,
-    TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing, TraceTelemetry, WritebackTelemetry,
+    CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, LatencyRecorder,
+    RetryTelemetry, TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing, TraceTelemetry,
+    WritebackTelemetry,
 };
 
 use crate::batch::BatchBuilder;
 use crate::checkpoint::CheckpointData;
 use crate::codec::{ByteReader, ByteWriter};
 use crate::config::VolumeConfig;
-use crate::crc::crc32c;
+use crate::crc::{crc32c, crc32c_combine, crc32c_field_zeroed, crc32c_is_hw};
 use crate::extent_map::{ExtentMap, Segment};
 use crate::gc;
 use crate::objfmt::{self, Superblock};
@@ -160,9 +161,10 @@ pub struct Volume {
     rcache: ReadCache,
 
     objmap: ObjectMap,
-    /// Cache of backend object extent lists (for object-window prefetch
-    /// and GC liveness probes), keyed by sequence.
-    hdr_cache: std::collections::HashMap<ObjSeq, std::sync::Arc<Vec<(Lba, u32)>>>,
+    /// Cache of backend object headers (extent lists for object-window
+    /// prefetch and GC liveness probes, per-extent payload CRCs for GET
+    /// verification), keyed by sequence.
+    hdr_cache: std::collections::HashMap<ObjSeq, std::sync::Arc<HdrEntry>>,
     /// Insertion order of `hdr_cache` entries, oldest first (FIFO
     /// eviction; a full cache evicts one entry, never the whole map).
     hdr_order: VecDeque<ObjSeq>,
@@ -231,6 +233,23 @@ struct VolTelemetry {
     hdr_hits: u64,
     hdr_misses: u64,
     hdr_evictions: u64,
+    /// Payload bytes checksummed on the hot write path (once, at wlog
+    /// append). The data plane's "exactly one CRC per payload byte"
+    /// contract is `payload_crc_bytes == write_bytes` modulo flank
+    /// recomputes below.
+    payload_crc_bytes: u64,
+    /// Payload bytes a seal had to re-checksum because an overwrite split
+    /// a chunk mid-extent (partial flanks only; 0 for non-overlapping
+    /// workloads).
+    crc_recomputed_bytes: u64,
+    /// `crc32c_combine` invocations (O(1) each) that replaced full
+    /// re-scans at seal and GET-verify time.
+    crc_combine_ops: u64,
+    /// Payload bytes memcpy'd on the write path: client buffer into the
+    /// batch, batch into the sealed object — exactly two copies per byte.
+    copied_bytes: u64,
+    /// Backend GET payload bytes checked against header extent CRCs.
+    get_verified_bytes: u64,
 }
 
 impl VolTelemetry {
@@ -248,8 +267,20 @@ impl VolTelemetry {
             hdr_hits: 0,
             hdr_misses: 0,
             hdr_evictions: 0,
+            payload_crc_bytes: 0,
+            crc_recomputed_bytes: 0,
+            crc_combine_ops: 0,
+            copied_bytes: 0,
+            get_verified_bytes: 0,
         }
     }
+}
+
+/// A cached backend object header: the extent list plus the per-extent
+/// payload CRCs recorded at seal time (format v2).
+struct HdrEntry {
+    extents: Vec<(Lba, u32)>,
+    crcs: Vec<u32>,
 }
 
 /// The store middleware stack every volume constructor builds: an
@@ -305,12 +336,9 @@ impl CacheSb {
         w.u64(self.rc_start);
         w.u64(self.rc_sectors);
         w.pad_to((CACHE_SB_SECTORS * SECTOR) as usize);
-        let mut v = w.into_vec();
-        let mut tmp = v.clone();
-        tmp[4..8].fill(0);
-        let crc = crc32c(&tmp);
-        v[4..8].copy_from_slice(&crc.to_le_bytes());
-        v
+        let crc = crc32c_field_zeroed(w.as_slice(), 4);
+        w.patch_u32(4, crc);
+        w.into_vec()
     }
 
     fn parse(buf: &[u8]) -> Option<CacheSb> {
@@ -319,9 +347,7 @@ impl CacheSb {
             return None;
         }
         let crc = r.u32().ok()?;
-        let mut tmp = buf.to_vec();
-        tmp[4..8].fill(0);
-        if crc32c(&tmp) != crc {
+        if crc32c_field_zeroed(buf, 4) != crc {
             return None;
         }
         Some(CacheSb {
@@ -636,6 +662,8 @@ impl Volume {
             for &(lba, len) in &rec.extents {
                 self.wcache_map.insert(lba, len as u64, plba);
                 let data = self.wlog.read_data(plba, len as u64)?;
+                self.tel.payload_crc_bytes += data.len() as u64;
+                self.tel.copied_bytes += data.len() as u64;
                 self.batch.add(lba, &data, rec.seq);
                 plba += len as u64;
             }
@@ -780,7 +808,13 @@ impl Volume {
             self.wcache_map.insert(elba, len as u64, plba);
         }
         self.rcache.invalidate(lba, sectors);
-        self.batch.add(lba, data, appended.seq);
+        // The append already checksummed the payload for its log record;
+        // hand that CRC to the batch so sealing folds it into the object
+        // header instead of re-scanning the bytes.
+        self.tel.payload_crc_bytes += data.len() as u64;
+        self.tel.copied_bytes += data.len() as u64;
+        self.batch
+            .add_with_crc(lba, data, appended.seq, appended.crcs[0]);
         if self.batch.live_bytes() >= self.cfg.batch_bytes
             && self.writeback_backlog() < self.cfg.max_pending_batches
         {
@@ -910,21 +944,61 @@ impl Volume {
         let fetch = window
             .min(data_sectors.saturating_sub(loc.off as u64))
             .max(len);
-        let byte_off = (hdr_sectors + loc.off as u64) * SECTOR;
-        let data = self.fetch_window(&name, byte_off, fetch * SECTOR)?;
+        let entry = self.header_extents(loc.seq, &name)?;
+        let mut win_lo = loc.off as u64;
+        let mut win_hi = win_lo + fetch;
+        let mut expected: Option<u32> = None;
+        if self.cfg.verify_get_crc {
+            // Snap the window outward to whole header extents so the
+            // expected checksum can be folded from the per-extent CRCs the
+            // object was sealed with — no re-read of anything, just O(1)
+            // combines.
+            let mut obj_off = 0u64;
+            for (i, &(_, elen)) in entry.extents.iter().enumerate() {
+                let e_lo = obj_off;
+                let e_hi = obj_off + elen as u64;
+                obj_off = e_hi;
+                if e_hi <= win_lo {
+                    continue;
+                }
+                if e_lo >= win_hi {
+                    break;
+                }
+                win_lo = win_lo.min(e_lo);
+                win_hi = win_hi.max(e_hi);
+                expected = Some(match expected {
+                    None => entry.crcs[i],
+                    Some(acc) => {
+                        self.tel.crc_combine_ops += 1;
+                        crc32c_combine(acc, entry.crcs[i], elen as u64 * SECTOR)
+                    }
+                });
+            }
+        }
+        let fetch = win_hi - win_lo;
+        let byte_off = (hdr_sectors + win_lo) * SECTOR;
+        let (data, worker_crc) = self.fetch_window(&name, byte_off, fetch * SECTOR)?;
         self.stats.backend_gets += 1;
         self.stats.backend_get_bytes += data.len() as u64;
+        if let Some(exp) = expected {
+            // Scatter GETs arrive with worker-computed part CRCs already
+            // folded; a serial GET is checksummed here.
+            let got = worker_crc.unwrap_or_else(|| crc32c(&data));
+            self.tel.get_verified_bytes += data.len() as u64;
+            if got != exp {
+                return Err(LsvdError::Corrupt(format!(
+                    "{name}: GET payload CRC mismatch over object sectors {win_lo}..{win_hi}"
+                )));
+            }
+        }
 
         // Enter every *live* piece of the fetched object window into the
         // read cache, located via the object's header extents. Liveness is
         // judged by the object map: a piece whose vLBA now maps elsewhere
         // is stale and must not be cached. Pieces shadowed by the
         // write-back cache are punched out (write-after-read hazard §3.1).
-        let extents = self.header_extents(loc.seq, &name)?;
-        let win_lo = loc.off as u64;
-        let win_hi = win_lo + fetch;
         let mut obj_off = 0u64;
-        for &(elba, elen) in extents.iter() {
+        for &(elba, elen) in entry.extents.iter() {
             let e_lo = obj_off;
             let e_hi = obj_off + elen as u64;
             obj_off = e_hi;
@@ -949,18 +1023,22 @@ impl Volume {
         }
         // A zero-copy slice of the fetched window — the caller copies into
         // its destination buffer exactly once.
-        Ok(data.slice(..(len * SECTOR) as usize))
+        let s = ((loc.off as u64 - win_lo) * SECTOR) as usize;
+        Ok(data.slice(s..s + (len * SECTOR) as usize))
     }
 
     /// One logical prefetch-window fetch: a single ranged GET in serial
     /// mode, a scatter-gather fan-out over the writeback pool when the
-    /// window is large enough to split usefully.
-    fn fetch_window(&mut self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
+    /// window is large enough to split usefully. With GET verification on,
+    /// scattered parts come back with worker-computed CRCs which are folded
+    /// into one window checksum here (`Some`); the serial path leaves the
+    /// checksumming to the caller (`None`).
+    fn fetch_window(&mut self, name: &str, offset: u64, len: u64) -> Result<(Bytes, Option<u32>)> {
         /// Minimum bytes per scattered GET; below 2× this, one GET wins.
         const SCATTER_CHUNK: u64 = 128 << 10;
         let threads = self.pool.as_ref().map_or(0, |p| p.threads()) as u64;
         if threads < 2 || len < 2 * SCATTER_CHUNK {
-            return Ok(self.store.get_range(name, offset, len)?);
+            return Ok((self.store.get_range(name, offset, len)?, None));
         }
         let chunks = len.div_ceil(SCATTER_CHUNK).min(threads);
         let per = len.div_ceil(chunks);
@@ -971,25 +1049,34 @@ impl Volume {
             ranges.push((offset + off, l));
             off += l;
         }
-        let parts = self
-            .pool
-            .as_ref()
-            .expect("pipelined")
-            .get_scatter(name, &ranges);
+        let pool = self.pool.as_ref().expect("pipelined");
         self.stats.scatter_gets += 1;
         let mut buf = Vec::with_capacity(len as usize);
-        for p in parts {
-            buf.extend_from_slice(&p?);
+        if self.cfg.verify_get_crc {
+            let mut crc: Option<u32> = None;
+            for p in pool.get_scatter_crc(name, &ranges) {
+                let (part, part_crc) = p?;
+                crc = Some(match crc {
+                    None => part_crc,
+                    Some(acc) => {
+                        self.tel.crc_combine_ops += 1;
+                        crc32c_combine(acc, part_crc, part.len() as u64)
+                    }
+                });
+                buf.extend_from_slice(&part);
+            }
+            Ok((Bytes::from(buf), crc))
+        } else {
+            for p in pool.get_scatter(name, &ranges) {
+                buf.extend_from_slice(&p?);
+            }
+            Ok((Bytes::from(buf), None))
         }
-        Ok(Bytes::from(buf))
     }
 
-    /// The object's header extent list, cached with FIFO eviction.
-    fn header_extents(
-        &mut self,
-        seq: ObjSeq,
-        name: &str,
-    ) -> Result<std::sync::Arc<Vec<(Lba, u32)>>> {
+    /// The object's cached header (extent list + per-extent CRCs), FIFO
+    /// eviction.
+    fn header_extents(&mut self, seq: ObjSeq, name: &str) -> Result<std::sync::Arc<HdrEntry>> {
         if let Some(e) = self.hdr_cache.get(&seq) {
             self.tel.hdr_hits += 1;
             return Ok(e.clone());
@@ -997,7 +1084,10 @@ impl Volume {
         self.tel.hdr_misses += 1;
         let h = fetch_header(self.store.as_ref(), name)?
             .ok_or_else(|| LsvdError::Corrupt(format!("{name}: mapped object missing")))?;
-        let e = std::sync::Arc::new(h.extents);
+        let e = std::sync::Arc::new(HdrEntry {
+            extents: h.extents,
+            crcs: h.extent_crcs,
+        });
         if self.hdr_cache.len() >= self.cfg.hdr_cache_entries {
             // Evict the single oldest entry; dumping the whole cache made
             // every later miss refetch headers it had already paid for.
@@ -1186,6 +1276,9 @@ impl Volume {
         self.next_obj_seq = seq + 1;
         let sealed = self.batch.seal(self.sb.uuid, seq);
         let bytes = sealed.object.len() as u64;
+        self.tel.crc_recomputed_bytes += sealed.crc_recomputed_bytes;
+        self.tel.crc_combine_ops += sealed.crc_combine_ops;
+        self.tel.copied_bytes += sealed.data_bytes;
         self.pending_puts.push_back((seq, sealed));
         self.tel.enqueued_at.insert(seq, Instant::now());
         self.trace(TraceEvent::BatchSeal {
@@ -1784,6 +1877,14 @@ impl Volume {
                     0.0
                 },
                 checkpoints: stats.checkpoints,
+            },
+            data_plane: DataPlaneTelemetry {
+                payload_crc_bytes: self.tel.payload_crc_bytes,
+                crc_recomputed_bytes: self.tel.crc_recomputed_bytes,
+                crc_combine_ops: self.tel.crc_combine_ops,
+                copied_bytes: self.tel.copied_bytes,
+                get_verified_bytes: self.tel.get_verified_bytes,
+                hw_crc: crc32c_is_hw(),
             },
             trace: TraceTelemetry {
                 events: self.tel.trace.total(),

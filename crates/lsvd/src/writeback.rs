@@ -30,6 +30,10 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::types::ObjSeq;
 
+/// One scatter-GET part: the fetched bytes plus the worker-computed
+/// payload CRC when the caller asked for one.
+type GetPart = objstore::Result<(Bytes, Option<u32>)>;
+
 /// A unit of work for the pool.
 enum Job {
     Put {
@@ -42,6 +46,10 @@ enum Job {
         name: String,
         offset: u64,
         len: u64,
+        /// Checksum the fetched bytes on the worker thread (the volume's
+        /// GET-verify path folds the per-part CRCs with `crc32c_combine`
+        /// instead of re-scanning the assembled window on the foreground).
+        crc: bool,
     },
 }
 
@@ -50,7 +58,7 @@ enum Done {
     Put(PutCompletion),
     Get {
         token: u64,
-        result: objstore::Result<Bytes>,
+        result: objstore::Result<(Bytes, Option<u32>)>,
     },
 }
 
@@ -181,6 +189,28 @@ impl WritebackPool {
     /// all return. Results are in `ranges` order. PUT completions that
     /// arrive while waiting are left for the next `poll_puts`.
     pub fn get_scatter(&self, name: &str, ranges: &[(u64, u64)]) -> Vec<objstore::Result<Bytes>> {
+        self.scatter(name, ranges, false)
+            .into_iter()
+            .map(|r| r.map(|(b, _)| b))
+            .collect()
+    }
+
+    /// Like [`WritebackPool::get_scatter`], but each worker also computes
+    /// the CRC32C of its fetched part before handing it back, so the
+    /// checksum pass overlaps the transfers instead of serializing after
+    /// them.
+    pub fn get_scatter_crc(
+        &self,
+        name: &str,
+        ranges: &[(u64, u64)],
+    ) -> Vec<objstore::Result<(Bytes, u32)>> {
+        self.scatter(name, ranges, true)
+            .into_iter()
+            .map(|r| r.map(|(b, crc)| (b, crc.expect("crc requested"))))
+            .collect()
+    }
+
+    fn scatter(&self, name: &str, ranges: &[(u64, u64)], crc: bool) -> Vec<GetPart> {
         let n = ranges.len();
         if n == 0 {
             return Vec::new();
@@ -194,12 +224,13 @@ impl WritebackPool {
                     name: name.to_string(),
                     offset,
                     len,
+                    crc,
                 });
             }
         }
         self.shared.work_cv.notify_all();
 
-        let mut results: Vec<Option<objstore::Result<Bytes>>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<GetPart>> = (0..n).map(|_| None).collect();
         let mut got = 0;
         let mut st = self.shared.state.lock();
         while got < n {
@@ -288,10 +319,14 @@ fn worker(shared: Arc<Shared>) {
                 name,
                 offset,
                 len,
+                crc,
             } => (
                 Done::Get {
                     token,
-                    result: shared.store.get_range(&name, offset, len),
+                    result: shared.store.get_range(&name, offset, len).map(|b| {
+                        let c = crc.then(|| crate::crc::crc32c(&b));
+                        (b, c)
+                    }),
                 },
                 false,
             ),
@@ -470,5 +505,27 @@ mod tests {
         let parts = pool.get_scatter("obj", &[(0, 16), (1 << 20, 16)]);
         assert!(parts[0].is_ok());
         assert!(parts[1].is_err());
+    }
+
+    #[test]
+    fn scatter_get_crc_matches_foreground_checksum() {
+        use crate::crc::{crc32c, crc32c_combine};
+
+        let store = Arc::new(MemStore::new());
+        let body: Vec<u8> = (0..=255u8).cycle().take(1 << 15).collect();
+        store.put("obj", Bytes::from(body.clone())).unwrap();
+        let pool = WritebackPool::spawn(store, 3).unwrap();
+        let ranges: Vec<(u64, u64)> = (0..4).map(|i| (i * 8192, 8192)).collect();
+        let parts = pool.get_scatter_crc("obj", &ranges);
+        let mut folded: Option<u32> = None;
+        for p in parts {
+            let (bytes, crc) = p.unwrap();
+            assert_eq!(crc, crc32c(&bytes), "worker CRC must cover its part");
+            folded = Some(match folded {
+                None => crc,
+                Some(acc) => crc32c_combine(acc, crc, bytes.len() as u64),
+            });
+        }
+        assert_eq!(folded, Some(crc32c(&body)));
     }
 }

@@ -36,7 +36,7 @@ pub use json::Json;
 pub use recorder::{LatencyRecorder, LatencySnapshot};
 pub use sketch::Summary;
 pub use snapshot::{
-    BackendOps, CacheTelemetry, ClientOps, DerivedTelemetry, RetryTelemetry, TelemetrySnapshot,
-    TraceTelemetry, WritebackTelemetry, SCHEMA,
+    BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, RetryTelemetry,
+    TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
 };
 pub use trace::{TraceEvent, TraceRecord, TraceRing};

@@ -135,6 +135,29 @@ pub struct DerivedTelemetry {
     pub checkpoints: u64,
 }
 
+/// Data-plane byte accounting: how many times payload bytes were
+/// checksummed and copied end to end. The write path's contract is one
+/// CRC pass and two copies per payload byte; these counters make that
+/// auditable from the outside.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DataPlaneTelemetry {
+    /// Payload bytes checksummed once on the hot write path (at log
+    /// append; the same CRC is reused by the batch and object header).
+    pub payload_crc_bytes: u64,
+    /// Payload bytes re-checksummed at seal because an overwrite split a
+    /// batch chunk mid-extent (partial flanks only).
+    pub crc_recomputed_bytes: u64,
+    /// O(1) `crc32c_combine` folds that replaced full re-scans.
+    pub crc_combine_ops: u64,
+    /// Payload bytes memcpy'd on the write path (client → batch, batch →
+    /// sealed object).
+    pub copied_bytes: u64,
+    /// Backend GET payload bytes verified against header extent CRCs.
+    pub get_verified_bytes: u64,
+    /// Whether the hardware (SSE4.2) CRC32C kernel is active.
+    pub hw_crc: bool,
+}
+
 /// Trace-ring occupancy counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceTelemetry {
@@ -163,6 +186,8 @@ pub struct TelemetrySnapshot {
     pub retry: RetryTelemetry,
     /// Derived paper-figure observables.
     pub derived: DerivedTelemetry,
+    /// Data-plane copy/CRC byte accounting.
+    pub data_plane: DataPlaneTelemetry,
     /// Trace-ring occupancy.
     pub trace: TraceTelemetry,
 }
@@ -342,6 +367,32 @@ impl TelemetrySnapshot {
                 ]),
             ),
             (
+                "data_plane".into(),
+                Json::Obj(vec![
+                    (
+                        "payload_crc_bytes".into(),
+                        Json::Num(self.data_plane.payload_crc_bytes as f64),
+                    ),
+                    (
+                        "crc_recomputed_bytes".into(),
+                        Json::Num(self.data_plane.crc_recomputed_bytes as f64),
+                    ),
+                    (
+                        "crc_combine_ops".into(),
+                        Json::Num(self.data_plane.crc_combine_ops as f64),
+                    ),
+                    (
+                        "copied_bytes".into(),
+                        Json::Num(self.data_plane.copied_bytes as f64),
+                    ),
+                    (
+                        "get_verified_bytes".into(),
+                        Json::Num(self.data_plane.get_verified_bytes as f64),
+                    ),
+                    ("hw_crc".into(), Json::Bool(self.data_plane.hw_crc)),
+                ]),
+            ),
+            (
                 "trace".into(),
                 Json::Obj(vec![
                     ("events".into(), Json::Num(self.trace.events as f64)),
@@ -365,6 +416,7 @@ impl TelemetrySnapshot {
         let cache = j.get("cache");
         let retry = j.get("retry");
         let derived = j.get("derived");
+        let dp = j.get("data_plane");
         let trace = j.get("trace");
         fn sub<'a>(parent: Option<&'a Json>, key: &str) -> Option<&'a Json> {
             parent.and_then(|p| p.get(key))
@@ -426,6 +478,14 @@ impl TelemetrySnapshot {
                     .map_or(0.0, |d| num_f64(d, "backend_objects_per_sec")),
                 gc_dead_space_ratio: derived.map_or(0.0, |d| num_f64(d, "gc_dead_space_ratio")),
                 checkpoints: derived.map_or(0, |d| num_u64(d, "checkpoints")),
+            },
+            data_plane: DataPlaneTelemetry {
+                payload_crc_bytes: dp.map_or(0, |d| num_u64(d, "payload_crc_bytes")),
+                crc_recomputed_bytes: dp.map_or(0, |d| num_u64(d, "crc_recomputed_bytes")),
+                crc_combine_ops: dp.map_or(0, |d| num_u64(d, "crc_combine_ops")),
+                copied_bytes: dp.map_or(0, |d| num_u64(d, "copied_bytes")),
+                get_verified_bytes: dp.map_or(0, |d| num_u64(d, "get_verified_bytes")),
+                hw_crc: dp.is_some_and(|d| flag(d, "hw_crc")),
             },
             trace: TraceTelemetry {
                 events: trace.map_or(0, |t| num_u64(t, "events")),
@@ -542,6 +602,27 @@ impl TelemetrySnapshot {
         );
         gauge("lsvd_gc_dead_space_ratio", self.derived.gc_dead_space_ratio);
         gauge("lsvd_checkpoints", self.derived.checkpoints as f64);
+        gauge(
+            "lsvd_dp_payload_crc_bytes",
+            self.data_plane.payload_crc_bytes as f64,
+        );
+        gauge(
+            "lsvd_dp_crc_recomputed_bytes",
+            self.data_plane.crc_recomputed_bytes as f64,
+        );
+        gauge(
+            "lsvd_dp_crc_combine_ops",
+            self.data_plane.crc_combine_ops as f64,
+        );
+        gauge("lsvd_dp_copied_bytes", self.data_plane.copied_bytes as f64);
+        gauge(
+            "lsvd_dp_get_verified_bytes",
+            self.data_plane.get_verified_bytes as f64,
+        );
+        gauge(
+            "lsvd_dp_hw_crc",
+            if self.data_plane.hw_crc { 1.0 } else { 0.0 },
+        );
         gauge("lsvd_trace_events", self.trace.events as f64);
         gauge("lsvd_trace_dropped", self.trace.dropped as f64);
         gauge("lsvd_trace_capacity", self.trace.capacity as f64);
@@ -599,6 +680,16 @@ impl TelemetrySnapshot {
             fmt1(self.derived.backend_objects_per_sec),
             fmt2(self.derived.gc_dead_space_ratio),
             self.derived.checkpoints
+        );
+        let _ = writeln!(
+            out,
+            "  data-plane  crc={}B (recomputed {}B, {} combines) copied={}B verified={}B hw={}",
+            self.data_plane.payload_crc_bytes,
+            self.data_plane.crc_recomputed_bytes,
+            self.data_plane.crc_combine_ops,
+            self.data_plane.copied_bytes,
+            self.data_plane.get_verified_bytes,
+            self.data_plane.hw_crc
         );
         let _ = writeln!(
             out,
@@ -686,6 +777,14 @@ mod tests {
                 gc_dead_space_ratio: 0.21,
                 checkpoints: 3,
             },
+            data_plane: DataPlaneTelemetry {
+                payload_crc_bytes: 1 << 20,
+                crc_recomputed_bytes: 2048,
+                crc_combine_ops: 33,
+                copied_bytes: 2 << 20,
+                get_verified_bytes: 4096,
+                hw_crc: true,
+            },
             trace: TraceTelemetry {
                 events: 500,
                 dropped: 12,
@@ -741,7 +840,14 @@ mod tests {
     #[test]
     fn report_mentions_headline_sections() {
         let rep = sample().report();
-        for needle in ["ops.write", "pipeline", "derived", "WA=1.37", "trace"] {
+        for needle in [
+            "ops.write",
+            "pipeline",
+            "derived",
+            "WA=1.37",
+            "data-plane",
+            "trace",
+        ] {
             assert!(rep.contains(needle), "missing {needle}: {rep}");
         }
     }

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh micro-bench run against the
+committed baseline (BENCH_lsvd.json).
+
+Usage:
+    scripts/bench_gate.py [--fresh PATH] [--baseline PATH] [--tolerance X]
+
+Without --fresh, runs the suite in quick mode (LSVD_BENCH_QUICK=1) and
+writes its JSON to a temp file first. Only the data-plane hot-path
+benchmarks are gated — `crc32c/*`, `wlog/append/*`, and
+`volume/write/4K` — because those are the numbers the zero-copy write
+path and the accelerated CRC kernel are accountable for. Everything else
+in the suite is informational.
+
+A benchmark fails the gate when its fresh ns_per_iter exceeds
+baseline * tolerance (default 2x: quick mode on shared CI runners is
+noisy, so the gate only catches order-of-magnitude regressions such as
+the dispatch silently falling back to the bitwise path or the wlog
+re-growing its per-append allocation). Benchmarks present in only one
+file are reported but do not fail the gate, so adding a new benchmark
+does not require regenerating the baseline in the same change.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/run error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATED_PREFIXES = ("crc32c/", "wlog/append/")
+GATED_EXACT = ("volume/write/4K",)
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def is_gated(name: str) -> bool:
+    return name.startswith(GATED_PREFIXES) or name in GATED_EXACT
+
+
+def load_results(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("suite") != "lsvd-microbench":
+        sys.exit(f"error: {path} is not an lsvd-microbench result file")
+    return {r["name"]: r for r in doc["results"]}
+
+
+def run_quick_suite() -> str:
+    out = os.path.join(tempfile.mkdtemp(prefix="bench-gate-"), "fresh.json")
+    env = dict(os.environ, LSVD_BENCH_QUICK="1", LSVD_BENCH_JSON=out)
+    print(f"running quick bench suite -> {out}", flush=True)
+    proc = subprocess.run(
+        ["cargo", "bench", "-p", "bench", "--bench", "micro"],
+        cwd=REPO,
+        env=env,
+    )
+    if proc.returncode != 0:
+        sys.exit(2)
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", help="bench JSON to check (default: run quick suite)")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(REPO, "BENCH_lsvd.json"),
+        help="committed baseline JSON (default: BENCH_lsvd.json)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed ns_per_iter ratio vs baseline (default: 2.0)",
+    )
+    args = ap.parse_args()
+
+    fresh_path = args.fresh or run_quick_suite()
+    baseline = load_results(args.baseline)
+    fresh = load_results(fresh_path)
+
+    failures = []
+    print(f"{'benchmark':<28} {'baseline ns':>12} {'fresh ns':>12} {'ratio':>7}")
+    for name in sorted(n for n in baseline if is_gated(n)):
+        base_ns = baseline[name]["ns_per_iter"]
+        if name not in fresh:
+            print(f"{name:<28} {base_ns:>12.2f} {'missing':>12} {'-':>7}")
+            continue
+        fresh_ns = fresh[name]["ns_per_iter"]
+        ratio = fresh_ns / base_ns if base_ns else float("inf")
+        verdict = ""
+        if ratio > args.tolerance:
+            failures.append((name, base_ns, fresh_ns, ratio))
+            verdict = "  REGRESSION"
+        print(f"{name:<28} {base_ns:>12.2f} {fresh_ns:>12.2f} {ratio:>6.2f}x{verdict}")
+    for name in sorted(n for n in fresh if is_gated(n) and n not in baseline):
+        print(f"{name:<28} {'(new)':>12} {fresh[name]['ns_per_iter']:>12.2f} {'-':>7}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond {args.tolerance}x:")
+        for name, base_ns, fresh_ns, ratio in failures:
+            print(f"  {name}: {base_ns:.2f} ns -> {fresh_ns:.2f} ns ({ratio:.2f}x)")
+        return 1
+    print("\nbench gate: all gated benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
