@@ -305,6 +305,91 @@ fn bench_volume_write_read(c: &mut Criterion) {
     g.finish();
 }
 
+/// 4K random read/write through the loopback NBD serving plane against
+/// the same ops on the shared volume directly. The delta is the serving
+/// tax: framing, two socket hops, the scheduler hand-off, and the
+/// reply-window bookkeeping — the overhead §5's "virtues of the log"
+/// argument says the backend must amortise.
+fn bench_nbd(c: &mut Criterion) {
+    use lsvd::shared::SharedVolume;
+    use nbd::server::ServerConfig;
+
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(64 << 20));
+    let vol = Volume::create(
+        store,
+        cache,
+        "bench",
+        256 << 20,
+        VolumeConfig {
+            gc_enabled: false,
+            ..VolumeConfig::default()
+        },
+    )
+    .unwrap();
+    let shared = SharedVolume::new(vol);
+    let handle = nbd::serve(
+        "127.0.0.1:0",
+        "bench",
+        shared.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr();
+
+    // Pre-write the window so random reads hit mapped extents, not the
+    // zero-fill path.
+    let warm = vec![0xABu8; 64 << 10];
+    let window = 64u64 << 20;
+    for off in (0..window).step_by(64 << 10) {
+        shared.write(off, &warm).unwrap();
+    }
+    shared.flush().unwrap();
+
+    let mut g = c.benchmark_group("nbd");
+    let data = vec![0x5Au8; 4096];
+    let mut buf = vec![0u8; 4096];
+    let mut client = nbd::Client::connect(addr, "bench").expect("connect");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("randread_4K_loopback", |b| {
+        let mut x = 0x1357u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (x >> 33) % (window / 4096) * 4096;
+            client.read(off, &mut buf).unwrap();
+        });
+    });
+    g.bench_function("randwrite_4K_loopback", |b| {
+        let mut x = 0x2468u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (x >> 33) % (window / 4096) * 4096;
+            client.write(off, &data).unwrap();
+        });
+    });
+    g.bench_function("randread_4K_direct", |b| {
+        let mut x = 0x1357u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (x >> 33) % (window / 4096) * 4096;
+            shared.read(off, &mut buf).unwrap();
+        });
+    });
+    g.bench_function("randwrite_4K_direct", |b| {
+        let mut x = 0x2468u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (x >> 33) % (window / 4096) * 4096;
+            shared.write(off, &data).unwrap();
+        });
+    });
+    g.finish();
+
+    client.disconnect().ok();
+    handle.stop();
+    shared.shutdown().unwrap();
+}
+
 fn bench_gcsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gcsim");
     g.bench_function("write_with_gc_churn", |b| {
@@ -330,6 +415,7 @@ criterion_group!(
     bench_batch_seal,
     bench_volume_write,
     bench_volume_write_read,
+    bench_nbd,
     bench_gcsim
 );
 

@@ -13,6 +13,7 @@
 //! lsvdctl write     <bucket> <image> <offset>        # data from stdin
 //! lsvdctl read      <bucket> <image> <offset> <len>  # raw data to stdout
 //! lsvdctl fill      <bucket> <image> <offset> <len> <byte>
+//! lsvdctl trim      <bucket> <image> <offset> <len>  # discard a range
 //! lsvdctl snapshot  <bucket> <image> <name>
 //! lsvdctl snapshots <bucket> <image>
 //! lsvdctl clone     <bucket> <base> <new> [snapshot]
@@ -21,6 +22,10 @@
 //! lsvdctl replicate <src-bucket> <dst-bucket> <image>
 //! lsvdctl gen-trace <kind> <out.trace> <ops>    # kind: randwrite|randread|varmail|oltp|fileserver
 //! lsvdctl replay    <bucket> <image> <trace>    # apply a trace to a volume
+//!
+//! # network serving plane (crates/nbd)
+//! lsvdctl serve         <bucket> <image> [--addr 127.0.0.1:10809] [--oneshot]
+//! lsvdctl nbd-roundtrip <bucket> <image>   # loopback smoke: serve + client
 //!
 //! # one cache SSD shared by many volumes (§3.1)
 //! lsvdctl host format <cache.img> <size>
@@ -31,7 +36,12 @@
 //!
 //! options: --cache <path>   cache file (default <image>.cache)
 //!          --cache-size <n> cache file size (default 256M)
+//!          --addr <a>       serve listen address (default 127.0.0.1:10809)
+//!          --oneshot        serve one connection, then shut down cleanly
 //! ```
+//!
+//! Every command exits 0 on success and 1 with a message on stderr
+//! otherwise, so scripts and CI can gate on `lsvdctl`.
 
 use std::io::{Read, Write};
 use std::process::exit;
@@ -41,19 +51,23 @@ use blkdev::FileDisk;
 use lsvd::config::VolumeConfig;
 use lsvd::host::Host;
 use lsvd::replication::Replicator;
+use lsvd::shared::SharedVolume;
 use lsvd::volume::Volume;
+use nbd::server::ServerConfig;
 use objstore::{DirStore, ObjectStore};
 use workloads::filebench::{FilebenchSpec, Personality};
 use workloads::fio::FioSpec;
 use workloads::replay::{TraceRecord, TraceWorkload, TraceWriter};
 use workloads::{IoOp, Workload};
 
+type CmdResult = Result<(), String>;
+
 fn die(msg: &str) -> ! {
     eprintln!("lsvdctl: {msg}");
     exit(1)
 }
 
-fn parse_size(s: &str) -> u64 {
+fn parse_size(s: &str) -> Result<u64, String> {
     let (num, mult) = match s.as_bytes().last() {
         Some(b'K' | b'k') => (&s[..s.len() - 1], 1u64 << 10),
         Some(b'M' | b'm') => (&s[..s.len() - 1], 1 << 20),
@@ -61,20 +75,24 @@ fn parse_size(s: &str) -> u64 {
         _ => (s, 1),
     };
     num.parse::<u64>()
-        .unwrap_or_else(|_| die(&format!("bad size {s}")))
-        * mult
+        .map(|n| n * mult)
+        .map_err(|_| format!("bad size {s}"))
 }
 
 struct Opts {
     args: Vec<String>,
     cache: Option<String>,
     cache_size: u64,
+    addr: String,
+    oneshot: bool,
 }
 
 fn parse_opts() -> Opts {
     let mut args = Vec::new();
     let mut cache = None;
     let mut cache_size = 256 << 20;
+    let mut addr = "127.0.0.1:10809".to_string();
+    let mut oneshot = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,11 +102,15 @@ fn parse_opts() -> Opts {
                     &it.next()
                         .unwrap_or_else(|| die("--cache-size needs a size")),
                 )
+                .unwrap_or_else(|e| die(&e))
             }
+            "--addr" => addr = it.next().unwrap_or_else(|| die("--addr needs an address")),
+            "--oneshot" => oneshot = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "see `lsvdctl` module docs; commands: create info ls write read fill \
-                     snapshot snapshots clone gc stats replicate gen-trace replay host"
+                    "see `lsvdctl` module docs; commands: create info ls write read fill trim \
+                     snapshot snapshots clone gc stats replicate gen-trace replay serve \
+                     nbd-roundtrip host"
                 );
                 exit(0);
             }
@@ -99,57 +121,74 @@ fn parse_opts() -> Opts {
         args,
         cache,
         cache_size,
+        addr,
+        oneshot,
     }
 }
 
-fn open_store(bucket: &str) -> Arc<dyn ObjectStore> {
-    Arc::new(DirStore::open(bucket).unwrap_or_else(|e| die(&format!("open bucket {bucket}: {e}"))))
+fn open_store(bucket: &str) -> Result<Arc<dyn ObjectStore>, String> {
+    Ok(Arc::new(
+        DirStore::open(bucket).map_err(|e| format!("open bucket {bucket}: {e}"))?,
+    ))
 }
 
-fn open_cache(opts: &Opts, image: &str) -> Arc<FileDisk> {
+fn open_cache(opts: &Opts, image: &str) -> Result<Arc<FileDisk>, String> {
     let path = opts
         .cache
         .clone()
         .unwrap_or_else(|| format!("{image}.cache"));
-    Arc::new(
-        FileDisk::create(&path, opts.cache_size)
-            .unwrap_or_else(|e| die(&format!("cache file {path}: {e}"))),
-    )
+    Ok(Arc::new(
+        FileDisk::create(&path, opts.cache_size).map_err(|e| format!("cache file {path}: {e}"))?,
+    ))
 }
 
-fn open_volume(opts: &Opts, bucket: &str, image: &str) -> Volume {
-    let store = open_store(bucket);
-    let cache = open_cache(opts, image);
+fn open_volume(opts: &Opts, bucket: &str, image: &str) -> Result<Volume, String> {
+    let store = open_store(bucket)?;
+    let cache = open_cache(opts, image)?;
     Volume::open(store, cache, image, VolumeConfig::default())
-        .unwrap_or_else(|e| die(&format!("open {image}: {e}")))
+        .map_err(|e| format!("open {image}: {e}"))
 }
 
-fn open_host(bucket: &str, cache_path: &str) -> Host {
-    let store = open_store(bucket);
-    let dev = Arc::new(
-        FileDisk::open(cache_path).unwrap_or_else(|e| die(&format!("cache {cache_path}: {e}"))),
-    );
-    Host::open(dev, store).unwrap_or_else(|e| die(&format!("open host: {e}")))
+fn open_host(bucket: &str, cache_path: &str) -> Result<Host, String> {
+    let store = open_store(bucket)?;
+    let dev = Arc::new(FileDisk::open(cache_path).map_err(|e| format!("cache {cache_path}: {e}"))?);
+    Host::open(dev, store).map_err(|e| format!("open host: {e}"))
+}
+
+fn shutdown(vol: Volume) -> CmdResult {
+    vol.shutdown().map_err(|e| format!("shutdown: {e}"))
 }
 
 fn main() {
     let opts = parse_opts();
+    if let Err(msg) = run(&opts) {
+        die(&msg);
+    }
+}
+
+fn run(opts: &Opts) -> CmdResult {
     let a: Vec<&str> = opts.args.iter().map(|s| s.as_str()).collect();
     match a.as_slice() {
         ["create", bucket, image, size] => {
-            let store = open_store(bucket);
-            let cache = open_cache(&opts, image);
-            let vol = Volume::create(store, cache, image, parse_size(size), VolumeConfig::default())
-                .unwrap_or_else(|e| die(&format!("create: {e}")));
+            let store = open_store(bucket)?;
+            let cache = open_cache(opts, image)?;
+            let vol = Volume::create(
+                store,
+                cache,
+                image,
+                parse_size(size)?,
+                VolumeConfig::default(),
+            )
+            .map_err(|e| format!("create: {e}"))?;
             println!(
                 "created {image}: {} bytes, uuid {:#018x}",
                 vol.size(),
                 vol.uuid()
             );
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["info", bucket, image] => {
-            let vol = open_volume(&opts, bucket, image);
+            let vol = open_volume(opts, bucket, image)?;
             let (live, total) = vol.backend_totals();
             println!("image:        {}", vol.image());
             println!("uuid:         {:#018x}", vol.uuid());
@@ -160,137 +199,174 @@ fn main() {
                 "backend:      {} live / {} total sectors ({:.0}% utilization)",
                 live,
                 total,
-                if total > 0 { live as f64 / total as f64 * 100.0 } else { 100.0 }
+                if total > 0 {
+                    live as f64 / total as f64 * 100.0
+                } else {
+                    100.0
+                }
             );
             println!("snapshots:    {:?}", vol.snapshots());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["ls", bucket] => {
-            let store = open_store(bucket);
-            for name in store.list("").unwrap_or_else(|e| die(&format!("list: {e}"))) {
-                let size = store.head(&name).unwrap_or(0);
+            let store = open_store(bucket)?;
+            for name in store.list("").map_err(|e| format!("list: {e}"))? {
+                let size = store.head(&name).map_err(|e| format!("head {name}: {e}"))?;
                 println!("{size:>12}  {name}");
             }
+            Ok(())
         }
         ["write", bucket, image, offset] => {
-            let mut vol = open_volume(&opts, bucket, image);
+            let mut vol = open_volume(opts, bucket, image)?;
             let mut data = Vec::new();
             std::io::stdin()
                 .read_to_end(&mut data)
-                .unwrap_or_else(|e| die(&format!("stdin: {e}")));
+                .map_err(|e| format!("stdin: {e}"))?;
             // Pad to sector alignment (tools pipe arbitrary bytes).
             let pad = (512 - data.len() % 512) % 512;
             data.resize(data.len() + pad, 0);
-            vol.write(parse_size(offset), &data)
-                .unwrap_or_else(|e| die(&format!("write: {e}")));
-            vol.flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+            vol.write(parse_size(offset)?, &data)
+                .map_err(|e| format!("write: {e}"))?;
+            vol.flush().map_err(|e| format!("flush: {e}"))?;
             println!("wrote {} bytes (padded {pad})", data.len());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["read", bucket, image, offset, len] => {
-            let mut vol = open_volume(&opts, bucket, image);
-            let mut buf = vec![0u8; parse_size(len) as usize];
-            vol.read(parse_size(offset), &mut buf)
-                .unwrap_or_else(|e| die(&format!("read: {e}")));
+            let mut vol = open_volume(opts, bucket, image)?;
+            let mut buf = vec![0u8; parse_size(len)? as usize];
+            vol.read(parse_size(offset)?, &mut buf)
+                .map_err(|e| format!("read: {e}"))?;
             std::io::stdout()
                 .write_all(&buf)
-                .unwrap_or_else(|e| die(&format!("stdout: {e}")));
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+                .map_err(|e| format!("stdout: {e}"))?;
+            shutdown(vol)
         }
         ["fill", bucket, image, offset, len, byte] => {
-            let mut vol = open_volume(&opts, bucket, image);
-            let b: u8 = byte.parse().unwrap_or_else(|_| die("bad byte"));
-            vol.write(parse_size(offset), &vec![b; parse_size(len) as usize])
-                .unwrap_or_else(|e| die(&format!("write: {e}")));
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            let mut vol = open_volume(opts, bucket, image)?;
+            let b: u8 = byte.parse().map_err(|_| "bad byte".to_string())?;
+            vol.write(parse_size(offset)?, &vec![b; parse_size(len)? as usize])
+                .map_err(|e| format!("write: {e}"))?;
+            shutdown(vol)?;
             println!("filled");
+            Ok(())
+        }
+        ["trim", bucket, image, offset, len] => {
+            let mut vol = open_volume(opts, bucket, image)?;
+            vol.discard(parse_size(offset)?, parse_size(len)?)
+                .map_err(|e| format!("trim: {e}"))?;
+            vol.flush().map_err(|e| format!("flush: {e}"))?;
+            println!("trimmed");
+            shutdown(vol)
         }
         ["snapshot", bucket, image, name] => {
-            let mut vol = open_volume(&opts, bucket, image);
-            let seq = vol
-                .snapshot(name)
-                .unwrap_or_else(|e| die(&format!("snapshot: {e}")));
+            let mut vol = open_volume(opts, bucket, image)?;
+            let seq = vol.snapshot(name).map_err(|e| format!("snapshot: {e}"))?;
             println!("snapshot {name} at object {seq}");
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["snapshots", bucket, image] => {
-            let vol = open_volume(&opts, bucket, image);
+            let vol = open_volume(opts, bucket, image)?;
             for (name, seq) in vol.snapshots() {
                 println!("{seq:>10}  {name}");
             }
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["clone", bucket, base, new] => {
-            let store = open_store(bucket);
-            Volume::clone_image(&store, base, None, new)
-                .unwrap_or_else(|e| die(&format!("clone: {e}")));
+            let store = open_store(bucket)?;
+            Volume::clone_image(&store, base, None, new).map_err(|e| format!("clone: {e}"))?;
             println!("cloned {base} -> {new}");
+            Ok(())
         }
         ["clone", bucket, base, new, snapshot] => {
-            let store = open_store(bucket);
+            let store = open_store(bucket)?;
             Volume::clone_image(&store, base, Some(snapshot), new)
-                .unwrap_or_else(|e| die(&format!("clone: {e}")));
+                .map_err(|e| format!("clone: {e}"))?;
             println!("cloned {base}@{snapshot} -> {new}");
+            Ok(())
         }
         ["gc", bucket, image] => {
-            let mut vol = open_volume(&opts, bucket, image);
-            let collected = vol.run_gc().unwrap_or_else(|e| die(&format!("gc: {e}")));
+            let mut vol = open_volume(opts, bucket, image)?;
+            let collected = vol.run_gc().map_err(|e| format!("gc: {e}"))?;
             let (live, total) = vol.backend_totals();
             println!(
                 "collected {collected} objects; utilization now {:.0}%",
-                if total > 0 { live as f64 / total as f64 * 100.0 } else { 100.0 }
+                if total > 0 {
+                    live as f64 / total as f64 * 100.0
+                } else {
+                    100.0
+                }
             );
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["stats", bucket, image] | ["stats", bucket, image, "report"] => {
-            let vol = open_volume(&opts, bucket, image);
+            let vol = open_volume(opts, bucket, image)?;
             print!("{}", vol.telemetry().report());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["stats", bucket, image, "json"] => {
-            let vol = open_volume(&opts, bucket, image);
+            let vol = open_volume(opts, bucket, image)?;
             println!("{}", vol.telemetry().to_json().render());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["stats", bucket, image, "prom"] => {
-            let vol = open_volume(&opts, bucket, image);
+            let vol = open_volume(opts, bucket, image)?;
             print!("{}", vol.telemetry().to_prometheus());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
+        ["serve", bucket, image] => {
+            let vol = open_volume(opts, bucket, image)?;
+            let sv = SharedVolume::new(vol);
+            let cfg = ServerConfig {
+                oneshot: opts.oneshot,
+                ..ServerConfig::default()
+            };
+            let handle = nbd::serve(&opts.addr, image, sv.clone(), cfg)
+                .map_err(|e| format!("serve {}: {e}", opts.addr))?;
+            println!(
+                "serving {image} at nbd://{}/{image}{}",
+                handle.addr(),
+                if opts.oneshot { " (oneshot)" } else { "" }
+            );
+            // Oneshot returns after the first connection closes; otherwise
+            // this serves until the process is killed (recovery replays the
+            // cache tail on the next open).
+            handle.join();
+            sv.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+            println!("drained and checkpointed; clean shutdown");
+            Ok(())
+        }
+        ["nbd-roundtrip", bucket, image] => nbd_roundtrip(opts, bucket, image),
         ["gen-trace", kind, out, ops] => {
-            let n: u64 = ops.parse().unwrap_or_else(|_| die("bad op count"));
+            let n: u64 = ops.parse().map_err(|_| "bad op count".to_string())?;
             let mut w: Box<dyn Workload> = match *kind {
                 "randwrite" => Box::new(FioSpec::randwrite(16 << 10, 42).thread(0, 1)),
                 "randread" => Box::new(FioSpec::randread(16 << 10, 42).thread(0, 1)),
-                "varmail" => {
-                    Box::new(FilebenchSpec::paper(Personality::Varmail, 42).thread(0, 1))
-                }
+                "varmail" => Box::new(FilebenchSpec::paper(Personality::Varmail, 42).thread(0, 1)),
                 "oltp" => Box::new(FilebenchSpec::paper(Personality::Oltp, 42).thread(0, 1)),
                 "fileserver" => {
                     Box::new(FilebenchSpec::paper(Personality::Fileserver, 42).thread(0, 1))
                 }
-                other => die(&format!("unknown workload kind {other}")),
+                other => return Err(format!("unknown workload kind {other}")),
             };
-            let file = std::fs::File::create(out)
-                .unwrap_or_else(|e| die(&format!("create {out}: {e}")));
+            let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
             let mut tw = TraceWriter::new(std::io::BufWriter::new(file))
-                .unwrap_or_else(|e| die(&format!("trace: {e}")));
+                .map_err(|e| format!("trace: {e}"))?;
             for _ in 0..n {
                 tw.push(TraceRecord {
                     dt_us: 0,
                     op: w.next_op(),
                 })
-                .unwrap_or_else(|e| die(&format!("trace push: {e}")));
+                .map_err(|e| format!("trace push: {e}"))?;
             }
-            let count = tw.finish().unwrap_or_else(|e| die(&format!("trace finish: {e}")));
+            let count = tw.finish().map_err(|e| format!("trace finish: {e}"))?;
             println!("wrote {count} records to {out}");
+            Ok(())
         }
         ["replay", bucket, image, trace] => {
-            let mut vol = open_volume(&opts, bucket, image);
-            let file = std::fs::File::open(trace)
-                .unwrap_or_else(|e| die(&format!("open {trace}: {e}")));
+            let mut vol = open_volume(opts, bucket, image)?;
+            let file = std::fs::File::open(trace).map_err(|e| format!("open {trace}: {e}"))?;
             let mut tw = TraceWorkload::load(std::io::BufReader::new(file))
-                .unwrap_or_else(|e| die(&format!("load trace: {e}")));
+                .map_err(|e| format!("load trace: {e}"))?;
             let span = vol.size();
             let (mut reads, mut writes, mut flushes) = (0u64, 0u64, 0u64);
             for _ in 0..tw.len() {
@@ -299,7 +375,7 @@ fn main() {
                         let off = (lba * 512) % span;
                         let len = (sectors as u64 * 512).min(span - off);
                         vol.write(off, &vec![0xABu8; len as usize])
-                            .unwrap_or_else(|e| die(&format!("replay write: {e}")));
+                            .map_err(|e| format!("replay write: {e}"))?;
                         writes += 1;
                     }
                     IoOp::Read { lba, sectors } => {
@@ -307,11 +383,11 @@ fn main() {
                         let len = (sectors as u64 * 512).min(span - off);
                         let mut buf = vec![0u8; len as usize];
                         vol.read(off, &mut buf)
-                            .unwrap_or_else(|e| die(&format!("replay read: {e}")));
+                            .map_err(|e| format!("replay read: {e}"))?;
                         reads += 1;
                     }
                     IoOp::Flush => {
-                        vol.flush().unwrap_or_else(|e| die(&format!("replay flush: {e}")));
+                        vol.flush().map_err(|e| format!("replay flush: {e}"))?;
                         flushes += 1;
                     }
                     IoOp::Sleep { .. } => {}
@@ -324,69 +400,129 @@ fn main() {
                 s.backend_gets
             );
             print!("{}", vol.telemetry().report());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["host", "format", cache_path, size] => {
             let dev = Arc::new(
-                FileDisk::create(cache_path, parse_size(size))
-                    .unwrap_or_else(|e| die(&format!("cache file {cache_path}: {e}"))),
+                FileDisk::create(cache_path, parse_size(size)?)
+                    .map_err(|e| format!("cache file {cache_path}: {e}"))?,
             );
             // The store is only needed for volume operations; formatting a
             // host cache just writes the empty partition table.
             let store: Arc<dyn ObjectStore> = Arc::new(objstore::MemStore::new());
-            Host::format(dev, store).unwrap_or_else(|e| die(&format!("host format: {e}")));
+            Host::format(dev, store).map_err(|e| format!("host format: {e}"))?;
             println!("formatted {cache_path} as a host cache ({size})");
+            Ok(())
         }
         ["host", "ls", bucket, cache_path] => {
-            let host = open_host(bucket, cache_path);
+            let host = open_host(bucket, cache_path)?;
             println!("{:>12} {:>12}  image", "offset", "bytes");
             for p in host.partitions() {
                 println!("{:>12} {:>12}  {}", p.offset_bytes, p.len_bytes, p.image);
             }
             println!("free: {} bytes", host.free_bytes());
+            Ok(())
         }
         ["host", "create", bucket, cache_path, image, size, cache_size] => {
-            let mut host = open_host(bucket, cache_path);
+            let mut host = open_host(bucket, cache_path)?;
             let vol = host
                 .create_volume(
                     image,
-                    parse_size(size),
-                    parse_size(cache_size),
+                    parse_size(size)?,
+                    parse_size(cache_size)?,
                     VolumeConfig::default(),
                 )
-                .unwrap_or_else(|e| die(&format!("host create: {e}")));
+                .map_err(|e| format!("host create: {e}"))?;
             println!("created {image} ({} bytes) on {cache_path}", vol.size());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["host", "attach", bucket, cache_path, image, cache_size] => {
-            let mut host = open_host(bucket, cache_path);
+            let mut host = open_host(bucket, cache_path)?;
             let vol = host
-                .attach_volume(image, parse_size(cache_size), VolumeConfig::default())
-                .unwrap_or_else(|e| die(&format!("host attach: {e}")));
+                .attach_volume(image, parse_size(cache_size)?, VolumeConfig::default())
+                .map_err(|e| format!("host attach: {e}"))?;
             println!("attached {image} ({} bytes) on {cache_path}", vol.size());
-            vol.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            shutdown(vol)
         }
         ["host", "detach", bucket, cache_path, image] => {
-            let mut host = open_host(bucket, cache_path);
+            let mut host = open_host(bucket, cache_path)?;
             host.detach(image)
-                .unwrap_or_else(|e| die(&format!("host detach: {e}")));
+                .map_err(|e| format!("host detach: {e}"))?;
             println!("detached {image} (backend volume untouched)");
+            Ok(())
         }
         ["replicate", src, dst, image] => {
-            let primary = open_store(src);
-            let replica = open_store(dst);
+            let primary = open_store(src)?;
+            let replica = open_store(dst)?;
             let mut r = Replicator::new(primary, replica, image);
-            let copied = r
-                .step(u32::MAX)
-                .unwrap_or_else(|e| die(&format!("replicate: {e}")));
+            let copied = r.step(u32::MAX).map_err(|e| format!("replicate: {e}"))?;
             let s = r.stats();
             println!(
                 "copied {copied} objects ({} bytes); {} skipped as GC'd",
                 s.bytes_copied, s.objects_skipped_deleted
             );
+            Ok(())
         }
-        _ => die(
-            "usage: lsvdctl <create|info|ls|write|read|fill|snapshot|snapshots|clone|gc|stats|replicate|gen-trace|replay|host> ... (--help)",
+        _ => Err(
+            "usage: lsvdctl <create|info|ls|write|read|fill|trim|snapshot|snapshots|clone|gc|\
+             stats|replicate|gen-trace|replay|serve|nbd-roundtrip|host> ... (--help)"
+                .to_string(),
         ),
     }
+}
+
+/// Loopback smoke: serve the image oneshot on an ephemeral port, drive the
+/// in-tree NBD client through the full command set, and verify readback.
+/// Exits nonzero on any mismatch, so CI can gate on it.
+fn nbd_roundtrip(opts: &Opts, bucket: &str, image: &str) -> CmdResult {
+    let vol = open_volume(opts, bucket, image)?;
+    let sv = SharedVolume::new(vol);
+    let cfg = ServerConfig {
+        oneshot: true,
+        ..ServerConfig::default()
+    };
+    let handle =
+        nbd::serve("127.0.0.1:0", image, sv.clone(), cfg).map_err(|e| format!("serve: {e}"))?;
+    let addr = handle.addr();
+
+    let mut c = nbd::Client::connect(addr, image).map_err(|e| format!("connect: {e}"))?;
+    if c.size() != sv.size_bytes() {
+        return Err(format!(
+            "negotiated size {} != volume size {}",
+            c.size(),
+            sv.size_bytes()
+        ));
+    }
+    let pattern: Vec<u8> = (0..16384u32).map(|i| (i % 251) as u8).collect();
+    c.write(65536, &pattern)
+        .map_err(|e| format!("write: {e}"))?;
+    c.flush().map_err(|e| format!("flush: {e}"))?;
+    let mut back = vec![0u8; pattern.len()];
+    c.read(65536, &mut back).map_err(|e| format!("read: {e}"))?;
+    if back != pattern {
+        return Err("readback mismatch after write+flush".to_string());
+    }
+    c.trim(65536, 4096).map_err(|e| format!("trim: {e}"))?;
+    c.read(65536, &mut back[..4096])
+        .map_err(|e| format!("read after trim: {e}"))?;
+    if back[..4096].iter().any(|&b| b != 0) {
+        return Err("trimmed range did not read back as zeros".to_string());
+    }
+    c.disconnect().map_err(|e| format!("disconnect: {e}"))?;
+    handle.join();
+
+    let snap = sv.telemetry().map_err(|e| format!("telemetry: {e}"))?;
+    let s = &snap.serving;
+    println!(
+        "nbd roundtrip ok: {} reads / {} writes / {} flushes / {} trims over {} connection(s)",
+        s.reads, s.writes, s.flushes, s.trims, s.conns_total
+    );
+    println!(
+        "latency split: socket-wait p99 {}ns, queue-wait p99 {}ns, service p99 {}ns",
+        s.socket_wait.p99_ns, s.queue_wait.p99_ns, s.service.p99_ns
+    );
+    if s.queue_wait.count == 0 || s.service.count == 0 {
+        return Err("serving latency split missing from telemetry".to_string());
+    }
+    sv.shutdown().map_err(|e| format!("shutdown: {e}"))
 }

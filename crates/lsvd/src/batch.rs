@@ -61,6 +61,11 @@ pub struct BatchBuilder {
     merged_bytes: u64,
     /// Highest cache-log sequence whose data is in the batch.
     last_cache_seq: u64,
+    /// Discarded ranges to advertise in the sealed object, in arrival
+    /// order. A trim rides the batch stream so total cache loss still
+    /// replays it from the backend (the object header lists it ahead of
+    /// the data extents).
+    trims: Vec<(Lba, u32)>,
 }
 
 impl Default for BatchBuilder {
@@ -79,6 +84,7 @@ impl BatchBuilder {
             accepted_bytes: 0,
             merged_bytes: 0,
             last_cache_seq: 0,
+            trims: Vec::new(),
         }
     }
 
@@ -111,6 +117,25 @@ impl BatchBuilder {
         self.last_cache_seq = self.last_cache_seq.max(cache_seq);
     }
 
+    /// Records a discard: any batched data for the range dies now, and the
+    /// trim itself is advertised by the sealed object so recovery from the
+    /// backend alone replays it. `cache_seq` is the trim's cache-log
+    /// sequence — carrying it in `last_cache_seq` makes the object's
+    /// durability release the trim record like any data record.
+    pub fn discard(&mut self, lba: Lba, sectors: u64, cache_seq: u64) {
+        for (_, plen, _) in self.map.overlaps(lba, sectors) {
+            self.merged_bytes += plen * SECTOR;
+        }
+        self.map.remove(lba, sectors);
+        self.trims.push((lba, sectors as u32));
+        self.last_cache_seq = self.last_cache_seq.max(cache_seq);
+    }
+
+    /// Discarded ranges queued for the next sealed object.
+    pub fn trim_count(&self) -> usize {
+        self.trims.len()
+    }
+
     /// Live payload bytes currently in the batch.
     pub fn live_bytes(&self) -> u64 {
         self.map.mapped_len() * SECTOR
@@ -131,9 +156,9 @@ impl BatchBuilder {
         self.last_cache_seq
     }
 
-    /// Whether the batch holds nothing.
+    /// Whether the batch holds nothing (no live data and no trims).
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.trims.is_empty()
     }
 
     /// Number of live extents the sealed object would carry.
@@ -195,11 +220,11 @@ impl BatchBuilder {
             extent_crcs.push(self.range_crc(off, len, &mut recomputed, &mut combines));
         }
         let data_bytes = self.live_bytes();
-        let mut obj = objfmt::build_data_header(
+        let mut obj = objfmt::build_data_header_with_trims(
             uuid,
             seq,
             self.last_cache_seq,
-            None,
+            &self.trims,
             &extents,
             &extent_crcs,
             data_bytes as usize,
@@ -214,6 +239,7 @@ impl BatchBuilder {
             object: Bytes::from(obj),
             extents,
             extent_crcs,
+            trims: std::mem::take(&mut self.trims),
             hdr_sectors,
             last_cache_seq: self.last_cache_seq,
             merged_bytes: self.merged_bytes,
@@ -244,6 +270,8 @@ pub struct SealedBatch {
     pub extents: Vec<(Lba, u32)>,
     /// CRC32C of each extent's payload, parallel to `extents`.
     pub extent_crcs: Vec<u32>,
+    /// Discarded ranges advertised by the object, in arrival order.
+    pub trims: Vec<(Lba, u32)>,
     /// Header size in sectors.
     pub hdr_sectors: u32,
     /// Highest cache sequence contained.
@@ -398,5 +426,41 @@ mod tests {
         assert_eq!(b.live_bytes(), 0);
         assert_eq!(b.merged_bytes(), 0);
         assert_eq!(b.last_cache_seq(), 0);
+    }
+
+    #[test]
+    fn discard_drops_batched_data_and_rides_the_object() {
+        let mut b = BatchBuilder::new();
+        b.add(0, &sdata(1, 8), 1);
+        b.add(100, &sdata(2, 4), 2);
+        b.discard(0, 8, 3); // kills the first write entirely
+        assert_eq!(b.merged_bytes(), 8 * 512);
+        assert_eq!(b.live_bytes(), 4 * 512);
+        assert_eq!(b.last_cache_seq(), 3);
+        let sealed = b.seal(1, 1);
+        assert_eq!(sealed.trims, vec![(0, 8)]);
+        assert_eq!(sealed.extents, vec![(100, 4)]);
+        let h = parse_data_header(&sealed.object).unwrap();
+        assert_eq!(h.trims, vec![(0, 8)]);
+        assert_eq!(h.extents, vec![(100, 4)]);
+        assert_eq!(h.last_cache_seq, 3);
+        assert_eq!(h.data_sectors(), 4);
+    }
+
+    #[test]
+    fn trim_only_batch_is_not_empty_and_seals() {
+        let mut b = BatchBuilder::new();
+        b.discard(64, 16, 7);
+        assert!(!b.is_empty());
+        assert_eq!(b.trim_count(), 1);
+        assert_eq!(b.live_bytes(), 0);
+        let sealed = b.seal(9, 2);
+        assert_eq!(sealed.trims, vec![(64, 16)]);
+        assert!(sealed.extents.is_empty());
+        assert_eq!(sealed.data_bytes, 0);
+        let h = parse_data_header(&sealed.object).unwrap();
+        assert_eq!(h.trims, vec![(64, 16)]);
+        assert!(h.extents.is_empty());
+        assert!(b.is_empty(), "seal clears queued trims");
     }
 }

@@ -72,6 +72,7 @@ pub mod overhead;
 pub mod rcache;
 pub mod recovery;
 pub mod replication;
+pub mod shared;
 pub mod types;
 pub mod verify;
 pub mod volume;

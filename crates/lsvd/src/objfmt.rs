@@ -41,6 +41,13 @@ pub enum ObjType {
 /// Flag bit: this data object was written by the garbage collector.
 pub const FLAG_GC: u8 = 1;
 
+/// High bit of an extent entry's length field: the entry is a *trim* (a
+/// discarded range), carries no payload bytes, and its CRC field is zero.
+/// Trim entries are written ahead of data entries; replay applies all of
+/// an object's trims before its data extents, so a trim-then-rewrite in
+/// the same batch resolves to the rewrite.
+pub const TRIM_BIT: u32 = 0x8000_0000;
+
 /// Parsed header of a data object.
 #[derive(Debug, Clone)]
 pub struct DataHeader {
@@ -55,6 +62,9 @@ pub struct DataHeader {
     pub gc: bool,
     /// Byte offset where extent data begins (sector aligned).
     pub data_offset: u32,
+    /// Discarded ranges advertised by this object: `(vLBA, sectors)`.
+    /// Applied to the object map *before* `extents` during replay.
+    pub trims: Vec<(Lba, u32)>,
     /// Contained extents in data order: `(vLBA, sectors)`.
     pub extents: Vec<(Lba, u32)>,
     /// CRC32C of each extent's payload, parallel to `extents`. Readers
@@ -165,6 +175,54 @@ pub fn build_data_header(
     extent_crcs: &[u32],
     data_capacity: usize,
 ) -> Vec<u8> {
+    build_data_header_inner(
+        uuid,
+        seq,
+        last_cache_seq,
+        gc_src,
+        &[],
+        extents,
+        extent_crcs,
+        data_capacity,
+    )
+}
+
+/// [`build_data_header`] for the foreground seal path: additionally writes
+/// `trims` — discarded ranges the object advertises — as [`TRIM_BIT`]
+/// entries ahead of the data extents. Trims and GC sources never mix (GC
+/// relocates only live data), so there is no `gc_src` parameter.
+pub fn build_data_header_with_trims(
+    uuid: u64,
+    seq: ObjSeq,
+    last_cache_seq: u64,
+    trims: &[(Lba, u32)],
+    extents: &[(Lba, u32)],
+    extent_crcs: &[u32],
+    data_capacity: usize,
+) -> Vec<u8> {
+    build_data_header_inner(
+        uuid,
+        seq,
+        last_cache_seq,
+        None,
+        trims,
+        extents,
+        extent_crcs,
+        data_capacity,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_data_header_inner(
+    uuid: u64,
+    seq: ObjSeq,
+    last_cache_seq: u64,
+    gc_src: Option<&[(ObjSeq, u32)]>,
+    trims: &[(Lba, u32)],
+    extents: &[(Lba, u32)],
+    extent_crcs: &[u32],
+    data_capacity: usize,
+) -> Vec<u8> {
     assert_eq!(
         extent_crcs.len(),
         extents.len(),
@@ -172,13 +230,20 @@ pub fn build_data_header(
     );
     if let Some(src) = gc_src {
         assert_eq!(src.len(), extents.len(), "gc_src must parallel extents");
+        assert!(trims.is_empty(), "GC objects never carry trims");
     }
     let flags = if gc_src.is_some() { FLAG_GC } else { 0 };
     let mut w = header_envelope(ObjType::Data, flags, uuid);
     w.u32(seq);
     w.u64(last_cache_seq);
     w.u32(0); // data_offset placeholder
-    w.u32(extents.len() as u32);
+    w.u32((trims.len() + extents.len()) as u32);
+    for &(lba, len) in trims {
+        assert!(len != 0 && len & TRIM_BIT == 0, "bad trim length");
+        w.u64(lba);
+        w.u32(len | TRIM_BIT);
+        w.u32(0); // trims carry no payload, so no CRC
+    }
     for (i, &(lba, len)) in extents.iter().enumerate() {
         w.u64(lba);
         w.u32(len);
@@ -256,12 +321,25 @@ pub fn parse_data_header(obj: &[u8]) -> Result<DataHeader> {
         return Err(LsvdError::Corrupt("data object: bad data offset".into()));
     }
     let gc = env.flags & FLAG_GC != 0;
+    let mut trims = Vec::new();
     let mut extents = Vec::with_capacity(n);
     let mut extent_crcs = Vec::with_capacity(n);
     let mut gc_src = Vec::new();
     for _ in 0..n {
         let lba = r.u64()?;
         let len = r.u32()?;
+        if len & TRIM_BIT != 0 {
+            let sectors = len & !TRIM_BIT;
+            if sectors == 0 {
+                return Err(LsvdError::Corrupt("data object: empty trim".into()));
+            }
+            if gc {
+                return Err(LsvdError::Corrupt("data object: trim in GC object".into()));
+            }
+            r.u32()?; // unused CRC slot
+            trims.push((lba, sectors));
+            continue;
+        }
         if len == 0 {
             return Err(LsvdError::Corrupt("data object: empty extent".into()));
         }
@@ -280,6 +358,7 @@ pub fn parse_data_header(obj: &[u8]) -> Result<DataHeader> {
         last_cache_seq,
         gc,
         data_offset,
+        trims,
         extents,
         extent_crcs,
         gc_src,
@@ -475,6 +554,52 @@ mod tests {
         let h = parse_data_header(&obj).unwrap();
         assert_eq!(h.extents.len(), 200);
         assert!(h.data_offset as u64 > SECTOR);
+    }
+
+    #[test]
+    fn trim_entries_round_trip_ahead_of_data() {
+        let extents = vec![(100u64, 8u32)];
+        let data = vec![0x5A; 8 * SECTOR as usize];
+        let crcs = vec![crc32c(&data)];
+        let mut obj = build_data_header_with_trims(
+            3,
+            11,
+            44,
+            &[(0, 16), (9999, 1)],
+            &extents,
+            &crcs,
+            data.len(),
+        );
+        obj.extend_from_slice(&data);
+        let h = parse_data_header(&obj).unwrap();
+        assert_eq!(h.trims, vec![(0, 16), (9999, 1)]);
+        assert_eq!(h.extents, extents);
+        assert_eq!(h.extent_crcs, crcs);
+        assert_eq!(h.data_sectors(), 8, "trims contribute no data sectors");
+        assert_eq!(&obj[h.data_offset as usize..], &data[..]);
+    }
+
+    #[test]
+    fn trim_only_object_parses() {
+        let obj = build_data_header_with_trims(3, 11, 44, &[(64, 32)], &[], &[], 0);
+        let h = parse_data_header(&obj).unwrap();
+        assert_eq!(h.trims, vec![(64, 32)]);
+        assert!(h.extents.is_empty());
+        assert_eq!(h.data_sectors(), 0);
+        assert_eq!(h.data_offset as usize, obj.len());
+    }
+
+    #[test]
+    fn empty_trim_rejected() {
+        let mut obj = build_data_header_with_trims(3, 1, 1, &[(64, 32)], &[], &[], 0);
+        // Zero the masked length but keep TRIM_BIT: entry starts at byte 40.
+        obj[48..52].copy_from_slice(&TRIM_BIT.to_le_bytes());
+        let crc = crc32c_field_zeroed(&obj, 4);
+        obj[4..8].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            parse_data_header(&obj),
+            Err(LsvdError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -89,9 +89,14 @@ fn newest_checkpoint(
 }
 
 /// Applies one recovered data object to the map, honouring GC source
-/// conditions.
+/// conditions. Trims advertised by the object are punched *before* its
+/// data extents, so a trim-then-rewrite that landed in one batch resolves
+/// to the rewrite.
 pub fn apply_header(objmap: &mut ObjectMap, h: &DataHeader) {
     let hdr_sectors = h.data_offset / crate::types::SECTOR as u32;
+    for &(lba, sectors) in &h.trims {
+        objmap.discard(lba, sectors as u64);
+    }
     if h.gc {
         let pieces: Vec<(u64, u32, ObjLoc)> = h
             .extents
@@ -361,6 +366,38 @@ mod tests {
         let rb = recover_backend(&store, "vol", None).unwrap();
         assert_eq!(rb.objmap.lookup(0).unwrap().2.seq, 2, "no resurrection");
         assert_eq!(rb.objmap.lookup(8).unwrap().2.seq, 3, "live piece moved");
+    }
+
+    #[test]
+    fn trim_replay_punches_map_before_data() {
+        let store = MemStore::new();
+        put_super(&store, "vol");
+        // Object 1 writes lba 0..16; object 2 trims 0..16 and rewrites 8..12
+        // in the same batch.
+        put_data(&store, "vol", 1, 0, 16, 1);
+        let data = vec![7u8; 4 * SECTOR as usize];
+        let mut obj = crate::objfmt::build_data_header_with_trims(
+            UUID,
+            2,
+            2,
+            &[(0, 16)],
+            &[(8, 4)],
+            &[crate::crc::crc32c(&data)],
+            data.len(),
+        );
+        obj.extend_from_slice(&data);
+        store.put(&object_name("vol", 2), Bytes::from(obj)).unwrap();
+
+        let rb = recover_backend(&store, "vol", None).unwrap();
+        assert!(rb.objmap.lookup(0).is_none(), "trimmed range punched");
+        assert!(rb.objmap.lookup(15).is_none(), "tail of trim punched");
+        assert_eq!(
+            rb.objmap.lookup(8).unwrap().2.seq,
+            2,
+            "rewrite in the same object survives its own trim"
+        );
+        assert_eq!(rb.last_seq, 2);
+        assert_eq!(rb.frontier, 2);
     }
 
     #[test]

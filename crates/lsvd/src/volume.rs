@@ -31,8 +31,8 @@ use objstore::{
 };
 use telemetry::{
     CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, LatencyRecorder,
-    RetryTelemetry, TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing, TraceTelemetry,
-    WritebackTelemetry,
+    RetryTelemetry, ServingRecorders, TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing,
+    TraceTelemetry, WritebackTelemetry,
 };
 
 use crate::batch::BatchBuilder;
@@ -87,6 +87,10 @@ pub struct VolumeStats {
     pub read_bytes: u64,
     /// Commit barriers handled.
     pub flushes: u64,
+    /// Discard (trim) operations accepted.
+    pub trims: u64,
+    /// Sectors discarded by trims.
+    pub trim_sectors: u64,
     /// Data objects PUT (excluding GC).
     pub backend_puts: u64,
     /// Bytes PUT in data objects (excluding GC).
@@ -208,6 +212,12 @@ pub struct Volume {
     snapshots: Vec<(String, ObjSeq)>,
     deferred_deletes: Vec<(ObjSeq, ObjSeq)>,
 
+    /// Trims (cache seq, lba, sectors) not yet carried by a *finished*
+    /// backend object. Re-punched after each `apply_object` so a batch
+    /// sealed before the trim but landing after it cannot resurrect
+    /// discarded mappings (pipelined mode races seal and finish).
+    pending_trims: Vec<(u64, Lba, u64)>,
+
     read_only: bool,
     stats: VolumeStats,
 }
@@ -250,6 +260,9 @@ struct VolTelemetry {
     copied_bytes: u64,
     /// Backend GET payload bytes checked against header extent CRCs.
     get_verified_bytes: u64,
+    /// Serving-plane recorders, attached when an NBD server exports this
+    /// volume; snapshotted into the aggregate telemetry.
+    serving: Option<ServingRecorders>,
 }
 
 impl VolTelemetry {
@@ -272,6 +285,7 @@ impl VolTelemetry {
             crc_combine_ops: 0,
             copied_bytes: 0,
             get_verified_bytes: 0,
+            serving: None,
         }
     }
 }
@@ -530,6 +544,7 @@ impl Volume {
                     frontier: rb.frontier,
                     snapshots: rb.snapshots,
                     deferred_deletes: rb.deferred_deletes,
+                    pending_trims: Vec::new(),
                     read_only: false,
                     stats: VolumeStats::default(),
                 };
@@ -649,6 +664,7 @@ impl Volume {
             frontier,
             snapshots,
             deferred_deletes,
+            pending_trims: Vec::new(),
             read_only: false,
             stats: VolumeStats::default(),
         })
@@ -658,6 +674,19 @@ impl Volume {
     /// re-enters them in the maps and ships them to the backend (§3.3).
     fn replay_cache_tail(&mut self, pending: Vec<RecordInfo>) -> Result<()> {
         for rec in &pending {
+            if rec.trim {
+                // Header-only trim record: re-punch the maps and re-enter
+                // the trim in the batch stream, in sequence order with the
+                // data records around it.
+                for &(lba, len) in &rec.extents {
+                    self.wcache_map.remove(lba, len as u64);
+                    self.rcache.invalidate(lba, len as u64);
+                    self.objmap.discard(lba, len as u64);
+                    self.batch.discard(lba, len as u64, rec.seq);
+                    self.pending_trims.push((rec.seq, lba, len as u64));
+                }
+                continue;
+            }
             let mut plba = rec.data_plba;
             for &(lba, len) in &rec.extents {
                 self.wcache_map.insert(lba, len as u64, plba);
@@ -831,6 +860,72 @@ impl Volume {
         self.wlog.flush()?;
         self.tel.flush_lat.observe(t0.elapsed());
         self.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Discards (trims) `len` bytes at byte `offset`: the range is punched
+    /// from every map layer and subsequently reads as zeros. The trim is
+    /// logged as a header-only cache record and advertised by the next
+    /// sealed object, so it replays across a crash — with or without the
+    /// cache — exactly like a write (§3.3 prefix rule applies).
+    pub fn discard(&mut self, offset: u64, len: u64) -> Result<()> {
+        if self.read_only {
+            return Err(LsvdError::InvalidAccess {
+                offset,
+                len,
+                reason: "volume is read-only",
+            });
+        }
+        let (lba, sectors) = self.check_access(offset, len as usize)?;
+        if sectors == 0 {
+            return Ok(());
+        }
+        if self.pool.is_some() {
+            self.pump_pipeline(false)?;
+        }
+        // A trim record is a single header sector; extent lengths are u32
+        // sectors, so split pathological multi-TiB trims.
+        let mut cur = lba;
+        let mut remaining = sectors;
+        while remaining > 0 {
+            let n = remaining.min(u32::MAX as u64);
+            self.discard_extent(cur, n as u32)?;
+            cur += n;
+            remaining -= n;
+        }
+        self.stats.trims += 1;
+        self.stats.trim_sectors += sectors;
+        self.trace(TraceEvent::Trim { lba, sectors });
+        Ok(())
+    }
+
+    fn discard_extent(&mut self, lba: Lba, sectors: u32) -> Result<()> {
+        // Make room for the one-sector trim record (same recovery ladder
+        // as the write path: push batches out, distinguish a jammed
+        // backend from an undersized cache).
+        while !self.wlog.has_room(0) {
+            let before = self.wlog.free_sectors();
+            self.writeback_now()?;
+            if self.wlog.free_sectors() == before {
+                if !self.writeback_idle() {
+                    self.stats.backpressure_rejections += 1;
+                    return Err(LsvdError::Backpressure {
+                        pending: self.writeback_backlog(),
+                        limit: self.cfg.max_pending_batches,
+                    });
+                }
+                return Err(LsvdError::CacheFull);
+            }
+        }
+        let seq = self.wlog.append_trim(&[(lba, sectors)])?;
+        self.wcache_map.remove(lba, sectors as u64);
+        self.rcache.invalidate(lba, sectors as u64);
+        self.objmap.discard(lba, sectors as u64);
+        self.pending_trims.push((seq, lba, sectors as u64));
+        // Ride the batch stream too: batched data for the range dies, and
+        // the sealed object advertises the trim so recovery from the
+        // backend alone (total cache loss) still replays it.
+        self.batch.discard(lba, sectors as u64, seq);
         Ok(())
     }
 
@@ -1365,13 +1460,34 @@ impl Volume {
         self.stats.backend_puts += 1;
         self.stats.backend_put_bytes += sealed.object.len() as u64;
         self.stats.merged_bytes += sealed.merged_bytes;
+        // Trims this object carries are now durable; any trim issued after
+        // this batch sealed is still pending and must be re-punched below,
+        // because `apply_object` unconditionally re-inserts this (older)
+        // batch's extents over it.
+        self.pending_trims
+            .retain(|&(trim_seq, _, _)| trim_seq > sealed.last_cache_seq);
+        // Mirror recovery's apply order (`recovery::apply_header`): this
+        // object's own trims land before its data extents, so a
+        // write-after-trim within the batch survives.
+        for &(lba, sectors) in &sealed.trims {
+            self.objmap.discard(lba, sectors as u64);
+        }
         self.objmap
             .apply_object(seq, sealed.hdr_sectors, &sealed.extents);
+        for i in 0..self.pending_trims.len() {
+            let (_, lba, sectors) = self.pending_trims[i];
+            self.objmap.discard(lba, sectors);
+        }
         self.frontier = self.frontier.max(sealed.last_cache_seq);
         // Release cache records now durable in the backend, dropping their
         // write-cache mappings (the data is reachable via the object map).
         let released = self.wlog.release_to(sealed.last_cache_seq)?;
         for rec in released {
+            if rec.trim {
+                // Header-only record: extents describe trimmed ranges, not
+                // cached data — nothing to drop from the write-cache map.
+                continue;
+            }
             let mut plba = rec.data_plba;
             for &(lba, len) in &rec.extents {
                 for (plo, plen, pval) in self.wcache_map.overlaps(lba, len as u64) {
@@ -1494,6 +1610,19 @@ impl Volume {
     /// layered beneath this volume in [`Volume::stats`].
     pub fn attach_retry_counters(&mut self, handle: RetryHandle) {
         self.retry_handle = Some(handle);
+    }
+
+    /// Attaches a serving plane's recorders (e.g. the NBD server's), so
+    /// [`Volume::telemetry`] exports the socket-wait / queue-wait /
+    /// service latency split alongside the volume's own sections.
+    pub fn attach_serving_telemetry(&mut self, handle: ServingRecorders) {
+        self.tel.serving = Some(handle);
+    }
+
+    /// Appends a serving-plane event (connection open/close) to the I/O
+    /// trace ring, interleaved with the volume's own events.
+    pub fn note_serving_event(&mut self, event: TraceEvent) {
+        self.trace(event);
     }
 
     fn write_checkpoint(&mut self) -> Result<()> {
@@ -1886,6 +2015,12 @@ impl Volume {
                 get_verified_bytes: self.tel.get_verified_bytes,
                 hw_crc: crc32c_is_hw(),
             },
+            serving: self
+                .tel
+                .serving
+                .as_ref()
+                .map(|s| s.snapshot())
+                .unwrap_or_default(),
             trace: TraceTelemetry {
                 events: self.tel.trace.total(),
                 dropped: self.tel.trace.dropped(),
@@ -2124,6 +2259,79 @@ mod tests {
         let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
         assert_eq!(rd(&mut vol, 0, 4096), vec![1u8; 4096], "prefix intact");
         assert_eq!(rd(&mut vol, 4096, 4096), vec![0u8; 4096], "tail lost");
+    }
+
+    #[test]
+    fn discard_reads_zero_immediately() {
+        let (_, _, mut vol) = setup(64, 16);
+        wr(&mut vol, 0, 7, 16384);
+        vol.discard(4096, 8192).unwrap();
+        let buf = rd(&mut vol, 0, 16384);
+        assert!(buf[..4096].iter().all(|&b| b == 7), "head kept");
+        assert!(buf[4096..12288].iter().all(|&b| b == 0), "middle trimmed");
+        assert!(buf[12288..].iter().all(|&b| b == 7), "tail kept");
+        assert_eq!(vol.stats().trims, 1);
+        assert_eq!(vol.stats().trim_sectors, 16);
+    }
+
+    #[test]
+    fn discard_punches_backend_durable_data() {
+        let (_, _, mut vol) = setup(64, 16);
+        wr(&mut vol, 0, 9, 65536);
+        vol.drain().unwrap(); // data lives only in backend objects now
+        vol.discard(0, 65536).unwrap();
+        assert_eq!(rd(&mut vol, 0, 65536), vec![0u8; 65536]);
+    }
+
+    #[test]
+    fn discard_survives_crash_via_cache_replay() {
+        let (store, dev, mut vol) = setup(64, 16);
+        wr(&mut vol, 0, 5, 8192);
+        vol.drain().unwrap();
+        vol.discard(0, 4096).unwrap(); // trim record cached only
+        drop(vol); // crash
+
+        let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
+        assert_eq!(rd(&mut vol, 0, 4096), vec![0u8; 4096], "trim replayed");
+        assert_eq!(rd(&mut vol, 4096, 4096), vec![5u8; 4096], "rest intact");
+    }
+
+    #[test]
+    fn discard_survives_total_cache_loss_via_object_stream() {
+        let (store, dev, mut vol) = setup(64, 16);
+        wr(&mut vol, 0, 5, 8192);
+        vol.drain().unwrap();
+        vol.discard(0, 4096).unwrap();
+        vol.drain().unwrap(); // trim rides a sealed object
+        drop(vol);
+        dev.obliterate(); // catastrophic cache failure
+
+        let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
+        assert_eq!(rd(&mut vol, 0, 4096), vec![0u8; 4096], "trim in object");
+        assert_eq!(rd(&mut vol, 4096, 4096), vec![5u8; 4096], "rest intact");
+    }
+
+    #[test]
+    fn write_after_discard_wins_across_shutdown() {
+        let (store, dev, mut vol) = setup(64, 16);
+        wr(&mut vol, 0, 1, 4096);
+        vol.discard(0, 4096).unwrap();
+        wr(&mut vol, 0, 2, 4096); // same batch as the trim
+        assert_eq!(rd(&mut vol, 0, 4096), vec![2u8; 4096]);
+        vol.shutdown().unwrap();
+
+        let mut vol = Volume::open(store, dev, "vol", VolumeConfig::small_for_tests()).unwrap();
+        assert_eq!(rd(&mut vol, 0, 4096), vec![2u8; 4096]);
+    }
+
+    #[test]
+    fn discard_rejects_unaligned_and_out_of_range() {
+        let (_, _, mut vol) = setup(16, 16);
+        assert!(vol.discard(100, 512).is_err());
+        assert!(vol.discard(0, 100).is_err());
+        assert!(vol.discard((16 << 20) - 512, 1024).is_err());
+        vol.discard(0, 0).unwrap(); // empty trim is a no-op
+        assert_eq!(vol.stats().trims, 0);
     }
 
     #[test]

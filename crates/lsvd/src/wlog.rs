@@ -37,6 +37,12 @@ const CKPT_SLOTS: u64 = 2;
 /// (512 - 28 fixed bytes) / 12 bytes per extent.
 pub const MAX_EXTENTS_PER_RECORD: usize = 40;
 
+/// Record kind stored in the header's (previously reserved) u16: a data
+/// record carries payload sectors; a trim record is header-only and its
+/// extent list names the discarded ranges.
+const KIND_DATA: u16 = 0;
+const KIND_TRIM: u16 = 1;
+
 /// A live (not yet released) record in the cache log.
 #[derive(Debug, Clone)]
 pub struct RecordInfo {
@@ -46,10 +52,14 @@ pub struct RecordInfo {
     pub hdr_plba: Plba,
     /// Sector address of the first data sector.
     pub data_plba: Plba,
-    /// Total data sectors.
+    /// Total data sectors (always 0 for trim records).
     pub data_sectors: u64,
     /// The virtual extents contained, as `(vLBA, sectors)` in data order.
+    /// For a trim record these are the discarded ranges — no data backs
+    /// them.
     pub extents: Vec<(Lba, u32)>,
+    /// True for a header-only trim record.
+    pub trim: bool,
 }
 
 /// Result of appending one record.
@@ -91,16 +101,20 @@ pub struct WriteLog {
 
 /// Encodes a record header into `w` (cleared first) with the CRC field
 /// zero; the caller patches offset 4 once the payload CRCs are folded in.
-fn encode_header_into(w: &mut ByteWriter, seq: u64, extents: &[(Lba, u32)]) {
+fn encode_header_into(w: &mut ByteWriter, seq: u64, extents: &[(Lba, u32)], kind: u16) {
     assert!(extents.len() <= MAX_EXTENTS_PER_RECORD, "too many extents");
     w.clear();
-    let total: u64 = extents.iter().map(|&(_, len)| len as u64).sum();
+    let total: u64 = if kind == KIND_TRIM {
+        0
+    } else {
+        extents.iter().map(|&(_, len)| len as u64).sum()
+    };
     w.u32(RECORD_MAGIC);
     w.u32(0); // CRC placeholder (patched by the caller)
     w.u64(seq);
     w.u32(total as u32);
     w.u16(extents.len() as u16);
-    w.u16(0); // reserved
+    w.u16(kind);
     for &(lba, len) in extents {
         w.u64(lba);
         w.u32(len);
@@ -112,7 +126,7 @@ fn encode_header_into(w: &mut ByteWriter, seq: u64, extents: &[(Lba, u32)]) {
 #[cfg(test)]
 fn encode_header(seq: u64, extents: &[(Lba, u32)], data: &[u8]) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(SECTOR as usize);
-    encode_header_into(&mut w, seq, extents);
+    encode_header_into(&mut w, seq, extents, KIND_DATA);
     let mut hdr = w.into_vec();
     // CRC over header (with CRC field zeroed) plus data.
     let crc = crc32c_with(&hdr, data);
@@ -130,6 +144,7 @@ struct ParsedHeader {
     data_sectors: u64,
     extents: Vec<(Lba, u32)>,
     crc: u32,
+    trim: bool,
 }
 
 fn parse_header(sector: &[u8]) -> Option<ParsedHeader> {
@@ -141,8 +156,8 @@ fn parse_header(sector: &[u8]) -> Option<ParsedHeader> {
     let seq = r.u64().ok()?;
     let data_sectors = r.u32().ok()? as u64;
     let n = r.u16().ok()? as usize;
-    r.u16().ok()?;
-    if n > MAX_EXTENTS_PER_RECORD {
+    let kind = r.u16().ok()?;
+    if n > MAX_EXTENTS_PER_RECORD || kind > KIND_TRIM {
         return None;
     }
     let mut extents = Vec::with_capacity(n);
@@ -153,7 +168,14 @@ fn parse_header(sector: &[u8]) -> Option<ParsedHeader> {
         extents.push((lba, len));
         total += len as u64;
     }
-    if total != data_sectors {
+    // A data record's extents must account for its payload exactly; a trim
+    // record carries no payload at all (its extent lengths name the
+    // discarded ranges).
+    if kind == KIND_TRIM {
+        if data_sectors != 0 {
+            return None;
+        }
+    } else if total != data_sectors {
         return None;
     }
     Some(ParsedHeader {
@@ -161,6 +183,7 @@ fn parse_header(sector: &[u8]) -> Option<ParsedHeader> {
         data_sectors,
         extents,
         crc,
+        trim: kind == KIND_TRIM,
     })
 }
 
@@ -302,7 +325,7 @@ impl WriteLog {
         // The header is encoded into the per-log scratch buffer, and the
         // record CRC is assembled from the per-extent CRCs by combine —
         // the payload is not read again.
-        encode_header_into(&mut self.scratch, seq, &ext_hdr);
+        encode_header_into(&mut self.scratch, seq, &ext_hdr, KIND_DATA);
         let mut crc = crc32c(self.scratch.as_slice());
         for (c, (_, d)) in crcs.iter().zip(extents) {
             crc = crc32c_combine(crc, *c, d.len() as u64);
@@ -322,6 +345,7 @@ impl WriteLog {
             data_plba: head + HDR_SECTORS,
             data_sectors,
             extents: ext_hdr,
+            trim: false,
         });
         self.next_seq += 1;
         self.head = head + need;
@@ -330,6 +354,35 @@ impl WriteLog {
             placements,
             crcs,
         })
+    }
+
+    /// Appends one header-only *trim* record naming discarded ranges. The
+    /// record occupies a single sector; recovery replays it by punching the
+    /// ranges from the object map, so a discard survives a crash exactly
+    /// like a write does. Returns the record's sequence number.
+    pub fn append_trim(&mut self, extents: &[(Lba, u32)]) -> Result<u64> {
+        assert!(!extents.is_empty() && extents.len() <= MAX_EXTENTS_PER_RECORD);
+        let need = HDR_SECTORS;
+        let (head, waste) = self.placement(need);
+        if self.free_sectors() < need + waste {
+            return Err(LsvdError::CacheFull);
+        }
+        let seq = self.next_seq;
+        encode_header_into(&mut self.scratch, seq, extents, KIND_TRIM);
+        let crc = crc32c(self.scratch.as_slice());
+        self.scratch.patch_u32(4, crc);
+        self.dev.write_at(head * SECTOR, self.scratch.as_slice())?;
+        self.records.push_back(RecordInfo {
+            seq,
+            hdr_plba: head,
+            data_plba: head + HDR_SECTORS,
+            data_sectors: 0,
+            extents: extents.to_vec(),
+            trim: true,
+        });
+        self.next_seq += 1;
+        self.head = head + need;
+        Ok(seq)
     }
 
     /// Commit barrier: makes all appended records durable.
@@ -477,6 +530,7 @@ impl WriteLog {
                 data_plba: pos + HDR_SECTORS,
                 data_sectors: parsed.data_sectors,
                 extents: parsed.extents,
+                trim: parsed.trim,
             });
             pos += HDR_SECTORS + parsed.data_sectors;
             if pos == log_end {
@@ -737,6 +791,68 @@ mod tests {
         assert!(parse_header(&[0u8; SECTOR as usize]).is_none());
         let mut hdr = encode_header(1, &[(0, 8)], &vec![0u8; 8 * SECTOR as usize]);
         hdr[0] ^= 0xff;
+        assert!(parse_header(&hdr).is_none());
+    }
+
+    #[test]
+    fn trim_record_round_trips_through_recovery() {
+        let dev = mkdev(1024);
+        {
+            let mut log = WriteLog::format(dev.clone(), 0, 1024, 1).unwrap();
+            log.append(&[(0, &data(1, 4))]).unwrap();
+            let seq = log.append_trim(&[(0, 2), (100, 8)]).unwrap();
+            assert_eq!(seq, 2);
+            log.append(&[(64, &data(2, 4))]).unwrap();
+            log.flush().unwrap();
+        }
+        let (log, pending) = WriteLog::recover(dev, 0, 1024, 0).unwrap();
+        assert_eq!(pending.len(), 3);
+        assert!(!pending[0].trim);
+        assert!(pending[1].trim);
+        assert_eq!(pending[1].extents, vec![(0, 2), (100, 8)]);
+        assert_eq!(pending[1].data_sectors, 0);
+        assert!(!pending[2].trim);
+        assert_eq!(log.next_seq(), 4);
+    }
+
+    #[test]
+    fn trim_record_occupies_one_sector() {
+        let dev = mkdev(1024);
+        let mut log = WriteLog::format(dev, 0, 1024, 1).unwrap();
+        let used0 = log.used_sectors();
+        log.append_trim(&[(8, 8)]).unwrap();
+        assert_eq!(log.used_sectors(), used0 + 1);
+        assert_eq!(log.live_records(), 1);
+    }
+
+    #[test]
+    fn trim_release_frees_space() {
+        let dev = mkdev(64);
+        let mut log = WriteLog::format(dev, 0, 64, 1).unwrap();
+        let free0 = log.free_sectors();
+        let seq = log.append_trim(&[(0, 4)]).unwrap();
+        let released = log.release_to(seq).unwrap();
+        assert_eq!(released.len(), 1);
+        assert!(released[0].trim);
+        assert_eq!(log.free_sectors(), free0);
+    }
+
+    #[test]
+    fn header_rejects_bad_kind_and_trim_with_payload() {
+        // Unknown kind.
+        let mut w = ByteWriter::with_capacity(SECTOR as usize);
+        encode_header_into(&mut w, 1, &[(0, 4)], 7);
+        let mut hdr = w.into_vec();
+        let crc = crc32c(&hdr);
+        hdr[4..8].copy_from_slice(&crc.to_le_bytes());
+        assert!(parse_header(&hdr).is_none());
+        // Trim header claiming payload sectors.
+        let mut w = ByteWriter::with_capacity(SECTOR as usize);
+        encode_header_into(&mut w, 1, &[(0, 4)], KIND_TRIM);
+        let mut hdr = w.into_vec();
+        hdr[16..20].copy_from_slice(&4u32.to_le_bytes());
+        let crc = crc32c_field_zeroed(&hdr, 4);
+        hdr[4..8].copy_from_slice(&crc.to_le_bytes());
         assert!(parse_header(&hdr).is_none());
     }
 

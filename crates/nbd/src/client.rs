@@ -1,0 +1,180 @@
+//! Minimal in-tree NBD client.
+//!
+//! Speaks exactly the dialect the server exports — fixed newstyle
+//! handshake, `NBD_OPT_GO`, simple replies — with one request in flight
+//! at a time. It exists so the workspace can exercise the serving plane
+//! end to end (tests, `lsvdctl nbd-roundtrip`, benches) without a kernel
+//! NBD device; real deployments use `nbd-client` or `qemu-nbd` (see
+//! EXPERIMENTS.md).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::*;
+
+/// A connected, negotiated NBD client.
+pub struct Client {
+    stream: TcpStream,
+    size: u64,
+    tflags: u16,
+    next_cookie: u64,
+}
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+impl Client {
+    /// Connects to `addr` and negotiates `export` via `NBD_OPT_GO`.
+    pub fn connect(addr: impl ToSocketAddrs, export: &str) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+
+        let mut hello = [0u8; 18];
+        stream.read_exact(&mut hello)?;
+        if u64::from_be_bytes(hello[0..8].try_into().unwrap()) != MAGIC_NBD
+            || u64::from_be_bytes(hello[8..16].try_into().unwrap()) != MAGIC_IHAVEOPT
+        {
+            return Err(bad_data("bad server magic"));
+        }
+        let hflags = u16::from_be_bytes(hello[16..18].try_into().unwrap());
+        if hflags & FLAG_FIXED_NEWSTYLE == 0 {
+            return Err(bad_data("server is not fixed-newstyle"));
+        }
+        stream.write_all(&(CLIENT_FIXED_NEWSTYLE | CLIENT_NO_ZEROES).to_be_bytes())?;
+        stream.write_all(&encode_option(OPT_GO, &encode_go_payload(export)))?;
+
+        let mut size = None;
+        let mut tflags = TFLAG_HAS_FLAGS;
+        loop {
+            let mut hdr = [0u8; 20];
+            stream.read_exact(&mut hdr)?;
+            if u64::from_be_bytes(hdr[0..8].try_into().unwrap()) != MAGIC_OPT_REPLY {
+                return Err(bad_data("bad option-reply magic"));
+            }
+            let reply_type = u32::from_be_bytes(hdr[12..16].try_into().unwrap());
+            let len = u32::from_be_bytes(hdr[16..20].try_into().unwrap());
+            if len > 4096 {
+                return Err(bad_data("oversized option reply"));
+            }
+            let mut payload = vec![0u8; len as usize];
+            stream.read_exact(&mut payload)?;
+            match reply_type {
+                REP_ACK => break,
+                REP_INFO => {
+                    if let Some((s, tf)) = decode_info_export(&payload) {
+                        size = Some(s);
+                        tflags = tf;
+                    }
+                }
+                t if t & 0x8000_0000 != 0 => {
+                    return Err(io::Error::other(format!(
+                        "export negotiation failed: reply {t:#x}"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        let size = size.ok_or_else(|| bad_data("server sent no NBD_INFO_EXPORT"))?;
+        Ok(Client {
+            stream,
+            size,
+            tflags,
+            next_cookie: 1,
+        })
+    }
+
+    /// Negotiated export size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Negotiated transmission flags.
+    pub fn transmission_flags(&self) -> u16 {
+        self.tflags
+    }
+
+    fn roundtrip(
+        &mut self,
+        cmd: u16,
+        flags: u16,
+        offset: u64,
+        length: u32,
+        payload: &[u8],
+        read_back: Option<&mut [u8]>,
+    ) -> io::Result<()> {
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        let req = Request {
+            flags,
+            cmd,
+            cookie,
+            offset,
+            length,
+        };
+        self.stream.write_all(&encode_request(&req))?;
+        self.stream.write_all(payload)?;
+        let mut hdr = [0u8; SIMPLE_REPLY_LEN];
+        self.stream.read_exact(&mut hdr)?;
+        let reply = decode_simple_reply(&hdr).ok_or_else(|| bad_data("bad reply magic"))?;
+        if reply.cookie != cookie {
+            return Err(bad_data("reply cookie mismatch"));
+        }
+        if reply.error != 0 {
+            return Err(io::Error::other(format!(
+                "nbd error {} for command {}",
+                reply.error, cmd
+            )));
+        }
+        if let Some(buf) = read_back {
+            self.stream.read_exact(buf)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset`.
+    pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let len = buf.len() as u32;
+        self.roundtrip(CMD_READ, 0, offset, len, &[], Some(buf))
+    }
+
+    /// Writes `data` at `offset`.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.roundtrip(CMD_WRITE, 0, offset, data.len() as u32, data, None)
+    }
+
+    /// Writes `data` at `offset` with FUA (durable before the reply).
+    pub fn write_fua(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.roundtrip(
+            CMD_WRITE,
+            CMD_FLAG_FUA,
+            offset,
+            data.len() as u32,
+            data,
+            None,
+        )
+    }
+
+    /// Commit barrier: all acknowledged writes are durable on return.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.roundtrip(CMD_FLUSH, 0, 0, 0, &[], None)
+    }
+
+    /// Discards `length` bytes at `offset`.
+    pub fn trim(&mut self, offset: u64, length: u32) -> io::Result<()> {
+        self.roundtrip(CMD_TRIM, 0, offset, length, &[], None)
+    }
+
+    /// Sends an orderly disconnect and closes the stream.
+    pub fn disconnect(mut self) -> io::Result<()> {
+        let cookie = self.next_cookie;
+        let req = Request {
+            flags: 0,
+            cmd: CMD_DISC,
+            cookie,
+            offset: 0,
+            length: 0,
+        };
+        self.stream.write_all(&encode_request(&req))
+    }
+}

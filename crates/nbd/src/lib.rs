@@ -1,0 +1,28 @@
+//! # lsvd-nbd — a network block-device serving plane for LSVD
+//!
+//! The paper's client (§3.1) lives inside a virtualization host and talks
+//! to the guest through a block driver. This crate is the equivalent
+//! attachment point for everything else: a zero-dependency NBD server
+//! over `std::net` that exports any LSVD volume to the kernel's
+//! `nbd-client`, `qemu-nbd`, or the minimal in-tree [`client`].
+//!
+//! - [`server`] — fixed-newstyle handshake, `NBD_OPT_GO` negotiation, and
+//!   a transmission phase mapping READ/WRITE/FLUSH/FUA/TRIM onto
+//!   [`lsvd::shared::SharedVolume`], with a two-lane concurrent request
+//!   scheduler (ordered mutations, concurrent reads) and per-connection
+//!   bounded in-flight windows;
+//! - [`client`] — a one-request-at-a-time client for tests, benches and
+//!   `lsvdctl nbd-roundtrip`;
+//! - [`proto`] — pure frame codecs, property-tested in
+//!   `tests/properties.rs`.
+//!
+//! Serving-plane latency splits (socket-wait / queue-wait / service) and
+//! counters surface through `Volume::telemetry()` via
+//! [`telemetry::ServingRecorders`].
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use server::{serve, ServerConfig, ServerHandle, MAX_IO_BYTES};

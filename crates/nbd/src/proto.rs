@@ -1,0 +1,272 @@
+//! NBD wire protocol: constants, frame codecs, and typed request/reply
+//! structs.
+//!
+//! Implements the *fixed newstyle* handshake and the structured-reply-free
+//! transmission phase of the NBD protocol (as specified in
+//! `doc/proto.md` of the reference nbd project), which is the subset every
+//! kernel client and `qemu-nbd` speaks. All integers are big-endian.
+//!
+//! The codec functions are pure (`&[u8]` / `Vec<u8>`), so they can be
+//! property-tested without sockets; `read_exact`-based framing lives with
+//! the server and client.
+
+/// First handshake magic: ASCII `NBDMAGIC`.
+pub const MAGIC_NBD: u64 = 0x4e42_444d_4147_4943;
+/// Second handshake magic: ASCII `IHAVEOPT`.
+pub const MAGIC_IHAVEOPT: u64 = 0x4948_4156_454f_5054;
+/// Option reply magic (`cliserv.h`: `0x3e889045565a9`).
+pub const MAGIC_OPT_REPLY: u64 = 0x0003_e889_0455_65a9;
+/// Transmission request magic.
+pub const MAGIC_REQUEST: u32 = 0x2560_9513;
+/// Transmission simple-reply magic.
+pub const MAGIC_SIMPLE_REPLY: u32 = 0x6744_6698;
+
+/// Handshake flag: server speaks fixed newstyle.
+pub const FLAG_FIXED_NEWSTYLE: u16 = 1 << 0;
+/// Handshake flag: server can elide the 124-byte zero pad after `GO`.
+pub const FLAG_NO_ZEROES: u16 = 1 << 1;
+/// Client flags mirroring the two handshake flags.
+pub const CLIENT_FIXED_NEWSTYLE: u32 = 1 << 0;
+/// Client acknowledges `NO_ZEROES`.
+pub const CLIENT_NO_ZEROES: u32 = 1 << 1;
+
+/// Option: abort the negotiation.
+pub const OPT_ABORT: u32 = 2;
+/// Option: select an export and move to transmission (`NBD_OPT_GO`).
+pub const OPT_GO: u32 = 7;
+
+/// Option reply: acknowledged.
+pub const REP_ACK: u32 = 1;
+/// Option reply: an information block follows.
+pub const REP_INFO: u32 = 3;
+/// Option reply error: unsupported option.
+pub const REP_ERR_UNSUP: u32 = 0x8000_0001;
+/// Option reply error: unknown export.
+pub const REP_ERR_UNKNOWN: u32 = 0x8000_0006;
+
+/// Information type: export size + transmission flags.
+pub const INFO_EXPORT: u16 = 0;
+
+/// Transmission flag: this field is valid.
+pub const TFLAG_HAS_FLAGS: u16 = 1 << 0;
+/// Transmission flag: server honours `FLUSH`.
+pub const TFLAG_SEND_FLUSH: u16 = 1 << 2;
+/// Transmission flag: server honours per-request `FUA`.
+pub const TFLAG_SEND_FUA: u16 = 1 << 3;
+/// Transmission flag: server honours `TRIM`.
+pub const TFLAG_SEND_TRIM: u16 = 1 << 5;
+
+/// Command: read.
+pub const CMD_READ: u16 = 0;
+/// Command: write.
+pub const CMD_WRITE: u16 = 1;
+/// Command: orderly disconnect.
+pub const CMD_DISC: u16 = 2;
+/// Command: flush (commit barrier).
+pub const CMD_FLUSH: u16 = 3;
+/// Command: trim (discard).
+pub const CMD_TRIM: u16 = 4;
+
+/// Per-command flag: force unit access (write-through this request).
+pub const CMD_FLAG_FUA: u16 = 1 << 0;
+
+/// Reply error: I/O error.
+pub const EIO: u32 = 5;
+/// Reply error: invalid argument (alignment, bounds, flags).
+pub const EINVAL: u32 = 22;
+/// Reply error: no space / cache exhausted while degraded.
+pub const ENOSPC: u32 = 28;
+
+/// Byte length of a transmission request frame.
+pub const REQUEST_LEN: usize = 28;
+/// Byte length of a simple reply frame.
+pub const SIMPLE_REPLY_LEN: usize = 16;
+
+/// A parsed transmission-phase request header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Per-command flags (`CMD_FLAG_FUA`).
+    pub flags: u16,
+    /// Command type (`CMD_*`).
+    pub cmd: u16,
+    /// Opaque client cookie, echoed in the reply.
+    pub cookie: u64,
+    /// Byte offset into the export.
+    pub offset: u64,
+    /// Payload / range length in bytes.
+    pub length: u32,
+}
+
+/// A simple reply header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleReply {
+    /// 0 on success, else an errno-style code (`EIO`, `EINVAL`, ...).
+    pub error: u32,
+    /// The request's cookie.
+    pub cookie: u64,
+}
+
+/// Encodes a transmission request frame.
+pub fn encode_request(r: &Request) -> [u8; REQUEST_LEN] {
+    let mut b = [0u8; REQUEST_LEN];
+    b[0..4].copy_from_slice(&MAGIC_REQUEST.to_be_bytes());
+    b[4..6].copy_from_slice(&r.flags.to_be_bytes());
+    b[6..8].copy_from_slice(&r.cmd.to_be_bytes());
+    b[8..16].copy_from_slice(&r.cookie.to_be_bytes());
+    b[16..24].copy_from_slice(&r.offset.to_be_bytes());
+    b[24..28].copy_from_slice(&r.length.to_be_bytes());
+    b
+}
+
+/// Decodes a transmission request frame; `None` on bad magic.
+pub fn decode_request(b: &[u8; REQUEST_LEN]) -> Option<Request> {
+    if u32::from_be_bytes(b[0..4].try_into().unwrap()) != MAGIC_REQUEST {
+        return None;
+    }
+    Some(Request {
+        flags: u16::from_be_bytes(b[4..6].try_into().unwrap()),
+        cmd: u16::from_be_bytes(b[6..8].try_into().unwrap()),
+        cookie: u64::from_be_bytes(b[8..16].try_into().unwrap()),
+        offset: u64::from_be_bytes(b[16..24].try_into().unwrap()),
+        length: u32::from_be_bytes(b[24..28].try_into().unwrap()),
+    })
+}
+
+/// Encodes a simple reply frame.
+pub fn encode_simple_reply(r: &SimpleReply) -> [u8; SIMPLE_REPLY_LEN] {
+    let mut b = [0u8; SIMPLE_REPLY_LEN];
+    b[0..4].copy_from_slice(&MAGIC_SIMPLE_REPLY.to_be_bytes());
+    b[4..8].copy_from_slice(&r.error.to_be_bytes());
+    b[8..16].copy_from_slice(&r.cookie.to_be_bytes());
+    b
+}
+
+/// Decodes a simple reply frame; `None` on bad magic.
+pub fn decode_simple_reply(b: &[u8; SIMPLE_REPLY_LEN]) -> Option<SimpleReply> {
+    if u32::from_be_bytes(b[0..4].try_into().unwrap()) != MAGIC_SIMPLE_REPLY {
+        return None;
+    }
+    Some(SimpleReply {
+        error: u32::from_be_bytes(b[4..8].try_into().unwrap()),
+        cookie: u64::from_be_bytes(b[8..16].try_into().unwrap()),
+    })
+}
+
+/// Encodes an option header as sent by the client
+/// (`IHAVEOPT option length data`).
+pub fn encode_option(option: u32, data: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(16 + data.len());
+    b.extend_from_slice(&MAGIC_IHAVEOPT.to_be_bytes());
+    b.extend_from_slice(&option.to_be_bytes());
+    b.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    b.extend_from_slice(data);
+    b
+}
+
+/// Encodes an option reply header (`reply-magic option type length`).
+pub fn encode_option_reply(option: u32, reply_type: u32, data: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(20 + data.len());
+    b.extend_from_slice(&MAGIC_OPT_REPLY.to_be_bytes());
+    b.extend_from_slice(&option.to_be_bytes());
+    b.extend_from_slice(&reply_type.to_be_bytes());
+    b.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    b.extend_from_slice(data);
+    b
+}
+
+/// Builds the `NBD_INFO_EXPORT` payload: info type, size, transmission
+/// flags.
+pub fn encode_info_export(size_bytes: u64, tflags: u16) -> [u8; 12] {
+    let mut b = [0u8; 12];
+    b[0..2].copy_from_slice(&INFO_EXPORT.to_be_bytes());
+    b[2..10].copy_from_slice(&size_bytes.to_be_bytes());
+    b[10..12].copy_from_slice(&tflags.to_be_bytes());
+    b
+}
+
+/// Decodes an `NBD_INFO_EXPORT` payload; `None` unless it is one.
+pub fn decode_info_export(b: &[u8]) -> Option<(u64, u16)> {
+    if b.len() != 12 || u16::from_be_bytes(b[0..2].try_into().unwrap()) != INFO_EXPORT {
+        return None;
+    }
+    Some((
+        u64::from_be_bytes(b[2..10].try_into().unwrap()),
+        u16::from_be_bytes(b[10..12].try_into().unwrap()),
+    ))
+}
+
+/// The `NBD_OPT_GO` payload: a length-prefixed export name plus a
+/// (zero here) count of information requests.
+pub fn encode_go_payload(export: &str) -> Vec<u8> {
+    let mut b = Vec::with_capacity(6 + export.len());
+    b.extend_from_slice(&(export.len() as u32).to_be_bytes());
+    b.extend_from_slice(export.as_bytes());
+    b.extend_from_slice(&0u16.to_be_bytes());
+    b
+}
+
+/// Parses an `NBD_OPT_GO` payload into the requested export name.
+pub fn decode_go_payload(b: &[u8]) -> Option<String> {
+    if b.len() < 6 {
+        return None;
+    }
+    let name_len = u32::from_be_bytes(b[0..4].try_into().unwrap()) as usize;
+    if b.len() < 4 + name_len + 2 {
+        return None;
+    }
+    let name = std::str::from_utf8(&b[4..4 + name_len]).ok()?.to_string();
+    let n_infos = u16::from_be_bytes(b[4 + name_len..6 + name_len].try_into().unwrap()) as usize;
+    if b.len() != 6 + name_len + 2 * n_infos {
+        return None;
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magics_spell_their_ascii() {
+        assert_eq!(&MAGIC_NBD.to_be_bytes(), b"NBDMAGIC");
+        assert_eq!(&MAGIC_IHAVEOPT.to_be_bytes(), b"IHAVEOPT");
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let r = Request {
+            flags: CMD_FLAG_FUA,
+            cmd: CMD_WRITE,
+            cookie: 0xdead_beef_0bad_f00d,
+            offset: 123 << 20,
+            length: 4096,
+        };
+        assert_eq!(decode_request(&encode_request(&r)), Some(r));
+        let mut bad = encode_request(&r);
+        bad[0] ^= 0xff;
+        assert_eq!(decode_request(&bad), None);
+    }
+
+    #[test]
+    fn reply_frames_round_trip() {
+        let r = SimpleReply {
+            error: EIO,
+            cookie: 42,
+        };
+        assert_eq!(decode_simple_reply(&encode_simple_reply(&r)), Some(r));
+    }
+
+    #[test]
+    fn go_payload_round_trips() {
+        let p = encode_go_payload("vm-disk-1");
+        assert_eq!(decode_go_payload(&p).as_deref(), Some("vm-disk-1"));
+        assert_eq!(decode_go_payload(&p[..3]), None);
+    }
+
+    #[test]
+    fn info_export_round_trips() {
+        let tf = TFLAG_HAS_FLAGS | TFLAG_SEND_FLUSH | TFLAG_SEND_FUA | TFLAG_SEND_TRIM;
+        let b = encode_info_export(1 << 30, tf);
+        assert_eq!(decode_info_export(&b), Some((1 << 30, tf)));
+    }
+}

@@ -1,0 +1,683 @@
+//! The NBD server: accept loop, per-connection reader/writer threads, and
+//! the shared request scheduler.
+//!
+//! ## Threading model
+//!
+//! One **accept** thread hands each connection to a **reader** thread,
+//! which runs the fixed-newstyle handshake and then parses transmission
+//! requests into jobs. Jobs flow through a shared two-lane scheduler:
+//!
+//! - the **ordered lane** (WRITE / FLUSH / TRIM) is drained by a single
+//!   dispatcher thread, so mutating operations across *all* connections
+//!   reach the volume in arrival order — acknowledgement order equals
+//!   cache-log order, which is what makes the exported disk
+//!   prefix-consistent through a crash;
+//! - the **concurrent lane** (READ) is drained by a pool of workers, so
+//!   reads from many connections overlap with each other and with the
+//!   ordered stream.
+//!
+//! Completed jobs post replies to the owning connection's **writer**
+//! thread. A bounded per-connection in-flight window (acquired by the
+//! reader, released by the writer) backpressures the socket: a client
+//! that pipelines more than the window simply stops being read until
+//! replies drain.
+//!
+//! The volume itself is single-threaded behind [`SharedVolume`]'s mutex —
+//! concurrency here is about overlapping socket I/O, parsing and reply
+//! serialization with the serialized volume calls (see
+//! `lsvd::shared`), and about the latency *accounting* split:
+//! socket-wait / queue-wait / service, exported via [`ServingRecorders`].
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use lsvd::shared::SharedVolume;
+use lsvd::LsvdError;
+use telemetry::{ServingRecorders, TraceEvent};
+
+use crate::proto::*;
+
+/// Largest READ/WRITE/TRIM a single request may carry (32 MiB, matching
+/// common client defaults). Larger requests are answered with `EINVAL`.
+pub const MAX_IO_BYTES: u32 = 32 << 20;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-lane (READ) worker threads.
+    pub read_workers: usize,
+    /// Per-connection in-flight request window.
+    pub window: usize,
+    /// Serve exactly one connection, then stop (CI smoke / tests).
+    pub oneshot: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_workers: 4,
+            window: 32,
+            oneshot: false,
+        }
+    }
+}
+
+struct Lane {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Pops the next job; `None` once `stop` is set and the lane is dry.
+    fn pop(&self, stop: &AtomicBool) -> Option<Job> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    volume: SharedVolume,
+    export: String,
+    rec: ServingRecorders,
+    stop: AtomicBool,
+    ordered: Lane,
+    concurrent: Lane,
+    /// Live connection sockets, shut down to unblock readers on stop.
+    conns: Mutex<Vec<TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// One reply queued for a connection's writer thread.
+struct Reply {
+    cookie: u64,
+    error: u32,
+    data: Vec<u8>,
+}
+
+/// Per-connection window state shared by reader, workers and writer.
+struct Conn {
+    /// In-flight window: slots currently consumed.
+    inflight: Mutex<usize>,
+    window: usize,
+    cv: Condvar,
+}
+
+impl Conn {
+    fn acquire_slot(&self) {
+        let mut n = self.inflight.lock().unwrap();
+        while *n >= self.window {
+            n = self.cv.wait(n).unwrap();
+        }
+        *n += 1;
+    }
+
+    fn release_slot(&self) {
+        let mut n = self.inflight.lock().unwrap();
+        *n -= 1;
+        self.cv.notify_one();
+    }
+}
+
+struct Job {
+    req: Request,
+    /// WRITE payload (empty otherwise).
+    data: Vec<u8>,
+    enqueued: Instant,
+    conn: Arc<Conn>,
+    /// Clone of the connection's reply channel; the writer thread exits
+    /// when the reader's original and every job's clone are gone.
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+/// A running NBD server. Dropping the handle does *not* stop it; call
+/// [`ServerHandle::stop`] (or let `join` return after a oneshot run).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving-plane recorders (clone to attach to the volume).
+    pub fn recorders(&self) -> ServingRecorders {
+        self.shared.rec.clone()
+    }
+
+    /// Blocks until the server stops on its own (oneshot mode) and joins
+    /// every thread. For long-running servers, call [`ServerHandle::stop`]
+    /// from another thread instead.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the server: no new connections, live sockets shut down,
+    /// queued jobs drained, all threads joined. The volume is left
+    /// attached — the caller owns its final flush + checkpoint.
+    pub fn stop(mut self) {
+        request_stop(&self.shared, self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn request_stop(shared: &Arc<Shared>, addr: SocketAddr) {
+    shared.stop.store(true, Ordering::Release);
+    // Wake the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+    // Unblock readers parked in read_exact.
+    for s in shared.conns.lock().unwrap().iter() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    shared.ordered.cv.notify_all();
+    shared.concurrent.cv.notify_all();
+}
+
+/// Binds `addr` and starts serving `volume` as export `export`.
+///
+/// The returned handle's [`recorders`](ServerHandle::recorders) are also
+/// attached to the volume, so `Volume::telemetry()` exports the serving
+/// section while the server runs.
+pub fn serve(
+    addr: &str,
+    export: &str,
+    volume: SharedVolume,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let rec = ServingRecorders::new();
+    volume
+        .with_volume(|v| v.attach_serving_telemetry(rec.clone()))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let shared = Arc::new(Shared {
+        volume,
+        export: export.to_string(),
+        rec,
+        stop: AtomicBool::new(false),
+        ordered: Lane::new(),
+        concurrent: Lane::new(),
+        conns: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(1),
+    });
+
+    let mut threads = Vec::new();
+    // Ordered lane: exactly one dispatcher preserves mutation order.
+    {
+        let sh = shared.clone();
+        threads.push(std::thread::spawn(move || {
+            while let Some(job) = sh.ordered.pop(&sh.stop) {
+                execute(&sh, job);
+            }
+        }));
+    }
+    for _ in 0..cfg.read_workers.max(1) {
+        let sh = shared.clone();
+        threads.push(std::thread::spawn(move || {
+            while let Some(job) = sh.concurrent.pop(&sh.stop) {
+                execute(&sh, job);
+            }
+        }));
+    }
+    {
+        let sh = shared.clone();
+        let oneshot = cfg.oneshot;
+        let window = cfg.window.max(1);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(listener, sh, oneshot, window, bound);
+        }));
+    }
+    Ok(ServerHandle {
+        addr: bound,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    oneshot: bool,
+    window: usize,
+    addr: SocketAddr,
+) {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(dup) = stream.try_clone() {
+            shared.conns.lock().unwrap().push(dup);
+        }
+        let sh = shared.clone();
+        let t = std::thread::spawn(move || {
+            let _ = run_connection(sh, stream, window);
+        });
+        if oneshot {
+            let _ = t.join();
+            // Initiate the server's own shutdown; the throwaway connect
+            // below pops this accept loop out of `incoming()`.
+            request_stop(&shared, addr);
+            break;
+        }
+        conn_threads.push(t);
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+fn read_exact_n(stream: &mut TcpStream, n: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Runs the handshake; returns `true` to proceed to transmission.
+fn handshake(shared: &Shared, stream: &mut TcpStream) -> io::Result<bool> {
+    let mut hello = Vec::with_capacity(18);
+    hello.extend_from_slice(&MAGIC_NBD.to_be_bytes());
+    hello.extend_from_slice(&MAGIC_IHAVEOPT.to_be_bytes());
+    hello.extend_from_slice(&(FLAG_FIXED_NEWSTYLE | FLAG_NO_ZEROES).to_be_bytes());
+    stream.write_all(&hello)?;
+
+    let mut cf = [0u8; 4];
+    stream.read_exact(&mut cf)?;
+    let client_flags = u32::from_be_bytes(cf);
+    if client_flags & CLIENT_FIXED_NEWSTYLE == 0 {
+        return Ok(false);
+    }
+
+    loop {
+        let hdr = read_exact_n(stream, 16)?;
+        let magic = u64::from_be_bytes(hdr[0..8].try_into().unwrap());
+        let option = u32::from_be_bytes(hdr[8..12].try_into().unwrap());
+        let len = u32::from_be_bytes(hdr[12..16].try_into().unwrap());
+        if magic != MAGIC_IHAVEOPT || len > 4096 {
+            return Ok(false);
+        }
+        let payload = read_exact_n(stream, len as usize)?;
+        match option {
+            OPT_GO => {
+                let Some(name) = decode_go_payload(&payload) else {
+                    stream.write_all(&encode_option_reply(option, REP_ERR_UNKNOWN, b""))?;
+                    continue;
+                };
+                if !name.is_empty() && name != shared.export {
+                    stream.write_all(&encode_option_reply(option, REP_ERR_UNKNOWN, b""))?;
+                    continue;
+                }
+                let tflags = TFLAG_HAS_FLAGS | TFLAG_SEND_FLUSH | TFLAG_SEND_FUA | TFLAG_SEND_TRIM;
+                let info = encode_info_export(shared.volume.size_bytes(), tflags);
+                stream.write_all(&encode_option_reply(option, REP_INFO, &info))?;
+                stream.write_all(&encode_option_reply(option, REP_ACK, b""))?;
+                return Ok(true);
+            }
+            OPT_ABORT => {
+                stream.write_all(&encode_option_reply(option, REP_ACK, b""))?;
+                return Ok(false);
+            }
+            _ => {
+                stream.write_all(&encode_option_reply(option, REP_ERR_UNSUP, b""))?;
+            }
+        }
+    }
+}
+
+fn run_connection(shared: Arc<Shared>, mut stream: TcpStream, window: usize) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    if !handshake(&shared, &mut stream)? {
+        return Ok(());
+    }
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    shared.rec.conn_opened();
+    let _ = shared
+        .volume
+        .with_volume(|v| v.note_serving_event(TraceEvent::ConnOpen { conn: id }));
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let conn = Arc::new(Conn {
+        inflight: Mutex::new(0),
+        window,
+        cv: Condvar::new(),
+    });
+
+    // Writer thread: serializes replies; releasing a window slot per
+    // reply is what backpressures the reader. On a dead socket it keeps
+    // draining (and releasing slots) so in-flight jobs never wedge the
+    // reader against a full window.
+    let writer = {
+        let mut out = stream.try_clone()?;
+        let conn = conn.clone();
+        let rec = shared.rec.clone();
+        std::thread::spawn(move || {
+            let mut sink_dead = false;
+            while let Ok(reply) = reply_rx.recv() {
+                if !sink_dead {
+                    let t0 = Instant::now();
+                    let hdr = encode_simple_reply(&SimpleReply {
+                        error: reply.error,
+                        cookie: reply.cookie,
+                    });
+                    if out
+                        .write_all(&hdr)
+                        .and_then(|()| out.write_all(&reply.data))
+                        .is_ok()
+                    {
+                        rec.socket_wait.record_ns(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        sink_dead = true;
+                    }
+                }
+                conn.release_slot();
+            }
+        })
+    };
+
+    let res = read_requests(&shared, &mut stream, &conn, &reply_tx);
+
+    // Drop our sender; the writer exits once in-flight jobs (each holding
+    // a sender clone) have posted their replies.
+    drop(reply_tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.rec.conn_closed();
+    let _ = shared
+        .volume
+        .with_volume(|v| v.note_serving_event(TraceEvent::ConnClose { conn: id }));
+    res
+}
+
+/// Parses transmission requests until disconnect, EOF or server stop.
+fn read_requests(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    conn: &Arc<Conn>,
+    reply_tx: &mpsc::Sender<Reply>,
+) -> io::Result<()> {
+    loop {
+        let mut hdr = [0u8; REQUEST_LEN];
+        if let Err(e) = stream.read_exact(&mut hdr) {
+            // EOF between requests is a normal (abrupt) close.
+            return if e.kind() == io::ErrorKind::UnexpectedEof || shared.stopping() {
+                Ok(())
+            } else {
+                Err(e)
+            };
+        }
+        let Some(req) = decode_request(&hdr) else {
+            shared.rec.count_error();
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad request magic",
+            ));
+        };
+        let mut data = Vec::new();
+        if req.cmd == CMD_WRITE {
+            // The payload must be consumed even if the request will be
+            // rejected, or the stream desynchronizes.
+            let t0 = Instant::now();
+            data = read_exact_n(stream, req.length as usize)?;
+            shared
+                .rec
+                .socket_wait
+                .record_ns(t0.elapsed().as_nanos() as u64);
+        }
+        if req.cmd == CMD_DISC {
+            return Ok(());
+        }
+        if shared.stopping() {
+            return Ok(());
+        }
+        conn.acquire_slot();
+        let job = Job {
+            req,
+            data,
+            enqueued: Instant::now(),
+            conn: conn.clone(),
+            reply_tx: reply_tx.clone(),
+        };
+        match req.cmd {
+            CMD_READ => shared.concurrent.push(job),
+            _ => shared.ordered.push(job),
+        }
+    }
+}
+
+fn errno_of(e: &LsvdError) -> u32 {
+    match e {
+        LsvdError::InvalidAccess { .. } => EINVAL,
+        LsvdError::CacheFull | LsvdError::Backpressure { .. } => ENOSPC,
+        _ => EIO,
+    }
+}
+
+/// Services one job against the volume and posts the reply.
+fn execute(shared: &Shared, job: Job) {
+    shared
+        .rec
+        .queue_wait
+        .record_ns(job.enqueued.elapsed().as_nanos() as u64);
+    let fua = job.req.flags & CMD_FLAG_FUA != 0;
+    let t0 = Instant::now();
+    let (error, data) = match job.req.cmd {
+        CMD_READ => {
+            shared.rec.count_read();
+            if job.req.length > MAX_IO_BYTES {
+                (EINVAL, Vec::new())
+            } else {
+                let mut buf = vec![0u8; job.req.length as usize];
+                match shared.volume.read(job.req.offset, &mut buf) {
+                    Ok(()) => (0, buf),
+                    Err(e) => (errno_of(&e), Vec::new()),
+                }
+            }
+        }
+        CMD_WRITE => {
+            shared.rec.count_write();
+            let res = if job.req.length > MAX_IO_BYTES {
+                Err(LsvdError::InvalidAccess {
+                    offset: job.req.offset,
+                    len: job.req.length as u64,
+                    reason: "request exceeds MAX_IO_BYTES",
+                })
+            } else {
+                shared
+                    .volume
+                    .write(job.req.offset, &job.data)
+                    .and_then(|()| {
+                        if fua {
+                            shared.rec.count_flush();
+                            shared.volume.flush()
+                        } else {
+                            Ok(())
+                        }
+                    })
+            };
+            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Vec::new())
+        }
+        CMD_FLUSH => {
+            shared.rec.count_flush();
+            let res = shared.volume.flush();
+            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Vec::new())
+        }
+        CMD_TRIM => {
+            shared.rec.count_trim();
+            let res = if job.req.length > MAX_IO_BYTES {
+                Err(LsvdError::InvalidAccess {
+                    offset: job.req.offset,
+                    len: job.req.length as u64,
+                    reason: "request exceeds MAX_IO_BYTES",
+                })
+            } else {
+                shared
+                    .volume
+                    .discard(job.req.offset, job.req.length as u64)
+                    .and_then(|()| {
+                        if fua {
+                            shared.rec.count_flush();
+                            shared.volume.flush()
+                        } else {
+                            Ok(())
+                        }
+                    })
+            };
+            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Vec::new())
+        }
+        _ => {
+            shared.rec.count_error();
+            (EINVAL, Vec::new())
+        }
+    };
+    shared.rec.service.record_ns(t0.elapsed().as_nanos() as u64);
+    if error != 0 {
+        shared.rec.count_error();
+    }
+    // A send can only fail if the writer is gone (connection torn down);
+    // release the slot ourselves so accounting stays balanced.
+    if job
+        .reply_tx
+        .send(Reply {
+            cookie: job.req.cookie,
+            error,
+            data,
+        })
+        .is_err()
+    {
+        job.conn.release_slot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use blkdev::RamDisk;
+    use lsvd::config::VolumeConfig;
+    use lsvd::volume::Volume;
+    use objstore::MemStore;
+
+    fn shared_volume(size_mb: u64) -> SharedVolume {
+        let store = Arc::new(MemStore::new());
+        let dev = Arc::new(RamDisk::new(16 << 20));
+        let vol = Volume::create(
+            store,
+            dev,
+            "vol",
+            size_mb << 20,
+            VolumeConfig::small_for_tests(),
+        )
+        .unwrap();
+        SharedVolume::new(vol)
+    }
+
+    #[test]
+    fn loopback_negotiate_and_full_command_set() {
+        let sv = shared_volume(32);
+        let handle = serve("127.0.0.1:0", "vol", sv.clone(), ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let mut c = Client::connect(addr, "vol").unwrap();
+        assert_eq!(c.size(), 32 << 20);
+        assert_ne!(c.transmission_flags() & TFLAG_SEND_TRIM, 0);
+
+        c.write(4096, &[7u8; 8192]).unwrap();
+        c.flush().unwrap();
+        let mut buf = [0u8; 8192];
+        c.read(4096, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8192]);
+
+        c.trim(4096, 4096).unwrap();
+        c.read(4096, &mut buf).unwrap();
+        assert!(
+            buf[..4096].iter().all(|&b| b == 0),
+            "trimmed half reads zero"
+        );
+        assert!(buf[4096..].iter().all(|&b| b == 7), "other half intact");
+
+        c.write_fua(0, &[3u8; 4096]).unwrap();
+        // Unaligned and out-of-bounds requests error without killing the
+        // connection.
+        assert!(c.write(100, &[0u8; 512]).is_err());
+        assert!(c.read((32 << 20) - 512, &mut [0u8; 4096]).is_err());
+        let mut ok = [0u8; 4096];
+        c.read(0, &mut ok).unwrap();
+        assert_eq!(ok, [3u8; 4096]);
+
+        c.disconnect().unwrap();
+        handle.stop();
+        // Server stop leaves the volume attached and consistent.
+        let mut back = [0u8; 4096];
+        sv.read(0, &mut back).unwrap();
+        assert_eq!(back, [3u8; 4096]);
+        sv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oneshot_serves_one_connection_then_stops() {
+        let sv = shared_volume(16);
+        let cfg = ServerConfig {
+            oneshot: true,
+            ..ServerConfig::default()
+        };
+        let handle = serve("127.0.0.1:0", "vol", sv.clone(), cfg).unwrap();
+        let addr = handle.addr();
+        let mut c = Client::connect(addr, "").unwrap(); // empty name = default export
+        c.write(0, &[1u8; 4096]).unwrap();
+        c.disconnect().unwrap();
+        handle.join();
+        sv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_export_is_rejected() {
+        let sv = shared_volume(16);
+        let handle = serve("127.0.0.1:0", "vol", sv, ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+        assert!(Client::connect(addr, "nope").is_err());
+        // The connection stays in negotiation; a correct retry succeeds.
+        let c = Client::connect(addr, "vol").unwrap();
+        c.disconnect().unwrap();
+        handle.stop();
+    }
+}

@@ -28,15 +28,17 @@
 
 pub mod json;
 pub mod recorder;
+pub mod serving;
 pub mod sketch;
 pub mod snapshot;
 pub mod trace;
 
 pub use json::Json;
 pub use recorder::{LatencyRecorder, LatencySnapshot};
+pub use serving::ServingRecorders;
 pub use sketch::Summary;
 pub use snapshot::{
     BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, RetryTelemetry,
-    TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
+    ServingTelemetry, TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
 };
 pub use trace::{TraceEvent, TraceRecord, TraceRing};

@@ -158,6 +158,35 @@ pub struct DataPlaneTelemetry {
     pub hw_crc: bool,
 }
 
+/// Serving-plane (NBD) observability: per-request latency split into the
+/// three places time can go — blocked on the socket, queued behind the
+/// scheduler, or inside the volume — plus connection/op gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingTelemetry {
+    /// Time spent reading a request frame off the socket and writing its
+    /// reply back (transport cost).
+    pub socket_wait: LatencySnapshot,
+    /// Time a parsed request waited in the scheduler queue before a worker
+    /// picked it up.
+    pub queue_wait: LatencySnapshot,
+    /// Time inside the volume call servicing the request.
+    pub service: LatencySnapshot,
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Connections ever accepted.
+    pub conns_total: u64,
+    /// READ requests served.
+    pub reads: u64,
+    /// WRITE requests served.
+    pub writes: u64,
+    /// FLUSH requests served (including FUA-forced flushes).
+    pub flushes: u64,
+    /// TRIM requests served.
+    pub trims: u64,
+    /// Requests answered with an NBD error code.
+    pub errors: u64,
+}
+
 /// Trace-ring occupancy counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceTelemetry {
@@ -188,6 +217,8 @@ pub struct TelemetrySnapshot {
     pub derived: DerivedTelemetry,
     /// Data-plane copy/CRC byte accounting.
     pub data_plane: DataPlaneTelemetry,
+    /// Serving-plane (NBD) latency split and connection gauges.
+    pub serving: ServingTelemetry,
     /// Trace-ring occupancy.
     pub trace: TraceTelemetry,
 }
@@ -393,6 +424,27 @@ impl TelemetrySnapshot {
                 ]),
             ),
             (
+                "serving".into(),
+                Json::Obj(vec![
+                    ("socket_wait".into(), lat_json(&self.serving.socket_wait)),
+                    ("queue_wait".into(), lat_json(&self.serving.queue_wait)),
+                    ("service".into(), lat_json(&self.serving.service)),
+                    (
+                        "conns_open".into(),
+                        Json::Num(self.serving.conns_open as f64),
+                    ),
+                    (
+                        "conns_total".into(),
+                        Json::Num(self.serving.conns_total as f64),
+                    ),
+                    ("reads".into(), Json::Num(self.serving.reads as f64)),
+                    ("writes".into(), Json::Num(self.serving.writes as f64)),
+                    ("flushes".into(), Json::Num(self.serving.flushes as f64)),
+                    ("trims".into(), Json::Num(self.serving.trims as f64)),
+                    ("errors".into(), Json::Num(self.serving.errors as f64)),
+                ]),
+            ),
+            (
                 "trace".into(),
                 Json::Obj(vec![
                     ("events".into(), Json::Num(self.trace.events as f64)),
@@ -417,6 +469,7 @@ impl TelemetrySnapshot {
         let retry = j.get("retry");
         let derived = j.get("derived");
         let dp = j.get("data_plane");
+        let serving = j.get("serving");
         let trace = j.get("trace");
         fn sub<'a>(parent: Option<&'a Json>, key: &str) -> Option<&'a Json> {
             parent.and_then(|p| p.get(key))
@@ -486,6 +539,18 @@ impl TelemetrySnapshot {
                 copied_bytes: dp.map_or(0, |d| num_u64(d, "copied_bytes")),
                 get_verified_bytes: dp.map_or(0, |d| num_u64(d, "get_verified_bytes")),
                 hw_crc: dp.is_some_and(|d| flag(d, "hw_crc")),
+            },
+            serving: ServingTelemetry {
+                socket_wait: lat_from(sub(serving, "socket_wait")),
+                queue_wait: lat_from(sub(serving, "queue_wait")),
+                service: lat_from(sub(serving, "service")),
+                conns_open: serving.map_or(0, |s| num_u64(s, "conns_open")),
+                conns_total: serving.map_or(0, |s| num_u64(s, "conns_total")),
+                reads: serving.map_or(0, |s| num_u64(s, "reads")),
+                writes: serving.map_or(0, |s| num_u64(s, "writes")),
+                flushes: serving.map_or(0, |s| num_u64(s, "flushes")),
+                trims: serving.map_or(0, |s| num_u64(s, "trims")),
+                errors: serving.map_or(0, |s| num_u64(s, "errors")),
             },
             trace: TraceTelemetry {
                 events: trace.map_or(0, |t| num_u64(t, "events")),
@@ -623,6 +688,24 @@ impl TelemetrySnapshot {
             "lsvd_dp_hw_crc",
             if self.data_plane.hw_crc { 1.0 } else { 0.0 },
         );
+        lat(
+            &mut gauge,
+            "lsvd_serving_socket_wait",
+            &self.serving.socket_wait,
+        );
+        lat(
+            &mut gauge,
+            "lsvd_serving_queue_wait",
+            &self.serving.queue_wait,
+        );
+        lat(&mut gauge, "lsvd_serving_service", &self.serving.service);
+        gauge("lsvd_serving_conns_open", self.serving.conns_open as f64);
+        gauge("lsvd_serving_conns_total", self.serving.conns_total as f64);
+        gauge("lsvd_serving_reads", self.serving.reads as f64);
+        gauge("lsvd_serving_writes", self.serving.writes as f64);
+        gauge("lsvd_serving_flushes", self.serving.flushes as f64);
+        gauge("lsvd_serving_trims", self.serving.trims as f64);
+        gauge("lsvd_serving_errors", self.serving.errors as f64);
         gauge("lsvd_trace_events", self.trace.events as f64);
         gauge("lsvd_trace_dropped", self.trace.dropped as f64);
         gauge("lsvd_trace_capacity", self.trace.capacity as f64);
@@ -691,6 +774,24 @@ impl TelemetrySnapshot {
             self.data_plane.get_verified_bytes,
             self.data_plane.hw_crc
         );
+        if self.serving.conns_total > 0 {
+            let _ = writeln!(
+                out,
+                "  serving     socket {} | queue {} | service {}",
+                self.serving.socket_wait, self.serving.queue_wait, self.serving.service
+            );
+            let _ = writeln!(
+                out,
+                "              conns={}/{} reads={} writes={} flushes={} trims={} errors={}",
+                self.serving.conns_open,
+                self.serving.conns_total,
+                self.serving.reads,
+                self.serving.writes,
+                self.serving.flushes,
+                self.serving.trims,
+                self.serving.errors
+            );
+        }
         let _ = writeln!(
             out,
             "  trace       events={} dropped={} capacity={}",
@@ -785,6 +886,18 @@ mod tests {
                 get_verified_bytes: 4096,
                 hw_crc: true,
             },
+            serving: ServingTelemetry {
+                socket_wait: lat,
+                queue_wait: lat,
+                service: lat,
+                conns_open: 4,
+                conns_total: 6,
+                reads: 2_000,
+                writes: 1_500,
+                flushes: 40,
+                trims: 12,
+                errors: 1,
+            },
             trace: TraceTelemetry {
                 events: 500,
                 dropped: 12,
@@ -829,6 +942,11 @@ mod tests {
         assert!(prom.contains("lsvd_wb_occupancy 0.75"), "{prom}");
         assert!(prom.contains("lsvd_wb_degraded 1"), "{prom}");
         assert!(prom.contains("lsvd_write_amplification 1.37"), "{prom}");
+        assert!(prom.contains("lsvd_serving_conns_open 4"), "{prom}");
+        assert!(
+            prom.contains("# TYPE lsvd_serving_queue_wait_p99_ns gauge"),
+            "{prom}"
+        );
         for line in prom.lines() {
             assert!(
                 line.starts_with("# TYPE lsvd_") || line.starts_with("lsvd_"),
@@ -846,6 +964,7 @@ mod tests {
             "derived",
             "WA=1.37",
             "data-plane",
+            "serving",
             "trace",
         ] {
             assert!(rep.contains(needle), "missing {needle}: {rep}");

@@ -63,6 +63,23 @@ pub enum TraceEvent {
     DegradedEnter,
     /// The volume left degraded mode.
     DegradedExit,
+    /// A discard punched `sectors` sectors at `lba` from the volume.
+    Trim {
+        /// First virtual LBA discarded.
+        lba: u64,
+        /// Sectors discarded.
+        sectors: u64,
+    },
+    /// A serving-plane connection was accepted.
+    ConnOpen {
+        /// Server-local connection id.
+        conn: u64,
+    },
+    /// A serving-plane connection closed (clean or dropped).
+    ConnClose {
+        /// Server-local connection id.
+        conn: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -78,6 +95,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::GcPass { collected } => write!(f, "gc-pass collected={collected}"),
             TraceEvent::DegradedEnter => write!(f, "degraded-enter"),
             TraceEvent::DegradedExit => write!(f, "degraded-exit"),
+            TraceEvent::Trim { lba, sectors } => write!(f, "trim lba={lba} sectors={sectors}"),
+            TraceEvent::ConnOpen { conn } => write!(f, "conn-open conn={conn}"),
+            TraceEvent::ConnClose { conn } => write!(f, "conn-close conn={conn}"),
         }
     }
 }

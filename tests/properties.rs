@@ -900,3 +900,103 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// NBD wire codecs: round trips and malformed-frame rejection.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nbd_request_frames_round_trip(
+        flags in any::<u16>(),
+        cmd in any::<u16>(),
+        cookie in any::<u64>(),
+        offset in any::<u64>(),
+        length in any::<u32>(),
+    ) {
+        use nbd::proto::{decode_request, encode_request, Request};
+        let r = Request { flags, cmd, cookie, offset, length };
+        prop_assert_eq!(decode_request(&encode_request(&r)), Some(r));
+    }
+
+    #[test]
+    fn nbd_request_rejects_any_corrupted_magic(
+        cookie in any::<u64>(),
+        byte in 0usize..4,
+        flip in 1u8..255,
+    ) {
+        use nbd::proto::{decode_request, encode_request, Request, CMD_READ};
+        let r = Request { flags: 0, cmd: CMD_READ, cookie, offset: 0, length: 4096 };
+        let mut b = encode_request(&r);
+        b[byte] ^= flip;
+        prop_assert_eq!(decode_request(&b), None);
+    }
+
+    #[test]
+    fn nbd_reply_frames_round_trip(error in any::<u32>(), cookie in any::<u64>()) {
+        use nbd::proto::{decode_simple_reply, encode_simple_reply, SimpleReply};
+        let r = SimpleReply { error, cookie };
+        prop_assert_eq!(decode_simple_reply(&encode_simple_reply(&r)), Some(r));
+    }
+
+    #[test]
+    fn nbd_reply_rejects_any_corrupted_magic(
+        cookie in any::<u64>(),
+        byte in 0usize..4,
+        flip in 1u8..255,
+    ) {
+        use nbd::proto::{decode_simple_reply, encode_simple_reply, SimpleReply};
+        let mut b = encode_simple_reply(&SimpleReply { error: 0, cookie });
+        b[byte] ^= flip;
+        prop_assert_eq!(decode_simple_reply(&b), None);
+    }
+
+    #[test]
+    fn nbd_go_payload_round_trips_and_rejects_truncation(
+        name in "[a-zA-Z0-9._-]{0,64}",
+        cut in any::<usize>(),
+    ) {
+        use nbd::proto::{decode_go_payload, encode_go_payload};
+        let p = encode_go_payload(&name);
+        let decoded = decode_go_payload(&p);
+        prop_assert_eq!(decoded.as_deref(), Some(name.as_str()));
+        // Every strict prefix is rejected: no length field can lie its way
+        // past the buffer end.
+        let cut = cut % p.len();
+        prop_assert_eq!(decode_go_payload(&p[..cut]), None);
+    }
+
+    #[test]
+    fn nbd_go_payload_rejects_oversized_name_length(
+        name in "[a-z]{1,16}",
+        extra in 1u32..1 << 20,
+    ) {
+        use nbd::proto::{decode_go_payload, encode_go_payload};
+        // Inflate the claimed name length beyond the actual buffer: a
+        // malicious client must not make the server read past the payload.
+        let mut p = encode_go_payload(&name);
+        let lied = (name.len() as u32).saturating_add(extra);
+        p[0..4].copy_from_slice(&lied.to_be_bytes());
+        prop_assert_eq!(decode_go_payload(&p), None);
+    }
+
+    #[test]
+    fn nbd_info_export_round_trips_and_rejects_bad_shapes(
+        size in any::<u64>(),
+        tflags in any::<u16>(),
+        junk in prop::collection::vec(any::<u8>(), 0..24),
+    ) {
+        use nbd::proto::{decode_info_export, encode_info_export, INFO_EXPORT};
+        let b = encode_info_export(size, tflags);
+        prop_assert_eq!(decode_info_export(&b), Some((size, tflags)));
+        // Wrong length, or a correct length with the wrong info type, is
+        // not an export-info block.
+        if junk.len() != 12
+            || u16::from_be_bytes([junk[0], junk[1]]) != INFO_EXPORT
+        {
+            prop_assert_eq!(decode_info_export(&junk), None);
+        }
+    }
+}
