@@ -14,6 +14,7 @@
 //! lsvdctl read      <bucket> <image> <offset> <len>  # raw data to stdout
 //! lsvdctl fill      <bucket> <image> <offset> <len> <byte>
 //! lsvdctl trim      <bucket> <image> <offset> <len>  # discard a range
+//! lsvdctl check     <bucket> <image>                 # offline integrity verify (read-only)
 //! lsvdctl snapshot  <bucket> <image> <name>
 //! lsvdctl snapshots <bucket> <image>
 //! lsvdctl clone     <bucket> <base> <new> [snapshot]
@@ -109,7 +110,7 @@ fn parse_opts() -> Opts {
             "--help" | "-h" => {
                 eprintln!(
                     "see `lsvdctl` module docs; commands: create info ls write read fill trim \
-                     snapshot snapshots clone gc stats replicate gen-trace replay serve \
+                     check snapshot snapshots clone gc stats replicate gen-trace replay serve \
                      nbd-roundtrip host"
                 );
                 exit(0);
@@ -258,6 +259,7 @@ fn run(opts: &Opts) -> CmdResult {
             println!("trimmed");
             shutdown(vol)
         }
+        ["check", bucket, image] => cmd_check(bucket, image),
         ["snapshot", bucket, image, name] => {
             let mut vol = open_volume(opts, bucket, image)?;
             let seq = vol.snapshot(name).map_err(|e| format!("snapshot: {e}"))?;
@@ -464,11 +466,177 @@ fn run(opts: &Opts) -> CmdResult {
             Ok(())
         }
         _ => Err(
-            "usage: lsvdctl <create|info|ls|write|read|fill|trim|snapshot|snapshots|clone|gc|\
-             stats|replicate|gen-trace|replay|serve|nbd-roundtrip|host> ... (--help)"
+            "usage: lsvdctl <create|info|ls|write|read|fill|trim|check|snapshot|snapshots|clone|\
+             gc|stats|replicate|gen-trace|replay|serve|nbd-roundtrip|host> ... (--help)"
                 .to_string(),
         ),
     }
+}
+
+/// Offline, read-only integrity check of an image's backend state: parses
+/// the superblock and every checkpoint, verifies every data object's
+/// header and per-extent CRC32C, and cross-checks the recovered map's
+/// references against the objects they point into. Stranded objects
+/// beyond the prefix cut are *reported*, never deleted — unlike
+/// `Volume::open`, a verifier must not mutate the bucket. Exits nonzero
+/// with a per-object report if anything fails.
+fn cmd_check(bucket: &str, image: &str) -> CmdResult {
+    use lsvd::checkpoint::CheckpointData;
+    use lsvd::crc::crc32c;
+    use lsvd::types::{object_name, parse_object_seq, ObjSeq, SECTOR};
+    use std::collections::HashMap;
+
+    let store = open_store(bucket)?;
+    let store = store.as_ref();
+    // `upto = Some(MAX)` walks the same consecutive prefix a read-write
+    // open would recover, but keeps recovery side-effect free.
+    let rb = lsvd::recovery::recover_backend(store, image, Some(ObjSeq::MAX))
+        .map_err(|e| format!("recover {image}: {e}"))?;
+    let uuid = rb.superblock.uuid;
+    let mut problems = 0usize;
+    let mut stranded = 0usize;
+
+    // Per-object verification of the image's own stream.
+    let mut seqs: Vec<ObjSeq> = store
+        .list(&format!("{image}."))
+        .map_err(|e| format!("list: {e}"))?
+        .iter()
+        .filter_map(|n| parse_object_seq(image, n))
+        .collect();
+    seqs.sort_unstable();
+    for &seq in &seqs {
+        let name = object_name(image, seq);
+        let mut flaws: Vec<String> = Vec::new();
+        let mut desc = String::new();
+        match store.get(&name) {
+            Err(e) => flaws.push(format!("GET failed: {e}")),
+            Ok(obj) => match lsvd::objfmt::parse_data_header(&obj) {
+                Err(e) => flaws.push(format!("corrupt header: {e}")),
+                Ok(h) => {
+                    desc = format!(
+                        "seq={} cseq={} gc={} extents={} trims={} {} bytes",
+                        h.seq,
+                        h.last_cache_seq,
+                        h.gc,
+                        h.extents.len(),
+                        h.trims.len(),
+                        obj.len()
+                    );
+                    if h.uuid != uuid && seq >= rb.superblock.own_first_seq() {
+                        flaws.push(format!("foreign uuid {:#018x}", h.uuid));
+                    }
+                    if h.seq != seq {
+                        flaws.push(format!("header seq {} != name seq {seq}", h.seq));
+                    }
+                    let mut off = h.data_offset as usize;
+                    for (i, &(lba, sectors)) in h.extents.iter().enumerate() {
+                        let len = sectors as usize * SECTOR as usize;
+                        if off + len > obj.len() {
+                            flaws.push(format!("extent {i} (vLBA {lba}) runs past the object end"));
+                            break;
+                        }
+                        if crc32c(&obj[off..off + len]) != h.extent_crcs[i] {
+                            flaws.push(format!(
+                                "extent {i} (vLBA {lba}, {sectors} sectors) payload CRC mismatch"
+                            ));
+                        }
+                        off += len;
+                    }
+                }
+            },
+        }
+        let tail = if seq > rb.last_seq {
+            stranded += 1;
+            "  [stranded beyond the prefix cut]"
+        } else {
+            ""
+        };
+        if flaws.is_empty() {
+            println!(" ok {name}: {desc}{tail}");
+        } else {
+            problems += flaws.len();
+            for f in &flaws {
+                println!("BAD {name}: {f}{tail}");
+            }
+        }
+    }
+
+    // Every checkpoint must parse against the volume UUID.
+    let mut ckpts = store
+        .list(&format!("{image}.ckpt."))
+        .map_err(|e| format!("list checkpoints: {e}"))?;
+    ckpts.sort();
+    for name in &ckpts {
+        match store
+            .get(name)
+            .map_err(|e| format!("GET failed: {e}"))
+            .and_then(|o| CheckpointData::parse(&o, uuid).map_err(|e| format!("corrupt: {e}")))
+        {
+            Ok(ck) => println!(
+                " ok {name}: covers seq {}, frontier {}, {} snapshot(s)",
+                ck.covers_seq,
+                ck.frontier,
+                ck.snapshots.len()
+            ),
+            Err(e) => {
+                println!("BAD {name}: {e}");
+                problems += 1;
+            }
+        }
+    }
+
+    // Map cross-check: every recovered extent must point inside the data
+    // region of an object that still exists (clone ancestors included).
+    let mut data_sectors: HashMap<ObjSeq, Option<u64>> = HashMap::new();
+    let mut map_extents = 0usize;
+    for (lba, len, loc) in rb.objmap.map_extents() {
+        map_extents += 1;
+        let span = data_sectors.entry(loc.seq).or_insert_with(|| {
+            let name = object_name(rb.superblock.stream_for(loc.seq), loc.seq);
+            match lsvd::recovery::fetch_header(store, &name) {
+                Ok(Some(h)) => Some(h.data_sectors()),
+                _ => None,
+            }
+        });
+        match *span {
+            None => {
+                println!(
+                    "BAD map: vLBA {lba}+{len} points at missing object seq {}",
+                    loc.seq
+                );
+                problems += 1;
+            }
+            Some(sectors) => {
+                if loc.off as u64 + len > sectors {
+                    println!(
+                        "BAD map: vLBA {lba}+{len} points past the end of object seq {} \
+                         (offset {} of {} data sectors)",
+                        loc.seq, loc.off, sectors
+                    );
+                    problems += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "checked {} data object(s), {} checkpoint(s), {map_extents} map extent(s); \
+         prefix cut at seq {}",
+        seqs.len(),
+        ckpts.len(),
+        rb.last_seq
+    );
+    if stranded > 0 {
+        println!(
+            "note: {stranded} stranded object(s) beyond the cut \
+             (a read-write open would delete them; check leaves them in place)"
+        );
+    }
+    if problems > 0 {
+        return Err(format!("check failed: {problems} problem(s) found"));
+    }
+    println!("check ok: {image} is consistent");
+    Ok(())
 }
 
 /// Loopback smoke: serve the image oneshot on an ephemeral port, drive the

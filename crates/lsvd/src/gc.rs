@@ -72,23 +72,38 @@ pub fn select_candidates(
     picked
 }
 
-/// Snapshot-aware delete decision (§3.6): object `n0`, collected when the
-/// newest object was `ngc`, may be deleted immediately iff no snapshot
-/// points at a sequence in `[n0, ngc]`; otherwise the pair is deferred
-/// until those snapshots are gone.
-pub fn may_delete_now(n0: ObjSeq, ngc: ObjSeq, snapshots: &[(String, ObjSeq)]) -> bool {
-    !snapshots.iter().any(|&(_, s)| s >= n0 && s <= ngc)
+/// Delete decision for a collected source object (§3.5, §3.6): object
+/// `n0`, collected when the newest object was `ngc`, may be deleted iff
+///
+/// - no snapshot points at a sequence in `[n0, ngc]` (the snapshot would
+///   still need the source's data), and
+/// - a checkpoint newer than the GC pass is durable (`ckpt_seq > ngc`).
+///   The pass's relocation objects all carry sequences above `ngc`, and
+///   checkpoints are never written mid-pass, so any checkpoint past `ngc`
+///   was captured after the pass and maps the relocated extents to the
+///   new objects. Before that, crash recovery rolls forward from a
+///   checkpoint that still references `n0` — deleting it would strand
+///   recovery on a missing object.
+pub fn may_delete_now(
+    n0: ObjSeq,
+    ngc: ObjSeq,
+    snapshots: &[(String, ObjSeq)],
+    ckpt_seq: ObjSeq,
+) -> bool {
+    ckpt_seq > ngc && !snapshots.iter().any(|&(_, s)| s >= n0 && s <= ngc)
 }
 
-/// Re-examines the deferred-delete list after a snapshot change; returns
-/// the pairs that are now deletable, leaving the rest in `deferred`.
+/// Re-examines the deferred-delete list after a snapshot or checkpoint
+/// change; returns the pairs that are now deletable, leaving the rest in
+/// `deferred`.
 pub fn drain_deletable(
     deferred: &mut Vec<(ObjSeq, ObjSeq)>,
     snapshots: &[(String, ObjSeq)],
+    ckpt_seq: ObjSeq,
 ) -> Vec<(ObjSeq, ObjSeq)> {
     let mut out = Vec::new();
     deferred.retain(|&(n0, ngc)| {
-        if may_delete_now(n0, ngc, snapshots) {
+        if may_delete_now(n0, ngc, snapshots, ckpt_seq) {
             out.push((n0, ngc));
             false
         } else {
@@ -181,21 +196,53 @@ mod tests {
     #[test]
     fn snapshot_defers_delete() {
         let snaps = vec![("s".to_string(), 5u32)];
-        assert!(!may_delete_now(3, 8, &snaps), "snapshot 5 in [3,8]");
-        assert!(may_delete_now(6, 8, &snaps), "snapshot older than object");
-        assert!(may_delete_now(1, 4, &snaps), "snapshot newer than window");
+        assert!(!may_delete_now(3, 8, &snaps, 99), "snapshot 5 in [3,8]");
+        assert!(
+            may_delete_now(6, 8, &snaps, 99),
+            "snapshot older than object"
+        );
+        assert!(
+            may_delete_now(1, 4, &snaps, 99),
+            "snapshot newer than window"
+        );
+    }
+
+    #[test]
+    fn uncovered_relocation_defers_delete() {
+        // No snapshots, but the newest durable checkpoint predates the GC
+        // pass (ckpt_seq <= ngc): recovery would still reference the
+        // source, so the delete must wait.
+        assert!(!may_delete_now(3, 8, &[], 8), "checkpoint at pass start");
+        assert!(!may_delete_now(3, 8, &[], 5), "checkpoint older than pass");
+        assert!(
+            may_delete_now(3, 8, &[], 9),
+            "checkpoint covers relocations"
+        );
     }
 
     #[test]
     fn drain_releases_after_snapshot_removal() {
         let mut deferred = vec![(3u32, 8u32), (10, 12)];
         let snaps = vec![("s".to_string(), 5u32)];
-        let now = drain_deletable(&mut deferred, &snaps);
+        let now = drain_deletable(&mut deferred, &snaps, 99);
         assert_eq!(now, vec![(10, 12)]);
         assert_eq!(deferred, vec![(3, 8)]);
         // Snapshot deleted: everything drains.
-        let now = drain_deletable(&mut deferred, &[]);
+        let now = drain_deletable(&mut deferred, &[], 99);
         assert_eq!(now, vec![(3, 8)]);
+        assert!(deferred.is_empty());
+    }
+
+    #[test]
+    fn drain_holds_uncovered_passes() {
+        let mut deferred = vec![(3u32, 8u32), (10, 12)];
+        // Checkpoint at 9 covers the first pass (ngc=8) but not the
+        // second (ngc=12).
+        let now = drain_deletable(&mut deferred, &[], 9);
+        assert_eq!(now, vec![(3, 8)]);
+        assert_eq!(deferred, vec![(10, 12)]);
+        let now = drain_deletable(&mut deferred, &[], 13);
+        assert_eq!(now, vec![(10, 12)]);
         assert!(deferred.is_empty());
     }
 }

@@ -1504,8 +1504,16 @@ impl Volume {
         // checkpoint must not reference sequences that are not yet part of
         // the durable prefix, and a GC object PUT ahead of outstanding
         // data batches would break the backend's consecutive-sequence
-        // prefix rule.
-        if self.objects_since_ckpt >= self.cfg.checkpoint_interval && self.writeback_idle() {
+        // prefix rule. `pending_trims` must be empty too: trims punch the
+        // object map eagerly at discard time, so a checkpoint taken while
+        // a trim's carrier object is still unsealed would make the trim
+        // durable ahead of older writes sitting in the batch builder —
+        // after cache loss, recovery would show the trim applied but the
+        // earlier acknowledged write missing (not a prefix).
+        if self.objects_since_ckpt >= self.cfg.checkpoint_interval
+            && self.writeback_idle()
+            && self.pending_trims.is_empty()
+        {
             match self.write_checkpoint() {
                 Ok(()) => {
                     if self.cfg.gc_enabled {
@@ -1645,6 +1653,11 @@ impl Volume {
         self.stats.checkpoints += 1;
         let at = self.last_seq;
         self.trace(TraceEvent::Checkpoint { seq: at.into() });
+        // The checkpoint that just landed covers every earlier GC pass, so
+        // their deferred source deletes are now safe to execute. (It still
+        // lists them as deferred — captured before the PUT — which only
+        // means a recovered volume re-issues idempotent deletes.)
+        self.sweep_deferred_deletes();
         // Pruning old checkpoints is cleanup; a flaky backend must not
         // fail the checkpoint that already landed.
         match recovery::prune_checkpoints(self.store.as_ref(), &self.sb.image, &self.snapshots, 3) {
@@ -1655,12 +1668,20 @@ impl Volume {
         Ok(())
     }
 
-    /// Executes deferred deletes no longer blocked by snapshots. Deletes
-    /// that fail are re-deferred — never dropped — so a flaky backend
-    /// delays space reclamation without leaking objects.
+    /// Executes deferred deletes no longer blocked by snapshots or by
+    /// checkpoint coverage (a collected source is only deletable once a
+    /// checkpoint newer than its GC pass is durable). Deletes that fail
+    /// are re-deferred — never dropped — so a flaky backend delays space
+    /// reclamation without leaking objects. Deleting a missing object
+    /// succeeds (S3 semantics), so re-running deletes recorded by an
+    /// earlier checkpoint is harmless after recovery.
     fn sweep_deferred_deletes(&mut self) {
         let attempts = self.cfg.gc_retry_attempts;
-        for (n0, ngc) in gc::drain_deletable(&mut self.deferred_deletes, &self.snapshots) {
+        for (n0, ngc) in gc::drain_deletable(
+            &mut self.deferred_deletes,
+            &self.snapshots,
+            self.last_ckpt_seq,
+        ) {
             let name = self.resolve_name(n0);
             match retry_transient(attempts, || self.store.delete(&name)) {
                 Ok(()) => self.stats.gc_deletes += 1,
@@ -1676,10 +1697,13 @@ impl Volume {
     /// Runs one garbage-collection pass if utilization is below the low
     /// watermark (§3.5). Returns the number of objects collected.
     pub fn run_gc(&mut self) -> Result<usize> {
-        if self.pool.is_some() && !self.writeback_idle() {
+        if !self.writeback_idle() {
             // GC PUTs its relocation objects inline; interleaving them
-            // with outstanding pipelined data PUTs would punch a hole in
-            // the consecutive-sequence prefix. Wait for an idle window.
+            // with outstanding data PUTs would punch a hole in the
+            // consecutive-sequence prefix. That holds for pipelined PUTs
+            // in flight *and* for batches queued behind a degraded serial
+            // backend — either way the relocation object would land ahead
+            // of older sequences. Wait for an idle window.
             return Ok(0);
         }
         let first = self.sb.own_first_seq();
@@ -1723,25 +1747,20 @@ impl Volume {
         }
         self.put_gc_object(&mut gc_batch)?;
 
-        // Delete (or defer) the collected objects.
+        // Defer the deletes of the collected objects — never delete
+        // inline. The relocation objects are not yet covered by a durable
+        // checkpoint; until one lands, recovery rolls forward from a
+        // checkpoint whose map still references the sources, so deleting
+        // them now would leave a crash-recovered volume pointing at
+        // missing objects. The sweep at the next checkpoint (and snapshot
+        // changes) reclaims them once coverage exists.
         let mut collected = 0;
         for &(seq, _) in &cands {
             if self.objmap.object_stat(seq).is_none() {
                 continue; // vanished above
             }
             self.objmap.remove_object(seq);
-            if gc::may_delete_now(seq, ngc, &self.snapshots) {
-                let name = self.resolve_name(seq);
-                match retry_transient(self.cfg.gc_retry_attempts, || self.store.delete(&name)) {
-                    Ok(()) => self.stats.gc_deletes += 1,
-                    // Defer rather than lose the delete: the object's data
-                    // has been relocated, only its space is still held.
-                    Err(e) if e.is_transient() => self.deferred_deletes.push((seq, ngc)),
-                    Err(e) => return Err(e.into()),
-                }
-            } else {
-                self.deferred_deletes.push((seq, ngc));
-            }
+            self.deferred_deletes.push((seq, ngc));
             collected += 1;
         }
         if collected > 0 {
@@ -1870,11 +1889,15 @@ impl Volume {
     /// Deletes a snapshot and executes any deferred deletes it was
     /// blocking (§3.6).
     pub fn delete_snapshot(&mut self, name: &str) -> Result<()> {
-        let before = self.snapshots.len();
-        self.snapshots.retain(|(n, _)| n != name);
-        if self.snapshots.len() == before {
+        if !self.snapshots.iter().any(|(n, _)| n == name) {
             return Err(LsvdError::NoSuchSnapshot(name.to_string()));
         }
+        // Settle the writeback path before checkpointing: the checkpoint
+        // is named by `last_seq` and must describe the full durable
+        // prefix, and any eagerly-punched pending trims must ride a
+        // sealed object first.
+        self.drain()?;
+        self.snapshots.retain(|(n, _)| n != name);
         self.sweep_deferred_deletes();
         self.write_checkpoint()?;
         Ok(())
@@ -2039,6 +2062,21 @@ impl Volume {
     /// Renders the current trace-ring contents without draining.
     pub fn dump_trace(&self) -> String {
         self.tel.trace.dump()
+    }
+
+    /// Installs a synchronous trace observer: `hook` runs on this thread,
+    /// inside the traced operation, for every event the volume emits from
+    /// now on. The crash-state model checker uses this seam to kill the
+    /// volume at an exact [`TraceEvent`] edge — a panic raised by the hook
+    /// unwinds through the volume mid-operation with no cleanup running,
+    /// which is precisely a crash. Replaces any previous hook.
+    pub fn set_trace_hook(&mut self, hook: telemetry::TraceHook) {
+        self.tel.trace.set_hook(hook);
+    }
+
+    /// Removes the trace observer installed by [`Volume::set_trace_hook`].
+    pub fn clear_trace_hook(&mut self) {
+        self.tel.trace.clear_hook();
     }
 
     /// Read-cache statistics.

@@ -1,0 +1,523 @@
+//! The oracle: a trivially-correct model disk with acked-op tracking.
+//!
+//! The oracle consumes the same op stream the real volume executes —
+//! stamped writes and trims — and records, per op, whether the volume
+//! acknowledged it before the crash. After recovery, [`Oracle::check`]
+//! decides whether the recovered image equals the result of applying
+//! some *prefix* of the op stream (skipping ops the volume rejected,
+//! which by contract leave no state behind), with the prefix long enough
+//! to contain every op that durability rules say must survive:
+//!
+//! - cache intact: every acknowledged op (the cache log is durable, so an
+//!   ack means the write is recoverable);
+//! - cache lost: every op acknowledged before the last successful
+//!   `drain` (the backend-synchronized floor).
+//!
+//! Content is self-describing: every 4 KiB block a write touches is
+//! filled with repeated `(magic, op index, block number)` stamps, so the
+//! checker can read an image and know exactly which op produced each
+//! block — or that a block is torn (mixed stamps: something the volume
+//! stack must never produce, with or without a crash).
+//!
+//! Unlike [`lsvd::verify::History`], which this extends, the oracle
+//! models trims: a trim op zeroes its range, and the prefix search
+//! handles cuts that end in trims (no stamp marks them, so the cut
+//! cannot be inferred from the newest stamp alone — every candidate
+//! prefix is checked instead; op streams are short, so the exact search
+//! is cheap).
+
+use std::collections::HashMap;
+
+/// Width of the model blocks; every oracle op is block-aligned.
+pub const MBLOCK: u64 = 4096;
+
+const STAMP_MAGIC: u32 = 0x4D43_4B31; // "MCK1"
+const STAMP_BYTES: usize = 16;
+
+/// One modelled mutation, as issued to the real volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A stamped write of `nblocks` model blocks starting at `block`.
+    Write {
+        /// First model block.
+        block: u64,
+        /// Blocks written.
+        nblocks: u64,
+    },
+    /// A trim (discard) of `nblocks` model blocks starting at `block`.
+    Trim {
+        /// First model block.
+        block: u64,
+        /// Blocks trimmed.
+        nblocks: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: OpKind,
+    /// The volume returned `Ok` for this op.
+    acked: bool,
+    /// The volume rejected this op with an error that leaves no partial
+    /// state (e.g. sustained backpressure); it is excluded from replay.
+    rejected: bool,
+}
+
+/// What a recovered block decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    /// All zeros: never written, or trimmed.
+    Zero,
+    /// An intact stamp of op `index` for this block.
+    Stamp(u64),
+}
+
+/// The oracle disk model; see the module docs.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Issued ops; op index `i` (1-based) lives at `ops[i - 1]`.
+    ops: Vec<Op>,
+    /// Highest acked op index.
+    acked_floor: u64,
+    /// Highest op index acked before the last successful drain.
+    committed: u64,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a write op and returns the stamped payload the caller must
+    /// issue to the real volume. The op starts unacknowledged.
+    pub fn begin_write(&mut self, block: u64, nblocks: u64) -> (u64, Vec<u8>) {
+        assert!(nblocks > 0, "empty write");
+        self.ops.push(Op {
+            kind: OpKind::Write { block, nblocks },
+            acked: false,
+            rejected: false,
+        });
+        let index = self.ops.len() as u64;
+        let mut out = Vec::with_capacity((nblocks * MBLOCK) as usize);
+        for b in block..block + nblocks {
+            out.extend_from_slice(&encode_block(b, index));
+        }
+        (index, out)
+    }
+
+    /// Records a trim op (returns its index). The op starts unacknowledged.
+    pub fn begin_trim(&mut self, block: u64, nblocks: u64) -> u64 {
+        assert!(nblocks > 0, "empty trim");
+        self.ops.push(Op {
+            kind: OpKind::Trim { block, nblocks },
+            acked: false,
+            rejected: false,
+        });
+        self.ops.len() as u64
+    }
+
+    /// Marks op `index` acknowledged: the volume returned `Ok`.
+    pub fn ack(&mut self, index: u64) {
+        self.ops[index as usize - 1].acked = true;
+        self.acked_floor = self.acked_floor.max(index);
+    }
+
+    /// Marks op `index` rejected: the volume returned an error that, by
+    /// the write-path contract, left no partial state behind. The op is
+    /// excluded from prefix replay.
+    pub fn reject(&mut self, index: u64) {
+        self.ops[index as usize - 1].rejected = true;
+    }
+
+    /// Records a successful `drain`: every op acked so far is durable on
+    /// the backend and must survive even total cache loss.
+    pub fn mark_committed(&mut self) {
+        self.committed = self.acked_floor;
+    }
+
+    /// Total ops issued.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops were issued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Highest acked op index (the cache-intact durability floor).
+    pub fn acked_floor(&self) -> u64 {
+        self.acked_floor
+    }
+
+    /// Highest op index acked before the last successful drain (the
+    /// cache-lost durability floor).
+    pub fn committed_floor(&self) -> u64 {
+        self.committed
+    }
+
+    /// The expected content version of `block` right now, with every
+    /// non-rejected issued op applied: `Some(idx)` for a stamp of op
+    /// `idx`, `None` for zeros. Used to verify live reads mid-run.
+    pub fn expected_now(&self, block: u64) -> Option<u64> {
+        let mut cur = None;
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.rejected {
+                continue;
+            }
+            match op.kind {
+                OpKind::Write { block: b, nblocks } if (b..b + nblocks).contains(&block) => {
+                    cur = Some(i as u64 + 1);
+                }
+                OpKind::Trim { block: b, nblocks } if (b..b + nblocks).contains(&block) => {
+                    cur = None;
+                }
+                _ => {}
+            }
+        }
+        cur
+    }
+
+    /// Verifies a live read: `data` (block-aligned at `block`) must match
+    /// the fully-applied model. Returns the offending block on mismatch.
+    pub fn verify_read(&self, block: u64, data: &[u8]) -> Result<(), u64> {
+        assert!(
+            (data.len() as u64).is_multiple_of(MBLOCK),
+            "unaligned read verify"
+        );
+        for (i, chunk) in data.chunks_exact(MBLOCK as usize).enumerate() {
+            let b = block + i as u64;
+            let want = self.expected_now(b);
+            let got = decode_block(chunk, b);
+            if got != want.map(BlockState::Stamp).or(Some(BlockState::Zero)) {
+                return Err(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a recovered image against the op stream. `floor` is the
+    /// lowest acceptable cut (use [`Oracle::acked_floor`] when the cache
+    /// survived, [`Oracle::committed_floor`] when it was lost). Returns
+    /// the accepted cut — the image equals the op stream applied through
+    /// op `cut`, rejected ops skipped — or a human-readable violation.
+    pub fn check(&self, image: &[u8], floor: u64) -> Result<u64, String> {
+        assert!(
+            (image.len() as u64).is_multiple_of(MBLOCK),
+            "image must be block-aligned"
+        );
+        let nblocks = image.len() as u64 / MBLOCK;
+
+        // Decode every block once; reject torn content and stamps no
+        // non-rejected write ever produced for that block.
+        let mut decoded: HashMap<u64, u64> = HashMap::new(); // nonzero blocks
+        for b in 0..nblocks {
+            let chunk = &image[(b * MBLOCK) as usize..((b + 1) * MBLOCK) as usize];
+            match decode_block(chunk, b) {
+                Some(BlockState::Zero) => {}
+                Some(BlockState::Stamp(idx)) => {
+                    let legit = self
+                        .ops
+                        .get(idx as usize - 1)
+                        .is_some_and(|op| match op.kind {
+                            OpKind::Write { block, nblocks } => {
+                                !op.rejected && (block..block + nblocks).contains(&b)
+                            }
+                            OpKind::Trim { .. } => false,
+                        });
+                    if !legit {
+                        return Err(format!("block {b} holds version {idx} never written to it"));
+                    }
+                    decoded.insert(b, idx);
+                }
+                None => return Err(format!("block {b} holds torn or foreign data")),
+            }
+        }
+
+        // Exact prefix search: walk cuts 0..=N, maintaining the model
+        // image and the set of blocks where it disagrees with `decoded`.
+        // Accept the first cut >= floor with no disagreement.
+        let mut model: HashMap<u64, u64> = HashMap::new(); // nonzero blocks
+        let mut bad: std::collections::BTreeSet<u64> = decoded.keys().copied().collect();
+        // Diagnostics: the closest cut at or past the floor (fewest
+        // disagreeing blocks, with a sample), and any perfect cut below
+        // the floor — the "acked op not visible" signature.
+        let mut best: Option<(usize, u64, u64)> = None; // (#bad, cut, sample block)
+        let mut perfect_below: Option<u64> = None;
+        let mut note_cut = |cut: u64, bad: &std::collections::BTreeSet<u64>| -> Option<u64> {
+            if bad.is_empty() {
+                if cut >= floor {
+                    return Some(cut);
+                }
+                perfect_below = Some(cut);
+                return None;
+            }
+            if cut >= floor && (best.is_none() || bad.len() < best.unwrap().0) {
+                best = Some((
+                    bad.len(),
+                    cut,
+                    bad.iter().next().copied().expect("non-empty bad set"),
+                ));
+            }
+            None
+        };
+        if let Some(cut) = note_cut(0, &bad) {
+            return Ok(cut);
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let cut = i as u64 + 1;
+            if !op.rejected {
+                let (range, write) = match op.kind {
+                    OpKind::Write { block, nblocks } => (block..block + nblocks, true),
+                    OpKind::Trim { block, nblocks } => (block..block + nblocks, false),
+                };
+                for b in range {
+                    if write {
+                        model.insert(b, cut);
+                    } else {
+                        model.remove(&b);
+                    }
+                    if model.get(&b) == decoded.get(&b) {
+                        bad.remove(&b);
+                    } else {
+                        bad.insert(b);
+                    }
+                }
+            }
+            if let Some(cut) = note_cut(cut, &bad) {
+                return Ok(cut);
+            }
+        }
+
+        // The loop visits every cut 0..=N and floor <= N, so some cut
+        // >= floor was inspected; it was bad or we would have returned.
+        let (nbad, cut, block) = best.expect("some cut >= floor inspected");
+        let detail = match (cut_apply(&self.ops, cut, block), decoded.get(&block)) {
+            (Some(want), Some(got)) => format!("expected version {want}, found {got}"),
+            (Some(want), None) => format!("expected version {want}, found zeros (lost or trimmed)"),
+            (None, Some(got)) => format!("expected zeros, found version {got} (resurrected data)"),
+            (None, None) => "no candidate prefix matches".to_string(),
+        };
+        let shortfall = match perfect_below {
+            Some(pc) => format!(
+                " (image matches cut {pc}, but ops {}..={floor} are acked and must be visible)",
+                pc + 1
+            ),
+            None => String::new(),
+        };
+        Err(format!(
+            "no consistent prefix >= floor {floor}: closest cut {cut} disagrees on {nbad} \
+             block(s); e.g. block {block}: {detail}{shortfall}"
+        ))
+    }
+}
+
+/// The model content of `block` after applying ops `1..=cut` (rejected
+/// ops skipped): `Some(write index)` or `None` for zeros.
+fn cut_apply(ops: &[Op], cut: u64, block: u64) -> Option<u64> {
+    let mut cur = None;
+    for (i, op) in ops.iter().take(cut as usize).enumerate() {
+        if op.rejected {
+            continue;
+        }
+        match op.kind {
+            OpKind::Write { block: b, nblocks } if (b..b + nblocks).contains(&block) => {
+                cur = Some(i as u64 + 1);
+            }
+            OpKind::Trim { block: b, nblocks } if (b..b + nblocks).contains(&block) => {
+                cur = None;
+            }
+            _ => {}
+        }
+    }
+    cur
+}
+
+fn encode_block(block: u64, index: u64) -> [u8; MBLOCK as usize] {
+    let mut out = [0u8; MBLOCK as usize];
+    for chunk in out.chunks_exact_mut(STAMP_BYTES) {
+        chunk[..4].copy_from_slice(&STAMP_MAGIC.to_le_bytes());
+        chunk[4..8].copy_from_slice(&(index as u32).to_le_bytes());
+        chunk[8..16].copy_from_slice(&block.to_le_bytes());
+    }
+    out
+}
+
+fn decode_block(data: &[u8], block: u64) -> Option<BlockState> {
+    debug_assert_eq!(data.len(), MBLOCK as usize);
+    if data.iter().all(|&b| b == 0) {
+        return Some(BlockState::Zero);
+    }
+    let mut idx: Option<u32> = None;
+    for chunk in data.chunks_exact(STAMP_BYTES) {
+        if chunk[..4] != STAMP_MAGIC.to_le_bytes() || chunk[8..16] != block.to_le_bytes() {
+            return None;
+        }
+        let this = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        match idx {
+            None => idx = Some(this),
+            Some(prev) if prev != this => return None, // torn
+            _ => {}
+        }
+    }
+    idx.map(|i| BlockState::Stamp(i as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_write(image: &mut [u8], block: u64, data: &[u8]) {
+        let o = (block * MBLOCK) as usize;
+        image[o..o + data.len()].copy_from_slice(data);
+    }
+
+    fn apply_trim(image: &mut [u8], block: u64, nblocks: u64) {
+        let o = (block * MBLOCK) as usize;
+        image[o..o + (nblocks * MBLOCK) as usize].fill(0);
+    }
+
+    #[test]
+    fn full_application_is_consistent() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        for b in 0..4 {
+            let (idx, data) = o.begin_write(b, 2);
+            apply_write(&mut img, b, &data);
+            o.ack(idx);
+        }
+        assert_eq!(o.check(&img, o.acked_floor()), Ok(4));
+    }
+
+    #[test]
+    fn suffix_loss_is_a_prefix() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 1);
+        o.ack(i1);
+        apply_write(&mut img, 0, &d1);
+        let (i2, _) = o.begin_write(1, 1); // acked but lost
+        o.ack(i2);
+        // Cache-lost floor 0: losing the acked suffix is fine...
+        assert_eq!(o.check(&img, 0), Ok(1));
+        // ...but with the cache intact every ack must survive.
+        assert!(o.check(&img, o.acked_floor()).is_err());
+    }
+
+    #[test]
+    fn cut_may_end_in_a_trim() {
+        // w1(A) w2(B) trim3(A): image {A: zeros, B: w2} is consistent only
+        // at cut 3 — a newest-stamp checker would wrongly demand w1.
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 1);
+        o.ack(i1);
+        apply_write(&mut img, 0, &d1);
+        let (i2, d2) = o.begin_write(1, 1);
+        o.ack(i2);
+        apply_write(&mut img, 1, &d2);
+        let i3 = o.begin_trim(0, 1);
+        o.ack(i3);
+        apply_trim(&mut img, 0, 1);
+        assert_eq!(o.check(&img, o.acked_floor()), Ok(3));
+    }
+
+    #[test]
+    fn resurrected_trim_is_caught() {
+        // The pending_trims regression shape: w1(A) acked, trim2(A) acked,
+        // but A still shows w1 after recovery.
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 1);
+        o.ack(i1);
+        apply_write(&mut img, 0, &d1);
+        let i2 = o.begin_trim(0, 1);
+        o.ack(i2);
+        // Trim never applied to the image.
+        let err = o.check(&img, o.acked_floor()).unwrap_err();
+        assert!(
+            err.contains("resurrected") || err.contains("expected zeros"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn partial_multiblock_write_is_torn_prefix() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 4);
+        o.ack(i1);
+        // Only half the write landed: not all-or-nothing.
+        apply_write(&mut img, 0, &d1[..2 * MBLOCK as usize]);
+        assert!(o.check(&img, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_order_application_is_caught() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, _) = o.begin_write(0, 1); // lost
+        o.ack(i1);
+        let (i2, d2) = o.begin_write(1, 1); // survived
+        o.ack(i2);
+        apply_write(&mut img, 1, &d2);
+        assert!(o.check(&img, 0).is_err(), "hole in the middle");
+    }
+
+    #[test]
+    fn rejected_ops_are_skipped_in_replay() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 1);
+        o.ack(i1);
+        apply_write(&mut img, 0, &d1);
+        let (i2, _) = o.begin_write(1, 1); // rejected: left no state
+        o.reject(i2);
+        let (i3, d3) = o.begin_write(2, 1);
+        o.ack(i3);
+        apply_write(&mut img, 2, &d3);
+        assert_eq!(o.check(&img, o.acked_floor()), Ok(3));
+    }
+
+    #[test]
+    fn torn_block_detected() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 1);
+        o.ack(i1);
+        apply_write(&mut img, 0, &d1);
+        img[100] ^= 0xFF;
+        let err = o.check(&img, 0).unwrap_err();
+        assert!(err.contains("torn"), "{err}");
+    }
+
+    #[test]
+    fn unacked_op_may_be_absent_or_present() {
+        let mut o = Oracle::new();
+        let mut img = vec![0u8; 16 * MBLOCK as usize];
+        let (i1, d1) = o.begin_write(0, 1);
+        o.ack(i1);
+        apply_write(&mut img, 0, &d1);
+        let (_i2, d2) = o.begin_write(1, 1); // crash mid-op: never acked
+        assert_eq!(o.check(&img, o.acked_floor()), Ok(1), "absent is fine");
+        apply_write(&mut img, 1, &d2);
+        assert_eq!(o.check(&img, o.acked_floor()), Ok(2), "present is fine");
+    }
+
+    #[test]
+    fn live_read_verification() {
+        let mut o = Oracle::new();
+        let (i1, d1) = o.begin_write(3, 2);
+        o.ack(i1);
+        assert!(o.verify_read(3, &d1).is_ok());
+        assert!(o.verify_read(5, &vec![0u8; MBLOCK as usize]).is_ok());
+        let i2 = o.begin_trim(3, 1);
+        o.ack(i2);
+        assert_eq!(
+            o.verify_read(3, &d1).unwrap_err(),
+            3,
+            "trimmed block must now read zero"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod cut;
 pub mod dir;
 pub mod faulty;
 pub mod latency;
@@ -27,6 +28,7 @@ pub mod retry;
 
 pub use cache::CachingStore;
 pub use chaos::{ChaosSchedule, ChaosStore, OutageWindow};
+pub use cut::{CutHandle, CutStore};
 pub use dir::DirStore;
 pub use faulty::FaultyStore;
 pub use latency::LatencyStore;

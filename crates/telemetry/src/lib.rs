@@ -41,4 +41,4 @@ pub use snapshot::{
     BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, RetryTelemetry,
     ServingTelemetry, TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
 };
-pub use trace::{TraceEvent, TraceRecord, TraceRing};
+pub use trace::{TraceEvent, TraceHook, TraceRecord, TraceRing};

@@ -125,15 +125,36 @@ impl fmt::Display for TraceRecord {
     }
 }
 
+/// A synchronous observer invoked for every record as it is pushed.
+///
+/// The hook runs on the emitting thread, *inside* the traced operation,
+/// after the record has been added to the ring. A panic raised by the
+/// hook therefore unwinds through the caller mid-operation — exactly the
+/// seam the crash-state model checker uses to kill a volume at a chosen
+/// trace edge with no cleanup code running.
+pub type TraceHook = Box<dyn FnMut(&TraceRecord) + Send>;
+
 /// Fixed-capacity ring of [`TraceRecord`]s. When full, the oldest record
 /// is dropped (and counted) to admit the newest.
-#[derive(Debug)]
 pub struct TraceRing {
     cap: usize,
     start: Instant,
     next_id: u64,
     dropped: u64,
     buf: VecDeque<TraceRecord>,
+    hook: Option<TraceHook>,
+}
+
+impl fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("cap", &self.cap)
+            .field("next_id", &self.next_id)
+            .field("dropped", &self.dropped)
+            .field("buffered", &self.buf.len())
+            .field("hooked", &self.hook.is_some())
+            .finish()
+    }
 }
 
 impl TraceRing {
@@ -145,7 +166,22 @@ impl TraceRing {
             next_id: 0,
             dropped: 0,
             buf: VecDeque::with_capacity(cap.max(1)),
+            hook: None,
         }
+    }
+
+    /// Installs a synchronous [`TraceHook`], replacing any previous one.
+    /// The hook sees every subsequent record on the pushing thread before
+    /// `push` returns; the record is already in the ring when the hook
+    /// runs, so a hook that panics still leaves it behind for post-mortem
+    /// dumps.
+    pub fn set_hook(&mut self, hook: TraceHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the installed hook, if any.
+    pub fn clear_hook(&mut self) {
+        self.hook = None;
     }
 
     /// Appends an event with virtual timestamp `virt`; returns its id.
@@ -157,12 +193,16 @@ impl TraceRing {
             self.dropped += 1;
         }
         let real_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buf.push_back(TraceRecord {
+        let record = TraceRecord {
             id,
             real_us,
             virt,
             event,
-        });
+        };
+        self.buf.push_back(record);
+        if let Some(hook) = self.hook.as_mut() {
+            hook(&record);
+        }
         id
     }
 
@@ -248,6 +288,42 @@ mod tests {
         let recs = ring.drain();
         assert_eq!(recs[0].event, TraceEvent::PutDone { seq: 7 });
         assert_eq!(recs[2].event, TraceEvent::PutDone { seq: 9 });
+    }
+
+    #[test]
+    fn hook_sees_every_record_synchronously() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut ring = TraceRing::new(2); // smaller than the event count
+        let sink = seen.clone();
+        ring.set_hook(Box::new(move |r| sink.lock().unwrap().push(r.id)));
+        for seq in 0..5u64 {
+            ring.push(seq, TraceEvent::PutStart { seq });
+        }
+        // Hook observed all five ids even though the ring dropped three.
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.dropped(), 3);
+        ring.clear_hook();
+        ring.push(5, TraceEvent::DegradedEnter);
+        assert_eq!(seen.lock().unwrap().len(), 5, "cleared hook fires no more");
+    }
+
+    #[test]
+    fn hook_panic_leaves_record_in_ring() {
+        let mut ring = TraceRing::new(8);
+        ring.set_hook(Box::new(|r| {
+            if r.id == 1 {
+                panic!("injected crash edge");
+            }
+        }));
+        ring.push(0, TraceEvent::PutStart { seq: 0 });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ring.push(1, TraceEvent::PutDone { seq: 0 });
+        }));
+        assert!(err.is_err(), "hook panic propagates to the pusher");
+        // The record that triggered the crash is still buffered.
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total(), 2);
     }
 
     #[test]

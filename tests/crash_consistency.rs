@@ -307,6 +307,165 @@ fn pipelined_gap_in_the_stream_is_cut_and_strays_deleted() {
     }
 }
 
+/// Full backend snapshot: every object name with its exact bytes.
+fn backend_snapshot(store: &dyn ObjectStore) -> Vec<(String, Vec<u8>)> {
+    let mut names = store.list("").expect("list");
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let bytes = store.get(&n).expect("get").to_vec();
+            (n, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn cache_tail_recovery_twice_over_same_wlog_is_byte_identical() {
+    // Recovery idempotence: a crash leaves an unshipped tail in the write
+    // log; the first open replays and ships it. Crashing again right away
+    // and recovering over the very same wlog must be a byte-identical
+    // no-op — same image bytes, same backend objects, not one new upload.
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(24 << 20));
+    let cfg = VolumeConfig::small_for_tests();
+    let mut vol =
+        Volume::create(store.clone(), cache.clone(), "vol", 64 << 20, cfg.clone()).expect("create");
+    let mut hist = History::new();
+    let mut rng = rng_from_seed(42);
+    for i in 0..300usize {
+        let block = rng.gen_range(0..2048u64);
+        let data = hist.record_write(block * VBLOCK, VBLOCK);
+        vol.write(block * VBLOCK, &data).expect("write");
+        if i == 150 {
+            // Ship a prefix so the wlog tail sits beyond a real frontier.
+            vol.drain().expect("drain");
+        }
+        if i % 37 == 0 {
+            // Trim records replay through the same wlog tail path.
+            let t = rng.gen_range(0..2048u64);
+            vol.discard(t * VBLOCK, VBLOCK).expect("discard");
+        }
+    }
+    vol.flush().expect("flush persists the tail");
+    hist.mark_committed();
+    drop(vol); // crash with a cache tail beyond the backend frontier
+
+    let read_image = |vol: &mut Volume| {
+        let mut image = vec![0u8; 2048 * VBLOCK as usize];
+        for block in 0..2048u64 {
+            let at = (block * VBLOCK) as usize;
+            vol.read(block * VBLOCK, &mut image[at..at + VBLOCK as usize])
+                .expect("read");
+        }
+        image
+    };
+
+    // First recovery replays the tail and ships it.
+    let mut vol = Volume::open(store.clone(), cache.clone(), "vol", cfg.clone()).expect("open 1");
+    let image1 = read_image(&mut vol);
+    let last_seq1 = vol.last_object_seq();
+    let frontier1 = vol.durable_frontier();
+    drop(vol); // crash again, no new writes
+    let backend1 = backend_snapshot(store.as_ref());
+
+    // Two more recoveries over the same wlog: each must change nothing.
+    for round in 2..=3 {
+        let mut vol =
+            Volume::open(store.clone(), cache.clone(), "vol", cfg.clone()).expect("reopen");
+        let image = read_image(&mut vol);
+        assert_eq!(
+            vol.last_object_seq(),
+            last_seq1,
+            "round {round}: no new objects"
+        );
+        assert_eq!(
+            vol.durable_frontier(),
+            frontier1,
+            "round {round}: frontier moved"
+        );
+        assert!(image == image1, "round {round}: recovered image diverged");
+        drop(vol);
+        let backend = backend_snapshot(store.as_ref());
+        assert!(
+            backend == backend1,
+            "round {round}: backend bytes changed across an idle recovery"
+        );
+    }
+}
+
+#[test]
+fn replay_over_an_already_applied_checkpoint_is_a_noop() {
+    // Recovery idempotence, checkpoint edition: deleting the newest
+    // checkpoint forces recovery to fall back to an older one and
+    // re-replay every object header the newest checkpoint had already
+    // folded in. The re-applied recovery must agree extent-for-extent
+    // with the original, and re-applying the newest header onto an
+    // up-to-date map must change nothing.
+    let store = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(24 << 20));
+    let cfg = VolumeConfig {
+        gc_enabled: false, // keep every source object around for the replay
+        ..VolumeConfig::small_for_tests()
+    };
+    let mut vol =
+        Volume::create(store.clone(), cache.clone(), "vol", 64 << 20, cfg.clone()).expect("create");
+    let mut rng = rng_from_seed(7);
+    for i in 0..400usize {
+        let block = rng.gen_range(0..2048u64);
+        let fill = vec![(i % 251) as u8 + 1; VBLOCK as usize];
+        vol.write(block * VBLOCK, &fill).expect("write");
+        if i % 29 == 0 {
+            let t = rng.gen_range(0..2048u64);
+            vol.discard(t * VBLOCK, VBLOCK).expect("discard");
+        }
+    }
+    vol.shutdown()
+        .expect("clean shutdown writes the final checkpoint");
+
+    let dump = |rb: &lsvd::recovery::RecoveredBackend| {
+        (
+            rb.objmap.map_extents().collect::<Vec<_>>(),
+            rb.objmap.objects().collect::<Vec<_>>(),
+            rb.last_seq,
+            rb.frontier,
+        )
+    };
+
+    let rb1 = lsvd::recovery::recover_backend(store.as_ref(), "vol", None).expect("recover 1");
+    let d1 = dump(&rb1);
+
+    // Re-applying the newest object's header over the recovered map is a
+    // no-op: same trims punched, same extents blind-re-inserted.
+    let newest = lsvd::types::object_name("vol", rb1.last_seq);
+    let hdr = lsvd::recovery::fetch_header(store.as_ref(), &newest)
+        .expect("fetch")
+        .expect("newest object exists");
+    let mut remap = rb1.objmap.clone();
+    lsvd::recovery::apply_header(&mut remap, &hdr);
+    assert_eq!(
+        remap.map_extents().collect::<Vec<_>>(),
+        d1.0,
+        "re-applying the newest header changed the map"
+    );
+
+    // Drop the newest checkpoint: recovery falls back and re-replays the
+    // objects that checkpoint covered.
+    let mut ckpts = store.list("vol.ckpt.").expect("list");
+    ckpts.sort();
+    assert!(ckpts.len() >= 2, "need an older checkpoint to fall back to");
+    store
+        .delete(ckpts.last().unwrap())
+        .expect("delete newest ckpt");
+
+    let rb2 = lsvd::recovery::recover_backend(store.as_ref(), "vol", None).expect("recover 2");
+    assert!(
+        rb2.ckpt_seq < rb1.ckpt_seq,
+        "second recovery must start from an older checkpoint"
+    );
+    assert_eq!(dump(&rb2), d1, "re-applied recovery diverged");
+}
+
 #[test]
 fn bcache_cache_loss_violates_prefix_order() {
     // The control experiment: at least one schedule must produce a

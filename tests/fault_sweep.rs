@@ -12,7 +12,10 @@
 //!
 //! Everything is deterministic per seed: the chaos schedule, the retry
 //! jitter and the workload all derive from it, so a failing seed replays
-//! bit-for-bit.
+//! bit-for-bit. Every panic message names the seed; replay it alone with
+//! `LSVD_SWEEP_SEED=<n>`, or widen/narrow the sweep with
+//! `LSVD_SWEEP_RUNS=<n>` (seeds `0..n`) — the same knobs
+//! `tests/modelcheck.rs` honours.
 
 use std::sync::Arc;
 
@@ -45,6 +48,22 @@ fn schedule(seed: u64) -> ChaosSchedule {
         }],
         ..ChaosSchedule::seeded(seed)
     }
+}
+
+/// Seeds a sweep covers: `0..default_runs` unless overridden —
+/// `LSVD_SWEEP_SEED=<n>` pins the sweep to exactly that seed (replaying
+/// a failure), `LSVD_SWEEP_RUNS=<n>` sweeps seeds `0..n` (longer soak or
+/// quicker smoke).
+fn sweep_seeds(default_runs: u64) -> std::ops::Range<u64> {
+    if let Ok(s) = std::env::var("LSVD_SWEEP_SEED") {
+        let seed: u64 = s.parse().expect("LSVD_SWEEP_SEED must be an integer");
+        return seed..seed + 1;
+    }
+    if let Ok(s) = std::env::var("LSVD_SWEEP_RUNS") {
+        let runs: u64 = s.parse().expect("LSVD_SWEEP_RUNS must be an integer");
+        return 0..runs;
+    }
+    0..default_runs
 }
 
 fn run_seed(seed: u64, lose_cache: bool) {
@@ -179,14 +198,14 @@ fn run_seed_with(seed: u64, lose_cache: bool, cfg: VolumeConfig) {
 
 #[test]
 fn sweep_crash_with_cache_intact() {
-    for seed in 0..50 {
+    for seed in sweep_seeds(50) {
         run_seed(seed, false);
     }
 }
 
 #[test]
 fn sweep_crash_with_cache_lost() {
-    for seed in 0..50 {
+    for seed in sweep_seeds(50) {
         run_seed(seed, true);
     }
 }
@@ -206,14 +225,14 @@ fn pipelined_sweep_cfg() -> VolumeConfig {
 
 #[test]
 fn sweep_pipelined_crash_with_cache_intact() {
-    for seed in 0..20 {
+    for seed in sweep_seeds(20) {
         run_seed_with(seed, false, pipelined_sweep_cfg());
     }
 }
 
 #[test]
 fn sweep_pipelined_crash_with_cache_lost() {
-    for seed in 0..20 {
+    for seed in sweep_seeds(20) {
         run_seed_with(seed, true, pipelined_sweep_cfg());
     }
 }

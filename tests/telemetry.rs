@@ -8,6 +8,9 @@
 //! every PUT retry must pair with a terminal done/abort, the durable
 //! frontier must advance monotonically, and each durable batch must show
 //! the causal seal → PUT start → PUT done → frontier-advance chain.
+//! Trims must trace before the frontier advance that makes them durable,
+//! and serving-plane connections must pair every ConnOpen with a later
+//! ConnClose.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -74,6 +77,49 @@ fn index_by_seq(records: &[TraceRecord]) -> std::collections::BTreeMap<u64, SeqT
     map
 }
 
+/// Trim-before-frontier: a trim is traced at discard time and rides the
+/// *next* sealed object. So for every `Trim` record, the first `BatchSeal`
+/// after it is its carrier, and the carrier's `FrontierAdvance` must come
+/// later still — a trim can never trace after the frontier that made it
+/// durable. Call only on traces of fully drained volumes.
+fn assert_trims_precede_their_frontier(trace: &[TraceRecord], ctx: &str) {
+    let advances: std::collections::BTreeMap<u64, u64> = trace
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::FrontierAdvance { seq } => Some((seq, r.id)),
+            _ => None,
+        })
+        .collect();
+    let mut trims = 0u64;
+    for (i, r) in trace.iter().enumerate() {
+        let TraceEvent::Trim { .. } = r.event else {
+            continue;
+        };
+        trims += 1;
+        let (carrier, seal_id) = trace[i + 1..]
+            .iter()
+            .find_map(|s| match s.event {
+                TraceEvent::BatchSeal { seq, .. } => Some((seq, s.id)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{ctx}: trim at id {} was never sealed into a batch", r.id));
+        let adv = advances
+            .get(&carrier)
+            .unwrap_or_else(|| panic!("{ctx}: trim carrier seq {carrier} never became durable"));
+        assert!(
+            r.id < seal_id && seal_id < *adv,
+            "{ctx}: trim {} / carrier seal {} / frontier advance {} out of causal order",
+            r.id,
+            seal_id,
+            adv
+        );
+    }
+    assert!(
+        trims > 0,
+        "{ctx}: workload issued trims but none were traced"
+    );
+}
+
 #[test]
 fn pipelined_chaos_sweep_trace_is_causal() {
     for seed in 0..8u64 {
@@ -116,6 +162,21 @@ fn pipelined_chaos_sweep_trace_is_causal() {
                     Err(e) => panic!("seed {seed} step {step}: write: {e}"),
                 }
             }
+            if step % 9 == 4 {
+                // Discards ride the trace too; verified causal below.
+                let t = rng.gen_range(0..blocks);
+                let mut spins = 0u32;
+                loop {
+                    match vol.discard(t * BATCH, BATCH) {
+                        Ok(()) => break,
+                        Err(LsvdError::Backpressure { .. }) => {
+                            spins += 1;
+                            assert!(spins < 10_000, "seed {seed} step {step}: trim stuck");
+                        }
+                        Err(e) => panic!("seed {seed} step {step}: trim: {e}"),
+                    }
+                }
+            }
             trace.append(&mut vol.drain_trace());
         }
         chaos.heal();
@@ -139,6 +200,9 @@ fn pipelined_chaos_sweep_trace_is_causal() {
         for w in advances.windows(2) {
             assert_eq!(w[1], w[0] + 1, "seed {seed}: frontier skipped a batch");
         }
+
+        // Trims trace before the frontier advance that covers them.
+        assert_trims_precede_their_frontier(&trace, &format!("seed {seed}"));
 
         // Causal chain per durable batch, and retry/terminal pairing.
         let by_seq = index_by_seq(&trace);
@@ -364,10 +428,14 @@ fn serial_mode_trace_is_causal_too() {
     let data = vec![1u8; BATCH as usize];
     for i in 0..6u64 {
         vol.write(i * BATCH, &data).expect("write");
+        if i == 3 {
+            vol.discard(BATCH, BATCH).expect("trim");
+        }
     }
     vol.drain().expect("drain");
 
     let trace = vol.drain_trace();
+    assert_trims_precede_their_frontier(&trace, "serial");
     let by_seq = index_by_seq(&trace);
     assert!(!by_seq.is_empty());
     for (&seq, t) in &by_seq {
@@ -387,4 +455,72 @@ fn serial_mode_trace_is_causal_too() {
     let before = vol.telemetry().trace.events;
     vol.write(0, &data).expect("write");
     assert!(vol.telemetry().trace.events >= before);
+}
+
+#[test]
+fn serving_connections_pair_open_and_close_in_the_trace() {
+    // Three sequential NBD client sessions against one server: the trace
+    // must show three distinct connection ids, each ConnOpen paired with
+    // exactly one later ConnClose.
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cache = Arc::new(RamDisk::new(4 << 20));
+    let vol = Volume::create(
+        store,
+        cache,
+        "t",
+        VOL_BYTES,
+        VolumeConfig::small_for_tests(),
+    )
+    .expect("create");
+    let sv = lsvd::shared::SharedVolume::new(vol);
+    let handle = nbd::serve(
+        "127.0.0.1:0",
+        "t",
+        sv.clone(),
+        nbd::server::ServerConfig::default(),
+    )
+    .expect("serve");
+    let addr = handle.addr();
+    for i in 0..3u8 {
+        let mut c = nbd::Client::connect(addr, "t").expect("connect");
+        let data = vec![i + 1; 4096];
+        c.write(4096 * u64::from(i), &data).expect("write");
+        c.flush().expect("flush");
+        c.disconnect().expect("disconnect");
+    }
+    handle.stop(); // joins connection threads: all ConnClose events traced
+
+    let trace = sv.with_volume(|v| v.drain_trace()).expect("trace");
+    let mut opens = std::collections::BTreeMap::new();
+    let mut closes = std::collections::BTreeMap::new();
+    for r in &trace {
+        match r.event {
+            TraceEvent::ConnOpen { conn } => {
+                assert!(
+                    opens.insert(conn, r.id).is_none(),
+                    "conn {conn} opened twice"
+                );
+            }
+            TraceEvent::ConnClose { conn } => {
+                assert!(
+                    closes.insert(conn, r.id).is_none(),
+                    "conn {conn} closed twice"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(opens.len(), 3, "one ConnOpen per client session");
+    assert_eq!(
+        opens.keys().collect::<Vec<_>>(),
+        closes.keys().collect::<Vec<_>>(),
+        "every connection pairs its open with a close"
+    );
+    for (conn, open_id) in &opens {
+        assert!(
+            *open_id < closes[conn],
+            "conn {conn}: ConnClose traced before ConnOpen"
+        );
+    }
+    sv.shutdown().expect("shutdown");
 }
