@@ -10,12 +10,13 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 
-use blkdev::RamDisk;
+use blkdev::{BlockDevice, RamDisk};
 use lsvd::batch::BatchBuilder;
 use lsvd::config::VolumeConfig;
 use lsvd::crc::{crc32c, crc32c_combine, crc32c_sw};
 use lsvd::extent_map::ExtentMap;
 use lsvd::gcsim::{GcSim, GcSimConfig, GcSimMode};
+use lsvd::rcache::ReadCache;
 use lsvd::volume::Volume;
 use lsvd::wlog::WriteLog;
 use objstore::MemStore;
@@ -383,11 +384,163 @@ fn bench_nbd(c: &mut Criterion) {
             shared.write(off, &data).unwrap();
         });
     });
+    // Four connections reading at once: the reads share the plane's
+    // shared lock, so this should scale with the worker pool instead of
+    // convoying on the volume mutex. One iteration = 32 reads on each of
+    // the 4 connections.
+    const CONNS: usize = 4;
+    const READS_PER_CONN: u64 = 32;
+    let mut clients: Vec<nbd::Client> = (0..CONNS)
+        .map(|_| nbd::Client::connect(addr, "bench").expect("connect"))
+        .collect();
+    g.throughput(Throughput::Bytes(CONNS as u64 * READS_PER_CONN * 4096));
+    g.bench_function("randread_4K_conc4", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            std::thread::scope(|s| {
+                for (t, c) in clients.iter_mut().enumerate() {
+                    let seed = round * CONNS as u64 + t as u64;
+                    s.spawn(move || {
+                        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                        let mut buf = vec![0u8; 4096];
+                        for _ in 0..READS_PER_CONN {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let off = (x >> 33) % (window / 4096) * 4096;
+                            c.read(off, &mut buf).unwrap();
+                        }
+                    });
+                }
+            });
+        });
+    });
+    for c in clients {
+        c.disconnect().ok();
+    }
     g.finish();
 
     client.disconnect().ok();
     handle.stop();
     shared.shutdown().unwrap();
+}
+
+/// Read-plane hot paths. `volume/randread_4K_hit` is the headline: a 4K
+/// random read over a window fully resident in the read cache, served
+/// under the plane's shared lock end-to-end. `rcache/hit_4K` isolates
+/// the cache's own resolve+copy cost, and the `scan` group prices
+/// admission during a cache-exceeding sequential scan — with the
+/// bypass on, the scan skips the insert/evict churn entirely.
+fn bench_read_plane(c: &mut Criterion) {
+    // volume/randread_4K_hit: flush a 16 MiB window to the backend, warm
+    // it into the read cache (admission bypass disabled so the warm scan
+    // is admitted), then measure random in-cache 4K reads.
+    {
+        let mut g = c.benchmark_group("volume");
+        let store = Arc::new(MemStore::new());
+        let cache = Arc::new(RamDisk::new(64 << 20));
+        let mut vol = Volume::create(
+            store,
+            cache,
+            "bench",
+            256 << 20,
+            VolumeConfig {
+                gc_enabled: false,
+                scan_bypass_bytes: 0,
+                ..VolumeConfig::default()
+            },
+        )
+        .unwrap();
+        let window = 16u64 << 20;
+        let chunk = vec![0xCDu8; 1 << 20];
+        for off in (0..window).step_by(1 << 20) {
+            vol.write(off, &chunk).unwrap();
+        }
+        vol.flush().unwrap();
+        let mut warm = vec![0u8; 256 << 10];
+        for off in (0..window).step_by(256 << 10) {
+            vol.read(off, &mut warm).unwrap();
+        }
+        let mut buf = vec![0u8; 4096];
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function("randread_4K_hit", |b| {
+            let mut x = 0x9E37u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let off = (x >> 33) % (window / 4096) * 4096;
+                vol.read(off, &mut buf).unwrap();
+            });
+        });
+        g.finish();
+    }
+
+    // rcache/hit_4K: the raw cache hit — extent resolve plus the 4 KiB
+    // cache-device copy, no volume machinery around it.
+    {
+        let mut g = c.benchmark_group("rcache");
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8 << 20));
+        let mut rc = ReadCache::new(dev, 0, (4 << 20) / 512);
+        let piece = vec![0xEEu8; 64 << 10];
+        let window_sectors = 1u64 << 20 >> 9;
+        for lba in (0..window_sectors).step_by(128) {
+            rc.insert(lba, &piece).unwrap();
+        }
+        let mut buf = vec![0u8; 4096];
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function("hit_4K", |b| {
+            let mut x = 0x2B1Du64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lba = (x >> 33) % (window_sectors / 8) * 8;
+                for seg in rc.resolve(lba, 8) {
+                    if let lsvd::extent_map::Segment::Mapped { val, len, .. } = seg {
+                        rc.read_cached(val, len, &mut buf[..(len * 512) as usize])
+                            .unwrap();
+                    }
+                }
+            });
+        });
+        g.finish();
+    }
+
+    // scan: stream 256K reads over a 32 MiB region through a ~12.7 MiB
+    // read cache, so in `admit` mode every pass re-misses and pays the
+    // insert/evict churn the scan itself caused; `bypass` mode misses
+    // too, but admission control skips the churn.
+    {
+        let mut g = c.benchmark_group("scan");
+        for (label, bypass_bytes) in [("seq_read_admit", 0u64), ("seq_read_bypass", 2 << 20)] {
+            let store = Arc::new(MemStore::new());
+            let cache = Arc::new(RamDisk::new(16 << 20));
+            let mut vol = Volume::create(
+                store,
+                cache,
+                "bench",
+                256 << 20,
+                VolumeConfig {
+                    gc_enabled: false,
+                    scan_bypass_bytes: bypass_bytes,
+                    ..VolumeConfig::default()
+                },
+            )
+            .unwrap();
+            let region = 32u64 << 20;
+            let chunk = vec![0x3Cu8; 1 << 20];
+            for off in (0..region).step_by(1 << 20) {
+                vol.write(off, &chunk).unwrap();
+            }
+            vol.flush().unwrap();
+            let mut buf = vec![0u8; 256 << 10];
+            g.throughput(Throughput::Bytes(256 << 10));
+            g.bench_function(label, |b| {
+                let mut off = 0u64;
+                b.iter(|| {
+                    vol.read(off, &mut buf).unwrap();
+                    off = (off + (256 << 10)) % region;
+                });
+            });
+        }
+        g.finish();
+    }
 }
 
 fn bench_gcsim(c: &mut Criterion) {
@@ -415,6 +568,7 @@ criterion_group!(
     bench_batch_seal,
     bench_volume_write,
     bench_volume_write_read,
+    bench_read_plane,
     bench_nbd,
     bench_gcsim
 );

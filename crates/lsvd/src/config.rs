@@ -75,6 +75,13 @@ pub struct VolumeConfig {
     /// thread. A mismatch fails the read with
     /// [`LsvdError::Corrupt`](crate::LsvdError::Corrupt).
     pub verify_get_crc: bool,
+    /// Scan-resistant admission threshold (bytes): once a sequential read
+    /// stream's run reaches this length, its backend fetches bypass
+    /// read-cache admission so a scan cannot evict the hot set
+    /// (ECI-Cache). The scan still gets full prefetch windows — it just
+    /// doesn't cache them. `0` disables admission control (everything is
+    /// admitted).
+    pub scan_bypass_bytes: u64,
 }
 
 impl Default for VolumeConfig {
@@ -99,6 +106,7 @@ impl Default for VolumeConfig {
             retry_policy: None,
             hdr_cache_entries: 512,
             verify_get_crc: false,
+            scan_bypass_bytes: 2 << 20,
         }
     }
 }
@@ -162,6 +170,10 @@ impl VolumeConfig {
         assert!(self.max_pending_batches >= 1, "bad pending batch limit");
         assert!(self.gc_retry_attempts >= 1, "bad GC retry attempts");
         assert!(self.hdr_cache_entries >= 1, "bad header cache capacity");
+        assert!(
+            self.scan_bypass_bytes.is_multiple_of(SECTOR),
+            "scan bypass threshold not sector-aligned"
+        );
         if self.writeback_threads > 0 {
             assert!(
                 self.max_inflight_puts >= 1 && self.max_inflight_puts <= self.max_pending_batches,

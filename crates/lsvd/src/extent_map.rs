@@ -17,9 +17,9 @@
 //!    overlapped pieces of older extents, splitting them as needed —
 //!    exactly the behaviour of a block-device translation layer.
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A value that can be carried by an extent and split along with it.
 ///
@@ -29,11 +29,88 @@ use std::fmt;
 pub trait ExtentValue: Copy + PartialEq + std::fmt::Debug {
     /// Returns the value shifted forward by `delta` sectors.
     fn advance(self, delta: u64) -> Self;
+
+    /// Packs the value into one word for the atomic lookup cursor.
+    fn pack(self) -> u64;
+
+    /// Inverse of [`ExtentValue::pack`].
+    fn unpack(word: u64) -> Self;
 }
 
 impl ExtentValue for u64 {
     fn advance(self, delta: u64) -> Self {
         self + delta
+    }
+
+    fn pack(self) -> u64 {
+        self
+    }
+
+    fn unpack(word: u64) -> Self {
+        word
+    }
+}
+
+/// The last-hit point-lookup cursor, shareable across concurrent readers.
+///
+/// A seqlock built entirely from atomics (no `UnsafeCell`, so every
+/// interleaving is well-defined): the version counter is even when the
+/// cursor is stable and odd while an update is in progress. Readers snap
+/// the version, read the fields, and re-check the version; writers claim
+/// the update slot with a compare-exchange, so racing readers simply skip
+/// a cursor that is mid-update and fall back to the tree. A `len` of 0
+/// means "empty".
+struct Cursor {
+    ver: AtomicU64,
+    start: AtomicU64,
+    len: AtomicU64,
+    val: AtomicU64,
+}
+
+impl Cursor {
+    fn new() -> Self {
+        Cursor {
+            ver: AtomicU64::new(0),
+            start: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+        }
+    }
+
+    fn load(&self) -> Option<(u64, u64, u64)> {
+        let v1 = self.ver.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return None; // update in progress
+        }
+        let start = self.start.load(Ordering::Relaxed);
+        let len = self.len.load(Ordering::Relaxed);
+        let val = self.val.load(Ordering::Relaxed);
+        if self.ver.load(Ordering::Acquire) != v1 || len == 0 {
+            return None;
+        }
+        Some((start, len, val))
+    }
+
+    fn store(&self, start: u64, len: u64, val: u64) {
+        let v = self.ver.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            return; // another reader is mid-update; theirs is as good
+        }
+        if self
+            .ver
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.start.store(start, Ordering::Relaxed);
+        self.len.store(len, Ordering::Relaxed);
+        self.val.store(val, Ordering::Relaxed);
+        self.ver.store(v + 2, Ordering::Release);
+    }
+
+    fn clear(&self) {
+        self.store(0, 0, 0);
     }
 }
 
@@ -87,24 +164,24 @@ pub enum Segment<V> {
 /// Point lookups keep a one-entry last-hit cursor: sequential access
 /// patterns (streaming reads, writeback sweeps) revisit the same extent
 /// many times, and the cursor answers those repeats without rescanning
-/// the tree. The cursor is interior-mutable (`Cell`), which makes the map
-/// `!Sync`; all consumers drive it from a single thread through `&mut`
-/// paths anyway.
+/// the tree. The cursor is an atomics-only seqlock ([`Cursor`]), so the
+/// map is `Sync` and concurrent shared-lock readers (the read plane) can
+/// race on it safely; mutations invalidate it through `&mut` paths.
 pub struct ExtentMap<V> {
     map: BTreeMap<u64, Ext<V>>,
-    /// Last successful point-lookup, `(start, len, value_at_start)`.
+    /// Last successful point-lookup, `(start, len, packed value_at_start)`.
     /// Invalidated by every mutation.
-    cursor: Cell<Option<(u64, u64, V)>>,
+    cursor: Cursor,
     /// How many lookups the cursor short-circuited (observability).
-    cursor_hits: Cell<u64>,
+    cursor_hits: AtomicU64,
 }
 
 impl<V> Default for ExtentMap<V> {
     fn default() -> Self {
         ExtentMap {
             map: BTreeMap::new(),
-            cursor: Cell::new(None),
-            cursor_hits: Cell::new(0),
+            cursor: Cursor::new(),
+            cursor_hits: AtomicU64::new(0),
         }
     }
 }
@@ -113,8 +190,8 @@ impl<V: ExtentValue> Clone for ExtentMap<V> {
     fn clone(&self) -> Self {
         ExtentMap {
             map: self.map.clone(),
-            cursor: Cell::new(None),
-            cursor_hits: Cell::new(0),
+            cursor: Cursor::new(),
+            cursor_hits: AtomicU64::new(0),
         }
     }
 }
@@ -133,7 +210,7 @@ impl<V: ExtentValue> ExtentMap<V> {
 
     /// How many point lookups were served by the last-hit cursor.
     pub fn cursor_hits(&self) -> u64 {
-        self.cursor_hits.get()
+        self.cursor_hits.load(Ordering::Relaxed)
     }
 
     /// Number of extents (the paper's Table 5 "extent count" metric).
@@ -148,7 +225,7 @@ impl<V: ExtentValue> ExtentMap<V> {
 
     /// Removes all extents.
     pub fn clear(&mut self) {
-        self.cursor.set(None);
+        self.cursor.clear();
         self.map.clear();
     }
 
@@ -163,7 +240,7 @@ impl<V: ExtentValue> ExtentMap<V> {
         if len == 0 {
             return;
         }
-        self.cursor.set(None);
+        self.cursor.clear();
         let end = start + len;
 
         // Left neighbour straddling `start`.
@@ -210,7 +287,7 @@ impl<V: ExtentValue> ExtentMap<V> {
         if len == 0 {
             return;
         }
-        self.cursor.set(None);
+        self.cursor.clear();
         self.remove(start, len);
 
         let mut start = start;
@@ -282,16 +359,16 @@ impl<V: ExtentValue> ExtentMap<V> {
 
     /// Returns the extent containing `pos`, as `(start, len, value_at_start)`.
     pub fn lookup(&self, pos: u64) -> Option<(u64, u64, V)> {
-        if let Some((s, l, v)) = self.cursor.get() {
+        if let Some((s, l, packed)) = self.cursor.load() {
             if pos >= s && pos < s + l {
-                self.cursor_hits.set(self.cursor_hits.get() + 1);
-                return Some((s, l, v));
+                self.cursor_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((s, l, V::unpack(packed)));
             }
         }
         let (&s, &e) = self.map.range(..=pos).next_back()?;
         let hit = (s + e.len > pos).then_some((s, e.len, e.val));
-        if hit.is_some() {
-            self.cursor.set(hit);
+        if let Some((hs, hl, hv)) = hit {
+            self.cursor.store(hs, hl, hv.pack());
         }
         hit
     }

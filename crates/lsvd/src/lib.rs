@@ -70,6 +70,7 @@ pub mod objfmt;
 pub mod objmap;
 pub mod overhead;
 pub mod rcache;
+pub mod read_plane;
 pub mod recovery;
 pub mod replication;
 pub mod shared;

@@ -29,6 +29,17 @@ impl ExtentValue for ObjLoc {
             off: self.off + delta as u32,
         }
     }
+
+    fn pack(self) -> u64 {
+        (self.seq as u64) << 32 | self.off as u64
+    }
+
+    fn unpack(word: u64) -> Self {
+        ObjLoc {
+            seq: (word >> 32) as u32,
+            off: word as u32,
+        }
+    }
 }
 
 /// Liveness statistics for one backend object.

@@ -10,6 +10,7 @@
 //! so no metadata is logged (§3.2).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use blkdev::BlockDevice;
@@ -56,6 +57,17 @@ impl ReadCacheStats {
     }
 }
 
+/// Internal counters behind [`ReadCacheStats`]. Atomic because hit reads
+/// run under the read plane's *shared* lock: many readers bump them
+/// concurrently while structural mutations stay behind `&mut self`.
+#[derive(Debug, Default)]
+struct StatCells {
+    hit_sectors: AtomicU64,
+    miss_sectors: AtomicU64,
+    inserted_sectors: AtomicU64,
+    evicted_sectors: AtomicU64,
+}
+
 /// A FIFO log-structured read cache over a region of the cache SSD.
 pub struct ReadCache {
     dev: Arc<dyn BlockDevice>,
@@ -65,7 +77,7 @@ pub struct ReadCache {
     entries: VecDeque<Entry>,
     used: u64,
     map: ExtentMap<Plba>,
-    stats: ReadCacheStats,
+    stats: StatCells,
 }
 
 impl ReadCache {
@@ -85,7 +97,7 @@ impl ReadCache {
             entries: VecDeque::new(),
             used: 0,
             map: ExtentMap::new(),
-            stats: ReadCacheStats::default(),
+            stats: StatCells::default(),
         }
     }
 
@@ -212,9 +224,22 @@ impl ReadCache {
         self.region_end - self.region_start
     }
 
+    /// The full device region `[start_sector, end_sector)` this cache owns,
+    /// including the reserved metadata sectors. Introspection for tests and
+    /// tools that want to prove read-cache state is not consulted for
+    /// durability (e.g. by scribbling over it between crash and recovery).
+    pub fn region_sectors(&self) -> (u64, u64) {
+        (self.region_start - META_SECTORS, self.region_end)
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> ReadCacheStats {
-        self.stats
+        ReadCacheStats {
+            hit_sectors: self.stats.hit_sectors.load(Ordering::Relaxed),
+            miss_sectors: self.stats.miss_sectors.load(Ordering::Relaxed),
+            inserted_sectors: self.stats.inserted_sectors.load(Ordering::Relaxed),
+            evicted_sectors: self.stats.evicted_sectors.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of live cached extents.
@@ -237,7 +262,9 @@ impl ReadCache {
                     self.map.remove(plo, plen);
                 }
             }
-            self.stats.evicted_sectors += e.sectors;
+            self.stats
+                .evicted_sectors
+                .fetch_add(e.sectors, Ordering::Relaxed);
         }
     }
 
@@ -279,7 +306,9 @@ impl ReadCache {
         self.used += sectors;
         self.head += sectors;
         self.map.insert(lba, sectors, plba);
-        self.stats.inserted_sectors += sectors;
+        self.stats
+            .inserted_sectors
+            .fetch_add(sectors, Ordering::Relaxed);
         Ok(())
     }
 
@@ -294,17 +323,21 @@ impl ReadCache {
         self.map.resolve(lba, sectors)
     }
 
-    /// Reads `sectors` at cached location `plba` into `buf`.
-    pub fn read_cached(&mut self, plba: Plba, sectors: u64, buf: &mut [u8]) -> Result<()> {
+    /// Reads `sectors` at cached location `plba` into `buf`. Shared
+    /// (`&self`): hit reads run concurrently under the read plane's shared
+    /// lock; only structural mutation needs `&mut`.
+    pub fn read_cached(&self, plba: Plba, sectors: u64, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len() as u64, sectors * SECTOR);
         self.dev.read_at(plba * SECTOR, buf)?;
-        self.stats.hit_sectors += sectors;
+        self.stats.hit_sectors.fetch_add(sectors, Ordering::Relaxed);
         Ok(())
     }
 
     /// Records that `sectors` had to be fetched from the backend.
-    pub fn note_miss(&mut self, sectors: u64) {
-        self.stats.miss_sectors += sectors;
+    pub fn note_miss(&self, sectors: u64) {
+        self.stats
+            .miss_sectors
+            .fetch_add(sectors, Ordering::Relaxed);
     }
 }
 

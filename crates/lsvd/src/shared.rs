@@ -2,28 +2,34 @@
 //!
 //! [`Volume`](crate::volume::Volume) is single-threaded by design
 //! (`&mut self` everywhere): the paper's client runs one dispatch loop per
-//! disk, and the in-memory extent maps are deliberately unsynchronized. A
-//! network serving plane (the `nbd` crate) has many connection threads
-//! that all need the same disk, so [`SharedVolume`] wraps the volume in a
-//! mutex and re-exposes the block operations with `&self` receivers.
+//! disk. A network serving plane (the `nbd` crate) has many connection
+//! threads that all need the same disk, so [`SharedVolume`] wraps the
+//! volume in a mutex and re-exposes the block operations with `&self`
+//! receivers.
 //!
-//! Concurrency therefore comes from *scheduling around* the volume —
-//! overlapping socket I/O, request parsing and reply writing with the
-//! serialized volume calls — not from inside it. That mirrors the paper's
-//! design point: the volume's hot path is a cache-log append measured in
-//! microseconds, so a single service lane keeps up with many connections,
-//! and ordering (writes acknowledged in cache-log order, flush as a full
-//! barrier) falls out for free.
+//! **Reads do not take that mutex.** The volume's read state lives in a
+//! [`ReadPlane`](crate::read_plane::ReadPlane) behind a `RwLock`:
+//! [`SharedVolume::read`] and [`SharedVolume::read_bytes`] go straight to
+//! the plane, so cache-hit reads run concurrently with each other and
+//! with whatever a mutation under the big mutex is doing *outside* its
+//! short map-update critical sections (socket I/O, cache-log appends,
+//! batch seals, backend PUTs). Mutations (`write`/`flush`/`discard`) stay
+//! serialized on the mutex, which preserves the write-ordering contract
+//! (writes acknowledged in cache-log order, flush as a full barrier).
 //!
 //! Shutdown takes the volume *out* of the wrapper (`Option` inside the
-//! mutex) so the drain + final checkpoint runs on a plainly owned value;
-//! late arrivals observe [`LsvdError::BadVolume`] instead of racing it.
+//! mutex) and flips a fence flag so the lock-free read path observes the
+//! shutdown too; late arrivals on any path get [`LsvdError::BadVolume`]
+//! instead of racing the drain + final checkpoint.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use telemetry::TelemetrySnapshot;
 
+use crate::read_plane::ReadPlane;
 use crate::types::{LsvdError, Result};
 use crate::volume::Volume;
 
@@ -31,6 +37,11 @@ use crate::volume::Volume;
 #[derive(Clone)]
 pub struct SharedVolume {
     inner: Arc<Mutex<Option<Volume>>>,
+    /// The volume's read plane, shared so reads bypass the big mutex.
+    plane: Arc<ReadPlane>,
+    /// Set by `shutdown` before the volume is torn down; checked by the
+    /// lock-free read path so late reads fence exactly like mutations.
+    closed: Arc<AtomicBool>,
     /// Virtual size, cached so `size_bytes` never blocks on the mutex.
     size_bytes: u64,
 }
@@ -39,8 +50,11 @@ impl SharedVolume {
     /// Wraps `vol` for shared use.
     pub fn new(vol: Volume) -> SharedVolume {
         let size_bytes = vol.size();
+        let plane = vol.read_plane();
         SharedVolume {
             inner: Arc::new(Mutex::new(Some(vol))),
+            plane,
+            closed: Arc::new(AtomicBool::new(false)),
             size_bytes,
         }
     }
@@ -58,9 +72,28 @@ impl SharedVolume {
         }
     }
 
-    /// Serialized [`Volume::read`].
+    fn check_open(&self) -> Result<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(LsvdError::BadVolume("volume is shut down".into()));
+        }
+        Ok(())
+    }
+
+    /// Concurrent read through the [`ReadPlane`]: cache hits run under its
+    /// shared lock, in parallel with other readers and with everything a
+    /// mutation does outside the plane's short exclusive sections. Does
+    /// not touch the volume mutex.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.with(|v| v.read(offset, buf))
+        self.check_open()?;
+        self.plane.read_into(offset, buf)
+    }
+
+    /// Like [`SharedVolume::read`], returning a freshly allocated
+    /// [`Bytes`] the serving plane can hand straight to a socket writer —
+    /// no copy from a volume buffer into a reply buffer.
+    pub fn read_bytes(&self, offset: u64, len: usize) -> Result<Bytes> {
+        self.check_open()?;
+        self.plane.read_bytes(offset, len)
     }
 
     /// Serialized [`Volume::write`].
@@ -93,6 +126,12 @@ impl SharedVolume {
     /// Subsequent operations on any clone fail with
     /// [`LsvdError::BadVolume`]; a second `shutdown` is a no-op.
     pub fn shutdown(&self) -> Result<()> {
+        // Fence the lock-free read path first, then take the volume. A
+        // read that slipped past the flag before it was set still runs
+        // safely: the plane (and the devices under it) outlive the volume
+        // via this handle's `Arc`, and `Volume::shutdown` only adds data
+        // to the backend/caches — it never invalidates resolved state.
+        self.closed.store(true, Ordering::Release);
         let vol = self.inner.lock().take();
         match vol {
             Some(vol) => vol.shutdown(),
@@ -138,6 +177,16 @@ mod tests {
     }
 
     #[test]
+    fn read_bytes_matches_read() {
+        let sv = shared();
+        sv.write(8192, &[0xAB; 4096]).unwrap();
+        let b = sv.read_bytes(8192, 4096).unwrap();
+        assert_eq!(&b[..], &[0xAB; 4096][..]);
+        let zeros = sv.read_bytes(1 << 20, 4096).unwrap();
+        assert!(zeros.iter().all(|&x| x == 0));
+    }
+
+    #[test]
     fn shutdown_fences_late_operations() {
         let sv = shared();
         sv.write(0, &[9u8; 4096]).unwrap();
@@ -145,6 +194,10 @@ mod tests {
         sv.shutdown().unwrap(); // idempotent
         assert!(matches!(
             sv.read(0, &mut [0u8; 4096]),
+            Err(LsvdError::BadVolume(_))
+        ));
+        assert!(matches!(
+            sv.read_bytes(0, 4096),
             Err(LsvdError::BadVolume(_))
         ));
         assert!(sv.write(0, &[0u8; 512]).is_err());

@@ -25,29 +25,29 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use blkdev::BlockDevice;
-use bytes::Bytes;
 use objstore::{
     MetricsHandle, MetricsStore, ObjError, ObjectStore, RetryCounters, RetryHandle, RetryStore,
 };
 use telemetry::{
     CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, LatencyRecorder,
-    RetryTelemetry, ServingRecorders, TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing,
-    TraceTelemetry, WritebackTelemetry,
+    ReadPlaneTelemetry, RetryTelemetry, ServingRecorders, TelemetrySnapshot, TraceEvent,
+    TraceRecord, TraceRing, TraceTelemetry, WritebackTelemetry,
 };
 
 use crate::batch::BatchBuilder;
 use crate::checkpoint::CheckpointData;
 use crate::codec::{ByteReader, ByteWriter};
 use crate::config::VolumeConfig;
-use crate::crc::{crc32c, crc32c_combine, crc32c_field_zeroed, crc32c_is_hw};
-use crate::extent_map::{ExtentMap, Segment};
+use crate::crc::{crc32c_field_zeroed, crc32c_is_hw};
+use crate::extent_map::Segment;
 use crate::gc;
 use crate::objfmt::{self, Superblock};
 use crate::objmap::{ObjLoc, ObjectMap};
 use crate::rcache::ReadCache;
+use crate::read_plane::ReadPlane;
 use crate::recovery::{self, fetch_header};
 use crate::types::{
-    bytes_to_sectors, checkpoint_name, object_name, superblock_name, Lba, LsvdError, ObjSeq, Plba,
+    bytes_to_sectors, checkpoint_name, object_name, superblock_name, Lba, LsvdError, ObjSeq,
     Result, SECTOR,
 };
 use crate::wlog::{RecordInfo, WriteLog};
@@ -161,17 +161,12 @@ pub struct Volume {
     size_sectors: u64,
 
     wlog: WriteLog,
-    wcache_map: ExtentMap<Plba>,
-    rcache: ReadCache,
-
-    objmap: ObjectMap,
-    /// Cache of backend object headers (extent lists for object-window
-    /// prefetch and GC liveness probes, per-extent payload CRCs for GET
-    /// verification), keyed by sequence.
-    hdr_cache: std::collections::HashMap<ObjSeq, std::sync::Arc<HdrEntry>>,
-    /// Insertion order of `hdr_cache` entries, oldest first (FIFO
-    /// eviction; a full cache evicts one entry, never the whole map).
-    hdr_order: VecDeque<ObjSeq>,
+    /// The concurrent read plane: write-back cache map, read cache, object
+    /// map, and header cache behind a `RwLock`, shared with
+    /// [`SharedVolume`](crate::shared::SharedVolume) readers. Mutations go
+    /// through [`ReadPlane::write_state`]; everything read-path lives in
+    /// [`crate::read_plane`].
+    plane: Arc<ReadPlane>,
     batch: BatchBuilder,
     /// Sealed batches awaiting PUT, oldest first. Normally the queue is
     /// empty (a batch is PUT as soon as it seals); it grows only while the
@@ -181,8 +176,9 @@ pub struct Volume {
     /// seal another batch fail with [`LsvdError::Backpressure`].
     pending_puts: VecDeque<(ObjSeq, crate::batch::SealedBatch)>,
     /// Writeback worker pool; `None` runs the fully serial path
-    /// (`writeback_threads == 0`), where every PUT happens inline.
-    pool: Option<WritebackPool>,
+    /// (`writeback_threads == 0`), where every PUT happens inline. Shared
+    /// with the read plane, whose miss fetches scatter-gather over it.
+    pool: Option<Arc<WritebackPool>>,
     /// Batches handed to the pool and not yet completed, by sequence.
     inflight: BTreeMap<ObjSeq, crate::batch::SealedBatch>,
     /// Batches whose PUT completed *out of order*: durable in the backend
@@ -228,7 +224,6 @@ pub struct Volume {
 /// [`PutCompletion`](crate::writeback::PutCompletion)).
 struct VolTelemetry {
     started: Instant,
-    read_lat: LatencyRecorder,
     write_lat: LatencyRecorder,
     flush_lat: LatencyRecorder,
     /// Backend service time of each batch PUT attempt.
@@ -240,9 +235,6 @@ struct VolTelemetry {
     enqueued_at: HashMap<ObjSeq, Instant>,
     /// Last degraded-mode state observed, for edge events.
     was_degraded: bool,
-    hdr_hits: u64,
-    hdr_misses: u64,
-    hdr_evictions: u64,
     /// Payload bytes checksummed on the hot write path (once, at wlog
     /// append). The data plane's "exactly one CRC per payload byte"
     /// contract is `payload_crc_bytes == write_bytes` modulo flank
@@ -269,7 +261,6 @@ impl VolTelemetry {
     fn new() -> Self {
         VolTelemetry {
             started: Instant::now(),
-            read_lat: LatencyRecorder::new(),
             write_lat: LatencyRecorder::new(),
             flush_lat: LatencyRecorder::new(),
             put_service: LatencyRecorder::new(),
@@ -277,9 +268,6 @@ impl VolTelemetry {
             trace: TraceRing::new(TRACE_RING_EVENTS),
             enqueued_at: HashMap::new(),
             was_degraded: false,
-            hdr_hits: 0,
-            hdr_misses: 0,
-            hdr_evictions: 0,
             payload_crc_bytes: 0,
             crc_recomputed_bytes: 0,
             crc_combine_ops: 0,
@@ -288,13 +276,6 @@ impl VolTelemetry {
             serving: None,
         }
     }
-}
-
-/// A cached backend object header: the extent list plus the per-extent
-/// payload CRCs recorded at seal time (format v2).
-struct HdrEntry {
-    extents: Vec<(Lba, u32)>,
-    crcs: Vec<u32>,
 }
 
 /// The store middleware stack every volume constructor builds: an
@@ -514,7 +495,17 @@ impl Volume {
                 // Restore the persisted read-cache map if present (§3.2);
                 // a cold cache is always safe.
                 let rcache = ReadCache::load(dev.clone(), c.rc_start, c.rc_sectors);
-                let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads);
+                let pool =
+                    WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new);
+                let plane = Arc::new(ReadPlane::new(
+                    dev.clone(),
+                    stack.store.clone(),
+                    rb.superblock.clone(),
+                    &cfg,
+                    rcache,
+                    rb.objmap,
+                    pool.clone(),
+                ));
                 let mut vol = Volume {
                     store: stack.store,
                     dev,
@@ -522,11 +513,7 @@ impl Volume {
                     sb: rb.superblock,
                     cfg,
                     wlog,
-                    wcache_map: ExtentMap::new(),
-                    rcache,
-                    objmap: rb.objmap,
-                    hdr_cache: std::collections::HashMap::new(),
-                    hdr_order: VecDeque::new(),
+                    plane,
                     batch: BatchBuilder::new(),
                     pending_puts: VecDeque::new(),
                     pool,
@@ -634,7 +621,16 @@ impl Volume {
         let wlog = WriteLog::format(dev.clone(), wc_start, wc_sectors, frontier + 1)?;
         let rcache = ReadCache::new(dev.clone(), rc_start, rc_sectors);
         dev.flush()?;
-        let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads);
+        let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new);
+        let plane = Arc::new(ReadPlane::new(
+            dev.clone(),
+            stack.store.clone(),
+            sb.clone(),
+            &cfg,
+            rcache,
+            objmap,
+            pool.clone(),
+        ));
         Ok(Volume {
             store: stack.store,
             dev,
@@ -642,11 +638,7 @@ impl Volume {
             sb,
             cfg,
             wlog,
-            wcache_map: ExtentMap::new(),
-            rcache,
-            objmap,
-            hdr_cache: std::collections::HashMap::new(),
-            hdr_order: VecDeque::new(),
+            plane,
             batch: BatchBuilder::new(),
             pending_puts: VecDeque::new(),
             pool,
@@ -679,9 +671,12 @@ impl Volume {
                 // the trim in the batch stream, in sequence order with the
                 // data records around it.
                 for &(lba, len) in &rec.extents {
-                    self.wcache_map.remove(lba, len as u64);
-                    self.rcache.invalidate(lba, len as u64);
-                    self.objmap.discard(lba, len as u64);
+                    {
+                        let mut st = self.plane.write_state();
+                        st.wcache_map.remove(lba, len as u64);
+                        st.rcache.invalidate(lba, len as u64);
+                        st.objmap.discard(lba, len as u64);
+                    }
                     self.batch.discard(lba, len as u64, rec.seq);
                     self.pending_trims.push((rec.seq, lba, len as u64));
                 }
@@ -689,7 +684,10 @@ impl Volume {
             }
             let mut plba = rec.data_plba;
             for &(lba, len) in &rec.extents {
-                self.wcache_map.insert(lba, len as u64, plba);
+                self.plane
+                    .write_state()
+                    .wcache_map
+                    .insert(lba, len as u64, plba);
                 let data = self.wlog.read_data(plba, len as u64)?;
                 self.tel.payload_crc_bytes += data.len() as u64;
                 self.tel.copied_bytes += data.len() as u64;
@@ -718,7 +716,7 @@ impl Volume {
     pub fn shutdown(mut self) -> Result<()> {
         self.drain()?;
         self.write_checkpoint()?;
-        self.rcache.persist()?;
+        self.plane.read_state().rcache.persist()?;
         self.dev.flush()?;
         Ok(())
     }
@@ -833,10 +831,13 @@ impl Volume {
             }
         }
         let appended = self.wlog.append(&[(lba, data)])?;
-        for &(elba, plba, len) in &appended.placements {
-            self.wcache_map.insert(elba, len as u64, plba);
+        {
+            let mut st = self.plane.write_state();
+            for &(elba, plba, len) in &appended.placements {
+                st.wcache_map.insert(elba, len as u64, plba);
+            }
+            st.rcache.invalidate(lba, sectors);
         }
-        self.rcache.invalidate(lba, sectors);
         // The append already checksummed the payload for its log record;
         // hand that CRC to the batch so sealing folds it into the object
         // header instead of re-scanning the bytes.
@@ -918,9 +919,12 @@ impl Volume {
             }
         }
         let seq = self.wlog.append_trim(&[(lba, sectors)])?;
-        self.wcache_map.remove(lba, sectors as u64);
-        self.rcache.invalidate(lba, sectors as u64);
-        self.objmap.discard(lba, sectors as u64);
+        {
+            let mut st = self.plane.write_state();
+            st.wcache_map.remove(lba, sectors as u64);
+            st.rcache.invalidate(lba, sectors as u64);
+            st.objmap.discard(lba, sectors as u64);
+        }
         self.pending_trims.push((seq, lba, sectors as u64));
         // Ride the batch stream too: batched data for the range dies, and
         // the sealed object advertises the trim so recovery from the
@@ -932,268 +936,19 @@ impl Volume {
     /// Reads into `buf` from byte `offset`, checking the write-back cache,
     /// the read cache, then the backend (Figure 1). Uninitialized ranges
     /// read as zeros.
+    ///
+    /// Delegates to the [`ReadPlane`]: cache hits are served under its
+    /// shared lock, misses fetch with no lock held. `&mut self` keeps the
+    /// historical single-threaded API; concurrent readers use the plane
+    /// through [`SharedVolume`](crate::shared::SharedVolume) directly.
     pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let (lba, sectors) = self.check_access(offset, buf.len())?;
-        if buf.is_empty() {
-            return Ok(());
-        }
-        self.stats.reads += 1;
-        self.stats.read_bytes += buf.len() as u64;
-        let t0 = Instant::now();
-        let segs = self.wcache_map.resolve(lba, sectors);
-        for seg in segs {
-            match seg {
-                Segment::Mapped { start, len, val } => {
-                    let b = ((start - lba) * SECTOR) as usize;
-                    let e = b + (len * SECTOR) as usize;
-                    self.dev.read_at(val * SECTOR, &mut buf[b..e])?;
-                }
-                Segment::Hole { start, len } => {
-                    self.read_below_wcache(lba, start, len, buf)?;
-                }
-            }
-        }
-        self.tel.read_lat.observe(t0.elapsed());
-        Ok(())
+        self.plane.read_into(offset, buf)
     }
 
-    fn read_below_wcache(&mut self, base: Lba, start: Lba, len: u64, buf: &mut [u8]) -> Result<()> {
-        // One segment at a time, re-resolving after each: filling an
-        // earlier hole inserts into the read cache, which can evict — and
-        // physically reuse — the very entries a stale resolution of a later
-        // segment would point at.
-        let end = start + len;
-        let mut pos = start;
-        while pos < end {
-            let seg = self
-                .rcache
-                .resolve(pos, end - pos)
-                .into_iter()
-                .next()
-                .expect("resolve of a non-empty range yields a segment");
-            match seg {
-                Segment::Mapped {
-                    start: s,
-                    len: l,
-                    val,
-                } => {
-                    let b = ((s - base) * SECTOR) as usize;
-                    let e = b + (l * SECTOR) as usize;
-                    self.rcache.read_cached(val, l, &mut buf[b..e])?;
-                    pos = s + l;
-                }
-                Segment::Hole { start: s, len: l } => {
-                    self.read_backend(base, s, l, buf)?;
-                    pos = s + l;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn read_backend(&mut self, base: Lba, start: Lba, len: u64, buf: &mut [u8]) -> Result<()> {
-        for seg in self.objmap.resolve(start, len) {
-            match seg {
-                Segment::Hole { start: s, len: l } => {
-                    // Never written: standard disk semantics, zeros.
-                    let b = ((s - base) * SECTOR) as usize;
-                    let e = b + (l * SECTOR) as usize;
-                    buf[b..e].fill(0);
-                }
-                Segment::Mapped {
-                    start: s,
-                    len: l,
-                    val,
-                } => {
-                    self.rcache.note_miss(l);
-                    let data = self.fetch_extent(s, l, val)?;
-                    let b = ((s - base) * SECTOR) as usize;
-                    let e = b + (l * SECTOR) as usize;
-                    buf[b..e].copy_from_slice(&data[..(l * SECTOR) as usize]);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Fetches `[start, start+len)` from the backend with *temporal*
-    /// read-ahead (§3.2): the ranged GET is extended forward within the
-    /// containing object's data area, and everything retrieved is entered
-    /// into the read cache under the virtual addresses the object header
-    /// records — prefetching data written at the same time as the
-    /// triggering read, whether or not it lives at nearby addresses.
-    fn fetch_extent(&mut self, _start: Lba, len: u64, loc: ObjLoc) -> Result<Bytes> {
-        let name = self.resolve_name(loc.seq);
-        let (hdr_sectors, data_sectors) = match self.objmap.object_stat(loc.seq) {
-            Some(st) => (
-                (st.total_sectors - st.data_sectors) as u64,
-                st.data_sectors as u64,
-            ),
-            None => {
-                let h = fetch_header(self.store.as_ref(), &name)?
-                    .ok_or_else(|| LsvdError::Corrupt(format!("{name}: mapped object missing")))?;
-                (h.data_offset as u64 / SECTOR, h.data_sectors())
-            }
-        };
-        let window = (self.cfg.prefetch_bytes / SECTOR).max(len);
-        let fetch = window
-            .min(data_sectors.saturating_sub(loc.off as u64))
-            .max(len);
-        let entry = self.header_extents(loc.seq, &name)?;
-        let mut win_lo = loc.off as u64;
-        let mut win_hi = win_lo + fetch;
-        let mut expected: Option<u32> = None;
-        if self.cfg.verify_get_crc {
-            // Snap the window outward to whole header extents so the
-            // expected checksum can be folded from the per-extent CRCs the
-            // object was sealed with — no re-read of anything, just O(1)
-            // combines.
-            let mut obj_off = 0u64;
-            for (i, &(_, elen)) in entry.extents.iter().enumerate() {
-                let e_lo = obj_off;
-                let e_hi = obj_off + elen as u64;
-                obj_off = e_hi;
-                if e_hi <= win_lo {
-                    continue;
-                }
-                if e_lo >= win_hi {
-                    break;
-                }
-                win_lo = win_lo.min(e_lo);
-                win_hi = win_hi.max(e_hi);
-                expected = Some(match expected {
-                    None => entry.crcs[i],
-                    Some(acc) => {
-                        self.tel.crc_combine_ops += 1;
-                        crc32c_combine(acc, entry.crcs[i], elen as u64 * SECTOR)
-                    }
-                });
-            }
-        }
-        let fetch = win_hi - win_lo;
-        let byte_off = (hdr_sectors + win_lo) * SECTOR;
-        let (data, worker_crc) = self.fetch_window(&name, byte_off, fetch * SECTOR)?;
-        self.stats.backend_gets += 1;
-        self.stats.backend_get_bytes += data.len() as u64;
-        if let Some(exp) = expected {
-            // Scatter GETs arrive with worker-computed part CRCs already
-            // folded; a serial GET is checksummed here.
-            let got = worker_crc.unwrap_or_else(|| crc32c(&data));
-            self.tel.get_verified_bytes += data.len() as u64;
-            if got != exp {
-                return Err(LsvdError::Corrupt(format!(
-                    "{name}: GET payload CRC mismatch over object sectors {win_lo}..{win_hi}"
-                )));
-            }
-        }
-
-        // Enter every *live* piece of the fetched object window into the
-        // read cache, located via the object's header extents. Liveness is
-        // judged by the object map: a piece whose vLBA now maps elsewhere
-        // is stale and must not be cached. Pieces shadowed by the
-        // write-back cache are punched out (write-after-read hazard §3.1).
-        let mut obj_off = 0u64;
-        for &(elba, elen) in entry.extents.iter() {
-            let e_lo = obj_off;
-            let e_hi = obj_off + elen as u64;
-            obj_off = e_hi;
-            let lo = e_lo.max(win_lo);
-            let hi = e_hi.min(win_hi);
-            if lo >= hi {
-                continue;
-            }
-            let piece_vlba = elba + (lo - e_lo);
-            let piece_len = hi - lo;
-            for (plo, plen, pval) in self.objmap.overlaps(piece_vlba, piece_len) {
-                let expect_off = lo + (plo - piece_vlba);
-                if pval.seq == loc.seq && pval.off as u64 == expect_off {
-                    let b = ((expect_off - win_lo) * SECTOR) as usize;
-                    let e = b + (plen * SECTOR) as usize;
-                    self.rcache.insert(plo, &data[b..e])?;
-                    for (wlo, wlen, _) in self.wcache_map.overlaps(plo, plen) {
-                        self.rcache.invalidate(wlo, wlen);
-                    }
-                }
-            }
-        }
-        // A zero-copy slice of the fetched window — the caller copies into
-        // its destination buffer exactly once.
-        let s = ((loc.off as u64 - win_lo) * SECTOR) as usize;
-        Ok(data.slice(s..s + (len * SECTOR) as usize))
-    }
-
-    /// One logical prefetch-window fetch: a single ranged GET in serial
-    /// mode, a scatter-gather fan-out over the writeback pool when the
-    /// window is large enough to split usefully. With GET verification on,
-    /// scattered parts come back with worker-computed CRCs which are folded
-    /// into one window checksum here (`Some`); the serial path leaves the
-    /// checksumming to the caller (`None`).
-    fn fetch_window(&mut self, name: &str, offset: u64, len: u64) -> Result<(Bytes, Option<u32>)> {
-        /// Minimum bytes per scattered GET; below 2× this, one GET wins.
-        const SCATTER_CHUNK: u64 = 128 << 10;
-        let threads = self.pool.as_ref().map_or(0, |p| p.threads()) as u64;
-        if threads < 2 || len < 2 * SCATTER_CHUNK {
-            return Ok((self.store.get_range(name, offset, len)?, None));
-        }
-        let chunks = len.div_ceil(SCATTER_CHUNK).min(threads);
-        let per = len.div_ceil(chunks);
-        let mut ranges = Vec::with_capacity(chunks as usize);
-        let mut off = 0;
-        while off < len {
-            let l = per.min(len - off);
-            ranges.push((offset + off, l));
-            off += l;
-        }
-        let pool = self.pool.as_ref().expect("pipelined");
-        self.stats.scatter_gets += 1;
-        let mut buf = Vec::with_capacity(len as usize);
-        if self.cfg.verify_get_crc {
-            let mut crc: Option<u32> = None;
-            for p in pool.get_scatter_crc(name, &ranges) {
-                let (part, part_crc) = p?;
-                crc = Some(match crc {
-                    None => part_crc,
-                    Some(acc) => {
-                        self.tel.crc_combine_ops += 1;
-                        crc32c_combine(acc, part_crc, part.len() as u64)
-                    }
-                });
-                buf.extend_from_slice(&part);
-            }
-            Ok((Bytes::from(buf), crc))
-        } else {
-            for p in pool.get_scatter(name, &ranges) {
-                buf.extend_from_slice(&p?);
-            }
-            Ok((Bytes::from(buf), None))
-        }
-    }
-
-    /// The object's cached header (extent list + per-extent CRCs), FIFO
-    /// eviction.
-    fn header_extents(&mut self, seq: ObjSeq, name: &str) -> Result<std::sync::Arc<HdrEntry>> {
-        if let Some(e) = self.hdr_cache.get(&seq) {
-            self.tel.hdr_hits += 1;
-            return Ok(e.clone());
-        }
-        self.tel.hdr_misses += 1;
-        let h = fetch_header(self.store.as_ref(), name)?
-            .ok_or_else(|| LsvdError::Corrupt(format!("{name}: mapped object missing")))?;
-        let e = std::sync::Arc::new(HdrEntry {
-            extents: h.extents,
-            crcs: h.extent_crcs,
-        });
-        if self.hdr_cache.len() >= self.cfg.hdr_cache_entries {
-            // Evict the single oldest entry; dumping the whole cache made
-            // every later miss refetch headers it had already paid for.
-            if let Some(old) = self.hdr_order.pop_front() {
-                self.hdr_cache.remove(&old);
-                self.tel.hdr_evictions += 1;
-            }
-        }
-        self.hdr_order.push_back(seq);
-        self.hdr_cache.insert(seq, e.clone());
-        Ok(e)
+    /// The volume's read plane, through which `SharedVolume` serves reads
+    /// without the big volume lock.
+    pub(crate) fn read_plane(&self) -> Arc<ReadPlane> {
+        self.plane.clone()
     }
 
     fn resolve_name(&self, seq: ObjSeq) -> String {
@@ -1201,7 +956,7 @@ impl Volume {
     }
 
     fn hdr_sectors_of(&mut self, seq: ObjSeq) -> Result<u64> {
-        if let Some(st) = self.objmap.object_stat(seq) {
+        if let Some(st) = self.plane.read_state().objmap.object_stat(seq) {
             return Ok((st.total_sectors - st.data_sectors) as u64);
         }
         // Should not happen for mapped data; fall back to the header.
@@ -1469,33 +1224,43 @@ impl Volume {
         // Mirror recovery's apply order (`recovery::apply_header`): this
         // object's own trims land before its data extents, so a
         // write-after-trim within the batch survives.
-        for &(lba, sectors) in &sealed.trims {
-            self.objmap.discard(lba, sectors as u64);
-        }
-        self.objmap
-            .apply_object(seq, sealed.hdr_sectors, &sealed.extents);
-        for i in 0..self.pending_trims.len() {
-            let (_, lba, sectors) = self.pending_trims[i];
-            self.objmap.discard(lba, sectors);
+        {
+            let mut st = self.plane.write_state();
+            for &(lba, sectors) in &sealed.trims {
+                st.objmap.discard(lba, sectors as u64);
+            }
+            st.objmap
+                .apply_object(seq, sealed.hdr_sectors, &sealed.extents);
+            for &(_, lba, sectors) in self.pending_trims.iter() {
+                st.objmap.discard(lba, sectors);
+            }
         }
         self.frontier = self.frontier.max(sealed.last_cache_seq);
         // Release cache records now durable in the backend, dropping their
         // write-cache mappings (the data is reachable via the object map).
+        // Ordering matters for concurrent readers: the object map already
+        // carries this data (above, under the exclusive lock), and the
+        // released log sectors cannot be reused until a later append on
+        // this thread — which runs only after the map removals below have
+        // drained every shared-lock reader that could still resolve them.
         let released = self.wlog.release_to(sealed.last_cache_seq)?;
-        for rec in released {
-            if rec.trim {
-                // Header-only record: extents describe trimmed ranges, not
-                // cached data — nothing to drop from the write-cache map.
-                continue;
-            }
-            let mut plba = rec.data_plba;
-            for &(lba, len) in &rec.extents {
-                for (plo, plen, pval) in self.wcache_map.overlaps(lba, len as u64) {
-                    if pval >= plba && pval < plba + len as u64 {
-                        self.wcache_map.remove(plo, plen);
-                    }
+        {
+            let mut st = self.plane.write_state();
+            for rec in released {
+                if rec.trim {
+                    // Header-only record: extents describe trimmed ranges,
+                    // not cached data — nothing to drop from the map.
+                    continue;
                 }
-                plba += len as u64;
+                let mut plba = rec.data_plba;
+                for &(lba, len) in &rec.extents {
+                    for (plo, plen, pval) in st.wcache_map.overlaps(lba, len as u64) {
+                        if pval >= plba && pval < plba + len as u64 {
+                            st.wcache_map.remove(plo, plen);
+                        }
+                    }
+                    plba += len as u64;
+                }
             }
         }
         self.objects_since_ckpt += 1;
@@ -1637,13 +1402,16 @@ impl Volume {
         // Retry deletes that previously failed and are no longer blocked,
         // so the checkpoint captures the smallest deferred set.
         self.sweep_deferred_deletes();
-        let ck = CheckpointData::capture(
-            &self.objmap,
-            self.last_seq,
-            self.frontier,
-            &self.snapshots,
-            &self.deferred_deletes,
-        );
+        let ck = {
+            let st = self.plane.read_state();
+            CheckpointData::capture(
+                &st.objmap,
+                self.last_seq,
+                self.frontier,
+                &self.snapshots,
+                &self.deferred_deletes,
+            )
+        };
         self.store.put(
             &checkpoint_name(&self.sb.image, self.last_seq),
             ck.build(self.sb.uuid),
@@ -1708,10 +1476,13 @@ impl Volume {
         }
         let first = self.sb.own_first_seq();
         let upto = self.last_ckpt_seq;
-        if !gc::should_collect(&self.objmap, first, upto, self.cfg.gc_low_watermark) {
-            return Ok(0);
-        }
-        let cands = gc::select_candidates(&self.objmap, first, upto, self.cfg.gc_high_watermark);
+        let cands = {
+            let st = self.plane.read_state();
+            if !gc::should_collect(&st.objmap, first, upto, self.cfg.gc_low_watermark) {
+                return Ok(0);
+            }
+            gc::select_candidates(&st.objmap, first, upto, self.cfg.gc_high_watermark)
+        };
         if cands.is_empty() {
             return Ok(0);
         }
@@ -1728,10 +1499,14 @@ impl Volume {
             })?
             else {
                 // Already gone (e.g. deferred delete executed elsewhere).
-                self.objmap.remove_object(seq);
+                self.plane.write_state().objmap.remove_object(seq);
                 continue;
             };
-            let mut pieces = self.objmap.live_pieces_of(seq, &hdr.extents);
+            let mut pieces = self
+                .plane
+                .read_state()
+                .objmap
+                .live_pieces_of(seq, &hdr.extents);
             if self.cfg.defrag_hole_bytes > 0 {
                 pieces = self.plug_holes(pieces)?;
             }
@@ -1756,10 +1531,12 @@ impl Volume {
         // changes) reclaims them once coverage exists.
         let mut collected = 0;
         for &(seq, _) in &cands {
-            if self.objmap.object_stat(seq).is_none() {
+            let mut st = self.plane.write_state();
+            if st.objmap.object_stat(seq).is_none() {
                 continue; // vanished above
             }
-            self.objmap.remove_object(seq);
+            st.objmap.remove_object(seq);
+            drop(st);
             self.deferred_deletes.push((seq, ngc));
             collected += 1;
         }
@@ -1783,7 +1560,8 @@ impl Volume {
                 let gap_start = plba + plen as u64;
                 if piece.0 > gap_start && piece.0 - gap_start <= thr {
                     // Pull in whatever currently maps the gap.
-                    for (glo, glen, gloc) in self.objmap.overlaps(gap_start, piece.0 - gap_start) {
+                    let st = self.plane.read_state();
+                    for (glo, glen, gloc) in st.objmap.overlaps(gap_start, piece.0 - gap_start) {
                         out.push((glo, glen as u32, gloc));
                     }
                 }
@@ -1797,12 +1575,17 @@ impl Volume {
     /// (§3.5: "in many cases the data needed for garbage collection may be
     /// found in the local cache").
     fn gc_read_piece(&mut self, lba: Lba, sectors: u64, loc: ObjLoc) -> Result<Vec<u8>> {
-        // Read cache hit?
-        if let [Segment::Mapped { val, .. }] = self.rcache.resolve(lba, sectors)[..] {
-            let mut buf = vec![0u8; (sectors * SECTOR) as usize];
-            self.rcache.read_cached(val, sectors, &mut buf)?;
-            self.stats.gc_cache_hit_bytes += buf.len() as u64;
-            return Ok(buf);
+        // Read cache hit? Hold the shared guard across the cache-device
+        // read, as the read plane does: eviction (exclusive) cannot reuse
+        // the resolved sectors underneath us.
+        {
+            let st = self.plane.read_state();
+            if let [Segment::Mapped { val, .. }] = st.rcache.resolve(lba, sectors)[..] {
+                let mut buf = vec![0u8; (sectors * SECTOR) as usize];
+                st.rcache.read_cached(val, sectors, &mut buf)?;
+                self.stats.gc_cache_hit_bytes += buf.len() as u64;
+                return Ok(buf);
+            }
         }
         let name = self.resolve_name(loc.seq);
         let hdr_sectors = self.hdr_sectors_of(loc.seq)?;
@@ -1855,7 +1638,9 @@ impl Volume {
             .iter()
             .map(|&(lba, len, loc, _)| (lba, len, loc))
             .collect();
-        self.objmap
+        self.plane
+            .write_state()
+            .objmap
             .apply_gc_object(seq, hdr_sectors as u32, &loc_pieces);
         pieces.clear();
         Ok(())
@@ -1936,6 +1721,14 @@ impl Volume {
     /// pending writeback queue and (if attached) retry-layer counters.
     pub fn stats(&self) -> VolumeStats {
         let mut s = self.stats;
+        // Read-path counters live in the plane (shared with concurrent
+        // `SharedVolume` readers); volume-side counters (GC GETs) add in.
+        let p = self.plane.stats();
+        s.reads += p.reads;
+        s.read_bytes += p.read_bytes;
+        s.backend_gets += p.backend_gets;
+        s.backend_get_bytes += p.backend_get_bytes;
+        s.scatter_gets += p.scatter_gets;
         s.degraded = self.is_degraded();
         s.pending_batches = self.writeback_backlog() as u64;
         s.pending_bytes = self
@@ -1959,7 +1752,8 @@ impl Volume {
     /// counters, and the derived paper-figure observables.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let stats = self.stats();
-        let rc = self.rcache.stats();
+        let p = self.plane.stats();
+        let rc = { self.plane.read_state().rcache.stats() };
         let elapsed = self.tel.started.elapsed().as_secs_f64();
         let window = if self.pool.is_some() {
             self.cfg.max_inflight_puts as u64
@@ -1974,11 +1768,11 @@ impl Volume {
         let sealed_seq: u64 = self.next_obj_seq.saturating_sub(1).into();
         let frontier: u64 = self.durable.frontier().into();
         let backend_objects = stats.backend_puts + stats.gc_puts;
-        let (live, total) = self.objmap.totals();
+        let (live, total) = { self.plane.read_state().objmap.totals() };
         TelemetrySnapshot {
             elapsed_secs: elapsed,
             ops: ClientOps {
-                read: self.tel.read_lat.snapshot(),
+                read: self.plane.read_lat.snapshot(),
                 write: self.tel.write_lat.snapshot(),
                 flush: self.tel.flush_lat.snapshot(),
             },
@@ -1999,13 +1793,14 @@ impl Volume {
                 backpressure_rejections: stats.backpressure_rejections,
             },
             cache: CacheTelemetry {
-                hdr_hits: self.tel.hdr_hits,
-                hdr_misses: self.tel.hdr_misses,
-                hdr_evictions: self.tel.hdr_evictions,
+                hdr_hits: p.hdr_hits,
+                hdr_misses: p.hdr_misses,
+                hdr_evictions: p.hdr_evictions,
                 rcache_hit_sectors: rc.hit_sectors,
                 rcache_miss_sectors: rc.miss_sectors,
                 rcache_inserted_sectors: rc.inserted_sectors,
                 rcache_evicted_sectors: rc.evicted_sectors,
+                rcache_hit_ratio: rc.hit_ratio(),
                 wlog_used_sectors: self.wlog.used_sectors(),
                 wlog_capacity_sectors: self.wlog.capacity_sectors(),
             },
@@ -2033,10 +1828,25 @@ impl Volume {
             data_plane: DataPlaneTelemetry {
                 payload_crc_bytes: self.tel.payload_crc_bytes,
                 crc_recomputed_bytes: self.tel.crc_recomputed_bytes,
-                crc_combine_ops: self.tel.crc_combine_ops,
+                crc_combine_ops: self.tel.crc_combine_ops + p.crc_combine_ops,
                 copied_bytes: self.tel.copied_bytes,
-                get_verified_bytes: self.tel.get_verified_bytes,
+                get_verified_bytes: self.tel.get_verified_bytes + p.get_verified_bytes,
                 hw_crc: crc32c_is_hw(),
+            },
+            read_plane: ReadPlaneTelemetry {
+                reads: p.reads,
+                hit_reads: p.hit_reads,
+                miss_reads: p.miss_reads,
+                admitted_sectors: p.admitted_sectors,
+                bypassed_sectors: p.bypassed_sectors,
+                singleflight_waits: p.singleflight_waits,
+                singleflight_shared: p.singleflight_shared,
+                shared_lock_acqs: p.shared_lock_acqs,
+                excl_lock_acqs: p.excl_lock_acqs,
+                shared_lock_wait: self.plane.shared_lock_wait.snapshot(),
+                excl_lock_wait: self.plane.excl_lock_wait.snapshot(),
+                concurrent_readers: p.concurrent_readers,
+                peak_concurrent_readers: p.peak_concurrent_readers,
             },
             serving: self
                 .tel
@@ -2081,7 +1891,20 @@ impl Volume {
 
     /// Read-cache statistics.
     pub fn read_cache_stats(&self) -> crate::rcache::ReadCacheStats {
-        self.rcache.stats()
+        self.plane.read_state().rcache.stats()
+    }
+
+    /// Read-plane counters (hit/miss split, admission control,
+    /// single-flight coalescing, lock acquisitions).
+    pub fn read_plane_stats(&self) -> crate::read_plane::ReadPlaneStats {
+        self.plane.stats()
+    }
+
+    /// `(start, end)` sector bounds of the read-cache region on the cache
+    /// device, metadata included. Crash tests corrupt this whole span to
+    /// prove durability never leans on read-plane state.
+    pub fn read_cache_region(&self) -> (u64, u64) {
+        self.plane.read_state().rcache.region_sectors()
     }
 
     /// Bytes acknowledged but not yet applied to the backend map
@@ -2100,12 +1923,12 @@ impl Volume {
 
     /// `(live, total)` sectors across backend objects.
     pub fn backend_totals(&self) -> (u64, u64) {
-        self.objmap.totals()
+        self.plane.read_state().objmap.totals()
     }
 
     /// Object-map extent count (the Table 5 memory metric).
     pub fn map_extent_count(&self) -> usize {
-        self.objmap.extent_count()
+        self.plane.read_state().objmap.extent_count()
     }
 
     /// Highest backend object sequence.

@@ -22,11 +22,16 @@
 //! that pipelines more than the window simply stops being read until
 //! replies drain.
 //!
-//! The volume itself is single-threaded behind [`SharedVolume`]'s mutex —
-//! concurrency here is about overlapping socket I/O, parsing and reply
-//! serialization with the serialized volume calls (see
-//! `lsvd::shared`), and about the latency *accounting* split:
-//! socket-wait / queue-wait / service, exported via [`ServingRecorders`].
+//! Mutations are single-threaded behind [`SharedVolume`]'s mutex, but
+//! READ jobs go through [`SharedVolume::read_bytes`], which bypasses that
+//! mutex entirely: cache-hit reads run under the volume's read-plane
+//! shared lock, genuinely in parallel across the worker pool and with an
+//! in-flight mutation, and the returned `Bytes` payload is handed to the
+//! writer thread without a copy. Concurrency here is therefore real read
+//! parallelism plus overlapping socket I/O, parsing and reply
+//! serialization with the serialized mutation calls (see `lsvd::shared`),
+//! and the latency *accounting* split: socket-wait / queue-wait /
+//! service, exported via [`ServingRecorders`].
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -37,6 +42,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use bytes::Bytes;
 use lsvd::shared::SharedVolume;
 use lsvd::LsvdError;
 use telemetry::{ServingRecorders, TraceEvent};
@@ -119,11 +125,13 @@ impl Shared {
     }
 }
 
-/// One reply queued for a connection's writer thread.
+/// One reply queued for a connection's writer thread. READ payloads are
+/// [`Bytes`] handed straight from the volume's read plane — the worker
+/// never copies them into a reply buffer.
 struct Reply {
     cookie: u64,
     error: u32,
-    data: Vec<u8>,
+    data: Bytes,
 }
 
 /// Per-connection window state shared by reader, workers and writer.
@@ -504,12 +512,17 @@ fn execute(shared: &Shared, job: Job) {
         CMD_READ => {
             shared.rec.count_read();
             if job.req.length > MAX_IO_BYTES {
-                (EINVAL, Vec::new())
+                (EINVAL, Bytes::new())
             } else {
-                let mut buf = vec![0u8; job.req.length as usize];
-                match shared.volume.read(job.req.offset, &mut buf) {
-                    Ok(()) => (0, buf),
-                    Err(e) => (errno_of(&e), Vec::new()),
+                // Lock-free lane into the volume's read plane: cache hits
+                // run under its shared lock, concurrently across workers,
+                // and the payload goes to the writer thread as-is.
+                match shared
+                    .volume
+                    .read_bytes(job.req.offset, job.req.length as usize)
+                {
+                    Ok(data) => (0, data),
+                    Err(e) => (errno_of(&e), Bytes::new()),
                 }
             }
         }
@@ -534,12 +547,12 @@ fn execute(shared: &Shared, job: Job) {
                         }
                     })
             };
-            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Vec::new())
+            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         CMD_FLUSH => {
             shared.rec.count_flush();
             let res = shared.volume.flush();
-            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Vec::new())
+            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         CMD_TRIM => {
             shared.rec.count_trim();
@@ -562,11 +575,11 @@ fn execute(shared: &Shared, job: Job) {
                         }
                     })
             };
-            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Vec::new())
+            (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         _ => {
             shared.rec.count_error();
-            (EINVAL, Vec::new())
+            (EINVAL, Bytes::new())
         }
     };
     shared.rec.service.record_ns(t0.elapsed().as_nanos() as u64);

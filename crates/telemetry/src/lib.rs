@@ -38,7 +38,8 @@ pub use recorder::{LatencyRecorder, LatencySnapshot};
 pub use serving::ServingRecorders;
 pub use sketch::Summary;
 pub use snapshot::{
-    BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, RetryTelemetry,
-    ServingTelemetry, TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
+    BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry,
+    ReadPlaneTelemetry, RetryTelemetry, ServingTelemetry, TelemetrySnapshot, TraceTelemetry,
+    WritebackTelemetry, SCHEMA,
 };
 pub use trace::{TraceEvent, TraceHook, TraceRecord, TraceRing};

@@ -101,6 +101,8 @@ pub struct CacheTelemetry {
     pub rcache_inserted_sectors: u64,
     /// Sectors evicted from the read cache.
     pub rcache_evicted_sectors: u64,
+    /// `hit / (hit + miss)` sectors; 0 when the cache is untouched.
+    pub rcache_hit_ratio: f64,
     /// Write-log sectors currently occupied.
     pub wlog_used_sectors: u64,
     /// Write-log capacity in sectors.
@@ -156,6 +158,40 @@ pub struct DataPlaneTelemetry {
     pub get_verified_bytes: u64,
     /// Whether the hardware (SSE4.2) CRC32C kernel is active.
     pub hw_crc: bool,
+}
+
+/// Concurrent read-plane observability: the lock-split serving path's
+/// hit/miss accounting, scan-resistant admission control, single-flight
+/// miss coalescing, and the shared-vs-exclusive lock wait split that
+/// shows whether read latency is work or queueing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReadPlaneTelemetry {
+    /// Reads served by the plane (all paths).
+    pub reads: u64,
+    /// Reads served entirely from local state (caches / zeros).
+    pub hit_reads: u64,
+    /// Reads that needed at least one backend fetch.
+    pub miss_reads: u64,
+    /// Sectors admitted into the read cache by miss fetches.
+    pub admitted_sectors: u64,
+    /// Sectors a detected sequential scan kept out of the read cache.
+    pub bypassed_sectors: u64,
+    /// Fetches that parked on another reader's in-flight GET.
+    pub singleflight_waits: u64,
+    /// Parked fetches fully served from the leader's window (GETs saved).
+    pub singleflight_shared: u64,
+    /// Shared-lock acquisitions (the concurrent hit path).
+    pub shared_lock_acqs: u64,
+    /// Exclusive-lock acquisitions (mutations and miss-path inserts).
+    pub excl_lock_acqs: u64,
+    /// Time spent waiting for the shared lock.
+    pub shared_lock_wait: LatencySnapshot,
+    /// Time spent waiting for the exclusive lock.
+    pub excl_lock_wait: LatencySnapshot,
+    /// Readers inside the plane at snapshot time.
+    pub concurrent_readers: u64,
+    /// High-water mark of concurrent readers.
+    pub peak_concurrent_readers: u64,
 }
 
 /// Serving-plane (NBD) observability: per-request latency split into the
@@ -217,6 +253,8 @@ pub struct TelemetrySnapshot {
     pub derived: DerivedTelemetry,
     /// Data-plane copy/CRC byte accounting.
     pub data_plane: DataPlaneTelemetry,
+    /// Concurrent read-plane counters and lock-wait split.
+    pub read_plane: ReadPlaneTelemetry,
     /// Serving-plane (NBD) latency split and connection gauges.
     pub serving: ServingTelemetry,
     /// Trace-ring occupancy.
@@ -354,6 +392,10 @@ impl TelemetrySnapshot {
                         Json::Num(self.cache.rcache_evicted_sectors as f64),
                     ),
                     (
+                        "rcache_hit_ratio".into(),
+                        Json::Num(self.cache.rcache_hit_ratio),
+                    ),
+                    (
                         "wlog_used_sectors".into(),
                         Json::Num(self.cache.wlog_used_sectors as f64),
                     ),
@@ -424,6 +466,60 @@ impl TelemetrySnapshot {
                 ]),
             ),
             (
+                "read_plane".into(),
+                Json::Obj(vec![
+                    ("reads".into(), Json::Num(self.read_plane.reads as f64)),
+                    (
+                        "hit_reads".into(),
+                        Json::Num(self.read_plane.hit_reads as f64),
+                    ),
+                    (
+                        "miss_reads".into(),
+                        Json::Num(self.read_plane.miss_reads as f64),
+                    ),
+                    (
+                        "admitted_sectors".into(),
+                        Json::Num(self.read_plane.admitted_sectors as f64),
+                    ),
+                    (
+                        "bypassed_sectors".into(),
+                        Json::Num(self.read_plane.bypassed_sectors as f64),
+                    ),
+                    (
+                        "singleflight_waits".into(),
+                        Json::Num(self.read_plane.singleflight_waits as f64),
+                    ),
+                    (
+                        "singleflight_shared".into(),
+                        Json::Num(self.read_plane.singleflight_shared as f64),
+                    ),
+                    (
+                        "shared_lock_acqs".into(),
+                        Json::Num(self.read_plane.shared_lock_acqs as f64),
+                    ),
+                    (
+                        "excl_lock_acqs".into(),
+                        Json::Num(self.read_plane.excl_lock_acqs as f64),
+                    ),
+                    (
+                        "shared_lock_wait".into(),
+                        lat_json(&self.read_plane.shared_lock_wait),
+                    ),
+                    (
+                        "excl_lock_wait".into(),
+                        lat_json(&self.read_plane.excl_lock_wait),
+                    ),
+                    (
+                        "concurrent_readers".into(),
+                        Json::Num(self.read_plane.concurrent_readers as f64),
+                    ),
+                    (
+                        "peak_concurrent_readers".into(),
+                        Json::Num(self.read_plane.peak_concurrent_readers as f64),
+                    ),
+                ]),
+            ),
+            (
                 "serving".into(),
                 Json::Obj(vec![
                     ("socket_wait".into(), lat_json(&self.serving.socket_wait)),
@@ -469,6 +565,7 @@ impl TelemetrySnapshot {
         let retry = j.get("retry");
         let derived = j.get("derived");
         let dp = j.get("data_plane");
+        let rp = j.get("read_plane");
         let serving = j.get("serving");
         let trace = j.get("trace");
         fn sub<'a>(parent: Option<&'a Json>, key: &str) -> Option<&'a Json> {
@@ -515,6 +612,7 @@ impl TelemetrySnapshot {
                 rcache_miss_sectors: cache.map_or(0, |c| num_u64(c, "rcache_miss_sectors")),
                 rcache_inserted_sectors: cache.map_or(0, |c| num_u64(c, "rcache_inserted_sectors")),
                 rcache_evicted_sectors: cache.map_or(0, |c| num_u64(c, "rcache_evicted_sectors")),
+                rcache_hit_ratio: cache.map_or(0.0, |c| num_f64(c, "rcache_hit_ratio")),
                 wlog_used_sectors: cache.map_or(0, |c| num_u64(c, "wlog_used_sectors")),
                 wlog_capacity_sectors: cache.map_or(0, |c| num_u64(c, "wlog_capacity_sectors")),
             },
@@ -539,6 +637,21 @@ impl TelemetrySnapshot {
                 copied_bytes: dp.map_or(0, |d| num_u64(d, "copied_bytes")),
                 get_verified_bytes: dp.map_or(0, |d| num_u64(d, "get_verified_bytes")),
                 hw_crc: dp.is_some_and(|d| flag(d, "hw_crc")),
+            },
+            read_plane: ReadPlaneTelemetry {
+                reads: rp.map_or(0, |r| num_u64(r, "reads")),
+                hit_reads: rp.map_or(0, |r| num_u64(r, "hit_reads")),
+                miss_reads: rp.map_or(0, |r| num_u64(r, "miss_reads")),
+                admitted_sectors: rp.map_or(0, |r| num_u64(r, "admitted_sectors")),
+                bypassed_sectors: rp.map_or(0, |r| num_u64(r, "bypassed_sectors")),
+                singleflight_waits: rp.map_or(0, |r| num_u64(r, "singleflight_waits")),
+                singleflight_shared: rp.map_or(0, |r| num_u64(r, "singleflight_shared")),
+                shared_lock_acqs: rp.map_or(0, |r| num_u64(r, "shared_lock_acqs")),
+                excl_lock_acqs: rp.map_or(0, |r| num_u64(r, "excl_lock_acqs")),
+                shared_lock_wait: lat_from(sub(rp, "shared_lock_wait")),
+                excl_lock_wait: lat_from(sub(rp, "excl_lock_wait")),
+                concurrent_readers: rp.map_or(0, |r| num_u64(r, "concurrent_readers")),
+                peak_concurrent_readers: rp.map_or(0, |r| num_u64(r, "peak_concurrent_readers")),
             },
             serving: ServingTelemetry {
                 socket_wait: lat_from(sub(serving, "socket_wait")),
@@ -647,6 +760,7 @@ impl TelemetrySnapshot {
             "lsvd_rcache_evicted_sectors",
             self.cache.rcache_evicted_sectors as f64,
         );
+        gauge("lsvd_rcache_hit_ratio", self.cache.rcache_hit_ratio);
         gauge(
             "lsvd_wlog_used_sectors",
             self.cache.wlog_used_sectors as f64,
@@ -687,6 +801,51 @@ impl TelemetrySnapshot {
         gauge(
             "lsvd_dp_hw_crc",
             if self.data_plane.hw_crc { 1.0 } else { 0.0 },
+        );
+        gauge("lsvd_rp_reads", self.read_plane.reads as f64);
+        gauge("lsvd_rp_hit_reads", self.read_plane.hit_reads as f64);
+        gauge("lsvd_rp_miss_reads", self.read_plane.miss_reads as f64);
+        gauge(
+            "lsvd_rp_admitted_sectors",
+            self.read_plane.admitted_sectors as f64,
+        );
+        gauge(
+            "lsvd_rp_bypassed_sectors",
+            self.read_plane.bypassed_sectors as f64,
+        );
+        gauge(
+            "lsvd_rp_singleflight_waits",
+            self.read_plane.singleflight_waits as f64,
+        );
+        gauge(
+            "lsvd_rp_singleflight_shared",
+            self.read_plane.singleflight_shared as f64,
+        );
+        gauge(
+            "lsvd_rp_shared_lock_acqs",
+            self.read_plane.shared_lock_acqs as f64,
+        );
+        gauge(
+            "lsvd_rp_excl_lock_acqs",
+            self.read_plane.excl_lock_acqs as f64,
+        );
+        lat(
+            &mut gauge,
+            "lsvd_rp_shared_lock_wait",
+            &self.read_plane.shared_lock_wait,
+        );
+        lat(
+            &mut gauge,
+            "lsvd_rp_excl_lock_wait",
+            &self.read_plane.excl_lock_wait,
+        );
+        gauge(
+            "lsvd_rp_concurrent_readers",
+            self.read_plane.concurrent_readers as f64,
+        );
+        gauge(
+            "lsvd_rp_peak_concurrent_readers",
+            self.read_plane.peak_concurrent_readers as f64,
         );
         lat(
             &mut gauge,
@@ -741,14 +900,29 @@ impl TelemetrySnapshot {
         );
         let _ = writeln!(
             out,
-            "  cache       hdr {}h/{}m/{}e | rcache {}h/{}m sectors | wlog {}/{} sectors",
+            "  cache       hdr {}h/{}m/{}e | rcache {}h/{}m sectors (ratio {}) | wlog {}/{} sectors",
             self.cache.hdr_hits,
             self.cache.hdr_misses,
             self.cache.hdr_evictions,
             self.cache.rcache_hit_sectors,
             self.cache.rcache_miss_sectors,
+            fmt2(self.cache.rcache_hit_ratio),
             self.cache.wlog_used_sectors,
             self.cache.wlog_capacity_sectors
+        );
+        let _ = writeln!(
+            out,
+            "  read-plane  {}r ({}hit/{}miss) admit={} bypass={} sectors | singleflight {}w/{}s | locks {}sh/{}ex (peak {} readers)",
+            self.read_plane.reads,
+            self.read_plane.hit_reads,
+            self.read_plane.miss_reads,
+            self.read_plane.admitted_sectors,
+            self.read_plane.bypassed_sectors,
+            self.read_plane.singleflight_waits,
+            self.read_plane.singleflight_shared,
+            self.read_plane.shared_lock_acqs,
+            self.read_plane.excl_lock_acqs,
+            self.read_plane.peak_concurrent_readers
         );
         let _ = writeln!(
             out,
@@ -862,6 +1036,7 @@ mod tests {
                 rcache_miss_sectors: 50,
                 rcache_inserted_sectors: 120,
                 rcache_evicted_sectors: 20,
+                rcache_hit_ratio: 0.66,
                 wlog_used_sectors: 64,
                 wlog_capacity_sectors: 256,
             },
@@ -885,6 +1060,21 @@ mod tests {
                 copied_bytes: 2 << 20,
                 get_verified_bytes: 4096,
                 hw_crc: true,
+            },
+            read_plane: ReadPlaneTelemetry {
+                reads: 3_000,
+                hit_reads: 2_800,
+                miss_reads: 200,
+                admitted_sectors: 1_024,
+                bypassed_sectors: 4_096,
+                singleflight_waits: 17,
+                singleflight_shared: 15,
+                shared_lock_acqs: 3_100,
+                excl_lock_acqs: 250,
+                shared_lock_wait: lat,
+                excl_lock_wait: lat,
+                concurrent_readers: 2,
+                peak_concurrent_readers: 8,
             },
             serving: ServingTelemetry {
                 socket_wait: lat,
@@ -943,6 +1133,12 @@ mod tests {
         assert!(prom.contains("lsvd_wb_degraded 1"), "{prom}");
         assert!(prom.contains("lsvd_write_amplification 1.37"), "{prom}");
         assert!(prom.contains("lsvd_serving_conns_open 4"), "{prom}");
+        assert!(prom.contains("lsvd_rcache_hit_ratio 0.66"), "{prom}");
+        assert!(prom.contains("lsvd_rp_singleflight_waits 17"), "{prom}");
+        assert!(
+            prom.contains("# TYPE lsvd_rp_shared_lock_wait_p99_ns gauge"),
+            "{prom}"
+        );
         assert!(
             prom.contains("# TYPE lsvd_serving_queue_wait_p99_ns gauge"),
             "{prom}"
@@ -964,6 +1160,7 @@ mod tests {
             "derived",
             "WA=1.37",
             "data-plane",
+            "read-plane",
             "serving",
             "trace",
         ] {

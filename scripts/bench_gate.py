@@ -7,10 +7,12 @@ Usage:
 
 Without --fresh, runs the suite in quick mode (LSVD_BENCH_QUICK=1) and
 writes its JSON to a temp file first. Only the data-plane hot-path
-benchmarks are gated — `crc32c/*`, `wlog/append/*`, and
-`volume/write/4K` — because those are the numbers the zero-copy write
-path and the accelerated CRC kernel are accountable for. Everything else
-in the suite is informational.
+benchmarks are gated — `crc32c/*`, `wlog/append/*`, `volume/write/4K`,
+and the read-plane hit paths `volume/randread_4K_hit` and
+`rcache/hit_4K` — because those are the numbers the zero-copy write
+path, the accelerated CRC kernel, and the lock-split read plane are
+accountable for. Everything else in the suite (socket-bound NBD
+round trips, the scan-pollution pair) is informational.
 
 A benchmark fails the gate when its fresh ns_per_iter exceeds
 baseline * tolerance (default 2x: quick mode on shared CI runners is
@@ -31,7 +33,7 @@ import sys
 import tempfile
 
 GATED_PREFIXES = ("crc32c/", "wlog/append/")
-GATED_EXACT = ("volume/write/4K",)
+GATED_EXACT = ("volume/write/4K", "volume/randread_4K_hit", "rcache/hit_4K")
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
