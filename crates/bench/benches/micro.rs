@@ -384,6 +384,29 @@ fn bench_nbd(c: &mut Criterion) {
             shared.write(off, &data).unwrap();
         });
     });
+    // Tracing tax on the 4K serving hot path: the same loopback random
+    // read with the span ring recording decode → dispatch → read spans
+    // per request, against the default-off path where every site pays
+    // one relaxed load. The committed baseline pair proves the <5%
+    // overhead bound; scripts/bench_gate.py holds it (strict on the
+    // baseline pair, noise-tolerant on fresh quick runs).
+    let ring = shared.span_ring();
+    for (label, on) in [
+        ("randread_4K_tracing_off", false),
+        ("randread_4K_tracing_on", true),
+    ] {
+        ring.set_enabled(on);
+        g.bench_function(label, |b| {
+            let mut x = 0x1357u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let off = (x >> 33) % (window / 4096) * 4096;
+                client.read(off, &mut buf).unwrap();
+            });
+        });
+    }
+    ring.set_enabled(false);
+
     // Four connections reading at once: the reads share the plane's
     // shared lock, so this should scale with the worker pool instead of
     // convoying on the volume mutex. One iteration = 32 reads on each of
@@ -543,6 +566,34 @@ fn bench_read_plane(c: &mut Criterion) {
     }
 }
 
+/// Span-ring record cost in isolation. `span_record` is the per-hop
+/// price every traced stage pays — mint, begin, finish into a locked
+/// shard — and `span_record_disabled` is the default-off fast path,
+/// a single relaxed load per site, which is why tracing can stay
+/// compiled into the hot path instead of behind a feature gate.
+fn bench_telemetry(c: &mut Criterion) {
+    use telemetry::{SpanRing, Stage};
+
+    let mut g = c.benchmark_group("telemetry");
+    let ring = SpanRing::new(8192, 8);
+    ring.set_enabled(true);
+    g.bench_function("span_record", |b| {
+        b.iter(|| {
+            let req = ring.mint_request();
+            let open = ring.begin(req, 0, Stage::Read).expect("ring enabled");
+            std::hint::black_box(ring.finish(open, 4096, 0))
+        });
+    });
+    let off = SpanRing::new(8192, 8);
+    g.bench_function("span_record_disabled", |b| {
+        b.iter(|| {
+            let req = off.mint_request();
+            std::hint::black_box(off.begin(req, 0, Stage::Read))
+        });
+    });
+    g.finish();
+}
+
 fn bench_gcsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gcsim");
     g.bench_function("write_with_gc_churn", |b| {
@@ -570,6 +621,7 @@ criterion_group!(
     bench_volume_write_read,
     bench_read_plane,
     bench_nbd,
+    bench_telemetry,
     bench_gcsim
 );
 

@@ -26,7 +26,9 @@
 //!
 //! # network serving plane (crates/nbd)
 //! lsvdctl serve         <bucket> <image> [--addr 127.0.0.1:10809] [--oneshot]
+//!                       [--metrics-addr 127.0.0.1:9090] [--blackbox-dir <dir>]
 //! lsvdctl nbd-roundtrip <bucket> <image>   # loopback smoke: serve + client
+//! lsvdctl blackbox      <file>             # render a flight-recorder dump
 //!
 //! # one cache SSD shared by many volumes (§3.1)
 //! lsvdctl host format <cache.img> <size>
@@ -35,10 +37,15 @@
 //! lsvdctl host attach <bucket> <cache.img> <image> <cache-size>
 //! lsvdctl host detach <bucket> <cache.img> <image>
 //!
-//! options: --cache <path>   cache file (default <image>.cache)
-//!          --cache-size <n> cache file size (default 256M)
-//!          --addr <a>       serve listen address (default 127.0.0.1:10809)
-//!          --oneshot        serve one connection, then shut down cleanly
+//! options: --cache <path>     cache file (default <image>.cache)
+//!          --cache-size <n>   cache file size (default 256M)
+//!          --addr <a>         serve listen address (default 127.0.0.1:10809)
+//!          --oneshot          serve one connection, then shut down cleanly
+//!          --metrics-addr <a> serve /metrics, /snapshot and /trace over HTTP;
+//!                             also enables request-span tracing
+//!          --blackbox-dir <d> arm the flight recorder: dump the span/event
+//!                             black box into <d> on terminal errors,
+//!                             connection aborts and panics
 //! ```
 //!
 //! Every command exits 0 on success and 1 with a message on stderr
@@ -86,6 +93,8 @@ struct Opts {
     cache_size: u64,
     addr: String,
     oneshot: bool,
+    metrics_addr: Option<String>,
+    blackbox_dir: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -94,6 +103,8 @@ fn parse_opts() -> Opts {
     let mut cache_size = 256 << 20;
     let mut addr = "127.0.0.1:10809".to_string();
     let mut oneshot = false;
+    let mut metrics_addr = None;
+    let mut blackbox_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -107,11 +118,22 @@ fn parse_opts() -> Opts {
             }
             "--addr" => addr = it.next().unwrap_or_else(|| die("--addr needs an address")),
             "--oneshot" => oneshot = true,
+            "--metrics-addr" => {
+                metrics_addr = Some(it.next().unwrap_or_else(|| {
+                    die("--metrics-addr needs an address (e.g. 127.0.0.1:9090)")
+                }))
+            }
+            "--blackbox-dir" => {
+                blackbox_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--blackbox-dir needs a directory")),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "see `lsvdctl` module docs; commands: create info ls write read fill trim \
                      check snapshot snapshots clone gc stats replicate gen-trace replay serve \
-                     nbd-roundtrip host"
+                     nbd-roundtrip blackbox host"
                 );
                 exit(0);
             }
@@ -124,6 +146,8 @@ fn parse_opts() -> Opts {
         cache_size,
         addr,
         oneshot,
+        metrics_addr,
+        blackbox_dir,
     }
 }
 
@@ -318,8 +342,67 @@ fn run(opts: &Opts) -> CmdResult {
         ["serve", bucket, image] => {
             let vol = open_volume(opts, bucket, image)?;
             let sv = SharedVolume::new(vol);
+            let spans = sv.span_ring();
+            // Observability riders: either flag turns span tracing on —
+            // the ring is sized for a sustained burst and costs nothing
+            // when idle, and both exporters are useless without spans.
+            if opts.metrics_addr.is_some() || opts.blackbox_dir.is_some() {
+                spans.set_enabled(true);
+            }
+            let recorder = match &opts.blackbox_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).map_err(|e| format!("blackbox dir {dir}: {e}"))?;
+                    let fingerprint = sv
+                        .with_volume(|v| {
+                            format!(
+                                "image={} uuid={:#018x} size={} cfg={:?}",
+                                v.image(),
+                                v.uuid(),
+                                v.size(),
+                                v.config()
+                            )
+                        })
+                        .map_err(|e| format!("fingerprint: {e}"))?;
+                    let rec = telemetry::FlightRecorder::new(
+                        spans.clone(),
+                        fingerprint,
+                        dir.clone(),
+                        1024,
+                        512,
+                    );
+                    // Mirror the volume's trace events into the black box
+                    // and catch panics anywhere in the process.
+                    let mirror = rec.clone();
+                    sv.with_volume(move |v| {
+                        v.set_trace_hook(Box::new(move |r| mirror.note_event(r)))
+                    })
+                    .map_err(|e| format!("trace hook: {e}"))?;
+                    rec.install_panic_hook();
+                    println!("flight recorder armed, dumping to {dir}");
+                    Some(rec)
+                }
+                None => None,
+            };
+            let _metrics = match &opts.metrics_addr {
+                Some(maddr) => {
+                    let msv = sv.clone();
+                    let server = telemetry::MetricsServer::start(
+                        maddr.as_str(),
+                        Box::new(move || msv.telemetry().ok()),
+                        spans.clone(),
+                    )
+                    .map_err(|e| format!("metrics {maddr}: {e}"))?;
+                    println!(
+                        "metrics at http://{0}/metrics, http://{0}/snapshot, http://{0}/trace",
+                        server.addr()
+                    );
+                    Some(server)
+                }
+                None => None,
+            };
             let cfg = ServerConfig {
                 oneshot: opts.oneshot,
+                recorder,
                 ..ServerConfig::default()
             };
             let handle = nbd::serve(&opts.addr, image, sv.clone(), cfg)
@@ -335,6 +418,13 @@ fn run(opts: &Opts) -> CmdResult {
             handle.join();
             sv.shutdown().map_err(|e| format!("shutdown: {e}"))?;
             println!("drained and checkpointed; clean shutdown");
+            Ok(())
+        }
+        ["blackbox", file] => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+            let rendered =
+                telemetry::render_blackbox(&text).map_err(|e| format!("render {file}: {e}"))?;
+            print!("{rendered}");
             Ok(())
         }
         ["nbd-roundtrip", bucket, image] => nbd_roundtrip(opts, bucket, image),
@@ -467,7 +557,7 @@ fn run(opts: &Opts) -> CmdResult {
         }
         _ => Err(
             "usage: lsvdctl <create|info|ls|write|read|fill|trim|check|snapshot|snapshots|clone|\
-             gc|stats|replicate|gen-trace|replay|serve|nbd-roundtrip|host> ... (--help)"
+             gc|stats|replicate|gen-trace|replay|serve|nbd-roundtrip|blackbox|host> ... (--help)"
                 .to_string(),
         ),
     }

@@ -47,7 +47,7 @@ use blkdev::BlockDevice;
 use bytes::Bytes;
 use objstore::ObjectStore;
 use parking_lot::{Condvar, Mutex, RwLock};
-use telemetry::LatencyRecorder;
+use telemetry::{LatencyRecorder, SpanRing, Stage};
 
 use crate::config::VolumeConfig;
 use crate::crc::{crc32c, crc32c_combine};
@@ -164,6 +164,10 @@ impl HdrCache {
 struct FetchSlot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Span id of the leader's `fetch_lead` span, so waiters can record
+    /// *which* fetch they joined. 0 when the leader's read is untraced
+    /// or a waiter races the leader's store — a benign "unknown leader".
+    leader_span: AtomicU64,
 }
 
 #[derive(Default)]
@@ -180,6 +184,7 @@ impl FetchSlot {
         FetchSlot {
             state: Mutex::new(SlotState::default()),
             cv: Condvar::new(),
+            leader_span: AtomicU64::new(0),
         }
     }
 
@@ -351,6 +356,9 @@ pub struct ReadPlane {
     inflight: Mutex<HashMap<ObjSeq, Arc<FetchSlot>>>,
     streams: Mutex<StreamTable>,
     counters: PlaneCounters,
+    /// The volume's request-span ring, shared so traced reads record
+    /// their `read` / `fetch_lead` / `fetch_join` hops.
+    spans: Arc<SpanRing>,
     /// Client read latency (whole-op, including fetches).
     pub(crate) read_lat: LatencyRecorder,
     /// Time spent acquiring the shared lock.
@@ -360,6 +368,7 @@ pub struct ReadPlane {
 }
 
 impl ReadPlane {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         dev: Arc<dyn BlockDevice>,
         store: Arc<dyn ObjectStore>,
@@ -368,6 +377,7 @@ impl ReadPlane {
         rcache: ReadCache,
         objmap: ObjectMap,
         pool: Option<Arc<WritebackPool>>,
+        spans: Arc<SpanRing>,
     ) -> ReadPlane {
         ReadPlane {
             size_sectors: sb.size_bytes / SECTOR,
@@ -387,6 +397,7 @@ impl ReadPlane {
             inflight: Mutex::new(HashMap::new()),
             streams: Mutex::new(StreamTable::new()),
             counters: PlaneCounters::default(),
+            spans,
             read_lat: LatencyRecorder::new(),
             shared_lock_wait: LatencyRecorder::new(),
             excl_lock_wait: LatencyRecorder::new(),
@@ -444,6 +455,32 @@ impl ReadPlane {
     /// cache, then backend; unwritten ranges read as zeros (Figure 1).
     /// Hits run entirely under the shared lock; fetches run with no lock.
     pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.read_into_traced(offset, buf, 0, 0)
+    }
+
+    /// [`ReadPlane::read_into`] on behalf of request `req` (0 = untraced):
+    /// records a `read` span covering the whole operation, with any
+    /// single-flight `fetch_lead`/`fetch_join` hops parented under it.
+    pub fn read_into_traced(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        req: u64,
+        parent: u64,
+    ) -> Result<()> {
+        let span = if req != 0 {
+            self.spans.begin(req, parent, Stage::Read)
+        } else {
+            None
+        };
+        let res = self.read_into_ctx(offset, buf, req, span.map_or(0, |s| s.id));
+        if let Some(open) = span {
+            self.spans.finish(open, offset / SECTOR, buf.len() as u64);
+        }
+        res
+    }
+
+    fn read_into_ctx(&self, offset: u64, buf: &mut [u8], req: u64, parent: u64) -> Result<()> {
         let (lba, sectors) = self.check_access(offset, buf.len())?;
         if buf.is_empty() {
             return Ok(());
@@ -485,7 +522,7 @@ impl ReadPlane {
             for m in rest.iter().rev() {
                 work.push((m.start, m.len, 1));
             }
-            match self.fetch_piece(first, bypass) {
+            match self.fetch_piece(first, bypass, req, parent) {
                 Ok(data) => {
                     let b = ((first.start - lba) * SECTOR) as usize;
                     let e = b + (first.len * SECTOR) as usize;
@@ -521,6 +558,20 @@ impl ReadPlane {
     pub fn read_bytes(&self, offset: u64, len: usize) -> Result<Bytes> {
         let mut buf = vec![0u8; len];
         self.read_into(offset, &mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    /// [`ReadPlane::read_bytes`] on behalf of request `req` (0 =
+    /// untraced).
+    pub fn read_bytes_traced(
+        &self,
+        offset: u64,
+        len: usize,
+        req: u64,
+        parent: u64,
+    ) -> Result<Bytes> {
+        let mut buf = vec![0u8; len];
+        self.read_into_traced(offset, &mut buf, req, parent)?;
         Ok(Bytes::from(buf))
     }
 
@@ -634,7 +685,11 @@ impl ReadPlane {
     /// Fetches one backend piece, single-flighted per object: concurrent
     /// misses on the same object share one ranged GET. Returns exactly the
     /// piece's bytes (a zero-copy slice of the fetched window).
-    fn fetch_piece(&self, piece: &MissPiece, bypass: bool) -> Result<Bytes> {
+    ///
+    /// Traced reads (`req != 0`) record a `fetch_lead` span when they
+    /// lead the GET and a `fetch_join` span (carrying the leader's span
+    /// id) when they park on another reader's fetch.
+    fn fetch_piece(&self, piece: &MissPiece, bypass: bool, req: u64, parent: u64) -> Result<Bytes> {
         loop {
             let slot = {
                 let mut infl = self.inflight.lock();
@@ -654,7 +709,17 @@ impl ReadPlane {
                     self.counters
                         .singleflight_waits
                         .fetch_add(1, Ordering::Relaxed);
-                    if let Some((win_lo, win_len, data)) = slot.wait() {
+                    let join = if req != 0 {
+                        self.spans.begin(req, parent, Stage::FetchJoin)
+                    } else {
+                        None
+                    };
+                    let window = slot.wait();
+                    if let Some(open) = join {
+                        let leader = slot.leader_span.load(Ordering::Relaxed);
+                        self.spans.finish(open, piece.loc.seq.into(), leader);
+                    }
+                    if let Some((win_lo, win_len, data)) = window {
                         let off = piece.loc.off as u64;
                         if off >= win_lo && off + piece.len <= win_lo + win_len {
                             self.counters
@@ -668,8 +733,19 @@ impl ReadPlane {
                     // slot is gone, so this iteration likely leads.
                 }
                 Ok(slot) => {
+                    let lead = if req != 0 {
+                        self.spans.begin(req, parent, Stage::FetchLead)
+                    } else {
+                        None
+                    };
+                    if let Some(open) = &lead {
+                        slot.leader_span.store(open.id, Ordering::Relaxed);
+                    }
                     let result = self.fetch_window(piece, bypass);
                     self.inflight.lock().remove(&piece.loc.seq);
+                    if let Some(open) = lead {
+                        self.spans.finish(open, piece.loc.seq.into(), 0);
+                    }
                     match result {
                         Ok((win_lo, data)) => {
                             let win_len = (data.len() as u64) / SECTOR;

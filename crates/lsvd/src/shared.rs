@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use telemetry::TelemetrySnapshot;
+use telemetry::{SpanRing, TelemetrySnapshot};
 
 use crate::read_plane::ReadPlane;
 use crate::types::{LsvdError, Result};
@@ -39,6 +39,9 @@ pub struct SharedVolume {
     inner: Arc<Mutex<Option<Volume>>>,
     /// The volume's read plane, shared so reads bypass the big mutex.
     plane: Arc<ReadPlane>,
+    /// The volume's request-span ring, shared so direct callers can mint
+    /// request ids (and exporters can drain spans) without the mutex.
+    spans: Arc<SpanRing>,
     /// Set by `shutdown` before the volume is torn down; checked by the
     /// lock-free read path so late reads fence exactly like mutations.
     closed: Arc<AtomicBool>,
@@ -51,12 +54,20 @@ impl SharedVolume {
     pub fn new(vol: Volume) -> SharedVolume {
         let size_bytes = vol.size();
         let plane = vol.read_plane();
+        let spans = vol.span_ring();
         SharedVolume {
             inner: Arc::new(Mutex::new(Some(vol))),
             plane,
+            spans,
             closed: Arc::new(AtomicBool::new(false)),
             size_bytes,
         }
+    }
+
+    /// The volume's request-span ring: serving planes mint request ids
+    /// from it, exporters snapshot/drain it — no volume lock either way.
+    pub fn span_ring(&self) -> Arc<SpanRing> {
+        self.spans.clone()
     }
 
     /// Virtual disk size in bytes.
@@ -84,31 +95,83 @@ impl SharedVolume {
     /// mutation does outside the plane's short exclusive sections. Does
     /// not touch the volume mutex.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        // Direct callers get their own request id (0 when tracing is off,
+        // which the traced path treats as "don't record").
+        self.read_traced(offset, buf, self.spans.mint_request(), 0)
+    }
+
+    /// [`SharedVolume::read`] under an existing request id: the serving
+    /// plane minted `req` at command decode and passes its dispatch span
+    /// as `parent`.
+    pub fn read_traced(&self, offset: u64, buf: &mut [u8], req: u64, parent: u64) -> Result<()> {
         self.check_open()?;
-        self.plane.read_into(offset, buf)
+        self.plane.read_into_traced(offset, buf, req, parent)
     }
 
     /// Like [`SharedVolume::read`], returning a freshly allocated
     /// [`Bytes`] the serving plane can hand straight to a socket writer —
     /// no copy from a volume buffer into a reply buffer.
     pub fn read_bytes(&self, offset: u64, len: usize) -> Result<Bytes> {
+        self.read_bytes_traced(offset, len, self.spans.mint_request(), 0)
+    }
+
+    /// [`SharedVolume::read_bytes`] under an existing request id.
+    pub fn read_bytes_traced(
+        &self,
+        offset: u64,
+        len: usize,
+        req: u64,
+        parent: u64,
+    ) -> Result<Bytes> {
         self.check_open()?;
-        self.plane.read_bytes(offset, len)
+        self.plane.read_bytes_traced(offset, len, req, parent)
     }
 
     /// Serialized [`Volume::write`].
     pub fn write(&self, offset: u64, data: &[u8]) -> Result<()> {
-        self.with(|v| v.write(offset, data))
+        self.write_traced(offset, data, self.spans.mint_request(), 0)
+    }
+
+    /// [`SharedVolume::write`] under an existing request id: sets the
+    /// volume's ambient span context for the duration of the call, so the
+    /// wlog-append hop records as a child of `parent`.
+    pub fn write_traced(&self, offset: u64, data: &[u8], req: u64, parent: u64) -> Result<()> {
+        self.with(|v| {
+            v.set_span_ctx(req, parent);
+            let res = v.write(offset, data);
+            v.set_span_ctx(0, 0);
+            res
+        })
     }
 
     /// Serialized [`Volume::flush`].
     pub fn flush(&self) -> Result<()> {
-        self.with(|v| v.flush())
+        self.flush_traced(self.spans.mint_request(), 0)
+    }
+
+    /// [`SharedVolume::flush`] under an existing request id.
+    pub fn flush_traced(&self, req: u64, parent: u64) -> Result<()> {
+        self.with(|v| {
+            v.set_span_ctx(req, parent);
+            let res = v.flush();
+            v.set_span_ctx(0, 0);
+            res
+        })
     }
 
     /// Serialized [`Volume::discard`].
     pub fn discard(&self, offset: u64, len: u64) -> Result<()> {
-        self.with(|v| v.discard(offset, len))
+        self.discard_traced(offset, len, self.spans.mint_request(), 0)
+    }
+
+    /// [`SharedVolume::discard`] under an existing request id.
+    pub fn discard_traced(&self, offset: u64, len: u64, req: u64, parent: u64) -> Result<()> {
+        self.with(|v| {
+            v.set_span_ctx(req, parent);
+            let res = v.discard(offset, len);
+            v.set_span_ctx(0, 0);
+            res
+        })
     }
 
     /// Serialized [`Volume::telemetry`].

@@ -29,9 +29,9 @@ use objstore::{
     MetricsHandle, MetricsStore, ObjError, ObjectStore, RetryCounters, RetryHandle, RetryStore,
 };
 use telemetry::{
-    CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, LatencyRecorder,
-    ReadPlaneTelemetry, RetryTelemetry, ServingRecorders, TelemetrySnapshot, TraceEvent,
-    TraceRecord, TraceRing, TraceTelemetry, WritebackTelemetry,
+    CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry, LatencyRecorder, OpenSpan,
+    ReadPlaneTelemetry, RetryTelemetry, ServingRecorders, SpanRing, SpanTelemetry, Stage,
+    TelemetrySnapshot, TraceEvent, TraceRecord, TraceRing, TraceTelemetry, WritebackTelemetry,
 };
 
 use crate::batch::BatchBuilder;
@@ -64,6 +64,13 @@ const MAX_WRITE_SECTORS: u64 = 2048; // 1 MiB
 /// chaos sweep's seal/PUT/frontier history fits without drops while the
 /// steady-state memory cost stays trivial (~40 B/event).
 const TRACE_RING_EVENTS: usize = 4096;
+
+/// Capacity and shard count of the request-span ring. Sharded by span id
+/// so NBD workers, the dispatcher and writeback completions never
+/// serialize on one mutex; 8 Ki spans cover several seconds of a busy
+/// 4-connection burst (each request records 2–5 spans).
+const SPAN_RING_CAPACITY: usize = 8192;
+const SPAN_RING_SHARDS: usize = 8;
 
 /// Result of attempting to drain the pending-batch queue.
 enum FlushOutcome {
@@ -216,6 +223,15 @@ pub struct Volume {
 
     read_only: bool,
     stats: VolumeStats,
+
+    /// Request-scoped span ring, shared with the read plane and any NBD
+    /// server exporting this volume. Disabled by default; enabling it
+    /// turns every traced entry point into a typed-span producer.
+    spans: Arc<SpanRing>,
+    /// Ambient request context `(req, parent span id)` for the *current*
+    /// mutating call. `SharedVolume` traced entry points set it around the
+    /// op and reset it to `(0, 0)`; `(0, 0)` means "untraced".
+    span_ctx: (u64, u64),
 }
 
 /// Foreground-side telemetry state. Everything here is touched only from
@@ -255,6 +271,11 @@ struct VolTelemetry {
     /// Serving-plane recorders, attached when an NBD server exports this
     /// volume; snapshotted into the aggregate telemetry.
     serving: Option<ServingRecorders>,
+    /// Open PUT span per in-flight object sequence, plus the retry count
+    /// accumulated so far (reported as the finished span's `arg_b`). A
+    /// retried PUT keeps its original span so the recorded duration covers
+    /// seal-to-durable, not just the last attempt.
+    put_spans: HashMap<ObjSeq, (OpenSpan, u64)>,
 }
 
 impl VolTelemetry {
@@ -274,6 +295,7 @@ impl VolTelemetry {
             copied_bytes: 0,
             get_verified_bytes: 0,
             serving: None,
+            put_spans: HashMap::new(),
         }
     }
 }
@@ -497,6 +519,7 @@ impl Volume {
                 let rcache = ReadCache::load(dev.clone(), c.rc_start, c.rc_sectors);
                 let pool =
                     WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new);
+                let spans = Arc::new(SpanRing::new(SPAN_RING_CAPACITY, SPAN_RING_SHARDS));
                 let plane = Arc::new(ReadPlane::new(
                     dev.clone(),
                     stack.store.clone(),
@@ -505,6 +528,7 @@ impl Volume {
                     rcache,
                     rb.objmap,
                     pool.clone(),
+                    spans.clone(),
                 ));
                 let mut vol = Volume {
                     store: stack.store,
@@ -534,6 +558,8 @@ impl Volume {
                     pending_trims: Vec::new(),
                     read_only: false,
                     stats: VolumeStats::default(),
+                    spans,
+                    span_ctx: (0, 0),
                 };
                 vol.replay_cache_tail(pending)?;
                 Ok(vol)
@@ -622,6 +648,7 @@ impl Volume {
         let rcache = ReadCache::new(dev.clone(), rc_start, rc_sectors);
         dev.flush()?;
         let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new);
+        let spans = Arc::new(SpanRing::new(SPAN_RING_CAPACITY, SPAN_RING_SHARDS));
         let plane = Arc::new(ReadPlane::new(
             dev.clone(),
             stack.store.clone(),
@@ -630,6 +657,7 @@ impl Volume {
             rcache,
             objmap,
             pool.clone(),
+            spans.clone(),
         ));
         Ok(Volume {
             store: stack.store,
@@ -659,6 +687,8 @@ impl Volume {
             pending_trims: Vec::new(),
             read_only: false,
             stats: VolumeStats::default(),
+            spans,
+            span_ctx: (0, 0),
         })
     }
 
@@ -830,6 +860,12 @@ impl Volume {
                 return Err(LsvdError::CacheFull);
             }
         }
+        let (req, parent) = self.span_ctx;
+        let span = if req != 0 {
+            self.spans.begin(req, parent, Stage::WlogAppend)
+        } else {
+            None
+        };
         let appended = self.wlog.append(&[(lba, data)])?;
         {
             let mut st = self.plane.write_state();
@@ -845,6 +881,11 @@ impl Volume {
         self.tel.copied_bytes += data.len() as u64;
         self.batch
             .add_with_crc(lba, data, appended.seq, appended.crcs[0]);
+        if let Some(open) = span {
+            // `arg_a` = cache sequence: the data-join key against the
+            // covering seal span, whose `arg_b` is its last cache seq.
+            self.spans.finish(open, appended.seq, data.len() as u64);
+        }
         if self.batch.live_bytes() >= self.cfg.batch_bytes
             && self.writeback_backlog() < self.cfg.max_pending_batches
         {
@@ -857,10 +898,19 @@ impl Volume {
     /// the cache device when this returns — one flush, no metadata writes
     /// (§3.2).
     pub fn flush(&mut self) -> Result<()> {
+        let (req, parent) = self.span_ctx;
+        let span = if req != 0 {
+            self.spans.begin(req, parent, Stage::Flush)
+        } else {
+            None
+        };
         let t0 = Instant::now();
         self.wlog.flush()?;
         self.tel.flush_lat.observe(t0.elapsed());
         self.stats.flushes += 1;
+        if let Some(open) = span {
+            self.spans.finish(open, 0, 0);
+        }
         Ok(())
     }
 
@@ -884,6 +934,12 @@ impl Volume {
         if self.pool.is_some() {
             self.pump_pipeline(false)?;
         }
+        let (req, parent) = self.span_ctx;
+        let span = if req != 0 {
+            self.spans.begin(req, parent, Stage::Trim)
+        } else {
+            None
+        };
         // A trim record is a single header sector; extent lengths are u32
         // sectors, so split pathological multi-TiB trims.
         let mut cur = lba;
@@ -897,6 +953,9 @@ impl Volume {
         self.stats.trims += 1;
         self.stats.trim_sectors += sectors;
         self.trace(TraceEvent::Trim { lba, sectors });
+        if let Some(open) = span {
+            self.spans.finish(open, lba, sectors);
+        }
         Ok(())
     }
 
@@ -1065,6 +1124,7 @@ impl Volume {
                 Ok(()) => {
                     self.put_stalled = false;
                     self.trace(TraceEvent::PutDone { seq: seq.into() });
+                    self.finish_put_span(seq);
                     self.record_put_timing(seq, c.service);
                     self.landed.insert(seq, sealed);
                     // Only the gap-free prefix may touch metadata: apply
@@ -1079,6 +1139,9 @@ impl Volume {
                     self.stats.put_transient_failures += 1;
                     self.put_stalled = true;
                     self.trace(TraceEvent::PutRetry { seq: seq.into() });
+                    if let Some(entry) = self.tel.put_spans.get_mut(&seq) {
+                        entry.1 += 1;
+                    }
                     // Requeue at its sequence position. FIFO visibility is
                     // safe: nothing at or beyond this sequence can apply
                     // until its PUT eventually lands.
@@ -1088,6 +1151,7 @@ impl Volume {
                 }
                 Err(e) => {
                     self.trace(TraceEvent::PutAbort { seq: seq.into() });
+                    self.finish_put_span(seq);
                     return Err(e.into());
                 }
             }
@@ -1109,6 +1173,11 @@ impl Volume {
             let (seq, sealed) = self.pending_puts.pop_front().expect("checked nonempty");
             let name = self.resolve_name(seq);
             self.trace(TraceEvent::PutStart { seq: seq.into() });
+            // `or_insert` keeps the original span across requeues so its
+            // duration spans first submit → durable, not the last attempt.
+            if let Some(open) = self.spans.begin(0, 0, Stage::Put) {
+                self.tel.put_spans.entry(seq).or_insert((open, 0));
+            }
             self.pool
                 .as_ref()
                 .expect("pipelined")
@@ -1126,6 +1195,7 @@ impl Volume {
         self.next_obj_seq = seq + 1;
         let sealed = self.batch.seal(self.sb.uuid, seq);
         let bytes = sealed.object.len() as u64;
+        let last_cache_seq = sealed.last_cache_seq;
         self.tel.crc_recomputed_bytes += sealed.crc_recomputed_bytes;
         self.tel.crc_combine_ops += sealed.crc_combine_ops;
         self.tel.copied_bytes += sealed.data_bytes;
@@ -1135,6 +1205,11 @@ impl Volume {
             seq: seq.into(),
             bytes,
         });
+        // Pipeline span, req 0 by design: requests join it through the
+        // data key — a wlog span with `arg_a` (cache seq) ≤ this span's
+        // `arg_b` (last cache seq) was carried by this object.
+        self.spans
+            .instant(0, 0, Stage::BatchSeal, seq.into(), last_cache_seq);
     }
 
     /// Ships queued batches oldest-first. A transient backend failure
@@ -1152,10 +1227,14 @@ impl Volume {
                 return Ok(FlushOutcome::Drained);
             };
             self.trace(TraceEvent::PutStart { seq: seq.into() });
+            if let Some(open) = self.spans.begin(0, 0, Stage::Put) {
+                self.tel.put_spans.entry(seq).or_insert((open, 0));
+            }
             let t0 = Instant::now();
             match self.store.put(&self.resolve_name(seq), obj) {
                 Ok(()) => {
                     self.trace(TraceEvent::PutDone { seq: seq.into() });
+                    self.finish_put_span(seq);
                     self.record_put_timing(seq, t0.elapsed());
                     let (seq, sealed) = self.pending_puts.pop_front().expect("checked nonempty");
                     self.finish_put(seq, sealed)?;
@@ -1163,11 +1242,15 @@ impl Volume {
                 Err(e) if e.is_transient() => {
                     self.stats.put_transient_failures += 1;
                     self.trace(TraceEvent::PutRetry { seq: seq.into() });
+                    if let Some(entry) = self.tel.put_spans.get_mut(&seq) {
+                        entry.1 += 1;
+                    }
                     self.note_degraded_edge();
                     return Ok(FlushOutcome::Stalled(e));
                 }
                 Err(e) => {
                     self.trace(TraceEvent::PutAbort { seq: seq.into() });
+                    self.finish_put_span(seq);
                     return Err(e.into());
                 }
             }
@@ -1203,6 +1286,14 @@ impl Volume {
         self.flush_pending().map(|_| ())
     }
 
+    /// Closes the open PUT span for `seq` (if tracing was on when it was
+    /// submitted): `arg_a` = object sequence, `arg_b` = retries absorbed.
+    fn finish_put_span(&mut self, seq: ObjSeq) {
+        if let Some((open, retries)) = self.tel.put_spans.remove(&seq) {
+            self.spans.finish(open, seq.into(), retries);
+        }
+    }
+
     fn finish_put(&mut self, seq: ObjSeq, sealed: crate::batch::SealedBatch) -> Result<()> {
         debug_assert_eq!(seq, self.last_seq + 1, "applied out of prefix order");
         self.last_seq = seq;
@@ -1212,6 +1303,8 @@ impl Volume {
             self.durable.advance_past(seq);
         }
         self.trace(TraceEvent::FrontierAdvance { seq: seq.into() });
+        self.spans
+            .instant(0, 0, Stage::FrontierAdvance, seq.into(), 0);
         self.stats.backend_puts += 1;
         self.stats.backend_put_bytes += sealed.object.len() as u64;
         self.stats.merged_bytes += sealed.merged_bytes;
@@ -1859,7 +1952,28 @@ impl Volume {
                 dropped: self.tel.trace.dropped(),
                 capacity: self.tel.trace.capacity() as u64,
             },
+            spans: SpanTelemetry {
+                recorded: self.spans.recorded(),
+                dropped: self.spans.dropped(),
+                capacity: self.spans.capacity() as u64,
+                requests: self.spans.virt(),
+                enabled: self.spans.enabled(),
+            },
         }
+    }
+
+    /// The request-span ring, shared with the read plane. The NBD server
+    /// and metrics exporter hold this to mint request ids and export
+    /// Chrome-trace JSON without taking the volume lock.
+    pub fn span_ring(&self) -> Arc<SpanRing> {
+        self.spans.clone()
+    }
+
+    /// Sets the ambient request context `(request id, parent span id)`
+    /// consumed by the next mutating call (write / flush / discard).
+    /// `(0, 0)` — the initial state — means "untraced".
+    pub fn set_span_ctx(&mut self, req: u64, parent: u64) {
+        self.span_ctx = (req, parent);
     }
 
     /// Drains and returns the structured I/O trace ring (oldest first).

@@ -45,7 +45,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use lsvd::shared::SharedVolume;
 use lsvd::LsvdError;
-use telemetry::{ServingRecorders, TraceEvent};
+use telemetry::{FlightRecorder, ServingRecorders, SpanRing, Stage, TraceEvent};
 
 use crate::proto::*;
 
@@ -62,6 +62,9 @@ pub struct ServerConfig {
     pub window: usize,
     /// Serve exactly one connection, then stop (CI smoke / tests).
     pub oneshot: bool,
+    /// Flight recorder to dump on terminal I/O errors and connection
+    /// aborts (the serving plane's black-box triggers). `None` disables.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +73,7 @@ impl Default for ServerConfig {
             read_workers: 4,
             window: 32,
             oneshot: false,
+            recorder: None,
         }
     }
 }
@@ -111,6 +115,11 @@ struct Shared {
     volume: SharedVolume,
     export: String,
     rec: ServingRecorders,
+    /// The volume's request-span ring: request ids are minted here at
+    /// command decode and flow through the scheduler into the volume.
+    spans: Arc<SpanRing>,
+    /// Optional black box dumped on terminal errors / connection aborts.
+    recorder: Option<Arc<FlightRecorder>>,
     stop: AtomicBool,
     ordered: Lane,
     concurrent: Lane,
@@ -167,6 +176,12 @@ struct Job {
     /// Clone of the connection's reply channel; the writer thread exits
     /// when the reader's original and every job's clone are gone.
     reply_tx: mpsc::Sender<Reply>,
+    /// Request id minted at command decode; 0 when tracing is off.
+    req_id: u64,
+    /// Span id of the decode span, parent of the dispatch span.
+    parent_span: u64,
+    /// Connection id, recorded on the dispatch span for per-conn tracks.
+    conn_id: u64,
 }
 
 /// A running NBD server. Dropping the handle does *not* stop it; call
@@ -237,10 +252,13 @@ pub fn serve(
     volume
         .with_volume(|v| v.attach_serving_telemetry(rec.clone()))
         .map_err(|e| io::Error::other(e.to_string()))?;
+    let spans = volume.span_ring();
     let shared = Arc::new(Shared {
         volume,
         export: export.to_string(),
         rec,
+        spans,
+        recorder: cfg.recorder.clone(),
         stop: AtomicBool::new(false),
         ordered: Lane::new(),
         concurrent: Lane::new(),
@@ -422,7 +440,14 @@ fn run_connection(shared: Arc<Shared>, mut stream: TcpStream, window: usize) -> 
         })
     };
 
-    let res = read_requests(&shared, &mut stream, &conn, &reply_tx);
+    let res = read_requests(&shared, &mut stream, &conn, &reply_tx, id);
+    if res.is_err() && !shared.stopping() {
+        // A protocol violation killed the connection: snapshot the black
+        // box while the evidence (recent spans + trace events) is fresh.
+        if let Some(rec) = &shared.recorder {
+            let _ = rec.dump("conn-abort");
+        }
+    }
 
     // Drop our sender; the writer exits once in-flight jobs (each holding
     // a sender clone) have posted their replies.
@@ -442,6 +467,7 @@ fn read_requests(
     stream: &mut TcpStream,
     conn: &Arc<Conn>,
     reply_tx: &mpsc::Sender<Reply>,
+    conn_id: u64,
 ) -> io::Result<()> {
     loop {
         let mut hdr = [0u8; REQUEST_LEN];
@@ -460,6 +486,15 @@ fn read_requests(
                 "bad request magic",
             ));
         };
+        // The request id is minted here, at command decode — the root of
+        // this request's span tree. The decode span covers payload intake,
+        // the request's first socket-bound hop.
+        let req_id = shared.spans.mint_request();
+        let decode = if req_id != 0 {
+            shared.spans.begin(req_id, 0, Stage::Decode)
+        } else {
+            None
+        };
         let mut data = Vec::new();
         if req.cmd == CMD_WRITE {
             // The payload must be consumed even if the request will be
@@ -471,6 +506,11 @@ fn read_requests(
                 .socket_wait
                 .record_ns(t0.elapsed().as_nanos() as u64);
         }
+        let decode_id = decode.map_or(0, |open| {
+            shared
+                .spans
+                .finish(open, u64::from(req.cmd), u64::from(req.length))
+        });
         if req.cmd == CMD_DISC {
             return Ok(());
         }
@@ -484,6 +524,9 @@ fn read_requests(
             enqueued: Instant::now(),
             conn: conn.clone(),
             reply_tx: reply_tx.clone(),
+            req_id,
+            parent_span: decode_id,
+            conn_id,
         };
         match req.cmd {
             CMD_READ => shared.concurrent.push(job),
@@ -507,6 +550,16 @@ fn execute(shared: &Shared, job: Job) {
         .queue_wait
         .record_ns(job.enqueued.elapsed().as_nanos() as u64);
     let fua = job.req.flags & CMD_FLAG_FUA != 0;
+    // Dispatch span: queue wait is behind us, so this covers lane pickup
+    // through volume completion. Its id is the parent every volume-side
+    // hop (read / wlog append / flush / trim) hangs off.
+    let req = job.req_id;
+    let dispatch = if req != 0 {
+        shared.spans.begin(req, job.parent_span, Stage::Dispatch)
+    } else {
+        None
+    };
+    let parent = dispatch.map_or(0, |open| open.id);
     let t0 = Instant::now();
     let (error, data) = match job.req.cmd {
         CMD_READ => {
@@ -517,10 +570,12 @@ fn execute(shared: &Shared, job: Job) {
                 // Lock-free lane into the volume's read plane: cache hits
                 // run under its shared lock, concurrently across workers,
                 // and the payload goes to the writer thread as-is.
-                match shared
-                    .volume
-                    .read_bytes(job.req.offset, job.req.length as usize)
-                {
+                match shared.volume.read_bytes_traced(
+                    job.req.offset,
+                    job.req.length as usize,
+                    req,
+                    parent,
+                ) {
                     Ok(data) => (0, data),
                     Err(e) => (errno_of(&e), Bytes::new()),
                 }
@@ -537,11 +592,11 @@ fn execute(shared: &Shared, job: Job) {
             } else {
                 shared
                     .volume
-                    .write(job.req.offset, &job.data)
+                    .write_traced(job.req.offset, &job.data, req, parent)
                     .and_then(|()| {
                         if fua {
                             shared.rec.count_flush();
-                            shared.volume.flush()
+                            shared.volume.flush_traced(req, parent)
                         } else {
                             Ok(())
                         }
@@ -551,7 +606,7 @@ fn execute(shared: &Shared, job: Job) {
         }
         CMD_FLUSH => {
             shared.rec.count_flush();
-            let res = shared.volume.flush();
+            let res = shared.volume.flush_traced(req, parent);
             (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         CMD_TRIM => {
@@ -565,11 +620,11 @@ fn execute(shared: &Shared, job: Job) {
             } else {
                 shared
                     .volume
-                    .discard(job.req.offset, job.req.length as u64)
+                    .discard_traced(job.req.offset, job.req.length as u64, req, parent)
                     .and_then(|()| {
                         if fua {
                             shared.rec.count_flush();
-                            shared.volume.flush()
+                            shared.volume.flush_traced(req, parent)
                         } else {
                             Ok(())
                         }
@@ -583,8 +638,18 @@ fn execute(shared: &Shared, job: Job) {
         }
     };
     shared.rec.service.record_ns(t0.elapsed().as_nanos() as u64);
+    if let Some(open) = dispatch {
+        shared.spans.finish(open, u64::from(error), job.conn_id);
+    }
     if error != 0 {
         shared.rec.count_error();
+    }
+    if error == EIO {
+        // EIO is the serving plane's "terminal volume error" mapping
+        // (backend gave up, state torn): dump the black box.
+        if let Some(rec) = &shared.recorder {
+            let _ = rec.dump("terminal-error");
+        }
     }
     // A send can only fail if the writer is gone (connection torn down);
     // release the slot ourselves so accounting stays balanced.

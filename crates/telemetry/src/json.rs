@@ -67,6 +67,14 @@ impl Json {
         }
     }
 
+    /// Element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Renders to compact JSON text.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -26,20 +26,26 @@
 //! vendored stubs) so that any layer — `objstore` middleware, the volume,
 //! the sim plane, benches, the CLI — can use it without dependency cycles.
 
+pub mod blackbox;
+pub mod http;
 pub mod json;
 pub mod recorder;
 pub mod serving;
 pub mod sketch;
 pub mod snapshot;
+pub mod span;
 pub mod trace;
 
+pub use blackbox::{render_blackbox, FlightRecorder, BLACKBOX_SCHEMA};
+pub use http::{MetricsServer, SnapshotFn};
 pub use json::Json;
 pub use recorder::{LatencyRecorder, LatencySnapshot};
 pub use serving::ServingRecorders;
 pub use sketch::Summary;
 pub use snapshot::{
     BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry,
-    ReadPlaneTelemetry, RetryTelemetry, ServingTelemetry, TelemetrySnapshot, TraceTelemetry,
-    WritebackTelemetry, SCHEMA,
+    ReadPlaneTelemetry, RetryTelemetry, ServingTelemetry, SpanTelemetry, TelemetrySnapshot,
+    TraceTelemetry, WritebackTelemetry, SCHEMA,
 };
+pub use span::{OpenSpan, Span, SpanRing, Stage};
 pub use trace::{TraceEvent, TraceHook, TraceRecord, TraceRing};

@@ -14,7 +14,10 @@ use crate::recorder::LatencySnapshot;
 
 /// Schema identifier stamped into every JSON snapshot; bump on breaking
 /// layout changes. CI validates emitted snapshots against this.
-pub const SCHEMA: &str = "lsvd-telemetry-v1";
+///
+/// v2 adds the `spans` section (request-scoped span ring occupancy) next
+/// to the v1 sections.
+pub const SCHEMA: &str = "lsvd-telemetry-v2";
 
 /// Client-facing op latencies (what the guest "sees").
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -234,6 +237,21 @@ pub struct TraceTelemetry {
     pub capacity: u64,
 }
 
+/// Span-ring occupancy counters (the request-scoped tracing layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanTelemetry {
+    /// Spans ever recorded.
+    pub recorded: u64,
+    /// Spans evicted to make room.
+    pub dropped: u64,
+    /// Ring capacity across all shards.
+    pub capacity: u64,
+    /// Request ids minted so far (the virtual clock).
+    pub requests: u64,
+    /// Whether span recording is currently enabled.
+    pub enabled: bool,
+}
+
 /// The aggregate snapshot: everything observable about a running volume.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TelemetrySnapshot {
@@ -259,6 +277,8 @@ pub struct TelemetrySnapshot {
     pub serving: ServingTelemetry,
     /// Trace-ring occupancy.
     pub trace: TraceTelemetry,
+    /// Span-ring occupancy (request-scoped tracing).
+    pub spans: SpanTelemetry,
 }
 
 fn lat_json(l: &LatencySnapshot) -> Json {
@@ -548,6 +568,16 @@ impl TelemetrySnapshot {
                     ("capacity".into(), Json::Num(self.trace.capacity as f64)),
                 ]),
             ),
+            (
+                "spans".into(),
+                Json::Obj(vec![
+                    ("recorded".into(), Json::Num(self.spans.recorded as f64)),
+                    ("dropped".into(), Json::Num(self.spans.dropped as f64)),
+                    ("capacity".into(), Json::Num(self.spans.capacity as f64)),
+                    ("requests".into(), Json::Num(self.spans.requests as f64)),
+                    ("enabled".into(), Json::Bool(self.spans.enabled)),
+                ]),
+            ),
         ])
     }
 
@@ -568,6 +598,7 @@ impl TelemetrySnapshot {
         let rp = j.get("read_plane");
         let serving = j.get("serving");
         let trace = j.get("trace");
+        let spans = j.get("spans");
         fn sub<'a>(parent: Option<&'a Json>, key: &str) -> Option<&'a Json> {
             parent.and_then(|p| p.get(key))
         }
@@ -670,205 +701,414 @@ impl TelemetrySnapshot {
                 dropped: trace.map_or(0, |t| num_u64(t, "dropped")),
                 capacity: trace.map_or(0, |t| num_u64(t, "capacity")),
             },
+            spans: SpanTelemetry {
+                recorded: spans.map_or(0, |s| num_u64(s, "recorded")),
+                dropped: spans.map_or(0, |s| num_u64(s, "dropped")),
+                capacity: spans.map_or(0, |s| num_u64(s, "capacity")),
+                requests: spans.map_or(0, |s| num_u64(s, "requests")),
+                enabled: spans.is_some_and(|s| flag(s, "enabled")),
+            },
         })
     }
 
-    /// Renders Prometheus-style exposition text (`lsvd_*` gauges).
+    /// Renders Prometheus text exposition. Every metric carries `# HELP`
+    /// and `# TYPE` lines; counters are suffixed `_total` (except the
+    /// `_count` series of latency families, which follow the
+    /// histogram/summary `_count` convention) and gauges keep plain
+    /// names.
     pub fn to_prometheus(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let mut gauge = |name: &str, v: f64| {
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
-                let _ = writeln!(out, "{name} {}", v as i64);
-            } else {
-                let _ = writeln!(out, "{name} {v}");
-            }
-        };
-        let lat = |gauge: &mut dyn FnMut(&str, f64), prefix: &str, l: &LatencySnapshot| {
-            gauge(&format!("{prefix}_count"), l.count as f64);
-            gauge(&format!("{prefix}_mean_ns"), l.mean_ns);
-            gauge(&format!("{prefix}_p50_ns"), l.p50_ns);
-            gauge(&format!("{prefix}_p99_ns"), l.p99_ns);
-            gauge(&format!("{prefix}_max_ns"), l.max_ns);
-        };
-        gauge("lsvd_elapsed_secs", self.elapsed_secs);
-        lat(&mut gauge, "lsvd_op_read", &self.ops.read);
-        lat(&mut gauge, "lsvd_op_write", &self.ops.write);
-        lat(&mut gauge, "lsvd_op_flush", &self.ops.flush);
-        lat(&mut gauge, "lsvd_backend_put", &self.backend.put);
-        lat(&mut gauge, "lsvd_backend_get", &self.backend.get);
-        lat(&mut gauge, "lsvd_backend_head", &self.backend.head);
-        lat(&mut gauge, "lsvd_backend_list", &self.backend.list);
-        lat(&mut gauge, "lsvd_backend_delete", &self.backend.delete);
-        gauge("lsvd_backend_put_bytes", self.backend.put_bytes as f64);
-        gauge("lsvd_backend_get_bytes", self.backend.get_bytes as f64);
-        gauge("lsvd_backend_errors", self.backend.errors as f64);
-        gauge(
-            "lsvd_backend_transient_errors",
+        let mut w = Prom::default();
+        w.gauge(
+            "lsvd_elapsed_secs",
+            "Wall-clock seconds since the volume's telemetry started.",
+            self.elapsed_secs,
+        );
+        w.lat("lsvd_op_read", "Client read latency", &self.ops.read);
+        w.lat("lsvd_op_write", "Client write latency", &self.ops.write);
+        w.lat("lsvd_op_flush", "Client flush latency", &self.ops.flush);
+        w.lat("lsvd_backend_put", "Backend PUT latency", &self.backend.put);
+        w.lat("lsvd_backend_get", "Backend GET latency", &self.backend.get);
+        w.lat(
+            "lsvd_backend_head",
+            "Backend HEAD latency",
+            &self.backend.head,
+        );
+        w.lat(
+            "lsvd_backend_list",
+            "Backend LIST latency",
+            &self.backend.list,
+        );
+        w.lat(
+            "lsvd_backend_delete",
+            "Backend DELETE latency",
+            &self.backend.delete,
+        );
+        w.counter(
+            "lsvd_backend_put_bytes_total",
+            "Bytes uploaded by backend PUTs.",
+            self.backend.put_bytes as f64,
+        );
+        w.counter(
+            "lsvd_backend_get_bytes_total",
+            "Bytes downloaded by backend GETs.",
+            self.backend.get_bytes as f64,
+        );
+        w.counter(
+            "lsvd_backend_errors_total",
+            "Backend ops that returned an error.",
+            self.backend.errors as f64,
+        );
+        w.counter(
+            "lsvd_backend_transient_errors_total",
+            "Backend errors classified transient (retryable).",
             self.backend.transient_errors as f64,
         );
-        lat(
-            &mut gauge,
+        w.lat(
             "lsvd_wb_put_service",
+            "Writeback PUT service time",
             &self.writeback.put_service,
         );
-        lat(
-            &mut gauge,
+        w.lat(
             "lsvd_wb_put_queue_wait",
+            "Writeback PUT queue wait",
             &self.writeback.put_queue_wait,
         );
-        gauge("lsvd_wb_queued", self.writeback.queued as f64);
-        gauge("lsvd_wb_inflight", self.writeback.inflight as f64);
-        gauge("lsvd_wb_landed_gapped", self.writeback.landed_gapped as f64);
-        gauge("lsvd_wb_window", self.writeback.window as f64);
-        gauge("lsvd_wb_occupancy", self.writeback.occupancy);
-        gauge("lsvd_wb_sealed_seq", self.writeback.sealed_seq as f64);
-        gauge(
+        w.gauge(
+            "lsvd_wb_queued",
+            "Sealed batches waiting to enter the in-flight window.",
+            self.writeback.queued as f64,
+        );
+        w.gauge(
+            "lsvd_wb_inflight",
+            "Backend PUTs currently in flight.",
+            self.writeback.inflight as f64,
+        );
+        w.gauge(
+            "lsvd_wb_landed_gapped",
+            "Batches landed out of order, awaiting the durable frontier.",
+            self.writeback.landed_gapped as f64,
+        );
+        w.gauge(
+            "lsvd_wb_window",
+            "Configured in-flight PUT window (0 = serial writeback).",
+            self.writeback.window as f64,
+        );
+        w.gauge(
+            "lsvd_wb_occupancy",
+            "In-flight PUTs as a fraction of the window.",
+            self.writeback.occupancy,
+        );
+        w.gauge(
+            "lsvd_wb_sealed_seq",
+            "Highest object sequence sealed so far.",
+            self.writeback.sealed_seq as f64,
+        );
+        w.gauge(
             "lsvd_wb_durable_frontier",
+            "Durable frontier: all objects at or below this are durable.",
             self.writeback.durable_frontier as f64,
         );
-        gauge("lsvd_wb_frontier_lag", self.writeback.frontier_lag as f64);
-        gauge(
+        w.gauge(
+            "lsvd_wb_frontier_lag",
+            "Sealed batches not yet covered by the durable frontier.",
+            self.writeback.frontier_lag as f64,
+        );
+        w.gauge(
             "lsvd_wb_degraded",
+            "1 while the volume is in degraded (backpressure) mode.",
             if self.writeback.degraded { 1.0 } else { 0.0 },
         );
-        gauge(
-            "lsvd_wb_put_transient_failures",
+        w.counter(
+            "lsvd_wb_put_transient_failures_total",
+            "Transient PUT failures requeued by the pipeline.",
             self.writeback.put_transient_failures as f64,
         );
-        gauge(
-            "lsvd_wb_backpressure_rejections",
+        w.counter(
+            "lsvd_wb_backpressure_rejections_total",
+            "Writes rejected with Backpressure while degraded.",
             self.writeback.backpressure_rejections as f64,
         );
-        gauge("lsvd_cache_hdr_hits", self.cache.hdr_hits as f64);
-        gauge("lsvd_cache_hdr_misses", self.cache.hdr_misses as f64);
-        gauge("lsvd_cache_hdr_evictions", self.cache.hdr_evictions as f64);
-        gauge(
-            "lsvd_rcache_hit_sectors",
+        w.counter(
+            "lsvd_cache_hdr_hits_total",
+            "Backend object-header cache hits.",
+            self.cache.hdr_hits as f64,
+        );
+        w.counter(
+            "lsvd_cache_hdr_misses_total",
+            "Backend object-header cache misses.",
+            self.cache.hdr_misses as f64,
+        );
+        w.counter(
+            "lsvd_cache_hdr_evictions_total",
+            "Backend object-header cache evictions.",
+            self.cache.hdr_evictions as f64,
+        );
+        w.counter(
+            "lsvd_rcache_hit_sectors_total",
+            "Read-cache sector hits.",
             self.cache.rcache_hit_sectors as f64,
         );
-        gauge(
-            "lsvd_rcache_miss_sectors",
+        w.counter(
+            "lsvd_rcache_miss_sectors_total",
+            "Read-cache sector misses.",
             self.cache.rcache_miss_sectors as f64,
         );
-        gauge(
-            "lsvd_rcache_inserted_sectors",
+        w.counter(
+            "lsvd_rcache_inserted_sectors_total",
+            "Sectors inserted into the read cache.",
             self.cache.rcache_inserted_sectors as f64,
         );
-        gauge(
-            "lsvd_rcache_evicted_sectors",
+        w.counter(
+            "lsvd_rcache_evicted_sectors_total",
+            "Sectors evicted from the read cache.",
             self.cache.rcache_evicted_sectors as f64,
         );
-        gauge("lsvd_rcache_hit_ratio", self.cache.rcache_hit_ratio);
-        gauge(
+        w.gauge(
+            "lsvd_rcache_hit_ratio",
+            "Read-cache sector hit ratio.",
+            self.cache.rcache_hit_ratio,
+        );
+        w.gauge(
             "lsvd_wlog_used_sectors",
+            "Write-log sectors currently occupied.",
             self.cache.wlog_used_sectors as f64,
         );
-        gauge(
+        w.gauge(
             "lsvd_wlog_capacity_sectors",
+            "Write-log capacity in sectors.",
             self.cache.wlog_capacity_sectors as f64,
         );
-        gauge("lsvd_retry_attempts", self.retry.attempts as f64);
-        gauge("lsvd_retry_retries", self.retry.retries as f64);
-        gauge("lsvd_retry_give_ups", self.retry.give_ups as f64);
-        gauge("lsvd_retry_backoff_ns", self.retry.backoff_ns as f64);
-        gauge("lsvd_write_amplification", self.derived.write_amplification);
-        gauge("lsvd_backend_objects", self.derived.backend_objects as f64);
-        gauge(
+        w.counter(
+            "lsvd_retry_attempts_total",
+            "Backend op attempts (first tries plus retries).",
+            self.retry.attempts as f64,
+        );
+        w.counter(
+            "lsvd_retry_retries_total",
+            "Retries after a transient backend failure.",
+            self.retry.retries as f64,
+        );
+        w.counter(
+            "lsvd_retry_give_ups_total",
+            "Ops abandoned after exhausting the retry budget.",
+            self.retry.give_ups as f64,
+        );
+        w.counter(
+            "lsvd_retry_backoff_ns_total",
+            "Total retry backoff applied, nanoseconds.",
+            self.retry.backoff_ns as f64,
+        );
+        w.gauge(
+            "lsvd_write_amplification",
+            "Backend bytes written over client bytes written.",
+            self.derived.write_amplification,
+        );
+        w.counter(
+            "lsvd_backend_objects_total",
+            "Backend objects written (batches plus GC rewrites).",
+            self.derived.backend_objects as f64,
+        );
+        w.gauge(
             "lsvd_backend_objects_per_sec",
+            "Backend objects written per wall-clock second.",
             self.derived.backend_objects_per_sec,
         );
-        gauge("lsvd_gc_dead_space_ratio", self.derived.gc_dead_space_ratio);
-        gauge("lsvd_checkpoints", self.derived.checkpoints as f64);
-        gauge(
-            "lsvd_dp_payload_crc_bytes",
+        w.gauge(
+            "lsvd_gc_dead_space_ratio",
+            "Dead bytes over total bytes across live backend objects.",
+            self.derived.gc_dead_space_ratio,
+        );
+        w.counter(
+            "lsvd_checkpoints_total",
+            "Checkpoints written.",
+            self.derived.checkpoints as f64,
+        );
+        w.counter(
+            "lsvd_dp_payload_crc_bytes_total",
+            "Payload bytes checksummed on the hot write path.",
             self.data_plane.payload_crc_bytes as f64,
         );
-        gauge(
-            "lsvd_dp_crc_recomputed_bytes",
+        w.counter(
+            "lsvd_dp_crc_recomputed_bytes_total",
+            "Payload bytes re-checksummed at seal (partial flanks).",
             self.data_plane.crc_recomputed_bytes as f64,
         );
-        gauge(
-            "lsvd_dp_crc_combine_ops",
+        w.counter(
+            "lsvd_dp_crc_combine_ops_total",
+            "O(1) crc32c_combine folds that replaced full re-scans.",
             self.data_plane.crc_combine_ops as f64,
         );
-        gauge("lsvd_dp_copied_bytes", self.data_plane.copied_bytes as f64);
-        gauge(
-            "lsvd_dp_get_verified_bytes",
+        w.counter(
+            "lsvd_dp_copied_bytes_total",
+            "Payload bytes memcpy'd on the write path.",
+            self.data_plane.copied_bytes as f64,
+        );
+        w.counter(
+            "lsvd_dp_get_verified_bytes_total",
+            "Backend GET payload bytes verified against extent CRCs.",
             self.data_plane.get_verified_bytes as f64,
         );
-        gauge(
+        w.gauge(
             "lsvd_dp_hw_crc",
+            "1 when the hardware (SSE4.2) CRC32C kernel is active.",
             if self.data_plane.hw_crc { 1.0 } else { 0.0 },
         );
-        gauge("lsvd_rp_reads", self.read_plane.reads as f64);
-        gauge("lsvd_rp_hit_reads", self.read_plane.hit_reads as f64);
-        gauge("lsvd_rp_miss_reads", self.read_plane.miss_reads as f64);
-        gauge(
-            "lsvd_rp_admitted_sectors",
+        w.counter(
+            "lsvd_rp_reads_total",
+            "Reads served by the read plane.",
+            self.read_plane.reads as f64,
+        );
+        w.counter(
+            "lsvd_rp_hit_reads_total",
+            "Reads served entirely from local state.",
+            self.read_plane.hit_reads as f64,
+        );
+        w.counter(
+            "lsvd_rp_miss_reads_total",
+            "Reads that needed at least one backend fetch.",
+            self.read_plane.miss_reads as f64,
+        );
+        w.counter(
+            "lsvd_rp_admitted_sectors_total",
+            "Sectors admitted into the read cache by miss fetches.",
             self.read_plane.admitted_sectors as f64,
         );
-        gauge(
-            "lsvd_rp_bypassed_sectors",
+        w.counter(
+            "lsvd_rp_bypassed_sectors_total",
+            "Sectors a detected sequential scan kept out of the cache.",
             self.read_plane.bypassed_sectors as f64,
         );
-        gauge(
-            "lsvd_rp_singleflight_waits",
+        w.counter(
+            "lsvd_rp_singleflight_waits_total",
+            "Fetches that parked on another reader's in-flight GET.",
             self.read_plane.singleflight_waits as f64,
         );
-        gauge(
-            "lsvd_rp_singleflight_shared",
+        w.counter(
+            "lsvd_rp_singleflight_shared_total",
+            "Parked fetches fully served from the leader's window.",
             self.read_plane.singleflight_shared as f64,
         );
-        gauge(
-            "lsvd_rp_shared_lock_acqs",
+        w.counter(
+            "lsvd_rp_shared_lock_acqs_total",
+            "Shared-lock acquisitions (concurrent hit path).",
             self.read_plane.shared_lock_acqs as f64,
         );
-        gauge(
-            "lsvd_rp_excl_lock_acqs",
+        w.counter(
+            "lsvd_rp_excl_lock_acqs_total",
+            "Exclusive-lock acquisitions (mutations and miss inserts).",
             self.read_plane.excl_lock_acqs as f64,
         );
-        lat(
-            &mut gauge,
+        w.lat(
             "lsvd_rp_shared_lock_wait",
+            "Shared-lock wait",
             &self.read_plane.shared_lock_wait,
         );
-        lat(
-            &mut gauge,
+        w.lat(
             "lsvd_rp_excl_lock_wait",
+            "Exclusive-lock wait",
             &self.read_plane.excl_lock_wait,
         );
-        gauge(
+        w.gauge(
             "lsvd_rp_concurrent_readers",
+            "Readers inside the read plane at snapshot time.",
             self.read_plane.concurrent_readers as f64,
         );
-        gauge(
+        w.gauge(
             "lsvd_rp_peak_concurrent_readers",
+            "High-water mark of concurrent readers.",
             self.read_plane.peak_concurrent_readers as f64,
         );
-        lat(
-            &mut gauge,
+        w.lat(
             "lsvd_serving_socket_wait",
+            "NBD socket read/write time",
             &self.serving.socket_wait,
         );
-        lat(
-            &mut gauge,
+        w.lat(
             "lsvd_serving_queue_wait",
+            "NBD scheduler queue wait",
             &self.serving.queue_wait,
         );
-        lat(&mut gauge, "lsvd_serving_service", &self.serving.service);
-        gauge("lsvd_serving_conns_open", self.serving.conns_open as f64);
-        gauge("lsvd_serving_conns_total", self.serving.conns_total as f64);
-        gauge("lsvd_serving_reads", self.serving.reads as f64);
-        gauge("lsvd_serving_writes", self.serving.writes as f64);
-        gauge("lsvd_serving_flushes", self.serving.flushes as f64);
-        gauge("lsvd_serving_trims", self.serving.trims as f64);
-        gauge("lsvd_serving_errors", self.serving.errors as f64);
-        gauge("lsvd_trace_events", self.trace.events as f64);
-        gauge("lsvd_trace_dropped", self.trace.dropped as f64);
-        gauge("lsvd_trace_capacity", self.trace.capacity as f64);
-        out
+        w.lat(
+            "lsvd_serving_service",
+            "NBD in-volume service time",
+            &self.serving.service,
+        );
+        w.gauge(
+            "lsvd_serving_conns_open",
+            "NBD connections currently open.",
+            self.serving.conns_open as f64,
+        );
+        w.counter(
+            "lsvd_serving_conns_total",
+            "NBD connections ever accepted.",
+            self.serving.conns_total as f64,
+        );
+        w.counter(
+            "lsvd_serving_reads_total",
+            "NBD READ requests served.",
+            self.serving.reads as f64,
+        );
+        w.counter(
+            "lsvd_serving_writes_total",
+            "NBD WRITE requests served.",
+            self.serving.writes as f64,
+        );
+        w.counter(
+            "lsvd_serving_flushes_total",
+            "NBD FLUSH requests served (including FUA).",
+            self.serving.flushes as f64,
+        );
+        w.counter(
+            "lsvd_serving_trims_total",
+            "NBD TRIM requests served.",
+            self.serving.trims as f64,
+        );
+        w.counter(
+            "lsvd_serving_errors_total",
+            "NBD requests answered with an error code.",
+            self.serving.errors as f64,
+        );
+        w.counter(
+            "lsvd_trace_events_total",
+            "Trace events ever pushed into the ring.",
+            self.trace.events as f64,
+        );
+        w.counter(
+            "lsvd_trace_dropped_total",
+            "Trace events evicted from the ring on wrap.",
+            self.trace.dropped as f64,
+        );
+        w.gauge(
+            "lsvd_trace_capacity",
+            "Trace ring capacity.",
+            self.trace.capacity as f64,
+        );
+        w.counter(
+            "lsvd_span_recorded_total",
+            "Request-scoped spans ever recorded.",
+            self.spans.recorded as f64,
+        );
+        w.counter(
+            "lsvd_span_dropped_total",
+            "Spans evicted from the span ring on wrap.",
+            self.spans.dropped as f64,
+        );
+        w.gauge(
+            "lsvd_span_capacity",
+            "Span ring capacity across all shards.",
+            self.spans.capacity as f64,
+        );
+        w.counter(
+            "lsvd_span_requests_total",
+            "Request ids minted (the tracing virtual clock).",
+            self.spans.requests as f64,
+        );
+        w.gauge(
+            "lsvd_span_enabled",
+            "1 while span recording is enabled.",
+            if self.spans.enabled { 1.0 } else { 0.0 },
+        );
+        w.out
     }
 
     /// Renders a short human-readable report (CLI / bench end-of-run).
@@ -971,6 +1211,15 @@ impl TelemetrySnapshot {
             "  trace       events={} dropped={} capacity={}",
             self.trace.events, self.trace.dropped, self.trace.capacity
         );
+        let _ = writeln!(
+            out,
+            "  spans       recorded={} dropped={} capacity={} requests={} enabled={}",
+            self.spans.recorded,
+            self.spans.dropped,
+            self.spans.capacity,
+            self.spans.requests,
+            self.spans.enabled
+        );
         out
     }
 }
@@ -981,6 +1230,73 @@ fn fmt1(v: f64) -> String {
 
 fn fmt2(v: f64) -> String {
     format!("{v:.2}")
+}
+
+/// Prometheus text-exposition emitter: pairs every sample with its
+/// `# HELP`/`# TYPE` preamble and keeps the counter naming convention
+/// (`_total`, or `_count` for latency-family sample counters) honest.
+#[derive(Default)]
+struct Prom {
+    out: String,
+}
+
+impl Prom {
+    fn sample(&mut self, name: &str, v: f64) {
+        use std::fmt::Write as _;
+        if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+            let _ = writeln!(self.out, "{name} {}", v as i64);
+        } else {
+            let _ = writeln!(self.out, "{name} {v}");
+        }
+    }
+
+    fn gauge(&mut self, name: &str, help: &str, v: f64) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        self.sample(name, v);
+    }
+
+    fn counter(&mut self, name: &str, help: &str, v: f64) {
+        use std::fmt::Write as _;
+        debug_assert!(
+            name.ends_with("_total") || name.ends_with("_count"),
+            "counter `{name}` must end in _total or _count"
+        );
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} counter");
+        self.sample(name, v);
+    }
+
+    /// A latency family: `<prefix>_count` as a counter (summary
+    /// convention) plus mean/p50/p99/max gauges in nanoseconds.
+    fn lat(&mut self, prefix: &str, help: &str, l: &LatencySnapshot) {
+        self.counter(
+            &format!("{prefix}_count"),
+            &format!("{help}: samples recorded."),
+            l.count as f64,
+        );
+        self.gauge(
+            &format!("{prefix}_mean_ns"),
+            &format!("{help}: mean, nanoseconds."),
+            l.mean_ns,
+        );
+        self.gauge(
+            &format!("{prefix}_p50_ns"),
+            &format!("{help}: p50, nanoseconds."),
+            l.p50_ns,
+        );
+        self.gauge(
+            &format!("{prefix}_p99_ns"),
+            &format!("{help}: p99, nanoseconds."),
+            l.p99_ns,
+        );
+        self.gauge(
+            &format!("{prefix}_max_ns"),
+            &format!("{help}: max, nanoseconds."),
+            l.max_ns,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1093,6 +1409,13 @@ mod tests {
                 dropped: 12,
                 capacity: 256,
             },
+            spans: SpanTelemetry {
+                recorded: 900,
+                dropped: 3,
+                capacity: 8192,
+                requests: 450,
+                enabled: true,
+            },
         }
     }
 
@@ -1108,7 +1431,7 @@ mod tests {
     fn schema_key_is_first_and_validated() {
         let text = sample().to_json().render();
         assert!(
-            text.starts_with("{\"schema\":\"lsvd-telemetry-v1\""),
+            text.starts_with("{\"schema\":\"lsvd-telemetry-v2\""),
             "{text}"
         );
         let tampered = text.replace(SCHEMA, "lsvd-telemetry-v0");
@@ -1134,7 +1457,20 @@ mod tests {
         assert!(prom.contains("lsvd_write_amplification 1.37"), "{prom}");
         assert!(prom.contains("lsvd_serving_conns_open 4"), "{prom}");
         assert!(prom.contains("lsvd_rcache_hit_ratio 0.66"), "{prom}");
-        assert!(prom.contains("lsvd_rp_singleflight_waits 17"), "{prom}");
+        assert!(
+            prom.contains("# TYPE lsvd_rp_singleflight_waits_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("lsvd_rp_singleflight_waits_total 17"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE lsvd_serving_conns_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("lsvd_trace_dropped_total 12"), "{prom}");
+        assert!(prom.contains("lsvd_span_dropped_total 3"), "{prom}");
         assert!(
             prom.contains("# TYPE lsvd_rp_shared_lock_wait_p99_ns gauge"),
             "{prom}"
@@ -1145,10 +1481,76 @@ mod tests {
         );
         for line in prom.lines() {
             assert!(
-                line.starts_with("# TYPE lsvd_") || line.starts_with("lsvd_"),
+                line.starts_with("# HELP lsvd_")
+                    || line.starts_with("# TYPE lsvd_")
+                    || line.starts_with("lsvd_"),
                 "unexpected line: {line}"
             );
         }
+    }
+
+    /// Format lint for the whole exposition: every sample line parses as
+    /// `name value`, is immediately preceded by its own `# HELP` and
+    /// `# TYPE` lines, declares a known type, follows the counter naming
+    /// convention, and no metric appears twice.
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let prom = sample().to_prometheus();
+        let lines: Vec<&str> = prom.lines().collect();
+        assert!(!lines.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        let mut samples = 0usize;
+        let mut i = 0;
+        while i < lines.len() {
+            let help = lines[i];
+            let rest = help
+                .strip_prefix("# HELP ")
+                .unwrap_or_else(|| panic!("line {i} is not a HELP line: {help}"));
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(
+                rest.len() > name.len() + 1,
+                "metric {name} has an empty help string"
+            );
+            let type_line = lines
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("missing TYPE after {help}"));
+            let ty = type_line
+                .strip_prefix(&format!("# TYPE {name} "))
+                .unwrap_or_else(|| panic!("TYPE line does not match {name}: {type_line}"));
+            assert!(
+                ty == "counter" || ty == "gauge",
+                "metric {name} has unknown type {ty}"
+            );
+            if ty == "counter" {
+                assert!(
+                    name.ends_with("_total") || name.ends_with("_count"),
+                    "counter {name} is missing its _total/_count suffix"
+                );
+            }
+            let sample_line = lines
+                .get(i + 2)
+                .unwrap_or_else(|| panic!("missing sample after {help}"));
+            let (sname, value) = sample_line
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed sample line: {sample_line}"));
+            assert_eq!(sname, name, "sample under the wrong preamble");
+            let v: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric sample for {name}: {value}"));
+            assert!(v.is_finite(), "non-finite sample for {name}");
+            if ty == "counter" {
+                assert!(v >= 0.0, "negative counter {name}");
+            }
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name {name}"
+            );
+            assert!(seen.insert(name.to_string()), "duplicate metric {name}");
+            samples += 1;
+            i += 3;
+        }
+        assert!(samples > 100, "suspiciously few metrics: {samples}");
     }
 
     #[test]
@@ -1163,6 +1565,7 @@ mod tests {
             "read-plane",
             "serving",
             "trace",
+            "spans",
         ] {
             assert!(rep.contains(needle), "missing {needle}: {rep}");
         }

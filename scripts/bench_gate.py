@@ -8,11 +8,20 @@ Usage:
 Without --fresh, runs the suite in quick mode (LSVD_BENCH_QUICK=1) and
 writes its JSON to a temp file first. Only the data-plane hot-path
 benchmarks are gated — `crc32c/*`, `wlog/append/*`, `volume/write/4K`,
-and the read-plane hit paths `volume/randread_4K_hit` and
-`rcache/hit_4K` — because those are the numbers the zero-copy write
-path, the accelerated CRC kernel, and the lock-split read plane are
-accountable for. Everything else in the suite (socket-bound NBD
-round trips, the scan-pollution pair) is informational.
+the read-plane hit paths `volume/randread_4K_hit` and `rcache/hit_4K`,
+and `telemetry/span_record` — because those are the numbers the
+zero-copy write path, the accelerated CRC kernel, the lock-split read
+plane, and the span ring are accountable for. Everything else in the
+suite (socket-bound NBD round trips, the scan-pollution pair) is
+informational.
+
+The tracing on/off pair (`nbd/randread_4K_tracing_on` vs `_off`) is
+gated as a *ratio*, not an absolute: the committed baseline must show
+tracing-on within 1.05x of tracing-off (the <5% overhead bound the
+observability plane promises), and a fresh run must stay within
+--pair-tolerance (default 1.5x — quick-mode loopback sockets are too
+noisy for the strict bound, but a genuine hot-path regression such as
+span recording on the disabled path still trips it).
 
 A benchmark fails the gate when its fresh ns_per_iter exceeds
 baseline * tolerance (default 2x: quick mode on shared CI runners is
@@ -33,12 +42,31 @@ import sys
 import tempfile
 
 GATED_PREFIXES = ("crc32c/", "wlog/append/")
-GATED_EXACT = ("volume/write/4K", "volume/randread_4K_hit", "rcache/hit_4K")
+GATED_EXACT = (
+    "volume/write/4K",
+    "volume/randread_4K_hit",
+    "rcache/hit_4K",
+    "telemetry/span_record",
+)
+
+# Tracing must stay nearly free on the serving hot path: the committed
+# baseline pair proves the overhead bound (<5%), while fresh quick runs
+# over a loopback socket get a noise-tolerant bound.
+TRACING_PAIR = ("nbd/randread_4K_tracing_on", "nbd/randread_4K_tracing_off")
+BASELINE_PAIR_BOUND = 1.05
+
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def is_gated(name: str) -> bool:
     return name.startswith(GATED_PREFIXES) or name in GATED_EXACT
+
+
+def tracing_pair_ratio(results: dict):
+    on, off = TRACING_PAIR
+    if on in results and off in results:
+        return results[on]["ns_per_iter"] / results[off]["ns_per_iter"]
+    return None
 
 
 def load_results(path: str) -> dict:
@@ -77,6 +105,14 @@ def main() -> int:
         default=2.0,
         help="allowed ns_per_iter ratio vs baseline (default: 2.0)",
     )
+    ap.add_argument(
+        "--pair-tolerance",
+        type=float,
+        default=1.5,
+        help="allowed tracing-on/off ratio in the fresh run (default: 1.5; "
+        "the committed baseline pair is always held to "
+        f"{BASELINE_PAIR_BOUND}x)",
+    )
     args = ap.parse_args()
 
     fresh_path = args.fresh or run_quick_suite()
@@ -99,6 +135,34 @@ def main() -> int:
         print(f"{name:<28} {base_ns:>12.2f} {fresh_ns:>12.2f} {ratio:>6.2f}x{verdict}")
     for name in sorted(n for n in fresh if is_gated(n) and n not in baseline):
         print(f"{name:<28} {'(new)':>12} {fresh[name]['ns_per_iter']:>12.2f} {'-':>7}")
+
+    base_pair = tracing_pair_ratio(baseline)
+    if base_pair is None:
+        failures.append(("tracing pair (baseline)", 0.0, 0.0, float("inf")))
+        print("tracing on/off pair missing from baseline")
+    else:
+        verdict = ""
+        if base_pair > BASELINE_PAIR_BOUND:
+            failures.append(
+                ("tracing pair (baseline)", BASELINE_PAIR_BOUND, base_pair, base_pair)
+            )
+            verdict = "  REGRESSION"
+        print(
+            f"tracing on/off (baseline)    bound {BASELINE_PAIR_BOUND:.2f}x"
+            f"  measured {base_pair:>6.2f}x{verdict}"
+        )
+    fresh_pair = tracing_pair_ratio(fresh)
+    if fresh_pair is not None:
+        verdict = ""
+        if fresh_pair > args.pair_tolerance:
+            failures.append(
+                ("tracing pair (fresh)", args.pair_tolerance, fresh_pair, fresh_pair)
+            )
+            verdict = "  REGRESSION"
+        print(
+            f"tracing on/off (fresh)       bound {args.pair_tolerance:.2f}x"
+            f"  measured {fresh_pair:>6.2f}x{verdict}"
+        )
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond {args.tolerance}x:")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate the shape of a Chrome trace_event JSON dump (`/trace?n=K`).
+
+Checks what Perfetto/about:tracing need to render the file at all, plus
+the layout DESIGN.md §Observability promises:
+
+- top-level object with a `traceEvents` list;
+- every event carries `ph`, `pid`, `ts`, `name`; span events also a
+  `tid`, and complete ("X") events a non-negative `dur`;
+- at least one "X" event (a burst was captured, not an empty ring);
+- process-name metadata ("M") for pid 1 (requests) and, when any
+  pipeline span was captured, pid 2 (writeback pipeline);
+- at least one request (pid 1) track carries >= 2 events sharing a tid:
+  a connected chain (e.g. decode -> dispatch), not loose singletons.
+
+Usage: scripts/check_trace.py TRACE.json
+Exit status: 0 = shape OK, 1 = malformed.
+"""
+
+import collections
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_trace: {msg}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py TRACE.json")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not events:
+        fail("traceEvents is empty")
+
+    complete = 0
+    meta_pids = set()
+    per_track = collections.Counter()
+    for i, ev in enumerate(events):
+        for key in ("ph", "pid", "name"):
+            if key not in ev:
+                fail(f"event {i} missing {key!r}: {ev}")
+        if ev["ph"] == "X":
+            for key in ("tid", "ts"):
+                if key not in ev:
+                    fail(f"complete event {i} missing {key!r}: {ev}")
+            complete += 1
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                fail(f"complete event {i} has bad dur: {ev}")
+            per_track[(ev["pid"], ev["tid"])] += 1
+        elif ev["ph"] == "M":
+            meta_pids.add(ev["pid"])
+
+    if complete == 0:
+        fail("no complete ('X') events — ring was empty or dump is metadata-only")
+    if 1 not in meta_pids:
+        fail("no process_name metadata for pid 1 (requests)")
+    if any(pid == 2 for pid, _ in per_track) and 2 not in meta_pids:
+        fail("pipeline events present but no process_name metadata for pid 2")
+    chains = sum(1 for (pid, _), n in per_track.items() if pid == 1 and n >= 2)
+    if chains == 0:
+        fail("no request track carries a connected chain (>= 2 spans on one tid)")
+
+    print(
+        f"trace OK: {len(events)} events, {complete} complete, "
+        f"{chains} request chains, processes {sorted(meta_pids)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

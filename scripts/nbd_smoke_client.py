@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Minimal NBD client for CI observability smoke tests.
+
+Speaks just enough fixed-newstyle NBD (NBD_OPT_GO + simple replies) to
+drive a live `lsvdctl serve` from the outside — no in-process shortcuts.
+
+Usage:
+    scripts/nbd_smoke_client.py PORT EXPORT          # mixed 4K burst
+    scripts/nbd_smoke_client.py PORT EXPORT --abort  # force a conn abort
+
+Burst mode writes, flushes, and reads back a handful of 4 KiB blocks,
+then disconnects cleanly (NBD_CMD_DISC) — enough traffic to populate
+the span ring behind `/trace`. Abort mode completes the handshake and
+then sends garbage where a request header belongs, which the server
+must treat as a protocol violation: the connection dies and, when a
+flight recorder is armed, a blackbox dump is written.
+
+Exit status: 0 = success, 1 = protocol/assertion failure.
+"""
+
+import socket
+import struct
+import sys
+
+MAGIC_NBD = 0x4E42444D41474943
+MAGIC_IHAVEOPT = 0x49484156454F5054
+MAGIC_OPT_REPLY = 0x0003E889045565A9
+MAGIC_REQUEST = 0x25609513
+MAGIC_SIMPLE_REPLY = 0x67446698
+CLIENT_FIXED_NEWSTYLE = 1
+OPT_GO = 7
+REP_ACK = 1
+REP_INFO = 3
+CMD_READ = 0
+CMD_WRITE = 1
+CMD_DISC = 2
+CMD_FLUSH = 3
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError(f"EOF after {len(buf)}/{n} bytes")
+        buf += chunk
+    return buf
+
+
+def handshake(sock: socket.socket, export: str) -> int:
+    magic, ihaveopt, _flags = struct.unpack(">QQH", recv_exact(sock, 18))
+    assert magic == MAGIC_NBD and ihaveopt == MAGIC_IHAVEOPT, "bad server hello"
+    sock.sendall(struct.pack(">I", CLIENT_FIXED_NEWSTYLE))
+
+    name = export.encode()
+    payload = struct.pack(">I", len(name)) + name + struct.pack(">H", 0)
+    sock.sendall(struct.pack(">QII", MAGIC_IHAVEOPT, OPT_GO, len(payload)) + payload)
+
+    size = 0
+    while True:
+        magic, _opt, rep, length = struct.unpack(">QIII", recv_exact(sock, 20))
+        assert magic == MAGIC_OPT_REPLY, "bad option reply magic"
+        body = recv_exact(sock, length) if length else b""
+        if rep == REP_INFO and length >= 10:
+            (size,) = struct.unpack(">Q", body[2:10])
+        elif rep == REP_ACK:
+            return size
+        elif rep >= 0x80000000:
+            raise AssertionError(f"option error 0x{rep:x}")
+
+
+def request(sock, cmd: int, cookie: int, offset: int, length: int, data: bytes = b""):
+    sock.sendall(
+        struct.pack(">IHHQQI", MAGIC_REQUEST, 0, cmd, cookie, offset, length) + data
+    )
+
+
+def reply(sock, want_cookie: int, data_len: int = 0) -> bytes:
+    magic, error, cookie = struct.unpack(">IIQ", recv_exact(sock, 16))
+    assert magic == MAGIC_SIMPLE_REPLY, "bad reply magic"
+    assert error == 0, f"server error {error} for cookie {cookie}"
+    assert cookie == want_cookie, f"cookie mismatch: {cookie} != {want_cookie}"
+    return recv_exact(sock, data_len) if data_len else b""
+
+
+def burst(sock) -> None:
+    cookie = 0
+    blocks = 24
+    for i in range(blocks):
+        cookie += 1
+        request(sock, CMD_WRITE, cookie, i * 16384, 4096, bytes([i & 0xFF]) * 4096)
+        reply(sock, cookie)
+        if i % 8 == 7:
+            cookie += 1
+            request(sock, CMD_FLUSH, cookie, 0, 0)
+            reply(sock, cookie)
+    for i in range(blocks):
+        cookie += 1
+        request(sock, CMD_READ, cookie, i * 16384, 4096)
+        got = reply(sock, cookie, 4096)
+        assert got == bytes([i & 0xFF]) * 4096, f"readback mismatch at block {i}"
+    request(sock, CMD_DISC, cookie + 1, 0, 0)
+    print(f"burst OK: {blocks} writes + flushes + readbacks")
+
+
+def abort(sock) -> None:
+    # A request header must start with MAGIC_REQUEST; this does not.
+    sock.sendall(b"\xde\xad\xbe\xef" * 7)
+    sock.shutdown(socket.SHUT_WR)
+    # The server drops the connection without a reply.
+    assert sock.recv(16) == b"", "server replied to a garbage request"
+    print("abort OK: server dropped the violating connection")
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 1
+    port, export = int(sys.argv[1]), sys.argv[2]
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.settimeout(30)
+        size = handshake(sock, export)
+        assert size > 0, "export size is zero"
+        if "--abort" in sys.argv[3:]:
+            abort(sock)
+        else:
+            burst(sock)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
