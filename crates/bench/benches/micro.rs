@@ -594,6 +594,157 @@ fn bench_telemetry(c: &mut Criterion) {
     g.finish();
 }
 
+/// The incremental concurrent cleaner (§3.5/§3.6). Three angles:
+///
+/// - `gc/collect_50pct_dead` — cleaning throughput: one iteration churns
+///   a window to 50 % dead (every other 32 KiB of each 64 KiB object
+///   overwritten) and runs a full collection; throughput is declared in
+///   *relocated* bytes (measured once in a setup cycle — the workload is
+///   deterministic), so the number reads as relocation bandwidth even
+///   though the iteration also pays for regenerating its own garbage.
+/// - `gc/write_4K_churn_{gc_off,gc_on}` — foreground 4K overwrite churn
+///   with the budgeted cleaner off vs. kicked by auto-checkpoints and
+///   write-path ticks; the p99 gap is the cleaner's foreground tax
+///   (tests/gc_churn.rs holds it ≤ 3×).
+/// - `gc/cleaning_copies_{greedy,costbenefit}` — victim-policy write-amp
+///   on the seeded hot/cold-skewed workload under space pressure, via the
+///   metadata-only simulator. `elements_per_iter` *is* the sectors copied
+///   by cleaning (deterministic), so the JSON records cost-benefit's
+///   lower cleaning WA directly; ns/iter is just simulation speed.
+fn bench_gc(c: &mut Criterion) {
+    use lsvd::gc::GcPolicy;
+
+    let mut g = c.benchmark_group("gc");
+
+    // Cleaning throughput.
+    {
+        let churn_cycle = |vol: &mut Volume| {
+            // 8 MiB window of 64 KiB objects, then kill every other
+            // 32 KiB half: each object ends 50 % live, so collection must
+            // relocate (not just retire) to reclaim.
+            let full = vec![0xC1u8; 64 << 10];
+            let half = vec![0xC2u8; 32 << 10];
+            for off in (0..(8u64 << 20)).step_by(64 << 10) {
+                vol.write(off, &full).unwrap();
+            }
+            for off in (0..(8u64 << 20)).step_by(64 << 10) {
+                vol.write(off, &half).unwrap();
+            }
+            vol.drain().unwrap();
+        };
+        let mk = || {
+            let store = Arc::new(MemStore::new());
+            let cache = Arc::new(RamDisk::new(64 << 20));
+            Volume::create(
+                store,
+                cache,
+                "bench",
+                1 << 30,
+                VolumeConfig {
+                    // Explicit run_gc below; no auto-kicked passes.
+                    gc_enabled: false,
+                    batch_bytes: 64 << 10,
+                    checkpoint_interval: 8,
+                    ..VolumeConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        // Dry cycle: learn the deterministic relocated-bytes-per-cycle.
+        let mut vol = mk();
+        churn_cycle(&mut vol);
+        vol.run_gc().unwrap();
+        let relocated = vol.stats().gc_relocated_bytes;
+        assert!(relocated > 0, "cleaning bench must actually relocate");
+        g.throughput(Throughput::Bytes(relocated));
+        g.bench_function("collect_50pct_dead", |b| {
+            let mut vol = mk();
+            b.iter(|| {
+                churn_cycle(&mut vol);
+                vol.run_gc().unwrap();
+            });
+        });
+    }
+
+    // Foreground 4K overwrite churn, cleaner off vs on.
+    for (label, gc) in [
+        ("write_4K_churn_gc_off", false),
+        ("write_4K_churn_gc_on", true),
+    ] {
+        let data = vec![0x4Cu8; 4096];
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function(label, |b| {
+            let store = Arc::new(MemStore::new());
+            let cache = Arc::new(RamDisk::new(64 << 20));
+            let mut vol = Volume::create(
+                store,
+                cache,
+                "bench",
+                1 << 30,
+                VolumeConfig {
+                    gc_enabled: gc,
+                    batch_bytes: 64 << 10,
+                    checkpoint_interval: 8,
+                    gc_step_budget_bytes: 32 << 10,
+                    writeback_threads: 2,
+                    max_inflight_puts: 4,
+                    ..VolumeConfig::default()
+                },
+            )
+            .unwrap();
+            // 4 MiB hot window: overwrites pile garbage fast enough that
+            // the auto-checkpoint kick keeps a pass active.
+            let window = 4u64 << 20;
+            let mut off = 0u64;
+            b.iter(|| {
+                vol.write(off % window, &data).unwrap();
+                off += 4096;
+            });
+        });
+    }
+
+    // Victim policy: cleaning copies, greedy vs cost-benefit.
+    let skewed = |policy| {
+        let mut sim = GcSim::new(GcSimConfig {
+            batch_sectors: 1024,
+            // Space pressure: tight watermarks are where policy matters
+            // (with slack, greedy also finds nearly-dead victims).
+            gc_low: 0.90,
+            gc_high: 0.93,
+            policy,
+            ..GcSimConfig::default()
+        });
+        let slots = 8192u64;
+        let hot = slots / 10;
+        for i in 0..slots {
+            sim.write(i * 8, 8);
+        }
+        // 90 % of the churn on the hottest 10 % of slots (seeded LCG).
+        let mut x = 0xDEAD_BEEF_u64;
+        for _ in 0..120_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let slot = if (x >> 13) % 10 < 9 {
+                (x >> 33) % hot
+            } else {
+                hot + (x >> 33) % (slots - hot)
+            };
+            sim.write(slot * 8, 8);
+        }
+        sim.finish()
+    };
+    for (label, policy) in [
+        ("cleaning_copies_greedy", GcPolicy::Greedy),
+        ("cleaning_copies_costbenefit", GcPolicy::CostBenefit),
+    ] {
+        let copied = skewed(policy).gc_copied_sectors;
+        g.throughput(Throughput::Elements(copied));
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(skewed(policy).gc_copied_sectors));
+        });
+    }
+    g.finish();
+}
+
 fn bench_gcsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gcsim");
     g.bench_function("write_with_gc_churn", |b| {
@@ -622,6 +773,7 @@ criterion_group!(
     bench_read_plane,
     bench_nbd,
     bench_telemetry,
+    bench_gc,
     bench_gcsim
 );
 

@@ -74,6 +74,7 @@ impl CheckpointData {
             w.u32(st.data_sectors);
             w.u32(st.live_sectors);
             w.u8(st.gc as u8);
+            w.u32(st.write_stamp);
         }
         w.u32(self.snapshots.len() as u32);
         for (name, seq) in &self.snapshots {
@@ -116,6 +117,7 @@ impl CheckpointData {
             let data_sectors = r.u32()?;
             let live_sectors = r.u32()?;
             let gc = r.u8()? != 0;
+            let write_stamp = r.u32()?;
             table.push((
                 seq,
                 ObjStat {
@@ -123,6 +125,7 @@ impl CheckpointData {
                     data_sectors,
                     live_sectors,
                     gc,
+                    write_stamp,
                 },
             ));
         }

@@ -2,6 +2,7 @@
 
 use objstore::RetryPolicy;
 
+use crate::gc::GcPolicy;
 use crate::types::SECTOR;
 
 /// Tunable parameters of an LSVD volume.
@@ -27,6 +28,26 @@ pub struct VolumeConfig {
     pub gc_low_watermark: f64,
     /// GC target: stop collecting once utilization is back above this.
     pub gc_high_watermark: f64,
+    /// Victim-selection policy: greedy live-ratio or LFS cost-benefit.
+    pub gc_policy: GcPolicy,
+    /// Budget for one incremental cleaner step ([`Volume::gc_step`]
+    /// (crate::volume::Volume::gc_step)): the step stops issuing
+    /// relocations once it has moved this many bytes, leaving a resumable
+    /// cursor. `0` means unbudgeted — every step drives the pass to
+    /// completion (the one-shot behavior).
+    pub gc_step_budget_bytes: u64,
+    /// Cold-extent compaction: when nonzero, a cleaning pass also scans
+    /// the extent map for LBA-contiguous runs of at least this many
+    /// map entries, each no larger than [`gc_compact_max_extent_bytes`]
+    /// (Self::gc_compact_max_extent_bytes), whose source objects are all
+    /// cold (at or below the last checkpoint), and rewrites each run into
+    /// one dense relocation object — collapsing the run to a single
+    /// extent-map entry (Table 5's memory metric). `0` disables
+    /// compaction.
+    pub gc_compact_min_run: usize,
+    /// Size ceiling (bytes) for an extent to count as a fragment in a
+    /// compaction run; larger extents end the run.
+    pub gc_compact_max_extent_bytes: u64,
     /// Write a map checkpoint to the backend every this many data objects.
     pub checkpoint_interval: u32,
     /// During GC, also copy unwritten "holes" up to this many bytes between
@@ -93,6 +114,12 @@ impl Default for VolumeConfig {
             gc_enabled: true,
             gc_low_watermark: 0.70,
             gc_high_watermark: 0.75,
+            gc_policy: GcPolicy::CostBenefit,
+            // One default batch per incremental step: each cleaner
+            // invocation injects at most one extra PUT into the window.
+            gc_step_budget_bytes: 8 << 20,
+            gc_compact_min_run: 0,
+            gc_compact_max_extent_bytes: 64 << 10,
             checkpoint_interval: 64,
             defrag_hole_bytes: 0,
             max_record_extents: 16,
@@ -119,6 +146,9 @@ impl VolumeConfig {
             batch_bytes: 64 << 10,
             checkpoint_interval: 4,
             prefetch_bytes: 32 << 10,
+            // Unbudgeted steps: each cleaner invocation completes its
+            // pass, preserving the one-shot semantics unit tests assert.
+            gc_step_budget_bytes: 0,
             // Serial writeback: unit tests rely on deterministic inline
             // PUT ordering. Pipelined tests opt in explicitly.
             writeback_threads: 0,
@@ -166,6 +196,13 @@ impl VolumeConfig {
             "bad GC watermarks"
         );
         assert!(self.checkpoint_interval >= 1, "bad checkpoint interval");
+        if self.gc_compact_min_run > 0 {
+            assert!(
+                self.gc_compact_max_extent_bytes >= SECTOR
+                    && self.gc_compact_max_extent_bytes.is_multiple_of(SECTOR),
+                "bad compaction fragment ceiling"
+            );
+        }
         assert!(self.max_record_extents >= 1, "bad record extent limit");
         assert!(self.max_pending_batches >= 1, "bad pending batch limit");
         assert!(self.gc_retry_attempts >= 1, "bad GC retry attempts");
@@ -210,6 +247,17 @@ mod tests {
         VolumeConfig {
             writeback_threads: 2,
             max_inflight_puts: 99,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad compaction fragment ceiling")]
+    fn unaligned_compaction_ceiling_rejected() {
+        VolumeConfig {
+            gc_compact_min_run: 4,
+            gc_compact_max_extent_bytes: 1000,
             ..Default::default()
         }
         .validate();

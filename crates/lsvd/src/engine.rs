@@ -687,10 +687,22 @@ impl LsvdEngine {
         }
         let v = &self.vols[vol as usize];
         let upto = v.last_ckpt;
-        if !gcpolicy::should_collect(&v.objmap, 1, upto, low) {
+        let totals = gcpolicy::eligible_totals(&v.objmap, 1, upto);
+        if !gcpolicy::should_collect(totals, low) {
             return;
         }
-        let cands = gcpolicy::select_candidates(&v.objmap, 1, upto, high);
+        // The engine models aggregate timing; greedy selection keeps its
+        // historical throughput shapes independent of the volume's
+        // default cost-benefit policy.
+        let cands = gcpolicy::select_candidates(
+            &v.objmap,
+            1,
+            upto,
+            high,
+            gcpolicy::GcPolicy::Greedy,
+            v.next_seq.saturating_sub(1),
+            totals,
+        );
         if cands.is_empty() {
             return;
         }

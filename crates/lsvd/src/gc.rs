@@ -2,24 +2,45 @@
 //!
 //! The block store reclaims space from overwritten data: when overall
 //! utilization (live data / total object size) drops below a low
-//! watermark, the *Greedy* algorithm selects the least-utilized objects
-//! and relocates their live data into new objects until utilization is
-//! back above the high watermark. This module holds the pure policy —
-//! trigger test, candidate selection, snapshot-aware delete deferral —
-//! while [`crate::volume`] performs the actual copying.
+//! watermark, victim objects are selected and their live data relocated
+//! into new objects until utilization is back above the high watermark.
+//! Two selection policies are provided: *Greedy* (least-utilized first,
+//! §3.5) and LFS/RAMCloud-style *cost-benefit* — score
+//! `(1 − u)·age / (1 + u)` over the per-object write age tracked in
+//! [`ObjStat::write_stamp`] — which beats greedy on cleaning write
+//! amplification under skewed churn by letting cold, mostly-dead segments
+//! win over hot ones that will re-dirty themselves anyway. This module
+//! holds the pure policy — trigger test, candidate selection,
+//! snapshot-aware delete deferral — while [`crate::volume`] performs the
+//! actual copying.
 
 use crate::objmap::{ObjStat, ObjectMap};
 use crate::types::ObjSeq;
 
+/// Victim-selection policy for the cleaner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcPolicy {
+    /// Least-utilized objects first (the paper's §3.5 baseline).
+    Greedy,
+    /// LFS cost-benefit: maximize `(1 − u)·age / (1 + u)`, preferring
+    /// cold fragmented objects over hot ones of equal utilization.
+    #[default]
+    CostBenefit,
+}
+
 /// Decides whether collection should start (§3.5: utilization below the
-/// threshold), considering only objects eligible for collection
-/// (`first..=upto`: own-stream objects at or below the last checkpoint).
-pub fn should_collect(objmap: &ObjectMap, first: ObjSeq, upto: ObjSeq, low_watermark: f64) -> bool {
-    let (live, total) = eligible_totals(objmap, first, upto);
+/// threshold) given the eligible pool's `(live, total)` sector totals
+/// from [`eligible_totals`].
+pub fn should_collect(totals: (u64, u64), low_watermark: f64) -> bool {
+    let (live, total) = totals;
     total > 0 && (live as f64 / total as f64) < low_watermark
 }
 
-fn eligible_totals(objmap: &ObjectMap, first: ObjSeq, upto: ObjSeq) -> (u64, u64) {
+/// Sums `(live_sectors, total_sectors)` over the collection-eligible
+/// range (`first..=upto`: own-stream objects at or below the last
+/// checkpoint). One O(objects) scan — callers pass the result to both
+/// [`should_collect`] and [`select_candidates`].
+pub fn eligible_totals(objmap: &ObjectMap, first: ObjSeq, upto: ObjSeq) -> (u64, u64) {
     let mut live = 0u64;
     let mut total = 0u64;
     for (seq, st) in objmap.objects() {
@@ -31,18 +52,32 @@ fn eligible_totals(objmap: &ObjectMap, first: ObjSeq, upto: ObjSeq) -> (u64, u64
     (live, total)
 }
 
-/// Greedy candidate selection: least-utilized objects first, until the
+/// The LFS cost-benefit score: benefit of cleaning (`1 − u` reclaimed,
+/// weighted by how long the data has been stable) over its cost (read
+/// `1`, write back `u`). Higher is a better victim.
+pub fn cost_benefit_score(st: &ObjStat, now: ObjSeq) -> f64 {
+    let u = st.live_ratio();
+    (1.0 - u) * st.age(now) as f64 / (1.0 + u)
+}
+
+/// Victim selection: orders the eligible pool by `policy` (greedy
+/// live-ratio or cost-benefit against log head `now`) and picks until the
 /// projected post-collection utilization reaches `high_watermark`.
 ///
 /// Collecting an object removes its garbage: its total size leaves the
 /// pool and its live data re-enters as (part of) a fresh, fully-live
-/// object. Only objects in `first..=upto` are eligible; fully-live objects
-/// are never picked.
+/// object — the live count is unchanged by relocation. Only objects in
+/// `first..=upto` are eligible; fully-live objects are never picked.
+/// `totals` is the pool's `(live, total)` from [`eligible_totals`],
+/// computed once by the caller.
 pub fn select_candidates(
     objmap: &ObjectMap,
     first: ObjSeq,
     upto: ObjSeq,
     high_watermark: f64,
+    policy: GcPolicy,
+    now: ObjSeq,
+    totals: (u64, u64),
 ) -> Vec<(ObjSeq, ObjStat)> {
     let mut eligible: Vec<(ObjSeq, ObjStat)> = objmap
         .objects()
@@ -50,40 +85,52 @@ pub fn select_candidates(
             seq >= first && seq <= upto && (st.live_sectors as u64) < st.total_sectors as u64
         })
         .collect();
-    eligible.sort_by(|a, b| {
-        a.1.live_ratio()
-            .partial_cmp(&b.1.live_ratio())
-            .expect("ratios are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    match policy {
+        GcPolicy::Greedy => eligible.sort_by(|a, b| {
+            a.1.live_ratio()
+                .partial_cmp(&b.1.live_ratio())
+                .expect("ratios are finite")
+                .then(a.0.cmp(&b.0))
+        }),
+        GcPolicy::CostBenefit => eligible.sort_by(|a, b| {
+            cost_benefit_score(&b.1, now)
+                .partial_cmp(&cost_benefit_score(&a.1, now))
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        }),
+    }
 
-    let (mut live, mut total) = eligible_totals(objmap, first, upto);
+    let (live, mut total) = totals;
     let mut picked = Vec::new();
     for (seq, st) in eligible {
         if total > 0 && (live as f64 / total as f64) >= high_watermark {
             break;
         }
-        // Garbage leaves; live data is rewritten fully live.
-        total -= st.total_sectors as u64;
-        total += st.live_sectors as u64;
-        let _ = &mut live; // live count is unchanged by relocation
+        // Garbage leaves the pool; live data is rewritten fully live.
+        total = total - st.total_sectors as u64 + st.live_sectors as u64;
         picked.push((seq, st));
     }
     picked
 }
 
 /// Delete decision for a collected source object (§3.5, §3.6): object
-/// `n0`, collected when the newest object was `ngc`, may be deleted iff
+/// `n0`, whose last carrier relocation object was `ngc`, may be deleted
+/// iff
 ///
 /// - no snapshot points at a sequence in `[n0, ngc]` (the snapshot would
 ///   still need the source's data), and
-/// - a checkpoint newer than the GC pass is durable (`ckpt_seq > ngc`).
-///   The pass's relocation objects all carry sequences above `ngc`, and
-///   checkpoints are never written mid-pass, so any checkpoint past `ngc`
-///   was captured after the pass and maps the relocated extents to the
-///   new objects. Before that, crash recovery rolls forward from a
-///   checkpoint that still references `n0` — deleting it would strand
-///   recovery on a missing object.
+/// - a checkpoint at a sequence past the last carrier is durable
+///   (`ckpt_seq > ngc`). The incremental cleaner retires `n0` with `ngc`
+///   set to the newest relocation object carrying any of `n0`'s live
+///   pieces (or the log head at retire time, if nothing was live), and
+///   only after every such carrier has been applied to the map — so a
+///   checkpoint covering a sequence beyond `ngc` was necessarily
+///   captured *after* the redirects, and maps the relocated extents to
+///   the carriers. Checkpoints may land mid-pass: they simply don't
+///   satisfy `ckpt_seq > ngc` for sources whose carriers are still in
+///   flight. Before a covering checkpoint exists, crash recovery rolls
+///   forward from one that still references `n0` — deleting it would
+///   strand recovery on a missing object.
 pub fn may_delete_now(
     n0: ObjSeq,
     ngc: ObjSeq,
@@ -140,24 +187,34 @@ mod tests {
         m
     }
 
+    fn greedy_select(
+        m: &ObjectMap,
+        first: ObjSeq,
+        upto: ObjSeq,
+        high: f64,
+    ) -> Vec<(ObjSeq, ObjStat)> {
+        let totals = eligible_totals(m, first, upto);
+        select_candidates(m, first, upto, high, GcPolicy::Greedy, 1001, totals)
+    }
+
     #[test]
     fn trigger_fires_below_watermark() {
         // 50% utilization across two eligible objects.
         let m = map_with(&[(1, 100, 50), (2, 100, 50)]);
-        assert!(should_collect(&m, 1, 999, 0.70));
-        assert!(!should_collect(&m, 1, 999, 0.40));
+        assert!(should_collect(eligible_totals(&m, 1, 999), 0.70));
+        assert!(!should_collect(eligible_totals(&m, 1, 999), 0.40));
     }
 
     #[test]
     fn empty_pool_never_triggers() {
         let m = ObjectMap::new();
-        assert!(!should_collect(&m, 1, 999, 0.70));
+        assert!(!should_collect(eligible_totals(&m, 1, 999), 0.70));
     }
 
     #[test]
     fn greedy_picks_least_utilized_first() {
         let m = map_with(&[(1, 100, 90), (2, 100, 10), (3, 100, 50)]);
-        let picked = select_candidates(&m, 1, 999, 0.75);
+        let picked = greedy_select(&m, 1, 999, 0.75);
         assert!(!picked.is_empty());
         assert_eq!(picked[0].0, 1, "10%-live object first");
         let seqs: Vec<ObjSeq> = picked.iter().map(|&(s, _)| s).collect();
@@ -171,11 +228,31 @@ mod tests {
     }
 
     #[test]
+    fn cost_benefit_prefers_cold_garbage() {
+        // Equal utilization (50% dead), very different ages: the old
+        // object (seq 1, age 999) must outrank the young one (seq 900,
+        // age 100) under cost-benefit, while greedy ties break by seq
+        // anyway — so use *unequal* utilization to separate the policies:
+        // a young, deader object vs. an old, half-dead one.
+        let m = map_with(&[(1, 100, 50), (900, 100, 60)]);
+        let now = 1001;
+        let totals = eligible_totals(&m, 1, 999);
+        let greedy = select_candidates(&m, 1, 999, 0.99, GcPolicy::Greedy, now, totals);
+        assert_eq!(greedy[0].0, 900, "greedy chases the deader object");
+        let cb = select_candidates(&m, 1, 999, 0.99, GcPolicy::CostBenefit, now, totals);
+        assert_eq!(cb[0].0, 1, "cost-benefit favors the cold object");
+        // Sanity on the score itself: age scales benefit linearly.
+        let st_old = m.object_stat(1).unwrap();
+        let st_new = m.object_stat(900).unwrap();
+        assert!(cost_benefit_score(&st_old, now) > cost_benefit_score(&st_new, now));
+    }
+
+    #[test]
     fn selection_stops_at_high_watermark() {
         // One very dead object plus healthy ones: collecting the dead one
         // should suffice.
         let m = map_with(&[(1, 100, 95), (2, 100, 5), (3, 100, 5)]);
-        let picked = select_candidates(&m, 1, 999, 0.75);
+        let picked = greedy_select(&m, 1, 999, 0.75);
         assert_eq!(picked.len(), 1);
         assert_eq!(picked[0].0, 1);
     }
@@ -184,11 +261,11 @@ mod tests {
     fn ineligible_ranges_excluded() {
         let m = map_with(&[(1, 100, 90), (5, 100, 90)]);
         // Only objects <= 3 eligible (checkpoint rule).
-        let picked = select_candidates(&m, 1, 3, 0.99);
+        let picked = greedy_select(&m, 1, 3, 0.99);
         assert_eq!(picked.len(), 1);
         assert_eq!(picked[0].0, 1);
         // Clone rule: only objects >= 5 eligible.
-        let picked = select_candidates(&m, 5, 999, 0.99);
+        let picked = greedy_select(&m, 5, 999, 0.99);
         assert_eq!(picked.len(), 1);
         assert_eq!(picked[0].0, 5);
     }

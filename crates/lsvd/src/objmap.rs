@@ -53,6 +53,12 @@ pub struct ObjStat {
     pub live_sectors: u32,
     /// Whether this object was written by the garbage collector.
     pub gc: bool,
+    /// Logical write time of the data this object carries, measured in
+    /// object sequence numbers: a foreground object's own sequence, or —
+    /// for a GC relocation object — the *youngest* contributing source's
+    /// stamp, so surviving cold data keeps its age across relocations
+    /// (the LFS/RAMCloud cost-benefit input).
+    pub write_stamp: u32,
 }
 
 impl ObjStat {
@@ -63,6 +69,12 @@ impl ObjStat {
         } else {
             self.live_sectors as f64 / self.data_sectors as f64
         }
+    }
+
+    /// Age in logical time (object sequences) relative to the current log
+    /// head `now`.
+    pub fn age(&self, now: ObjSeq) -> u32 {
+        now.saturating_sub(self.write_stamp)
     }
 }
 
@@ -102,6 +114,7 @@ impl ObjectMap {
                 data_sectors,
                 live_sectors: data_sectors,
                 gc: false,
+                write_stamp: seq,
             },
         );
     }
@@ -121,6 +134,15 @@ impl ObjectMap {
         let mut off = 0u32;
         let mut moved = 0u32;
         let mut data_sectors = 0u32;
+        // Inherit the youngest contributing source's write stamp before
+        // the redirect loop mutates anything; sources missing from the
+        // table (already retired) fall back to the relocation's own seq.
+        let write_stamp = pieces
+            .iter()
+            .filter_map(|&(_, _, expect)| self.table.get(&expect.seq))
+            .map(|s| s.write_stamp)
+            .max()
+            .unwrap_or(seq);
         for &(lba, len, expect) in pieces {
             // Only redirect sub-ranges that still match the expected source.
             for (plo, plen, pval) in self.map.overlaps(lba, len as u64) {
@@ -151,6 +173,7 @@ impl ObjectMap {
                 data_sectors,
                 live_sectors: live,
                 gc: true,
+                write_stamp,
             },
         );
         moved
@@ -162,6 +185,7 @@ impl ObjectMap {
             data_sectors: 0,
             live_sectors: 0,
             gc: true,
+            write_stamp: seq,
         });
         stat.live_sectors += sectors;
     }
@@ -370,6 +394,21 @@ mod tests {
         assert_eq!(moved, 8, "only the untouched half moves");
         assert_eq!(m.lookup(0).unwrap().2.seq, 2, "newer write wins");
         assert_eq!(m.lookup(8).unwrap().2.seq, 3);
+    }
+
+    #[test]
+    fn gc_object_inherits_youngest_source_stamp() {
+        let mut m = ObjectMap::new();
+        m.apply_object(1, 1, &[(0, 16)]);
+        m.apply_object(5, 1, &[(100, 8)]);
+        assert_eq!(m.object_stat(1).unwrap().write_stamp, 1);
+        assert_eq!(m.object_stat(1).unwrap().age(9), 8);
+        let mut pieces = m.live_pieces_of(1, &[(0, 16)]);
+        pieces.extend(m.live_pieces_of(5, &[(100, 8)]));
+        m.apply_gc_object(9, 1, &pieces);
+        // The relocation carries data last written at seq 1 and seq 5: the
+        // youngest stamp (5) survives, not the relocation's own seq.
+        assert_eq!(m.object_stat(9).unwrap().write_stamp, 5);
     }
 
     #[test]

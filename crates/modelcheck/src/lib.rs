@@ -350,12 +350,25 @@ pub fn install_crash_silencer() {
 
 #[derive(Debug, Clone, Copy)]
 enum PlannedOp {
-    Write { block: u64, nblocks: u64 },
-    Trim { block: u64, nblocks: u64 },
-    Read { block: u64, nblocks: u64 },
+    Write {
+        block: u64,
+        nblocks: u64,
+    },
+    Trim {
+        block: u64,
+        nblocks: u64,
+    },
+    Read {
+        block: u64,
+        nblocks: u64,
+    },
     Flush,
     Drain,
     Gc,
+    /// One budgeted cleaner step: starts (or advances) an incremental
+    /// pass and returns with it still in flight, so subsequent ops — and
+    /// crash edges — land inside an active GC pass.
+    GcStep,
 }
 
 fn gen_ops(seed: u64, profile: Profile) -> Vec<PlannedOp> {
@@ -443,6 +456,10 @@ fn gen_ops(seed: u64, profile: Profile) -> Vec<PlannedOp> {
                 }
                 88..=91 => PlannedOp::Flush,
                 92..=95 => PlannedOp::Drain,
+                // Budgeted steps leave the pass mid-flight so later ops
+                // (and sampled crash edges) interleave with live
+                // relocation carriers; full runs drive it home.
+                96..=97 => PlannedOp::GcStep,
                 _ => PlannedOp::Gc,
             },
             Profile::TrimRace => unreachable!("handled by gen_trim_race"),
@@ -541,6 +558,15 @@ fn mc_cfg(pipelined: bool) -> VolumeConfig {
         // Reads verify backend payloads against header CRCs, so chaos GET
         // corruption surfaces as an error instead of silent bad data.
         verify_get_crc: true,
+        // Half-a-batch cleaner budget: a GcStep (or a checkpoint-site
+        // kick) leaves its pass resumable mid-flight, so crash edges —
+        // including the in-pass `gc-relocate` carrier seals — land while
+        // victims are half relocated.
+        gc_step_budget_bytes: 8 << 10,
+        // Compaction on: relocation carriers also rewrite cold
+        // fragmented runs, widening the set of mid-pass map states the
+        // oracle must survive.
+        gc_compact_min_run: 2,
         ..VolumeConfig::small_for_tests()
     }
 }
@@ -555,6 +581,7 @@ fn kind_tag(event: &TraceEvent) -> &'static str {
         TraceEvent::FrontierAdvance { .. } => "frontier-advance",
         TraceEvent::Checkpoint { .. } => "checkpoint",
         TraceEvent::GcPass { .. } => "gc-pass",
+        TraceEvent::GcRelocate { .. } => "gc-relocate",
         TraceEvent::DegradedEnter => "degraded-enter",
         TraceEvent::DegradedExit => "degraded-exit",
         TraceEvent::Trim { .. } => "trim",
@@ -633,6 +660,9 @@ fn drive(vol: &mut Volume, oracle: &mut Oracle, plan: &[PlannedOp]) -> Result<()
             }
             PlannedOp::Gc => {
                 let _ = vol.run_gc();
+            }
+            PlannedOp::GcStep => {
+                let _ = vol.gc_step();
             }
         }
     }
@@ -1014,6 +1044,29 @@ mod tests {
         assert!(!report.crashed);
         assert!(report.total_events > 0, "a run must cross trace edges");
         assert!(report.cut > 0);
+    }
+
+    #[test]
+    fn gc_interleaved_schedule_crosses_in_pass_edges() {
+        // The gc-interleaved profile must actually put crash candidates
+        // *inside* an in-flight cleaning pass: `gc-relocate` fires at
+        // carrier seal, before the pass completes, so its presence in
+        // the profiled edge list means sampled crashes land mid-pass.
+        let case = McCase::parse("seed=1 profile=gc-interleaved faults=none").unwrap();
+        let report = run_case(&case).unwrap_or_else(|f| panic!("{f}"));
+        let relocates = report
+            .events
+            .iter()
+            .filter(|(_, k)| *k == "gc-relocate")
+            .count();
+        assert!(
+            relocates > 0,
+            "no gc-relocate edges in a gc-interleaved schedule"
+        );
+        assert!(
+            report.events.iter().any(|(_, k)| *k == "gc-pass"),
+            "no pass ever completed"
+        );
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub use serving::ServingRecorders;
 pub use sketch::Summary;
 pub use snapshot::{
     BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry,
-    ReadPlaneTelemetry, RetryTelemetry, ServingTelemetry, SpanTelemetry, TelemetrySnapshot,
-    TraceTelemetry, WritebackTelemetry, SCHEMA,
+    ReadPlaneTelemetry, RetryTelemetry, ServingTelemetry, SpaceTelemetry, SpanTelemetry,
+    TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
 };
 pub use span::{OpenSpan, Span, SpanRing, Stage};
 pub use trace::{TraceEvent, TraceHook, TraceRecord, TraceRing};

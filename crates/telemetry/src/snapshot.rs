@@ -16,8 +16,10 @@ use crate::recorder::LatencySnapshot;
 /// layout changes. CI validates emitted snapshots against this.
 ///
 /// v2 adds the `spans` section (request-scoped span ring occupancy) next
-/// to the v1 sections.
-pub const SCHEMA: &str = "lsvd-telemetry-v2";
+/// to the v1 sections. v3 adds the `space` section (incremental-cleaner
+/// space accounting: liveness, cleaning write amplification, pass
+/// progress, deferred-delete backlog).
+pub const SCHEMA: &str = "lsvd-telemetry-v3";
 
 /// Client-facing op latencies (what the guest "sees").
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -138,6 +140,37 @@ pub struct DerivedTelemetry {
     pub gc_dead_space_ratio: f64,
     /// Checkpoints written.
     pub checkpoints: u64,
+}
+
+/// Space accounting for the incremental cleaner: how much of the backend
+/// log is live versus dead, what cleaning costs (bytes relocated per byte
+/// freed), and where the active pass stands.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpaceTelemetry {
+    /// Live bytes across backend data objects (mapped sectors).
+    pub live_bytes: u64,
+    /// Dead bytes across backend data objects (overwritten or trimmed,
+    /// not yet reclaimed).
+    pub dead_bytes: u64,
+    /// Cleaning write amplification: bytes relocated by GC carriers per
+    /// byte freed by retired victims (0 until something is freed).
+    pub cleaning_write_amp: f64,
+    /// Cleaning passes completed.
+    pub gc_passes: u64,
+    /// Whether an incremental pass is in progress right now.
+    pub gc_pass_active: bool,
+    /// Configured per-step relocation budget (0 = unbudgeted).
+    pub gc_step_budget_bytes: u64,
+    /// Victims and compaction runs the active pass has yet to process
+    /// (its resumable cursor counts as one).
+    pub gc_victims_remaining: u64,
+    /// Bytes relocated by GC carriers since volume start.
+    pub gc_relocated_bytes: u64,
+    /// Bytes freed by retiring victims since volume start.
+    pub gc_freed_bytes: u64,
+    /// Retired objects whose backend DELETE is deferred until a
+    /// checkpoint covers their relocations.
+    pub deferred_deletes: u64,
 }
 
 /// Data-plane byte accounting: how many times payload bytes were
@@ -269,6 +302,8 @@ pub struct TelemetrySnapshot {
     pub retry: RetryTelemetry,
     /// Derived paper-figure observables.
     pub derived: DerivedTelemetry,
+    /// Incremental-cleaner space accounting.
+    pub space: SpaceTelemetry,
     /// Data-plane copy/CRC byte accounting.
     pub data_plane: DataPlaneTelemetry,
     /// Concurrent read-plane counters and lock-wait split.
@@ -460,6 +495,42 @@ impl TelemetrySnapshot {
                 ]),
             ),
             (
+                "space".into(),
+                Json::Obj(vec![
+                    ("live_bytes".into(), Json::Num(self.space.live_bytes as f64)),
+                    ("dead_bytes".into(), Json::Num(self.space.dead_bytes as f64)),
+                    (
+                        "cleaning_write_amp".into(),
+                        Json::Num(self.space.cleaning_write_amp),
+                    ),
+                    ("gc_passes".into(), Json::Num(self.space.gc_passes as f64)),
+                    (
+                        "gc_pass_active".into(),
+                        Json::Bool(self.space.gc_pass_active),
+                    ),
+                    (
+                        "gc_step_budget_bytes".into(),
+                        Json::Num(self.space.gc_step_budget_bytes as f64),
+                    ),
+                    (
+                        "gc_victims_remaining".into(),
+                        Json::Num(self.space.gc_victims_remaining as f64),
+                    ),
+                    (
+                        "gc_relocated_bytes".into(),
+                        Json::Num(self.space.gc_relocated_bytes as f64),
+                    ),
+                    (
+                        "gc_freed_bytes".into(),
+                        Json::Num(self.space.gc_freed_bytes as f64),
+                    ),
+                    (
+                        "deferred_deletes".into(),
+                        Json::Num(self.space.deferred_deletes as f64),
+                    ),
+                ]),
+            ),
+            (
                 "data_plane".into(),
                 Json::Obj(vec![
                     (
@@ -594,6 +665,7 @@ impl TelemetrySnapshot {
         let cache = j.get("cache");
         let retry = j.get("retry");
         let derived = j.get("derived");
+        let space = j.get("space");
         let dp = j.get("data_plane");
         let rp = j.get("read_plane");
         let serving = j.get("serving");
@@ -660,6 +732,18 @@ impl TelemetrySnapshot {
                     .map_or(0.0, |d| num_f64(d, "backend_objects_per_sec")),
                 gc_dead_space_ratio: derived.map_or(0.0, |d| num_f64(d, "gc_dead_space_ratio")),
                 checkpoints: derived.map_or(0, |d| num_u64(d, "checkpoints")),
+            },
+            space: SpaceTelemetry {
+                live_bytes: space.map_or(0, |s| num_u64(s, "live_bytes")),
+                dead_bytes: space.map_or(0, |s| num_u64(s, "dead_bytes")),
+                cleaning_write_amp: space.map_or(0.0, |s| num_f64(s, "cleaning_write_amp")),
+                gc_passes: space.map_or(0, |s| num_u64(s, "gc_passes")),
+                gc_pass_active: space.is_some_and(|s| flag(s, "gc_pass_active")),
+                gc_step_budget_bytes: space.map_or(0, |s| num_u64(s, "gc_step_budget_bytes")),
+                gc_victims_remaining: space.map_or(0, |s| num_u64(s, "gc_victims_remaining")),
+                gc_relocated_bytes: space.map_or(0, |s| num_u64(s, "gc_relocated_bytes")),
+                gc_freed_bytes: space.map_or(0, |s| num_u64(s, "gc_freed_bytes")),
+                deferred_deletes: space.map_or(0, |s| num_u64(s, "deferred_deletes")),
             },
             data_plane: DataPlaneTelemetry {
                 payload_crc_bytes: dp.map_or(0, |d| num_u64(d, "payload_crc_bytes")),
@@ -923,6 +1007,56 @@ impl TelemetrySnapshot {
             "Checkpoints written.",
             self.derived.checkpoints as f64,
         );
+        w.gauge(
+            "lsvd_space_live_bytes",
+            "Live bytes across backend data objects.",
+            self.space.live_bytes as f64,
+        );
+        w.gauge(
+            "lsvd_space_dead_bytes",
+            "Dead bytes across backend data objects (unreclaimed).",
+            self.space.dead_bytes as f64,
+        );
+        w.gauge(
+            "lsvd_space_cleaning_write_amp",
+            "GC bytes relocated per byte freed.",
+            self.space.cleaning_write_amp,
+        );
+        w.counter(
+            "lsvd_gc_passes_total",
+            "Cleaning passes completed.",
+            self.space.gc_passes as f64,
+        );
+        w.gauge(
+            "lsvd_gc_pass_active",
+            "1 while an incremental cleaning pass is in progress.",
+            if self.space.gc_pass_active { 1.0 } else { 0.0 },
+        );
+        w.gauge(
+            "lsvd_gc_step_budget_bytes",
+            "Per-step relocation budget (0 = unbudgeted).",
+            self.space.gc_step_budget_bytes as f64,
+        );
+        w.gauge(
+            "lsvd_gc_victims_remaining",
+            "Victims and compaction runs the active pass has left.",
+            self.space.gc_victims_remaining as f64,
+        );
+        w.counter(
+            "lsvd_gc_relocated_bytes_total",
+            "Bytes relocated by GC carriers.",
+            self.space.gc_relocated_bytes as f64,
+        );
+        w.counter(
+            "lsvd_gc_freed_bytes_total",
+            "Bytes freed by retiring GC victims.",
+            self.space.gc_freed_bytes as f64,
+        );
+        w.gauge(
+            "lsvd_gc_deferred_deletes",
+            "Retired objects awaiting a covering checkpoint to DELETE.",
+            self.space.deferred_deletes as f64,
+        );
         w.counter(
             "lsvd_dp_payload_crc_bytes_total",
             "Payload bytes checksummed on the hot write path.",
@@ -1180,6 +1314,20 @@ impl TelemetrySnapshot {
         );
         let _ = writeln!(
             out,
+            "  space       live={}B dead={}B cleaning-WA={} passes={} active={} budget={}B remaining={} relocated={}B freed={}B deferred={}",
+            self.space.live_bytes,
+            self.space.dead_bytes,
+            fmt2(self.space.cleaning_write_amp),
+            self.space.gc_passes,
+            self.space.gc_pass_active,
+            self.space.gc_step_budget_bytes,
+            self.space.gc_victims_remaining,
+            self.space.gc_relocated_bytes,
+            self.space.gc_freed_bytes,
+            self.space.deferred_deletes
+        );
+        let _ = writeln!(
+            out,
             "  data-plane  crc={}B (recomputed {}B, {} combines) copied={}B verified={}B hw={}",
             self.data_plane.payload_crc_bytes,
             self.data_plane.crc_recomputed_bytes,
@@ -1369,6 +1517,18 @@ mod tests {
                 gc_dead_space_ratio: 0.21,
                 checkpoints: 3,
             },
+            space: SpaceTelemetry {
+                live_bytes: 3 << 20,
+                dead_bytes: 1 << 20,
+                cleaning_write_amp: 0.42,
+                gc_passes: 6,
+                gc_pass_active: true,
+                gc_step_budget_bytes: 8 << 20,
+                gc_victims_remaining: 5,
+                gc_relocated_bytes: 2 << 20,
+                gc_freed_bytes: 5 << 20,
+                deferred_deletes: 4,
+            },
             data_plane: DataPlaneTelemetry {
                 payload_crc_bytes: 1 << 20,
                 crc_recomputed_bytes: 2048,
@@ -1431,7 +1591,7 @@ mod tests {
     fn schema_key_is_first_and_validated() {
         let text = sample().to_json().render();
         assert!(
-            text.starts_with("{\"schema\":\"lsvd-telemetry-v2\""),
+            text.starts_with("{\"schema\":\"lsvd-telemetry-v3\""),
             "{text}"
         );
         let tampered = text.replace(SCHEMA, "lsvd-telemetry-v0");
@@ -1470,6 +1630,15 @@ mod tests {
             "{prom}"
         );
         assert!(prom.contains("lsvd_trace_dropped_total 12"), "{prom}");
+        assert!(
+            prom.contains("lsvd_space_cleaning_write_amp 0.42"),
+            "{prom}"
+        );
+        assert!(prom.contains("lsvd_gc_pass_active 1"), "{prom}");
+        assert!(
+            prom.contains("# TYPE lsvd_gc_passes_total counter"),
+            "{prom}"
+        );
         assert!(prom.contains("lsvd_span_dropped_total 3"), "{prom}");
         assert!(
             prom.contains("# TYPE lsvd_rp_shared_lock_wait_p99_ns gauge"),
@@ -1561,6 +1730,8 @@ mod tests {
             "pipeline",
             "derived",
             "WA=1.37",
+            "space",
+            "cleaning-WA=0.42",
             "data-plane",
             "read-plane",
             "serving",

@@ -59,6 +59,16 @@ pub enum TraceEvent {
         /// Number of backend objects collected.
         collected: u64,
     },
+    /// The cleaner sealed a relocation object carrying live pieces of
+    /// collection victims; it is about to enter the writeback path (put
+    /// window or inline PUT). Fires mid-pass: the frontier has *not*
+    /// advanced through `seq` yet.
+    GcRelocate {
+        /// The relocation object's sequence number.
+        seq: u64,
+        /// Relocated payload bytes in the object.
+        bytes: u64,
+    },
     /// The volume entered degraded (backpressure) mode.
     DegradedEnter,
     /// The volume left degraded mode.
@@ -93,6 +103,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::FrontierAdvance { seq } => write!(f, "frontier-advance seq={seq}"),
             TraceEvent::Checkpoint { seq } => write!(f, "checkpoint seq={seq}"),
             TraceEvent::GcPass { collected } => write!(f, "gc-pass collected={collected}"),
+            TraceEvent::GcRelocate { seq, bytes } => {
+                write!(f, "gc-relocate seq={seq} bytes={bytes}")
+            }
             TraceEvent::DegradedEnter => write!(f, "degraded-enter"),
             TraceEvent::DegradedExit => write!(f, "degraded-exit"),
             TraceEvent::Trim { lba, sectors } => write!(f, "trim lba={lba} sectors={sectors}"),

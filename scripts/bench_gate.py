@@ -23,6 +23,17 @@ observability plane promises), and a fresh run must stay within
 noisy for the strict bound, but a genuine hot-path regression such as
 span recording on the disabled path still trips it).
 
+Two GC ratio gates ride the same mechanism:
+
+- `gc/cleaning_copies_costbenefit` vs `_greedy` compares *copied
+  sectors* (`elements_per_iter`), not time. The seeded skewed workload
+  is deterministic, so both runs must show cost-benefit copying at most
+  0.95x of greedy's sectors — the "measurably lower cleaning write
+  amplification" contract, gated exactly (no noise tolerance needed).
+- `gc/write_4K_churn_gc_on` vs `_off` holds the cleaner's foreground
+  tax: mean write cost with the budgeted cleaner active must stay
+  within 3x of the GC-off baseline in both files.
+
 A benchmark fails the gate when its fresh ns_per_iter exceeds
 baseline * tolerance (default 2x: quick mode on shared CI runners is
 noisy, so the gate only catches order-of-magnitude regressions such as
@@ -55,6 +66,18 @@ GATED_EXACT = (
 TRACING_PAIR = ("nbd/randread_4K_tracing_on", "nbd/randread_4K_tracing_off")
 BASELINE_PAIR_BOUND = 1.05
 
+# Cost-benefit must copy measurably fewer sectors than greedy on the
+# seeded skewed-churn workload. The comparison is over elements_per_iter
+# (sectors copied by cleaning — deterministic, not a timing), so the
+# bound applies to baseline and fresh runs alike.
+GC_POLICY_PAIR = ("gc/cleaning_copies_costbenefit", "gc/cleaning_copies_greedy")
+GC_POLICY_BOUND = 0.95
+
+# The budgeted cleaner's foreground tax: mean 4K overwrite cost with the
+# cleaner active vs the GC-off baseline (timing ratio, noise-tolerant).
+GC_CHURN_PAIR = ("gc/write_4K_churn_gc_on", "gc/write_4K_churn_gc_off")
+GC_CHURN_BOUND = 3.0
+
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
@@ -67,6 +90,28 @@ def tracing_pair_ratio(results: dict):
     if on in results and off in results:
         return results[on]["ns_per_iter"] / results[off]["ns_per_iter"]
     return None
+
+
+def pair_ratio(results: dict, pair, field: str):
+    a, b = pair
+    if a in results and b in results and results[b].get(field):
+        return results[a][field] / results[b][field]
+    return None
+
+
+def check_pair(failures, results, label, pair, field, bound, required):
+    """Gates results[pair[0]][field] / results[pair[1]][field] <= bound."""
+    ratio = pair_ratio(results, pair, field)
+    if ratio is None:
+        if required:
+            failures.append((label + " missing", 0.0, 0.0, float("inf")))
+            print(f"{label}: pair missing")
+        return
+    verdict = ""
+    if ratio > bound:
+        failures.append((label, bound, ratio, ratio))
+        verdict = "  REGRESSION"
+    print(f"{label:<28} bound {bound:.2f}x  measured {ratio:>6.2f}x{verdict}")
 
 
 def load_results(path: str) -> dict:
@@ -162,6 +207,26 @@ def main() -> int:
         print(
             f"tracing on/off (fresh)       bound {args.pair_tolerance:.2f}x"
             f"  measured {fresh_pair:>6.2f}x{verdict}"
+        )
+
+    # GC gates: the policy pair is deterministic (sectors copied), so it
+    # is required and exact in both files; the churn pair is a timing
+    # ratio held to a loose bound in both files.
+    for label, results, required in [
+        ("gc policy WA (baseline)", baseline, True),
+        ("gc policy WA (fresh)", fresh, False),
+    ]:
+        check_pair(
+            failures, results, label, GC_POLICY_PAIR, "elements_per_iter",
+            GC_POLICY_BOUND, required,
+        )
+    for label, results, required in [
+        ("gc churn tax (baseline)", baseline, True),
+        ("gc churn tax (fresh)", fresh, False),
+    ]:
+        check_pair(
+            failures, results, label, GC_CHURN_PAIR, "ns_per_iter",
+            GC_CHURN_BOUND, required,
         )
 
     if failures:
