@@ -745,6 +745,121 @@ fn bench_gc(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fleet serving: the multi-tenant node's aggregate cost. The
+/// `aggregate_write_4K_{1,16,64}vol` family connects one client per
+/// tenant and writes one 4K block on every tenant per iteration
+/// (round-robin), so per-iteration time is the node's cost to push one
+/// block through *each* of N exports — scripts/bench_gate.py holds the
+/// 64-tenant per-op cost to >= 0.85x of single-tenant aggregate
+/// throughput. `conn_scale_{64,512}` holds N negotiated connections
+/// open on one reactor and round-trips a 4K read on one of them per
+/// iteration: the price of an idle-heavy poll set.
+fn bench_fleet(c: &mut Criterion) {
+    use lsvd::fleet::{ExportRegistry, QosLimits};
+    use lsvd::shared::SharedVolume;
+    use nbd::server::ServerConfig;
+
+    let mut g = c.benchmark_group("fleet");
+
+    for vols in [1usize, 16, 64] {
+        let store = Arc::new(MemStore::new());
+        let registry = Arc::new(ExportRegistry::new(None));
+        for i in 0..vols {
+            let cache = Arc::new(RamDisk::new(6 << 20));
+            let vol = Volume::create(
+                store.clone(),
+                cache,
+                &format!("vol{i}"),
+                16 << 20,
+                VolumeConfig {
+                    gc_enabled: false,
+                    ..VolumeConfig::small_for_tests()
+                },
+            )
+            .unwrap();
+            registry
+                .attach(
+                    &format!("vol{i}"),
+                    SharedVolume::new(vol),
+                    QosLimits::default(),
+                )
+                .unwrap();
+        }
+        let handle = nbd::serve_fleet("127.0.0.1:0", registry.clone(), ServerConfig::default())
+            .expect("bind fleet server");
+        let addr = handle.addr();
+        let mut clients: Vec<nbd::Client> = (0..vols)
+            .map(|i| nbd::Client::connect(addr, &format!("vol{i}")).expect("connect"))
+            .collect();
+        let data = vec![0x5Au8; 4096];
+        g.throughput(Throughput::Bytes(vols as u64 * 4096));
+        g.bench_function(format!("aggregate_write_4K_{vols}vol"), |b| {
+            let mut x = 0x2468u64;
+            b.iter(|| {
+                for c in clients.iter_mut() {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let off = (x >> 33) % ((8 << 20) / 4096) * 4096;
+                    c.write(off, &data).unwrap();
+                }
+            });
+        });
+        for c in clients {
+            c.disconnect().ok();
+        }
+        handle.stop();
+        for name in registry.list() {
+            registry.detach(&name).ok();
+        }
+    }
+
+    for conns in [64usize, 512] {
+        let store = Arc::new(MemStore::new());
+        let registry = Arc::new(ExportRegistry::new(None));
+        let cache = Arc::new(RamDisk::new(8 << 20));
+        let vol = Volume::create(
+            store,
+            cache,
+            "vol0",
+            16 << 20,
+            VolumeConfig {
+                gc_enabled: false,
+                ..VolumeConfig::small_for_tests()
+            },
+        )
+        .unwrap();
+        registry
+            .attach("vol0", SharedVolume::new(vol), QosLimits::default())
+            .unwrap();
+        let handle = nbd::serve_fleet("127.0.0.1:0", registry.clone(), ServerConfig::default())
+            .expect("bind fleet server");
+        let addr = handle.addr();
+        let mut clients: Vec<nbd::Client> = (0..conns)
+            .map(|_| nbd::Client::connect(addr, "vol0").expect("connect"))
+            .collect();
+        // Map the read window once so every connection hits it.
+        clients[0].write(0, &vec![0xABu8; 1 << 20]).unwrap();
+        clients[0].flush().unwrap();
+        let mut buf = vec![0u8; 4096];
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function(format!("conn_scale_{conns}"), |b| {
+            let mut next = 0usize;
+            b.iter(|| {
+                next = (next + 1) % conns;
+                let off = (next as u64 * 4096) % (1 << 20);
+                clients[next].read(off, &mut buf).unwrap();
+            });
+        });
+        for c in clients {
+            c.disconnect().ok();
+        }
+        handle.stop();
+        for name in registry.list() {
+            registry.detach(&name).ok();
+        }
+    }
+    g.finish();
+}
+
 fn bench_gcsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gcsim");
     g.bench_function("write_with_gc_churn", |b| {
@@ -772,6 +887,7 @@ criterion_group!(
     bench_volume_write_read,
     bench_read_plane,
     bench_nbd,
+    bench_fleet,
     bench_telemetry,
     bench_gc,
     bench_gcsim

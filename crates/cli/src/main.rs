@@ -25,8 +25,15 @@
 //! lsvdctl replay    <bucket> <image> <trace>    # apply a trace to a volume
 //!
 //! # network serving plane (crates/nbd)
-//! lsvdctl serve         <bucket> <image> [--addr 127.0.0.1:10809] [--oneshot]
-//!                       [--metrics-addr 127.0.0.1:9090] [--blackbox-dir <dir>]
+//! lsvdctl serve         <bucket> <image> [<image> ...] [--addr 127.0.0.1:10809]
+//!                       [--oneshot] [--metrics-addr 127.0.0.1:9090]
+//!                       [--blackbox-dir <dir>] [--control-addr 127.0.0.1:10810]
+//!                       # every image becomes a named NBD export on one
+//!                       # shared reactor (a fleet node)
+//! lsvdctl export list                      --control-addr <host:port>
+//! lsvdctl export create <name> <size>      --control-addr <host:port>
+//! lsvdctl export attach <name>             --control-addr <host:port>
+//! lsvdctl export detach <name>             --control-addr <host:port>
 //! lsvdctl nbd-roundtrip <bucket> <image>   # loopback smoke: serve + client
 //! lsvdctl blackbox      <file>             # render a flight-recorder dump
 //!
@@ -37,7 +44,7 @@
 //! lsvdctl host attach <bucket> <cache.img> <image> <cache-size>
 //! lsvdctl host detach <bucket> <cache.img> <image>
 //!
-//! options: --cache <path>     cache file (default <image>.cache)
+//! options: --cache <path>     cache file (default <image>.cache; single image only)
 //!          --cache-size <n>   cache file size (default 256M)
 //!          --addr <a>         serve listen address (default 127.0.0.1:10809)
 //!          --oneshot          serve one connection, then shut down cleanly
@@ -46,10 +53,14 @@
 //!          --blackbox-dir <d> arm the flight recorder: dump the span/event
 //!                             black box into <d> on terminal errors,
 //!                             connection aborts and panics
+//!          --control-addr <a> serve: bind the fleet control socket there;
+//!                             export commands: the node to talk to
 //! ```
 //!
-//! Every command exits 0 on success and 1 with a message on stderr
-//! otherwise, so scripts and CI can gate on `lsvdctl`.
+//! Every command exits 0 on success and nonzero with a message on stderr
+//! otherwise, so scripts and CI can gate on `lsvdctl`: 1 for runtime
+//! failures, 2 for rejected command lines (bad listen address, duplicate
+//! export names).
 
 use std::io::{Read, Write};
 use std::process::exit;
@@ -68,7 +79,59 @@ use workloads::fio::FioSpec;
 use workloads::replay::{TraceRecord, TraceWorkload, TraceWriter};
 use workloads::{IoOp, Workload};
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
+
+/// Typed command failures, so scripts can distinguish a rejected command
+/// line (exit 2) from a runtime failure (exit 1).
+#[derive(Debug)]
+enum CliError {
+    /// A listen/control address that does not resolve — rejected before
+    /// any volume is opened.
+    BadAddr(String),
+    /// Two images on a `serve` command line share an export name.
+    DuplicateExport(String),
+    /// Everything else (I/O, corrupt state, protocol errors).
+    Msg(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::BadAddr(a) => write!(f, "{a} (want host:port)"),
+            CliError::DuplicateExport(n) => write!(f, "duplicate export name {n:?}"),
+            CliError::Msg(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Msg(m)
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::BadAddr(_) | CliError::DuplicateExport(_) => 2,
+            CliError::Msg(_) => 1,
+        }
+    }
+}
+
+/// Rejects an address that cannot resolve to a socket address, before any
+/// state is touched (a fleet node with a typo'd `--addr` must not open —
+/// and implicitly lock — its images first).
+fn validate_addr(addr: &str, flag: &str) -> Result<(), CliError> {
+    use std::net::ToSocketAddrs;
+    match addr.to_socket_addrs() {
+        Ok(mut it) => match it.next() {
+            Some(_) => Ok(()),
+            None => Err(CliError::BadAddr(format!("{flag}: bad address {addr:?}"))),
+        },
+        Err(_) => Err(CliError::BadAddr(format!("{flag}: bad address {addr:?}"))),
+    }
+}
 
 fn die(msg: &str) -> ! {
     eprintln!("lsvdctl: {msg}");
@@ -95,6 +158,7 @@ struct Opts {
     oneshot: bool,
     metrics_addr: Option<String>,
     blackbox_dir: Option<String>,
+    control_addr: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -105,6 +169,7 @@ fn parse_opts() -> Opts {
     let mut oneshot = false;
     let mut metrics_addr = None;
     let mut blackbox_dir = None;
+    let mut control_addr = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -129,6 +194,11 @@ fn parse_opts() -> Opts {
                         .unwrap_or_else(|| die("--blackbox-dir needs a directory")),
                 )
             }
+            "--control-addr" => {
+                control_addr = Some(it.next().unwrap_or_else(|| {
+                    die("--control-addr needs an address (e.g. 127.0.0.1:10810)")
+                }))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "see `lsvdctl` module docs; commands: create info ls write read fill trim \
@@ -148,6 +218,7 @@ fn parse_opts() -> Opts {
         oneshot,
         metrics_addr,
         blackbox_dir,
+        control_addr,
     }
 }
 
@@ -181,13 +252,14 @@ fn open_host(bucket: &str, cache_path: &str) -> Result<Host, String> {
 }
 
 fn shutdown(vol: Volume) -> CmdResult {
-    vol.shutdown().map_err(|e| format!("shutdown: {e}"))
+    Ok(vol.shutdown().map_err(|e| format!("shutdown: {e}"))?)
 }
 
 fn main() {
     let opts = parse_opts();
-    if let Err(msg) = run(&opts) {
-        die(&msg);
+    if let Err(err) = run(&opts) {
+        eprintln!("lsvdctl: {err}");
+        exit(err.exit_code());
     }
 }
 
@@ -283,7 +355,7 @@ fn run(opts: &Opts) -> CmdResult {
             println!("trimmed");
             shutdown(vol)
         }
-        ["check", bucket, image] => cmd_check(bucket, image),
+        ["check", bucket, image] => Ok(cmd_check(bucket, image)?),
         ["snapshot", bucket, image, name] => {
             let mut vol = open_volume(opts, bucket, image)?;
             let seq = vol.snapshot(name).map_err(|e| format!("snapshot: {e}"))?;
@@ -339,87 +411,8 @@ fn run(opts: &Opts) -> CmdResult {
             print!("{}", vol.telemetry().to_prometheus());
             shutdown(vol)
         }
-        ["serve", bucket, image] => {
-            let vol = open_volume(opts, bucket, image)?;
-            let sv = SharedVolume::new(vol);
-            let spans = sv.span_ring();
-            // Observability riders: either flag turns span tracing on —
-            // the ring is sized for a sustained burst and costs nothing
-            // when idle, and both exporters are useless without spans.
-            if opts.metrics_addr.is_some() || opts.blackbox_dir.is_some() {
-                spans.set_enabled(true);
-            }
-            let recorder = match &opts.blackbox_dir {
-                Some(dir) => {
-                    std::fs::create_dir_all(dir).map_err(|e| format!("blackbox dir {dir}: {e}"))?;
-                    let fingerprint = sv
-                        .with_volume(|v| {
-                            format!(
-                                "image={} uuid={:#018x} size={} cfg={:?}",
-                                v.image(),
-                                v.uuid(),
-                                v.size(),
-                                v.config()
-                            )
-                        })
-                        .map_err(|e| format!("fingerprint: {e}"))?;
-                    let rec = telemetry::FlightRecorder::new(
-                        spans.clone(),
-                        fingerprint,
-                        dir.clone(),
-                        1024,
-                        512,
-                    );
-                    // Mirror the volume's trace events into the black box
-                    // and catch panics anywhere in the process.
-                    let mirror = rec.clone();
-                    sv.with_volume(move |v| {
-                        v.set_trace_hook(Box::new(move |r| mirror.note_event(r)))
-                    })
-                    .map_err(|e| format!("trace hook: {e}"))?;
-                    rec.install_panic_hook();
-                    println!("flight recorder armed, dumping to {dir}");
-                    Some(rec)
-                }
-                None => None,
-            };
-            let _metrics = match &opts.metrics_addr {
-                Some(maddr) => {
-                    let msv = sv.clone();
-                    let server = telemetry::MetricsServer::start(
-                        maddr.as_str(),
-                        Box::new(move || msv.telemetry().ok()),
-                        spans.clone(),
-                    )
-                    .map_err(|e| format!("metrics {maddr}: {e}"))?;
-                    println!(
-                        "metrics at http://{0}/metrics, http://{0}/snapshot, http://{0}/trace",
-                        server.addr()
-                    );
-                    Some(server)
-                }
-                None => None,
-            };
-            let cfg = ServerConfig {
-                oneshot: opts.oneshot,
-                recorder,
-                ..ServerConfig::default()
-            };
-            let handle = nbd::serve(&opts.addr, image, sv.clone(), cfg)
-                .map_err(|e| format!("serve {}: {e}", opts.addr))?;
-            println!(
-                "serving {image} at nbd://{}/{image}{}",
-                handle.addr(),
-                if opts.oneshot { " (oneshot)" } else { "" }
-            );
-            // Oneshot returns after the first connection closes; otherwise
-            // this serves until the process is killed (recovery replays the
-            // cache tail on the next open).
-            handle.join();
-            sv.shutdown().map_err(|e| format!("shutdown: {e}"))?;
-            println!("drained and checkpointed; clean shutdown");
-            Ok(())
-        }
+        ["serve", bucket, images @ ..] if !images.is_empty() => cmd_serve(opts, bucket, images),
+        ["export", rest @ ..] => cmd_export(opts, rest),
         ["blackbox", file] => {
             let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
             let rendered =
@@ -427,7 +420,7 @@ fn run(opts: &Opts) -> CmdResult {
             print!("{rendered}");
             Ok(())
         }
-        ["nbd-roundtrip", bucket, image] => nbd_roundtrip(opts, bucket, image),
+        ["nbd-roundtrip", bucket, image] => Ok(nbd_roundtrip(opts, bucket, image)?),
         ["gen-trace", kind, out, ops] => {
             let n: u64 = ops.parse().map_err(|_| "bad op count".to_string())?;
             let mut w: Box<dyn Workload> = match *kind {
@@ -438,7 +431,7 @@ fn run(opts: &Opts) -> CmdResult {
                 "fileserver" => {
                     Box::new(FilebenchSpec::paper(Personality::Fileserver, 42).thread(0, 1))
                 }
-                other => return Err(format!("unknown workload kind {other}")),
+                other => return Err(format!("unknown workload kind {other}").into()),
             };
             let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
             let mut tw = TraceWriter::new(std::io::BufWriter::new(file))
@@ -555,12 +548,208 @@ fn run(opts: &Opts) -> CmdResult {
             );
             Ok(())
         }
-        _ => Err(
+        _ => Err(CliError::Msg(
             "usage: lsvdctl <create|info|ls|write|read|fill|trim|check|snapshot|snapshots|clone|\
-             gc|stats|replicate|gen-trace|replay|serve|nbd-roundtrip|blackbox|host> ... (--help)"
+             gc|stats|replicate|gen-trace|replay|serve|export|nbd-roundtrip|blackbox|host> \
+             ... (--help)"
                 .to_string(),
-        ),
+        )),
     }
+}
+
+/// `lsvdctl serve <bucket> <image> [<image> ...]`: a fleet node. Every
+/// image is opened and attached to one [`lsvd::fleet::ExportRegistry`] as
+/// a named NBD export, all of them served by a single poll reactor and a
+/// shared worker pool ([`nbd::serve_fleet`]). `--control-addr` adds the
+/// line-oriented control socket so `lsvdctl export ...` can create,
+/// attach and detach exports while the node runs.
+fn cmd_serve(opts: &Opts, bucket: &str, images: &[&str]) -> CmdResult {
+    use lsvd::fleet::{ControlServer, ExportRegistry, Provisioner, QosLimits};
+
+    // Reject a bad command line before opening (and mutating) any image.
+    validate_addr(&opts.addr, "--addr")?;
+    if let Some(caddr) = &opts.control_addr {
+        validate_addr(caddr, "--control-addr")?;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for image in images {
+        if !seen.insert(*image) {
+            return Err(CliError::DuplicateExport((*image).to_string()));
+        }
+    }
+    if opts.cache.is_some() && images.len() > 1 {
+        return Err("--cache names one file; it cannot back multiple images"
+            .to_string()
+            .into());
+    }
+
+    let registry = Arc::new(ExportRegistry::new(None));
+    for image in images {
+        let vol = open_volume(opts, bucket, image)?;
+        registry
+            .attach(image, SharedVolume::new(vol), QosLimits::default())
+            .map_err(|e| format!("attach {image}: {e}"))?;
+    }
+    let exports = registry.exports();
+
+    // Observability riders: either flag turns span tracing on for every
+    // export — the rings are sized for a sustained burst and cost nothing
+    // when idle, and both exporters are useless without spans.
+    if opts.metrics_addr.is_some() || opts.blackbox_dir.is_some() {
+        for e in &exports {
+            e.volume().span_ring().set_enabled(true);
+        }
+    }
+    // The flight recorder watches one span ring; on a multi-export node
+    // that is the first export by name (crash context for the whole
+    // process still lands in the dump via the panic hook).
+    let recorder = match &opts.blackbox_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("blackbox dir {dir}: {e}"))?;
+            let sv = exports[0].volume();
+            let fingerprint = sv
+                .with_volume(|v| {
+                    format!(
+                        "image={} uuid={:#018x} size={} cfg={:?} exports={}",
+                        v.image(),
+                        v.uuid(),
+                        v.size(),
+                        v.config(),
+                        images.len()
+                    )
+                })
+                .map_err(|e| format!("fingerprint: {e}"))?;
+            let rec =
+                telemetry::FlightRecorder::new(sv.span_ring(), fingerprint, dir.clone(), 1024, 512);
+            // Mirror every export's trace events into the black box and
+            // catch panics anywhere in the process.
+            for e in &exports {
+                let mirror = rec.clone();
+                e.volume()
+                    .with_volume(move |v| v.set_trace_hook(Box::new(move |r| mirror.note_event(r))))
+                    .map_err(|e| format!("trace hook: {e}"))?;
+            }
+            rec.install_panic_hook();
+            println!("flight recorder armed, dumping to {dir}");
+            Some(rec)
+        }
+        None => None,
+    };
+    let _metrics = match &opts.metrics_addr {
+        Some(maddr) => {
+            // The registry snapshot aggregates every export and carries
+            // the per-tenant breakdown, so /metrics grows one labeled
+            // family per export.
+            let mreg = registry.clone();
+            let server = telemetry::MetricsServer::start(
+                maddr.as_str(),
+                Box::new(move || Some(mreg.telemetry())),
+                exports[0].volume().span_ring(),
+            )
+            .map_err(|e| format!("metrics {maddr}: {e}"))?;
+            println!(
+                "metrics at http://{0}/metrics, http://{0}/snapshot, http://{0}/trace",
+                server.addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    drop(exports);
+
+    let cfg = ServerConfig {
+        oneshot: opts.oneshot,
+        recorder,
+        ..ServerConfig::default()
+    };
+    let handle = nbd::serve_fleet(&opts.addr, registry.clone(), cfg)
+        .map_err(|e| format!("serve {}: {e}", opts.addr))?;
+    for image in images {
+        println!(
+            "serving {image} at nbd://{}/{image}{}",
+            handle.addr(),
+            if opts.oneshot { " (oneshot)" } else { "" }
+        );
+    }
+    let control = match &opts.control_addr {
+        Some(caddr) => {
+            // CREATE/ATTACH provision volumes in this node's bucket, each
+            // with its own `<name>.cache` file of the configured size.
+            let bucket = bucket.to_string();
+            let cache_size = opts.cache_size;
+            let prov: Provisioner = Box::new(move |name, size| {
+                let store: Arc<dyn ObjectStore> =
+                    Arc::new(DirStore::open(&bucket).map_err(|e| {
+                        lsvd::LsvdError::BadVolume(format!("open bucket {bucket}: {e}"))
+                    })?);
+                let cache = Arc::new(
+                    FileDisk::create(format!("{name}.cache"), cache_size).map_err(|e| {
+                        lsvd::LsvdError::BadVolume(format!("cache {name}.cache: {e}"))
+                    })?,
+                );
+                let vol = match size {
+                    Some(bytes) => {
+                        Volume::create(store, cache, name, bytes, VolumeConfig::default())?
+                    }
+                    None => Volume::open(store, cache, name, VolumeConfig::default())?,
+                };
+                Ok(SharedVolume::new(vol))
+            });
+            let ctl = ControlServer::serve(caddr.as_str(), registry.clone(), Some(prov))
+                .map_err(|e| format!("control {caddr}: {e}"))?;
+            println!("control socket at {}", ctl.addr());
+            Some(ctl)
+        }
+        None => None,
+    };
+    // Oneshot returns after the first connection closes; otherwise this
+    // serves until the process is killed (recovery replays the cache tail
+    // on the next open).
+    handle.join();
+    if let Some(ctl) = control {
+        ctl.stop();
+    }
+    // Detach drains in-flight jobs, then flushes and checkpoints each
+    // volume.
+    for name in registry.list() {
+        registry
+            .detach(&name)
+            .map_err(|e| format!("shutdown {name}: {e}"))?;
+    }
+    println!("drained and checkpointed; clean shutdown");
+    Ok(())
+}
+
+/// `lsvdctl export <list|create|attach|detach> ... --control-addr <a>`:
+/// drive a running fleet node's control socket. Replies are printed
+/// verbatim; an `ERR` reply exits nonzero.
+fn cmd_export(opts: &Opts, rest: &[&str]) -> CmdResult {
+    let line = match rest {
+        ["list"] => "LIST".to_string(),
+        ["create", name, size] => format!("CREATE {name} {}", parse_size(size)?),
+        ["attach", name] => format!("ATTACH {name}"),
+        ["detach", name] => format!("DETACH {name}"),
+        _ => {
+            return Err(
+                "usage: lsvdctl export <list|create <name> <size>|attach <name>|\
+                 detach <name>> --control-addr <host:port>"
+                    .to_string()
+                    .into(),
+            )
+        }
+    };
+    let addr = opts
+        .control_addr
+        .as_deref()
+        .ok_or_else(|| CliError::Msg("export commands need --control-addr <host:port>".into()))?;
+    validate_addr(addr, "--control-addr")?;
+    let reply =
+        lsvd::fleet::control_request(addr, &line).map_err(|e| format!("control {addr}: {e}"))?;
+    if let Some(err) = reply.strip_prefix("ERR ") {
+        return Err(format!("control: {}", err.trim_end()).into());
+    }
+    print!("{reply}");
+    Ok(())
 }
 
 /// Offline, read-only integrity check of an image's backend state: parses
@@ -570,7 +759,7 @@ fn run(opts: &Opts) -> CmdResult {
 /// beyond the prefix cut are *reported*, never deleted — unlike
 /// `Volume::open`, a verifier must not mutate the bucket. Exits nonzero
 /// with a per-object report if anything fails.
-fn cmd_check(bucket: &str, image: &str) -> CmdResult {
+fn cmd_check(bucket: &str, image: &str) -> Result<(), String> {
     use lsvd::checkpoint::CheckpointData;
     use lsvd::crc::crc32c;
     use lsvd::types::{object_name, parse_object_seq, ObjSeq, SECTOR};
@@ -732,7 +921,7 @@ fn cmd_check(bucket: &str, image: &str) -> CmdResult {
 /// Loopback smoke: serve the image oneshot on an ephemeral port, drive the
 /// in-tree NBD client through the full command set, and verify readback.
 /// Exits nonzero on any mismatch, so CI can gate on it.
-fn nbd_roundtrip(opts: &Opts, bucket: &str, image: &str) -> CmdResult {
+fn nbd_roundtrip(opts: &Opts, bucket: &str, image: &str) -> Result<(), String> {
     let vol = open_volume(opts, bucket, image)?;
     let sv = SharedVolume::new(vol);
     let cfg = ServerConfig {

@@ -103,6 +103,15 @@ pub struct VolumeConfig {
     /// doesn't cache them. `0` disables admission control (everything is
     /// admitted).
     pub scan_bypass_bytes: u64,
+    /// Tenant read-cache byte quota (ECI-Cache partitioning): once this
+    /// volume's resident read-cache footprint reaches the quota, miss
+    /// fetches still serve their data but stop admitting it, so on a
+    /// fleet node one tenant cannot grow at its neighbours' expense. `0`
+    /// (the default, and the right setting for a single-tenant volume)
+    /// disables the quota. The fleet rebalancer adjusts it at runtime via
+    /// [`ReadPlane::set_cache_quota_bytes`]
+    /// (crate::read_plane::ReadPlane::set_cache_quota_bytes).
+    pub cache_quota_bytes: u64,
 }
 
 impl Default for VolumeConfig {
@@ -134,6 +143,7 @@ impl Default for VolumeConfig {
             hdr_cache_entries: 512,
             verify_get_crc: false,
             scan_bypass_bytes: 2 << 20,
+            cache_quota_bytes: 0,
         }
     }
 }
@@ -210,6 +220,10 @@ impl VolumeConfig {
         assert!(
             self.scan_bypass_bytes.is_multiple_of(SECTOR),
             "scan bypass threshold not sector-aligned"
+        );
+        assert!(
+            self.cache_quota_bytes.is_multiple_of(SECTOR),
+            "cache quota not sector-aligned"
         );
         if self.writeback_threads > 0 {
             assert!(

@@ -63,6 +63,7 @@ pub mod config;
 pub mod crc;
 pub mod engine;
 pub mod extent_map;
+pub mod fleet;
 pub mod gc;
 pub mod gcsim;
 pub mod host;

@@ -277,6 +277,8 @@ pub(crate) struct PlaneCounters {
     pub admitted_sectors: AtomicU64,
     /// Sectors a detected scan kept *out* of the read cache.
     pub bypassed_sectors: AtomicU64,
+    /// Sectors the tenant byte quota kept out of the read cache.
+    pub quota_bypassed_sectors: AtomicU64,
     /// Fetches that parked on another reader's in-flight GET.
     pub singleflight_waits: AtomicU64,
     /// Parked fetches fully served from the leader's window (GETs saved).
@@ -306,6 +308,7 @@ pub struct ReadPlaneStats {
     pub scatter_gets: u64,
     pub admitted_sectors: u64,
     pub bypassed_sectors: u64,
+    pub quota_bypassed_sectors: u64,
     pub singleflight_waits: u64,
     pub singleflight_shared: u64,
     pub crc_combine_ops: u64,
@@ -348,6 +351,13 @@ pub struct ReadPlane {
     /// Sequential-run threshold (sectors) past which fetches bypass
     /// read-cache admission; 0 disables admission control.
     scan_bypass_sectors: u64,
+    /// Tenant byte quota for the read cache, in sectors; 0 = unlimited.
+    /// On a fleet node every tenant's SSD cache competes for shared
+    /// backend bandwidth, so admission stops (fetches still serve, they
+    /// just bypass the cache) once this volume's resident footprint
+    /// reaches its allocation — ECI-Cache-style partitioning. Adjustable
+    /// at runtime by the fleet rebalancer.
+    cache_quota_sectors: AtomicU64,
     /// Writeback pool handle for scatter-gather prefetch GETs; `None` in
     /// serial mode.
     pool: Option<Arc<WritebackPool>>,
@@ -387,6 +397,7 @@ impl ReadPlane {
             prefetch_bytes: cfg.prefetch_bytes,
             verify_get_crc: cfg.verify_get_crc,
             scan_bypass_sectors: cfg.scan_bypass_bytes / SECTOR,
+            cache_quota_sectors: AtomicU64::new(cfg.cache_quota_bytes / SECTOR),
             pool,
             state: RwLock::new(ReadState {
                 wcache_map: ExtentMap::new(),
@@ -402,6 +413,34 @@ impl ReadPlane {
             shared_lock_wait: LatencyRecorder::new(),
             excl_lock_wait: LatencyRecorder::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Tenant cache quota (fleet partitioning)
+    // ------------------------------------------------------------------
+
+    /// Sets this volume's read-cache byte quota (rounded down to whole
+    /// sectors; 0 = unlimited). Takes effect on the next admission.
+    pub fn set_cache_quota_bytes(&self, bytes: u64) {
+        self.cache_quota_sectors
+            .store(bytes / SECTOR, Ordering::Relaxed);
+    }
+
+    /// The current read-cache byte quota (0 = unlimited).
+    pub fn cache_quota_bytes(&self) -> u64 {
+        self.cache_quota_sectors.load(Ordering::Relaxed) * SECTOR
+    }
+
+    /// Bytes currently resident in this volume's read cache.
+    pub fn cache_resident_bytes(&self) -> u64 {
+        let s = self.read_state().rcache.stats();
+        s.inserted_sectors.saturating_sub(s.evicted_sectors) * SECTOR
+    }
+
+    /// Read-cache hit sectors so far (the fleet rebalancer's hit-density
+    /// numerator).
+    pub fn cache_hit_sectors(&self) -> u64 {
+        self.read_state().rcache.stats().hit_sectors
     }
 
     // ------------------------------------------------------------------
@@ -858,21 +897,39 @@ impl ReadPlane {
         data: &Bytes,
         bypass: bool,
     ) -> Result<()> {
-        if bypass {
-            let mut skipped = 0u64;
+        let window_sectors = || {
+            let mut covered = 0u64;
             let mut obj_off = 0u64;
             for &(_, elen) in entry.extents.iter() {
                 let e_lo = obj_off;
                 let e_hi = obj_off + elen as u64;
                 obj_off = e_hi;
-                skipped += e_hi.min(win_hi).saturating_sub(e_lo.max(win_lo));
+                covered += e_hi.min(win_hi).saturating_sub(e_lo.max(win_lo));
             }
+            covered
+        };
+        if bypass {
             self.counters
                 .bypassed_sectors
-                .fetch_add(skipped, Ordering::Relaxed);
+                .fetch_add(window_sectors(), Ordering::Relaxed);
             return Ok(());
         }
         let mut st = self.write_state();
+        // Tenant quota: once this volume's resident footprint reaches its
+        // allocation, fetches still serve but stop admitting — the noisy
+        // tenant cannot evict its neighbours' working sets. Checked under
+        // the exclusive lock so the footprint reading is exact.
+        let quota = self.cache_quota_sectors.load(Ordering::Relaxed);
+        if quota > 0 {
+            let s = st.rcache.stats();
+            if s.inserted_sectors.saturating_sub(s.evicted_sectors) >= quota {
+                drop(st);
+                self.counters
+                    .quota_bypassed_sectors
+                    .fetch_add(window_sectors(), Ordering::Relaxed);
+                return Ok(());
+            }
+        }
         let mut admitted = 0u64;
         let mut obj_off = 0u64;
         for &(elba, elen) in entry.extents.iter() {
@@ -988,6 +1045,7 @@ impl ReadPlane {
             scatter_gets: r(&c.scatter_gets),
             admitted_sectors: r(&c.admitted_sectors),
             bypassed_sectors: r(&c.bypassed_sectors),
+            quota_bypassed_sectors: r(&c.quota_bypassed_sectors),
             singleflight_waits: r(&c.singleflight_waits),
             singleflight_shared: r(&c.singleflight_shared),
             crc_combine_ops: r(&c.crc_combine_ops),

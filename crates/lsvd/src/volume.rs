@@ -52,7 +52,7 @@ use crate::types::{
     Result, SECTOR,
 };
 use crate::wlog::{RecordInfo, WriteLog};
-use crate::writeback::{DurableFrontier, WritebackPool};
+use crate::writeback::{DurableFrontier, PoolChannel, WritebackPool};
 
 /// Cache-device superblock location and size (sectors).
 const CACHE_SB_SECTORS: u64 = 8;
@@ -269,10 +269,12 @@ pub struct Volume {
     /// `VolumeConfig::max_pending_batches`, past which writes that would
     /// seal another batch fail with [`LsvdError::Backpressure`].
     pending_puts: VecDeque<(ObjSeq, PutPayload)>,
-    /// Writeback worker pool; `None` runs the fully serial path
-    /// (`writeback_threads == 0`), where every PUT happens inline. Shared
-    /// with the read plane, whose miss fetches scatter-gather over it.
-    pool: Option<Arc<WritebackPool>>,
+    /// Writeback pool handle; `None` runs the fully serial path
+    /// (`writeback_threads == 0`), where every PUT happens inline. The
+    /// channel routes this volume's PUT completions back to it even when
+    /// the underlying pool is shared by a whole fleet of volumes; the read
+    /// plane's miss fetches scatter-gather over the same pool.
+    pool: Option<PoolChannel>,
     /// Payloads handed to the pool and not yet completed, by sequence.
     inflight: BTreeMap<ObjSeq, PutPayload>,
     /// Payloads whose PUT completed *out of order*: durable in the backend
@@ -507,6 +509,31 @@ impl Volume {
         size_bytes: u64,
         cfg: VolumeConfig,
     ) -> Result<Volume> {
+        Self::create_with(store, dev, image, size_bytes, cfg, None)
+    }
+
+    /// Like [`Volume::create`], but the new volume joins `pool` (a fleet
+    /// node's shared writeback pool) on a private completion channel
+    /// instead of spawning its own workers.
+    pub fn create_in_pool(
+        store: Arc<dyn ObjectStore>,
+        dev: Arc<dyn BlockDevice>,
+        image: &str,
+        size_bytes: u64,
+        cfg: VolumeConfig,
+        pool: Arc<WritebackPool>,
+    ) -> Result<Volume> {
+        Self::create_with(store, dev, image, size_bytes, cfg, Some(pool))
+    }
+
+    fn create_with(
+        store: Arc<dyn ObjectStore>,
+        dev: Arc<dyn BlockDevice>,
+        image: &str,
+        size_bytes: u64,
+        cfg: VolumeConfig,
+        shared_pool: Option<Arc<WritebackPool>>,
+    ) -> Result<Volume> {
         cfg.validate();
         if size_bytes == 0 || !size_bytes.is_multiple_of(SECTOR) {
             return Err(LsvdError::InvalidAccess {
@@ -542,6 +569,7 @@ impl Volume {
             vec![],
             vec![],
             0,
+            shared_pool,
         )
     }
 
@@ -596,6 +624,30 @@ impl Volume {
         image: &str,
         cfg: VolumeConfig,
     ) -> Result<Volume> {
+        Self::open_with(store, dev, image, cfg, None)
+    }
+
+    /// Like [`Volume::open`], but the volume joins `pool` (a fleet node's
+    /// shared writeback pool) on a private completion channel instead of
+    /// spawning its own workers. The shared pool takes precedence over
+    /// `writeback_threads` — a fleet member is always pipelined.
+    pub fn open_in_pool(
+        store: Arc<dyn ObjectStore>,
+        dev: Arc<dyn BlockDevice>,
+        image: &str,
+        cfg: VolumeConfig,
+        pool: Arc<WritebackPool>,
+    ) -> Result<Volume> {
+        Self::open_with(store, dev, image, cfg, Some(pool))
+    }
+
+    fn open_with(
+        store: Arc<dyn ObjectStore>,
+        dev: Arc<dyn BlockDevice>,
+        image: &str,
+        cfg: VolumeConfig,
+        shared_pool: Option<Arc<WritebackPool>>,
+    ) -> Result<Volume> {
         cfg.validate();
         let stack = build_store_stack(store, &cfg);
         let rb = recovery::recover_backend(stack.store.as_ref(), image, None)?;
@@ -613,8 +665,12 @@ impl Volume {
                 // Restore the persisted read-cache map if present (§3.2);
                 // a cold cache is always safe.
                 let rcache = ReadCache::load(dev.clone(), c.rc_start, c.rc_sectors);
-                let pool =
-                    WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new);
+                let pool = match shared_pool {
+                    Some(p) => Some(p),
+                    None => WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads)
+                        .map(Arc::new),
+                };
+                let chan = pool.clone().map(PoolChannel::new);
                 let spans = Arc::new(SpanRing::new(SPAN_RING_CAPACITY, SPAN_RING_SHARDS));
                 let plane = Arc::new(ReadPlane::new(
                     dev.clone(),
@@ -636,7 +692,7 @@ impl Volume {
                     plane,
                     batch: BatchBuilder::new(),
                     pending_puts: VecDeque::new(),
-                    pool,
+                    pool: chan,
                     inflight: BTreeMap::new(),
                     landed: BTreeMap::new(),
                     durable: DurableFrontier::new(rb.last_seq),
@@ -677,6 +733,7 @@ impl Volume {
                     rb.snapshots,
                     rb.deferred_deletes,
                     rb.ckpt_seq,
+                    shared_pool,
                 )
             }
         }
@@ -713,6 +770,7 @@ impl Volume {
             rb.snapshots,
             rb.deferred_deletes,
             rb.ckpt_seq,
+            None,
         )?;
         vol.read_only = true;
         Ok(vol)
@@ -730,6 +788,7 @@ impl Volume {
         snapshots: Vec<(String, ObjSeq)>,
         deferred_deletes: Vec<(ObjSeq, ObjSeq)>,
         last_ckpt_seq: ObjSeq,
+        shared_pool: Option<Arc<WritebackPool>>,
     ) -> Result<Volume> {
         let (wc_start, wc_sectors, rc_start, rc_sectors) = cache_layout(&dev, &cfg);
         let cache_sb = CacheSb {
@@ -746,7 +805,11 @@ impl Volume {
         let wlog = WriteLog::format(dev.clone(), wc_start, wc_sectors, frontier + 1)?;
         let rcache = ReadCache::new(dev.clone(), rc_start, rc_sectors);
         dev.flush()?;
-        let pool = WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new);
+        let pool = match shared_pool {
+            Some(p) => Some(p),
+            None => WritebackPool::spawn(stack.store.clone(), cfg.writeback_threads).map(Arc::new),
+        };
+        let chan = pool.clone().map(PoolChannel::new);
         let spans = Arc::new(SpanRing::new(SPAN_RING_CAPACITY, SPAN_RING_SHARDS));
         let plane = Arc::new(ReadPlane::new(
             dev.clone(),
@@ -768,7 +831,7 @@ impl Volume {
             plane,
             batch: BatchBuilder::new(),
             pending_puts: VecDeque::new(),
-            pool,
+            pool: chan,
             inflight: BTreeMap::new(),
             landed: BTreeMap::new(),
             durable: DurableFrontier::new(last_seq),
@@ -2451,6 +2514,7 @@ impl Volume {
                 miss_reads: p.miss_reads,
                 admitted_sectors: p.admitted_sectors,
                 bypassed_sectors: p.bypassed_sectors,
+                quota_bypassed_sectors: p.quota_bypassed_sectors,
                 singleflight_waits: p.singleflight_waits,
                 singleflight_shared: p.singleflight_shared,
                 shared_lock_acqs: p.shared_lock_acqs,
@@ -2478,6 +2542,9 @@ impl Volume {
                 requests: self.spans.virt(),
                 enabled: self.spans.enabled(),
             },
+            // A single volume has no per-export breakdown; the fleet
+            // registry attaches one when aggregating node telemetry.
+            tenants: Vec::new(),
         }
     }
 

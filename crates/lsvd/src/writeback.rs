@@ -37,6 +37,10 @@ type GetPart = objstore::Result<(Bytes, Option<u32>)>;
 /// A unit of work for the pool.
 enum Job {
     Put {
+        /// Completion channel: the volume that submitted this PUT. A pool
+        /// shared by a fleet of volumes routes each completion back to its
+        /// submitter instead of letting one volume harvest another's.
+        chan: u64,
         seq: ObjSeq,
         name: String,
         data: Bytes,
@@ -55,7 +59,7 @@ enum Job {
 
 /// A finished unit of work.
 enum Done {
-    Put(PutCompletion),
+    Put(u64, PutCompletion),
     Get {
         token: u64,
         result: objstore::Result<(Bytes, Option<u32>)>,
@@ -77,13 +81,18 @@ pub struct PutCompletion {
 struct PoolState {
     queue: VecDeque<Job>,
     done: Vec<Done>,
-    active_puts: usize,
+    /// PUTs currently executing on a worker, keyed by channel.
+    active_puts: std::collections::HashMap<u64, usize>,
     shutdown: bool,
 }
 
 impl PoolState {
-    fn puts_outstanding(&self) -> bool {
-        self.active_puts > 0 || self.queue.iter().any(|j| matches!(j, Job::Put { .. }))
+    fn puts_outstanding(&self, chan: u64) -> bool {
+        self.active_puts.get(&chan).copied().unwrap_or(0) > 0
+            || self
+                .queue
+                .iter()
+                .any(|j| matches!(j, Job::Put { chan: c, .. } if *c == chan))
     }
 }
 
@@ -109,6 +118,7 @@ pub struct WritebackPool {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     next_token: AtomicU64,
+    next_chan: AtomicU64,
 }
 
 impl WritebackPool {
@@ -123,7 +133,7 @@ impl WritebackPool {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
                 done: Vec::new(),
-                active_puts: 0,
+                active_puts: std::collections::HashMap::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -142,6 +152,7 @@ impl WritebackPool {
             shared,
             threads,
             next_token: AtomicU64::new(0),
+            next_chan: AtomicU64::new(1),
         })
     }
 
@@ -150,35 +161,64 @@ impl WritebackPool {
         self.threads.len()
     }
 
-    /// Queues one batch PUT. `data` is the sealed object's shared buffer
-    /// ([`Bytes`]), so no copy happens between sealing and the wire.
+    /// Allocates a fresh completion channel id. Channel `0` is the
+    /// implicit single-volume channel used by the bare `submit_put` /
+    /// `poll_puts` / `wait_puts` convenience methods.
+    pub fn alloc_chan(&self) -> u64 {
+        self.next_chan.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Queues one batch PUT on the default channel. `data` is the sealed
+    /// object's shared buffer ([`Bytes`]), so no copy happens between
+    /// sealing and the wire.
     pub fn submit_put(&self, seq: ObjSeq, name: String, data: Bytes) {
+        self.submit_put_chan(0, seq, name, data);
+    }
+
+    /// Queues one batch PUT whose completion will be routed to `chan`.
+    pub fn submit_put_chan(&self, chan: u64, seq: ObjSeq, name: String, data: Bytes) {
         {
             let mut st = self.shared.state.lock();
-            st.queue.push_back(Job::Put { seq, name, data });
+            st.queue.push_back(Job::Put {
+                chan,
+                seq,
+                name,
+                data,
+            });
         }
         self.shared.work_cv.notify_one();
     }
 
-    /// Harvests every PUT completion available right now, never blocking.
-    /// Completions arrive in *finish* order, which may differ from
-    /// submission order.
+    /// Harvests every default-channel PUT completion available right now,
+    /// never blocking. Completions arrive in *finish* order, which may
+    /// differ from submission order.
     pub fn poll_puts(&self) -> Vec<PutCompletion> {
-        let mut st = self.shared.state.lock();
-        take_puts(&mut st)
+        self.poll_puts_chan(0)
     }
 
-    /// Blocks until at least one PUT completes, then harvests all
-    /// available completions. Returns an empty vec immediately if no PUT
-    /// is queued or running (nothing to wait for).
+    /// Harvests every completion available on `chan` right now.
+    pub fn poll_puts_chan(&self, chan: u64) -> Vec<PutCompletion> {
+        let mut st = self.shared.state.lock();
+        take_puts(&mut st, chan)
+    }
+
+    /// Blocks until at least one default-channel PUT completes, then
+    /// harvests all available completions. Returns an empty vec
+    /// immediately if no PUT is queued or running (nothing to wait for).
     pub fn wait_puts(&self) -> Vec<PutCompletion> {
+        self.wait_puts_chan(0)
+    }
+
+    /// Blocks until at least one PUT on `chan` completes. Other channels'
+    /// completions are left untouched for their owners.
+    pub fn wait_puts_chan(&self, chan: u64) -> Vec<PutCompletion> {
         let mut st = self.shared.state.lock();
         loop {
-            let puts = take_puts(&mut st);
+            let puts = take_puts(&mut st, chan);
             if !puts.is_empty() {
                 return puts;
             }
-            if !st.puts_outstanding() {
+            if !st.puts_outstanding(chan) {
                 return Vec::new();
             }
             self.shared.done_cv.wait(&mut st);
@@ -272,12 +312,71 @@ impl Drop for WritebackPool {
     }
 }
 
-fn take_puts(st: &mut PoolState) -> Vec<PutCompletion> {
+/// One volume's handle onto a (possibly shared) [`WritebackPool`]: a pool
+/// reference plus a private completion channel. A fleet node hosts many
+/// volumes over one pool; each volume submits and harvests through its
+/// own channel so completions never cross tenants, while scatter GETs
+/// (already token-routed) share the workers freely.
+#[derive(Clone)]
+pub struct PoolChannel {
+    pool: Arc<WritebackPool>,
+    chan: u64,
+}
+
+impl PoolChannel {
+    /// Wraps `pool` with a freshly allocated private channel.
+    pub fn new(pool: Arc<WritebackPool>) -> PoolChannel {
+        let chan = pool.alloc_chan();
+        PoolChannel { pool, chan }
+    }
+
+    /// The underlying shared pool (for scatter GETs and sizing).
+    pub fn pool(&self) -> &Arc<WritebackPool> {
+        &self.pool
+    }
+
+    /// Number of worker threads in the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Queues one batch PUT on this channel.
+    pub fn submit_put(&self, seq: ObjSeq, name: String, data: Bytes) {
+        self.pool.submit_put_chan(self.chan, seq, name, data);
+    }
+
+    /// Harvests every completion available on this channel, non-blocking.
+    pub fn poll_puts(&self) -> Vec<PutCompletion> {
+        self.pool.poll_puts_chan(self.chan)
+    }
+
+    /// Blocks until at least one PUT on this channel completes (empty vec
+    /// immediately if none queued or running).
+    pub fn wait_puts(&self) -> Vec<PutCompletion> {
+        self.pool.wait_puts_chan(self.chan)
+    }
+
+    /// Fetches several ranges of one object concurrently (shared lane).
+    pub fn get_scatter(&self, name: &str, ranges: &[(u64, u64)]) -> Vec<objstore::Result<Bytes>> {
+        self.pool.get_scatter(name, ranges)
+    }
+
+    /// Scatter GET with worker-side CRC (shared lane).
+    pub fn get_scatter_crc(
+        &self,
+        name: &str,
+        ranges: &[(u64, u64)],
+    ) -> Vec<objstore::Result<(Bytes, u32)>> {
+        self.pool.get_scatter_crc(name, ranges)
+    }
+}
+
+fn take_puts(st: &mut PoolState, chan: u64) -> Vec<PutCompletion> {
     let mut out = Vec::new();
     for d in std::mem::take(&mut st.done) {
         match d {
-            Done::Put(c) => out.push(c),
-            get => st.done.push(get),
+            Done::Put(c, done) if c == chan => out.push(done),
+            other => st.done.push(other),
         }
     }
     out
@@ -292,8 +391,8 @@ fn worker(shared: Arc<Shared>) {
                     return;
                 }
                 if let Some(j) = st.queue.pop_front() {
-                    if matches!(j, Job::Put { .. }) {
-                        st.active_puts += 1;
+                    if let Job::Put { chan, .. } = &j {
+                        *st.active_puts.entry(*chan).or_insert(0) += 1;
                     }
                     break j;
                 }
@@ -301,17 +400,25 @@ fn worker(shared: Arc<Shared>) {
             }
         };
         // Run the store call without any lock held.
-        let (done, was_put) = match job {
-            Job::Put { seq, name, data } => {
+        let (done, put_chan) = match job {
+            Job::Put {
+                chan,
+                seq,
+                name,
+                data,
+            } => {
                 let start = Instant::now();
                 let result = shared.store.put(&name, data);
                 (
-                    Done::Put(PutCompletion {
-                        seq,
-                        result,
-                        service: start.elapsed(),
-                    }),
-                    true,
+                    Done::Put(
+                        chan,
+                        PutCompletion {
+                            seq,
+                            result,
+                            service: start.elapsed(),
+                        },
+                    ),
+                    Some(chan),
                 )
             }
             Job::Get {
@@ -328,13 +435,15 @@ fn worker(shared: Arc<Shared>) {
                         (b, c)
                     }),
                 },
-                false,
+                None,
             ),
         };
         {
             let mut st = shared.state.lock();
-            if was_put {
-                st.active_puts -= 1;
+            if let Some(chan) = put_chan {
+                if let Some(n) = st.active_puts.get_mut(&chan) {
+                    *n -= 1;
+                }
             }
             st.done.push(done);
         }
@@ -485,6 +594,41 @@ mod tests {
         assert_eq!(seen, (1..=8).collect::<Vec<_>>());
         assert_eq!(store.object_count(), 8);
         // Nothing left to wait for: returns immediately, empty.
+        assert!(pool.wait_puts().is_empty());
+    }
+
+    #[test]
+    fn pool_channels_isolate_completions() {
+        let store = Arc::new(MemStore::new());
+        let pool = Arc::new(WritebackPool::spawn(store.clone(), 2).unwrap());
+        let a = PoolChannel::new(pool.clone());
+        let b = PoolChannel::new(pool.clone());
+        for seq in 1..=4u32 {
+            a.submit_put(seq, format!("a.{seq}"), Bytes::from(vec![1u8; 32]));
+            b.submit_put(seq, format!("b.{seq}"), Bytes::from(vec![2u8; 32]));
+        }
+        let mut a_seen = Vec::new();
+        while a_seen.len() < 4 {
+            for c in a.wait_puts() {
+                c.result.unwrap();
+                a_seen.push(c.seq);
+            }
+        }
+        a_seen.sort_unstable();
+        assert_eq!(a_seen, vec![1, 2, 3, 4]);
+        // Channel B's completions were never visible to A; B harvests all
+        // four of its own.
+        let mut b_seen = Vec::new();
+        while b_seen.len() < 4 {
+            for c in b.wait_puts() {
+                c.result.unwrap();
+                b_seen.push(c.seq);
+            }
+        }
+        b_seen.sort_unstable();
+        assert_eq!(b_seen, vec![1, 2, 3, 4]);
+        assert_eq!(store.object_count(), 8);
+        // The legacy chan-0 convenience sees neither.
         assert!(pool.wait_puts().is_empty());
     }
 

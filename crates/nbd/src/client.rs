@@ -177,4 +177,97 @@ impl Client {
         };
         self.stream.write_all(&encode_request(&req))
     }
+
+    /// Consumes the client, returning the negotiated raw stream for
+    /// callers that pipeline requests themselves ([`pipeline_writes`] /
+    /// [`collect_replies`]).
+    pub fn into_raw(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Connects to `addr` and asks the server for its export names via
+    /// `NBD_OPT_LIST` (one `NBD_REP_SERVER` per export, then an ACK),
+    /// then aborts the negotiation cleanly.
+    pub fn list_exports(addr: impl ToSocketAddrs) -> io::Result<Vec<String>> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut hello = [0u8; 18];
+        stream.read_exact(&mut hello)?;
+        if u64::from_be_bytes(hello[0..8].try_into().unwrap()) != MAGIC_NBD
+            || u64::from_be_bytes(hello[8..16].try_into().unwrap()) != MAGIC_IHAVEOPT
+        {
+            return Err(bad_data("bad server magic"));
+        }
+        stream.write_all(&(CLIENT_FIXED_NEWSTYLE | CLIENT_NO_ZEROES).to_be_bytes())?;
+        stream.write_all(&encode_option(OPT_LIST, b""))?;
+        let mut names = Vec::new();
+        loop {
+            let mut hdr = [0u8; OPTION_REPLY_HDR_LEN];
+            stream.read_exact(&mut hdr)?;
+            let (_, reply_type, len) = decode_option_reply_header(&hdr)
+                .ok_or_else(|| bad_data("bad option-reply magic"))?;
+            if len > MAX_OPTION_LEN {
+                return Err(bad_data("oversized option reply"));
+            }
+            let mut payload = vec![0u8; len as usize];
+            stream.read_exact(&mut payload)?;
+            match reply_type {
+                REP_SERVER => {
+                    let name = decode_server_entry(&payload)
+                        .ok_or_else(|| bad_data("bad NBD_REP_SERVER payload"))?;
+                    names.push(name);
+                }
+                REP_ACK => break,
+                t if t & 0x8000_0000 != 0 => {
+                    return Err(io::Error::other(format!("LIST failed: reply {t:#x}")));
+                }
+                _ => {}
+            }
+        }
+        let _ = stream.write_all(&encode_option(OPT_ABORT, b""));
+        Ok(names)
+    }
+}
+
+/// Fires `n` back-to-back single-block writes without awaiting replies
+/// (block `i` lands at `base + i * block`, filled with the byte `i`).
+/// Cookies are `1..=n`; pair with [`collect_replies`]. This is how tests
+/// push a server's per-connection window instead of the one-at-a-time
+/// [`Client`] methods.
+pub fn pipeline_writes(
+    stream: &mut TcpStream,
+    base: u64,
+    block: usize,
+    n: usize,
+) -> io::Result<()> {
+    for i in 0..n {
+        let req = Request {
+            flags: 0,
+            cmd: CMD_WRITE,
+            cookie: (i + 1) as u64,
+            offset: base + (i as u64) * (block as u64),
+            length: block as u32,
+        };
+        stream.write_all(&encode_request(&req))?;
+        stream.write_all(&vec![i as u8; block])?;
+    }
+    Ok(())
+}
+
+/// Collects `n` simple replies from a pipelined burst, failing on any
+/// nonzero reply error. Replies may arrive in any order (cookies are not
+/// checked against issue order, only counted).
+pub fn collect_replies(stream: &mut TcpStream, n: usize) -> io::Result<()> {
+    for _ in 0..n {
+        let mut hdr = [0u8; SIMPLE_REPLY_LEN];
+        stream.read_exact(&mut hdr)?;
+        let reply = decode_simple_reply(&hdr).ok_or_else(|| bad_data("bad reply magic"))?;
+        if reply.error != 0 {
+            return Err(io::Error::other(format!(
+                "nbd error {} for cookie {}",
+                reply.error, reply.cookie
+            )));
+        }
+    }
+    Ok(())
 }

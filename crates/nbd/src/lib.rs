@@ -6,23 +6,26 @@
 //! over `std::net` that exports any LSVD volume to the kernel's
 //! `nbd-client`, `qemu-nbd`, or the minimal in-tree [`client`].
 //!
-//! - [`server`] — fixed-newstyle handshake, `NBD_OPT_GO` negotiation, and
-//!   a transmission phase mapping READ/WRITE/FLUSH/FUA/TRIM onto
-//!   [`lsvd::shared::SharedVolume`], with a two-lane concurrent request
-//!   scheduler (ordered mutations, concurrent reads) and per-connection
-//!   bounded in-flight windows;
+//! - [`server`] — [`serve`] / [`serve_fleet`]: a poll-based reactor
+//!   thread multiplexing every connection (fixed-newstyle handshake,
+//!   `NBD_OPT_GO` / `NBD_OPT_LIST` negotiation routed through an
+//!   [`lsvd::fleet::ExportRegistry`]) over a shared worker pool, with
+//!   per-export ordered-mutation lanes, deficit-round-robin fairness,
+//!   QoS token buckets, and per-connection in-flight windows;
 //! - [`client`] — a one-request-at-a-time client for tests, benches and
-//!   `lsvdctl nbd-roundtrip`;
+//!   `lsvdctl nbd-roundtrip`, plus pipelining helpers;
 //! - [`proto`] — pure frame codecs, property-tested in
 //!   `tests/properties.rs`.
 //!
 //! Serving-plane latency splits (socket-wait / queue-wait / service) and
-//! counters surface through `Volume::telemetry()` via
+//! per-tenant counters surface through `Volume::telemetry()` via
 //! [`telemetry::ServingRecorders`].
 
 pub mod client;
 pub mod proto;
+mod reactor;
+mod sched;
 pub mod server;
 
 pub use client::Client;
-pub use server::{serve, ServerConfig, ServerHandle, MAX_IO_BYTES};
+pub use server::{serve, serve_fleet, ServerConfig, ServerHandle, MAX_IO_BYTES};

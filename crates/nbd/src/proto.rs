@@ -32,11 +32,15 @@ pub const CLIENT_NO_ZEROES: u32 = 1 << 1;
 
 /// Option: abort the negotiation.
 pub const OPT_ABORT: u32 = 2;
+/// Option: list the server's export names (`NBD_OPT_LIST`).
+pub const OPT_LIST: u32 = 3;
 /// Option: select an export and move to transmission (`NBD_OPT_GO`).
 pub const OPT_GO: u32 = 7;
 
 /// Option reply: acknowledged.
 pub const REP_ACK: u32 = 1;
+/// Option reply: one export name, in response to `NBD_OPT_LIST`.
+pub const REP_SERVER: u32 = 2;
 /// Option reply: an information block follows.
 pub const REP_INFO: u32 = 3;
 /// Option reply error: unsupported option.
@@ -81,6 +85,13 @@ pub const ENOSPC: u32 = 28;
 pub const REQUEST_LEN: usize = 28;
 /// Byte length of a simple reply frame.
 pub const SIMPLE_REPLY_LEN: usize = 16;
+/// Byte length of a client option header (`IHAVEOPT option length`).
+pub const OPTION_HDR_LEN: usize = 16;
+/// Byte length of an option reply header (`magic option type length`).
+pub const OPTION_REPLY_HDR_LEN: usize = 20;
+/// Ceiling on an option payload a server will accept; anything larger is
+/// a protocol violation (export names are tiny).
+pub const MAX_OPTION_LEN: u32 = 4096;
 
 /// A parsed transmission-phase request header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +206,54 @@ pub fn decode_info_export(b: &[u8]) -> Option<(u64, u16)> {
     ))
 }
 
+/// Decodes a client option header (`IHAVEOPT option length`); `None` on
+/// bad magic. The caller still has to bound-check `length`.
+pub fn decode_option_header(b: &[u8; OPTION_HDR_LEN]) -> Option<(u32, u32)> {
+    if u64::from_be_bytes(b[0..8].try_into().unwrap()) != MAGIC_IHAVEOPT {
+        return None;
+    }
+    Some((
+        u32::from_be_bytes(b[8..12].try_into().unwrap()),
+        u32::from_be_bytes(b[12..16].try_into().unwrap()),
+    ))
+}
+
+/// Decodes an option reply header into `(option, reply type, length)`;
+/// `None` on bad magic.
+pub fn decode_option_reply_header(b: &[u8; OPTION_REPLY_HDR_LEN]) -> Option<(u32, u32, u32)> {
+    if u64::from_be_bytes(b[0..8].try_into().unwrap()) != MAGIC_OPT_REPLY {
+        return None;
+    }
+    Some((
+        u32::from_be_bytes(b[8..12].try_into().unwrap()),
+        u32::from_be_bytes(b[12..16].try_into().unwrap()),
+        u32::from_be_bytes(b[16..20].try_into().unwrap()),
+    ))
+}
+
+/// Builds one `NBD_REP_SERVER` payload: a length-prefixed export name.
+/// The server answers `NBD_OPT_LIST` with one such reply per export,
+/// then a bare `NBD_REP_ACK`.
+pub fn encode_server_entry(export: &str) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + export.len());
+    b.extend_from_slice(&(export.len() as u32).to_be_bytes());
+    b.extend_from_slice(export.as_bytes());
+    b
+}
+
+/// Parses an `NBD_REP_SERVER` payload back into the export name;
+/// `None` on a short buffer, length mismatch, or non-UTF-8 name.
+pub fn decode_server_entry(b: &[u8]) -> Option<String> {
+    if b.len() < 4 {
+        return None;
+    }
+    let name_len = u32::from_be_bytes(b[0..4].try_into().unwrap()) as usize;
+    if b.len() != 4 + name_len {
+        return None;
+    }
+    std::str::from_utf8(&b[4..]).ok().map(str::to_string)
+}
+
 /// The `NBD_OPT_GO` payload: a length-prefixed export name plus a
 /// (zero here) count of information requests.
 pub fn encode_go_payload(export: &str) -> Vec<u8> {
@@ -268,5 +327,112 @@ mod tests {
         let tf = TFLAG_HAS_FLAGS | TFLAG_SEND_FLUSH | TFLAG_SEND_FUA | TFLAG_SEND_TRIM;
         let b = encode_info_export(1 << 30, tf);
         assert_eq!(decode_info_export(&b), Some((1 << 30, tf)));
+    }
+
+    #[test]
+    fn server_entry_round_trips() {
+        let b = encode_server_entry("tenant-7");
+        assert_eq!(decode_server_entry(&b).as_deref(), Some("tenant-7"));
+        assert_eq!(decode_server_entry(&b[..3]), None);
+        // Declared length must match the buffer exactly.
+        let mut long = b.clone();
+        long.push(0);
+        assert_eq!(decode_server_entry(&long), None);
+        assert_eq!(
+            decode_server_entry(&encode_server_entry("")).as_deref(),
+            Some("")
+        );
+    }
+
+    #[test]
+    fn option_headers_round_trip() {
+        let framed = encode_option(OPT_LIST, b"");
+        let hdr: [u8; OPTION_HDR_LEN] = framed[..OPTION_HDR_LEN].try_into().unwrap();
+        assert_eq!(decode_option_header(&hdr), Some((OPT_LIST, 0)));
+        let mut bad = hdr;
+        bad[0] ^= 0x80;
+        assert_eq!(decode_option_header(&bad), None);
+
+        let reply = encode_option_reply(OPT_LIST, REP_SERVER, &encode_server_entry("a"));
+        let rh: [u8; OPTION_REPLY_HDR_LEN] = reply[..OPTION_REPLY_HDR_LEN].try_into().unwrap();
+        assert_eq!(
+            decode_option_reply_header(&rh),
+            Some((OPT_LIST, REP_SERVER, 5))
+        );
+    }
+
+    mod codec_props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Export names drawn from the NBD-safe charset, length 0..=64.
+        fn name_strategy() -> impl Strategy<Value = String> {
+            const CHARSET: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+            prop::collection::vec(0usize..CHARSET.len(), 0..65)
+                .prop_map(|ix| ix.into_iter().map(|i| CHARSET[i] as char).collect())
+        }
+
+        proptest! {
+            #[test]
+            fn request_codec_round_trips(
+                flags in any::<u16>(),
+                cmd in any::<u16>(),
+                cookie in any::<u64>(),
+                offset in any::<u64>(),
+                length in any::<u32>(),
+            ) {
+                let r = Request { flags, cmd, cookie, offset, length };
+                prop_assert_eq!(decode_request(&encode_request(&r)), Some(r));
+            }
+
+            #[test]
+            fn simple_reply_codec_round_trips(error in any::<u32>(), cookie in any::<u64>()) {
+                let r = SimpleReply { error, cookie };
+                prop_assert_eq!(decode_simple_reply(&encode_simple_reply(&r)), Some(r));
+            }
+
+            #[test]
+            fn go_payload_round_trips_any_name(name in name_strategy()) {
+                let got = decode_go_payload(&encode_go_payload(&name));
+                prop_assert_eq!(got.as_deref(), Some(name.as_str()));
+            }
+
+            #[test]
+            fn server_entry_round_trips_any_name(name in name_strategy()) {
+                let got = decode_server_entry(&encode_server_entry(&name));
+                prop_assert_eq!(got.as_deref(), Some(name.as_str()));
+            }
+
+            #[test]
+            fn option_header_round_trips(option in any::<u32>(), len in 0u32..MAX_OPTION_LEN) {
+                let framed = encode_option(option, &vec![0u8; len as usize]);
+                let hdr: [u8; OPTION_HDR_LEN] =
+                    framed[..OPTION_HDR_LEN].try_into().unwrap();
+                prop_assert_eq!(decode_option_header(&hdr), Some((option, len)));
+            }
+
+            #[test]
+            fn option_reply_header_round_trips(
+                option in any::<u32>(),
+                rep in any::<u32>(),
+                len in 0u32..MAX_OPTION_LEN,
+            ) {
+                let framed = encode_option_reply(option, rep, &vec![0u8; len as usize]);
+                let hdr: [u8; OPTION_REPLY_HDR_LEN] =
+                    framed[..OPTION_REPLY_HDR_LEN].try_into().unwrap();
+                prop_assert_eq!(decode_option_reply_header(&hdr), Some((option, rep, len)));
+            }
+
+            #[test]
+            fn arbitrary_bytes_never_panic_decoders(
+                raw in prop::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let _ = decode_go_payload(&raw);
+                let _ = decode_server_entry(&raw);
+                let _ = decode_info_export(&raw);
+                prop_assert!(true);
+            }
+        }
     }
 }

@@ -1,53 +1,50 @@
-//! The NBD server: accept loop, per-connection reader/writer threads, and
-//! the shared request scheduler.
+//! The NBD server: a shared poll-based reactor fronting a worker pool,
+//! serving every export in an [`ExportRegistry`].
 //!
 //! ## Threading model
 //!
-//! One **accept** thread hands each connection to a **reader** thread,
-//! which runs the fixed-newstyle handshake and then parses transmission
-//! requests into jobs. Jobs flow through a shared two-lane scheduler:
+//! One **reactor** thread ([`crate::reactor`]) owns the listener, every
+//! connection socket (nonblocking), the fixed-newstyle handshake state
+//! machines, request framing, and reply serialization — a thousand
+//! connections cost a thousand small buffers, not three thousand
+//! threads. Decoded requests become jobs on the
+//! [`FleetScheduler`](crate::sched): per-export two-lane queues (ordered
+//! mutations / concurrent reads) drained by a small **worker** pool
+//! under deficit-round-robin fairness and per-export QoS token buckets.
+//! Workers execute against the export's
+//! [`SharedVolume`](lsvd::shared::SharedVolume) and post completions
+//! back to the reactor through a self-pipe waker.
 //!
-//! - the **ordered lane** (WRITE / FLUSH / TRIM) is drained by a single
-//!   dispatcher thread, so mutating operations across *all* connections
-//!   reach the volume in arrival order — acknowledgement order equals
-//!   cache-log order, which is what makes the exported disk
-//!   prefix-consistent through a crash;
-//! - the **concurrent lane** (READ) is drained by a pool of workers, so
-//!   reads from many connections overlap with each other and with the
-//!   ordered stream.
+//! Ordering: each export's mutations are dispatched one at a time in
+//! arrival order (the `ordered_active` latch), so per-export
+//! acknowledgement order equals cache-log order — the exported disk
+//! stays prefix-consistent through a crash. Reads overlap freely with
+//! each other and with the ordered stream via the volume's lock-split
+//! read plane. Backpressure is the per-connection in-flight window,
+//! enforced by the reactor simply not reading a connection at its
+//! window.
 //!
-//! Completed jobs post replies to the owning connection's **writer**
-//! thread. A bounded per-connection in-flight window (acquired by the
-//! reader, released by the writer) backpressures the socket: a client
-//! that pipelines more than the window simply stops being read until
-//! replies drain.
-//!
-//! Mutations are single-threaded behind [`SharedVolume`]'s mutex, but
-//! READ jobs go through [`SharedVolume::read_bytes`], which bypasses that
-//! mutex entirely: cache-hit reads run under the volume's read-plane
-//! shared lock, genuinely in parallel across the worker pool and with an
-//! in-flight mutation, and the returned `Bytes` payload is handed to the
-//! writer thread without a copy. Concurrency here is therefore real read
-//! parallelism plus overlapping socket I/O, parsing and reply
-//! serialization with the serialized mutation calls (see `lsvd::shared`),
-//! and the latency *accounting* split: socket-wait / queue-wait /
-//! service, exported via [`ServingRecorders`].
+//! [`serve`] keeps the classic single-volume API (it builds a one-entry
+//! registry); [`serve_fleet`] serves a whole registry, with named-export
+//! negotiation (`NBD_OPT_GO` with a name, `NBD_OPT_LIST`) routing each
+//! connection to its tenant.
 
-use std::collections::VecDeque;
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use bytes::Bytes;
+use lsvd::fleet::{ExportRegistry, QosLimits};
 use lsvd::shared::SharedVolume;
 use lsvd::LsvdError;
-use telemetry::{FlightRecorder, ServingRecorders, SpanRing, Stage, TraceEvent};
+use telemetry::{FlightRecorder, ServingRecorders, Stage};
 
 use crate::proto::*;
+use crate::reactor::{Completion, Reactor, ReactorShared};
+use crate::sched::{FleetScheduler, Job};
 
 /// Largest READ/WRITE/TRIM a single request may carry (32 MiB, matching
 /// common client defaults). Larger requests are answered with `EINVAL`.
@@ -56,7 +53,9 @@ pub const MAX_IO_BYTES: u32 = 32 << 20;
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Concurrent-lane (READ) worker threads.
+    /// Worker threads servicing scheduled jobs (reads run concurrently
+    /// across all of them; one more is always added so a long ordered
+    /// stream cannot starve reads).
     pub read_workers: usize,
     /// Per-connection in-flight request window.
     pub window: usize,
@@ -78,118 +77,15 @@ impl Default for ServerConfig {
     }
 }
 
-struct Lane {
-    queue: Mutex<VecDeque<Job>>,
-    cv: Condvar,
-}
-
-impl Lane {
-    fn new() -> Lane {
-        Lane {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn push(&self, job: Job) {
-        self.queue.lock().unwrap().push_back(job);
-        self.cv.notify_one();
-    }
-
-    /// Pops the next job; `None` once `stop` is set and the lane is dry.
-    fn pop(&self, stop: &AtomicBool) -> Option<Job> {
-        let mut q = self.queue.lock().unwrap();
-        loop {
-            if let Some(job) = q.pop_front() {
-                return Some(job);
-            }
-            if stop.load(Ordering::Acquire) {
-                return None;
-            }
-            q = self.cv.wait(q).unwrap();
-        }
-    }
-}
-
-struct Shared {
-    volume: SharedVolume,
-    export: String,
-    rec: ServingRecorders,
-    /// The volume's request-span ring: request ids are minted here at
-    /// command decode and flow through the scheduler into the volume.
-    spans: Arc<SpanRing>,
-    /// Optional black box dumped on terminal errors / connection aborts.
-    recorder: Option<Arc<FlightRecorder>>,
-    stop: AtomicBool,
-    ordered: Lane,
-    concurrent: Lane,
-    /// Live connection sockets, shut down to unblock readers on stop.
-    conns: Mutex<Vec<TcpStream>>,
-    next_conn: AtomicU64,
-}
-
-impl Shared {
-    fn stopping(&self) -> bool {
-        self.stop.load(Ordering::Acquire)
-    }
-}
-
-/// One reply queued for a connection's writer thread. READ payloads are
-/// [`Bytes`] handed straight from the volume's read plane — the worker
-/// never copies them into a reply buffer.
-struct Reply {
-    cookie: u64,
-    error: u32,
-    data: Bytes,
-}
-
-/// Per-connection window state shared by reader, workers and writer.
-struct Conn {
-    /// In-flight window: slots currently consumed.
-    inflight: Mutex<usize>,
-    window: usize,
-    cv: Condvar,
-}
-
-impl Conn {
-    fn acquire_slot(&self) {
-        let mut n = self.inflight.lock().unwrap();
-        while *n >= self.window {
-            n = self.cv.wait(n).unwrap();
-        }
-        *n += 1;
-    }
-
-    fn release_slot(&self) {
-        let mut n = self.inflight.lock().unwrap();
-        *n -= 1;
-        self.cv.notify_one();
-    }
-}
-
-struct Job {
-    req: Request,
-    /// WRITE payload (empty otherwise).
-    data: Vec<u8>,
-    enqueued: Instant,
-    conn: Arc<Conn>,
-    /// Clone of the connection's reply channel; the writer thread exits
-    /// when the reader's original and every job's clone are gone.
-    reply_tx: mpsc::Sender<Reply>,
-    /// Request id minted at command decode; 0 when tracing is off.
-    req_id: u64,
-    /// Span id of the decode span, parent of the dispatch span.
-    parent_span: u64,
-    /// Connection id, recorded on the dispatch span for per-conn tracks.
-    conn_id: u64,
-}
-
 /// A running NBD server. Dropping the handle does *not* stop it; call
 /// [`ServerHandle::stop`] (or let `join` return after a oneshot run).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    shared: Arc<ReactorShared>,
+    registry: Arc<ExportRegistry>,
+    sched: Arc<FleetScheduler>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -198,339 +94,159 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The serving-plane recorders (clone to attach to the volume).
+    /// The export registry this server routes connections through.
+    pub fn registry(&self) -> &Arc<ExportRegistry> {
+        &self.registry
+    }
+
+    /// The sole export's serving recorders (single-volume servers); a
+    /// fresh unrecorded set when the fleet has zero or many exports —
+    /// per-tenant counters live on each export then.
     pub fn recorders(&self) -> ServingRecorders {
-        self.shared.rec.clone()
+        self.registry
+            .sole_export()
+            .map(|e| e.recorders().clone())
+            .unwrap_or_default()
     }
 
     /// Blocks until the server stops on its own (oneshot mode) and joins
     /// every thread. For long-running servers, call [`ServerHandle::stop`]
     /// from another thread instead.
     pub fn join(mut self) {
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.finish();
     }
 
-    /// Stops the server: no new connections, live sockets shut down,
-    /// queued jobs drained, all threads joined. The volume is left
-    /// attached — the caller owns its final flush + checkpoint.
+    /// Stops the server: no new connections, live connections drained
+    /// (in-flight jobs finish and their replies flush), all threads
+    /// joined. Volumes stay attached — the registry owner detaches them.
     pub fn stop(mut self) {
-        request_stop(&self.shared, self.addr);
-        for t in self.threads.drain(..) {
+        self.shared.request_stop();
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
+        }
+        // The reactor's epilogue already stopped the scheduler; repeat
+        // defensively so workers can never outlive a torn reactor.
+        self.sched.set_stop();
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-fn request_stop(shared: &Arc<Shared>, addr: SocketAddr) {
-    shared.stop.store(true, Ordering::Release);
-    // Wake the accept loop with a throwaway connection.
-    let _ = TcpStream::connect(addr);
-    // Unblock readers parked in read_exact.
-    for s in shared.conns.lock().unwrap().iter() {
-        let _ = s.shutdown(Shutdown::Both);
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A leaked handle must not leave detached threads wedged on a
+        // scheduler that will never stop.
+        if self.reactor.is_some() {
+            self.shared.request_stop();
+            self.finish();
+        }
     }
-    shared.ordered.cv.notify_all();
-    shared.concurrent.cv.notify_all();
 }
 
-/// Binds `addr` and starts serving `volume` as export `export`.
+/// Binds `addr` and starts serving `volume` as the sole export `export`
+/// (single-volume compatibility wrapper over [`serve_fleet`]).
 ///
-/// The returned handle's [`recorders`](ServerHandle::recorders) are also
-/// attached to the volume, so `Volume::telemetry()` exports the serving
-/// section while the server runs.
+/// The export's recorders (via [`ServerHandle::recorders`]) are attached
+/// to the volume, so `Volume::telemetry()` exports the serving section
+/// while the server runs.
 pub fn serve(
     addr: &str,
     export: &str,
     volume: SharedVolume,
     cfg: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let bound = listener.local_addr()?;
-    let rec = ServingRecorders::new();
-    volume
-        .with_volume(|v| v.attach_serving_telemetry(rec.clone()))
+    let registry = Arc::new(ExportRegistry::new(None));
+    registry
+        .attach(export, volume, QosLimits::default())
         .map_err(|e| io::Error::other(e.to_string()))?;
-    let spans = volume.span_ring();
-    let shared = Arc::new(Shared {
-        volume,
-        export: export.to_string(),
-        rec,
-        spans,
-        recorder: cfg.recorder.clone(),
-        stop: AtomicBool::new(false),
-        ordered: Lane::new(),
-        concurrent: Lane::new(),
-        conns: Mutex::new(Vec::new()),
-        next_conn: AtomicU64::new(1),
-    });
+    serve_fleet(addr, registry, cfg)
+}
 
-    let mut threads = Vec::new();
-    // Ordered lane: exactly one dispatcher preserves mutation order.
+/// Binds `addr` and serves every export in `registry`, now and as the
+/// registry changes: exports attached later become routable on the next
+/// `NBD_OPT_GO`, and detaching an export drains and closes its
+/// connections.
+pub fn serve_fleet(
+    addr: &str,
+    registry: Arc<ExportRegistry>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let (waker_tx, waker_rx) = UnixStream::pair()?;
+    waker_tx.set_nonblocking(true)?;
+    waker_rx.set_nonblocking(true)?;
+    let shared = Arc::new(ReactorShared::new(waker_tx));
+    let sched = Arc::new(FleetScheduler::new());
     {
+        // Registry changes nudge the reactor so fenced exports' conns
+        // drain promptly.
         let sh = shared.clone();
-        threads.push(std::thread::spawn(move || {
-            while let Some(job) = sh.ordered.pop(&sh.stop) {
-                execute(&sh, job);
-            }
+        registry.set_notify(Box::new(move || {
+            sh.sweep.store(true, std::sync::atomic::Ordering::Release);
+            sh.wake();
         }));
     }
-    for _ in 0..cfg.read_workers.max(1) {
-        let sh = shared.clone();
-        threads.push(std::thread::spawn(move || {
-            while let Some(job) = sh.concurrent.pop(&sh.stop) {
-                execute(&sh, job);
-            }
-        }));
+
+    let mut workers = Vec::new();
+    // +1: even with read_workers == 1 there are two workers, so one
+    // export's slow ordered job cannot stall every other tenant.
+    for i in 0..cfg.read_workers.max(1) + 1 {
+        let sched = sched.clone();
+        let shared = shared.clone();
+        let recorder = cfg.recorder.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("nbd-worker-{i}"))
+                .spawn(move || worker_loop(&sched, &shared, recorder))?,
+        );
     }
-    {
-        let sh = shared.clone();
-        let oneshot = cfg.oneshot;
-        let window = cfg.window.max(1);
-        threads.push(std::thread::spawn(move || {
-            accept_loop(listener, sh, oneshot, window, bound);
-        }));
-    }
+    let reactor = {
+        let r = Reactor::new(
+            listener,
+            waker_rx,
+            shared.clone(),
+            registry.clone(),
+            sched.clone(),
+            cfg.recorder.clone(),
+            cfg.window.max(1),
+            cfg.oneshot,
+        );
+        std::thread::Builder::new()
+            .name("nbd-reactor".into())
+            .spawn(move || r.run())?
+    };
     Ok(ServerHandle {
         addr: bound,
         shared,
-        threads,
+        registry,
+        sched,
+        reactor: Some(reactor),
+        workers,
     })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    oneshot: bool,
-    window: usize,
-    addr: SocketAddr,
+fn worker_loop(
+    sched: &Arc<FleetScheduler>,
+    shared: &Arc<ReactorShared>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) {
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.stopping() {
-            break;
+    while let Some(picked) = sched.pop() {
+        let export = picked.job.export.clone();
+        let internal = picked.job.is_internal();
+        execute(picked.job, shared, recorder.as_ref());
+        if !internal {
+            // Internal lifecycle notes never went through `job_begin`.
+            export.job_done();
         }
-        let Ok(stream) = stream else { continue };
-        if let Ok(dup) = stream.try_clone() {
-            shared.conns.lock().unwrap().push(dup);
-        }
-        let sh = shared.clone();
-        let t = std::thread::spawn(move || {
-            let _ = run_connection(sh, stream, window);
-        });
-        if oneshot {
-            let _ = t.join();
-            // Initiate the server's own shutdown; the throwaway connect
-            // below pops this accept loop out of `incoming()`.
-            request_stop(&shared, addr);
-            break;
-        }
-        conn_threads.push(t);
-    }
-    for t in conn_threads {
-        let _ = t.join();
-    }
-}
-
-fn read_exact_n(stream: &mut TcpStream, n: usize) -> io::Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    stream.read_exact(&mut buf)?;
-    Ok(buf)
-}
-
-/// Runs the handshake; returns `true` to proceed to transmission.
-fn handshake(shared: &Shared, stream: &mut TcpStream) -> io::Result<bool> {
-    let mut hello = Vec::with_capacity(18);
-    hello.extend_from_slice(&MAGIC_NBD.to_be_bytes());
-    hello.extend_from_slice(&MAGIC_IHAVEOPT.to_be_bytes());
-    hello.extend_from_slice(&(FLAG_FIXED_NEWSTYLE | FLAG_NO_ZEROES).to_be_bytes());
-    stream.write_all(&hello)?;
-
-    let mut cf = [0u8; 4];
-    stream.read_exact(&mut cf)?;
-    let client_flags = u32::from_be_bytes(cf);
-    if client_flags & CLIENT_FIXED_NEWSTYLE == 0 {
-        return Ok(false);
-    }
-
-    loop {
-        let hdr = read_exact_n(stream, 16)?;
-        let magic = u64::from_be_bytes(hdr[0..8].try_into().unwrap());
-        let option = u32::from_be_bytes(hdr[8..12].try_into().unwrap());
-        let len = u32::from_be_bytes(hdr[12..16].try_into().unwrap());
-        if magic != MAGIC_IHAVEOPT || len > 4096 {
-            return Ok(false);
-        }
-        let payload = read_exact_n(stream, len as usize)?;
-        match option {
-            OPT_GO => {
-                let Some(name) = decode_go_payload(&payload) else {
-                    stream.write_all(&encode_option_reply(option, REP_ERR_UNKNOWN, b""))?;
-                    continue;
-                };
-                if !name.is_empty() && name != shared.export {
-                    stream.write_all(&encode_option_reply(option, REP_ERR_UNKNOWN, b""))?;
-                    continue;
-                }
-                let tflags = TFLAG_HAS_FLAGS | TFLAG_SEND_FLUSH | TFLAG_SEND_FUA | TFLAG_SEND_TRIM;
-                let info = encode_info_export(shared.volume.size_bytes(), tflags);
-                stream.write_all(&encode_option_reply(option, REP_INFO, &info))?;
-                stream.write_all(&encode_option_reply(option, REP_ACK, b""))?;
-                return Ok(true);
-            }
-            OPT_ABORT => {
-                stream.write_all(&encode_option_reply(option, REP_ACK, b""))?;
-                return Ok(false);
-            }
-            _ => {
-                stream.write_all(&encode_option_reply(option, REP_ERR_UNSUP, b""))?;
-            }
-        }
-    }
-}
-
-fn run_connection(shared: Arc<Shared>, mut stream: TcpStream, window: usize) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    if !handshake(&shared, &mut stream)? {
-        return Ok(());
-    }
-    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    shared.rec.conn_opened();
-    let _ = shared
-        .volume
-        .with_volume(|v| v.note_serving_event(TraceEvent::ConnOpen { conn: id }));
-
-    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-    let conn = Arc::new(Conn {
-        inflight: Mutex::new(0),
-        window,
-        cv: Condvar::new(),
-    });
-
-    // Writer thread: serializes replies; releasing a window slot per
-    // reply is what backpressures the reader. On a dead socket it keeps
-    // draining (and releasing slots) so in-flight jobs never wedge the
-    // reader against a full window.
-    let writer = {
-        let mut out = stream.try_clone()?;
-        let conn = conn.clone();
-        let rec = shared.rec.clone();
-        std::thread::spawn(move || {
-            let mut sink_dead = false;
-            while let Ok(reply) = reply_rx.recv() {
-                if !sink_dead {
-                    let t0 = Instant::now();
-                    let hdr = encode_simple_reply(&SimpleReply {
-                        error: reply.error,
-                        cookie: reply.cookie,
-                    });
-                    if out
-                        .write_all(&hdr)
-                        .and_then(|()| out.write_all(&reply.data))
-                        .is_ok()
-                    {
-                        rec.socket_wait.record_ns(t0.elapsed().as_nanos() as u64);
-                    } else {
-                        sink_dead = true;
-                    }
-                }
-                conn.release_slot();
-            }
-        })
-    };
-
-    let res = read_requests(&shared, &mut stream, &conn, &reply_tx, id);
-    if res.is_err() && !shared.stopping() {
-        // A protocol violation killed the connection: snapshot the black
-        // box while the evidence (recent spans + trace events) is fresh.
-        if let Some(rec) = &shared.recorder {
-            let _ = rec.dump("conn-abort");
-        }
-    }
-
-    // Drop our sender; the writer exits once in-flight jobs (each holding
-    // a sender clone) have posted their replies.
-    drop(reply_tx);
-    let _ = writer.join();
-    let _ = stream.shutdown(Shutdown::Both);
-    shared.rec.conn_closed();
-    let _ = shared
-        .volume
-        .with_volume(|v| v.note_serving_event(TraceEvent::ConnClose { conn: id }));
-    res
-}
-
-/// Parses transmission requests until disconnect, EOF or server stop.
-fn read_requests(
-    shared: &Arc<Shared>,
-    stream: &mut TcpStream,
-    conn: &Arc<Conn>,
-    reply_tx: &mpsc::Sender<Reply>,
-    conn_id: u64,
-) -> io::Result<()> {
-    loop {
-        let mut hdr = [0u8; REQUEST_LEN];
-        if let Err(e) = stream.read_exact(&mut hdr) {
-            // EOF between requests is a normal (abrupt) close.
-            return if e.kind() == io::ErrorKind::UnexpectedEof || shared.stopping() {
-                Ok(())
-            } else {
-                Err(e)
-            };
-        }
-        let Some(req) = decode_request(&hdr) else {
-            shared.rec.count_error();
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad request magic",
-            ));
-        };
-        // The request id is minted here, at command decode — the root of
-        // this request's span tree. The decode span covers payload intake,
-        // the request's first socket-bound hop.
-        let req_id = shared.spans.mint_request();
-        let decode = if req_id != 0 {
-            shared.spans.begin(req_id, 0, Stage::Decode)
-        } else {
-            None
-        };
-        let mut data = Vec::new();
-        if req.cmd == CMD_WRITE {
-            // The payload must be consumed even if the request will be
-            // rejected, or the stream desynchronizes.
-            let t0 = Instant::now();
-            data = read_exact_n(stream, req.length as usize)?;
-            shared
-                .rec
-                .socket_wait
-                .record_ns(t0.elapsed().as_nanos() as u64);
-        }
-        let decode_id = decode.map_or(0, |open| {
-            shared
-                .spans
-                .finish(open, u64::from(req.cmd), u64::from(req.length))
-        });
-        if req.cmd == CMD_DISC {
-            return Ok(());
-        }
-        if shared.stopping() {
-            return Ok(());
-        }
-        conn.acquire_slot();
-        let job = Job {
-            req,
-            data,
-            enqueued: Instant::now(),
-            conn: conn.clone(),
-            reply_tx: reply_tx.clone(),
-            req_id,
-            parent_span: decode_id,
-            conn_id,
-        };
-        match req.cmd {
-            CMD_READ => shared.concurrent.push(job),
-            _ => shared.ordered.push(job),
+        if picked.ordered {
+            sched.ordered_done(export.name());
         }
     }
 }
@@ -543,11 +259,19 @@ fn errno_of(e: &LsvdError) -> u32 {
     }
 }
 
-/// Services one job against the volume and posts the reply.
-fn execute(shared: &Shared, job: Job) {
-    shared
-        .rec
-        .queue_wait
+/// Services one job against its export's volume and posts the completion
+/// back to the reactor.
+fn execute(job: Job, shared: &Arc<ReactorShared>, recorder: Option<&Arc<FlightRecorder>>) {
+    let rec = job.export.recorders();
+    let volume = job.export.volume();
+    if let Some(event) = job.note {
+        // Connection-lifecycle note: may block on the volume mutex, which
+        // is why it runs here and not on the reactor thread. No reply, no
+        // per-request accounting; a shut-down volume just drops it.
+        let _ = volume.with_volume(|v| v.note_serving_event(event));
+        return;
+    }
+    rec.queue_wait
         .record_ns(job.enqueued.elapsed().as_nanos() as u64);
     let fua = job.req.flags & CMD_FLAG_FUA != 0;
     // Dispatch span: queue wait is behind us, so this covers lane pickup
@@ -555,7 +279,7 @@ fn execute(shared: &Shared, job: Job) {
     // hop (read / wlog append / flush / trim) hangs off.
     let req = job.req_id;
     let dispatch = if req != 0 {
-        shared.spans.begin(req, job.parent_span, Stage::Dispatch)
+        job.spans.begin(req, job.parent_span, Stage::Dispatch)
     } else {
         None
     };
@@ -563,68 +287,68 @@ fn execute(shared: &Shared, job: Job) {
     let t0 = Instant::now();
     let (error, data) = match job.req.cmd {
         CMD_READ => {
-            shared.rec.count_read();
+            rec.count_read();
             if job.req.length > MAX_IO_BYTES {
                 (EINVAL, Bytes::new())
             } else {
                 // Lock-free lane into the volume's read plane: cache hits
                 // run under its shared lock, concurrently across workers,
-                // and the payload goes to the writer thread as-is.
-                match shared.volume.read_bytes_traced(
-                    job.req.offset,
-                    job.req.length as usize,
-                    req,
-                    parent,
-                ) {
-                    Ok(data) => (0, data),
+                // and the payload reaches the socket as-is.
+                match volume.read_bytes_traced(job.req.offset, job.req.length as usize, req, parent)
+                {
+                    Ok(data) => {
+                        rec.add_bytes_read(data.len() as u64);
+                        (0, data)
+                    }
                     Err(e) => (errno_of(&e), Bytes::new()),
                 }
             }
         }
         CMD_WRITE => {
-            shared.rec.count_write();
+            rec.count_write();
             let res = if job.req.length > MAX_IO_BYTES {
                 Err(LsvdError::InvalidAccess {
                     offset: job.req.offset,
-                    len: job.req.length as u64,
+                    len: u64::from(job.req.length),
                     reason: "request exceeds MAX_IO_BYTES",
                 })
             } else {
-                shared
-                    .volume
+                volume
                     .write_traced(job.req.offset, &job.data, req, parent)
                     .and_then(|()| {
                         if fua {
-                            shared.rec.count_flush();
-                            shared.volume.flush_traced(req, parent)
+                            rec.count_flush();
+                            volume.flush_traced(req, parent)
                         } else {
                             Ok(())
                         }
                     })
             };
+            if res.is_ok() {
+                rec.add_bytes_written(job.data.len() as u64);
+            }
             (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         CMD_FLUSH => {
-            shared.rec.count_flush();
-            let res = shared.volume.flush_traced(req, parent);
+            rec.count_flush();
+            let res = volume.flush_traced(req, parent);
             (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         CMD_TRIM => {
-            shared.rec.count_trim();
+            rec.count_trim();
             let res = if job.req.length > MAX_IO_BYTES {
                 Err(LsvdError::InvalidAccess {
                     offset: job.req.offset,
-                    len: job.req.length as u64,
+                    len: u64::from(job.req.length),
                     reason: "request exceeds MAX_IO_BYTES",
                 })
             } else {
-                shared
-                    .volume
-                    .discard_traced(job.req.offset, job.req.length as u64, req, parent)
+                volume
+                    .discard_traced(job.req.offset, u64::from(job.req.length), req, parent)
                     .and_then(|()| {
                         if fua {
-                            shared.rec.count_flush();
-                            shared.volume.flush_traced(req, parent)
+                            rec.count_flush();
+                            volume.flush_traced(req, parent)
                         } else {
                             Ok(())
                         }
@@ -633,37 +357,30 @@ fn execute(shared: &Shared, job: Job) {
             (res.err().map(|e| errno_of(&e)).unwrap_or(0), Bytes::new())
         }
         _ => {
-            shared.rec.count_error();
+            rec.count_error();
             (EINVAL, Bytes::new())
         }
     };
-    shared.rec.service.record_ns(t0.elapsed().as_nanos() as u64);
+    rec.service.record_ns(t0.elapsed().as_nanos() as u64);
     if let Some(open) = dispatch {
-        shared.spans.finish(open, u64::from(error), job.conn_id);
+        job.spans.finish(open, u64::from(error), job.conn);
     }
     if error != 0 {
-        shared.rec.count_error();
+        rec.count_error();
     }
     if error == EIO {
         // EIO is the serving plane's "terminal volume error" mapping
         // (backend gave up, state torn): dump the black box.
-        if let Some(rec) = &shared.recorder {
+        if let Some(rec) = recorder {
             let _ = rec.dump("terminal-error");
         }
     }
-    // A send can only fail if the writer is gone (connection torn down);
-    // release the slot ourselves so accounting stays balanced.
-    if job
-        .reply_tx
-        .send(Reply {
-            cookie: job.req.cookie,
-            error,
-            data,
-        })
-        .is_err()
-    {
-        job.conn.release_slot();
-    }
+    shared.complete(Completion {
+        conn: job.conn,
+        cookie: job.req.cookie,
+        error,
+        data,
+    });
 }
 
 #[cfg(test)]
@@ -757,5 +474,117 @@ mod tests {
         let c = Client::connect(addr, "vol").unwrap();
         c.disconnect().unwrap();
         handle.stop();
+    }
+
+    #[test]
+    fn fleet_routes_by_export_name_and_lists() {
+        let registry = Arc::new(ExportRegistry::new(None));
+        registry
+            .attach("alpha", shared_volume(16), QosLimits::default())
+            .unwrap();
+        registry
+            .attach("beta", shared_volume(32), QosLimits::default())
+            .unwrap();
+        let handle = serve_fleet("127.0.0.1:0", registry.clone(), ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        assert_eq!(
+            Client::list_exports(addr).unwrap(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
+
+        let mut a = Client::connect(addr, "alpha").unwrap();
+        let mut b = Client::connect(addr, "beta").unwrap();
+        assert_eq!(a.size(), 16 << 20);
+        assert_eq!(b.size(), 32 << 20);
+        // Tenant isolation: each export sees only its own bytes.
+        a.write(0, &[0xA5; 4096]).unwrap();
+        b.write(0, &[0x5B; 4096]).unwrap();
+        let mut buf = [0u8; 4096];
+        a.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0xA5; 4096]);
+        b.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0x5B; 4096]);
+
+        // With two exports there is no default: empty-name GO fails but a
+        // named retry on the same connection still works server-side.
+        assert!(Client::connect(addr, "").is_err());
+        assert!(Client::connect(addr, "gamma").is_err());
+
+        // Per-tenant counters landed on each export's recorders.
+        let alpha = registry.get("alpha").unwrap();
+        let snap = alpha.recorders().snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.bytes_read, 4096);
+
+        a.disconnect().unwrap();
+        b.disconnect().unwrap();
+        handle.stop();
+        for name in registry.list() {
+            registry.detach(&name).unwrap();
+        }
+    }
+
+    #[test]
+    fn detach_drains_connected_clients() {
+        let registry = Arc::new(ExportRegistry::new(None));
+        registry
+            .attach("going", shared_volume(16), QosLimits::default())
+            .unwrap();
+        registry
+            .attach("staying", shared_volume(16), QosLimits::default())
+            .unwrap();
+        let handle = serve_fleet("127.0.0.1:0", registry.clone(), ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let mut going = Client::connect(addr, "going").unwrap();
+        let mut staying = Client::connect(addr, "staying").unwrap();
+        // An acknowledged write must survive the detach (drained, then
+        // flushed + checkpointed by shutdown inside detach).
+        going.write(0, &[9u8; 4096]).unwrap();
+        registry.detach("going").unwrap();
+        // The reactor closed the connection; the next request fails.
+        let mut buf = [0u8; 4096];
+        assert!(going.read(0, &mut buf).is_err());
+        // Other tenants are untouched.
+        staying.write(0, &[4u8; 4096]).unwrap();
+        staying.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [4u8; 4096]);
+        // A re-connect to the detached name is now unknown.
+        assert!(Client::connect(addr, "going").is_err());
+
+        staying.disconnect().unwrap();
+        handle.stop();
+        registry.detach("staying").unwrap();
+    }
+
+    #[test]
+    fn deep_pipeline_against_window_round_trips() {
+        // A client that pipelines far past the server window exercises
+        // the reactor's read-gating backpressure rather than any queue.
+        let sv = shared_volume(32);
+        let cfg = ServerConfig {
+            window: 4,
+            ..ServerConfig::default()
+        };
+        let handle = serve("127.0.0.1:0", "vol", sv.clone(), cfg).unwrap();
+        let c = Client::connect(handle.addr(), "vol").unwrap();
+        let n = 64usize;
+        let mut raw = c.into_raw();
+        // Fire n writes back-to-back without reading replies.
+        crate::client::pipeline_writes(&mut raw, 0, 4096, n).unwrap();
+        // Then collect all n replies and verify the data landed.
+        crate::client::collect_replies(&mut raw, n).unwrap();
+        for i in 0..n {
+            let mut buf = [0u8; 4096];
+            let off = (i as u64) * 4096;
+            sv.read(off, &mut buf).unwrap();
+            assert_eq!(buf, [i as u8; 4096], "block {i}");
+        }
+        drop(raw);
+        handle.stop();
+        sv.shutdown().unwrap();
     }
 }

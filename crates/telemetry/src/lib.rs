@@ -45,7 +45,7 @@ pub use sketch::Summary;
 pub use snapshot::{
     BackendOps, CacheTelemetry, ClientOps, DataPlaneTelemetry, DerivedTelemetry,
     ReadPlaneTelemetry, RetryTelemetry, ServingTelemetry, SpaceTelemetry, SpanTelemetry,
-    TelemetrySnapshot, TraceTelemetry, WritebackTelemetry, SCHEMA,
+    TelemetrySnapshot, TenantTelemetry, TraceTelemetry, WritebackTelemetry, SCHEMA,
 };
 pub use span::{OpenSpan, Span, SpanRing, Stage};
 pub use trace::{TraceEvent, TraceHook, TraceRecord, TraceRing};

@@ -21,6 +21,9 @@ struct Counters {
     flushes: AtomicU64,
     trims: AtomicU64,
     errors: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    throttle_waits: AtomicU64,
 }
 
 /// Cloneable handle recording serving-plane activity; all clones share
@@ -78,6 +81,21 @@ impl ServingRecorders {
         self.counters.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` to the bytes served to READ replies.
+    pub fn add_bytes_read(&self, n: u64) {
+        self.counters.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the bytes accepted from WRITE requests.
+    pub fn add_bytes_written(&self, n: u64) {
+        self.counters.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one QoS token-bucket stall (the request waited for refill).
+    pub fn count_throttle_wait(&self) {
+        self.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots everything into the exportable section.
     pub fn snapshot(&self) -> ServingTelemetry {
         ServingTelemetry {
@@ -91,6 +109,9 @@ impl ServingRecorders {
             flushes: self.counters.flushes.load(Ordering::Relaxed),
             trims: self.counters.trims.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            throttle_waits: self.counters.throttle_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +132,9 @@ mod tests {
         a.count_flush();
         b.count_trim();
         a.count_error();
+        a.add_bytes_read(4096);
+        b.add_bytes_written(8192);
+        a.count_throttle_wait();
         b.queue_wait.record_ns(1_000);
         let s = a.snapshot();
         assert_eq!(s.conns_open, 1);
@@ -120,6 +144,9 @@ mod tests {
         assert_eq!(s.flushes, 1);
         assert_eq!(s.trims, 1);
         assert_eq!(s.errors, 1);
+        assert_eq!(s.bytes_read, 4096);
+        assert_eq!(s.bytes_written, 8192);
+        assert_eq!(s.throttle_waits, 1);
         assert_eq!(s.queue_wait.count, 1);
     }
 }

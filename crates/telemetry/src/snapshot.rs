@@ -18,8 +18,11 @@ use crate::recorder::LatencySnapshot;
 /// v2 adds the `spans` section (request-scoped span ring occupancy) next
 /// to the v1 sections. v3 adds the `space` section (incremental-cleaner
 /// space accounting: liveness, cleaning write amplification, pass
-/// progress, deferred-delete backlog).
-pub const SCHEMA: &str = "lsvd-telemetry-v3";
+/// progress, deferred-delete backlog). v4 adds the fleet dimension: the
+/// `tenants` array (one per-export serving/cache entry per registered
+/// volume), per-tenant byte and throttle counters in `serving`, and the
+/// read plane's `quota_bypassed_sectors`.
+pub const SCHEMA: &str = "lsvd-telemetry-v4";
 
 /// Client-facing op latencies (what the guest "sees").
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -212,6 +215,8 @@ pub struct ReadPlaneTelemetry {
     pub admitted_sectors: u64,
     /// Sectors a detected sequential scan kept out of the read cache.
     pub bypassed_sectors: u64,
+    /// Sectors the tenant byte quota kept out of the read cache.
+    pub quota_bypassed_sectors: u64,
     /// Fetches that parked on another reader's in-flight GET.
     pub singleflight_waits: u64,
     /// Parked fetches fully served from the leader's window (GETs saved).
@@ -257,6 +262,28 @@ pub struct ServingTelemetry {
     pub trims: u64,
     /// Requests answered with an NBD error code.
     pub errors: u64,
+    /// Bytes served to READ replies.
+    pub bytes_read: u64,
+    /// Bytes accepted from WRITE requests.
+    pub bytes_written: u64,
+    /// Requests that stalled on a QoS token bucket before dispatch.
+    pub throttle_waits: u64,
+}
+
+/// One tenant's slice of a fleet node: the per-export serving counters
+/// plus its share of the partitioned read cache. Exported as the
+/// `tenants` array in JSON and as `export="..."`-labeled series in
+/// Prometheus, so noisy-neighbor effects are measurable per volume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantTelemetry {
+    /// Export (registry) name of the tenant volume.
+    pub export: String,
+    /// Serving-plane counters and latency split for this export only.
+    pub serving: ServingTelemetry,
+    /// The tenant's read-cache byte quota (0 = unlimited).
+    pub cache_quota_bytes: u64,
+    /// Bytes currently resident in the tenant's read-cache partition.
+    pub cache_resident_bytes: u64,
 }
 
 /// Trace-ring occupancy counters.
@@ -285,8 +312,10 @@ pub struct SpanTelemetry {
     pub enabled: bool,
 }
 
-/// The aggregate snapshot: everything observable about a running volume.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// The aggregate snapshot: everything observable about a running volume
+/// (or, on a fleet node, the node-wide aggregate plus the per-tenant
+/// `tenants` breakdown).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetrySnapshot {
     /// Wall-clock seconds since the volume's telemetry started.
     pub elapsed_secs: f64,
@@ -314,6 +343,8 @@ pub struct TelemetrySnapshot {
     pub trace: TraceTelemetry,
     /// Span-ring occupancy (request-scoped tracing).
     pub spans: SpanTelemetry,
+    /// Per-tenant breakdown on a fleet node (empty for a single volume).
+    pub tenants: Vec<TenantTelemetry>,
 }
 
 fn lat_json(l: &LatencySnapshot) -> Json {
@@ -349,6 +380,64 @@ fn num_u64(j: &Json, key: &str) -> u64 {
 
 fn flag(j: &Json, key: &str) -> bool {
     j.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+fn serving_json(s: &ServingTelemetry) -> Json {
+    Json::Obj(vec![
+        ("socket_wait".into(), lat_json(&s.socket_wait)),
+        ("queue_wait".into(), lat_json(&s.queue_wait)),
+        ("service".into(), lat_json(&s.service)),
+        ("conns_open".into(), Json::Num(s.conns_open as f64)),
+        ("conns_total".into(), Json::Num(s.conns_total as f64)),
+        ("reads".into(), Json::Num(s.reads as f64)),
+        ("writes".into(), Json::Num(s.writes as f64)),
+        ("flushes".into(), Json::Num(s.flushes as f64)),
+        ("trims".into(), Json::Num(s.trims as f64)),
+        ("errors".into(), Json::Num(s.errors as f64)),
+        ("bytes_read".into(), Json::Num(s.bytes_read as f64)),
+        ("bytes_written".into(), Json::Num(s.bytes_written as f64)),
+        ("throttle_waits".into(), Json::Num(s.throttle_waits as f64)),
+    ])
+}
+
+fn serving_from(j: Option<&Json>) -> ServingTelemetry {
+    fn sub<'a>(parent: Option<&'a Json>, key: &str) -> Option<&'a Json> {
+        parent.and_then(|p| p.get(key))
+    }
+    ServingTelemetry {
+        socket_wait: lat_from(sub(j, "socket_wait")),
+        queue_wait: lat_from(sub(j, "queue_wait")),
+        service: lat_from(sub(j, "service")),
+        conns_open: j.map_or(0, |s| num_u64(s, "conns_open")),
+        conns_total: j.map_or(0, |s| num_u64(s, "conns_total")),
+        reads: j.map_or(0, |s| num_u64(s, "reads")),
+        writes: j.map_or(0, |s| num_u64(s, "writes")),
+        flushes: j.map_or(0, |s| num_u64(s, "flushes")),
+        trims: j.map_or(0, |s| num_u64(s, "trims")),
+        errors: j.map_or(0, |s| num_u64(s, "errors")),
+        bytes_read: j.map_or(0, |s| num_u64(s, "bytes_read")),
+        bytes_written: j.map_or(0, |s| num_u64(s, "bytes_written")),
+        throttle_waits: j.map_or(0, |s| num_u64(s, "throttle_waits")),
+    }
+}
+
+/// Approximate merge of two latency sketches for fleet aggregation: the
+/// count-weighted mean is exact; p50/p99 are count-weighted means of the
+/// inputs' percentiles (an approximation — true percentiles of a union
+/// need the raw samples); max is the max of maxes.
+fn lat_absorb(a: &LatencySnapshot, b: &LatencySnapshot) -> LatencySnapshot {
+    let n = a.count + b.count;
+    if n == 0 {
+        return LatencySnapshot::default();
+    }
+    let (wa, wb) = (a.count as f64 / n as f64, b.count as f64 / n as f64);
+    LatencySnapshot {
+        count: n,
+        mean_ns: a.mean_ns * wa + b.mean_ns * wb,
+        p50_ns: a.p50_ns * wa + b.p50_ns * wb,
+        p99_ns: a.p99_ns * wa + b.p99_ns * wb,
+        max_ns: a.max_ns.max(b.max_ns),
+    }
 }
 
 impl TelemetrySnapshot {
@@ -577,6 +666,10 @@ impl TelemetrySnapshot {
                         Json::Num(self.read_plane.bypassed_sectors as f64),
                     ),
                     (
+                        "quota_bypassed_sectors".into(),
+                        Json::Num(self.read_plane.quota_bypassed_sectors as f64),
+                    ),
+                    (
                         "singleflight_waits".into(),
                         Json::Num(self.read_plane.singleflight_waits as f64),
                     ),
@@ -610,27 +703,7 @@ impl TelemetrySnapshot {
                     ),
                 ]),
             ),
-            (
-                "serving".into(),
-                Json::Obj(vec![
-                    ("socket_wait".into(), lat_json(&self.serving.socket_wait)),
-                    ("queue_wait".into(), lat_json(&self.serving.queue_wait)),
-                    ("service".into(), lat_json(&self.serving.service)),
-                    (
-                        "conns_open".into(),
-                        Json::Num(self.serving.conns_open as f64),
-                    ),
-                    (
-                        "conns_total".into(),
-                        Json::Num(self.serving.conns_total as f64),
-                    ),
-                    ("reads".into(), Json::Num(self.serving.reads as f64)),
-                    ("writes".into(), Json::Num(self.serving.writes as f64)),
-                    ("flushes".into(), Json::Num(self.serving.flushes as f64)),
-                    ("trims".into(), Json::Num(self.serving.trims as f64)),
-                    ("errors".into(), Json::Num(self.serving.errors as f64)),
-                ]),
-            ),
+            ("serving".into(), serving_json(&self.serving)),
             (
                 "trace".into(),
                 Json::Obj(vec![
@@ -648,6 +721,28 @@ impl TelemetrySnapshot {
                     ("requests".into(), Json::Num(self.spans.requests as f64)),
                     ("enabled".into(), Json::Bool(self.spans.enabled)),
                 ]),
+            ),
+            (
+                "tenants".into(),
+                Json::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("export".into(), Json::Str(t.export.clone())),
+                                ("serving".into(), serving_json(&t.serving)),
+                                (
+                                    "cache_quota_bytes".into(),
+                                    Json::Num(t.cache_quota_bytes as f64),
+                                ),
+                                (
+                                    "cache_resident_bytes".into(),
+                                    Json::Num(t.cache_resident_bytes as f64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -759,6 +854,7 @@ impl TelemetrySnapshot {
                 miss_reads: rp.map_or(0, |r| num_u64(r, "miss_reads")),
                 admitted_sectors: rp.map_or(0, |r| num_u64(r, "admitted_sectors")),
                 bypassed_sectors: rp.map_or(0, |r| num_u64(r, "bypassed_sectors")),
+                quota_bypassed_sectors: rp.map_or(0, |r| num_u64(r, "quota_bypassed_sectors")),
                 singleflight_waits: rp.map_or(0, |r| num_u64(r, "singleflight_waits")),
                 singleflight_shared: rp.map_or(0, |r| num_u64(r, "singleflight_shared")),
                 shared_lock_acqs: rp.map_or(0, |r| num_u64(r, "shared_lock_acqs")),
@@ -768,18 +864,7 @@ impl TelemetrySnapshot {
                 concurrent_readers: rp.map_or(0, |r| num_u64(r, "concurrent_readers")),
                 peak_concurrent_readers: rp.map_or(0, |r| num_u64(r, "peak_concurrent_readers")),
             },
-            serving: ServingTelemetry {
-                socket_wait: lat_from(sub(serving, "socket_wait")),
-                queue_wait: lat_from(sub(serving, "queue_wait")),
-                service: lat_from(sub(serving, "service")),
-                conns_open: serving.map_or(0, |s| num_u64(s, "conns_open")),
-                conns_total: serving.map_or(0, |s| num_u64(s, "conns_total")),
-                reads: serving.map_or(0, |s| num_u64(s, "reads")),
-                writes: serving.map_or(0, |s| num_u64(s, "writes")),
-                flushes: serving.map_or(0, |s| num_u64(s, "flushes")),
-                trims: serving.map_or(0, |s| num_u64(s, "trims")),
-                errors: serving.map_or(0, |s| num_u64(s, "errors")),
-            },
+            serving: serving_from(serving),
             trace: TraceTelemetry {
                 events: trace.map_or(0, |t| num_u64(t, "events")),
                 dropped: trace.map_or(0, |t| num_u64(t, "dropped")),
@@ -792,7 +877,182 @@ impl TelemetrySnapshot {
                 requests: spans.map_or(0, |s| num_u64(s, "requests")),
                 enabled: spans.is_some_and(|s| flag(s, "enabled")),
             },
+            tenants: j
+                .get("tenants")
+                .and_then(Json::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .map(|t| TenantTelemetry {
+                            export: t
+                                .get("export")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                            serving: serving_from(t.get("serving")),
+                            cache_quota_bytes: num_u64(t, "cache_quota_bytes"),
+                            cache_resident_bytes: num_u64(t, "cache_resident_bytes"),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
+    }
+
+    /// Folds `other` into `self` for fleet-level aggregation: counters
+    /// and byte totals sum, gauges sum (they are per-volume occupancies),
+    /// booleans OR, latency sketches merge approximately (count-weighted
+    /// mean and percentiles, max of maxes — see [`lat_absorb`]'s caveat),
+    /// and ratio-like derived values are recomputed where possible or
+    /// count-weighted otherwise. `tenants` lists concatenate. The result
+    /// is a node-wide view; per-volume precision lives in `tenants`.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        let s = self;
+        let o = other;
+        s.elapsed_secs = s.elapsed_secs.max(o.elapsed_secs);
+        for (a, b) in [
+            (&mut s.ops.read, &o.ops.read),
+            (&mut s.ops.write, &o.ops.write),
+            (&mut s.ops.flush, &o.ops.flush),
+            (&mut s.backend.put, &o.backend.put),
+            (&mut s.backend.get, &o.backend.get),
+            (&mut s.backend.head, &o.backend.head),
+            (&mut s.backend.list, &o.backend.list),
+            (&mut s.backend.delete, &o.backend.delete),
+            (&mut s.writeback.put_service, &o.writeback.put_service),
+            (&mut s.writeback.put_queue_wait, &o.writeback.put_queue_wait),
+            (
+                &mut s.read_plane.shared_lock_wait,
+                &o.read_plane.shared_lock_wait,
+            ),
+            (
+                &mut s.read_plane.excl_lock_wait,
+                &o.read_plane.excl_lock_wait,
+            ),
+            (&mut s.serving.socket_wait, &o.serving.socket_wait),
+            (&mut s.serving.queue_wait, &o.serving.queue_wait),
+            (&mut s.serving.service, &o.serving.service),
+        ] {
+            *a = lat_absorb(a, b);
+        }
+        s.backend.put_bytes += o.backend.put_bytes;
+        s.backend.get_bytes += o.backend.get_bytes;
+        s.backend.errors += o.backend.errors;
+        s.backend.transient_errors += o.backend.transient_errors;
+        s.writeback.queued += o.writeback.queued;
+        s.writeback.inflight += o.writeback.inflight;
+        s.writeback.landed_gapped += o.writeback.landed_gapped;
+        s.writeback.window += o.writeback.window;
+        s.writeback.occupancy = if s.writeback.window > 0 {
+            s.writeback.inflight as f64 / s.writeback.window as f64
+        } else {
+            0.0
+        };
+        s.writeback.sealed_seq = s.writeback.sealed_seq.max(o.writeback.sealed_seq);
+        s.writeback.durable_frontier = s
+            .writeback
+            .durable_frontier
+            .max(o.writeback.durable_frontier);
+        s.writeback.frontier_lag += o.writeback.frontier_lag;
+        s.writeback.degraded |= o.writeback.degraded;
+        s.writeback.put_transient_failures += o.writeback.put_transient_failures;
+        s.writeback.backpressure_rejections += o.writeback.backpressure_rejections;
+        s.cache.hdr_hits += o.cache.hdr_hits;
+        s.cache.hdr_misses += o.cache.hdr_misses;
+        s.cache.hdr_evictions += o.cache.hdr_evictions;
+        s.cache.rcache_hit_sectors += o.cache.rcache_hit_sectors;
+        s.cache.rcache_miss_sectors += o.cache.rcache_miss_sectors;
+        s.cache.rcache_inserted_sectors += o.cache.rcache_inserted_sectors;
+        s.cache.rcache_evicted_sectors += o.cache.rcache_evicted_sectors;
+        let rc_total = s.cache.rcache_hit_sectors + s.cache.rcache_miss_sectors;
+        s.cache.rcache_hit_ratio = if rc_total > 0 {
+            s.cache.rcache_hit_sectors as f64 / rc_total as f64
+        } else {
+            0.0
+        };
+        s.cache.wlog_used_sectors += o.cache.wlog_used_sectors;
+        s.cache.wlog_capacity_sectors += o.cache.wlog_capacity_sectors;
+        s.retry.attempts += o.retry.attempts;
+        s.retry.retries += o.retry.retries;
+        s.retry.give_ups += o.retry.give_ups;
+        s.retry.backoff_ns += o.retry.backoff_ns;
+        // Weight write amplification by each side's backend PUT bytes (the
+        // numerator of the ratio) — exact when both sides report bytes.
+        let (wa_a, wa_b) = (
+            s.backend.put_bytes - o.backend.put_bytes,
+            o.backend.put_bytes,
+        );
+        let wa_n = wa_a + wa_b;
+        if wa_n > 0 {
+            s.derived.write_amplification = (s.derived.write_amplification * wa_a as f64
+                + o.derived.write_amplification * wa_b as f64)
+                / wa_n as f64;
+        }
+        s.derived.backend_objects += o.derived.backend_objects;
+        s.derived.backend_objects_per_sec += o.derived.backend_objects_per_sec;
+        let dead_total = s.space.dead_bytes + o.space.dead_bytes;
+        let live_total = s.space.live_bytes + o.space.live_bytes;
+        s.derived.gc_dead_space_ratio = if dead_total + live_total > 0 {
+            dead_total as f64 / (dead_total + live_total) as f64
+        } else {
+            0.0
+        };
+        s.derived.checkpoints += o.derived.checkpoints;
+        s.space.live_bytes += o.space.live_bytes;
+        s.space.dead_bytes += o.space.dead_bytes;
+        let freed_total = s.space.gc_freed_bytes + o.space.gc_freed_bytes;
+        s.space.gc_relocated_bytes += o.space.gc_relocated_bytes;
+        s.space.gc_freed_bytes = freed_total;
+        s.space.cleaning_write_amp = if freed_total > 0 {
+            s.space.gc_relocated_bytes as f64 / freed_total as f64
+        } else {
+            0.0
+        };
+        s.space.gc_passes += o.space.gc_passes;
+        s.space.gc_pass_active |= o.space.gc_pass_active;
+        s.space.gc_step_budget_bytes = s
+            .space
+            .gc_step_budget_bytes
+            .max(o.space.gc_step_budget_bytes);
+        s.space.gc_victims_remaining += o.space.gc_victims_remaining;
+        s.space.deferred_deletes += o.space.deferred_deletes;
+        s.data_plane.payload_crc_bytes += o.data_plane.payload_crc_bytes;
+        s.data_plane.crc_recomputed_bytes += o.data_plane.crc_recomputed_bytes;
+        s.data_plane.crc_combine_ops += o.data_plane.crc_combine_ops;
+        s.data_plane.copied_bytes += o.data_plane.copied_bytes;
+        s.data_plane.get_verified_bytes += o.data_plane.get_verified_bytes;
+        s.data_plane.hw_crc |= o.data_plane.hw_crc;
+        s.read_plane.reads += o.read_plane.reads;
+        s.read_plane.hit_reads += o.read_plane.hit_reads;
+        s.read_plane.miss_reads += o.read_plane.miss_reads;
+        s.read_plane.admitted_sectors += o.read_plane.admitted_sectors;
+        s.read_plane.bypassed_sectors += o.read_plane.bypassed_sectors;
+        s.read_plane.quota_bypassed_sectors += o.read_plane.quota_bypassed_sectors;
+        s.read_plane.singleflight_waits += o.read_plane.singleflight_waits;
+        s.read_plane.singleflight_shared += o.read_plane.singleflight_shared;
+        s.read_plane.shared_lock_acqs += o.read_plane.shared_lock_acqs;
+        s.read_plane.excl_lock_acqs += o.read_plane.excl_lock_acqs;
+        s.read_plane.concurrent_readers += o.read_plane.concurrent_readers;
+        s.read_plane.peak_concurrent_readers += o.read_plane.peak_concurrent_readers;
+        s.serving.conns_open += o.serving.conns_open;
+        s.serving.conns_total += o.serving.conns_total;
+        s.serving.reads += o.serving.reads;
+        s.serving.writes += o.serving.writes;
+        s.serving.flushes += o.serving.flushes;
+        s.serving.trims += o.serving.trims;
+        s.serving.errors += o.serving.errors;
+        s.serving.bytes_read += o.serving.bytes_read;
+        s.serving.bytes_written += o.serving.bytes_written;
+        s.serving.throttle_waits += o.serving.throttle_waits;
+        s.trace.events += o.trace.events;
+        s.trace.dropped += o.trace.dropped;
+        s.trace.capacity += o.trace.capacity;
+        s.spans.recorded += o.spans.recorded;
+        s.spans.dropped += o.spans.dropped;
+        s.spans.capacity += o.spans.capacity;
+        s.spans.requests += o.spans.requests;
+        s.spans.enabled |= o.spans.enabled;
+        s.tenants.extend(o.tenants.iter().cloned());
     }
 
     /// Renders Prometheus text exposition. Every metric carries `# HELP`
@@ -1203,6 +1463,99 @@ impl TelemetrySnapshot {
             self.serving.errors as f64,
         );
         w.counter(
+            "lsvd_serving_bytes_read_total",
+            "Bytes served to NBD READ replies.",
+            self.serving.bytes_read as f64,
+        );
+        w.counter(
+            "lsvd_serving_bytes_written_total",
+            "Bytes accepted from NBD WRITE requests.",
+            self.serving.bytes_written as f64,
+        );
+        w.counter(
+            "lsvd_serving_throttle_waits_total",
+            "Requests that stalled on a QoS token bucket.",
+            self.serving.throttle_waits as f64,
+        );
+        w.counter(
+            "lsvd_rp_quota_bypassed_sectors_total",
+            "Sectors the tenant byte quota kept out of the read cache.",
+            self.read_plane.quota_bypassed_sectors as f64,
+        );
+        if !self.tenants.is_empty() {
+            let per = |f: fn(&TenantTelemetry) -> f64| {
+                self.tenants
+                    .iter()
+                    .map(|t| (t.export.clone(), f(t)))
+                    .collect::<Vec<_>>()
+            };
+            w.labeled_counter(
+                "lsvd_tenant_conns_total",
+                "Connections ever accepted, per export.",
+                &per(|t| t.serving.conns_total as f64),
+            );
+            w.labeled_gauge(
+                "lsvd_tenant_conns_open",
+                "Connections currently open, per export.",
+                &per(|t| t.serving.conns_open as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_reads_total",
+                "READ requests served, per export.",
+                &per(|t| t.serving.reads as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_writes_total",
+                "WRITE requests served, per export.",
+                &per(|t| t.serving.writes as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_flushes_total",
+                "FLUSH requests served, per export.",
+                &per(|t| t.serving.flushes as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_trims_total",
+                "TRIM requests served, per export.",
+                &per(|t| t.serving.trims as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_errors_total",
+                "Requests answered with an error code, per export.",
+                &per(|t| t.serving.errors as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_bytes_read_total",
+                "Bytes served to READ replies, per export.",
+                &per(|t| t.serving.bytes_read as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_bytes_written_total",
+                "Bytes accepted from WRITE requests, per export.",
+                &per(|t| t.serving.bytes_written as f64),
+            );
+            w.labeled_counter(
+                "lsvd_tenant_throttle_waits_total",
+                "QoS token-bucket stalls, per export.",
+                &per(|t| t.serving.throttle_waits as f64),
+            );
+            w.labeled_gauge(
+                "lsvd_tenant_service_p99_ns",
+                "In-volume service p99 in nanoseconds, per export.",
+                &per(|t| t.serving.service.p99_ns),
+            );
+            w.labeled_gauge(
+                "lsvd_tenant_cache_quota_bytes",
+                "Read-cache byte quota (0 = unlimited), per export.",
+                &per(|t| t.cache_quota_bytes as f64),
+            );
+            w.labeled_gauge(
+                "lsvd_tenant_cache_resident_bytes",
+                "Bytes resident in the read-cache partition, per export.",
+                &per(|t| t.cache_resident_bytes as f64),
+            );
+        }
+        w.counter(
             "lsvd_trace_events_total",
             "Trace events ever pushed into the ring.",
             self.trace.events as f64,
@@ -1344,14 +1697,36 @@ impl TelemetrySnapshot {
             );
             let _ = writeln!(
                 out,
-                "              conns={}/{} reads={} writes={} flushes={} trims={} errors={}",
+                "              conns={}/{} reads={} writes={} flushes={} trims={} errors={} bytes={}r/{}w throttled={}",
                 self.serving.conns_open,
                 self.serving.conns_total,
                 self.serving.reads,
                 self.serving.writes,
                 self.serving.flushes,
                 self.serving.trims,
-                self.serving.errors
+                self.serving.errors,
+                self.serving.bytes_read,
+                self.serving.bytes_written,
+                self.serving.throttle_waits
+            );
+        }
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "  tenant {:12} conns={}/{} r={} w={} fl={} tr={} err={} bytes={}r/{}w throttled={} cache={}B/{}B quota",
+                t.export,
+                t.serving.conns_open,
+                t.serving.conns_total,
+                t.serving.reads,
+                t.serving.writes,
+                t.serving.flushes,
+                t.serving.trims,
+                t.serving.errors,
+                t.serving.bytes_read,
+                t.serving.bytes_written,
+                t.serving.throttle_waits,
+                t.cache_resident_bytes,
+                t.cache_quota_bytes
             );
         }
         let _ = writeln!(
@@ -1414,6 +1789,40 @@ impl Prom {
         let _ = writeln!(self.out, "# HELP {name} {help}");
         let _ = writeln!(self.out, "# TYPE {name} counter");
         self.sample(name, v);
+    }
+
+    /// Escapes a label value per the Prometheus text format.
+    fn escape_label(v: &str) -> String {
+        v.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    }
+
+    fn labeled_samples(&mut self, name: &str, series: &[(String, f64)]) {
+        for (export, v) in series {
+            let esc = Self::escape_label(export);
+            self.sample(&format!("{name}{{export=\"{esc}\"}}"), *v);
+        }
+    }
+
+    /// A gauge family with one `export="..."`-labeled sample per tenant.
+    fn labeled_gauge(&mut self, name: &str, help: &str, series: &[(String, f64)]) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        self.labeled_samples(name, series);
+    }
+
+    /// A counter family with one `export="..."`-labeled sample per tenant.
+    fn labeled_counter(&mut self, name: &str, help: &str, series: &[(String, f64)]) {
+        use std::fmt::Write as _;
+        debug_assert!(
+            name.ends_with("_total") || name.ends_with("_count"),
+            "counter `{name}` must end in _total or _count"
+        );
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} counter");
+        self.labeled_samples(name, series);
     }
 
     /// A latency family: `<prefix>_count` as a counter (summary
@@ -1543,6 +1952,7 @@ mod tests {
                 miss_reads: 200,
                 admitted_sectors: 1_024,
                 bypassed_sectors: 4_096,
+                quota_bypassed_sectors: 512,
                 singleflight_waits: 17,
                 singleflight_shared: 15,
                 shared_lock_acqs: 3_100,
@@ -1563,6 +1973,9 @@ mod tests {
                 flushes: 40,
                 trims: 12,
                 errors: 1,
+                bytes_read: 8 << 20,
+                bytes_written: 6 << 20,
+                throttle_waits: 23,
             },
             trace: TraceTelemetry {
                 events: 500,
@@ -1576,6 +1989,48 @@ mod tests {
                 requests: 450,
                 enabled: true,
             },
+            tenants: vec![
+                TenantTelemetry {
+                    export: "alpha".into(),
+                    serving: ServingTelemetry {
+                        socket_wait: lat,
+                        queue_wait: lat,
+                        service: lat,
+                        conns_open: 3,
+                        conns_total: 4,
+                        reads: 1_200,
+                        writes: 900,
+                        flushes: 25,
+                        trims: 8,
+                        errors: 1,
+                        bytes_read: 5 << 20,
+                        bytes_written: 4 << 20,
+                        throttle_waits: 20,
+                    },
+                    cache_quota_bytes: 16 << 20,
+                    cache_resident_bytes: 9 << 20,
+                },
+                TenantTelemetry {
+                    export: "beta\"2".into(),
+                    serving: ServingTelemetry {
+                        socket_wait: lat,
+                        queue_wait: lat,
+                        service: lat,
+                        conns_open: 1,
+                        conns_total: 2,
+                        reads: 800,
+                        writes: 600,
+                        flushes: 15,
+                        trims: 4,
+                        errors: 0,
+                        bytes_read: 3 << 20,
+                        bytes_written: 2 << 20,
+                        throttle_waits: 3,
+                    },
+                    cache_quota_bytes: 8 << 20,
+                    cache_resident_bytes: 2 << 20,
+                },
+            ],
         }
     }
 
@@ -1591,7 +2046,7 @@ mod tests {
     fn schema_key_is_first_and_validated() {
         let text = sample().to_json().render();
         assert!(
-            text.starts_with("{\"schema\":\"lsvd-telemetry-v3\""),
+            text.starts_with("{\"schema\":\"lsvd-telemetry-v4\""),
             "{text}"
         );
         let tampered = text.replace(SCHEMA, "lsvd-telemetry-v0");
@@ -1648,6 +2103,30 @@ mod tests {
             prom.contains("# TYPE lsvd_serving_queue_wait_p99_ns gauge"),
             "{prom}"
         );
+        assert!(
+            prom.contains("lsvd_serving_bytes_read_total 8388608"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("lsvd_rp_quota_bypassed_sectors_total 512"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE lsvd_tenant_reads_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("lsvd_tenant_reads_total{export=\"alpha\"} 1200"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("lsvd_tenant_cache_quota_bytes{export=\"alpha\"} 16777216"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("lsvd_tenant_conns_open{export=\"beta\\\"2\"} 1"),
+            "{prom}"
+        );
         for line in prom.lines() {
             assert!(
                 line.starts_with("# HELP lsvd_")
@@ -1659,15 +2138,17 @@ mod tests {
     }
 
     /// Format lint for the whole exposition: every sample line parses as
-    /// `name value`, is immediately preceded by its own `# HELP` and
-    /// `# TYPE` lines, declares a known type, follows the counter naming
-    /// convention, and no metric appears twice.
+    /// `name[{labels}] value`, sits under its own `# HELP` and `# TYPE`
+    /// preamble (labeled families may emit several samples per preamble),
+    /// declares a known type, follows the counter naming convention, and
+    /// no family appears twice.
     #[test]
     fn prometheus_exposition_is_well_formed() {
         let prom = sample().to_prometheus();
         let lines: Vec<&str> = prom.lines().collect();
         assert!(!lines.is_empty());
         let mut seen = std::collections::HashSet::new();
+        let mut seen_series = std::collections::HashSet::new();
         let mut samples = 0usize;
         let mut i = 0;
         while i < lines.len() {
@@ -1696,28 +2177,49 @@ mod tests {
                     "counter {name} is missing its _total/_count suffix"
                 );
             }
-            let sample_line = lines
-                .get(i + 2)
-                .unwrap_or_else(|| panic!("missing sample after {help}"));
-            let (sname, value) = sample_line
-                .split_once(' ')
-                .unwrap_or_else(|| panic!("malformed sample line: {sample_line}"));
-            assert_eq!(sname, name, "sample under the wrong preamble");
-            let v: f64 = value
-                .parse()
-                .unwrap_or_else(|_| panic!("non-numeric sample for {name}: {value}"));
-            assert!(v.is_finite(), "non-finite sample for {name}");
-            if ty == "counter" {
-                assert!(v >= 0.0, "negative counter {name}");
-            }
             assert!(
                 name.chars()
                     .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
                 "illegal metric name {name}"
             );
             assert!(seen.insert(name.to_string()), "duplicate metric {name}");
-            samples += 1;
-            i += 3;
+            // One or more sample lines whose base name matches the family.
+            let mut family_samples = 0usize;
+            i += 2;
+            while i < lines.len() && !lines[i].starts_with('#') {
+                let sample_line = lines[i];
+                let (series, value) = sample_line
+                    .rsplit_once(' ')
+                    .unwrap_or_else(|| panic!("malformed sample line: {sample_line}"));
+                let base = series.split('{').next().unwrap();
+                assert_eq!(base, name, "sample under the wrong preamble: {sample_line}");
+                if let Some(rest) = series.strip_prefix(&format!("{name}{{")) {
+                    let labels = rest
+                        .strip_suffix('}')
+                        .unwrap_or_else(|| panic!("unterminated label set: {series}"));
+                    assert!(
+                        labels.contains("=\""),
+                        "labels missing key=\"value\" form: {series}"
+                    );
+                } else {
+                    assert_eq!(series, name, "garbled series name: {series}");
+                }
+                assert!(
+                    seen_series.insert(series.to_string()),
+                    "duplicate series {series}"
+                );
+                let v: f64 = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("non-numeric sample for {series}: {value}"));
+                assert!(v.is_finite(), "non-finite sample for {series}");
+                if ty == "counter" {
+                    assert!(v >= 0.0, "negative counter {series}");
+                }
+                family_samples += 1;
+                samples += 1;
+                i += 1;
+            }
+            assert!(family_samples >= 1, "family {name} emitted no samples");
         }
         assert!(samples > 100, "suspiciously few metrics: {samples}");
     }
@@ -1737,8 +2239,33 @@ mod tests {
             "serving",
             "trace",
             "spans",
+            "tenant alpha",
         ] {
             assert!(rep.contains(needle), "missing {needle}: {rep}");
         }
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_collects_tenants() {
+        let a = sample();
+        let mut sum = sample();
+        sum.absorb(&a);
+        assert_eq!(sum.serving.reads, 2 * a.serving.reads);
+        assert_eq!(sum.backend.put_bytes, 2 * a.backend.put_bytes);
+        assert_eq!(sum.cache.hdr_hits, 2 * a.cache.hdr_hits);
+        assert_eq!(
+            sum.read_plane.quota_bypassed_sectors,
+            2 * a.read_plane.quota_bypassed_sectors
+        );
+        assert_eq!(sum.ops.read.count, 2 * a.ops.read.count);
+        // Count-weighted latency merge of two identical sketches keeps
+        // the mean and quantiles unchanged.
+        assert!((sum.ops.read.mean_ns - a.ops.read.mean_ns).abs() < 1e-9);
+        assert!((sum.ops.read.p99_ns - a.ops.read.p99_ns).abs() < 1e-9);
+        assert_eq!(sum.writeback.degraded, a.writeback.degraded);
+        assert_eq!(sum.tenants.len(), 2 * a.tenants.len());
+        // Ratios stay ratios (not sums).
+        assert!(sum.cache.rcache_hit_ratio <= 1.0);
+        assert!((sum.derived.write_amplification - a.derived.write_amplification).abs() < 1e-6);
     }
 }

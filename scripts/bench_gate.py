@@ -34,6 +34,14 @@ Two GC ratio gates ride the same mechanism:
   tax: mean write cost with the budgeted cleaner active must stay
   within 3x of the GC-off baseline in both files.
 
+The fleet scaling gate (`fleet/aggregate_write_4K_64vol` vs `_1vol`)
+divides the 64-tenant per-iteration time by 64 to get per-op cost: the
+committed baseline must show 64-tenant aggregate throughput at >= 0.85x
+of single-tenant (per-op cost <= 1/0.85). Fresh quick runs get a
+noise-tolerant 4x bound: the quick budget fits only a couple of 64-vol
+iterations, so cold caches and first-touch page faults dominate its
+side of the ratio.
+
 A benchmark fails the gate when its fresh ns_per_iter exceeds
 baseline * tolerance (default 2x: quick mode on shared CI runners is
 noisy, so the gate only catches order-of-magnitude regressions such as
@@ -78,6 +86,16 @@ GC_POLICY_BOUND = 0.95
 GC_CHURN_PAIR = ("gc/write_4K_churn_gc_on", "gc/write_4K_churn_gc_off")
 GC_CHURN_BOUND = 3.0
 
+# Fleet aggregate scaling: the 64-tenant bench writes one 4K block on
+# every tenant per iteration, so ns_per_iter / 64 is its per-op cost.
+# Aggregate throughput with 64 tenants on one reactor must stay >= 0.85x
+# of single-tenant throughput in the committed baseline (per-op cost
+# within 1/0.85); fresh quick runs get a noise-tolerant bound.
+FLEET_PAIR = ("fleet/aggregate_write_4K_64vol", "fleet/aggregate_write_4K_1vol")
+FLEET_VOLS = 64
+FLEET_BASELINE_BOUND = 1 / 0.85
+FLEET_FRESH_BOUND = 4.0
+
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
@@ -102,6 +120,28 @@ def pair_ratio(results: dict, pair, field: str):
 def check_pair(failures, results, label, pair, field, bound, required):
     """Gates results[pair[0]][field] / results[pair[1]][field] <= bound."""
     ratio = pair_ratio(results, pair, field)
+    if ratio is None:
+        if required:
+            failures.append((label + " missing", 0.0, 0.0, float("inf")))
+            print(f"{label}: pair missing")
+        return
+    verdict = ""
+    if ratio > bound:
+        failures.append((label, bound, ratio, ratio))
+        verdict = "  REGRESSION"
+    print(f"{label:<28} bound {bound:.2f}x  measured {ratio:>6.2f}x{verdict}")
+
+
+def fleet_ratio(results: dict):
+    """Per-op cost ratio of the 64-tenant aggregate vs single-tenant."""
+    many, one = FLEET_PAIR
+    if many in results and one in results and results[one].get("ns_per_iter"):
+        return results[many]["ns_per_iter"] / FLEET_VOLS / results[one]["ns_per_iter"]
+    return None
+
+
+def check_fleet(failures, results, label, bound, required):
+    ratio = fleet_ratio(results)
     if ratio is None:
         if required:
             failures.append((label + " missing", 0.0, 0.0, float("inf")))
@@ -228,6 +268,13 @@ def main() -> int:
             failures, results, label, GC_CHURN_PAIR, "ns_per_iter",
             GC_CHURN_BOUND, required,
         )
+
+    # Fleet scaling gate: per-op cost at 64 tenants vs 1, strict on the
+    # committed baseline, noise-tolerant on fresh quick runs.
+    check_fleet(
+        failures, baseline, "fleet 64v/1v (baseline)", FLEET_BASELINE_BOUND, True
+    )
+    check_fleet(failures, fresh, "fleet 64v/1v (fresh)", FLEET_FRESH_BOUND, False)
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond {args.tolerance}x:")

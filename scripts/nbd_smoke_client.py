@@ -7,13 +7,16 @@ drive a live `lsvdctl serve` from the outside — no in-process shortcuts.
 Usage:
     scripts/nbd_smoke_client.py PORT EXPORT          # mixed 4K burst
     scripts/nbd_smoke_client.py PORT EXPORT --abort  # force a conn abort
+    scripts/nbd_smoke_client.py PORT --list          # print export names
 
-Burst mode writes, flushes, and reads back a handful of 4 KiB blocks,
-then disconnects cleanly (NBD_CMD_DISC) — enough traffic to populate
-the span ring behind `/trace`. Abort mode completes the handshake and
-then sends garbage where a request header belongs, which the server
-must treat as a protocol violation: the connection dies and, when a
-flight recorder is armed, a blackbox dump is written.
+Burst mode writes, flushes, and reads back a handful of 4 KiB blocks
+(tagged with the export name so multi-export smokes catch cross-tenant
+routing), then disconnects cleanly (NBD_CMD_DISC) — enough traffic to
+populate the span ring behind `/trace`. Abort mode completes the
+handshake and then sends garbage where a request header belongs, which
+the server must treat as a protocol violation: the connection dies and,
+when a flight recorder is armed, a blackbox dump is written. List mode
+sends NBD_OPT_LIST and prints one export name per line.
 
 Exit status: 0 = success, 1 = protocol/assertion failure.
 """
@@ -28,8 +31,11 @@ MAGIC_OPT_REPLY = 0x0003E889045565A9
 MAGIC_REQUEST = 0x25609513
 MAGIC_SIMPLE_REPLY = 0x67446698
 CLIENT_FIXED_NEWSTYLE = 1
+OPT_ABORT = 2
+OPT_LIST = 3
 OPT_GO = 7
 REP_ACK = 1
+REP_SERVER = 2
 REP_INFO = 3
 CMD_READ = 0
 CMD_WRITE = 1
@@ -69,6 +75,27 @@ def handshake(sock: socket.socket, export: str) -> int:
             raise AssertionError(f"option error 0x{rep:x}")
 
 
+def list_exports(sock: socket.socket) -> list:
+    magic, ihaveopt, _flags = struct.unpack(">QQH", recv_exact(sock, 18))
+    assert magic == MAGIC_NBD and ihaveopt == MAGIC_IHAVEOPT, "bad server hello"
+    sock.sendall(struct.pack(">I", CLIENT_FIXED_NEWSTYLE))
+    sock.sendall(struct.pack(">QII", MAGIC_IHAVEOPT, OPT_LIST, 0))
+    names = []
+    while True:
+        magic, _opt, rep, length = struct.unpack(">QIII", recv_exact(sock, 20))
+        assert magic == MAGIC_OPT_REPLY, "bad option reply magic"
+        body = recv_exact(sock, length) if length else b""
+        if rep == REP_SERVER:
+            (nlen,) = struct.unpack(">I", body[:4])
+            names.append(body[4 : 4 + nlen].decode())
+        elif rep == REP_ACK:
+            break
+        elif rep >= 0x80000000:
+            raise AssertionError(f"LIST error 0x{rep:x}")
+    sock.sendall(struct.pack(">QII", MAGIC_IHAVEOPT, OPT_ABORT, 0))
+    return names
+
+
 def request(sock, cmd: int, cookie: int, offset: int, length: int, data: bytes = b""):
     sock.sendall(
         struct.pack(">IHHQQI", MAGIC_REQUEST, 0, cmd, cookie, offset, length) + data
@@ -83,12 +110,16 @@ def reply(sock, want_cookie: int, data_len: int = 0) -> bytes:
     return recv_exact(sock, data_len) if data_len else b""
 
 
-def burst(sock) -> None:
+def burst(sock, export: str) -> None:
     cookie = 0
     blocks = 24
+    # Per-export tag: on a multi-export node a request routed to the
+    # wrong tenant's volume reads back the wrong pattern.
+    tag = sum(export.encode()) & 0xFF
     for i in range(blocks):
         cookie += 1
-        request(sock, CMD_WRITE, cookie, i * 16384, 4096, bytes([i & 0xFF]) * 4096)
+        pattern = bytes([(i + tag) & 0xFF]) * 4096
+        request(sock, CMD_WRITE, cookie, i * 16384, 4096, pattern)
         reply(sock, cookie)
         if i % 8 == 7:
             cookie += 1
@@ -98,9 +129,10 @@ def burst(sock) -> None:
         cookie += 1
         request(sock, CMD_READ, cookie, i * 16384, 4096)
         got = reply(sock, cookie, 4096)
-        assert got == bytes([i & 0xFF]) * 4096, f"readback mismatch at block {i}"
+        want = bytes([(i + tag) & 0xFF]) * 4096
+        assert got == want, f"readback mismatch at {export} block {i}"
     request(sock, CMD_DISC, cookie + 1, 0, 0)
-    print(f"burst OK: {blocks} writes + flushes + readbacks")
+    print(f"burst OK: {export}: {blocks} writes + flushes + readbacks")
 
 
 def abort(sock) -> None:
@@ -119,12 +151,16 @@ def main() -> int:
     port, export = int(sys.argv[1]), sys.argv[2]
     with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
         sock.settimeout(30)
+        if export == "--list":
+            for name in list_exports(sock):
+                print(name)
+            return 0
         size = handshake(sock, export)
         assert size > 0, "export size is zero"
         if "--abort" in sys.argv[3:]:
             abort(sock)
         else:
-            burst(sock)
+            burst(sock, export)
     return 0
 
 

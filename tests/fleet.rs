@@ -1,0 +1,392 @@
+//! Integration: a fleet node serving many tenants from one reactor.
+//!
+//! Acceptance for multi-tenant serving: many named exports multiplexed
+//! over one poll reactor and a shared worker pool, with exact readback
+//! under concurrent mixed traffic, per-tenant telemetry, QoS ceilings
+//! that actually cap throughput, fair shares under a saturating
+//! neighbor, hot detach that drains acknowledged writes durably, and
+//! connection counts far beyond the old thread-per-connection plane.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blkdev::RamDisk;
+use lsvd::config::VolumeConfig;
+use lsvd::fleet::{ExportRegistry, QosLimits};
+use lsvd::shared::SharedVolume;
+use lsvd::volume::Volume;
+use nbd::server::ServerConfig;
+use nbd::Client;
+use objstore::MemStore;
+
+/// Pipelined writeback, as the serving plane would run in production.
+fn pipelined_cfg() -> VolumeConfig {
+    VolumeConfig {
+        writeback_threads: 2,
+        max_inflight_puts: 2,
+        ..VolumeConfig::small_for_tests()
+    }
+}
+
+/// One shared backend store, one RAM cache per volume — the §3.1 shape
+/// of a node serving many images out of one bucket.
+struct FleetRig {
+    store: Arc<MemStore>,
+    caches: Vec<Arc<RamDisk>>,
+    registry: Arc<ExportRegistry>,
+    handle: Option<nbd::ServerHandle>,
+    addr: std::net::SocketAddr,
+}
+
+fn fleet_rig(n_vols: usize, vol_bytes: u64, cache_bytes: u64) -> FleetRig {
+    let store = Arc::new(MemStore::new());
+    let registry = Arc::new(ExportRegistry::new(None));
+    let mut caches = Vec::new();
+    for i in 0..n_vols {
+        let name = format!("vol{i}");
+        let cache = Arc::new(RamDisk::new(cache_bytes));
+        let vol = Volume::create(
+            store.clone(),
+            cache.clone(),
+            &name,
+            vol_bytes,
+            pipelined_cfg(),
+        )
+        .expect("create volume");
+        registry
+            .attach(&name, SharedVolume::new(vol), QosLimits::default())
+            .expect("attach");
+        caches.push(cache);
+    }
+    let handle = nbd::serve_fleet("127.0.0.1:0", registry.clone(), ServerConfig::default())
+        .expect("bind fleet server");
+    let addr = handle.addr();
+    FleetRig {
+        store,
+        caches,
+        registry,
+        handle: Some(handle),
+        addr,
+    }
+}
+
+impl FleetRig {
+    fn teardown(mut self) {
+        self.handle.take().unwrap().stop();
+        for name in self.registry.list() {
+            self.registry.detach(&name).expect("detach at teardown");
+        }
+    }
+}
+
+/// The headline acceptance: 8 tenants × 4 connections each (32 live
+/// connections) of concurrent mixed READ/WRITE/FLUSH/TRIM traffic, with
+/// exact per-tenant readback, strict isolation, and per-tenant counters.
+#[test]
+fn eight_tenants_thirty_two_connections_mixed_traffic_exact_readback() {
+    const VOLS: usize = 8;
+    const CONNS_PER_VOL: u64 = 4;
+    const BLOCKS: u64 = 24;
+    let r = fleet_rig(VOLS, 32 << 20, 8 << 20);
+    let addr = r.addr;
+
+    let mut joins = Vec::new();
+    for v in 0..VOLS as u64 {
+        for t in 0..CONNS_PER_VOL {
+            joins.push(std::thread::spawn(move || {
+                let export = format!("vol{v}");
+                let mut c = Client::connect(addr, &export).expect("connect");
+                assert_eq!(c.size(), 32 << 20, "negotiated size for {export}");
+                // Each connection owns a disjoint 2 MiB region of its
+                // tenant's volume; tags differ across tenants so any
+                // cross-tenant routing error corrupts a readback.
+                let base = t * (2 << 20);
+                for i in 0..BLOCKS {
+                    let tag = (v * 101 + t * 17 + i) as u8;
+                    c.write(base + i * 65536, &[tag; 4096]).expect("write");
+                    if i % 8 == 3 {
+                        c.flush().expect("flush");
+                    }
+                }
+                c.trim(base + (BLOCKS - 1) * 65536, 4096).expect("trim");
+                c.flush().expect("final flush");
+                let mut buf = [0u8; 4096];
+                for i in 0..BLOCKS - 1 {
+                    c.read(base + i * 65536, &mut buf).expect("read");
+                    let tag = (v * 101 + t * 17 + i) as u8;
+                    assert_eq!(buf, [tag; 4096], "tenant {v} conn {t} block {i}");
+                }
+                c.read(base + (BLOCKS - 1) * 65536, &mut buf)
+                    .expect("read trimmed");
+                assert_eq!(buf, [0u8; 4096], "trimmed block reads zero");
+                c.disconnect().expect("disconnect");
+            }));
+        }
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Per-tenant accounting: every export saw exactly its own four
+    // connections and at least its own writes — nothing bled across.
+    for v in 0..VOLS {
+        let export = r.registry.get(&format!("vol{v}")).expect("export");
+        let s = export.recorders().snapshot();
+        assert_eq!(s.conns_total, CONNS_PER_VOL, "tenant {v} connections");
+        assert!(
+            s.writes >= CONNS_PER_VOL * BLOCKS,
+            "tenant {v} writes: {}",
+            s.writes
+        );
+        assert!(
+            s.bytes_written >= CONNS_PER_VOL * BLOCKS * 4096,
+            "tenant {v} bytes written: {}",
+            s.bytes_written
+        );
+        assert_eq!(s.trims, CONNS_PER_VOL, "tenant {v} trims");
+    }
+    // The node-wide snapshot aggregates every tenant and carries the
+    // per-tenant breakdown for /metrics labels.
+    let snap = r.registry.telemetry();
+    assert_eq!(snap.tenants.len(), VOLS, "one tenant entry per export");
+    let total_writes: u64 = snap.tenants.iter().map(|t| t.serving.writes).sum();
+    assert!(
+        total_writes >= VOLS as u64 * CONNS_PER_VOL * BLOCKS,
+        "aggregate writes: {total_writes}"
+    );
+    r.teardown();
+}
+
+/// A tenant's QoS IOPS ceiling actually caps its throughput: with the
+/// bucket at 50 IOPS, a 150-request burst must take well over a second
+/// (the first ~50 ride the initial burst allowance), and the node
+/// records throttle waits for the tenant.
+#[test]
+fn qos_iops_ceiling_caps_a_tenants_throughput() {
+    let r = fleet_rig(2, 16 << 20, 8 << 20);
+    let addr = r.addr;
+    r.registry.get("vol0").unwrap().set_qos(QosLimits {
+        iops: 50,
+        bytes_per_sec: 0,
+    });
+
+    let mut c = Client::connect(addr, "vol0").expect("connect");
+    let start = Instant::now();
+    for i in 0..150u64 {
+        c.write(i * 4096, &[0x5Au8; 4096]).expect("write");
+    }
+    let elapsed = start.elapsed();
+    c.disconnect().expect("disconnect");
+    // 150 requests at 50/s with a 50-token initial burst needs >= 2s of
+    // refill; allow wide margins for a loaded 1-core box in both
+    // directions (the floor is the assertion that matters).
+    assert!(
+        elapsed >= Duration::from_millis(1200),
+        "throttled burst finished too fast: {elapsed:?}"
+    );
+    let s = r.registry.get("vol0").unwrap().recorders().snapshot();
+    assert!(s.throttle_waits > 0, "throttle waits recorded");
+
+    // The unthrottled neighbor is not slowed by vol0's ceiling.
+    let mut c = Client::connect(addr, "vol1").expect("connect vol1");
+    let start = Instant::now();
+    for i in 0..150u64 {
+        c.write(i * 4096, &[0xA5u8; 4096]).expect("write");
+    }
+    assert!(
+        start.elapsed() < Duration::from_millis(1200),
+        "unthrottled tenant slowed: {:?}",
+        start.elapsed()
+    );
+    c.disconnect().expect("disconnect");
+    r.teardown();
+}
+
+/// Fair shares under a saturating neighbor: while tenant A keeps a deep
+/// pipeline of large writes permanently queued, tenant B's small
+/// synchronous writes still complete promptly — the deficit round-robin
+/// scheduler interleaves B between A's bursts instead of draining A
+/// first. Both read back exactly.
+#[test]
+fn small_tenant_makes_progress_under_a_saturating_neighbor() {
+    let r = fleet_rig(2, 32 << 20, 8 << 20);
+    let addr = r.addr;
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let saturator = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            // Pipelined 64 KiB writes, windowed by the server: the
+            // scheduler always has vol0 work queued.
+            let c = Client::connect(addr, "vol0").expect("connect saturator");
+            let mut raw = c.into_raw();
+            let mut bursts = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                nbd::client::pipeline_writes(&mut raw, 0, 65536, 24).expect("burst");
+                nbd::client::collect_replies(&mut raw, 24).expect("replies");
+                bursts += 1;
+            }
+            bursts
+        })
+    };
+
+    // Let the saturator establish a standing queue before measuring.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut c = Client::connect(addr, "vol1").expect("connect small tenant");
+    let start = Instant::now();
+    for i in 0..48u64 {
+        let tag = (3 * i + 7) as u8;
+        c.write(i * 8192, &[tag; 4096]).expect("small write");
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let bursts = saturator.join().unwrap();
+    assert!(bursts >= 2, "saturator actually ran: {bursts} bursts");
+    // Generous for a 1-core box: without fair scheduling the small
+    // tenant sits behind every queued 64 KiB burst and blows way past
+    // this; with DRR it interleaves within each window.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "small tenant starved: 48 writes took {elapsed:?}"
+    );
+
+    let mut buf = [0u8; 4096];
+    for i in 0..48u64 {
+        c.read(i * 8192, &mut buf).expect("readback");
+        assert_eq!(buf, [(3 * i + 7) as u8; 4096], "small tenant block {i}");
+    }
+    c.disconnect().expect("disconnect");
+
+    let sat = r.registry.get("vol0").unwrap().recorders().snapshot();
+    let small = r.registry.get("vol1").unwrap().recorders().snapshot();
+    assert!(sat.writes >= 48, "saturator wrote: {}", sat.writes);
+    assert_eq!(small.writes, 48, "small tenant writes all counted");
+    r.teardown();
+}
+
+/// Hot detach with a client still connected: every acknowledged write is
+/// durable — the detach fences the export, drains in-flight jobs, and
+/// checkpoints the volume, which then reopens cleanly with the data
+/// intact. The surviving tenant is untouched.
+#[test]
+fn detach_while_connected_drains_acked_writes_durably() {
+    let r = fleet_rig(2, 16 << 20, 8 << 20);
+    let addr = r.addr;
+
+    let mut c0 = Client::connect(addr, "vol0").expect("connect vol0");
+    let mut c1 = Client::connect(addr, "vol1").expect("connect vol1");
+    for i in 0..64u64 {
+        c0.write(i * 8192, &[(i + 1) as u8; 4096]).expect("write");
+    }
+    c0.flush().expect("flush acked");
+    c1.write(0, &[0xBBu8; 4096]).expect("neighbor write");
+
+    // Detach vol0 while its client is still connected. The registry
+    // fences the export, the reactor drains the connection, and the
+    // volume shuts down (flush + checkpoint).
+    r.registry.detach("vol0").expect("hot detach");
+    assert_eq!(r.registry.list(), vec!["vol1".to_string()]);
+
+    // The detached tenant's connection is dead: the next request fails.
+    let mut buf = [0u8; 4096];
+    assert!(
+        c0.read(0, &mut buf).is_err(),
+        "detached tenant's connection must be closed"
+    );
+    // New connections can no longer negotiate the name.
+    assert!(
+        Client::connect(addr, "vol0").is_err(),
+        "detached export must be unknown"
+    );
+    // The neighbor never noticed.
+    c1.read(0, &mut buf).expect("neighbor read");
+    assert_eq!(buf, [0xBBu8; 4096]);
+    c1.disconnect().expect("disconnect");
+
+    // Durability: reopen the detached image from its store + cache and
+    // verify every acknowledged write.
+    let mut vol = Volume::open(
+        r.store.clone(),
+        r.caches[0].clone(),
+        "vol0",
+        pipelined_cfg(),
+    )
+    .expect("reopen detached image");
+    for i in 0..64u64 {
+        vol.read(i * 8192, &mut buf).expect("read");
+        assert_eq!(buf, [(i + 1) as u8; 4096], "acked write {i} survived");
+    }
+    vol.shutdown().expect("shutdown reopened volume");
+    r.teardown();
+}
+
+/// Connection scale: 200 simultaneously negotiated connections spread
+/// over 8 exports on one reactor — far beyond what thread-per-connection
+/// serving would tolerate — each still round-trips its own block.
+#[test]
+fn two_hundred_concurrent_connections_multiplex_on_one_reactor() {
+    const CONNS: usize = 200;
+    const VOLS: usize = 8;
+    let r = fleet_rig(VOLS, 16 << 20, 4 << 20);
+    let addr = r.addr;
+
+    // Hold every connection open at once, then drive them round-robin.
+    let mut clients: Vec<Client> = (0..CONNS)
+        .map(|i| Client::connect(addr, &format!("vol{}", i % VOLS)).expect("connect"))
+        .collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        // Connections sharing an export write disjoint offsets.
+        let off = (i / VOLS) as u64 * 4096;
+        c.write(off, &[(i % 251) as u8; 4096]).expect("write");
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        let off = (i / VOLS) as u64 * 4096;
+        let mut buf = [0u8; 4096];
+        c.read(off, &mut buf).expect("read");
+        assert_eq!(buf, [(i % 251) as u8; 4096], "conn {i} readback");
+    }
+    for c in clients {
+        c.disconnect().expect("disconnect");
+    }
+
+    let snap = r.registry.telemetry();
+    let conns: u64 = snap.tenants.iter().map(|t| t.serving.conns_total).sum();
+    assert_eq!(conns, CONNS as u64, "every connection negotiated");
+    r.teardown();
+}
+
+/// Fleet scale, the acceptance bar: 100 registered volumes and 1000
+/// simultaneously open connections on one reactor. Every connection
+/// negotiates its named export, writes its own block, and reads it back
+/// exactly while all 999 others stay open.
+#[test]
+fn thousand_connections_hundred_volumes_on_one_reactor() {
+    const CONNS: usize = 1000;
+    const VOLS: usize = 100;
+    let r = fleet_rig(VOLS, 8 << 20, 4 << 20);
+    let addr = r.addr;
+    assert_eq!(r.registry.list().len(), VOLS, "all volumes registered");
+
+    let mut clients: Vec<Client> = (0..CONNS)
+        .map(|i| Client::connect(addr, &format!("vol{}", i % VOLS)).expect("connect"))
+        .collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let off = (i / VOLS) as u64 * 4096;
+        c.write(off, &[(i % 251) as u8; 4096]).expect("write");
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        let off = (i / VOLS) as u64 * 4096;
+        let mut buf = [0u8; 4096];
+        c.read(off, &mut buf).expect("read");
+        assert_eq!(buf, [(i % 251) as u8; 4096], "conn {i} readback");
+    }
+    for c in clients {
+        c.disconnect().expect("disconnect");
+    }
+
+    let snap = r.registry.telemetry();
+    assert_eq!(snap.tenants.len(), VOLS, "one tenant entry per export");
+    let conns: u64 = snap.tenants.iter().map(|t| t.serving.conns_total).sum();
+    assert_eq!(conns, CONNS as u64, "every connection negotiated");
+    r.teardown();
+}
